@@ -1,0 +1,91 @@
+//! Benchmarks for the design-choice ablations DESIGN.md calls out:
+//! packing algorithm, interleave factor, page capacity and the chained
+//! extension — wall-clock cost of the simulation slices.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use tnn_bench::fixture_points;
+use tnn_broadcast::BroadcastParams;
+use tnn_core::{Algorithm, AnnMode, TnnConfig};
+use tnn_datasets::paper_region;
+use tnn_rtree::{PackingAlgorithm, RTree};
+use tnn_sim::{run_batch, run_chain_batch, BatchConfig};
+
+fn bench_packing(c: &mut Criterion) {
+    let pts_s = fixture_points(10_000, 31);
+    let pts_r = fixture_points(10_000, 32);
+    let mut g = c.benchmark_group("ablations/packing");
+    g.sample_size(10);
+    for algo in PackingAlgorithm::ALL {
+        let params = BroadcastParams::new(64);
+        let s = Arc::new(RTree::build(&pts_s, params.rtree_params(), algo).unwrap());
+        let r = Arc::new(RTree::build(&pts_r, params.rtree_params(), algo).unwrap());
+        g.bench_function(algo.name(), |b| {
+            let cfg = BatchConfig {
+                params,
+                tnn: TnnConfig::exact(Algorithm::DoubleNn),
+                queries: 32,
+                seed: 0x11,
+                check_oracle: false,
+            };
+            b.iter(|| run_batch(&s, &r, &paper_region(), &cfg))
+        });
+    }
+    g.finish();
+}
+
+fn bench_page_capacity(c: &mut Criterion) {
+    let pts_s = fixture_points(10_000, 41);
+    let pts_r = fixture_points(10_000, 42);
+    let mut g = c.benchmark_group("ablations/page_capacity");
+    g.sample_size(10);
+    for cap in [64usize, 128, 256, 512] {
+        let params = BroadcastParams::new(cap);
+        let s = Arc::new(
+            RTree::build(&pts_s, params.rtree_params(), PackingAlgorithm::Str).unwrap(),
+        );
+        let r = Arc::new(
+            RTree::build(&pts_r, params.rtree_params(), PackingAlgorithm::Str).unwrap(),
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |b, _| {
+            let cfg = BatchConfig {
+                params,
+                tnn: TnnConfig::exact(Algorithm::HybridNn),
+                queries: 32,
+                seed: 0x22,
+                check_oracle: false,
+            };
+            b.iter(|| run_batch(&s, &r, &paper_region(), &cfg))
+        });
+    }
+    g.finish();
+}
+
+fn bench_chain(c: &mut Criterion) {
+    let params = BroadcastParams::new(64);
+    let mut g = c.benchmark_group("ablations/chain");
+    g.sample_size(10);
+    for k in [2usize, 3, 4] {
+        let trees: Vec<Arc<RTree>> = (0..k)
+            .map(|i| {
+                Arc::new(
+                    RTree::build(
+                        &fixture_points(6_000, 50 + i as u64),
+                        params.rtree_params(),
+                        PackingAlgorithm::Str,
+                    )
+                    .unwrap(),
+                )
+            })
+            .collect();
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                run_chain_batch(&trees, &paper_region(), params, AnnMode::Exact, 16, 0x33)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_packing, bench_page_capacity, bench_chain);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! End-to-end benchmarks: one fully simulated TNN query per algorithm
+//! (estimate + filter + join + retrieval bookkeeping), plus the exact
+//! oracle, on the paper's 10,000 × 10,000 workload.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tnn_bench::{fixture_env, fixture_queries};
+use tnn_core::{exact_tnn, run_query, Algorithm, AnnMode, TnnConfig};
+
+fn bench_algorithms(c: &mut Criterion) {
+    let env = fixture_env(10_000, 10_000);
+    let queries = fixture_queries(64);
+
+    let mut g = c.benchmark_group("algorithms/query_10k_x_10k");
+    for alg in Algorithm::ALL {
+        g.bench_function(alg.name(), |b| {
+            let cfg = TnnConfig::exact(alg);
+            let mut i = 0usize;
+            b.iter(|| {
+                let q = queries[i % queries.len()];
+                i += 1;
+                run_query(black_box(&env), q, 0, &cfg).unwrap()
+            })
+        });
+    }
+    g.bench_function("Hybrid-NN+ANN", |b| {
+        let m = AnnMode::Dynamic { factor: 1.0 / 150.0 };
+        let cfg = TnnConfig::exact(Algorithm::HybridNn).with_ann(m, m);
+        let mut i = 0usize;
+        b.iter(|| {
+            let q = queries[i % queries.len()];
+            i += 1;
+            run_query(black_box(&env), q, 0, &cfg).unwrap()
+        })
+    });
+    g.bench_function("exact_oracle", |b| {
+        let (s, r) = (env.channel(0).tree(), env.channel(1).tree());
+        let mut i = 0usize;
+        b.iter(|| {
+            let q = queries[i % queries.len()];
+            i += 1;
+            exact_tnn(black_box(q), s, r)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

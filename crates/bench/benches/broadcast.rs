@@ -1,0 +1,36 @@
+//! Benchmarks for the broadcast substrate: arrival arithmetic and program
+//! construction must stay O(1)/O(n) respectively, since every simulated
+//! page decision goes through them.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use tnn_bench::fixture_tree;
+use tnn_broadcast::{BroadcastLayout, BroadcastParams, Channel};
+use tnn_rtree::NodeId;
+
+fn bench_layout(c: &mut Criterion) {
+    let tree = fixture_tree(95_969, 3);
+    let params = BroadcastParams::new(64);
+
+    let mut g = c.benchmark_group("broadcast");
+    g.bench_function("layout_build_96k", |b| {
+        b.iter(|| BroadcastLayout::new(black_box(&tree), black_box(&params)))
+    });
+
+    let channel = Channel::new(Arc::clone(&tree), params, 12_345);
+    let node = NodeId((tree.num_nodes() / 2) as u32);
+    g.bench_function("next_node_arrival", |b| {
+        b.iter(|| channel.next_node_arrival(black_box(node), black_box(777_777)))
+    });
+    let (_, object) = tree.objects_in_leaf_order().next().unwrap();
+    g.bench_function("retrieve_object", |b| {
+        b.iter(|| channel.retrieve_object(black_box(object), black_box(999_999)))
+    });
+    g.bench_function("with_phase", |b| {
+        b.iter(|| channel.with_phase(black_box(42)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_layout);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! One bench group per paper figure/table: measures the wall-clock cost
+//! of regenerating a representative slice of each experiment (small
+//! query batches — the full runs live in the `tnn-sim` binaries).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use tnn_bench::fixture_tree;
+use tnn_broadcast::BroadcastParams;
+use tnn_core::{Algorithm, TnnConfig};
+use tnn_datasets::{city_like, paper_region};
+use tnn_rtree::{PackingAlgorithm, RTree};
+use tnn_sim::{run_batch, BatchConfig};
+
+fn batch(alg: Algorithm, s: &Arc<RTree>, r: &Arc<RTree>, check_oracle: bool) {
+    let cfg = BatchConfig {
+        params: BroadcastParams::new(64),
+        tnn: TnnConfig::exact(alg),
+        queries: 32,
+        seed: 0xBEEF,
+        check_oracle,
+    };
+    run_batch(s, r, &paper_region(), &cfg);
+}
+
+fn bench_figures(c: &mut Criterion) {
+    // Shared workloads: one representative configuration per figure.
+    let s_10k = fixture_tree(10_000, 1);
+    let r_10k = fixture_tree(10_000, 2);
+    let s_sparse = fixture_tree(2_411, 3); // UNIF(-5.8) size
+    let r_dense = fixture_tree(15_210, 4); // UNIF(-5.0) size
+    let params = BroadcastParams::new(64);
+    let city = Arc::new(
+        RTree::build(&city_like(0xC17), params.rtree_params(), PackingAlgorithm::Str).unwrap(),
+    );
+
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+
+    // Fig 9: access time — all four algorithms, equal sizes.
+    g.bench_function("fig9_slice_all_algorithms", |b| {
+        b.iter(|| {
+            for alg in Algorithm::ALL {
+                batch(alg, &s_10k, &r_10k, false);
+            }
+        })
+    });
+
+    // Fig 11: tune-in — the three exact algorithms on a skewed-size pair.
+    g.bench_function("fig11_slice_exact_algorithms", |b| {
+        b.iter(|| {
+            for alg in [
+                Algorithm::WindowBased,
+                Algorithm::DoubleNn,
+                Algorithm::HybridNn,
+            ] {
+                batch(alg, &s_sparse, &r_dense, false);
+            }
+        })
+    });
+
+    // Fig 12/13: ANN configurations.
+    g.bench_function("fig12_slice_ann", |b| {
+        let m = tnn_core::AnnMode::Dynamic { factor: 0.02 };
+        let cfg = BatchConfig {
+            params: BroadcastParams::new(64),
+            tnn: TnnConfig::exact(Algorithm::DoubleNn).with_ann(m, m),
+            queries: 32,
+            seed: 0xBEEF,
+            check_oracle: false,
+        };
+        b.iter(|| run_batch(&s_10k, &r_10k, &paper_region(), &cfg))
+    });
+    g.bench_function("fig13_slice_hybrid_ann", |b| {
+        let m = tnn_core::AnnMode::Dynamic {
+            factor: 1.0 / 150.0,
+        };
+        let cfg = BatchConfig {
+            params: BroadcastParams::new(64),
+            tnn: TnnConfig::exact(Algorithm::HybridNn).with_ann(m, m),
+            queries: 32,
+            seed: 0xBEEF,
+            check_oracle: false,
+        };
+        b.iter(|| run_batch(&s_10k, &r_10k, &paper_region(), &cfg))
+    });
+
+    // Table 3: Approximate-TNN with oracle verification on skewed data.
+    g.bench_function("table3_slice_fail_rate", |b| {
+        b.iter(|| batch(Algorithm::ApproximateTnn, &city, &r_10k, true))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Microbenchmarks for the geometry kernel: the transitive metrics and
+//! overlap areas sit on the hot path of every simulated query.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tnn_geom::{
+    circle_rect_overlap_area, ellipse_rect_overlap_area, max_dist, min_max_trans_dist,
+    min_trans_dist, Circle, Ellipse, Point, Rect, Segment,
+};
+
+fn bench_metrics(c: &mut Criterion) {
+    let p = Point::new(-3.0, 1.5);
+    let r = Point::new(11.0, -4.0);
+    let mbr = Rect::from_coords(2.0, 0.0, 6.0, 3.0);
+    let seg = Segment::new(Point::new(2.0, 0.0), Point::new(6.0, 0.0));
+
+    let mut g = c.benchmark_group("geom/metrics");
+    g.bench_function("min_dist", |b| {
+        b.iter(|| black_box(&mbr).min_dist(black_box(p)))
+    });
+    g.bench_function("min_max_dist", |b| {
+        b.iter(|| black_box(&mbr).min_max_dist(black_box(p)))
+    });
+    g.bench_function("min_trans_dist", |b| {
+        b.iter(|| min_trans_dist(black_box(p), black_box(&mbr), black_box(r)))
+    });
+    g.bench_function("max_dist_segment", |b| {
+        b.iter(|| max_dist(black_box(p), black_box(&seg), black_box(r)))
+    });
+    g.bench_function("min_max_trans_dist", |b| {
+        b.iter(|| min_max_trans_dist(black_box(p), black_box(&mbr), black_box(r)))
+    });
+    g.finish();
+}
+
+fn bench_overlaps(c: &mut Criterion) {
+    let circle = Circle::new(Point::new(1.0, 1.0), 3.0);
+    let ellipse = Ellipse::new(Point::new(-2.0, 0.0), Point::new(4.0, 1.0), 9.0);
+    let mbr = Rect::from_coords(0.0, 0.0, 4.0, 2.5);
+
+    let mut g = c.benchmark_group("geom/overlap");
+    g.bench_function("circle_rect", |b| {
+        b.iter(|| circle_rect_overlap_area(black_box(&circle), black_box(&mbr)))
+    });
+    g.bench_function("ellipse_rect", |b| {
+        b.iter(|| ellipse_rect_overlap_area(black_box(&ellipse), black_box(&mbr)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_metrics, bench_overlaps);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Benchmarks for R-tree bulk loading (per packing algorithm) and the
+//! in-memory queries used by the exact-TNN oracle.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use tnn_bench::{fixture_points, fixture_tree};
+use tnn_geom::{Circle, Point};
+use tnn_rtree::{PackingAlgorithm, RTree, RTreeParams};
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rtree/build");
+    g.sample_size(10);
+    for &n in &[2_000usize, 15_210, 95_969] {
+        let pts = fixture_points(n, 7);
+        for algo in PackingAlgorithm::ALL {
+            g.bench_with_input(
+                BenchmarkId::new(algo.name(), n),
+                &pts,
+                |b, pts| {
+                    b.iter(|| {
+                        RTree::build(
+                            black_box(pts),
+                            RTreeParams::for_page_capacity(64),
+                            algo,
+                        )
+                        .unwrap()
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let tree = fixture_tree(15_210, 9);
+    let q = Point::new(19_500.0, 19_500.0);
+
+    let mut g = c.benchmark_group("rtree/query");
+    g.bench_function("nearest_neighbor", |b| {
+        b.iter(|| tree.nearest_neighbor(black_box(q)).unwrap())
+    });
+    g.bench_function("k_nearest_10", |b| {
+        b.iter(|| tree.k_nearest(black_box(q), 10))
+    });
+    g.bench_function("range_circle_r2000", |b| {
+        let range = Circle::new(q, 2_000.0);
+        b.iter(|| tree.range_circle(black_box(&range)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_build, bench_queries);
+criterion_main!(benches);

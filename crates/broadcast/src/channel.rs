@@ -1,0 +1,276 @@
+//! A broadcast channel: one dataset's program plus a phase offset onto the
+//! global clock.
+
+use crate::{BroadcastLayout, BroadcastParams};
+use std::sync::Arc;
+use tnn_rtree::{Node, NodeId, ObjectId, RTree};
+
+/// What a channel carries during one page slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageContent {
+    /// An index page holding one R-tree node.
+    IndexNode(NodeId),
+    /// A data page: the `part`-th page of `object`'s content.
+    Data {
+        /// Object whose content the page carries.
+        object: ObjectId,
+        /// Zero-based page number within that object's content.
+        part: u64,
+    },
+    /// Tail padding of the last data fraction (when `m` does not divide
+    /// the data-segment length).
+    Padding,
+}
+
+/// One wireless broadcast channel: a cyclic `(1, m)` program over a single
+/// dataset, shifted by a phase so that concurrent channels are not
+/// artificially aligned (the paper draws "two random numbers … to simulate
+/// the waiting time to get the two roots").
+#[derive(Debug, Clone)]
+pub struct Channel {
+    tree: Arc<RTree>,
+    layout: Arc<BroadcastLayout>,
+    params: BroadcastParams,
+    phase: u64,
+    /// Leaf-rank → object id: which object occupies data block `rank`.
+    object_by_rank: Arc<Vec<ObjectId>>,
+}
+
+impl Channel {
+    /// Creates a channel broadcasting `tree` under `params`, with the
+    /// program shifted by `phase` slots (the page on air at global time
+    /// `t` is the cycle position `(t + phase) mod cycle_len`).
+    pub fn new(tree: Arc<RTree>, params: BroadcastParams, phase: u64) -> Self {
+        let layout = Arc::new(BroadcastLayout::new(&tree, &params));
+        let object_by_rank = Arc::new(tree.objects_in_leaf_order().map(|(_, o)| o).collect());
+        Channel {
+            tree,
+            layout,
+            params,
+            phase,
+            object_by_rank,
+        }
+    }
+
+    /// A copy of this channel with a different phase — O(1), sharing the
+    /// tree and layout. Experiment harnesses use this to re-randomize the
+    /// root waiting times per query without rebuilding the program.
+    pub fn with_phase(&self, phase: u64) -> Self {
+        Channel {
+            tree: Arc::clone(&self.tree),
+            layout: Arc::clone(&self.layout),
+            params: self.params,
+            phase,
+            object_by_rank: Arc::clone(&self.object_by_rank),
+        }
+    }
+
+    /// The R-tree being broadcast.
+    #[inline]
+    pub fn tree(&self) -> &RTree {
+        &self.tree
+    }
+
+    /// The shared handle to the R-tree.
+    #[inline]
+    pub fn tree_arc(&self) -> &Arc<RTree> {
+        &self.tree
+    }
+
+    /// The page-level layout.
+    #[inline]
+    pub fn layout(&self) -> &BroadcastLayout {
+        &self.layout
+    }
+
+    /// The program parameters.
+    #[inline]
+    pub fn params(&self) -> &BroadcastParams {
+        &self.params
+    }
+
+    /// The channel's phase offset.
+    #[inline]
+    pub fn phase(&self) -> u64 {
+        self.phase
+    }
+
+    /// Resolves a node id to its node (the client "downloading" the page).
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Node {
+        self.tree.node(id)
+    }
+
+    /// Next time `t ≥ now` at which `node`'s index page is on air.
+    #[inline]
+    pub fn next_node_arrival(&self, node: NodeId, now: u64) -> u64 {
+        self.layout.next_node_arrival(node, now, self.phase)
+    }
+
+    /// Next time `t ≥ now` at which the root index page is on air — the
+    /// client's initial probe target after issuing a query.
+    #[inline]
+    pub fn next_root_arrival(&self, now: u64) -> u64 {
+        self.next_node_arrival(NodeId::ROOT, now)
+    }
+
+    /// Simulates downloading all data pages of `object` starting at `now`:
+    /// returns `(finish_time, pages_downloaded)`. The pages of one object
+    /// are consecutive in the data segment but may straddle a fraction
+    /// boundary, in which case the client dozes through the interposed
+    /// index copy.
+    pub fn retrieve_object(&self, object: ObjectId, now: u64) -> (u64, u64) {
+        let pages = self.layout.pages_per_object();
+        if pages == 0 {
+            return (now, 0);
+        }
+        let slot = self.layout.data_slot(object);
+        let mut t = now;
+        for k in 0..pages {
+            let arrival = self.layout.next_data_arrival(slot + k, t, self.phase);
+            t = arrival + 1; // the page occupies one slot
+        }
+        (t, pages)
+    }
+
+    /// The content on air at global time `t`. This is the *semantic* view
+    /// of the virtual schedule, used by tests to cross-check the arrival
+    /// arithmetic and by the trace example; query processing never needs
+    /// it.
+    pub fn page_at(&self, t: u64) -> PageContent {
+        let pos = (t + self.phase) % self.layout.cycle_len();
+        let in_bucket = pos % self.layout.bucket_len();
+        let bucket = pos / self.layout.bucket_len();
+        if in_bucket < self.layout.index_len() {
+            return PageContent::IndexNode(NodeId(in_bucket as u32));
+        }
+        let j = bucket * self.layout.fraction_len() + (in_bucket - self.layout.index_len());
+        if j >= self.layout.data_len() {
+            return PageContent::Padding;
+        }
+        let rank = (j / self.layout.pages_per_object()) as usize;
+        PageContent::Data {
+            object: self.object_by_rank[rank],
+            part: j % self.layout.pages_per_object(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tnn_geom::Point;
+    use tnn_rtree::PackingAlgorithm;
+
+    fn channel(n: usize, phase: u64) -> Channel {
+        let params = BroadcastParams::new(64);
+        let pts: Vec<Point> = (0..n)
+            .map(|i| Point::new((i * 7 % 113) as f64, (i * 13 % 127) as f64))
+            .collect();
+        let tree = RTree::build(&pts, params.rtree_params(), PackingAlgorithm::Str).unwrap();
+        Channel::new(Arc::new(tree), params, phase)
+    }
+
+    #[test]
+    fn page_at_agrees_with_node_arrival_arithmetic() {
+        let ch = channel(60, 123);
+        for node in [0u32, 1, 7, ch.tree().num_nodes() as u32 - 1] {
+            let id = NodeId(node);
+            for now in [0u64, 5, 100, 1000, 12345] {
+                let arr = ch.next_node_arrival(id, now);
+                assert!(arr >= now);
+                assert_eq!(
+                    ch.page_at(arr),
+                    PageContent::IndexNode(id),
+                    "node {id} at {arr}"
+                );
+                // No earlier slot in [now, arr) carries this node.
+                for t in now..arr {
+                    assert_ne!(ch.page_at(t), PageContent::IndexNode(id));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn page_at_agrees_with_data_arrival_arithmetic() {
+        let ch = channel(10, 7);
+        let l = ch.layout();
+        for j in [0u64, 1, l.data_len() / 3, l.data_len() - 1] {
+            let arr = l.next_data_arrival(j, 50, ch.phase());
+            match ch.page_at(arr) {
+                PageContent::Data { object, part } => {
+                    let rank = (j / l.pages_per_object()) as usize;
+                    assert_eq!(l.data_slot(object), rank as u64 * l.pages_per_object());
+                    assert_eq!(part, j % l.pages_per_object());
+                }
+                other => panic!("expected data page at {arr}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn every_cycle_slot_is_classified() {
+        let ch = channel(9, 0);
+        let l = ch.layout();
+        let mut index_pages = 0u64;
+        let mut data_pages = 0u64;
+        let mut padding = 0u64;
+        for t in 0..l.cycle_len() {
+            match ch.page_at(t) {
+                PageContent::IndexNode(_) => index_pages += 1,
+                PageContent::Data { .. } => data_pages += 1,
+                PageContent::Padding => padding += 1,
+            }
+        }
+        assert_eq!(index_pages, l.index_len() * l.interleave_m() as u64);
+        assert_eq!(data_pages, l.data_len());
+        assert_eq!(
+            padding,
+            l.fraction_len() * l.interleave_m() as u64 - l.data_len()
+        );
+    }
+
+    #[test]
+    fn retrieve_object_downloads_all_pages() {
+        let ch = channel(15, 3);
+        let (_, object) = ch.tree().objects_in_leaf_order().next().unwrap();
+        let (finish, pages) = ch.retrieve_object(object, 0);
+        assert_eq!(pages, 16);
+        assert!(finish >= 16);
+        // Retrieval starting right at the object's first page is contiguous
+        // when the object does not straddle a fraction boundary.
+        let first = ch
+            .layout()
+            .next_data_arrival(ch.layout().data_slot(object), 0, ch.phase());
+        let (finish2, _) = ch.retrieve_object(object, first);
+        let straddles = (ch.layout().data_slot(object) / ch.layout().fraction_len())
+            != ((ch.layout().data_slot(object) + 15) / ch.layout().fraction_len());
+        if !straddles {
+            assert_eq!(finish2, first + 16);
+        } else {
+            assert!(finish2 > first + 16);
+        }
+    }
+
+    #[test]
+    fn root_arrival_within_one_bucket() {
+        let ch = channel(100, 999);
+        for now in [0u64, 17, 500, 100_000] {
+            let arr = ch.next_root_arrival(now);
+            assert!(arr - now < ch.layout().bucket_len());
+            assert_eq!(ch.page_at(arr), PageContent::IndexNode(NodeId::ROOT));
+        }
+    }
+
+    #[test]
+    fn phase_changes_alignment_but_not_structure() {
+        let a = channel(40, 0);
+        let b = channel(40, 1000);
+        assert_eq!(a.layout().cycle_len(), b.layout().cycle_len());
+        // Same page sequence, shifted by 1000 slots.
+        for t in 0..200u64 {
+            assert_eq!(a.page_at(t + 1000), b.page_at(t));
+        }
+    }
+}

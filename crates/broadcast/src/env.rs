@@ -1,0 +1,135 @@
+//! The multi-channel access environment: several broadcast channels
+//! observable simultaneously by one client.
+
+use crate::{BroadcastParams, Channel};
+use std::sync::Arc;
+use tnn_rtree::RTree;
+
+/// A set of co-existing broadcast channels, one dataset each, that a
+/// multi-radio mobile client can monitor **simultaneously** — the paper's
+/// central premise ("a mobile device has the ability to process queries
+/// using the information simultaneously received from multiple channels").
+///
+/// A TNN query uses two channels (S on channel 0, R on channel 1); the
+/// chained-TNN extension uses one channel per dataset.
+#[derive(Debug, Clone)]
+pub struct MultiChannelEnv {
+    channels: Vec<Channel>,
+}
+
+impl MultiChannelEnv {
+    /// Builds an environment broadcasting each tree on its own channel
+    /// with the given phase offsets.
+    ///
+    /// # Panics
+    /// Panics when `trees` and `phases` differ in length.
+    pub fn new(trees: Vec<Arc<RTree>>, params: BroadcastParams, phases: &[u64]) -> Self {
+        assert_eq!(
+            trees.len(),
+            phases.len(),
+            "one phase per channel is required"
+        );
+        let channels = trees
+            .into_iter()
+            .zip(phases)
+            .map(|(tree, &phase)| Channel::new(tree, params, phase))
+            .collect();
+        MultiChannelEnv { channels }
+    }
+
+    /// The channels, in dataset order.
+    #[inline]
+    pub fn channels(&self) -> &[Channel] {
+        &self.channels
+    }
+
+    /// Channel `i`.
+    #[inline]
+    pub fn channel(&self, i: usize) -> &Channel {
+        &self.channels[i]
+    }
+
+    /// Number of channels.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// A copy of the environment with different per-channel phases —
+    /// O(channels), sharing all trees and layouts.
+    ///
+    /// # Panics
+    /// Panics when `phases` does not match the channel count.
+    pub fn with_phases(&self, phases: &[u64]) -> Self {
+        assert_eq!(
+            self.channels.len(),
+            phases.len(),
+            "one phase per channel is required"
+        );
+        MultiChannelEnv {
+            channels: self
+                .channels
+                .iter()
+                .zip(phases)
+                .map(|(c, &p)| c.with_phase(p))
+                .collect(),
+        }
+    }
+
+    /// `true` when the environment has no channels.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.channels.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tnn_geom::Point;
+    use tnn_rtree::PackingAlgorithm;
+
+    fn tree(n: usize, params: &BroadcastParams) -> Arc<RTree> {
+        let pts: Vec<Point> = (0..n)
+            .map(|i| Point::new((i * 3 % 31) as f64, (i * 5 % 37) as f64))
+            .collect();
+        Arc::new(RTree::build(&pts, params.rtree_params(), PackingAlgorithm::Str).unwrap())
+    }
+
+    #[test]
+    fn builds_one_channel_per_tree() {
+        let params = BroadcastParams::new(64);
+        let env = MultiChannelEnv::new(
+            vec![tree(20, &params), tree(50, &params)],
+            params,
+            &[3, 99],
+        );
+        assert_eq!(env.len(), 2);
+        assert!(!env.is_empty());
+        assert_eq!(env.channel(0).phase(), 3);
+        assert_eq!(env.channel(1).phase(), 99);
+        assert_eq!(env.channel(0).tree().num_objects(), 20);
+        assert_eq!(env.channel(1).tree().num_objects(), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "one phase per channel")]
+    fn mismatched_phases_panic() {
+        let params = BroadcastParams::new(64);
+        MultiChannelEnv::new(vec![tree(10, &params)], params, &[1, 2]);
+    }
+
+    #[test]
+    fn channels_are_independent_programs() {
+        let params = BroadcastParams::new(64);
+        let env = MultiChannelEnv::new(
+            vec![tree(20, &params), tree(500, &params)],
+            params,
+            &[0, 0],
+        );
+        assert_ne!(
+            env.channel(0).layout().cycle_len(),
+            env.channel(1).layout().cycle_len()
+        );
+    }
+}

@@ -1,0 +1,139 @@
+//! Approximate-TNN-Search [19] (paper §3.1, eq. 1).
+//!
+//! Skips the estimate-phase index searches entirely: the search radius is
+//! computed locally from the dataset cardinalities under a uniformity
+//! assumption,
+//!
+//! ```text
+//! r_k(S) = ln(n) · sqrt(k / (π·n)),   n = |S|   (unit square)
+//! d      = r₁(S) + r₁(R)              (scaled to the actual region)
+//! ```
+//!
+//! This gives the best possible access time (the filter phase starts
+//! immediately) but the range is **not guaranteed** to contain the answer
+//! — on skewed datasets the query fails (paper §6.3, Table 3) — and on
+//! uniform data the range is unnecessarily large, inflating tune-in time
+//! (§6.1.2, Fig. 11(d)).
+
+use super::Estimate;
+use tnn_broadcast::{MultiChannelEnv, Tuner};
+
+/// The paper's eq. 1 in the unit square: the radius around a random point
+/// expected to enclose at least `k` objects of an `n`-object uniform
+/// dataset.
+pub fn approximate_radius(n: usize, k: usize) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    let n = n as f64;
+    (n.ln()).max(0.0) * (k as f64 / (std::f64::consts::PI * n)).sqrt()
+}
+
+/// The Approximate-TNN search radius for a two-channel environment:
+/// `d = r₁(S) + r₁(R)`, scaled from the unit square to the broadcast
+/// region (the client knows region and cardinalities a priori from the
+/// broadcast metadata; no page needs to be downloaded).
+pub fn approximate_radius_for_env(env: &MultiChannelEnv) -> f64 {
+    let region = env
+        .channel(0)
+        .tree()
+        .bounding_rect()
+        .union(&env.channel(1).tree().bounding_rect());
+    // "The radius can be easily scaled to a square of other size": eq. 1
+    // is derived for the unit square, so scale by the region's side.
+    let side = region.area().sqrt();
+    let r_s = approximate_radius(env.channel(0).tree().num_objects(), 1);
+    let r_r = approximate_radius(env.channel(1).tree().num_objects(), 1);
+    (r_s + r_r) * side
+}
+
+pub(crate) fn estimate(env: &MultiChannelEnv, issued_at: u64) -> Estimate {
+    Estimate {
+        radius: approximate_radius_for_env(env),
+        tuners: [Tuner::new(), Tuner::new()],
+        end: issued_at, // purely local computation; nothing on air
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_query, Algorithm, TnnConfig};
+    use std::sync::Arc;
+    use tnn_broadcast::BroadcastParams;
+    use tnn_geom::Point;
+    use tnn_rtree::{PackingAlgorithm, RTree};
+
+    fn env(s: &[Point], r: &[Point]) -> MultiChannelEnv {
+        let params = BroadcastParams::new(64);
+        let ts = RTree::build(s, params.rtree_params(), PackingAlgorithm::Str).unwrap();
+        let tr = RTree::build(r, params.rtree_params(), PackingAlgorithm::Str).unwrap();
+        MultiChannelEnv::new(vec![Arc::new(ts), Arc::new(tr)], params, &[0, 0])
+    }
+
+    fn uniformish(n: usize, salt: usize, side: f64) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                let a = ((i + salt) as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                let x = (a >> 32) as f64 / u32::MAX as f64 * side;
+                let y = (a & 0xFFFF_FFFF) as f64 / u32::MAX as f64 * side;
+                Point::new(x, y)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn radius_formula_matches_eq1() {
+        // n = 10,000, k = 1: ln(10⁴)·sqrt(1/(π·10⁴)).
+        let got = approximate_radius(10_000, 1);
+        let expect = (10_000f64).ln() * (1.0 / (std::f64::consts::PI * 10_000.0)).sqrt();
+        assert!((got - expect).abs() < 1e-12);
+        // Radius shrinks with density (larger n).
+        assert!(approximate_radius(100_000, 1) < approximate_radius(1_000, 1));
+        // More required neighbors → larger radius.
+        assert!(approximate_radius(1_000, 4) > approximate_radius(1_000, 1));
+        // Degenerate cases.
+        assert_eq!(approximate_radius(0, 1), 0.0);
+        assert_eq!(approximate_radius(1, 1), 0.0);
+    }
+
+    #[test]
+    fn estimate_has_no_air_cost() {
+        let s = uniformish(500, 0, 1000.0);
+        let r = uniformish(400, 9, 1000.0);
+        let e = env(&s, &r);
+        let est = estimate(&e, 77);
+        assert_eq!(est.end, 77);
+        assert_eq!(est.tuners[0].pages, 0);
+        assert_eq!(est.tuners[1].pages, 0);
+        assert!(est.radius > 0.0);
+    }
+
+    #[test]
+    fn succeeds_on_uniform_data() {
+        let s = uniformish(800, 1, 1000.0);
+        let r = uniformish(700, 5, 1000.0);
+        let e = env(&s, &r);
+        let p = Point::new(500.0, 500.0);
+        let run = run_query(&e, p, 0, &TnnConfig::exact(Algorithm::ApproximateTnn)).unwrap();
+        let got = run.answer.expect("uniform data should succeed");
+        let oracle = crate::exact_tnn(p, e.channel(0).tree(), e.channel(1).tree());
+        assert!((got.dist - oracle.dist).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fails_or_errs_on_extreme_skew() {
+        // All mass in one far corner; the uniformity-based radius around a
+        // far-away query point encloses nothing.
+        let s: Vec<Point> = (0..200)
+            .map(|i| Point::new(9_990.0 + (i % 10) as f64, 9_990.0 + (i / 10 % 10) as f64))
+            .collect();
+        let r = s.clone();
+        let e = env(&s, &r);
+        let p = Point::new(10.0, 10.0);
+        let run = run_query(&e, p, 0, &TnnConfig::exact(Algorithm::ApproximateTnn)).unwrap();
+        // The candidate sets are empty → the query fails outright.
+        assert!(run.failed());
+        assert_eq!(run.candidates, [0, 0]);
+    }
+}

@@ -1,0 +1,245 @@
+//! Chained (generalized) TNN over `k ≥ 2` datasets — the paper's
+//! future-work item 1 ("more than 2 datasets are involved, and allocated
+//! on multiple wireless channels").
+//!
+//! Finds the chain `p → s₁ → s₂ → … → s_k` with `sᵢ ∈ Sᵢ` (categories
+//! visited in the given order, one dataset per channel) of minimum total
+//! length.
+//!
+//! The estimate phase generalizes Double-NN: all `k` NN searches run from
+//! `p` in parallel, and the feasible chain through the per-dataset NNs
+//! `nᵢ = p.NN(Sᵢ)` yields the radius `d = dis(p, n₁) + Σ dis(nᵢ, nᵢ₊₁)`.
+//! Theorem 1 generalizes by the triangle inequality: every member `sᵢ` of
+//! the optimal chain satisfies `dis(p, sᵢ) ≤ total* ≤ d`, so window
+//! queries over `circle(p, d)` on every channel capture the answer; a
+//! layered dynamic program ([`crate::chain_join`]) then finds the best
+//! chain among the candidates.
+
+use crate::task::{NnSearchTask, WindowQueryTask};
+use crate::{chain_join, AnnMode, ChannelCost, SearchMode, TnnError};
+use serde::{Deserialize, Serialize};
+use tnn_broadcast::MultiChannelEnv;
+use tnn_geom::{Circle, Point};
+use tnn_rtree::ObjectId;
+
+/// The outcome of a chained TNN query.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChainRun {
+    /// The best chain `s₁ … s_k`, one entry per channel, in visit order.
+    pub path: Vec<(Point, ObjectId)>,
+    /// Total length `dis(p, s₁) + Σ dis(sᵢ, sᵢ₊₁)`.
+    pub total_dist: f64,
+    /// Filter radius used.
+    pub search_radius: f64,
+    /// Slot at which the query was issued.
+    pub issued_at: u64,
+    /// Slot at which the whole query finished.
+    pub completed_at: u64,
+    /// Per-channel costs.
+    pub channels: Vec<ChannelCost>,
+}
+
+impl ChainRun {
+    /// Access time in slots.
+    pub fn access_time(&self) -> u64 {
+        self.completed_at - self.issued_at
+    }
+
+    /// Tune-in time in pages (all channels).
+    pub fn tune_in(&self) -> u64 {
+        self.channels.iter().map(|c| c.total_pages()).sum()
+    }
+}
+
+/// Executes a chained TNN query over `env.len()` channels (categories in
+/// channel order).
+///
+/// # Errors
+/// [`TnnError::WrongChannelCount`] for fewer than two channels;
+/// [`TnnError::NonFiniteQuery`] for NaN/infinite query points.
+pub fn chain_tnn(
+    env: &MultiChannelEnv,
+    p: Point,
+    issued_at: u64,
+    ann: AnnMode,
+    retrieve_answer_objects: bool,
+) -> Result<ChainRun, TnnError> {
+    let k = env.len();
+    if k < 2 {
+        return Err(TnnError::WrongChannelCount {
+            needed: 2,
+            available: k,
+        });
+    }
+    if !p.is_finite() {
+        return Err(TnnError::NonFiniteQuery);
+    }
+
+    // Estimate: parallel NN searches from p on every channel, interleaved
+    // in global time order.
+    let mut tasks: Vec<NnSearchTask<'_>> = env
+        .channels()
+        .iter()
+        .map(|ch| NnSearchTask::new(ch, SearchMode::Point { q: p }, ann, issued_at))
+        .collect();
+    loop {
+        let next = tasks
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.next_arrival().map(|a| (a, i)))
+            .min();
+        match next {
+            Some((_, i)) => {
+                tasks[i].step();
+            }
+            None => break,
+        }
+    }
+
+    // Feasible chain through the per-channel NNs of p.
+    let nns: Vec<Point> = tasks
+        .iter()
+        .map(|t| t.best().expect("non-empty dataset").0)
+        .collect();
+    let mut radius = p.dist(nns[0]);
+    for w in nns.windows(2) {
+        radius += w[0].dist(w[1]);
+    }
+    let est_end = tasks.iter().map(|t| t.now()).max().unwrap_or(issued_at);
+
+    // Filter: window queries on every channel. The range is closed (the
+    // estimate chain lies on its boundary); pad by a few ULPs so rounding
+    // cannot exclude boundary candidates.
+    let range = Circle::new(p, radius * (1.0 + 4.0 * f64::EPSILON));
+    let mut layers = Vec::with_capacity(k);
+    let mut channels = Vec::with_capacity(k);
+    let mut filter_end = est_end;
+    for (i, ch) in env.channels().iter().enumerate() {
+        let mut w = WindowQueryTask::new(ch, range, est_end);
+        let end = w.run_to_completion();
+        filter_end = filter_end.max(end);
+        channels.push(ChannelCost {
+            estimate_pages: tasks[i].tuner().pages,
+            filter_pages: w.tuner().pages,
+            retrieve_pages: 0,
+            finish_time: tasks[i].now().max(end),
+        });
+        layers.push(w.into_hits());
+    }
+
+    let (path, total_dist) = chain_join(p, &layers)
+        .expect("the estimate chain is inside the range, so no layer is empty");
+
+    if retrieve_answer_objects {
+        for (i, (_, object)) in path.iter().enumerate() {
+            let (done, pages) = env.channel(i).retrieve_object(*object, filter_end);
+            channels[i].retrieve_pages = pages;
+            channels[i].finish_time = channels[i].finish_time.max(done);
+        }
+    }
+
+    let completed_at = channels
+        .iter()
+        .map(|c| c.finish_time)
+        .max()
+        .unwrap_or(est_end);
+
+    Ok(ChainRun {
+        path,
+        total_dist,
+        search_radius: radius,
+        issued_at,
+        completed_at,
+        channels,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact_chain_tnn;
+    use std::sync::Arc;
+    use tnn_broadcast::BroadcastParams;
+    use tnn_rtree::{PackingAlgorithm, RTree};
+
+    fn make_env(layers: &[Vec<Point>], phases: &[u64]) -> MultiChannelEnv {
+        let params = BroadcastParams::new(64);
+        let trees = layers
+            .iter()
+            .map(|pts| {
+                Arc::new(RTree::build(pts, params.rtree_params(), PackingAlgorithm::Str).unwrap())
+            })
+            .collect();
+        MultiChannelEnv::new(trees, params, phases)
+    }
+
+    fn cloud(n: usize, salt: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| Point::new(((i + salt) * 41 % 307) as f64, ((i + salt) * 59 % 311) as f64))
+            .collect()
+    }
+
+    #[test]
+    fn three_channel_chain_matches_oracle() {
+        let layers = vec![cloud(60, 0), cloud(80, 7), cloud(50, 19)];
+        let env = make_env(&layers, &[3, 17, 91]);
+        let p = Point::new(150.0, 150.0);
+        let run = chain_tnn(&env, p, 5, AnnMode::Exact, true).unwrap();
+        let trees: Vec<&RTree> = env.channels().iter().map(|c| c.tree()).collect();
+        let (_, oracle_total) = exact_chain_tnn(p, &trees);
+        assert!(
+            (run.total_dist - oracle_total).abs() < 1e-9,
+            "chain {} vs oracle {}",
+            run.total_dist,
+            oracle_total
+        );
+        assert_eq!(run.path.len(), 3);
+        assert!(run.tune_in() > 0);
+        assert!(run.access_time() > 0);
+    }
+
+    #[test]
+    fn two_channel_chain_equals_tnn() {
+        let layers = vec![cloud(70, 2), cloud(90, 11)];
+        let env = make_env(&layers, &[0, 41]);
+        let p = Point::new(100.0, 200.0);
+        let run = chain_tnn(&env, p, 0, AnnMode::Exact, false).unwrap();
+        let oracle = crate::exact_tnn(p, env.channel(0).tree(), env.channel(1).tree());
+        assert!((run.total_dist - oracle.dist).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_channel_is_rejected() {
+        let layers = vec![cloud(10, 0)];
+        let env = make_env(&layers, &[0]);
+        let err = chain_tnn(&env, Point::ORIGIN, 0, AnnMode::Exact, false).unwrap_err();
+        assert!(matches!(err, TnnError::WrongChannelCount { .. }));
+    }
+
+    #[test]
+    fn non_finite_query_rejected() {
+        let layers = vec![cloud(10, 0), cloud(10, 5)];
+        let env = make_env(&layers, &[0, 0]);
+        let err = chain_tnn(
+            &env,
+            Point::new(f64::NAN, 0.0),
+            0,
+            AnnMode::Exact,
+            false,
+        )
+        .unwrap_err();
+        assert_eq!(err, TnnError::NonFiniteQuery);
+    }
+
+    #[test]
+    fn ann_chain_still_exact_answer() {
+        let layers = vec![cloud(120, 1), cloud(100, 9), cloud(110, 23)];
+        let env = make_env(&layers, &[7, 3, 55]);
+        let p = Point::new(80.0, 120.0);
+        let exact = chain_tnn(&env, p, 0, AnnMode::Exact, false).unwrap();
+        let ann = chain_tnn(&env, p, 0, AnnMode::Dynamic { factor: 1.0 }, false).unwrap();
+        // The ANN radius can only grow, so the DP still sees the optimum.
+        assert!(ann.search_radius >= exact.search_radius - 1e-9);
+        assert!((ann.total_dist - exact.total_dist).abs() < 1e-9);
+    }
+}

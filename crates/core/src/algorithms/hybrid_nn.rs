@@ -1,0 +1,184 @@
+//! Hybrid-NN-Search (paper §4.2, Algorithm 2).
+//!
+//! Starts exactly like Double-NN (case 1: both searches from `p` in
+//! parallel). When one channel's search finishes while the other still
+//! runs, the survivor is re-targeted to shrink the search range:
+//!
+//! * **Case 2** — the `S` search finishes first with `s = p.NN(S)`: the
+//!   `R` search switches its query point from `p` to `s`, finding the
+//!   neighbor of `s` on the remaining portion of `R`'s tree.
+//! * **Case 3** — the `R` search finishes first with `r = p.NN(R)`: the
+//!   `S` search switches to the transitive metric, branch-and-bounding
+//!   with `MinTransDist` / `MinMaxTransDist` to find the `s ∈ S`
+//!   minimizing `dis(p, s) + dis(s, r)` on the remaining portion.
+//!
+//! Either way the estimate ends with a feasible pair `(s, r)` and radius
+//! `d = dis(p, s) + dis(s, r)`; delayed pruning (§4.2.4) guarantees the
+//! re-targeted search still has every candidate it needs.
+
+use super::{run_parallel, Estimate};
+use crate::task::NnSearchTask;
+use crate::{SearchMode, TnnConfig};
+use tnn_broadcast::MultiChannelEnv;
+use tnn_geom::Point;
+
+pub(crate) fn estimate(
+    env: &MultiChannelEnv,
+    p: Point,
+    issued_at: u64,
+    cfg: &TnnConfig,
+) -> Estimate {
+    let mut a = NnSearchTask::new(
+        env.channel(0),
+        SearchMode::Point { q: p },
+        cfg.ann[0],
+        issued_at,
+    );
+    let mut b = NnSearchTask::new(
+        env.channel(1),
+        SearchMode::Point { q: p },
+        cfg.ann[1],
+        issued_at,
+    );
+    run_parallel(&mut a, &mut b, |which, finished_best, at, other| {
+        match which {
+            // Case 2: S finished first — switch R's query point to s.
+            0 => {
+                if let Some((s_pt, _, _)) = finished_best {
+                    other.switch_query_point(s_pt, at);
+                }
+            }
+            // Case 3: R finished first — switch S to the transitive metric.
+            _ => {
+                if let Some((r_pt, _, _)) = finished_best {
+                    other.switch_to_transitive(p, r_pt, at);
+                }
+            }
+        }
+    });
+
+    let (s_pt, _, _) = a.best().expect("non-empty S");
+    let (r_pt, _, _) = b.best().expect("non-empty R");
+
+    Estimate {
+        radius: p.dist(s_pt) + s_pt.dist(r_pt),
+        tuners: [*a.tuner(), *b.tuner()],
+        end: a.now().max(b.now()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_query, Algorithm};
+    use std::sync::Arc;
+    use tnn_broadcast::BroadcastParams;
+    use tnn_rtree::{PackingAlgorithm, RTree};
+
+    fn env(s: &[Point], r: &[Point], phases: [u64; 2]) -> MultiChannelEnv {
+        let params = BroadcastParams::new(64);
+        let ts = RTree::build(s, params.rtree_params(), PackingAlgorithm::Str).unwrap();
+        let tr = RTree::build(r, params.rtree_params(), PackingAlgorithm::Str).unwrap();
+        MultiChannelEnv::new(vec![Arc::new(ts), Arc::new(tr)], params, &phases)
+    }
+
+    fn grid(n: usize, salt: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| Point::new(((i + salt) * 37 % 211) as f64, ((i + salt) * 53 % 223) as f64))
+            .collect()
+    }
+
+    #[test]
+    fn end_to_end_answer_is_exact_small_s() {
+        // Small S, large R → case 2 territory (S finishes first).
+        let s = grid(30, 1);
+        let r = grid(900, 9);
+        let e = env(&s, &r, [3, 55]);
+        for (px, py) in [(20.0, 20.0), (150.0, 100.0), (80.0, 210.0)] {
+            let p = Point::new(px, py);
+            let run = run_query(&e, p, 2, &TnnConfig::exact(Algorithm::HybridNn)).unwrap();
+            let got = run.answer.expect("hybrid never fails");
+            let oracle = crate::exact_tnn(p, e.channel(0).tree(), e.channel(1).tree());
+            assert!(
+                (got.dist - oracle.dist).abs() < 1e-9,
+                "case-2 query {p:?}: got {} expected {}",
+                got.dist,
+                oracle.dist
+            );
+        }
+    }
+
+    #[test]
+    fn end_to_end_answer_is_exact_small_r() {
+        // Large S, small R → case 3 territory (R finishes first).
+        let s = grid(900, 4);
+        let r = grid(30, 13);
+        let e = env(&s, &r, [21, 5]);
+        for (px, py) in [(10.0, 190.0), (130.0, 60.0)] {
+            let p = Point::new(px, py);
+            let run = run_query(&e, p, 7, &TnnConfig::exact(Algorithm::HybridNn)).unwrap();
+            let got = run.answer.expect("hybrid never fails");
+            let oracle = crate::exact_tnn(p, e.channel(0).tree(), e.channel(1).tree());
+            assert!(
+                (got.dist - oracle.dist).abs() < 1e-9,
+                "case-3 query {p:?}: got {} expected {}",
+                got.dist,
+                oracle.dist
+            );
+        }
+    }
+
+    #[test]
+    fn hybrid_and_double_have_same_access_pattern_start() {
+        // Both algorithms begin identically (case 1); their estimate
+        // phases start at the same root arrivals.
+        let s = grid(200, 0);
+        let r = grid(200, 3);
+        let e = env(&s, &r, [0, 9]);
+        let p = Point::new(100.0, 100.0);
+        let h = estimate(&e, p, 0, &TnnConfig::exact(Algorithm::HybridNn));
+        let d = super::super::double_nn::estimate(&e, p, 0, &TnnConfig::exact(Algorithm::DoubleNn));
+        // Same estimate end (the paper: "Double-NN and Hybrid-NN always
+        // have the same access time") — identical queues, possibly fewer
+        // downloads for hybrid after the switch, but the same last
+        // arrival governs both unless hybrid prunes the tail, in which
+        // case it can only end earlier.
+        assert!(h.end <= d.end);
+    }
+
+    #[test]
+    fn hybrid_radius_never_exceeds_double_radius_case3() {
+        // In case 3 hybrid minimizes the transitive distance over the
+        // remaining S-tree, which includes the whole tree when the switch
+        // happens at the root — its radius is then ≤ Double-NN's.
+        // (With partial progress the guarantee is heuristic; we check the
+        // strong small-R case where the switch fires immediately.)
+        let s = grid(900, 4);
+        let r = grid(12, 13);
+        let e = env(&s, &r, [50, 0]);
+        for (px, py) in [(30.0, 30.0), (170.0, 120.0), (60.0, 200.0)] {
+            let p = Point::new(px, py);
+            let h = estimate(&e, p, 0, &TnnConfig::exact(Algorithm::HybridNn)).radius;
+            let d = super::super::double_nn::estimate(&e, p, 0, &TnnConfig::exact(Algorithm::DoubleNn))
+                .radius;
+            assert!(h <= d + 1e-9, "hybrid {h} > double {d} at {p:?}");
+        }
+    }
+
+    #[test]
+    fn ann_configuration_still_returns_exact_answer() {
+        // ANN enlarges the radius but Theorem 1 keeps the answer exact.
+        let s = grid(300, 2);
+        let r = grid(250, 8);
+        let e = env(&s, &r, [7, 19]);
+        let p = Point::new(111.0, 99.0);
+        let cfg = TnnConfig::exact(Algorithm::HybridNn).with_ann(
+            crate::AnnMode::Dynamic { factor: 1.0 / 150.0 },
+            crate::AnnMode::Dynamic { factor: 1.0 / 150.0 },
+        );
+        let run = run_query(&e, p, 0, &cfg).unwrap();
+        let got = run.answer.unwrap();
+        let oracle = crate::exact_tnn(p, e.channel(0).tree(), e.channel(1).tree());
+        assert!((got.dist - oracle.dist).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,210 @@
+//! The four TNN query-processing algorithms and the chained-TNN
+//! extension.
+//!
+//! All share the estimate–filter skeleton of §3.1: an algorithm-specific
+//! **estimate** phase produces a search radius `d` (from a feasible pair,
+//! except for Approximate-TNN), then the common **filter** phase runs
+//! window queries over `circle(p, d)` on both channels in parallel, joins
+//! the candidates locally, and finally retrieves the answer objects' data
+//! pages.
+
+mod approximate;
+mod chain;
+mod double_nn;
+mod hybrid_nn;
+mod variants;
+mod window_based;
+
+pub use approximate::{approximate_radius, approximate_radius_for_env};
+pub use chain::{chain_tnn, ChainRun};
+pub use variants::{order_free_tnn, round_trip_join, round_trip_tnn, VariantRun, VisitOrder};
+
+use crate::task::{NnSearchTask, WindowQueryTask};
+use crate::{tnn_join, Algorithm, ChannelCost, TnnConfig, TnnError, TnnRun};
+use tnn_broadcast::{MultiChannelEnv, Tuner};
+use tnn_geom::{Circle, Point};
+use tnn_rtree::ObjectId;
+
+/// Executes one TNN query against a two-channel environment.
+///
+/// `issued_at` is the global slot at which the mobile client receives the
+/// query from its user; together with the channels' phases it determines
+/// all root-waiting times (the paper's "two random numbers").
+///
+/// # Errors
+/// [`TnnError::WrongChannelCount`] unless the environment has exactly two
+/// channels; [`TnnError::NonFiniteQuery`] for NaN/infinite query points.
+pub fn run_query(
+    env: &MultiChannelEnv,
+    p: Point,
+    issued_at: u64,
+    cfg: &TnnConfig,
+) -> Result<TnnRun, TnnError> {
+    if env.len() != 2 {
+        return Err(TnnError::WrongChannelCount {
+            needed: 2,
+            available: env.len(),
+        });
+    }
+    if !p.is_finite() {
+        return Err(TnnError::NonFiniteQuery);
+    }
+    let est = match cfg.algorithm {
+        Algorithm::WindowBased => window_based::estimate(env, p, issued_at, cfg),
+        Algorithm::ApproximateTnn => approximate::estimate(env, issued_at),
+        Algorithm::DoubleNn => double_nn::estimate(env, p, issued_at, cfg),
+        Algorithm::HybridNn => hybrid_nn::estimate(env, p, issued_at, cfg),
+    };
+    Ok(filter_and_finish(env, p, issued_at, est, cfg))
+}
+
+/// Result of an estimate phase: the filter radius plus cost accounting.
+pub(crate) struct Estimate {
+    /// Search radius `d` for the filter phase.
+    pub radius: f64,
+    /// Estimate-phase page accounting per channel.
+    pub tuners: [Tuner; 2],
+    /// Global slot at which the radius became known (the filter phase
+    /// starts here on both channels).
+    pub end: u64,
+}
+
+/// The common filter + retrieve tail shared by all four algorithms.
+pub(crate) fn filter_and_finish(
+    env: &MultiChannelEnv,
+    p: Point,
+    issued_at: u64,
+    est: Estimate,
+    cfg: &TnnConfig,
+) -> TnnRun {
+    // The search range is mathematically *closed*: the feasible pair that
+    // produced the radius lies exactly on its boundary. Pad by a few ULPs
+    // so sqrt/square rounding cannot exclude boundary candidates.
+    let range = Circle::new(p, est.radius * (1.0 + 4.0 * f64::EPSILON));
+
+    // Filter phase: window queries on both channels, in parallel (each has
+    // its own timeline starting at the estimate end).
+    let mut w0 = WindowQueryTask::new(env.channel(0), range, est.end);
+    let f0_end = w0.run_to_completion();
+    let mut w1 = WindowQueryTask::new(env.channel(1), range, est.end);
+    let f1_end = w1.run_to_completion();
+
+    let candidates = [w0.hits().len(), w1.hits().len()];
+    let answer = tnn_join(p, w0.hits(), w1.hits());
+
+    let mut channels = [
+        ChannelCost {
+            estimate_pages: est.tuners[0].pages,
+            filter_pages: w0.tuner().pages,
+            retrieve_pages: 0,
+            finish_time: est.tuners[0].finish_time.unwrap_or(issued_at).max(f0_end),
+        },
+        ChannelCost {
+            estimate_pages: est.tuners[1].pages,
+            filter_pages: w1.tuner().pages,
+            retrieve_pages: 0,
+            finish_time: est.tuners[1].finish_time.unwrap_or(issued_at).max(f1_end),
+        },
+    ];
+
+    // Retrieval phase: wake up when the answer objects' data pages are on
+    // air. The join is local computation, which the paper neglects, so
+    // retrieval starts as soon as both candidate streams are complete.
+    if cfg.retrieve_answer_objects {
+        if let Some(pair) = &answer {
+            let start = f0_end.max(f1_end);
+            let (done0, pages0) = env.channel(0).retrieve_object(pair.s.1, start);
+            let (done1, pages1) = env.channel(1).retrieve_object(pair.r.1, start);
+            channels[0].retrieve_pages = pages0;
+            channels[0].finish_time = channels[0].finish_time.max(done0);
+            channels[1].retrieve_pages = pages1;
+            channels[1].finish_time = channels[1].finish_time.max(done1);
+        }
+    }
+
+    let completed_at = channels[0]
+        .finish_time
+        .max(channels[1].finish_time)
+        .max(est.end);
+
+    TnnRun {
+        answer,
+        search_radius: est.radius,
+        issued_at,
+        estimate_end: est.end,
+        completed_at,
+        candidates,
+        channels,
+    }
+}
+
+/// Event loop running two NN search tasks concurrently in global time
+/// order, firing `on_completion(which, finished_best, at, other_task)`
+/// exactly once when one task finishes while the other is still running —
+/// the hook Hybrid-NN uses to re-target the surviving search. `at` is the
+/// finishing task's clock, the global time of the switch.
+///
+/// Channel 0 wins ties, making runs deterministic.
+pub(crate) fn run_parallel<'a, 'b>(
+    a: &mut NnSearchTask<'a>,
+    b: &mut NnSearchTask<'b>,
+    mut on_completion: impl FnMut(usize, Option<(Point, ObjectId, f64)>, u64, ParallelOther<'_, 'a, 'b>),
+) {
+    let mut fired = false;
+    loop {
+        match (a.next_arrival(), b.next_arrival()) {
+            (None, None) => break,
+            (Some(_), None) => {
+                a.step();
+            }
+            (None, Some(_)) => {
+                b.step();
+            }
+            (Some(x), Some(y)) => {
+                if x <= y {
+                    a.step();
+                } else {
+                    b.step();
+                }
+            }
+        }
+        if !fired {
+            if a.is_done() && !b.is_done() {
+                fired = true;
+                on_completion(0, a.best(), a.now(), ParallelOther::B(b));
+            } else if b.is_done() && !a.is_done() {
+                fired = true;
+                on_completion(1, b.best(), b.now(), ParallelOther::A(a));
+            }
+        }
+    }
+}
+
+/// The still-running task handed to the completion hook (the two tasks may
+/// borrow different channels, hence the two-lifetime wrapper).
+pub(crate) enum ParallelOther<'x, 'a, 'b> {
+    /// Task `a` is still running.
+    A(&'x mut NnSearchTask<'a>),
+    /// Task `b` is still running.
+    B(&'x mut NnSearchTask<'b>),
+}
+
+impl ParallelOther<'_, '_, '_> {
+    /// Hybrid case 2: re-target the surviving search to a new query point
+    /// at time `at`.
+    pub fn switch_query_point(self, q: Point, at: u64) {
+        match self {
+            ParallelOther::A(t) => t.switch_query_point(q, at),
+            ParallelOther::B(t) => t.switch_query_point(q, at),
+        }
+    }
+
+    /// Hybrid case 3: change the surviving search to the transitive
+    /// metric at time `at`.
+    pub fn switch_to_transitive(self, p: Point, r: Point, at: u64) {
+        match self {
+            ParallelOther::A(t) => t.switch_to_transitive(p, r, at),
+            ParallelOther::B(t) => t.switch_to_transitive(p, r, at),
+        }
+    }
+}

@@ -1,0 +1,448 @@
+//! TNN variants from the paper's future-work list (§7):
+//!
+//! * **Order-free TNN** (item 2: "the visiting order of the types of
+//!   objects of interest is not specified"): find the better of
+//!   `p → s → r` and `p → r → s`.
+//! * **Round-trip TNN** (item 3: "a complete travel route, which includes
+//!   the route to return to the source point"): minimize the loop
+//!   `dis(p, s) + dis(s, r) + dis(r, p)`.
+//!
+//! Both reuse the Double-NN estimate (parallel NN searches from `p` on
+//! both channels) and generalize Theorem 1:
+//!
+//! * order-free: the winning chain's total `T*` is at most the better
+//!   feasible chain through the two NNs, and every member of the optimal
+//!   chain lies within `T*` of `p` — so `circle(p, d)` with
+//!   `d = min(d_sr, d_rs)` suffices;
+//! * round-trip: for any loop through `x`, the triangle inequality gives
+//!   `2·dis(p, x) ≤ loop length`, so `circle(p, d/2)` with `d` the
+//!   feasible NN loop suffices.
+
+use super::run_parallel;
+use crate::task::{NnSearchTask, WindowQueryTask};
+use crate::{AnnMode, ChannelCost, SearchMode, TnnError, TnnPair};
+use serde::{Deserialize, Serialize};
+use tnn_broadcast::MultiChannelEnv;
+use tnn_geom::{Circle, Point};
+use tnn_rtree::ObjectId;
+
+/// Which dataset the order-free answer visits first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VisitOrder {
+    /// `p → s → r` (the plain TNN order).
+    SFirst,
+    /// `p → r → s` (the reversed order).
+    RFirst,
+}
+
+/// Outcome of an order-free or round-trip TNN query.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VariantRun {
+    /// The first stop: `(point, object, channel index)`.
+    pub first: (Point, ObjectId, usize),
+    /// The second stop: `(point, object, channel index)`.
+    pub second: (Point, ObjectId, usize),
+    /// Total length of the route (one-way for order-free, full loop for
+    /// round-trip).
+    pub total_dist: f64,
+    /// Filter radius used.
+    pub search_radius: f64,
+    /// Slot at which the query was issued.
+    pub issued_at: u64,
+    /// Slot at which the query finished.
+    pub completed_at: u64,
+    /// Per-channel costs.
+    pub channels: [ChannelCost; 2],
+}
+
+impl VariantRun {
+    /// Access time in slots.
+    pub fn access_time(&self) -> u64 {
+        self.completed_at - self.issued_at
+    }
+
+    /// Tune-in time in pages.
+    pub fn tune_in(&self) -> u64 {
+        self.channels.iter().map(|c| c.total_pages()).sum()
+    }
+
+    /// The visit order (which channel is first).
+    pub fn order(&self) -> VisitOrder {
+        if self.first.2 == 0 {
+            VisitOrder::SFirst
+        } else {
+            VisitOrder::RFirst
+        }
+    }
+}
+
+/// Shared estimate: parallel NN searches from `p` on both channels,
+/// returning the two NNs and the estimate costs.
+#[allow(clippy::type_complexity)]
+fn double_estimate(
+    env: &MultiChannelEnv,
+    p: Point,
+    issued_at: u64,
+    ann: AnnMode,
+) -> ((Point, ObjectId), (Point, ObjectId), [tnn_broadcast::Tuner; 2], u64) {
+    let mut a = NnSearchTask::new(env.channel(0), SearchMode::Point { q: p }, ann, issued_at);
+    let mut b = NnSearchTask::new(env.channel(1), SearchMode::Point { q: p }, ann, issued_at);
+    run_parallel(&mut a, &mut b, |_, _, _, _| {});
+    let (s_pt, s_id, _) = a.best().expect("non-empty S");
+    let (r_pt, r_id, _) = b.best().expect("non-empty R");
+    (
+        (s_pt, s_id),
+        (r_pt, r_id),
+        [*a.tuner(), *b.tuner()],
+        a.now().max(b.now()),
+    )
+}
+
+fn validate(env: &MultiChannelEnv, p: Point) -> Result<(), TnnError> {
+    if env.len() != 2 {
+        return Err(TnnError::WrongChannelCount {
+            needed: 2,
+            available: env.len(),
+        });
+    }
+    if !p.is_finite() {
+        return Err(TnnError::NonFiniteQuery);
+    }
+    Ok(())
+}
+
+/// Runs both filter windows and returns hits plus accounting.
+#[allow(clippy::type_complexity)]
+fn filter(
+    env: &MultiChannelEnv,
+    range: Circle,
+    start: u64,
+) -> (
+    Vec<(Point, ObjectId)>,
+    Vec<(Point, ObjectId)>,
+    [tnn_broadcast::Tuner; 2],
+    u64,
+) {
+    let mut w0 = WindowQueryTask::new(env.channel(0), range, start);
+    let f0 = w0.run_to_completion();
+    let mut w1 = WindowQueryTask::new(env.channel(1), range, start);
+    let f1 = w1.run_to_completion();
+    let tuners = [*w0.tuner(), *w1.tuner()];
+    (w0.into_hits(), w1.into_hits(), tuners, f0.max(f1))
+}
+
+#[allow(clippy::too_many_arguments)] // plain accounting glue, one value per field
+fn assemble(
+    env: &MultiChannelEnv,
+    issued_at: u64,
+    est_tuners: [tnn_broadcast::Tuner; 2],
+    est_end: u64,
+    filter_tuners: [tnn_broadcast::Tuner; 2],
+    filter_end: u64,
+    first: (Point, ObjectId, usize),
+    second: (Point, ObjectId, usize),
+    total_dist: f64,
+    search_radius: f64,
+    retrieve: bool,
+) -> VariantRun {
+    let mut channels = [ChannelCost::default(), ChannelCost::default()];
+    for k in 0..2 {
+        channels[k].estimate_pages = est_tuners[k].pages;
+        channels[k].filter_pages = filter_tuners[k].pages;
+        channels[k].finish_time = est_tuners[k]
+            .finish_time
+            .unwrap_or(issued_at)
+            .max(filter_tuners[k].finish_time.unwrap_or(issued_at))
+            .max(est_end);
+    }
+    if retrieve {
+        for &(_, object, ch) in &[first, second] {
+            let (done, pages) = env.channel(ch).retrieve_object(object, filter_end);
+            channels[ch].retrieve_pages += pages;
+            channels[ch].finish_time = channels[ch].finish_time.max(done);
+        }
+    }
+    let completed_at = channels[0]
+        .finish_time
+        .max(channels[1].finish_time)
+        .max(filter_end);
+    VariantRun {
+        first,
+        second,
+        total_dist,
+        search_radius,
+        issued_at,
+        completed_at,
+        channels,
+    }
+}
+
+/// Order-free TNN (future-work item 2): returns the shorter of the best
+/// `p → s → r` and the best `p → r → s` routes.
+///
+/// # Errors
+/// [`TnnError::WrongChannelCount`] / [`TnnError::NonFiniteQuery`] as for
+/// [`crate::run_query`].
+pub fn order_free_tnn(
+    env: &MultiChannelEnv,
+    p: Point,
+    issued_at: u64,
+    ann: AnnMode,
+    retrieve_answer_objects: bool,
+) -> Result<VariantRun, TnnError> {
+    validate(env, p)?;
+    let ((s_pt, _), (r_pt, _), est_tuners, est_end) = double_estimate(env, p, issued_at, ann);
+    // Feasible chains in both directions through the two NNs.
+    let d_sr = p.dist(s_pt) + s_pt.dist(r_pt);
+    let d_rs = p.dist(r_pt) + r_pt.dist(s_pt);
+    let radius = d_sr.min(d_rs);
+
+    let range = Circle::new(p, radius * (1.0 + 4.0 * f64::EPSILON));
+    let (s_hits, r_hits, filter_tuners, filter_end) = filter(env, range, est_end);
+
+    let forward = crate::tnn_join(p, &s_hits, &r_hits);
+    let backward = crate::tnn_join(p, &r_hits, &s_hits);
+    let (pair, order) = match (forward, backward) {
+        (Some(f), Some(b)) if b.dist < f.dist => (b, VisitOrder::RFirst),
+        (Some(f), _) => (f, VisitOrder::SFirst),
+        (None, Some(b)) => (b, VisitOrder::RFirst),
+        (None, None) => unreachable!("the estimate pair lies inside the range"),
+    };
+    let (first, second) = match order {
+        VisitOrder::SFirst => ((pair.s.0, pair.s.1, 0), (pair.r.0, pair.r.1, 1)),
+        VisitOrder::RFirst => ((pair.s.0, pair.s.1, 1), (pair.r.0, pair.r.1, 0)),
+    };
+    Ok(assemble(
+        env,
+        issued_at,
+        est_tuners,
+        est_end,
+        filter_tuners,
+        filter_end,
+        first,
+        second,
+        pair.dist,
+        radius,
+        retrieve_answer_objects,
+    ))
+}
+
+/// Round-trip TNN (future-work item 3): minimizes the closed tour
+/// `dis(p, s) + dis(s, r) + dis(r, p)` with `s ∈ S`, `r ∈ R`.
+///
+/// The filter uses `circle(p, d/2)`: any optimal-loop member `x`
+/// satisfies `2·dis(p, x) ≤ loop ≤ d` by the triangle inequality.
+///
+/// # Errors
+/// [`TnnError::WrongChannelCount`] / [`TnnError::NonFiniteQuery`] as for
+/// [`crate::run_query`].
+pub fn round_trip_tnn(
+    env: &MultiChannelEnv,
+    p: Point,
+    issued_at: u64,
+    ann: AnnMode,
+    retrieve_answer_objects: bool,
+) -> Result<VariantRun, TnnError> {
+    validate(env, p)?;
+    let ((s_pt, _), (r_pt, _), est_tuners, est_end) = double_estimate(env, p, issued_at, ann);
+    let d_loop = p.dist(s_pt) + s_pt.dist(r_pt) + r_pt.dist(p);
+
+    let range = Circle::new(p, d_loop * 0.5 * (1.0 + 4.0 * f64::EPSILON));
+    let (s_hits, r_hits, filter_tuners, filter_end) = filter(env, range, est_end);
+
+    let pair = round_trip_join(p, &s_hits, &r_hits)
+        .expect("the estimate pair lies inside the half-radius range");
+    Ok(assemble(
+        env,
+        issued_at,
+        est_tuners,
+        est_end,
+        filter_tuners,
+        filter_end,
+        (pair.s.0, pair.s.1, 0),
+        (pair.r.0, pair.r.1, 1),
+        pair.dist,
+        d_loop * 0.5,
+        retrieve_answer_objects,
+    ))
+}
+
+/// The round-trip join: minimum of `dis(p,s) + dis(s,r) + dis(r,p)` over
+/// the candidate sets, with early exit over `s` ordered by `dis(p, s)`
+/// (for any `r`, `dis(s,r) + dis(r,p) ≥ dis(s,p)`, so the loop through
+/// `s` is at least `2·dis(p,s)`).
+pub fn round_trip_join(
+    p: Point,
+    s_cands: &[(Point, ObjectId)],
+    r_cands: &[(Point, ObjectId)],
+) -> Option<TnnPair> {
+    if s_cands.is_empty() || r_cands.is_empty() {
+        return None;
+    }
+    let mut order: Vec<usize> = (0..s_cands.len()).collect();
+    order.sort_by(|&a, &b| p.dist_sq(s_cands[a].0).total_cmp(&p.dist_sq(s_cands[b].0)));
+    let mut best: Option<TnnPair> = None;
+    for &si in &order {
+        let (s_pt, s_id) = s_cands[si];
+        let d_ps = p.dist(s_pt);
+        if let Some(b) = &best {
+            if 2.0 * d_ps >= b.dist {
+                break;
+            }
+        }
+        for &(r_pt, r_id) in r_cands {
+            let loop_len = d_ps + s_pt.dist(r_pt) + r_pt.dist(p);
+            if best.as_ref().is_none_or(|b| loop_len < b.dist) {
+                best = Some(TnnPair {
+                    s: (s_pt, s_id),
+                    r: (r_pt, r_id),
+                    dist: loop_len,
+                });
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tnn_broadcast::BroadcastParams;
+    use tnn_rtree::{PackingAlgorithm, RTree};
+
+    fn env(s: &[Point], r: &[Point]) -> MultiChannelEnv {
+        let params = BroadcastParams::new(64);
+        let ts = RTree::build(s, params.rtree_params(), PackingAlgorithm::Str).unwrap();
+        let tr = RTree::build(r, params.rtree_params(), PackingAlgorithm::Str).unwrap();
+        MultiChannelEnv::new(vec![Arc::new(ts), Arc::new(tr)], params, &[13, 31])
+    }
+
+    fn cloud(n: usize, salt: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| Point::new(((i + salt) * 37 % 211) as f64, ((i + salt) * 53 % 223) as f64))
+            .collect()
+    }
+
+    #[test]
+    fn order_free_matches_brute_force() {
+        let s = cloud(90, 1);
+        let r = cloud(70, 8);
+        let e = env(&s, &r);
+        for (px, py) in [(10.0, 10.0), (120.0, 80.0), (200.0, 150.0)] {
+            let p = Point::new(px, py);
+            let run = order_free_tnn(&e, p, 0, AnnMode::Exact, false).unwrap();
+            let mut best = f64::INFINITY;
+            for &sp in &s {
+                for &rp in &r {
+                    best = best
+                        .min(p.dist(sp) + sp.dist(rp))
+                        .min(p.dist(rp) + rp.dist(sp));
+                }
+            }
+            assert!((run.total_dist - best).abs() < 1e-9, "query {p:?}");
+        }
+    }
+
+    #[test]
+    fn order_free_never_worse_than_fixed_order() {
+        let s = cloud(60, 2);
+        let r = cloud(80, 5);
+        let e = env(&s, &r);
+        let p = Point::new(77.0, 99.0);
+        let free = order_free_tnn(&e, p, 0, AnnMode::Exact, false).unwrap();
+        let fixed = crate::exact_tnn(p, e.channel(0).tree(), e.channel(1).tree());
+        assert!(free.total_dist <= fixed.dist + 1e-9);
+    }
+
+    #[test]
+    fn order_free_reports_consistent_order() {
+        // Put R's points very close to p and S far: visiting R first wins.
+        let s: Vec<Point> = (0..30).map(|i| Point::new(500.0 + i as f64, 500.0)).collect();
+        let r: Vec<Point> = (0..30).map(|i| Point::new(10.0 + i as f64, 10.0)).collect();
+        let e = env(&s, &r);
+        let p = Point::new(0.0, 0.0);
+        let run = order_free_tnn(&e, p, 0, AnnMode::Exact, false).unwrap();
+        assert_eq!(run.order(), VisitOrder::RFirst);
+        assert_eq!(run.first.2, 1);
+        assert_eq!(run.second.2, 0);
+    }
+
+    #[test]
+    fn round_trip_matches_brute_force() {
+        let s = cloud(70, 3);
+        let r = cloud(60, 11);
+        let e = env(&s, &r);
+        for (px, py) in [(30.0, 170.0), (150.0, 40.0)] {
+            let p = Point::new(px, py);
+            let run = round_trip_tnn(&e, p, 0, AnnMode::Exact, false).unwrap();
+            let mut best = f64::INFINITY;
+            for &sp in &s {
+                for &rp in &r {
+                    best = best.min(p.dist(sp) + sp.dist(rp) + rp.dist(p));
+                }
+            }
+            assert!((run.total_dist - best).abs() < 1e-9, "query {p:?}");
+        }
+    }
+
+    #[test]
+    fn round_trip_value_is_symmetric_in_dataset_roles() {
+        let s = cloud(50, 4);
+        let r = cloud(55, 9);
+        let p = Point::new(111.0, 55.0);
+        let run_sr = round_trip_tnn(&env(&s, &r), p, 0, AnnMode::Exact, false).unwrap();
+        let run_rs = round_trip_tnn(&env(&r, &s), p, 0, AnnMode::Exact, false).unwrap();
+        assert!((run_sr.total_dist - run_rs.total_dist).abs() < 1e-9);
+    }
+
+    #[test]
+    fn round_trip_is_at_least_one_way() {
+        let s = cloud(40, 6);
+        let r = cloud(45, 13);
+        let e = env(&s, &r);
+        let p = Point::new(60.0, 60.0);
+        let rt = round_trip_tnn(&e, p, 0, AnnMode::Exact, false).unwrap();
+        let ow = crate::exact_tnn(p, e.channel(0).tree(), e.channel(1).tree());
+        assert!(rt.total_dist >= ow.dist - 1e-9);
+    }
+
+    #[test]
+    fn variants_validate_inputs() {
+        let s = cloud(10, 0);
+        let e = env(&s, &s);
+        assert!(matches!(
+            order_free_tnn(&e, Point::new(f64::NAN, 0.0), 0, AnnMode::Exact, false),
+            Err(TnnError::NonFiniteQuery)
+        ));
+        assert!(matches!(
+            round_trip_tnn(&e, Point::new(0.0, f64::INFINITY), 0, AnnMode::Exact, false),
+            Err(TnnError::NonFiniteQuery)
+        ));
+    }
+
+    #[test]
+    fn variants_account_costs() {
+        let s = cloud(80, 7);
+        let r = cloud(90, 15);
+        let e = env(&s, &r);
+        let p = Point::new(100.0, 100.0);
+        let run = round_trip_tnn(&e, p, 5, AnnMode::Exact, true).unwrap();
+        assert!(run.tune_in() > 0);
+        assert!(run.access_time() > 0);
+        // Retrieval downloaded both objects' pages (16 each at 64 B).
+        assert_eq!(
+            run.channels[0].retrieve_pages + run.channels[1].retrieve_pages,
+            32
+        );
+    }
+
+    #[test]
+    fn round_trip_join_empty_sides() {
+        assert!(round_trip_join(Point::ORIGIN, &[], &[]).is_none());
+        let one = vec![(Point::new(1.0, 0.0), ObjectId(0))];
+        assert!(round_trip_join(Point::ORIGIN, &one, &[]).is_none());
+        let pair = round_trip_join(Point::ORIGIN, &one, &one).unwrap();
+        assert!((pair.dist - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,121 @@
+//! Window-Based-TNN-Search [19], adapted to the multi-channel
+//! environment (paper §3.1).
+//!
+//! Estimate phase — **sequential**: first find `s = p.NN(S)` on channel
+//! 1, then `r = s.NN(R)` on channel 2 (the second query cannot start
+//! before the first finishes, which is exactly the deficiency §3.2 calls
+//! out); radius `d = dis(p, s) + dis(s, r)`. The filter phase runs on
+//! both channels in parallel (the adaptation to simultaneous access).
+
+use super::Estimate;
+use crate::task::NnSearchTask;
+use crate::{SearchMode, TnnConfig};
+use tnn_broadcast::MultiChannelEnv;
+use tnn_geom::Point;
+
+pub(crate) fn estimate(
+    env: &MultiChannelEnv,
+    p: Point,
+    issued_at: u64,
+    cfg: &TnnConfig,
+) -> Estimate {
+    // First NN query: s = p.NN(S) on channel 0.
+    let mut nn1 = NnSearchTask::new(
+        env.channel(0),
+        SearchMode::Point { q: p },
+        cfg.ann[0],
+        issued_at,
+    );
+    let t1 = nn1.run_to_completion();
+    let (s_pt, _, _) = nn1
+        .best()
+        .expect("NN search over a non-empty tree always yields a point");
+
+    // Second NN query: r = s.NN(R) on channel 1, starting only after the
+    // first finished.
+    let mut nn2 = NnSearchTask::new(
+        env.channel(1),
+        SearchMode::Point { q: s_pt },
+        cfg.ann[1],
+        t1,
+    );
+    let t2 = nn2.run_to_completion();
+    let (r_pt, _, _) = nn2
+        .best()
+        .expect("NN search over a non-empty tree always yields a point");
+
+    Estimate {
+        radius: p.dist(s_pt) + s_pt.dist(r_pt),
+        tuners: [*nn1.tuner(), *nn2.tuner()],
+        end: t1.max(t2),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_query, Algorithm};
+    use std::sync::Arc;
+    use tnn_broadcast::BroadcastParams;
+    use tnn_rtree::{PackingAlgorithm, RTree};
+
+    fn env(s: &[Point], r: &[Point]) -> MultiChannelEnv {
+        let params = BroadcastParams::new(64);
+        let ts = RTree::build(s, params.rtree_params(), PackingAlgorithm::Str).unwrap();
+        let tr = RTree::build(r, params.rtree_params(), PackingAlgorithm::Str).unwrap();
+        MultiChannelEnv::new(vec![Arc::new(ts), Arc::new(tr)], params, &[5, 42])
+    }
+
+    fn grid(n: usize, salt: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| Point::new(((i + salt) * 37 % 211) as f64, ((i + salt) * 53 % 223) as f64))
+            .collect()
+    }
+
+    #[test]
+    fn radius_is_window_based_formula() {
+        let s = grid(120, 0);
+        let r = grid(150, 7);
+        let e = env(&s, &r);
+        let p = Point::new(100.0, 100.0);
+        let est = estimate(&e, p, 0, &TnnConfig::exact(Algorithm::WindowBased));
+        // s* = p's true NN in S; r* = s*'s true NN in R.
+        let s_star = s
+            .iter()
+            .min_by(|a, b| p.dist(**a).total_cmp(&p.dist(**b)))
+            .unwrap();
+        let r_star = r
+            .iter()
+            .min_by(|a, b| s_star.dist(**a).total_cmp(&s_star.dist(**b)))
+            .unwrap();
+        let expect = p.dist(*s_star) + s_star.dist(*r_star);
+        assert!((est.radius - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn second_search_starts_after_first() {
+        let s = grid(200, 0);
+        let r = grid(200, 3);
+        let e = env(&s, &r);
+        let p = Point::new(50.0, 60.0);
+        let est = estimate(&e, p, 11, &TnnConfig::exact(Algorithm::WindowBased));
+        // Channel 1's estimate pages can only have been downloaded after
+        // channel 0 finished; its tuner finish time must exceed channel
+        // 0's.
+        let f0 = est.tuners[0].finish_time.unwrap();
+        let f1 = est.tuners[1].finish_time.unwrap();
+        assert!(f1 > f0);
+    }
+
+    #[test]
+    fn end_to_end_answer_is_exact() {
+        let s = grid(150, 1);
+        let r = grid(180, 9);
+        let e = env(&s, &r);
+        let p = Point::new(120.0, 80.0);
+        let run = run_query(&e, p, 0, &TnnConfig::exact(Algorithm::WindowBased)).unwrap();
+        let got = run.answer.expect("window-based never fails");
+        let oracle = crate::exact_tnn(p, e.channel(0).tree(), e.channel(1).tree());
+        assert!((got.dist - oracle.dist).abs() < 1e-9);
+    }
+}

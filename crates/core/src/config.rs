@@ -1,0 +1,115 @@
+//! Query-execution configuration.
+
+use crate::AnnMode;
+use serde::{Deserialize, Serialize};
+
+/// The TNN query-processing algorithm to run (paper §3–§4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// Window-Based-TNN-Search \[19\], adapted to multi-channel: NN of `p`
+    /// in `S`, then NN of that `s` in `R` (sequential estimate), parallel
+    /// filter phase.
+    WindowBased,
+    /// Approximate-TNN-Search \[19\]: search radius computed from the
+    /// uniform-density formula (eq. 1); skips the estimate-phase index
+    /// searches entirely but may fail on skewed data.
+    ApproximateTnn,
+    /// Double-NN-Search (§4.1, Algorithm 1): both NN queries run from `p`
+    /// in parallel as soon as the roots appear.
+    DoubleNn,
+    /// Hybrid-NN-Search (§4.2, Algorithm 2): like Double-NN, but the
+    /// search finishing first re-targets the other (query-point switch or
+    /// transitive-metric switch) to shrink the search range.
+    HybridNn,
+}
+
+impl Algorithm {
+    /// All four algorithms, in the paper's presentation order.
+    pub const ALL: [Algorithm; 4] = [
+        Algorithm::WindowBased,
+        Algorithm::ApproximateTnn,
+        Algorithm::DoubleNn,
+        Algorithm::HybridNn,
+    ];
+
+    /// Short human-readable name (matches the paper's figure legends).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::WindowBased => "Window-Based-TNN",
+            Algorithm::ApproximateTnn => "Approximate-TNN",
+            Algorithm::DoubleNn => "Double-NN",
+            Algorithm::HybridNn => "Hybrid-NN",
+        }
+    }
+
+    /// `true` for the algorithms that always return the correct answer
+    /// (everything except Approximate-TNN, see Table 3).
+    pub fn is_exact(&self) -> bool {
+        !matches!(self, Algorithm::ApproximateTnn)
+    }
+}
+
+/// Full configuration of one TNN query execution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TnnConfig {
+    /// Which algorithm to run.
+    pub algorithm: Algorithm,
+    /// ANN pruning mode per channel (`ann[0]` for the `S` channel,
+    /// `ann[1]` for the `R` channel). [`AnnMode::Exact`] reproduces the
+    /// eNN behaviour of §6.1; the §6.2 experiments mix exact and dynamic
+    /// modes per dataset density.
+    pub ann: [AnnMode; 2],
+    /// When `true` (paper model), the client finally wakes up to download
+    /// the data pages of the two answer objects; their cost is included
+    /// in both metrics.
+    pub retrieve_answer_objects: bool,
+}
+
+impl TnnConfig {
+    /// Configuration for `algorithm` with exact (eNN) search everywhere
+    /// and final object retrieval on.
+    pub fn exact(algorithm: Algorithm) -> Self {
+        TnnConfig {
+            algorithm,
+            ann: [AnnMode::Exact; 2],
+            retrieve_answer_objects: true,
+        }
+    }
+
+    /// Same configuration with the given per-channel ANN modes.
+    pub fn with_ann(mut self, s_channel: AnnMode, r_channel: AnnMode) -> Self {
+        self.ann = [s_channel, r_channel];
+        self
+    }
+}
+
+impl Default for TnnConfig {
+    fn default() -> Self {
+        TnnConfig::exact(Algorithm::HybridNn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_exactness() {
+        assert_eq!(Algorithm::DoubleNn.name(), "Double-NN");
+        assert!(Algorithm::DoubleNn.is_exact());
+        assert!(Algorithm::WindowBased.is_exact());
+        assert!(Algorithm::HybridNn.is_exact());
+        assert!(!Algorithm::ApproximateTnn.is_exact());
+        assert_eq!(Algorithm::ALL.len(), 4);
+    }
+
+    #[test]
+    fn config_builders() {
+        let c = TnnConfig::exact(Algorithm::DoubleNn)
+            .with_ann(AnnMode::Exact, AnnMode::Dynamic { factor: 1.0 });
+        assert_eq!(c.algorithm, Algorithm::DoubleNn);
+        assert_eq!(c.ann[0], AnnMode::Exact);
+        assert_eq!(c.ann[1], AnnMode::Dynamic { factor: 1.0 });
+        assert!(c.retrieve_answer_objects);
+    }
+}

@@ -1,0 +1,47 @@
+//! Error type for TNN query execution.
+
+use std::fmt;
+
+/// Errors arising while executing a TNN query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TnnError {
+    /// The environment does not provide the number of channels the query
+    /// needs (two for plain TNN, `k` for chained TNN).
+    WrongChannelCount {
+        /// Channels required by the query.
+        needed: usize,
+        /// Channels available in the environment.
+        available: usize,
+    },
+    /// The query point has non-finite coordinates.
+    NonFiniteQuery,
+}
+
+impl fmt::Display for TnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TnnError::WrongChannelCount { needed, available } => write!(
+                f,
+                "query needs {needed} broadcast channels but the environment has {available}"
+            ),
+            TnnError::NonFiniteQuery => write!(f, "query point has non-finite coordinates"),
+        }
+    }
+}
+
+impl std::error::Error for TnnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = TnnError::WrongChannelCount {
+            needed: 2,
+            available: 1,
+        };
+        assert!(e.to_string().contains("2"));
+        assert!(TnnError::NonFiniteQuery.to_string().contains("non-finite"));
+    }
+}

@@ -1,0 +1,239 @@
+//! The filter-phase local join: find the minimum-transitive-distance pair
+//! among the retrieved candidates.
+//!
+//! The paper's Algorithm 1 (lines 7–17) is a bound-pruned nested loop; we
+//! keep that shape but accelerate the inner NN lookup with a small
+//! in-memory R-tree when the candidate sets are large (the join runs on
+//! the client from already-downloaded data, and the paper explicitly
+//! neglects its computational cost — this only keeps simulations fast).
+
+use crate::TnnPair;
+use tnn_geom::Point;
+use tnn_rtree::{ObjectId, PackingAlgorithm, RTree, RTreeParams};
+
+/// Candidate-set size beyond which the inner loop switches from a linear
+/// scan to an in-memory R-tree NN lookup.
+const INDEXED_JOIN_THRESHOLD: usize = 48;
+
+/// Finds the pair `(s, r)` minimizing `dis(p, s) + dis(s, r)` over the
+/// candidate sets, or `None` when either set is empty.
+///
+/// Ties are broken toward the pair encountered first with `s` ordered by
+/// ascending `dis(p, s)` — deterministic for deterministic inputs.
+pub fn tnn_join(
+    p: Point,
+    s_cands: &[(Point, ObjectId)],
+    r_cands: &[(Point, ObjectId)],
+) -> Option<TnnPair> {
+    if s_cands.is_empty() || r_cands.is_empty() {
+        return None;
+    }
+
+    // Visit s candidates in ascending dis(p, s): once dis(p, s) alone
+    // reaches the best total, no later s can win (Algorithm 1 line 8).
+    let mut order: Vec<usize> = (0..s_cands.len()).collect();
+    order.sort_by(|&a, &b| {
+        p.dist_sq(s_cands[a].0)
+            .total_cmp(&p.dist_sq(s_cands[b].0))
+    });
+
+    let r_index = if r_cands.len() > INDEXED_JOIN_THRESHOLD {
+        RTree::build_with_ids(r_cands, RTreeParams::new(8, 32), PackingAlgorithm::Str).ok()
+    } else {
+        None
+    };
+
+    let mut best: Option<TnnPair> = None;
+    for &si in &order {
+        let (s_pt, s_id) = s_cands[si];
+        let d_ps = p.dist(s_pt);
+        if let Some(b) = &best {
+            if d_ps >= b.dist {
+                break;
+            }
+        }
+        let (r_pt, r_id, d_sr) = match &r_index {
+            Some(index) => {
+                let nn = index
+                    .nearest_neighbor(s_pt)
+                    .expect("non-empty candidate index");
+                (nn.point, nn.object, nn.dist)
+            }
+            None => {
+                let mut nearest = (r_cands[0].0, r_cands[0].1, f64::INFINITY);
+                for &(r_pt, r_id) in r_cands {
+                    let d = s_pt.dist(r_pt);
+                    if d < nearest.2 {
+                        nearest = (r_pt, r_id, d);
+                    }
+                }
+                nearest
+            }
+        };
+        let total = d_ps + d_sr;
+        if best.as_ref().is_none_or(|b| total < b.dist) {
+            best = Some(TnnPair {
+                s: (s_pt, s_id),
+                r: (r_pt, r_id),
+                dist: total,
+            });
+        }
+    }
+    best
+}
+
+/// Chained-TNN join (the future-work generalization): given candidate
+/// layers `C₁ … C_k`, finds the chain `p → s₁ → … → s_k` with `sᵢ ∈ Cᵢ`
+/// of minimum total length, by dynamic programming backwards over the
+/// layers. Returns `None` when any layer is empty.
+pub fn chain_join(
+    p: Point,
+    layers: &[Vec<(Point, ObjectId)>],
+) -> Option<(Vec<(Point, ObjectId)>, f64)> {
+    if layers.is_empty() || layers.iter().any(|l| l.is_empty()) {
+        return None;
+    }
+    let k = layers.len();
+    // cost[i][j]: best length of the suffix starting at layer i's item j.
+    let mut cost: Vec<Vec<f64>> = layers.iter().map(|l| vec![0.0; l.len()]).collect();
+    let mut next: Vec<Vec<usize>> = layers.iter().map(|l| vec![0; l.len()]).collect();
+    for i in (0..k - 1).rev() {
+        for (j, &(pt, _)) in layers[i].iter().enumerate() {
+            let mut best = f64::INFINITY;
+            let mut arg = 0;
+            for (j2, &(pt2, _)) in layers[i + 1].iter().enumerate() {
+                let c = pt.dist(pt2) + cost[i + 1][j2];
+                if c < best {
+                    best = c;
+                    arg = j2;
+                }
+            }
+            cost[i][j] = best;
+            next[i][j] = arg;
+        }
+    }
+    // Head step from p into layer 0.
+    let (mut j, mut total) = (0usize, f64::INFINITY);
+    for (j0, &(pt, _)) in layers[0].iter().enumerate() {
+        let c = p.dist(pt) + cost[0][j0];
+        if c < total {
+            total = c;
+            j = j0;
+        }
+    }
+    let mut path = Vec::with_capacity(k);
+    for i in 0..k {
+        path.push(layers[i][j]);
+        if i + 1 < k {
+            j = next[i][j];
+        }
+    }
+    Some((path, total))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tnn_geom::transitive_dist;
+
+    fn pts(coords: &[(f64, f64)]) -> Vec<(Point, ObjectId)> {
+        coords
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| (Point::new(x, y), ObjectId(i as u32)))
+            .collect()
+    }
+
+    #[test]
+    fn join_matches_brute_force_small() {
+        let p = Point::new(0.0, 0.0);
+        let s = pts(&[(1.0, 0.0), (5.0, 5.0), (2.0, 2.0)]);
+        let r = pts(&[(1.0, 1.0), (10.0, 0.0), (3.0, 2.0)]);
+        let got = tnn_join(p, &s, &r).unwrap();
+        let mut best = f64::INFINITY;
+        for &(sp, _) in &s {
+            for &(rp, _) in &r {
+                best = best.min(transitive_dist(p, sp, rp));
+            }
+        }
+        assert!((got.dist - best).abs() < 1e-12);
+    }
+
+    #[test]
+    fn join_matches_brute_force_large_indexed_path() {
+        // More than INDEXED_JOIN_THRESHOLD r-candidates exercises the
+        // R-tree-accelerated inner loop.
+        let p = Point::new(50.0, 50.0);
+        let s: Vec<(Point, ObjectId)> = (0..80)
+            .map(|i| (Point::new((i * 13 % 97) as f64, (i * 7 % 89) as f64), ObjectId(i)))
+            .collect();
+        let r: Vec<(Point, ObjectId)> = (0..120)
+            .map(|i| (Point::new((i * 11 % 101) as f64, (i * 17 % 103) as f64), ObjectId(i)))
+            .collect();
+        let got = tnn_join(p, &s, &r).unwrap();
+        let mut best = f64::INFINITY;
+        for &(sp, _) in &s {
+            for &(rp, _) in &r {
+                best = best.min(transitive_dist(p, sp, rp));
+            }
+        }
+        assert!((got.dist - best).abs() < 1e-9);
+    }
+
+    #[test]
+    fn join_empty_side_is_none() {
+        let p = Point::ORIGIN;
+        let s = pts(&[(1.0, 1.0)]);
+        assert!(tnn_join(p, &s, &[]).is_none());
+        assert!(tnn_join(p, &[], &s).is_none());
+    }
+
+    #[test]
+    fn join_single_pair() {
+        let p = Point::ORIGIN;
+        let s = pts(&[(3.0, 4.0)]);
+        let r = pts(&[(3.0, 8.0)]);
+        let got = tnn_join(p, &s, &r).unwrap();
+        assert!((got.dist - 9.0).abs() < 1e-12);
+        assert_eq!(got.s.1, ObjectId(0));
+    }
+
+    #[test]
+    fn chain_join_two_layers_equals_tnn_join() {
+        let p = Point::new(1.0, 1.0);
+        let s = pts(&[(2.0, 1.0), (0.0, 5.0), (4.0, 4.0)]);
+        let r = pts(&[(2.0, 3.0), (9.0, 9.0)]);
+        let (path, total) = chain_join(p, &[s.clone(), r.clone()]).unwrap();
+        let pair = tnn_join(p, &s, &r).unwrap();
+        assert!((total - pair.dist).abs() < 1e-12);
+        assert_eq!(path.len(), 2);
+        assert_eq!(path[0].0, pair.s.0);
+        assert_eq!(path[1].0, pair.r.0);
+    }
+
+    #[test]
+    fn chain_join_three_layers_brute_force() {
+        let p = Point::ORIGIN;
+        let a = pts(&[(1.0, 0.0), (0.0, 2.0)]);
+        let b = pts(&[(2.0, 1.0), (3.0, 3.0), (1.0, 2.0)]);
+        let c = pts(&[(4.0, 0.0), (2.0, 4.0)]);
+        let (_, total) = chain_join(p, &[a.clone(), b.clone(), c.clone()]).unwrap();
+        let mut best = f64::INFINITY;
+        for &(ap, _) in &a {
+            for &(bp, _) in &b {
+                for &(cp, _) in &c {
+                    best = best.min(p.dist(ap) + ap.dist(bp) + bp.dist(cp));
+                }
+            }
+        }
+        assert!((total - best).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chain_join_empty_layer_is_none() {
+        let p = Point::ORIGIN;
+        let a = pts(&[(1.0, 0.0)]);
+        assert!(chain_join(p, &[a, vec![]]).is_none());
+        assert!(chain_join(p, &[]).is_none());
+    }
+}

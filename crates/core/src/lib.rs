@@ -1,0 +1,77 @@
+//! # tnn-core
+//!
+//! Transitive nearest-neighbor (TNN) query processing over multi-channel
+//! wireless broadcast — the primary contribution of *Zhang, Lee, Mitra,
+//! Zheng: Processing Transitive Nearest-Neighbor Queries in Multi-Channel
+//! Access Environments* (EDBT 2008).
+//!
+//! Given a query point `p` and two datasets `S`, `R` broadcast on two
+//! channels, a TNN query returns the pair `(s, r) ∈ S × R` minimizing the
+//! transitive distance `dis(p, s) + dis(s, r)`.
+//!
+//! ## Algorithms ([`Algorithm`])
+//!
+//! All follow the estimate–filter paradigm (§3.1): estimate a search
+//! radius `d` from a *feasible* pair so that `circle(p, d)` provably
+//! contains the answer (Theorem 1), then filter with window queries on
+//! both channels and a local join.
+//!
+//! * [`Algorithm::WindowBased`] — the single-channel baseline \[19\],
+//!   adapted: NN of `p` in `S`, then NN of `s` in `R` (sequential),
+//!   parallel filter.
+//! * [`Algorithm::ApproximateTnn`] — baseline \[19\]: radius from the
+//!   uniform-density estimate (eq. 1); no index search in the estimate
+//!   phase, but the answer is **not guaranteed** (fails on skewed data,
+//!   Table 3).
+//! * [`Algorithm::DoubleNn`] — new (§4.1): both NN searches run from `p`
+//!   **in parallel**; `d = dis(p, s) + dis(s, r)`.
+//! * [`Algorithm::HybridNn`] — new (§4.2): starts like Double-NN; when
+//!   one channel finishes first the other search is *re-targeted* —
+//!   either the query point switches to `s` (case 2) or the metric
+//!   switches to the transitive bounds `MinTransDist` /
+//!   `MinMaxTransDist` (case 3) — to shrink the search range.
+//!
+//! ## ANN optimization (§5, [`AnnMode`])
+//!
+//! The estimate-phase searches can trade exactness for energy with
+//! probabilistic pruning: a node is pruned when the overlap between its
+//! MBR and the current search region (circle, or transitive-distance
+//! ellipse) is at most an `α` fraction of the MBR area, with `α` scaled
+//! dynamically by node depth (eq. 4). The final TNN answer is *never*
+//! affected — only the filter radius grows (Theorem 1).
+//!
+//! ## Extensions (the paper's future-work list, §7)
+//!
+//! * [`chain_tnn`] — item 1: `k ≥ 2` datasets on `k` channels, visited
+//!   in category order;
+//! * [`order_free_tnn`] — item 2: the visiting order is not specified
+//!   (best of `p→s→r` and `p→r→s`);
+//! * [`round_trip_tnn`] — item 3: a complete tour returning to the
+//!   source (`dis(p,s) + dis(s,r) + dis(r,p)`).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+mod ann;
+mod config;
+mod error;
+mod exact;
+mod join;
+mod mode;
+mod result;
+
+pub mod algorithms;
+pub mod task;
+
+pub use ann::{dynamic_alpha, AnnMode};
+pub use config::{Algorithm, TnnConfig};
+pub use error::TnnError;
+pub use exact::{exact_chain_tnn, exact_tnn};
+pub use join::{chain_join, tnn_join};
+pub use mode::SearchMode;
+pub use result::{ChannelCost, Phase, TnnPair, TnnRun};
+
+pub use algorithms::{
+    approximate_radius, approximate_radius_for_env, chain_tnn, order_free_tnn, round_trip_tnn,
+    run_query, ChainRun, VariantRun, VisitOrder,
+};

@@ -1,0 +1,140 @@
+//! Query answers and cost accounting.
+
+use serde::{Deserialize, Serialize};
+use tnn_geom::Point;
+use tnn_rtree::ObjectId;
+
+/// The answer to a TNN query: the pair `(s, r)` and its transitive
+/// distance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TnnPair {
+    /// The intermediate stop: location and object id in `S`.
+    pub s: (Point, ObjectId),
+    /// The final stop: location and object id in `R`.
+    pub r: (Point, ObjectId),
+    /// `dis(p, s) + dis(s, r)`.
+    pub dist: f64,
+}
+
+/// The phases of the estimate–filter paradigm, for cost breakdowns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Phase {
+    /// Search-range estimation (the NN searches).
+    Estimate,
+    /// Candidate retrieval (the window queries).
+    Filter,
+    /// Final download of the two answer objects' data pages.
+    Retrieve,
+}
+
+/// Per-channel cost accounting for one query.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelCost {
+    /// Pages downloaded during the estimate phase.
+    pub estimate_pages: u64,
+    /// Pages downloaded during the filter phase.
+    pub filter_pages: u64,
+    /// Pages downloaded retrieving the answer object.
+    pub retrieve_pages: u64,
+    /// Completion slot of the last activity on this channel.
+    pub finish_time: u64,
+}
+
+impl ChannelCost {
+    /// Total pages downloaded on this channel (its tune-in time).
+    pub fn total_pages(&self) -> u64 {
+        self.estimate_pages + self.filter_pages + self.retrieve_pages
+    }
+}
+
+/// The outcome of one TNN query execution.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TnnRun {
+    /// The answer pair, or `None` when the algorithm failed to produce
+    /// one (only possible for Approximate-TNN on unlucky ranges).
+    pub answer: Option<TnnPair>,
+    /// The search radius `d` used by the filter phase.
+    pub search_radius: f64,
+    /// Slot at which the query was issued.
+    pub issued_at: u64,
+    /// Slot at which the estimate phase finished (equals `issued_at` for
+    /// Approximate-TNN, which computes its radius locally).
+    pub estimate_end: u64,
+    /// Slot at which the whole query finished (max over channels).
+    pub completed_at: u64,
+    /// Number of candidates retrieved by the filter phase from each
+    /// channel.
+    pub candidates: [usize; 2],
+    /// Per-channel cost breakdown.
+    pub channels: [ChannelCost; 2],
+}
+
+impl TnnRun {
+    /// **Access time** (paper metric): elapsed slots from query issue to
+    /// completion — "the larger of the access times in both channels".
+    pub fn access_time(&self) -> u64 {
+        self.completed_at - self.issued_at
+    }
+
+    /// **Tune-in time** (paper metric): total pages downloaded — "the sum
+    /// of two tune-in times in both channels".
+    pub fn tune_in(&self) -> u64 {
+        self.channels.iter().map(|c| c.total_pages()).sum()
+    }
+
+    /// Tune-in time of the estimate phase only (both channels).
+    pub fn tune_in_estimate(&self) -> u64 {
+        self.channels.iter().map(|c| c.estimate_pages).sum()
+    }
+
+    /// Tune-in time of the filter phase only (both channels).
+    pub fn tune_in_filter(&self) -> u64 {
+        self.channels.iter().map(|c| c.filter_pages).sum()
+    }
+
+    /// `true` when the algorithm produced no answer at all.
+    pub fn failed(&self) -> bool {
+        self.answer.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_run() -> TnnRun {
+        TnnRun {
+            answer: None,
+            search_radius: 10.0,
+            issued_at: 100,
+            estimate_end: 150,
+            completed_at: 260,
+            candidates: [3, 4],
+            channels: [
+                ChannelCost {
+                    estimate_pages: 5,
+                    filter_pages: 7,
+                    retrieve_pages: 16,
+                    finish_time: 260,
+                },
+                ChannelCost {
+                    estimate_pages: 2,
+                    filter_pages: 3,
+                    retrieve_pages: 16,
+                    finish_time: 250,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn metric_arithmetic() {
+        let run = sample_run();
+        assert_eq!(run.access_time(), 160);
+        assert_eq!(run.tune_in(), 5 + 7 + 16 + 2 + 3 + 16);
+        assert_eq!(run.tune_in_estimate(), 7);
+        assert_eq!(run.tune_in_filter(), 10);
+        assert!(run.failed());
+        assert_eq!(run.channels[0].total_pages(), 28);
+    }
+}

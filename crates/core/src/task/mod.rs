@@ -1,0 +1,14 @@
+//! Broadcast query tasks: arrival-ordered traversals of on-air R-trees.
+//!
+//! Random access is impossible on a broadcast channel, so every task keeps
+//! its candidate nodes in a queue ordered by **next arrival time** and
+//! processes them strictly in that order — the backtrack-free discipline
+//! the paper adopts in §2.2/§6 ("we maintain the priority queue of the
+//! candidate R-tree nodes according to their arrival time, so that
+//! backtracking is avoided").
+
+mod nn;
+mod window;
+
+pub use nn::NnSearchTask;
+pub use window::WindowQueryTask;

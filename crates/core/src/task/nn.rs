@@ -1,0 +1,600 @@
+//! The broadcast branch-and-bound search task: exact or approximate
+//! nearest-neighbor search over an on-air R-tree, in plain or transitive
+//! metric, with mid-flight re-targeting (the Hybrid-NN switches).
+//!
+//! ## Traversal discipline
+//!
+//! Candidates are processed strictly in **arrival order**. With the index
+//! laid out in preorder, every child follows its parent within the same
+//! index segment, so one search completes within a single segment pass —
+//! exactly why the paper broadcasts the tree depth-first.
+//!
+//! ## Delayed pruning (paper §4.2.4)
+//!
+//! All children of a visited node enter the queue; pruning is decided
+//! when an entry would be downloaded, with the bound *as of that moment*.
+//! Because the bound only changes when this task downloads a page (or is
+//! re-targeted), deciding right after each download is equivalent to
+//! deciding at pop time — with one exception: a Hybrid-NN **switch** can
+//! revive an entry that the old metric had condemned. Pruned entries are
+//! therefore *parked*, not dropped; a switch at time `t` re-examines every
+//! parked entry whose arrival is still in the future (arrival ≥ t) under
+//! the new metric, faithfully reproducing the paper's remedy ("the MBR
+//! which contains the answer to that new query may have been pruned …
+//! the algorithm delays the pruning process"). Parked and pruned entries
+//! cost neither pages nor time.
+//!
+//! ## Bound maintenance
+//!
+//! The upper bound is maintained "in the same way as in the exact NN
+//! search" (§5.1): from visited data points and the guaranteed
+//! `MinMaxDist` / `MinMaxTransDist` of seen child MBRs (§4.2.3, by the
+//! MBR face property). Guaranteed pruning compares `MinDist`-style lower
+//! bounds against it.
+//!
+//! In ANN mode the same bound sizes the probabilistic search region: an
+//! entry is additionally pruned when the overlap between its MBR and the
+//! circle (Heuristic 1) or transitive-distance ellipse (Heuristic 2) of
+//! the current bound is at most an `α` fraction of the MBR's area —
+//! i.e., when the (uniformity-estimated) probability that the node beats
+//! the bound is small. The MBR that produced the current bound is
+//! **preserved** ("the MBR which gives the latest upper bound has to be
+//! preserved and visited"), which guarantees an ANN search always
+//! reaches a real data point.
+
+use crate::{AnnMode, SearchMode};
+use tnn_broadcast::{Channel, Tuner};
+use tnn_geom::{Point, Rect};
+use tnn_rtree::{NodeId, ObjectId};
+
+/// One queued candidate node.
+#[derive(Debug, Clone, Copy)]
+struct QueueEntry {
+    arrival: u64,
+    node: NodeId,
+    mbr: Rect,
+}
+
+/// A broadcast nearest-neighbor search task on one channel.
+///
+/// Drive it with [`NnSearchTask::next_arrival`] / [`NnSearchTask::step`]
+/// from an event loop that interleaves tasks over multiple channels in
+/// global time order; re-target it with
+/// [`NnSearchTask::switch_query_point`] (Hybrid case 2) or
+/// [`NnSearchTask::switch_to_transitive`] (Hybrid case 3).
+#[derive(Debug)]
+pub struct NnSearchTask<'a> {
+    channel: &'a Channel,
+    mode: SearchMode,
+    ann: AnnMode,
+    queue: Vec<QueueEntry>,
+    /// Entries condemned by the current metric but kept for possible
+    /// revival by a re-targeting switch (delayed pruning, §4.2.4).
+    parked: Vec<QueueEntry>,
+    /// Best real data point seen so far, under the *current* mode.
+    best: Option<(Point, ObjectId)>,
+    /// Objective value of `best` (∞ when none).
+    best_value: f64,
+    /// Upper bound: a value guaranteed to be achieved by some data point
+    /// (from visited points and `MinMaxDist`-style bounds). Prunes
+    /// exactly in eNN mode and sizes the probabilistic region in ANN
+    /// mode.
+    upper: f64,
+    /// Queued node whose MBR set `upper` — preserved from ANN pruning so
+    /// the search always reaches a real point.
+    source: Option<NodeId>,
+    tuner: Tuner,
+    /// Task-local clock: advanced by downloads only.
+    now: u64,
+}
+
+impl<'a> NnSearchTask<'a> {
+    /// Starts a search on `channel` at global time `start`; the root is
+    /// queued at its next arrival.
+    pub fn new(channel: &'a Channel, mode: SearchMode, ann: AnnMode, start: u64) -> Self {
+        let root_arrival = channel.next_root_arrival(start);
+        NnSearchTask {
+            channel,
+            mode,
+            ann,
+            queue: vec![QueueEntry {
+                arrival: root_arrival,
+                node: NodeId::ROOT,
+                mbr: channel.tree().bounding_rect(),
+            }],
+            parked: Vec::new(),
+            best: None,
+            best_value: f64::INFINITY,
+            upper: f64::INFINITY,
+            source: None,
+            tuner: Tuner::new(),
+            now: start,
+        }
+    }
+
+    /// `true` when no downloadable candidates remain (the search result is
+    /// final unless a switch revives parked entries).
+    #[inline]
+    pub fn is_done(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Arrival time of the next candidate to download, or `None` when the
+    /// search is finished.
+    pub fn next_arrival(&self) -> Option<u64> {
+        self.queue.iter().map(|e| e.arrival).min()
+    }
+
+    /// The best data point found so far: `(point, object, objective)`.
+    pub fn best(&self) -> Option<(Point, ObjectId, f64)> {
+        self.best.map(|(p, o)| (p, o, self.best_value))
+    }
+
+    /// The current search mode.
+    pub fn mode(&self) -> SearchMode {
+        self.mode
+    }
+
+    /// Page accounting for this task.
+    pub fn tuner(&self) -> &Tuner {
+        &self.tuner
+    }
+
+    /// Task-local clock: the completion slot of the last download (or the
+    /// start time before any download). When the queue is empty this is
+    /// the task's finish time.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Peak number of MBR entries held at once (queued + parked) — the
+    /// client-memory figure the paper bounds by `(H−1)·(M−1)` in §4.2.4.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Downloads the next candidate node and processes it. Returns the
+    /// arrival slot handled, or `None` when already done.
+    pub fn step(&mut self) -> Option<u64> {
+        let idx = self
+            .queue
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| e.arrival)
+            .map(|(i, _)| i)?;
+        let entry = self.queue.swap_remove(idx);
+        self.now = entry.arrival + 1;
+        self.tuner.download(entry.arrival);
+
+        let node = self.channel.node(entry.node);
+        if let Some(children) = node.children() {
+            // Bound updates from the guaranteed MinMaxDist-style bound of
+            // every child MBR (paper §4.2.3); the child that sets the
+            // bound becomes the preserved anchor.
+            for c in children {
+                let safe = self.mode.safe_upper(&c.mbr);
+                if safe < self.upper {
+                    self.upper = safe;
+                    self.source = Some(c.child);
+                }
+            }
+            // Preservation chain: if this node anchored the estimate and
+            // no child tightened it, re-anchor to the most promising
+            // child so the search provably reaches a data point.
+            if self.source == Some(entry.node) {
+                let best_child = children
+                    .iter()
+                    .min_by(|a, b| {
+                        self.mode
+                            .lower_bound(&a.mbr)
+                            .total_cmp(&self.mode.lower_bound(&b.mbr))
+                    })
+                    .expect("packed nodes are non-empty");
+                self.source = Some(best_child.child);
+            }
+            // Delayed pruning: queue *all* children; purging below (and
+            // after every later download) filters with the then-current
+            // bound, parking — not dropping — the condemned ones.
+            for c in children {
+                let arrival = self.channel.next_node_arrival(c.child, self.now);
+                self.queue.push(QueueEntry {
+                    arrival,
+                    node: c.child,
+                    mbr: c.mbr,
+                });
+            }
+        } else if let Some(points) = node.points() {
+            for e in points {
+                let v = self.mode.point_objective(e.point);
+                if v < self.best_value {
+                    self.best = Some((e.point, e.object));
+                    self.best_value = v;
+                }
+                if v < self.upper {
+                    self.upper = v;
+                    self.source = None;
+                }
+            }
+            if self.source == Some(entry.node) {
+                // The anchored leaf has been inspected; real points now
+                // back the search (best is non-empty).
+                self.source = None;
+            }
+        }
+
+        self.purge();
+        Some(entry.arrival)
+    }
+
+    /// Runs the task to completion, returning its finish time. Only
+    /// useful when no other task needs interleaving (e.g. Window-Based's
+    /// sequential NN queries).
+    pub fn run_to_completion(&mut self) -> u64 {
+        while self.step().is_some() {}
+        self.now
+    }
+
+    /// Hybrid-NN **case 2** (paper §4.2.2–§4.2.3): the other channel's NN
+    /// search finished first (at time `at`) with result `s`; re-target
+    /// this search to find the nearest neighbor of `s` on the *remaining
+    /// portion* of this channel's R-tree.
+    ///
+    /// The temporary result (if any) is re-evaluated under the new query
+    /// point, and the smallest `MinDist` among the queued MBRs seeds the
+    /// bound ("the smallest MinDist is used to update the upper bound"),
+    /// with that MBR preserved.
+    pub fn switch_query_point(&mut self, new_q: Point, at: u64) {
+        self.mode = SearchMode::Point { q: new_q };
+        self.rebase_after_switch(at);
+    }
+
+    /// Hybrid-NN **case 3** (paper §4.2.3, Algorithm 2): the other
+    /// channel finished first (at time `at`) with result `r`; change this
+    /// search's metric to the transitive distance through `p` and `r`,
+    /// using `MinTransDist` for pruning and `MinMaxTransDist` for the
+    /// guaranteed initial bound over the queued MBRs.
+    pub fn switch_to_transitive(&mut self, p: Point, r: Point, at: u64) {
+        self.mode = SearchMode::Transitive { p, r };
+        self.rebase_after_switch(at);
+    }
+
+    /// Shared re-targeting logic: revive parked entries that are still in
+    /// the future, re-evaluate the temporary result, seed the bound from
+    /// the queued MBRs, re-purge under the new metric.
+    fn rebase_after_switch(&mut self, at: u64) {
+        // Delayed pruning, realized: entries condemned by the *old*
+        // metric whose pages have not yet been broadcast are candidates
+        // again; entries whose arrival already passed were definitively
+        // decided under the old metric (pop-time semantics).
+        let revivable = self.parked.extract_if(.., |e| e.arrival >= at);
+        let mut revived: Vec<QueueEntry> = revivable.collect();
+        self.queue.append(&mut revived);
+        self.parked.clear();
+
+        self.best_value = match self.best {
+            Some((pt, _)) => self.mode.point_objective(pt),
+            None => f64::INFINITY,
+        };
+        self.upper = self.best_value;
+        self.source = None;
+        // Initial bound update over the queue (paper §4.2.3): seed with
+        // the guaranteed achievable bound of the queued MBRs — case 3's
+        // text names MinMaxTransDist explicitly; we use the symmetric
+        // MinMaxDist for case 2. (The case-2 paragraph literally says
+        // "MinDist", but MinDist is a lower bound — seeding the bound
+        // with it degenerates the remaining search into a blind greedy
+        // descent whenever the switch fires near the root, which
+        // contradicts the reported behaviour; the face-property bound is
+        // the sound reading.)
+        let mut anchor: Option<(NodeId, f64)> = None;
+        for e in &self.queue {
+            let safe = self.mode.safe_upper(&e.mbr);
+            if anchor.is_none_or(|(_, b)| safe < b) {
+                anchor = Some((e.node, safe));
+            }
+        }
+        if let Some((node, bound)) = anchor {
+            if bound < self.upper {
+                self.upper = bound;
+                self.source = Some(node);
+            } else if self.best.is_none() {
+                // Keep a live anchor even when the bound did not improve,
+                // so the re-targeted search still reaches a real point.
+                self.source = Some(node);
+            }
+        }
+        self.purge();
+    }
+
+    /// Parks every queued entry that is provably (exact) or probably
+    /// (ANN) useless under the current bound; the preserved anchor is
+    /// exempt. Parked entries cost no pages and no time, and remain
+    /// revivable by a later switch.
+    fn purge(&mut self) {
+        let mode = self.mode;
+        let upper = self.upper;
+        let ann = self.ann;
+        let source = self.source;
+        let tree = self.channel.tree();
+        let height = tree.height();
+        let condemned = self.queue.extract_if(.., |e| {
+            if Some(e.node) == source {
+                return false;
+            }
+            // Guaranteed pruning (eNN rule).
+            if mode.lower_bound(&e.mbr) > upper {
+                return true;
+            }
+            // Probabilistic pruning against the bound's search region
+            // (Heuristics 1 & 2).
+            if ann.is_approximate() {
+                let ratio = mode.overlap_ratio(&e.mbr, upper);
+                if ann.prunes(ratio, tree.depth_of(e.node), height) {
+                    return true;
+                }
+            }
+            false
+        });
+        self.parked.extend(condemned);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tnn_broadcast::BroadcastParams;
+    use tnn_rtree::{PackingAlgorithm, RTree};
+
+    fn channel(pts: &[Point], phase: u64) -> Channel {
+        let params = BroadcastParams::new(64);
+        let tree = RTree::build(pts, params.rtree_params(), PackingAlgorithm::Str).unwrap();
+        Channel::new(Arc::new(tree), params, phase)
+    }
+
+    fn grid(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| Point::new((i * 37 % 211) as f64, (i * 53 % 223) as f64))
+            .collect()
+    }
+
+    #[test]
+    fn exact_search_finds_true_nn() {
+        let pts = grid(300);
+        let ch = channel(&pts, 17);
+        for q in [
+            Point::new(0.0, 0.0),
+            Point::new(105.0, 111.0),
+            Point::new(-50.0, 300.0),
+        ] {
+            let mut task = NnSearchTask::new(&ch, SearchMode::Point { q }, AnnMode::Exact, 5);
+            task.run_to_completion();
+            let (_, _, got) = task.best().expect("search finds a point");
+            let brute = pts.iter().map(|p| q.dist(*p)).fold(f64::INFINITY, f64::min);
+            assert!((got - brute).abs() < 1e-9, "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn exact_transitive_search_finds_true_min() {
+        let pts = grid(250);
+        let ch = channel(&pts, 3);
+        let p = Point::new(10.0, 20.0);
+        let r = Point::new(180.0, 150.0);
+        let mut task =
+            NnSearchTask::new(&ch, SearchMode::Transitive { p, r }, AnnMode::Exact, 0);
+        task.run_to_completion();
+        let (_, _, got) = task.best().unwrap();
+        let brute = pts
+            .iter()
+            .map(|s| p.dist(*s) + s.dist(r))
+            .fold(f64::INFINITY, f64::min);
+        assert!((got - brute).abs() < 1e-9);
+    }
+
+    #[test]
+    fn search_downloads_fewer_pages_than_full_index() {
+        let pts = grid(500);
+        let ch = channel(&pts, 0);
+        let q = Point::new(100.0, 100.0);
+        let mut task = NnSearchTask::new(&ch, SearchMode::Point { q }, AnnMode::Exact, 0);
+        task.run_to_completion();
+        assert!(task.tuner().pages < ch.tree().num_nodes() as u64 / 2);
+    }
+
+    #[test]
+    fn search_completes_within_one_index_segment() {
+        // Preorder layout: a search never waits for the next bucket.
+        let pts = grid(400);
+        let ch = channel(&pts, 29);
+        let q = Point::new(55.0, 77.0);
+        let start = 123;
+        let mut task = NnSearchTask::new(&ch, SearchMode::Point { q }, AnnMode::Exact, start);
+        let finish = task.run_to_completion();
+        let root_arrival = ch.next_root_arrival(start);
+        assert!(finish <= root_arrival + ch.layout().index_len() + 1);
+    }
+
+    #[test]
+    fn ann_search_returns_a_real_point() {
+        let pts = grid(400);
+        let ch = channel(&pts, 7);
+        let q = Point::new(100.0, 100.0);
+        for factor in [0.25, 1.0, 4.0] {
+            let mut task = NnSearchTask::new(
+                &ch,
+                SearchMode::Point { q },
+                AnnMode::Dynamic { factor },
+                0,
+            );
+            task.run_to_completion();
+            let (pt, _, v) = task.best().expect("ANN must still find a point");
+            assert!((q.dist(pt) - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ann_never_downloads_more_than_exact() {
+        let pts = grid(600);
+        let ch = channel(&pts, 0);
+        let q = Point::new(160.0, 40.0);
+        let mut exact = NnSearchTask::new(&ch, SearchMode::Point { q }, AnnMode::Exact, 0);
+        exact.run_to_completion();
+        let mut ann = NnSearchTask::new(
+            &ch,
+            SearchMode::Point { q },
+            AnnMode::Dynamic { factor: 1.0 },
+            0,
+        );
+        ann.run_to_completion();
+        assert!(ann.tuner().pages <= exact.tuner().pages);
+        // And the approximate answer can only be farther.
+        let (_, _, ve) = exact.best().unwrap();
+        let (_, _, va) = ann.best().unwrap();
+        assert!(va >= ve - 1e-9);
+    }
+
+    #[test]
+    fn switch_query_point_mid_search() {
+        let pts = grid(300);
+        let ch = channel(&pts, 11);
+        let p = Point::new(0.0, 0.0);
+        let s = Point::new(150.0, 180.0);
+        let mut task = NnSearchTask::new(&ch, SearchMode::Point { q: p }, AnnMode::Exact, 0);
+        // Let it make some progress, then re-target.
+        for _ in 0..3 {
+            task.step();
+        }
+        let at = task.now();
+        task.switch_query_point(s, at);
+        task.run_to_completion();
+        let (pt, _, v) = task.best().expect("re-targeted search finds a point");
+        assert!((s.dist(pt) - v).abs() < 1e-9);
+        // The result is feasible (a real dataset point), though possibly
+        // only the NN of the *remaining* portion.
+        assert!(pts.contains(&pt));
+    }
+
+    #[test]
+    fn switch_to_transitive_mid_search() {
+        let pts = grid(300);
+        let ch = channel(&pts, 11);
+        let p = Point::new(20.0, 30.0);
+        let r = Point::new(190.0, 10.0);
+        let mut task = NnSearchTask::new(&ch, SearchMode::Point { q: p }, AnnMode::Exact, 0);
+        for _ in 0..2 {
+            task.step();
+        }
+        let at = task.now();
+        task.switch_to_transitive(p, r, at);
+        task.run_to_completion();
+        let (pt, _, v) = task.best().expect("transitive search finds a point");
+        assert!((p.dist(pt) + pt.dist(r) - v).abs() < 1e-9);
+        assert!(pts.contains(&pt));
+    }
+
+    #[test]
+    fn switch_revives_parked_entries_still_in_future() {
+        // Build a search whose first metric parks far-away nodes, then
+        // re-target so that a parked node holds the new optimum: the
+        // revived entry must be visited and the true new NN found, as
+        // long as the switch happens at the task's own clock (all parked
+        // arrivals are then still in the future — preorder guarantees
+        // descendants of unvisited subtrees broadcast later).
+        let mut pts = grid(200);
+        // A lone far-away point that a p-centred search will park early.
+        pts.push(Point::new(5_000.0, 5_000.0));
+        let ch = channel(&pts, 0);
+        let p = Point::new(0.0, 0.0);
+        let mut task = NnSearchTask::new(&ch, SearchMode::Point { q: p }, AnnMode::Exact, 0);
+        // Progress until the NN of p is essentially settled.
+        for _ in 0..6 {
+            task.step();
+        }
+        let at = task.now();
+        // Re-target to the far corner: only the parked outlier is close.
+        task.switch_query_point(Point::new(5_100.0, 5_100.0), at);
+        task.run_to_completion();
+        let (pt, _, _) = task.best().unwrap();
+        assert_eq!(
+            pt,
+            Point::new(5_000.0, 5_000.0),
+            "revival must reach the parked outlier"
+        );
+    }
+
+    #[test]
+    fn switch_immediately_after_start_is_safe() {
+        let pts = grid(100);
+        let ch = channel(&pts, 0);
+        let p = Point::new(5.0, 5.0);
+        let mut task = NnSearchTask::new(&ch, SearchMode::Point { q: p }, AnnMode::Exact, 0);
+        // No steps yet — queue holds only the root.
+        task.switch_to_transitive(p, Point::new(100.0, 100.0), 0);
+        task.run_to_completion();
+        assert!(task.best().is_some());
+    }
+
+    #[test]
+    fn single_point_dataset() {
+        let pts = vec![Point::new(42.0, 17.0)];
+        let ch = channel(&pts, 0);
+        let q = Point::new(0.0, 0.0);
+        let mut task = NnSearchTask::new(&ch, SearchMode::Point { q }, AnnMode::Exact, 0);
+        task.run_to_completion();
+        let (pt, _, v) = task.best().unwrap();
+        assert_eq!(pt, Point::new(42.0, 17.0));
+        assert!((v - q.dist(pt)).abs() < 1e-12);
+        assert_eq!(task.tuner().pages, 1); // the root is the only node
+    }
+
+    #[test]
+    fn arrivals_are_nondecreasing() {
+        let pts = grid(500);
+        let ch = channel(&pts, 31);
+        let q = Point::new(33.0, 44.0);
+        let mut task = NnSearchTask::new(&ch, SearchMode::Point { q }, AnnMode::Exact, 9);
+        let mut last = 0;
+        while let Some(a) = task.step() {
+            assert!(a >= last, "arrival order violated");
+            last = a;
+        }
+    }
+
+    #[test]
+    fn fixed_alpha_mode_works() {
+        let pts = grid(400);
+        let ch = channel(&pts, 0);
+        let q = Point::new(100.0, 100.0);
+        let mut task = NnSearchTask::new(
+            &ch,
+            SearchMode::Point { q },
+            AnnMode::Fixed { alpha: 0.5 },
+            0,
+        );
+        task.run_to_completion();
+        assert!(task.best().is_some());
+    }
+
+    #[test]
+    fn queue_stays_within_paper_memory_bound() {
+        // §4.2.4: worst-case queue size (H − 1) × (M − 1) … with delayed
+        // pruning the *downloadable* queue stays small; check a generous
+        // multiple to catch pathological growth.
+        let pts = grid(1000);
+        let ch = channel(&pts, 0);
+        let q = Point::new(120.0, 120.0);
+        let mut task = NnSearchTask::new(&ch, SearchMode::Point { q }, AnnMode::Exact, 0);
+        let h = ch.tree().height() as usize;
+        let m = ch.tree().params().fanout;
+        let mut peak = 0;
+        while task.step().is_some() {
+            peak = peak.max(task.queue_len());
+        }
+        assert!(
+            peak <= 2 * (h - 1) * (m - 1) + m + 1,
+            "peak queue {peak} vs paper bound {}",
+            (h - 1) * (m - 1)
+        );
+    }
+}

@@ -1,0 +1,188 @@
+//! The filter-phase window query: retrieve every object inside the search
+//! range `circle(p, d)` from an on-air R-tree, in arrival order.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use tnn_broadcast::{Channel, Tuner};
+use tnn_geom::{Circle, Point};
+use tnn_rtree::{NodeId, ObjectId};
+
+/// One queued candidate node (its MBR already intersects the range).
+/// Ordered by arrival; node id breaks ties deterministically.
+type QueueEntry = Reverse<(u64, u32)>;
+
+/// A broadcast range (window) query over a circular search range.
+///
+/// Children whose MBR misses the circle are skipped at their parent —
+/// range predicates are static, so there is nothing to gain from delayed
+/// pruning here.
+#[derive(Debug)]
+pub struct WindowQueryTask<'a> {
+    channel: &'a Channel,
+    range: Circle,
+    queue: BinaryHeap<QueueEntry>,
+    hits: Vec<(Point, ObjectId)>,
+    tuner: Tuner,
+    now: u64,
+}
+
+impl<'a> WindowQueryTask<'a> {
+    /// Starts a window query on `channel` at global time `start`.
+    pub fn new(channel: &'a Channel, range: Circle, start: u64) -> Self {
+        let root_arrival = channel.next_root_arrival(start);
+        let mut queue = BinaryHeap::new();
+        // The root is only worth downloading if the range touches the
+        // dataset at all.
+        if range.intersects_rect(&channel.tree().bounding_rect()) {
+            queue.push(Reverse((root_arrival, NodeId::ROOT.0)));
+        }
+        WindowQueryTask {
+            channel,
+            range,
+            queue,
+            hits: Vec::new(),
+            tuner: Tuner::new(),
+            now: start,
+        }
+    }
+
+    /// `true` when traversal has finished.
+    #[inline]
+    pub fn is_done(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Arrival of the next node to download.
+    pub fn next_arrival(&self) -> Option<u64> {
+        self.queue.peek().map(|Reverse((arrival, _))| *arrival)
+    }
+
+    /// Objects found inside the range so far.
+    pub fn hits(&self) -> &[(Point, ObjectId)] {
+        &self.hits
+    }
+
+    /// Consumes the task, returning the collected hits.
+    pub fn into_hits(self) -> Vec<(Point, ObjectId)> {
+        self.hits
+    }
+
+    /// Page accounting.
+    pub fn tuner(&self) -> &Tuner {
+        &self.tuner
+    }
+
+    /// Task-local clock (finish time once done).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Downloads and processes the next candidate node.
+    pub fn step(&mut self) -> Option<u64> {
+        let Reverse((arrival, node_id)) = self.queue.pop()?;
+        self.now = arrival + 1;
+        self.tuner.download(arrival);
+
+        let node = self.channel.node(NodeId(node_id));
+        if let Some(children) = node.children() {
+            for c in children {
+                if self.range.intersects_rect(&c.mbr) {
+                    let child_arrival = self.channel.next_node_arrival(c.child, self.now);
+                    self.queue.push(Reverse((child_arrival, c.child.0)));
+                }
+            }
+        } else if let Some(points) = node.points() {
+            for e in points {
+                if self.range.contains(e.point) {
+                    self.hits.push((e.point, e.object));
+                }
+            }
+        }
+        Some(arrival)
+    }
+
+    /// Runs to completion; returns the finish time.
+    pub fn run_to_completion(&mut self) -> u64 {
+        while self.step().is_some() {}
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tnn_broadcast::BroadcastParams;
+    use tnn_rtree::{PackingAlgorithm, RTree};
+
+    fn channel(pts: &[Point], phase: u64) -> Channel {
+        let params = BroadcastParams::new(64);
+        let tree = RTree::build(pts, params.rtree_params(), PackingAlgorithm::Str).unwrap();
+        Channel::new(Arc::new(tree), params, phase)
+    }
+
+    fn grid(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| Point::new((i % 20) as f64 * 10.0, (i / 20) as f64 * 10.0))
+            .collect()
+    }
+
+    #[test]
+    fn window_query_matches_direct_filter() {
+        let pts = grid(400);
+        let ch = channel(&pts, 13);
+        let range = Circle::new(Point::new(95.0, 95.0), 42.0);
+        let mut task = WindowQueryTask::new(&ch, range, 7);
+        task.run_to_completion();
+        let expect: usize = pts.iter().filter(|p| range.contains(**p)).count();
+        assert_eq!(task.hits().len(), expect);
+        assert!(task.hits().iter().all(|&(p, _)| range.contains(p)));
+    }
+
+    #[test]
+    fn empty_range_downloads_nothing() {
+        let pts = grid(100);
+        let ch = channel(&pts, 0);
+        let range = Circle::new(Point::new(-5000.0, -5000.0), 10.0);
+        let mut task = WindowQueryTask::new(&ch, range, 0);
+        task.run_to_completion();
+        assert_eq!(task.hits().len(), 0);
+        // The root MBR check avoids even the root download.
+        assert_eq!(task.tuner().pages, 0);
+        assert_eq!(task.now(), 0);
+    }
+
+    #[test]
+    fn window_completes_within_one_segment() {
+        let pts = grid(400);
+        let ch = channel(&pts, 5);
+        let range = Circle::new(Point::new(50.0, 50.0), 60.0);
+        let start = 999;
+        let mut task = WindowQueryTask::new(&ch, range, start);
+        let finish = task.run_to_completion();
+        let root = ch.next_root_arrival(start);
+        assert!(finish <= root + ch.layout().index_len() + 1);
+    }
+
+    #[test]
+    fn zero_radius_range_finds_exact_point() {
+        let pts = grid(100);
+        let ch = channel(&pts, 0);
+        let range = Circle::new(Point::new(30.0, 20.0), 0.0);
+        let mut task = WindowQueryTask::new(&ch, range, 0);
+        task.run_to_completion();
+        assert_eq!(task.hits().len(), 1);
+        assert_eq!(task.hits()[0].0, Point::new(30.0, 20.0));
+    }
+
+    #[test]
+    fn into_hits_returns_collected() {
+        let pts = grid(50);
+        let ch = channel(&pts, 0);
+        let range = Circle::new(Point::new(0.0, 0.0), 25.0);
+        let mut task = WindowQueryTask::new(&ch, range, 0);
+        task.run_to_completion();
+        let n = task.hits().len();
+        assert_eq!(task.into_hits().len(), n);
+    }
+}

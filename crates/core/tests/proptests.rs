@@ -1,0 +1,192 @@
+//! Property tests for TNN query processing: every exact algorithm must
+//! return the true optimum on arbitrary datasets, phases and query
+//! points; ANN pruning must never change the final answer (Theorem 1);
+//! and the cost accounting must satisfy basic sanity laws.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use tnn_broadcast::{BroadcastParams, MultiChannelEnv};
+use tnn_core::{exact_tnn, run_query, Algorithm, AnnMode, TnnConfig};
+use tnn_geom::Point;
+use tnn_rtree::{PackingAlgorithm, RTree};
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    s: Vec<Point>,
+    r: Vec<Point>,
+    phases: [u64; 2],
+    page: usize,
+    query: Point,
+    issued_at: u64,
+}
+
+fn scenario_strategy() -> impl Strategy<Value = Scenario> {
+    let pts = |max: usize| {
+        prop::collection::vec(
+            (0.0f64..1000.0, 0.0f64..1000.0).prop_map(|(x, y)| Point::new(x, y)),
+            1..max,
+        )
+    };
+    (
+        pts(250),
+        pts(250),
+        (0u64..100_000, 0u64..100_000),
+        prop::sample::select(vec![64usize, 128]),
+        (-200.0f64..1200.0, -200.0f64..1200.0),
+        0u64..50_000,
+    )
+        .prop_map(|(s, r, (ph0, ph1), page, (qx, qy), issued_at)| Scenario {
+            s,
+            r,
+            phases: [ph0, ph1],
+            page,
+            query: Point::new(qx, qy),
+            issued_at,
+        })
+}
+
+fn build_env(sc: &Scenario) -> MultiChannelEnv {
+    let params = BroadcastParams::new(sc.page);
+    let ts = RTree::build(&sc.s, params.rtree_params(), PackingAlgorithm::Str).unwrap();
+    let tr = RTree::build(&sc.r, params.rtree_params(), PackingAlgorithm::Str).unwrap();
+    MultiChannelEnv::new(vec![Arc::new(ts), Arc::new(tr)], params, &sc.phases)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Window-Based, Double-NN and Hybrid-NN always return the exact TNN.
+    #[test]
+    fn exact_algorithms_match_oracle(sc in scenario_strategy()) {
+        let env = build_env(&sc);
+        let oracle = exact_tnn(sc.query, env.channel(0).tree(), env.channel(1).tree());
+        for alg in [Algorithm::WindowBased, Algorithm::DoubleNn, Algorithm::HybridNn] {
+            let run = run_query(&env, sc.query, sc.issued_at, &TnnConfig::exact(alg)).unwrap();
+            let got = run.answer.unwrap_or_else(|| panic!("{} failed", alg.name()));
+            prop_assert!(
+                (got.dist - oracle.dist).abs() < 1e-9,
+                "{}: got {} expected {}",
+                alg.name(), got.dist, oracle.dist
+            );
+        }
+    }
+
+    /// ANN pruning never changes the answer of the exact algorithms
+    /// (Theorem 1: the enlarged radius still contains the optimum).
+    #[test]
+    fn ann_preserves_answers(sc in scenario_strategy(), factor in 0.01f64..4.0) {
+        let env = build_env(&sc);
+        let oracle = exact_tnn(sc.query, env.channel(0).tree(), env.channel(1).tree());
+        for alg in [Algorithm::WindowBased, Algorithm::DoubleNn, Algorithm::HybridNn] {
+            let cfg = TnnConfig::exact(alg)
+                .with_ann(AnnMode::Dynamic { factor }, AnnMode::Dynamic { factor });
+            let run = run_query(&env, sc.query, sc.issued_at, &cfg).unwrap();
+            let got = run.answer.unwrap();
+            prop_assert!(
+                (got.dist - oracle.dist).abs() < 1e-9,
+                "{} + ANN({factor}): got {} expected {}",
+                alg.name(), got.dist, oracle.dist
+            );
+        }
+    }
+
+    /// The reported answer pair always realizes the reported distance;
+    /// both members lie inside the search circle; and for the exact
+    /// algorithms (whose radius comes from a feasible pair) the answer's
+    /// transitive distance never exceeds the radius.
+    #[test]
+    fn answers_are_internally_consistent(sc in scenario_strategy()) {
+        let env = build_env(&sc);
+        for alg in Algorithm::ALL {
+            let run = run_query(&env, sc.query, sc.issued_at, &TnnConfig::exact(alg)).unwrap();
+            if let Some(pair) = &run.answer {
+                let recomputed = sc.query.dist(pair.s.0) + pair.s.0.dist(pair.r.0);
+                prop_assert!((recomputed - pair.dist).abs() < 1e-9);
+                // Theorem 1: candidates are drawn from circle(p, d).
+                prop_assert!(sc.query.dist(pair.s.0) <= run.search_radius + 1e-9);
+                prop_assert!(sc.query.dist(pair.r.0) <= run.search_radius + 1e-9);
+                if alg.is_exact() {
+                    prop_assert!(pair.dist <= run.search_radius + 1e-9,
+                        "{}: answer {} outside radius {}", alg.name(), pair.dist, run.search_radius);
+                }
+            }
+        }
+    }
+
+    /// Cost-accounting laws: completion after issue, estimate before
+    /// completion, phase page sums equal channel totals, access time
+    /// covers the estimate phase.
+    #[test]
+    fn cost_accounting_laws(sc in scenario_strategy()) {
+        let env = build_env(&sc);
+        for alg in Algorithm::ALL {
+            let run = run_query(&env, sc.query, sc.issued_at, &TnnConfig::exact(alg)).unwrap();
+            prop_assert!(run.issued_at == sc.issued_at);
+            prop_assert!(run.estimate_end >= run.issued_at);
+            prop_assert!(run.completed_at >= run.estimate_end);
+            let per_channel: u64 = run.channels.iter().map(|c| c.total_pages()).sum();
+            prop_assert_eq!(per_channel, run.tune_in());
+            prop_assert!(run.access_time() >= run.estimate_end - run.issued_at);
+            // Exact algorithms always answer.
+            if alg.is_exact() {
+                prop_assert!(run.answer.is_some());
+            }
+        }
+    }
+
+    /// Channel phases never affect the *answer* (only the costs).
+    #[test]
+    fn phases_do_not_change_answers(
+        sc in scenario_strategy(),
+        alt_phases in (0u64..100_000, 0u64..100_000),
+    ) {
+        let env_a = build_env(&sc);
+        let mut sc_b = sc.clone();
+        sc_b.phases = [alt_phases.0, alt_phases.1];
+        let env_b = build_env(&sc_b);
+        for alg in [Algorithm::WindowBased, Algorithm::DoubleNn] {
+            let run_a = run_query(&env_a, sc.query, sc.issued_at, &TnnConfig::exact(alg)).unwrap();
+            let run_b = run_query(&env_b, sc.query, sc.issued_at, &TnnConfig::exact(alg)).unwrap();
+            let (a, b) = (run_a.answer.unwrap(), run_b.answer.unwrap());
+            prop_assert!((a.dist - b.dist).abs() < 1e-9, "{}", alg.name());
+        }
+    }
+
+    /// Approximate-TNN never downloads estimate pages, starts its filter
+    /// phase immediately, and any answer it gives is built from
+    /// candidates inside its circle.
+    #[test]
+    fn approximate_tnn_properties(sc in scenario_strategy()) {
+        let env = build_env(&sc);
+        let run = run_query(&env, sc.query, sc.issued_at,
+            &TnnConfig::exact(Algorithm::ApproximateTnn)).unwrap();
+        prop_assert_eq!(run.tune_in_estimate(), 0);
+        prop_assert_eq!(run.estimate_end, sc.issued_at);
+        if let Some(pair) = &run.answer {
+            prop_assert!(sc.query.dist(pair.s.0) <= run.search_radius + 1e-9);
+            prop_assert!(sc.query.dist(pair.r.0) <= run.search_radius + 1e-9);
+        }
+    }
+
+    /// Hybrid-NN's filter radius never exceeds Double-NN's in case-3
+    /// situations where R is tiny (the switch fires at once), matching
+    /// §6.1.2's tune-in analysis.
+    #[test]
+    fn hybrid_radius_bounded_by_double_when_r_tiny(
+        s in prop::collection::vec(
+            (0.0f64..1000.0, 0.0f64..1000.0).prop_map(|(x, y)| Point::new(x, y)), 200..400),
+        r in prop::collection::vec(
+            (0.0f64..1000.0, 0.0f64..1000.0).prop_map(|(x, y)| Point::new(x, y)), 1..5),
+        qx in 0.0f64..1000.0,
+        qy in 0.0f64..1000.0,
+    ) {
+        let sc = Scenario {
+            s, r, phases: [11, 3], page: 64,
+            query: Point::new(qx, qy), issued_at: 0,
+        };
+        let env = build_env(&sc);
+        let hybrid = run_query(&env, sc.query, 0, &TnnConfig::exact(Algorithm::HybridNn)).unwrap();
+        let double = run_query(&env, sc.query, 0, &TnnConfig::exact(Algorithm::DoubleNn)).unwrap();
+        prop_assert!(hybrid.search_radius <= double.search_radius + 1e-9);
+    }
+}

@@ -1,0 +1,90 @@
+//! The evaluation regions of the paper and dataset rescaling.
+
+use tnn_geom::{Point, Rect};
+
+/// Side length of the paper's synthetic/CITY region (39,000 × 39,000).
+pub const PAPER_SIDE: f64 = 39_000.0;
+
+/// Side length of the paper's POST region (1,000,000 × 1,000,000).
+pub const POST_SIDE: f64 = 1_000_000.0;
+
+/// The common evaluation region: `[0, 39000]²`.
+pub fn paper_region() -> Rect {
+    Rect::from_coords(0.0, 0.0, PAPER_SIDE, PAPER_SIDE)
+}
+
+/// The native POST region: `[0, 1000000]²`.
+pub fn post_region() -> Rect {
+    Rect::from_coords(0.0, 0.0, POST_SIDE, POST_SIDE)
+}
+
+/// Affinely rescales points from one region onto another — the paper's
+/// "when datasets with different areas are used, they are scaled to the
+/// same area".
+pub fn scale_points(points: &[Point], from: &Rect, to: &Rect) -> Vec<Point> {
+    let sx = if from.width() > 0.0 {
+        to.width() / from.width()
+    } else {
+        0.0
+    };
+    let sy = if from.height() > 0.0 {
+        to.height() / from.height()
+    } else {
+        0.0
+    };
+    points
+        .iter()
+        .map(|p| {
+            Point::new(
+                to.min.x + (p.x - from.min.x) * sx,
+                to.min.y + (p.y - from.min.y) * sy,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_have_expected_extent() {
+        assert_eq!(paper_region().width(), 39_000.0);
+        assert_eq!(post_region().area(), 1e12);
+    }
+
+    #[test]
+    fn scaling_maps_corners_to_corners() {
+        let from = post_region();
+        let to = paper_region();
+        let scaled = scale_points(
+            &[
+                Point::new(0.0, 0.0),
+                Point::new(POST_SIDE, POST_SIDE),
+                Point::new(POST_SIDE / 2.0, 0.0),
+            ],
+            &from,
+            &to,
+        );
+        assert_eq!(scaled[0], Point::new(0.0, 0.0));
+        assert_eq!(scaled[1], Point::new(PAPER_SIDE, PAPER_SIDE));
+        assert_eq!(scaled[2], Point::new(PAPER_SIDE / 2.0, 0.0));
+    }
+
+    #[test]
+    fn scaling_preserves_relative_positions() {
+        let from = Rect::from_coords(10.0, 10.0, 20.0, 30.0);
+        let to = Rect::from_coords(0.0, 0.0, 1.0, 1.0);
+        let scaled = scale_points(&[Point::new(15.0, 20.0)], &from, &to);
+        assert_eq!(scaled[0], Point::new(0.5, 0.5));
+    }
+
+    #[test]
+    fn degenerate_source_region_collapses() {
+        let from = Rect::from_coords(5.0, 5.0, 5.0, 9.0);
+        let to = paper_region();
+        let scaled = scale_points(&[Point::new(5.0, 7.0)], &from, &to);
+        assert_eq!(scaled[0].x, 0.0);
+        assert_eq!(scaled[0].y, PAPER_SIDE / 2.0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Uniformly distributed synthetic datasets: the `UNIF(e)` density family
+//! and the 2,000-step size family of §6.
+
+use crate::paper_region;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tnn_geom::{Point, Rect};
+
+/// The eight density exponents of the paper's first synthetic family:
+/// densities `10^e` points per unit area for
+/// `e ∈ {−7.0, −6.6, −6.2, −5.8, −5.4, −5.0, −4.6, −4.2}`, yielding
+/// 152 … 95,969 points over the 39,000² region.
+pub const UNIF_EXPONENTS: [f64; 8] = [-7.0, -6.6, -6.2, -5.8, -5.4, -5.0, -4.6, -4.2];
+
+/// The paper's second synthetic family: sizes 2,000 … 32,000 in steps of
+/// 2,000 ("16 datasets having sizes ranging from 2,000 to 30,000 with
+/// 2,000 increment" — the text says 16 datasets, so the range is taken
+/// inclusive of 32,000).
+pub const SIZE_FAMILY: [usize; 16] = [
+    2_000, 4_000, 6_000, 8_000, 10_000, 12_000, 14_000, 16_000, 18_000, 20_000, 22_000, 24_000,
+    26_000, 28_000, 30_000, 32_000,
+];
+
+/// Number of points a density of `10^exponent` implies over `region`
+/// (rounded to the nearest integer). For the paper region this reproduces
+/// the sizes quoted in §6: `unif_size(-7.0) == 152`,
+/// `unif_size(-4.2) == 95_969`, etc.
+pub fn unif_size(exponent: f64, region: &Rect) -> usize {
+    (10f64.powf(exponent) * region.area()).round() as usize
+}
+
+/// `n` points uniformly distributed over `region`, deterministic in
+/// `seed`.
+pub fn uniform_points(n: usize, region: &Rect, seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            Point::new(
+                rng.gen_range(region.min.x..=region.max.x),
+                rng.gen_range(region.min.y..=region.max.y),
+            )
+        })
+        .collect()
+}
+
+/// The `UNIF(e)` dataset: uniform points of density `10^exponent` over the
+/// paper region. Different seeds give the independent "first" and
+/// "second" dataset families of §6.
+pub fn unif(exponent: f64, seed: u64) -> Vec<Point> {
+    let region = paper_region();
+    uniform_points(unif_size(exponent, &region), &region, seed)
+}
+
+/// A size-family dataset: `n` uniform points over the paper region.
+pub fn size_family(n: usize, seed: u64) -> Vec<Point> {
+    uniform_points(n, &paper_region(), seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unif_sizes_match_paper_quotes() {
+        let region = paper_region();
+        let expect = [152, 382, 960, 2_411, 6_055, 15_210, 38_206, 95_969];
+        for (e, want) in UNIF_EXPONENTS.iter().zip(expect) {
+            assert_eq!(unif_size(*e, &region), want, "exponent {e}");
+        }
+    }
+
+    #[test]
+    fn points_stay_in_region() {
+        let region = paper_region();
+        for p in uniform_points(5_000, &region, 42) {
+            assert!(region.contains(p));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = unif(-6.2, 7);
+        let b = unif(-6.2, 7);
+        assert_eq!(a, b);
+        let c = unif(-6.2, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn size_family_has_requested_sizes() {
+        assert_eq!(SIZE_FAMILY.len(), 16);
+        assert_eq!(size_family(2_000, 1).len(), 2_000);
+        assert_eq!(size_family(32_000, 1).len(), 32_000);
+    }
+
+    #[test]
+    fn uniformity_rough_check() {
+        // Quarter the region; each quadrant should hold ~25% of the points.
+        let region = paper_region();
+        let pts = uniform_points(40_000, &region, 3);
+        let half = PAPER_SIDE_HALF;
+        let q1 = pts.iter().filter(|p| p.x < half && p.y < half).count();
+        let frac = q1 as f64 / 40_000.0;
+        assert!((frac - 0.25).abs() < 0.02, "quadrant fraction {frac}");
+    }
+
+    const PAPER_SIDE_HALF: f64 = crate::PAPER_SIDE / 2.0;
+}

@@ -1,0 +1,302 @@
+//! Exact overlap areas between circles/ellipses and rectangles, backing the
+//! approximate-NN pruning heuristics of the paper's §5.1:
+//!
+//! * **Heuristic 1 (circle–rectangle):** prune an R-tree node when the area
+//!   of `MBR ∩ circle(p, upper_bound)` is at most `α · area(MBR)`;
+//! * **Heuristic 2 (ellipse–rectangle):** the same with the transitive-
+//!   distance ellipse (foci `p`, `r`, major axis `upper_bound`).
+//!
+//! Both reduce to the exact area of intersection between a circle and a
+//! convex polygon, computed by clipping each polygon edge against the
+//! circle and summing signed triangle and circular-sector contributions
+//! (Green's-theorem decomposition). The ellipse case is mapped onto the
+//! unit circle by the affine transform of [`Ellipse::to_unit_circle`],
+//! which turns the rectangle into a (still convex) parallelogram and
+//! scales all areas by `1 / (a·b)`.
+
+use crate::{Circle, Ellipse, Point, Rect};
+
+/// Exact area of `circle ∩ rect` (both treated as filled regions).
+pub fn circle_rect_overlap_area(circle: &Circle, rect: &Rect) -> f64 {
+    circle_polygon_overlap_area(circle, &rect.corners())
+}
+
+/// Exact area of `ellipse ∩ rect`. Zero for empty or degenerate ellipses.
+pub fn ellipse_rect_overlap_area(ellipse: &Ellipse, rect: &Rect) -> f64 {
+    let Some(map) = ellipse.to_unit_circle() else {
+        return 0.0;
+    };
+    // Affine image of the rectangle: a convex parallelogram with the same
+    // orientation (the map's determinant is positive).
+    let quad = rect.corners().map(|c| map.apply(c));
+    let unit = Circle::new(Point::ORIGIN, 1.0);
+    circle_polygon_overlap_area(&unit, &quad) * map.ab
+}
+
+/// Exact area of the intersection of a circle and a **convex polygon**
+/// given in counter-clockwise order.
+///
+/// Decomposes the polygon into signed triangles `(center, vᵢ, vᵢ₊₁)` and
+/// clips each against the circle: portions of an edge inside the circle
+/// contribute triangle area, portions outside contribute circular sectors.
+/// The result is exact up to floating-point rounding.
+pub fn circle_polygon_overlap_area(circle: &Circle, polygon: &[Point]) -> f64 {
+    let n = polygon.len();
+    if n < 3 || circle.radius <= 0.0 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for i in 0..n {
+        let a = polygon[i] - circle.center;
+        let b = polygon[(i + 1) % n] - circle.center;
+        total += clipped_triangle_area(circle.radius, a, b);
+    }
+    // A ccw polygon accumulates positive area; guard against tiny negative
+    // rounding residue.
+    total.max(0.0)
+}
+
+/// Signed area of `circle(O, r) ∩ triangle(O, a, b)` with `a`, `b` given
+/// relative to the circle center `O`.
+fn clipped_triangle_area(r: f64, a: Point, b: Point) -> f64 {
+    let cross = a.cross(b);
+    if cross == 0.0 {
+        return 0.0; // degenerate triangle contributes nothing
+    }
+    let r2 = r * r;
+    let a_in = a.dot(a) <= r2;
+    let b_in = b.dot(b) <= r2;
+    if a_in && b_in {
+        return cross * 0.5;
+    }
+    // Intersect the segment a→b with the circle: |a + t·(b−a)|² = r².
+    let d = b - a;
+    let qa = d.dot(d);
+    let qb = 2.0 * a.dot(d);
+    let qc = a.dot(a) - r2;
+    let disc = qb * qb - 4.0 * qa * qc;
+    if disc <= 0.0 || qa == 0.0 {
+        // The chord misses the segment entirely: the whole wedge is the
+        // circular sector between directions a and b.
+        return sector_area(r, a, b);
+    }
+    let sqrt_disc = disc.sqrt();
+    let t1 = (-qb - sqrt_disc) / (2.0 * qa);
+    let t2 = (-qb + sqrt_disc) / (2.0 * qa);
+    if t2 <= 0.0 || t1 >= 1.0 {
+        // Intersections fall outside the segment span: all outside.
+        return sector_area(r, a, b);
+    }
+    let t1c = t1.clamp(0.0, 1.0);
+    let t2c = t2.clamp(0.0, 1.0);
+    let p1 = a + d * t1c;
+    let p2 = a + d * t2c;
+    // [0, t1c): outside (sector), [t1c, t2c]: inside (triangle),
+    // (t2c, 1]: outside (sector). Degenerate pieces have zero angle/area.
+    sector_area(r, a, p1) + p1.cross(p2) * 0.5 + sector_area(r, p2, b)
+}
+
+/// Signed circular-sector area swept from direction `a` to direction `b`
+/// (angle measured via `atan2`, in `(−π, π]`; triangle wedges at the center
+/// always subtend less than π).
+#[inline]
+fn sector_area(r: f64, a: Point, b: Point) -> f64 {
+    let ang = a.cross(b).atan2(a.dot(b));
+    0.5 * r * r * ang
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    const EPS: f64 = 1e-9;
+
+    #[test]
+    fn rect_fully_inside_circle() {
+        let c = Circle::new(Point::ORIGIN, 10.0);
+        let r = Rect::from_coords(-1.0, -1.0, 1.0, 1.0);
+        assert!((circle_rect_overlap_area(&c, &r) - 4.0).abs() < EPS);
+    }
+
+    #[test]
+    fn circle_fully_inside_rect() {
+        let c = Circle::new(Point::new(0.5, 0.5), 0.25);
+        let r = Rect::from_coords(0.0, 0.0, 1.0, 1.0);
+        assert!((circle_rect_overlap_area(&c, &r) - PI * 0.0625).abs() < EPS);
+    }
+
+    #[test]
+    fn disjoint_is_zero() {
+        let c = Circle::new(Point::ORIGIN, 1.0);
+        let r = Rect::from_coords(5.0, 5.0, 6.0, 6.0);
+        assert!(circle_rect_overlap_area(&c, &r).abs() < EPS);
+    }
+
+    #[test]
+    fn quarter_circle() {
+        // Unit circle at origin ∩ the first-quadrant unit square = quarter disc.
+        let c = Circle::new(Point::ORIGIN, 1.0);
+        let r = Rect::from_coords(0.0, 0.0, 1.0, 1.0);
+        assert!((circle_rect_overlap_area(&c, &r) - PI / 4.0).abs() < EPS);
+    }
+
+    #[test]
+    fn half_circle() {
+        let c = Circle::new(Point::ORIGIN, 1.0);
+        let r = Rect::from_coords(0.0, -2.0, 3.0, 2.0);
+        assert!((circle_rect_overlap_area(&c, &r) - PI / 2.0).abs() < EPS);
+    }
+
+    #[test]
+    fn circular_segment_half_radius() {
+        // Circle radius 1, half-plane x ≥ 0.5 within a big box: circular
+        // segment of area  r²·(θ − sinθ)/2 with θ = 2·acos(0.5).
+        let c = Circle::new(Point::ORIGIN, 1.0);
+        let r = Rect::from_coords(0.5, -2.0, 3.0, 2.0);
+        let theta = 2.0 * 0.5f64.acos();
+        let expect = 0.5 * (theta - theta.sin());
+        assert!((circle_rect_overlap_area(&c, &r) - expect).abs() < EPS);
+    }
+
+    #[test]
+    fn zero_radius_circle() {
+        let c = Circle::new(Point::new(0.5, 0.5), 0.0);
+        let r = Rect::from_coords(0.0, 0.0, 1.0, 1.0);
+        assert_eq!(circle_rect_overlap_area(&c, &r), 0.0);
+    }
+
+    #[test]
+    fn degenerate_rect_zero_area() {
+        let c = Circle::new(Point::ORIGIN, 1.0);
+        let r = Rect::from_coords(0.0, 0.0, 0.0, 1.0); // zero-width line
+        assert!(circle_rect_overlap_area(&c, &r).abs() < EPS);
+    }
+
+    fn monte_carlo_circle(c: &Circle, r: &Rect, n: u64) -> f64 {
+        // Deterministic low-discrepancy-ish grid over the rect.
+        let side = (n as f64).sqrt() as u64;
+        let mut hits = 0u64;
+        for i in 0..side {
+            for j in 0..side {
+                let p = Point::new(
+                    r.min.x + (i as f64 + 0.5) / side as f64 * r.width(),
+                    r.min.y + (j as f64 + 0.5) / side as f64 * r.height(),
+                );
+                if c.contains(p) {
+                    hits += 1;
+                }
+            }
+        }
+        hits as f64 / (side * side) as f64 * r.area()
+    }
+
+    #[test]
+    fn matches_grid_estimate_on_generic_overlaps() {
+        let cases = [
+            (Circle::new(Point::new(0.3, -0.2), 1.3), Rect::from_coords(-1.0, -1.0, 1.0, 0.5)),
+            (Circle::new(Point::new(2.0, 2.0), 2.5), Rect::from_coords(0.0, 0.0, 3.0, 1.0)),
+            (Circle::new(Point::new(-1.0, 0.0), 0.8), Rect::from_coords(-0.5, -2.0, 0.5, 2.0)),
+        ];
+        for (c, r) in cases {
+            let exact = circle_rect_overlap_area(&c, &r);
+            let approx = monte_carlo_circle(&c, &r, 1_000_000);
+            assert!(
+                (exact - approx).abs() < 0.01 * r.area().max(1.0),
+                "exact {exact}, grid {approx}"
+            );
+        }
+    }
+
+    #[test]
+    fn ellipse_full_containment() {
+        // Ellipse a=5, b=4 centered at origin inside a huge rectangle.
+        let e = Ellipse::new(Point::new(-3.0, 0.0), Point::new(3.0, 0.0), 10.0);
+        let r = Rect::from_coords(-10.0, -10.0, 10.0, 10.0);
+        assert!((ellipse_rect_overlap_area(&e, &r) - PI * 20.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ellipse_half_overlap() {
+        // Axis-aligned ellipse cut by the half-plane x ≥ 0 through its center.
+        let e = Ellipse::new(Point::new(-3.0, 0.0), Point::new(3.0, 0.0), 10.0);
+        let r = Rect::from_coords(0.0, -10.0, 10.0, 10.0);
+        assert!((ellipse_rect_overlap_area(&e, &r) - PI * 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_ellipse_gives_zero() {
+        let e = Ellipse::new(Point::ORIGIN, Point::new(10.0, 0.0), 5.0);
+        let r = Rect::from_coords(-10.0, -10.0, 20.0, 10.0);
+        assert_eq!(ellipse_rect_overlap_area(&e, &r), 0.0);
+    }
+
+    #[test]
+    fn degenerate_segment_ellipse_gives_zero() {
+        let e = Ellipse::new(Point::ORIGIN, Point::new(4.0, 0.0), 4.0);
+        let r = Rect::from_coords(-1.0, -1.0, 5.0, 1.0);
+        assert_eq!(ellipse_rect_overlap_area(&e, &r), 0.0);
+    }
+
+    fn monte_carlo_ellipse(e: &Ellipse, r: &Rect, n: u64) -> f64 {
+        let side = (n as f64).sqrt() as u64;
+        let mut hits = 0u64;
+        for i in 0..side {
+            for j in 0..side {
+                let p = Point::new(
+                    r.min.x + (i as f64 + 0.5) / side as f64 * r.width(),
+                    r.min.y + (j as f64 + 0.5) / side as f64 * r.height(),
+                );
+                if e.contains(p) {
+                    hits += 1;
+                }
+            }
+        }
+        hits as f64 / (side * side) as f64 * r.area()
+    }
+
+    #[test]
+    fn rotated_ellipse_matches_grid_estimate() {
+        let e = Ellipse::new(Point::new(0.0, 0.0), Point::new(3.0, 3.0), 8.0);
+        let r = Rect::from_coords(0.5, -1.0, 4.0, 2.5);
+        let exact = ellipse_rect_overlap_area(&e, &r);
+        let approx = monte_carlo_ellipse(&e, &r, 1_000_000);
+        assert!(
+            (exact - approx).abs() < 0.02 * r.area(),
+            "exact {exact}, grid {approx}"
+        );
+    }
+
+    #[test]
+    fn overlap_bounded_by_both_areas() {
+        let c = Circle::new(Point::new(1.0, 1.0), 1.7);
+        let r = Rect::from_coords(0.0, 0.0, 2.5, 2.0);
+        let ov = circle_rect_overlap_area(&c, &r);
+        assert!(ov <= c.area() + EPS);
+        assert!(ov <= r.area() + EPS);
+        assert!(ov >= 0.0);
+    }
+
+    #[test]
+    fn polygon_triangle_overlap() {
+        // Right triangle fully inside a big circle.
+        let c = Circle::new(Point::ORIGIN, 100.0);
+        let tri = [
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(0.0, 3.0),
+        ];
+        assert!((circle_polygon_overlap_area(&c, &tri) - 6.0).abs() < EPS);
+    }
+
+    #[test]
+    fn polygon_with_fewer_than_three_vertices_is_zero() {
+        let c = Circle::new(Point::ORIGIN, 1.0);
+        assert_eq!(circle_polygon_overlap_area(&c, &[]), 0.0);
+        assert_eq!(circle_polygon_overlap_area(&c, &[Point::ORIGIN]), 0.0);
+        assert_eq!(
+            circle_polygon_overlap_area(&c, &[Point::ORIGIN, Point::new(1.0, 0.0)]),
+            0.0
+        );
+    }
+}

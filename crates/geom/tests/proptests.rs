@@ -1,0 +1,245 @@
+//! Property-based tests for the geometry kernel: the transitive metrics
+//! must bound the true objective on arbitrary configurations, and the exact
+//! overlap areas must agree with sampling estimates.
+
+use proptest::prelude::*;
+use tnn_geom::{
+    circle_rect_overlap_area, ellipse_rect_overlap_area, max_dist, min_max_trans_dist,
+    min_trans_dist, transitive_dist, Circle, Ellipse, Point, Rect, Segment,
+};
+
+fn point_strategy() -> impl Strategy<Value = Point> {
+    (-100.0f64..100.0, -100.0f64..100.0).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn rect_strategy() -> impl Strategy<Value = Rect> {
+    (point_strategy(), point_strategy()).prop_map(|(a, b)| Rect::new(a, b))
+}
+
+/// Rect with strictly positive extent in both dimensions.
+fn fat_rect_strategy() -> impl Strategy<Value = Rect> {
+    (
+        -100.0f64..100.0,
+        -100.0f64..100.0,
+        0.5f64..50.0,
+        0.5f64..50.0,
+    )
+        .prop_map(|(x, y, w, h)| Rect::from_coords(x, y, x + w, y + h))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// MinTransDist lower-bounds the transitive distance through every
+    /// interior and boundary sample of the MBR.
+    #[test]
+    fn min_trans_dist_is_lower_bound(
+        p in point_strategy(),
+        r in point_strategy(),
+        m in rect_strategy(),
+        ti in 0.0f64..1.0,
+        tj in 0.0f64..1.0,
+    ) {
+        let lb = min_trans_dist(p, &m, r);
+        let s = Point::new(
+            m.min.x + ti * m.width(),
+            m.min.y + tj * m.height(),
+        );
+        prop_assert!(transitive_dist(p, s, r) >= lb - 1e-7);
+    }
+
+    /// MinTransDist is *tight*: dense boundary sampling plus per-side
+    /// ternary search comes within epsilon of it.
+    #[test]
+    fn min_trans_dist_is_tight(
+        p in point_strategy(),
+        r in point_strategy(),
+        m in rect_strategy(),
+    ) {
+        let lb = min_trans_dist(p, &m, r);
+        // If the straight segment crosses the rect the optimum is |p−r|.
+        let mut best = if Segment::new(p, r).intersects_rect(&m) {
+            p.dist(r)
+        } else {
+            f64::INFINITY
+        };
+        for side in m.sides() {
+            let (mut lo, mut hi) = (0.0f64, 1.0f64);
+            for _ in 0..100 {
+                let m1 = lo + (hi - lo) / 3.0;
+                let m2 = hi - (hi - lo) / 3.0;
+                if transitive_dist(p, side.at(m1), r) < transitive_dist(p, side.at(m2), r) {
+                    hi = m2;
+                } else {
+                    lo = m1;
+                }
+            }
+            best = best.min(transitive_dist(p, side.at(lo), r));
+        }
+        prop_assert!((lb - best).abs() < 1e-6,
+            "analytic {lb} vs searched {best} (p={p:?}, r={r:?}, m={m:?})");
+    }
+
+    /// MinTransDist can never be less than the direct distance |p−r|
+    /// (the triangle inequality through any s).
+    #[test]
+    fn min_trans_dist_at_least_direct(
+        p in point_strategy(),
+        r in point_strategy(),
+        m in rect_strategy(),
+    ) {
+        prop_assert!(min_trans_dist(p, &m, r) >= p.dist(r) - 1e-9);
+    }
+
+    /// MaxDist upper-bounds the transitive distance through every point of
+    /// the segment, and is attained at an endpoint.
+    #[test]
+    fn max_dist_is_tight_upper_bound(
+        p in point_strategy(),
+        r in point_strategy(),
+        a in point_strategy(),
+        b in point_strategy(),
+        t in 0.0f64..1.0,
+    ) {
+        let seg = Segment::new(a, b);
+        let ub = max_dist(p, &seg, r);
+        prop_assert!(transitive_dist(p, seg.at(t), r) <= ub + 1e-9);
+        let at_ends = transitive_dist(p, a, r).max(transitive_dist(p, b, r));
+        prop_assert!((ub - at_ends).abs() < 1e-9);
+    }
+
+    /// The metric sandwich: MinTransDist ≤ MinMaxTransDist, and every side
+    /// has some point within MinMaxTransDist.
+    #[test]
+    fn metric_sandwich(
+        p in point_strategy(),
+        r in point_strategy(),
+        m in rect_strategy(),
+    ) {
+        let lb = min_trans_dist(p, &m, r);
+        let ub = min_max_trans_dist(p, &m, r);
+        prop_assert!(lb <= ub + 1e-9);
+    }
+
+    /// Both transitive MBR metrics are symmetric in p and r (the rectangle
+    /// sees the same set of paths in either direction).
+    #[test]
+    fn transitive_metrics_symmetric(
+        p in point_strategy(),
+        r in point_strategy(),
+        m in rect_strategy(),
+    ) {
+        prop_assert!((min_trans_dist(p, &m, r) - min_trans_dist(r, &m, p)).abs() < 1e-7);
+        prop_assert!((min_max_trans_dist(p, &m, r) - min_max_trans_dist(r, &m, p)).abs() < 1e-7);
+    }
+
+    /// Circle–rectangle overlap is bounded by both areas and exact against
+    /// a grid estimate.
+    #[test]
+    fn circle_overlap_bounded_and_sane(
+        cx in -50.0f64..50.0,
+        cy in -50.0f64..50.0,
+        rad in 0.1f64..40.0,
+        m in fat_rect_strategy(),
+    ) {
+        let c = Circle::new(Point::new(cx, cy), rad);
+        let ov = circle_rect_overlap_area(&c, &m);
+        prop_assert!(ov >= -1e-9);
+        prop_assert!(ov <= c.area() + 1e-6);
+        prop_assert!(ov <= m.area() + 1e-6);
+        if !c.intersects_rect(&m) {
+            prop_assert!(ov.abs() < 1e-9);
+        }
+        if c.contains_rect(&m) {
+            prop_assert!((ov - m.area()).abs() < 1e-6 * m.area().max(1.0));
+        }
+    }
+
+    /// Overlap area is monotone in the radius.
+    #[test]
+    fn circle_overlap_monotone_in_radius(
+        cx in -50.0f64..50.0,
+        cy in -50.0f64..50.0,
+        rad in 0.1f64..40.0,
+        extra in 0.0f64..10.0,
+        m in fat_rect_strategy(),
+    ) {
+        let center = Point::new(cx, cy);
+        let small = circle_rect_overlap_area(&Circle::new(center, rad), &m);
+        let large = circle_rect_overlap_area(&Circle::new(center, rad + extra), &m);
+        prop_assert!(large >= small - 1e-7);
+    }
+
+    /// Ellipse–rectangle overlap: bounded by both areas, zero for empty
+    /// ellipses, consistent with containment.
+    #[test]
+    fn ellipse_overlap_bounded_and_sane(
+        f1 in point_strategy(),
+        f2 in point_strategy(),
+        slack in 0.0f64..100.0,
+        m in fat_rect_strategy(),
+    ) {
+        let major = f1.dist(f2) + slack;
+        let e = Ellipse::new(f1, f2, major);
+        let ov = ellipse_rect_overlap_area(&e, &m);
+        prop_assert!(ov >= -1e-9);
+        prop_assert!(ov <= e.area() + 1e-6 * e.area().max(1.0));
+        prop_assert!(ov <= m.area() + 1e-6);
+    }
+
+    /// A shrunk ellipse (smaller major axis, same foci) never overlaps more.
+    #[test]
+    fn ellipse_overlap_monotone_in_major(
+        f1 in point_strategy(),
+        f2 in point_strategy(),
+        slack in 0.1f64..50.0,
+        shrink in 0.0f64..1.0,
+        m in fat_rect_strategy(),
+    ) {
+        let major = f1.dist(f2) + slack;
+        let big = ellipse_rect_overlap_area(&Ellipse::new(f1, f2, major), &m);
+        let small_major = f1.dist(f2) + slack * shrink;
+        let small = ellipse_rect_overlap_area(&Ellipse::new(f1, f2, small_major), &m);
+        prop_assert!(small <= big + 1e-6 * big.max(1.0));
+    }
+
+    /// Rect invariants under union/expand.
+    #[test]
+    fn rect_union_contains_both(a in rect_strategy(), b in rect_strategy()) {
+        let u = a.union(&b);
+        prop_assert!(u.contains_rect(&a));
+        prop_assert!(u.contains_rect(&b));
+        prop_assert!(u.area() + 1e-9 >= a.area().max(b.area()));
+    }
+
+    /// MinDist / MinMaxDist / MaxDist ordering for any point and rect.
+    #[test]
+    fn rect_distance_ordering(p in point_strategy(), m in rect_strategy()) {
+        let lo = m.min_dist(p);
+        let mid = m.min_max_dist(p);
+        let hi = m.max_dist(p);
+        prop_assert!(lo <= mid + 1e-9);
+        prop_assert!(mid <= hi + 1e-9);
+    }
+
+    /// MinDist is achieved by the clamped closest point.
+    #[test]
+    fn min_dist_matches_closest_point(p in point_strategy(), m in rect_strategy()) {
+        prop_assert!((m.min_dist(p) - p.dist(m.closest_point(p))).abs() < 1e-9);
+    }
+
+    /// Segment reflection preserves distances to the line's points.
+    #[test]
+    fn reflection_preserves_line_distance(
+        a in point_strategy(),
+        b in point_strategy(),
+        p in point_strategy(),
+        t in 0.0f64..1.0,
+    ) {
+        prop_assume!(a.dist(b) > 1e-6);
+        let seg = Segment::new(a, b);
+        let refl = seg.reflect(p);
+        let on_line = seg.at(t);
+        prop_assert!((on_line.dist(p) - on_line.dist(refl)).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,62 @@
+//! Error type for R-tree construction.
+
+use std::fmt;
+
+/// Errors arising while bulk-loading an R-tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RTreeError {
+    /// The input point set was empty; an R-tree needs at least one point.
+    EmptyDataset,
+    /// Node capacities must allow at least two entries per node (a fanout
+    /// of one would create unbounded chains).
+    InvalidParams {
+        /// The offending fanout value.
+        fanout: usize,
+        /// The offending leaf capacity value.
+        leaf_capacity: usize,
+    },
+    /// A point with non-finite coordinates was supplied.
+    NonFinitePoint {
+        /// Index of the offending point in the input slice.
+        index: usize,
+    },
+}
+
+impl fmt::Display for RTreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RTreeError::EmptyDataset => write!(f, "cannot build an R-tree over an empty dataset"),
+            RTreeError::InvalidParams {
+                fanout,
+                leaf_capacity,
+            } => write!(
+                f,
+                "R-tree node capacities must be at least 2 (fanout {fanout}, leaf capacity {leaf_capacity})"
+            ),
+            RTreeError::NonFinitePoint { index } => {
+                write!(f, "point #{index} has non-finite coordinates")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RTreeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(RTreeError::EmptyDataset.to_string().contains("empty"));
+        assert!(RTreeError::InvalidParams {
+            fanout: 1,
+            leaf_capacity: 6
+        }
+        .to_string()
+        .contains("at least 2"));
+        assert!(RTreeError::NonFinitePoint { index: 7 }
+            .to_string()
+            .contains("#7"));
+    }
+}

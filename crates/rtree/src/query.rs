@@ -1,0 +1,371 @@
+//! In-memory spatial queries on the packed R-tree: best-first nearest
+//! neighbor, k-NN, incremental distance browsing, and range queries.
+//!
+//! These run over resident memory with random access (the disk-based model
+//! the paper contrasts against) and serve three purposes in the
+//! reproduction: ground truth for correctness tests, the exact-TNN oracle
+//! in `tnn-core`, and the Best-First-on-broadcast ablation of §2.2.
+
+use crate::{NodeId, ObjectId, RTree};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use tnn_geom::{Circle, Point, Rect};
+
+/// Result of a nearest-neighbor query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NnResult {
+    /// Location of the nearest object.
+    pub point: Point,
+    /// The nearest object.
+    pub object: ObjectId,
+    /// Distance from the query point.
+    pub dist: f64,
+    /// Number of R-tree nodes visited (pages that a disk-based search
+    /// would have read).
+    pub nodes_visited: usize,
+}
+
+/// Result of a range query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RangeResult {
+    /// All `(point, object)` pairs inside the range, in visit order.
+    pub hits: Vec<(Point, ObjectId)>,
+    /// Number of R-tree nodes visited.
+    pub nodes_visited: usize,
+}
+
+/// Max-heap entry ordered by *ascending* distance (reversed comparisons).
+#[derive(Debug)]
+struct HeapEntry<T> {
+    dist: f64,
+    item: T,
+}
+
+impl<T> PartialEq for HeapEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist == other.dist
+    }
+}
+impl<T> Eq for HeapEntry<T> {}
+impl<T> PartialOrd for HeapEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for HeapEntry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the smallest distance.
+        other.dist.total_cmp(&self.dist)
+    }
+}
+
+/// An item on the incremental-search frontier.
+#[derive(Debug, Clone, Copy)]
+enum Frontier {
+    Node(NodeId),
+    Object(Point, ObjectId),
+}
+
+/// Incremental nearest-neighbor iterator (distance browsing, Hjaltason &
+/// Samet \[6\]): yields `(point, object, dist)` in non-decreasing distance
+/// from the query point.
+pub struct NnIter<'a> {
+    tree: &'a RTree,
+    query: Point,
+    heap: BinaryHeap<HeapEntry<Frontier>>,
+    nodes_visited: usize,
+}
+
+impl<'a> NnIter<'a> {
+    fn new(tree: &'a RTree, query: Point) -> Self {
+        let mut heap = BinaryHeap::new();
+        heap.push(HeapEntry {
+            dist: tree.bounding_rect().min_dist(query),
+            item: Frontier::Node(NodeId::ROOT),
+        });
+        NnIter {
+            tree,
+            query,
+            heap,
+            nodes_visited: 0,
+        }
+    }
+
+    /// Number of R-tree nodes expanded so far.
+    pub fn nodes_visited(&self) -> usize {
+        self.nodes_visited
+    }
+}
+
+impl Iterator for NnIter<'_> {
+    type Item = (Point, ObjectId, f64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while let Some(HeapEntry { dist, item }) = self.heap.pop() {
+            match item {
+                Frontier::Object(p, o) => return Some((p, o, dist)),
+                Frontier::Node(id) => {
+                    self.nodes_visited += 1;
+                    let node = self.tree.node(id);
+                    if let Some(children) = node.children() {
+                        for c in children {
+                            self.heap.push(HeapEntry {
+                                dist: c.mbr.min_dist(self.query),
+                                item: Frontier::Node(c.child),
+                            });
+                        }
+                    } else if let Some(points) = node.points() {
+                        for e in points {
+                            self.heap.push(HeapEntry {
+                                dist: self.query.dist(e.point),
+                                item: Frontier::Object(e.point, e.object),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+impl RTree {
+    /// Best-first exact nearest-neighbor search [Hjaltason & Samet,
+    /// TODS'99]. Returns `None` only for a tree with zero objects (which
+    /// cannot be constructed).
+    pub fn nearest_neighbor(&self, query: Point) -> Option<NnResult> {
+        let mut it = self.nn_iter(query);
+        let (point, object, dist) = it.next()?;
+        Some(NnResult {
+            point,
+            object,
+            dist,
+            nodes_visited: it.nodes_visited(),
+        })
+    }
+
+    /// The `k` nearest objects in ascending distance order (fewer if the
+    /// dataset is smaller).
+    pub fn k_nearest(&self, query: Point, k: usize) -> Vec<NnResult> {
+        let mut it = self.nn_iter(query);
+        let mut out = Vec::with_capacity(k);
+        while out.len() < k {
+            match it.next() {
+                Some((point, object, dist)) => {
+                    let nodes_visited = it.nodes_visited();
+                    out.push(NnResult {
+                        point,
+                        object,
+                        dist,
+                        nodes_visited,
+                    });
+                }
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Incremental distance browsing: an iterator yielding objects in
+    /// non-decreasing distance from `query`.
+    pub fn nn_iter(&self, query: Point) -> NnIter<'_> {
+        NnIter::new(self, query)
+    }
+
+    /// All objects within the circle (boundary inclusive) — the paper's
+    /// window query over `circle(p, d)` search ranges.
+    pub fn range_circle(&self, circle: &Circle) -> RangeResult {
+        let mut hits = Vec::new();
+        let mut visited = 0usize;
+        let mut stack = vec![NodeId::ROOT];
+        let r2 = circle.radius * circle.radius;
+        while let Some(id) = stack.pop() {
+            let node = self.node(id);
+            visited += 1;
+            if let Some(children) = node.children() {
+                for c in children {
+                    if c.mbr.min_dist_sq(circle.center) <= r2 {
+                        stack.push(c.child);
+                    }
+                }
+            } else if let Some(points) = node.points() {
+                for e in points {
+                    if circle.center.dist_sq(e.point) <= r2 {
+                        hits.push((e.point, e.object));
+                    }
+                }
+            }
+        }
+        RangeResult {
+            hits,
+            nodes_visited: visited,
+        }
+    }
+
+    /// All objects within the rectangle (boundary inclusive).
+    pub fn range_rect(&self, window: &Rect) -> RangeResult {
+        let mut hits = Vec::new();
+        let mut visited = 0usize;
+        let mut stack = vec![NodeId::ROOT];
+        while let Some(id) = stack.pop() {
+            let node = self.node(id);
+            visited += 1;
+            if let Some(children) = node.children() {
+                for c in children {
+                    if c.mbr.intersects(window) {
+                        stack.push(c.child);
+                    }
+                }
+            } else if let Some(points) = node.points() {
+                for e in points {
+                    if window.contains(e.point) {
+                        hits.push((e.point, e.object));
+                    }
+                }
+            }
+        }
+        RangeResult {
+            hits,
+            nodes_visited: visited,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PackingAlgorithm, RTreeParams};
+
+    fn grid_tree() -> RTree {
+        // 20×20 integer grid.
+        let pts: Vec<Point> = (0..400)
+            .map(|i| Point::new((i % 20) as f64, (i / 20) as f64))
+            .collect();
+        RTree::build(&pts, RTreeParams::default(), PackingAlgorithm::Str).unwrap()
+    }
+
+    fn brute_nn(pts: &[Point], q: Point) -> (usize, f64) {
+        let mut best = (0usize, f64::INFINITY);
+        for (i, &p) in pts.iter().enumerate() {
+            let d = q.dist(p);
+            if d < best.1 {
+                best = (i, d);
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn nearest_neighbor_matches_brute_force() {
+        let pts: Vec<Point> = (0..500)
+            .map(|i| Point::new((i * 37 % 101) as f64, (i * 61 % 97) as f64))
+            .collect();
+        let tree = RTree::build(&pts, RTreeParams::default(), PackingAlgorithm::Str).unwrap();
+        for q in [
+            Point::new(0.0, 0.0),
+            Point::new(50.0, 50.0),
+            Point::new(-10.0, 200.0),
+            Point::new(33.3, 47.7),
+        ] {
+            let nn = tree.nearest_neighbor(q).unwrap();
+            let (_, bd) = brute_nn(&pts, q);
+            assert!((nn.dist - bd).abs() < 1e-12, "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn k_nearest_is_sorted_and_correct() {
+        let tree = grid_tree();
+        let q = Point::new(9.4, 9.6);
+        let knn = tree.k_nearest(q, 5);
+        assert_eq!(knn.len(), 5);
+        for w in knn.windows(2) {
+            assert!(w[0].dist <= w[1].dist);
+        }
+        assert_eq!(knn[0].point, Point::new(9.0, 10.0));
+    }
+
+    #[test]
+    fn k_nearest_with_k_exceeding_dataset() {
+        let pts = vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)];
+        let tree = RTree::build(&pts, RTreeParams::default(), PackingAlgorithm::Str).unwrap();
+        let knn = tree.k_nearest(Point::ORIGIN, 10);
+        assert_eq!(knn.len(), 2);
+    }
+
+    #[test]
+    fn nn_iter_yields_nondecreasing_distances() {
+        let tree = grid_tree();
+        let q = Point::new(3.2, 17.9);
+        let dists: Vec<f64> = tree.nn_iter(q).map(|(_, _, d)| d).collect();
+        assert_eq!(dists.len(), 400);
+        for w in dists.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn range_circle_matches_filter() {
+        let tree = grid_tree();
+        let c = Circle::new(Point::new(10.0, 10.0), 3.0);
+        let got = tree.range_circle(&c);
+        let expect: usize = (0..400)
+            .filter(|&i| {
+                let p = Point::new((i % 20) as f64, (i / 20) as f64);
+                c.contains(p)
+            })
+            .count();
+        assert_eq!(got.hits.len(), expect);
+        assert!(got.hits.iter().all(|&(p, _)| c.contains(p)));
+        assert!(got.nodes_visited >= 1);
+    }
+
+    #[test]
+    fn range_circle_zero_radius_on_point() {
+        let tree = grid_tree();
+        let c = Circle::new(Point::new(5.0, 5.0), 0.0);
+        let got = tree.range_circle(&c);
+        assert_eq!(got.hits.len(), 1);
+        assert_eq!(got.hits[0].0, Point::new(5.0, 5.0));
+    }
+
+    #[test]
+    fn range_rect_matches_filter() {
+        let tree = grid_tree();
+        let w = Rect::from_coords(2.5, 3.0, 7.0, 5.5);
+        let got = tree.range_rect(&w);
+        let expect: usize = (0..400)
+            .filter(|&i| {
+                let p = Point::new((i % 20) as f64, (i / 20) as f64);
+                w.contains(p)
+            })
+            .count();
+        assert_eq!(got.hits.len(), expect);
+    }
+
+    #[test]
+    fn range_query_outside_region_is_empty() {
+        let tree = grid_tree();
+        let c = Circle::new(Point::new(1000.0, 1000.0), 5.0);
+        assert!(tree.range_circle(&c).hits.is_empty());
+        // Only the root is inspected.
+        assert_eq!(tree.range_circle(&c).nodes_visited, 1);
+    }
+
+    #[test]
+    fn best_first_visits_fewer_nodes_than_full_scan() {
+        let tree = grid_tree();
+        let nn = tree.nearest_neighbor(Point::new(10.1, 10.1)).unwrap();
+        assert!(nn.nodes_visited < tree.num_nodes() / 2);
+    }
+
+    #[test]
+    fn nn_on_duplicate_points() {
+        let pts = vec![Point::new(1.0, 1.0); 30];
+        let tree = RTree::build(&pts, RTreeParams::default(), PackingAlgorithm::Str).unwrap();
+        let nn = tree.nearest_neighbor(Point::new(0.0, 0.0)).unwrap();
+        assert!((nn.dist - 2.0f64.sqrt()).abs() < 1e-12);
+        let all = tree.nn_iter(Point::ORIGIN).count();
+        assert_eq!(all, 30);
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based tests: structural invariants and query correctness of
+//! the packed R-tree under every packing algorithm.
+
+use proptest::prelude::*;
+use tnn_geom::{Circle, Point, Rect};
+use tnn_rtree::{PackingAlgorithm, RTree, RTreeParams};
+
+fn points_strategy(max: usize) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec(
+        (-1000.0f64..1000.0, -1000.0f64..1000.0).prop_map(|(x, y)| Point::new(x, y)),
+        1..max,
+    )
+}
+
+fn algo_strategy() -> impl Strategy<Value = PackingAlgorithm> {
+    prop::sample::select(PackingAlgorithm::ALL.to_vec())
+}
+
+fn params_strategy() -> impl Strategy<Value = RTreeParams> {
+    prop::sample::select(vec![
+        RTreeParams::for_page_capacity(64),
+        RTreeParams::for_page_capacity(128),
+        RTreeParams::for_page_capacity(256),
+        RTreeParams::new(2, 2),
+        RTreeParams::new(4, 3),
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every build satisfies all structural invariants.
+    #[test]
+    fn build_is_always_valid(
+        pts in points_strategy(400),
+        algo in algo_strategy(),
+        params in params_strategy(),
+    ) {
+        let tree = RTree::build(&pts, params, algo).unwrap();
+        tree.validate().unwrap();
+        prop_assert_eq!(tree.num_objects(), pts.len());
+    }
+
+    /// The NN from the tree equals the brute-force NN distance.
+    #[test]
+    fn nn_matches_brute_force(
+        pts in points_strategy(300),
+        algo in algo_strategy(),
+        qx in -1500.0f64..1500.0,
+        qy in -1500.0f64..1500.0,
+    ) {
+        let q = Point::new(qx, qy);
+        let tree = RTree::build(&pts, RTreeParams::default(), algo).unwrap();
+        let nn = tree.nearest_neighbor(q).unwrap();
+        let brute = pts.iter().map(|p| q.dist(*p)).fold(f64::INFINITY, f64::min);
+        prop_assert!((nn.dist - brute).abs() < 1e-9);
+    }
+
+    /// k-NN distances equal the sorted brute-force prefix.
+    #[test]
+    fn knn_matches_brute_force(
+        pts in points_strategy(200),
+        algo in algo_strategy(),
+        k in 1usize..20,
+        qx in -1200.0f64..1200.0,
+        qy in -1200.0f64..1200.0,
+    ) {
+        let q = Point::new(qx, qy);
+        let tree = RTree::build(&pts, RTreeParams::default(), algo).unwrap();
+        let got: Vec<f64> = tree.k_nearest(q, k).into_iter().map(|r| r.dist).collect();
+        let mut brute: Vec<f64> = pts.iter().map(|p| q.dist(*p)).collect();
+        brute.sort_by(f64::total_cmp);
+        brute.truncate(k);
+        prop_assert_eq!(got.len(), brute.len());
+        for (g, b) in got.iter().zip(brute.iter()) {
+            prop_assert!((g - b).abs() < 1e-9);
+        }
+    }
+
+    /// Circular range queries return exactly the contained points.
+    #[test]
+    fn range_circle_matches_filter(
+        pts in points_strategy(300),
+        algo in algo_strategy(),
+        cx in -1200.0f64..1200.0,
+        cy in -1200.0f64..1200.0,
+        rad in 0.0f64..800.0,
+    ) {
+        let c = Circle::new(Point::new(cx, cy), rad);
+        let tree = RTree::build(&pts, RTreeParams::default(), algo).unwrap();
+        let got = tree.range_circle(&c).hits.len();
+        let expect = pts.iter().filter(|p| c.contains(**p)).count();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Rectangular range queries return exactly the contained points.
+    #[test]
+    fn range_rect_matches_filter(
+        pts in points_strategy(300),
+        algo in algo_strategy(),
+        a in (-1200.0f64..1200.0, -1200.0f64..1200.0),
+        b in (-1200.0f64..1200.0, -1200.0f64..1200.0),
+    ) {
+        let w = Rect::new(Point::new(a.0, a.1), Point::new(b.0, b.1));
+        let tree = RTree::build(&pts, RTreeParams::default(), algo).unwrap();
+        let got = tree.range_rect(&w).hits.len();
+        let expect = pts.iter().filter(|p| w.contains(**p)).count();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Incremental browsing yields every object exactly once, in
+    /// non-decreasing distance order.
+    #[test]
+    fn nn_iter_total_order(
+        pts in points_strategy(150),
+        algo in algo_strategy(),
+        qx in -1200.0f64..1200.0,
+        qy in -1200.0f64..1200.0,
+    ) {
+        let q = Point::new(qx, qy);
+        let tree = RTree::build(&pts, RTreeParams::default(), algo).unwrap();
+        let seq: Vec<(f64, u32)> = tree.nn_iter(q).map(|(_, o, d)| (d, o.0)).collect();
+        prop_assert_eq!(seq.len(), pts.len());
+        for w in seq.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0 + 1e-12);
+        }
+        let mut ids: Vec<u32> = seq.iter().map(|&(_, o)| o).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), pts.len());
+    }
+
+    /// Leaf-order object enumeration is a permutation of the input.
+    #[test]
+    fn leaf_order_is_permutation(
+        pts in points_strategy(250),
+        algo in algo_strategy(),
+    ) {
+        let tree = RTree::build(&pts, RTreeParams::default(), algo).unwrap();
+        let mut ids: Vec<u32> = tree.objects_in_leaf_order().map(|(_, o)| o.0).collect();
+        ids.sort_unstable();
+        let expect: Vec<u32> = (0..pts.len() as u32).collect();
+        prop_assert_eq!(ids, expect);
+    }
+}

@@ -1,0 +1,140 @@
+//! Aggregated statistics over a query batch.
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregates over one batch of queries for one configuration.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct BatchStats {
+    /// Queries executed.
+    pub queries: usize,
+    /// Mean access time in pages (the paper's Fig. 9 metric).
+    pub mean_access: f64,
+    /// Mean tune-in time in pages (the paper's Fig. 11–13 metric).
+    pub mean_tune_in: f64,
+    /// Mean estimate-phase tune-in (both channels).
+    pub mean_tune_estimate: f64,
+    /// Mean filter-phase tune-in (both channels).
+    pub mean_tune_filter: f64,
+    /// Mean search radius of the filter phase.
+    pub mean_radius: f64,
+    /// Mean number of filter-phase candidates (both channels).
+    pub mean_candidates: f64,
+    /// Fraction of queries with no answer at all.
+    pub no_answer_rate: f64,
+    /// Fraction of failed queries: no answer **or** a sub-optimal answer
+    /// (measured against the exact oracle) — the paper's Table 3 metric.
+    pub fail_rate: f64,
+}
+
+/// Incremental accumulator for [`BatchStats`].
+#[derive(Debug, Clone, Default)]
+pub(crate) struct StatsAccumulator {
+    n: usize,
+    access: f64,
+    tune_in: f64,
+    tune_estimate: f64,
+    tune_filter: f64,
+    radius: f64,
+    candidates: f64,
+    no_answer: usize,
+    failed: usize,
+}
+
+impl StatsAccumulator {
+    #[allow(clippy::too_many_arguments)] // one scalar per recorded metric
+    pub fn record(
+        &mut self,
+        access: u64,
+        tune_in: u64,
+        tune_estimate: u64,
+        tune_filter: u64,
+        radius: f64,
+        candidates: usize,
+        no_answer: bool,
+        failed: bool,
+    ) {
+        self.n += 1;
+        self.access += access as f64;
+        self.tune_in += tune_in as f64;
+        self.tune_estimate += tune_estimate as f64;
+        self.tune_filter += tune_filter as f64;
+        self.radius += radius;
+        self.candidates += candidates as f64;
+        self.no_answer += usize::from(no_answer);
+        self.failed += usize::from(failed);
+    }
+
+    pub fn merge(&mut self, other: &StatsAccumulator) {
+        self.n += other.n;
+        self.access += other.access;
+        self.tune_in += other.tune_in;
+        self.tune_estimate += other.tune_estimate;
+        self.tune_filter += other.tune_filter;
+        self.radius += other.radius;
+        self.candidates += other.candidates;
+        self.no_answer += other.no_answer;
+        self.failed += other.failed;
+    }
+
+    pub fn finish(self) -> BatchStats {
+        let n = self.n.max(1) as f64;
+        BatchStats {
+            queries: self.n,
+            mean_access: self.access / n,
+            mean_tune_in: self.tune_in / n,
+            mean_tune_estimate: self.tune_estimate / n,
+            mean_tune_filter: self.tune_filter / n,
+            mean_radius: self.radius / n,
+            mean_candidates: self.candidates / n,
+            no_answer_rate: self.no_answer as f64 / n,
+            fail_rate: self.failed as f64 / n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulator_averages() {
+        let mut acc = StatsAccumulator::default();
+        acc.record(100, 10, 4, 6, 5.0, 3, false, false);
+        acc.record(200, 20, 8, 12, 15.0, 5, true, true);
+        let stats = acc.finish();
+        assert_eq!(stats.queries, 2);
+        assert_eq!(stats.mean_access, 150.0);
+        assert_eq!(stats.mean_tune_in, 15.0);
+        assert_eq!(stats.mean_tune_estimate, 6.0);
+        assert_eq!(stats.mean_tune_filter, 9.0);
+        assert_eq!(stats.mean_radius, 10.0);
+        assert_eq!(stats.mean_candidates, 4.0);
+        assert_eq!(stats.no_answer_rate, 0.5);
+        assert_eq!(stats.fail_rate, 0.5);
+    }
+
+    #[test]
+    fn merge_equals_sequential_recording() {
+        let mut a = StatsAccumulator::default();
+        let mut b = StatsAccumulator::default();
+        let mut whole = StatsAccumulator::default();
+        for i in 0..10u64 {
+            let (acc, tune) = (100 + i, 10 + i);
+            whole.record(acc, tune, 1, 2, 1.0, 1, false, false);
+            if i % 2 == 0 {
+                a.record(acc, tune, 1, 2, 1.0, 1, false, false);
+            } else {
+                b.record(acc, tune, 1, 2, 1.0, 1, false, false);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.finish(), whole.finish());
+    }
+
+    #[test]
+    fn empty_accumulator_is_safe() {
+        let stats = StatsAccumulator::default().finish();
+        assert_eq!(stats.queries, 0);
+        assert_eq!(stats.mean_access, 0.0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Result tables: aligned text for the terminal, CSV for archival.
+
+use std::io::Write;
+use std::path::Path;
+
+/// A simple result table: header row plus data rows.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// Table title (printed above the header).
+    pub title: String,
+    /// Column names.
+    pub header: Vec<String>,
+    /// Data rows (stringified by the caller).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given title and columns.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        debug_assert_eq!(row.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+}
+
+/// Renders a table with aligned columns (markdown-compatible pipes).
+pub fn format_table(table: &Table) -> String {
+    let mut widths: Vec<usize> = table.header.iter().map(|h| h.len()).collect();
+    for row in &table.rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        let mut line = String::from("|");
+        for (i, cell) in cells.iter().enumerate() {
+            line.push_str(&format!(" {:width$} |", cell, width = widths[i]));
+        }
+        line
+    };
+    let mut out = String::new();
+    out.push_str(&format!("## {}\n\n", table.title));
+    out.push_str(&fmt_row(&table.header));
+    out.push('\n');
+    let mut sep = String::from("|");
+    for w in &widths {
+        sep.push_str(&format!("{:-<width$}|", "", width = w + 2));
+    }
+    out.push_str(&sep);
+    out.push('\n');
+    for row in &table.rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes the table as CSV under `dir/<name>.csv` (creating `dir`).
+pub fn write_csv(table: &Table, dir: &Path, name: &str) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let mut f = std::fs::File::create(dir.join(format!("{name}.csv")))?;
+    writeln!(f, "{}", table.header.join(","))?;
+    for row in &table.rows {
+        writeln!(f, "{}", row.join(","))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("Demo", &["x", "value"]);
+        t.push_row(vec!["1".into(), "10.5".into()]);
+        t.push_row(vec!["200".into(), "3".into()]);
+        t
+    }
+
+    #[test]
+    fn formatting_aligns_columns() {
+        let s = format_table(&sample());
+        assert!(s.contains("## Demo"));
+        assert!(s.contains("| x   | value |"));
+        assert!(s.contains("| 200 | 3     |"));
+        // Header separator present.
+        assert!(s.lines().nth(3).unwrap().starts_with("|--"));
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join("tnn_sim_report_test");
+        write_csv(&sample(), &dir, "demo").unwrap();
+        let content = std::fs::read_to_string(dir.join("demo.csv")).unwrap();
+        assert_eq!(content, "x,value\n1,10.5\n200,3\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,255 @@
+//! The query-batch runner: the paper's methodology (§6) as an engine.
+//!
+//! For one configuration (datasets, page capacity, algorithm, ANN modes)
+//! it executes `N` queries. Per query, a point is drawn uniformly over
+//! the evaluation region and **each channel gets an independent random
+//! phase** — the paper's "two random numbers are generated to simulate
+//! the waiting time to get the two roots". Queries are deterministic in
+//! the seed and identical across algorithm configurations, so algorithm
+//! comparisons are paired.
+
+use crate::metrics::StatsAccumulator;
+use crate::BatchStats;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use tnn_broadcast::{BroadcastParams, MultiChannelEnv};
+use tnn_core::{chain_tnn, exact_tnn, run_query, AnnMode, TnnConfig};
+use tnn_geom::{Point, Rect};
+use tnn_rtree::RTree;
+
+/// Tolerance when comparing an algorithm's answer against the oracle: an
+/// answer farther than this (relatively) counts as failed.
+const FAIL_EPS: f64 = 1e-6;
+
+/// One batch to execute.
+#[derive(Clone)]
+pub struct BatchConfig {
+    /// Broadcast parameters (page capacity, interleaving, object size).
+    pub params: BroadcastParams,
+    /// Query-processing configuration.
+    pub tnn: TnnConfig,
+    /// Number of queries (the paper uses 1,000).
+    pub queries: usize,
+    /// Batch seed; queries and phases derive deterministically from it.
+    pub seed: u64,
+    /// Compare every answer against the exact oracle (needed for fail
+    /// rates; costs one in-memory TNN per query).
+    pub check_oracle: bool,
+}
+
+/// Reads the batch size from `TNN_QUERIES` (default 1,000 — the paper's
+/// query count per configuration).
+pub fn queries_per_batch() -> usize {
+    std::env::var("TNN_QUERIES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000)
+}
+
+/// Executes one batch of TNN queries over `(s_tree, r_tree)` and
+/// aggregates the paper's metrics. Work is spread over all CPUs; results
+/// are deterministic in the seed regardless of thread count.
+pub fn run_batch(
+    s_tree: &Arc<RTree>,
+    r_tree: &Arc<RTree>,
+    region: &Rect,
+    cfg: &BatchConfig,
+) -> BatchStats {
+    let base_env = MultiChannelEnv::new(
+        vec![Arc::clone(s_tree), Arc::clone(r_tree)],
+        cfg.params,
+        &[0, 0],
+    );
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(cfg.queries.max(1));
+
+    let mut partials: Vec<StatsAccumulator> = Vec::with_capacity(threads);
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            let base_env = &base_env;
+            let handle = scope.spawn(move |_| {
+                let mut acc = StatsAccumulator::default();
+                let mut i = t;
+                while i < cfg.queries {
+                    run_one(base_env, region, cfg, i as u64, &mut acc);
+                    i += threads;
+                }
+                acc
+            });
+            handles.push(handle);
+        }
+        for h in handles {
+            partials.push(h.join().expect("worker thread panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+
+    let mut total = StatsAccumulator::default();
+    for p in &partials {
+        total.merge(p);
+    }
+    total.finish()
+}
+
+fn run_one(
+    base_env: &MultiChannelEnv,
+    region: &Rect,
+    cfg: &BatchConfig,
+    query_index: u64,
+    acc: &mut StatsAccumulator,
+) {
+    // Per-query randomness independent of the algorithm configuration, so
+    // different algorithms see identical workloads.
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ query_index.wrapping_mul(0x9E3779B97F4A7C15));
+    let p = Point::new(
+        rng.gen_range(region.min.x..=region.max.x),
+        rng.gen_range(region.min.y..=region.max.y),
+    );
+    let phases = [
+        rng.gen_range(0..base_env.channel(0).layout().cycle_len().max(1)),
+        rng.gen_range(0..base_env.channel(1).layout().cycle_len().max(1)),
+    ];
+    let env = base_env.with_phases(&phases);
+
+    let run = run_query(&env, p, 0, &cfg.tnn).expect("two channels, finite query");
+    let no_answer = run.failed();
+    let failed = if cfg.check_oracle {
+        match &run.answer {
+            None => true,
+            Some(pair) => {
+                let oracle = exact_tnn(p, env.channel(0).tree(), env.channel(1).tree());
+                pair.dist > oracle.dist * (1.0 + FAIL_EPS) + FAIL_EPS
+            }
+        }
+    } else {
+        no_answer
+    };
+    acc.record(
+        run.access_time(),
+        run.tune_in(),
+        run.tune_in_estimate(),
+        run.tune_in_filter(),
+        run.search_radius,
+        run.candidates[0] + run.candidates[1],
+        no_answer,
+        failed,
+    );
+}
+
+/// Executes one batch of **chained** TNN queries over `k` trees (the
+/// future-work extension); reports the same aggregate metrics (fail rate
+/// is always 0 — the chained estimate is exact by construction).
+pub fn run_chain_batch(
+    trees: &[Arc<RTree>],
+    region: &Rect,
+    params: BroadcastParams,
+    ann: AnnMode,
+    queries: usize,
+    seed: u64,
+) -> BatchStats {
+    let base_env = MultiChannelEnv::new(trees.to_vec(), params, &vec![0; trees.len()]);
+    let mut acc = StatsAccumulator::default();
+    for i in 0..queries as u64 {
+        let mut rng = StdRng::seed_from_u64(seed ^ i.wrapping_mul(0x9E3779B97F4A7C15));
+        let p = Point::new(
+            rng.gen_range(region.min.x..=region.max.x),
+            rng.gen_range(region.min.y..=region.max.y),
+        );
+        let phases: Vec<u64> = base_env
+            .channels()
+            .iter()
+            .map(|c| rng.gen_range(0..c.layout().cycle_len().max(1)))
+            .collect();
+        let env = base_env.with_phases(&phases);
+        let run = chain_tnn(&env, p, 0, ann, true).expect("valid chain environment");
+        acc.record(
+            run.access_time(),
+            run.tune_in(),
+            run.channels.iter().map(|c| c.estimate_pages).sum(),
+            run.channels.iter().map(|c| c.filter_pages).sum(),
+            run.search_radius,
+            0,
+            false,
+            false,
+        );
+    }
+    acc.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tnn_core::Algorithm;
+    use tnn_datasets::uniform_points;
+    use tnn_rtree::PackingAlgorithm;
+
+    fn tree(n: usize, seed: u64, params: &BroadcastParams) -> Arc<RTree> {
+        let region = Rect::from_coords(0.0, 0.0, 1000.0, 1000.0);
+        let pts = uniform_points(n, &region, seed);
+        Arc::new(RTree::build(&pts, params.rtree_params(), PackingAlgorithm::Str).unwrap())
+    }
+
+    #[test]
+    fn batch_is_deterministic_across_thread_schedules() {
+        let params = BroadcastParams::new(64);
+        let region = Rect::from_coords(0.0, 0.0, 1000.0, 1000.0);
+        let s = tree(150, 1, &params);
+        let r = tree(120, 2, &params);
+        let cfg = BatchConfig {
+            params,
+            tnn: TnnConfig::exact(Algorithm::DoubleNn),
+            queries: 40,
+            seed: 99,
+            check_oracle: true,
+        };
+        let a = run_batch(&s, &r, &region, &cfg);
+        let b = run_batch(&s, &r, &region, &cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.queries, 40);
+        assert_eq!(a.fail_rate, 0.0, "exact algorithm must never fail");
+        assert!(a.mean_access > 0.0);
+        assert!(a.mean_tune_in > 0.0);
+    }
+
+    #[test]
+    fn exact_algorithms_never_fail_in_batches() {
+        let params = BroadcastParams::new(64);
+        let region = Rect::from_coords(0.0, 0.0, 1000.0, 1000.0);
+        let s = tree(100, 3, &params);
+        let r = tree(200, 4, &params);
+        for alg in [Algorithm::WindowBased, Algorithm::DoubleNn, Algorithm::HybridNn] {
+            let cfg = BatchConfig {
+                params,
+                tnn: TnnConfig::exact(alg),
+                queries: 25,
+                seed: 7,
+                check_oracle: true,
+            };
+            let stats = run_batch(&s, &r, &region, &cfg);
+            assert_eq!(stats.fail_rate, 0.0, "{}", alg.name());
+        }
+    }
+
+    #[test]
+    fn chain_batch_runs() {
+        let params = BroadcastParams::new(64);
+        let region = Rect::from_coords(0.0, 0.0, 1000.0, 1000.0);
+        let trees = vec![tree(50, 5, &params), tree(60, 6, &params), tree(40, 7, &params)];
+        let stats = run_chain_batch(&trees, &region, params, AnnMode::Exact, 10, 3);
+        assert_eq!(stats.queries, 10);
+        assert_eq!(stats.fail_rate, 0.0);
+        assert!(stats.mean_tune_in > 0.0);
+    }
+
+    #[test]
+    fn queries_per_batch_env_override() {
+        // Can't mutate the environment safely in parallel tests; just
+        // check the default path parses.
+        let n = queries_per_batch();
+        assert!(n > 0);
+    }
+}

@@ -1,0 +1,77 @@
+//! Quickstart: Mr. Smith's errand (the paper's §1 motivating example).
+//!
+//! Mr. Smith is new in town. He wants to visit a post office first, then
+//! a restaurant, walking as little as possible. Post offices and
+//! restaurants are broadcast on two wireless channels; his phone listens
+//! to both simultaneously and answers the transitive nearest-neighbor
+//! query on air.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use std::sync::Arc;
+use tnn::prelude::*;
+use tnn_datasets::uniform_points;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 10 km × 10 km city with 400 post offices and 1,200 restaurants.
+    let city = Rect::from_coords(0.0, 0.0, 10_000.0, 10_000.0);
+    let post_offices = uniform_points(400, &city, 1);
+    let restaurants = uniform_points(1_200, &city, 2);
+
+    // The broadcast server packs each dataset into an R-tree (STR, as in
+    // the paper) and schedules a (1, m) interleaved program per channel.
+    let params = BroadcastParams::new(64);
+    let s_tree = Arc::new(RTree::build(
+        &post_offices,
+        params.rtree_params(),
+        PackingAlgorithm::Str,
+    )?);
+    let r_tree = Arc::new(RTree::build(
+        &restaurants,
+        params.rtree_params(),
+        PackingAlgorithm::Str,
+    )?);
+    println!(
+        "channel 1: {} post offices, index {} pages; channel 2: {} restaurants, index {} pages",
+        s_tree.num_objects(),
+        s_tree.num_nodes(),
+        r_tree.num_objects(),
+        r_tree.num_nodes(),
+    );
+
+    // Two channels with arbitrary phases (Mr. Smith tunes in at a random
+    // moment of each program).
+    let env = MultiChannelEnv::new(vec![s_tree, r_tree], params, &[1_234, 56_789]);
+
+    // Mr. Smith stands at the station and asks for the best errand.
+    let here = Point::new(4_200.0, 5_100.0);
+    println!("\nMr. Smith is at ({:.0}, {:.0})\n", here.x, here.y);
+
+    for alg in [
+        Algorithm::WindowBased,
+        Algorithm::ApproximateTnn,
+        Algorithm::DoubleNn,
+        Algorithm::HybridNn,
+    ] {
+        let run = run_query(&env, here, 0, &TnnConfig::exact(alg))?;
+        match &run.answer {
+            Some(pair) => println!(
+                "{:18} post office #{} then restaurant #{} — walk {:7.1} m | access {:6} pages, tune-in {:4} pages",
+                alg.name(),
+                pair.s.1,
+                pair.r.1,
+                pair.dist,
+                run.access_time(),
+                run.tune_in(),
+            ),
+            None => println!("{:18} failed to find an answer", alg.name()),
+        }
+    }
+
+    // Sanity: the exact oracle agrees.
+    let oracle = exact_tnn(here, env.channel(0).tree(), env.channel(1).tree());
+    println!("\nexact oracle: {:.1} m", oracle.dist);
+    Ok(())
+}

@@ -1,0 +1,89 @@
+//! # tnn — transitive nearest-neighbor queries over multi-channel wireless broadcast
+//!
+//! A from-scratch Rust reproduction of *Zhang, Lee, Mitra, Zheng:
+//! Processing Transitive Nearest-Neighbor Queries in Multi-Channel Access
+//! Environments* (EDBT 2008), packaged as one facade crate.
+//!
+//! Given a query point `p` and two datasets `S`, `R` broadcast cyclically
+//! on two wireless channels, a **TNN query** returns the pair
+//! `(s, r) ∈ S × R` minimizing `dis(p, s) + dis(s, r)` — e.g. the post
+//! office and the restaurant with the smallest total detour.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use tnn::prelude::*;
+//!
+//! // Two small datasets, broadcast on two channels.
+//! let params = BroadcastParams::new(64);
+//! let post_offices: Vec<Point> =
+//!     (0..60).map(|i| Point::new((i * 97 % 391) as f64, (i * 61 % 401) as f64)).collect();
+//! let restaurants: Vec<Point> =
+//!     (0..80).map(|i| Point::new((i * 53 % 379) as f64, (i * 89 % 397) as f64)).collect();
+//! let s = Arc::new(RTree::build(&post_offices, params.rtree_params(), PackingAlgorithm::Str)?);
+//! let r = Arc::new(RTree::build(&restaurants, params.rtree_params(), PackingAlgorithm::Str)?);
+//! let env = MultiChannelEnv::new(vec![s, r], params, &[17, 42]);
+//!
+//! // A mobile client runs Hybrid-NN over the air.
+//! let run = run_query(&env, Point::new(200.0, 200.0), 0, &TnnConfig::exact(Algorithm::HybridNn))?;
+//! let answer = run.answer.expect("exact algorithms always answer");
+//! println!("total distance {:.1}, access {} pages, tune-in {} pages",
+//!          answer.dist, run.access_time(), run.tune_in());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! ## Crate map
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`geom`] (`tnn-geom`) | points, MBRs, the transitive metrics `MinTransDist` / `MinMaxTransDist`, exact circle/ellipse–rectangle overlap areas |
+//! | [`rtree`] (`tnn-rtree`) | packed R-tree (STR / Hilbert / Nearest-X), in-memory queries |
+//! | [`broadcast`] (`tnn-broadcast`) | `(1, m)` air-indexed broadcast programs, channels, tuner accounting |
+//! | [`core`] (`tnn-core`) | the four TNN algorithms, ANN optimization, chained-TNN extension, exact oracle |
+//! | [`datasets`] (`tnn-datasets`) | the paper's synthetic workloads and clustered real-data stand-ins |
+//! | [`sim`] (`tnn-sim`) | the experiment harness regenerating every figure/table of the paper |
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub use tnn_broadcast as broadcast;
+pub use tnn_core as core;
+pub use tnn_datasets as datasets;
+pub use tnn_geom as geom;
+pub use tnn_rtree as rtree;
+pub use tnn_sim as sim;
+
+/// The most common imports, re-exported flat.
+pub mod prelude {
+    pub use tnn_broadcast::{BroadcastParams, Channel, MultiChannelEnv, Tuner};
+    pub use tnn_core::{
+        chain_tnn, exact_tnn, order_free_tnn, round_trip_tnn, run_query, Algorithm, AnnMode,
+        TnnConfig, TnnPair, TnnRun,
+    };
+    pub use tnn_geom::{transitive_dist, Circle, Ellipse, Point, Rect};
+    pub use tnn_rtree::{PackingAlgorithm, RTree, RTreeParams};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn facade_round_trip() {
+        let params = BroadcastParams::new(64);
+        let pts: Vec<Point> = (0..50)
+            .map(|i| Point::new((i * 7 % 53) as f64, (i * 11 % 59) as f64))
+            .collect();
+        let s = Arc::new(RTree::build(&pts, params.rtree_params(), PackingAlgorithm::Str).unwrap());
+        let r = Arc::new(RTree::build(&pts, params.rtree_params(), PackingAlgorithm::Str).unwrap());
+        let env = MultiChannelEnv::new(vec![s, r], params, &[0, 0]);
+        let run = run_query(
+            &env,
+            Point::new(25.0, 25.0),
+            0,
+            &TnnConfig::exact(Algorithm::DoubleNn),
+        )
+        .unwrap();
+        assert!(run.answer.is_some());
+    }
+}
