@@ -41,12 +41,10 @@ fn bench_page_capacity(c: &mut Criterion) {
     g.sample_size(10);
     for cap in [64usize, 128, 256, 512] {
         let params = BroadcastParams::new(cap);
-        let s = Arc::new(
-            RTree::build(&pts_s, params.rtree_params(), PackingAlgorithm::Str).unwrap(),
-        );
-        let r = Arc::new(
-            RTree::build(&pts_r, params.rtree_params(), PackingAlgorithm::Str).unwrap(),
-        );
+        let s =
+            Arc::new(RTree::build(&pts_s, params.rtree_params(), PackingAlgorithm::Str).unwrap());
+        let r =
+            Arc::new(RTree::build(&pts_r, params.rtree_params(), PackingAlgorithm::Str).unwrap());
         g.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |b, _| {
             let cfg = BatchConfig {
                 params,
@@ -79,9 +77,7 @@ fn bench_chain(c: &mut Criterion) {
             })
             .collect();
         g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
-            b.iter(|| {
-                run_chain_batch(&trees, &paper_region(), params, AnnMode::Exact, 16, 0x33)
-            })
+            b.iter(|| run_chain_batch(&trees, &paper_region(), params, AnnMode::Exact, 16, 0x33))
         });
     }
     g.finish();

@@ -23,7 +23,9 @@ fn bench_algorithms(c: &mut Criterion) {
         });
     }
     g.bench_function("Hybrid-NN+ANN", |b| {
-        let m = AnnMode::Dynamic { factor: 1.0 / 150.0 };
+        let m = AnnMode::Dynamic {
+            factor: 1.0 / 150.0,
+        };
         let cfg = TnnConfig::exact(Algorithm::HybridNn).with_ann(m, m);
         let mut i = 0usize;
         b.iter(|| {

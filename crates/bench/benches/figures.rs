@@ -30,7 +30,12 @@ fn bench_figures(c: &mut Criterion) {
     let r_dense = fixture_tree(15_210, 4); // UNIF(-5.0) size
     let params = BroadcastParams::new(64);
     let city = Arc::new(
-        RTree::build(&city_like(0xC17), params.rtree_params(), PackingAlgorithm::Str).unwrap(),
+        RTree::build(
+            &city_like(0xC17),
+            params.rtree_params(),
+            PackingAlgorithm::Str,
+        )
+        .unwrap(),
     );
 
     let mut g = c.benchmark_group("figures");

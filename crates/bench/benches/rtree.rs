@@ -12,20 +12,11 @@ fn bench_build(c: &mut Criterion) {
     for &n in &[2_000usize, 15_210, 95_969] {
         let pts = fixture_points(n, 7);
         for algo in PackingAlgorithm::ALL {
-            g.bench_with_input(
-                BenchmarkId::new(algo.name(), n),
-                &pts,
-                |b, pts| {
-                    b.iter(|| {
-                        RTree::build(
-                            black_box(pts),
-                            RTreeParams::for_page_capacity(64),
-                            algo,
-                        )
-                        .unwrap()
-                    })
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(algo.name(), n), &pts, |b, pts| {
+                b.iter(|| {
+                    RTree::build(black_box(pts), RTreeParams::for_page_capacity(64), algo).unwrap()
+                })
+            });
         }
     }
     g.finish();

@@ -1,0 +1,107 @@
+//! Records a perf-trajectory point: times the full acceptance workload —
+//! a 1,000-query DoubleNn batch over 10k-point datasets (Figure-9 shape)
+//! — on both candidate-queue backends, checks the `BatchStats` are
+//! bit-identical, and writes `BENCH_<tag>.json` at the repo root.
+//!
+//! ```sh
+//! cargo run --release -p tnn-bench --bin perf-baseline -- pr1
+//! ```
+//!
+//! The tag defaults to `baseline`. `TNN_BENCH_QUERIES` (default 1,000)
+//! shrinks the workload for smoke runs.
+
+use std::time::Instant;
+use tnn_bench::{fixture_tree, write_bench_json, BenchRecord};
+use tnn_broadcast::BroadcastParams;
+use tnn_core::{Algorithm, TnnConfig};
+use tnn_datasets::paper_region;
+use tnn_sim::{run_batch, run_batch_linear, BatchConfig, BatchStats};
+
+/// Interleaved min-of-`reps` timing: alternating the two sides per rep
+/// cancels slow drift (shared single-core containers are noisy), and the
+/// minimum is the standard low-noise point estimate for deterministic
+/// workloads.
+fn main() {
+    let tag = std::env::args().nth(1).unwrap_or_else(|| "baseline".into());
+    let queries: usize = std::env::var("TNN_BENCH_QUERIES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000);
+    let reps: u64 = std::env::var("TNN_BENCH_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(7);
+
+    eprintln!("perf-baseline: building 10k x 10k fixture trees…");
+    let s = fixture_tree(10_000, 1);
+    let r = fixture_tree(10_000, 2);
+    let cfg = BatchConfig {
+        params: BroadcastParams::new(64),
+        tnn: TnnConfig::exact(Algorithm::DoubleNn),
+        queries,
+        seed: 0xF19,
+        check_oracle: false,
+    };
+    let region = paper_region();
+
+    eprintln!("perf-baseline: warm-up + equality check ({queries} queries/batch)…");
+    let heap_stats: BatchStats = run_batch(&s, &r, &region, &cfg);
+    let linear_stats = run_batch_linear(&s, &r, &region, &cfg);
+    assert_eq!(
+        heap_stats, linear_stats,
+        "backends diverged — the comparison is void"
+    );
+
+    let (mut heap_ns, mut linear_ns) = (f64::INFINITY, f64::INFINITY);
+    for rep in 0..reps {
+        let t0 = Instant::now();
+        std::hint::black_box(run_batch(&s, &r, &region, &cfg));
+        let h = t0.elapsed().as_nanos() as f64;
+        let t0 = Instant::now();
+        std::hint::black_box(run_batch_linear(&s, &r, &region, &cfg));
+        let l = t0.elapsed().as_nanos() as f64;
+        eprintln!(
+            "perf-baseline: rep {rep}: heap {:.1} ms, linear {:.1} ms",
+            h / 1e6,
+            l / 1e6
+        );
+        heap_ns = heap_ns.min(h);
+        linear_ns = linear_ns.min(l);
+    }
+    let speedup = linear_ns / heap_ns;
+
+    let records = vec![
+        BenchRecord {
+            id: format!("queue/double_nn_10k_{queries}q/heap"),
+            ns_per_iter: heap_ns,
+            iters: reps,
+        },
+        BenchRecord {
+            id: format!("queue/double_nn_10k_{queries}q/linear_reference"),
+            ns_per_iter: linear_ns,
+            iters: reps,
+        },
+    ];
+    let path = std::path::PathBuf::from(format!("BENCH_{tag}.json"));
+    write_bench_json(
+        &path,
+        &tag,
+        &format!(
+            "DoubleNn, {queries} queries/batch, 10k x 10k uniform points, page 64, paper region"
+        ),
+        &records,
+        &[
+            ("speedup_heap_vs_linear", speedup),
+            ("mean_access_pages", heap_stats.mean_access),
+            ("mean_tune_in_pages", heap_stats.mean_tune_in),
+        ],
+    )
+    .expect("write BENCH json");
+
+    println!(
+        "heap {:.1} ms/batch, linear {:.1} ms/batch -> speedup {speedup:.2}x (stats identical: yes)",
+        heap_ns / 1e6,
+        linear_ns / 1e6
+    );
+    println!("wrote {}", path.display());
+}

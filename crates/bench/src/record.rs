@@ -1,0 +1,106 @@
+//! The `BENCH_*.json` perf-trajectory writer.
+//!
+//! Every perf-focused PR records a trajectory point by running
+//! `cargo run --release -p tnn-bench --bin perf-baseline` and committing
+//! the resulting `BENCH_<tag>.json` at the repo root. The format is a
+//! single flat JSON document (written by hand — the serde in this tree is
+//! an offline shim) so future tooling can diff trajectory points:
+//!
+//! ```json
+//! {
+//!   "tag": "pr1",
+//!   "workload": "...",
+//!   "benchmarks": [
+//!     {"id": "...", "ns_per_iter": 123.0, "iters": 42}
+//!   ],
+//!   "derived": {"speedup_heap_vs_linear": 3.1}
+//! }
+//! ```
+//!
+//! See `docs/PERF.md` for how to read these files.
+
+use std::io::Write;
+use std::path::Path;
+
+/// One measured benchmark for the JSON trajectory file.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Benchmark id (`group/function` style).
+    pub id: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Iterations measured.
+    pub iters: u64,
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Writes a `BENCH_*.json` trajectory point. `derived` holds named
+/// summary ratios (e.g. the heap-vs-linear speedup).
+pub fn write_bench_json(
+    path: &Path,
+    tag: &str,
+    workload: &str,
+    records: &[BenchRecord],
+    derived: &[(&str, f64)],
+) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "{{")?;
+    writeln!(f, "  \"tag\": \"{}\",", json_escape(tag))?;
+    writeln!(f, "  \"workload\": \"{}\",", json_escape(workload))?;
+    writeln!(f, "  \"benchmarks\": [")?;
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 < records.len() { "," } else { "" };
+        writeln!(
+            f,
+            "    {{\"id\": \"{}\", \"ns_per_iter\": {:.1}, \"iters\": {}}}{comma}",
+            json_escape(&r.id),
+            r.ns_per_iter,
+            r.iters
+        )?;
+    }
+    writeln!(f, "  ],")?;
+    writeln!(f, "  \"derived\": {{")?;
+    for (i, (k, v)) in derived.iter().enumerate() {
+        let comma = if i + 1 < derived.len() { "," } else { "" };
+        writeln!(f, "    \"{}\": {:.4}{comma}", json_escape(k), v)?;
+    }
+    writeln!(f, "  }}")?;
+    writeln!(f, "}}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_wellformed_json() {
+        let dir = std::env::temp_dir().join("tnn_bench_record_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_test.json");
+        let records = vec![
+            BenchRecord {
+                id: "queue/heap".into(),
+                ns_per_iter: 10.5,
+                iters: 100,
+            },
+            BenchRecord {
+                id: "queue/\"linear\"".into(),
+                ns_per_iter: 99.0,
+                iters: 7,
+            },
+        ];
+        write_bench_json(&path, "test", "demo", &records, &[("speedup", 9.4286)]).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"tag\": \"test\""));
+        assert!(body.contains("\"ns_per_iter\": 10.5"));
+        assert!(body.contains("\\\"linear\\\""));
+        assert!(body.contains("\"speedup\": 9.4286"));
+        // Balanced braces/brackets (cheap well-formedness check).
+        assert_eq!(body.matches('{').count(), body.matches('}').count());
+        assert_eq!(body.matches('[').count(), body.matches(']').count());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -99,11 +99,8 @@ mod tests {
     #[test]
     fn builds_one_channel_per_tree() {
         let params = BroadcastParams::new(64);
-        let env = MultiChannelEnv::new(
-            vec![tree(20, &params), tree(50, &params)],
-            params,
-            &[3, 99],
-        );
+        let env =
+            MultiChannelEnv::new(vec![tree(20, &params), tree(50, &params)], params, &[3, 99]);
         assert_eq!(env.len(), 2);
         assert!(!env.is_empty());
         assert_eq!(env.channel(0).phase(), 3);
@@ -122,11 +119,8 @@ mod tests {
     #[test]
     fn channels_are_independent_programs() {
         let params = BroadcastParams::new(64);
-        let env = MultiChannelEnv::new(
-            vec![tree(20, &params), tree(500, &params)],
-            params,
-            &[0, 0],
-        );
+        let env =
+            MultiChannelEnv::new(vec![tree(20, &params), tree(500, &params)], params, &[0, 0]);
         assert_ne!(
             env.channel(0).layout().cycle_len(),
             env.channel(1).layout().cycle_len()

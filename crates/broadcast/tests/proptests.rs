@@ -10,11 +10,11 @@ use tnn_rtree::{NodeId, PackingAlgorithm, RTree};
 
 fn channel_strategy() -> impl Strategy<Value = (Channel, u64)> {
     (
-        1usize..120,               // number of objects
+        1usize..120, // number of objects
         prop::sample::select(vec![64usize, 128, 256]),
-        1u32..6,                   // interleave m
-        0u64..10_000,              // phase
-        0u64..5_000,               // probe time
+        1u32..6,      // interleave m
+        0u64..10_000, // phase
+        0u64..5_000,  // probe time
     )
         .prop_map(|(n, page, m, phase, now)| {
             let params = BroadcastParams {
@@ -25,8 +25,7 @@ fn channel_strategy() -> impl Strategy<Value = (Channel, u64)> {
             let pts: Vec<Point> = (0..n)
                 .map(|i| Point::new((i * 17 % 257) as f64, (i * 23 % 263) as f64))
                 .collect();
-            let tree =
-                RTree::build(&pts, params.rtree_params(), PackingAlgorithm::Str).unwrap();
+            let tree = RTree::build(&pts, params.rtree_params(), PackingAlgorithm::Str).unwrap();
             (Channel::new(Arc::new(tree), params, phase), now)
         })
 }

@@ -175,7 +175,12 @@ mod tests {
 
     fn cloud(n: usize, salt: usize) -> Vec<Point> {
         (0..n)
-            .map(|i| Point::new(((i + salt) * 41 % 307) as f64, ((i + salt) * 59 % 311) as f64))
+            .map(|i| {
+                Point::new(
+                    ((i + salt) * 41 % 307) as f64,
+                    ((i + salt) * 59 % 311) as f64,
+                )
+            })
             .collect()
     }
 
@@ -220,14 +225,7 @@ mod tests {
     fn non_finite_query_rejected() {
         let layers = vec![cloud(10, 0), cloud(10, 5)];
         let env = make_env(&layers, &[0, 0]);
-        let err = chain_tnn(
-            &env,
-            Point::new(f64::NAN, 0.0),
-            0,
-            AnnMode::Exact,
-            false,
-        )
-        .unwrap_err();
+        let err = chain_tnn(&env, Point::new(f64::NAN, 0.0), 0, AnnMode::Exact, false).unwrap_err();
         assert_eq!(err, TnnError::NonFiniteQuery);
     }
 

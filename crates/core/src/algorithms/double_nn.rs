@@ -7,29 +7,34 @@
 //! a feasible pair, so Theorem 1 guarantees the filter range contains the
 //! answer.
 
-use super::{run_parallel, Estimate};
-use crate::task::NnSearchTask;
+use super::{run_parallel, Estimate, QueryScratch};
+use crate::task::queue::CandidateQueue;
+use crate::task::BroadcastNnSearch;
 use crate::{SearchMode, TnnConfig};
 use tnn_broadcast::MultiChannelEnv;
 use tnn_geom::Point;
 
-pub(crate) fn estimate(
+pub(crate) fn estimate<Q: CandidateQueue>(
     env: &MultiChannelEnv,
     p: Point,
     issued_at: u64,
     cfg: &TnnConfig,
+    scratch: &mut QueryScratch<Q>,
 ) -> Estimate {
-    let mut a = NnSearchTask::new(
+    let [s0, s1] = &mut scratch.nn;
+    let mut a = BroadcastNnSearch::with_scratch(
         env.channel(0),
         SearchMode::Point { q: p },
         cfg.ann[0],
         issued_at,
+        s0,
     );
-    let mut b = NnSearchTask::new(
+    let mut b = BroadcastNnSearch::with_scratch(
         env.channel(1),
         SearchMode::Point { q: p },
         cfg.ann[1],
         issued_at,
+        s1,
     );
     // No re-targeting: the completion hook is a no-op.
     run_parallel(&mut a, &mut b, |_, _, _, _| {});
@@ -37,12 +42,15 @@ pub(crate) fn estimate(
     let (s_pt, _, _) = a.best().expect("non-empty S");
     let (r_pt, _, _) = b.best().expect("non-empty R");
 
-    Estimate {
+    let est = Estimate {
         // Algorithm 1 line 4: d ← dis(p, s) + dis(s, r), with r = p.NN(R).
         radius: p.dist(s_pt) + s_pt.dist(r_pt),
         tuners: [*a.tuner(), *b.tuner()],
         end: a.now().max(b.now()),
-    }
+    };
+    a.recycle(s0);
+    b.recycle(s1);
+    est
 }
 
 #[cfg(test)]
@@ -53,6 +61,10 @@ mod tests {
     use tnn_broadcast::BroadcastParams;
     use tnn_rtree::{PackingAlgorithm, RTree};
 
+    fn fresh() -> super::QueryScratch {
+        super::QueryScratch::default()
+    }
+
     fn env(s: &[Point], r: &[Point], phases: [u64; 2]) -> MultiChannelEnv {
         let params = BroadcastParams::new(64);
         let ts = RTree::build(s, params.rtree_params(), PackingAlgorithm::Str).unwrap();
@@ -62,7 +74,12 @@ mod tests {
 
     fn grid(n: usize, salt: usize) -> Vec<Point> {
         (0..n)
-            .map(|i| Point::new(((i + salt) * 37 % 211) as f64, ((i + salt) * 53 % 223) as f64))
+            .map(|i| {
+                Point::new(
+                    ((i + salt) * 37 % 211) as f64,
+                    ((i + salt) * 53 % 223) as f64,
+                )
+            })
             .collect()
     }
 
@@ -72,7 +89,13 @@ mod tests {
         let r = grid(130, 5);
         let e = env(&s, &r, [3, 77]);
         let p = Point::new(90.0, 110.0);
-        let est = estimate(&e, p, 0, &TnnConfig::exact(Algorithm::DoubleNn));
+        let est = estimate(
+            &e,
+            p,
+            0,
+            &TnnConfig::exact(Algorithm::DoubleNn),
+            &mut fresh(),
+        );
         let s_star = s
             .iter()
             .min_by(|a, b| p.dist(**a).total_cmp(&p.dist(**b)))
@@ -94,10 +117,22 @@ mod tests {
         let e = env(&s, &r, [9, 31]);
         for (px, py) in [(10.0, 10.0), (100.0, 50.0), (200.0, 200.0)] {
             let p = Point::new(px, py);
-            let d_dbl = estimate(&e, p, 0, &TnnConfig::exact(Algorithm::DoubleNn)).radius;
-            let d_win =
-                super::super::window_based::estimate(&e, p, 0, &TnnConfig::exact(Algorithm::WindowBased))
-                    .radius;
+            let d_dbl = estimate(
+                &e,
+                p,
+                0,
+                &TnnConfig::exact(Algorithm::DoubleNn),
+                &mut fresh(),
+            )
+            .radius;
+            let d_win = super::super::window_based::estimate(
+                &e,
+                p,
+                0,
+                &TnnConfig::exact(Algorithm::WindowBased),
+                &mut fresh(),
+            )
+            .radius;
             assert!(d_dbl >= d_win - 1e-9);
         }
     }
@@ -130,7 +165,13 @@ mod tests {
         let r = grid(400, 7);
         let e = env(&s, &r, [0, 0]);
         let p = Point::new(105.0, 105.0);
-        let est = estimate(&e, p, 0, &TnnConfig::exact(Algorithm::DoubleNn));
+        let est = estimate(
+            &e,
+            p,
+            0,
+            &TnnConfig::exact(Algorithm::DoubleNn),
+            &mut fresh(),
+        );
         let bucket0 = e.channel(0).layout().bucket_len();
         let bucket1 = e.channel(1).layout().bucket_len();
         // First download on each channel happens within its first bucket

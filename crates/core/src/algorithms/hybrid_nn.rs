@@ -16,29 +16,34 @@
 //! `d = dis(p, s) + dis(s, r)`; delayed pruning (§4.2.4) guarantees the
 //! re-targeted search still has every candidate it needs.
 
-use super::{run_parallel, Estimate};
-use crate::task::NnSearchTask;
+use super::{run_parallel, Estimate, QueryScratch};
+use crate::task::queue::CandidateQueue;
+use crate::task::BroadcastNnSearch;
 use crate::{SearchMode, TnnConfig};
 use tnn_broadcast::MultiChannelEnv;
 use tnn_geom::Point;
 
-pub(crate) fn estimate(
+pub(crate) fn estimate<Q: CandidateQueue>(
     env: &MultiChannelEnv,
     p: Point,
     issued_at: u64,
     cfg: &TnnConfig,
+    scratch: &mut QueryScratch<Q>,
 ) -> Estimate {
-    let mut a = NnSearchTask::new(
+    let [s0, s1] = &mut scratch.nn;
+    let mut a = BroadcastNnSearch::with_scratch(
         env.channel(0),
         SearchMode::Point { q: p },
         cfg.ann[0],
         issued_at,
+        s0,
     );
-    let mut b = NnSearchTask::new(
+    let mut b = BroadcastNnSearch::with_scratch(
         env.channel(1),
         SearchMode::Point { q: p },
         cfg.ann[1],
         issued_at,
+        s1,
     );
     run_parallel(&mut a, &mut b, |which, finished_best, at, other| {
         match which {
@@ -60,11 +65,14 @@ pub(crate) fn estimate(
     let (s_pt, _, _) = a.best().expect("non-empty S");
     let (r_pt, _, _) = b.best().expect("non-empty R");
 
-    Estimate {
+    let est = Estimate {
         radius: p.dist(s_pt) + s_pt.dist(r_pt),
         tuners: [*a.tuner(), *b.tuner()],
         end: a.now().max(b.now()),
-    }
+    };
+    a.recycle(s0);
+    b.recycle(s1);
+    est
 }
 
 #[cfg(test)]
@@ -75,6 +83,10 @@ mod tests {
     use tnn_broadcast::BroadcastParams;
     use tnn_rtree::{PackingAlgorithm, RTree};
 
+    fn fresh() -> super::QueryScratch {
+        super::QueryScratch::default()
+    }
+
     fn env(s: &[Point], r: &[Point], phases: [u64; 2]) -> MultiChannelEnv {
         let params = BroadcastParams::new(64);
         let ts = RTree::build(s, params.rtree_params(), PackingAlgorithm::Str).unwrap();
@@ -84,7 +96,12 @@ mod tests {
 
     fn grid(n: usize, salt: usize) -> Vec<Point> {
         (0..n)
-            .map(|i| Point::new(((i + salt) * 37 % 211) as f64, ((i + salt) * 53 % 223) as f64))
+            .map(|i| {
+                Point::new(
+                    ((i + salt) * 37 % 211) as f64,
+                    ((i + salt) * 53 % 223) as f64,
+                )
+            })
             .collect()
     }
 
@@ -136,8 +153,20 @@ mod tests {
         let r = grid(200, 3);
         let e = env(&s, &r, [0, 9]);
         let p = Point::new(100.0, 100.0);
-        let h = estimate(&e, p, 0, &TnnConfig::exact(Algorithm::HybridNn));
-        let d = super::super::double_nn::estimate(&e, p, 0, &TnnConfig::exact(Algorithm::DoubleNn));
+        let h = estimate(
+            &e,
+            p,
+            0,
+            &TnnConfig::exact(Algorithm::HybridNn),
+            &mut fresh(),
+        );
+        let d = super::super::double_nn::estimate(
+            &e,
+            p,
+            0,
+            &TnnConfig::exact(Algorithm::DoubleNn),
+            &mut fresh(),
+        );
         // Same estimate end (the paper: "Double-NN and Hybrid-NN always
         // have the same access time") — identical queues, possibly fewer
         // downloads for hybrid after the switch, but the same last
@@ -158,9 +187,22 @@ mod tests {
         let e = env(&s, &r, [50, 0]);
         for (px, py) in [(30.0, 30.0), (170.0, 120.0), (60.0, 200.0)] {
             let p = Point::new(px, py);
-            let h = estimate(&e, p, 0, &TnnConfig::exact(Algorithm::HybridNn)).radius;
-            let d = super::super::double_nn::estimate(&e, p, 0, &TnnConfig::exact(Algorithm::DoubleNn))
-                .radius;
+            let h = estimate(
+                &e,
+                p,
+                0,
+                &TnnConfig::exact(Algorithm::HybridNn),
+                &mut fresh(),
+            )
+            .radius;
+            let d = super::super::double_nn::estimate(
+                &e,
+                p,
+                0,
+                &TnnConfig::exact(Algorithm::DoubleNn),
+                &mut fresh(),
+            )
+            .radius;
             assert!(h <= d + 1e-9, "hybrid {h} > double {d} at {p:?}");
         }
     }
@@ -173,8 +215,12 @@ mod tests {
         let e = env(&s, &r, [7, 19]);
         let p = Point::new(111.0, 99.0);
         let cfg = TnnConfig::exact(Algorithm::HybridNn).with_ann(
-            crate::AnnMode::Dynamic { factor: 1.0 / 150.0 },
-            crate::AnnMode::Dynamic { factor: 1.0 / 150.0 },
+            crate::AnnMode::Dynamic {
+                factor: 1.0 / 150.0,
+            },
+            crate::AnnMode::Dynamic {
+                factor: 1.0 / 150.0,
+            },
         );
         let run = run_query(&e, p, 0, &cfg).unwrap();
         let got = run.answer.unwrap();

@@ -7,6 +7,14 @@
 //! window queries over `circle(p, d)` on both channels in parallel, joins
 //! the candidates locally, and finally retrieves the answer objects' data
 //! pages.
+//!
+//! Every step is generic over the candidate-queue backend of the NN
+//! search tasks (see [`crate::task::queue`]): [`run_query`] uses the
+//! heap-ordered production backend, while the feature-gated
+//! [`run_query_linear`] drives the identical algorithm code over the
+//! paper-literal linear-scan reference for A/B benchmarking. The hot path
+//! performs no per-query allocations when driven through
+//! [`run_query_with`] with a reused [`QueryScratch`].
 
 mod approximate;
 mod chain;
@@ -19,11 +27,31 @@ pub use approximate::{approximate_radius, approximate_radius_for_env};
 pub use chain::{chain_tnn, ChainRun};
 pub use variants::{order_free_tnn, round_trip_join, round_trip_tnn, VariantRun, VisitOrder};
 
-use crate::task::{NnSearchTask, WindowQueryTask};
-use crate::{tnn_join, Algorithm, ChannelCost, TnnConfig, TnnError, TnnRun};
+use crate::join::JoinScratch;
+use crate::task::queue::{ArrivalHeap, CandidateQueue};
+use crate::task::{BroadcastNnSearch, NnScratch, WindowQueryTask, WindowScratch};
+use crate::{tnn_join_with, Algorithm, ChannelCost, TnnConfig, TnnError, TnnRun};
 use tnn_broadcast::{MultiChannelEnv, Tuner};
 use tnn_geom::{Circle, Point};
 use tnn_rtree::ObjectId;
+
+#[cfg(feature = "linear-reference")]
+use crate::task::queue::LinearQueue;
+
+/// Reusable per-worker buffers for the whole query pipeline: the two NN
+/// search tasks of the estimate phase, the two window queries of the
+/// filter phase, and the local join. After the first query has grown the
+/// buffers, subsequent queries through [`run_query_with`] allocate
+/// nothing.
+#[derive(Debug, Default)]
+pub struct QueryScratch<Q: CandidateQueue = ArrivalHeap> {
+    /// Estimate-phase NN task buffers, one per channel.
+    pub(crate) nn: [NnScratch<Q>; 2],
+    /// Filter-phase window query buffers, one per channel.
+    pub(crate) window: [WindowScratch; 2],
+    /// Join working memory.
+    pub(crate) join: JoinScratch,
+}
 
 /// Executes one TNN query against a two-channel environment.
 ///
@@ -40,6 +68,63 @@ pub fn run_query(
     issued_at: u64,
     cfg: &TnnConfig,
 ) -> Result<TnnRun, TnnError> {
+    run_query_with(env, p, issued_at, cfg, &mut QueryScratch::default())
+}
+
+/// [`run_query`] with caller-provided scratch buffers — the zero-alloc
+/// entry point batch runners should use, holding one [`QueryScratch`] per
+/// worker thread.
+pub fn run_query_with(
+    env: &MultiChannelEnv,
+    p: Point,
+    issued_at: u64,
+    cfg: &TnnConfig,
+    scratch: &mut QueryScratch<ArrivalHeap>,
+) -> Result<TnnRun, TnnError> {
+    run_query_impl(env, p, issued_at, cfg, scratch)
+}
+
+/// [`run_query`] over the paper-literal linear-scan candidate queues —
+/// identical algorithm code, O(n) queue operations. Only for benchmarks
+/// and equivalence tests.
+#[cfg(feature = "linear-reference")]
+pub fn run_query_linear(
+    env: &MultiChannelEnv,
+    p: Point,
+    issued_at: u64,
+    cfg: &TnnConfig,
+) -> Result<TnnRun, TnnError> {
+    run_query_impl(
+        env,
+        p,
+        issued_at,
+        cfg,
+        &mut QueryScratch::<LinearQueue>::default(),
+    )
+}
+
+/// [`run_query_linear`] with caller-provided scratch buffers.
+#[cfg(feature = "linear-reference")]
+pub fn run_query_linear_with(
+    env: &MultiChannelEnv,
+    p: Point,
+    issued_at: u64,
+    cfg: &TnnConfig,
+    scratch: &mut QueryScratch<LinearQueue>,
+) -> Result<TnnRun, TnnError> {
+    run_query_impl(env, p, issued_at, cfg, scratch)
+}
+
+/// The queue-generic query pipeline behind [`run_query`] /
+/// [`run_query_linear`]: batch runners that A/B the two backends call
+/// this directly with their own scratch type.
+pub fn run_query_impl<Q: CandidateQueue>(
+    env: &MultiChannelEnv,
+    p: Point,
+    issued_at: u64,
+    cfg: &TnnConfig,
+    scratch: &mut QueryScratch<Q>,
+) -> Result<TnnRun, TnnError> {
     if env.len() != 2 {
         return Err(TnnError::WrongChannelCount {
             needed: 2,
@@ -50,12 +135,12 @@ pub fn run_query(
         return Err(TnnError::NonFiniteQuery);
     }
     let est = match cfg.algorithm {
-        Algorithm::WindowBased => window_based::estimate(env, p, issued_at, cfg),
+        Algorithm::WindowBased => window_based::estimate(env, p, issued_at, cfg, scratch),
         Algorithm::ApproximateTnn => approximate::estimate(env, issued_at),
-        Algorithm::DoubleNn => double_nn::estimate(env, p, issued_at, cfg),
-        Algorithm::HybridNn => hybrid_nn::estimate(env, p, issued_at, cfg),
+        Algorithm::DoubleNn => double_nn::estimate(env, p, issued_at, cfg, scratch),
+        Algorithm::HybridNn => hybrid_nn::estimate(env, p, issued_at, cfg, scratch),
     };
-    Ok(filter_and_finish(env, p, issued_at, est, cfg))
+    Ok(filter_and_finish(env, p, issued_at, est, cfg, scratch))
 }
 
 /// Result of an estimate phase: the filter radius plus cost accounting.
@@ -70,12 +155,13 @@ pub(crate) struct Estimate {
 }
 
 /// The common filter + retrieve tail shared by all four algorithms.
-pub(crate) fn filter_and_finish(
+pub(crate) fn filter_and_finish<Q: CandidateQueue>(
     env: &MultiChannelEnv,
     p: Point,
     issued_at: u64,
     est: Estimate,
     cfg: &TnnConfig,
+    scratch: &mut QueryScratch<Q>,
 ) -> TnnRun {
     // The search range is mathematically *closed*: the feasible pair that
     // produced the radius lies exactly on its boundary. Pad by a few ULPs
@@ -84,24 +170,28 @@ pub(crate) fn filter_and_finish(
 
     // Filter phase: window queries on both channels, in parallel (each has
     // its own timeline starting at the estimate end).
-    let mut w0 = WindowQueryTask::new(env.channel(0), range, est.end);
+    let [w0_scratch, w1_scratch] = &mut scratch.window;
+    let mut w0 = WindowQueryTask::with_scratch(env.channel(0), range, est.end, w0_scratch);
     let f0_end = w0.run_to_completion();
-    let mut w1 = WindowQueryTask::new(env.channel(1), range, est.end);
+    let mut w1 = WindowQueryTask::with_scratch(env.channel(1), range, est.end, w1_scratch);
     let f1_end = w1.run_to_completion();
 
     let candidates = [w0.hits().len(), w1.hits().len()];
-    let answer = tnn_join(p, w0.hits(), w1.hits());
+    let filter_pages = [w0.tuner().pages, w1.tuner().pages];
+    let answer = tnn_join_with(&mut scratch.join, p, w0.hits(), w1.hits());
+    w0.recycle(w0_scratch);
+    w1.recycle(w1_scratch);
 
     let mut channels = [
         ChannelCost {
             estimate_pages: est.tuners[0].pages,
-            filter_pages: w0.tuner().pages,
+            filter_pages: filter_pages[0],
             retrieve_pages: 0,
             finish_time: est.tuners[0].finish_time.unwrap_or(issued_at).max(f0_end),
         },
         ChannelCost {
             estimate_pages: est.tuners[1].pages,
-            filter_pages: w1.tuner().pages,
+            filter_pages: filter_pages[1],
             retrieve_pages: 0,
             finish_time: est.tuners[1].finish_time.unwrap_or(issued_at).max(f1_end),
         },
@@ -144,11 +234,17 @@ pub(crate) fn filter_and_finish(
 /// the hook Hybrid-NN uses to re-target the surviving search. `at` is the
 /// finishing task's clock, the global time of the switch.
 ///
-/// Channel 0 wins ties, making runs deterministic.
-pub(crate) fn run_parallel<'a, 'b>(
-    a: &mut NnSearchTask<'a>,
-    b: &mut NnSearchTask<'b>,
-    mut on_completion: impl FnMut(usize, Option<(Point, ObjectId, f64)>, u64, ParallelOther<'_, 'a, 'b>),
+/// Channel 0 wins ties, making runs deterministic. `next_arrival` is an
+/// O(1) heap peek, so the interleaving loop adds no scanning overhead.
+pub(crate) fn run_parallel<'a, 'b, Q: CandidateQueue>(
+    a: &mut BroadcastNnSearch<'a, Q>,
+    b: &mut BroadcastNnSearch<'b, Q>,
+    mut on_completion: impl FnMut(
+        usize,
+        Option<(Point, ObjectId, f64)>,
+        u64,
+        ParallelOther<'_, 'a, 'b, Q>,
+    ),
 ) {
     let mut fired = false;
     loop {
@@ -182,14 +278,14 @@ pub(crate) fn run_parallel<'a, 'b>(
 
 /// The still-running task handed to the completion hook (the two tasks may
 /// borrow different channels, hence the two-lifetime wrapper).
-pub(crate) enum ParallelOther<'x, 'a, 'b> {
+pub(crate) enum ParallelOther<'x, 'a, 'b, Q: CandidateQueue> {
     /// Task `a` is still running.
-    A(&'x mut NnSearchTask<'a>),
+    A(&'x mut BroadcastNnSearch<'a, Q>),
     /// Task `b` is still running.
-    B(&'x mut NnSearchTask<'b>),
+    B(&'x mut BroadcastNnSearch<'b, Q>),
 }
 
-impl ParallelOther<'_, '_, '_> {
+impl<Q: CandidateQueue> ParallelOther<'_, '_, '_, Q> {
     /// Hybrid case 2: re-target the surviving search to a new query point
     /// at time `at`.
     pub fn switch_query_point(self, q: Point, at: u64) {
@@ -206,5 +302,123 @@ impl ParallelOther<'_, '_, '_> {
             ParallelOther::A(t) => t.switch_to_transitive(p, r, at),
             ParallelOther::B(t) => t.switch_to_transitive(p, r, at),
         }
+    }
+}
+
+/// Property tests asserting the heap-ordered production queue and the
+/// paper-literal linear-scan reference produce **byte-identical**
+/// [`TnnRun`]s — same pages, same finish times, same answers — across all
+/// four algorithms, random datasets, phases, ANN modes, and the
+/// arrival-tie / mid-flight-switch cases Hybrid-NN exercises.
+#[cfg(test)]
+mod equivalence_tests {
+    use super::*;
+    use crate::task::queue::LinearQueue;
+    use crate::{AnnMode, SearchMode};
+    use proptest::prelude::*;
+    use std::sync::Arc;
+    use tnn_broadcast::BroadcastParams;
+    use tnn_rtree::{PackingAlgorithm, RTree};
+
+    fn build_env(s: &[Point], r: &[Point], page: usize, phases: [u64; 2]) -> MultiChannelEnv {
+        let params = BroadcastParams::new(page);
+        let ts = RTree::build(s, params.rtree_params(), PackingAlgorithm::Str).unwrap();
+        let tr = RTree::build(r, params.rtree_params(), PackingAlgorithm::Str).unwrap();
+        MultiChannelEnv::new(vec![Arc::new(ts), Arc::new(tr)], params, &phases)
+    }
+
+    fn pts_strategy(max: usize) -> impl Strategy<Value = Vec<Point>> {
+        prop::collection::vec(
+            (0.0f64..1000.0, 0.0f64..1000.0).prop_map(|(x, y)| Point::new(x, y)),
+            1..max,
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn heap_and_linear_runs_are_byte_identical(
+            s in pts_strategy(220),
+            r in pts_strategy(220),
+            (ph0, ph1) in (0u64..50_000, 0u64..50_000),
+            page in prop::sample::select(vec![64usize, 128]),
+            (qx, qy) in (-100.0f64..1100.0, -100.0f64..1100.0),
+            issued_at in 0u64..20_000,
+            ann_factor in 0.0f64..2.0,
+        ) {
+            let env = build_env(&s, &r, page, [ph0, ph1]);
+            let p = Point::new(qx, qy);
+            let mut heap_scratch = QueryScratch::<ArrivalHeap>::default();
+            let mut linear_scratch = QueryScratch::<LinearQueue>::default();
+            for alg in Algorithm::ALL {
+                for ann in [AnnMode::Exact, AnnMode::Dynamic { factor: ann_factor }] {
+                    let cfg = TnnConfig::exact(alg).with_ann(ann, ann);
+                    let heap_run =
+                        run_query_impl(&env, p, issued_at, &cfg, &mut heap_scratch).unwrap();
+                    let linear_run =
+                        run_query_impl(&env, p, issued_at, &cfg, &mut linear_scratch).unwrap();
+                    prop_assert_eq!(
+                        &heap_run, &linear_run,
+                        "divergent run for {} / {:?}", alg.name(), ann
+                    );
+                }
+            }
+        }
+
+        /// Small, highly symmetric grids force equal-bound tie cases; the
+        /// asymmetric sizes force both Hybrid switch directions.
+        #[test]
+        fn equivalence_on_tie_heavy_grids(
+            side in 2usize..7,
+            big in 150usize..400,
+            phase in 0u64..10_000,
+        ) {
+            let grid: Vec<Point> = (0..side * side)
+                .map(|i| Point::new((i % side) as f64 * 10.0, (i / side) as f64 * 10.0))
+                .collect();
+            let cloud: Vec<Point> = (0..big)
+                .map(|i| Point::new((i * 37 % 211) as f64, (i * 53 % 223) as f64))
+                .collect();
+            // Query at the exact grid center: equidistant candidates.
+            let p = Point::new((side - 1) as f64 * 5.0, (side - 1) as f64 * 5.0);
+            for (s, r) in [(&grid, &cloud), (&cloud, &grid)] {
+                let env = build_env(s, r, 64, [phase, phase / 2]);
+                for alg in Algorithm::ALL {
+                    let cfg = TnnConfig::exact(alg);
+                    let heap_run = run_query_impl(
+                        &env, p, 3, &cfg, &mut QueryScratch::<ArrivalHeap>::default(),
+                    )
+                    .unwrap();
+                    let linear_run = run_query_impl(
+                        &env, p, 3, &cfg, &mut QueryScratch::<LinearQueue>::default(),
+                    )
+                    .unwrap();
+                    prop_assert_eq!(&heap_run, &linear_run, "{}", alg.name());
+                }
+            }
+        }
+    }
+
+    /// The chained extension uses the same task machinery; spot-check the
+    /// heap path against the linear one through the public single-query
+    /// entry points.
+    #[test]
+    fn peak_memory_is_backend_independent() {
+        let pts: Vec<Point> = (0..800)
+            .map(|i| Point::new((i * 37 % 211) as f64, (i * 53 % 223) as f64))
+            .collect();
+        let params = BroadcastParams::new(64);
+        let tree = RTree::build(&pts, params.rtree_params(), PackingAlgorithm::Str).unwrap();
+        let ch = tnn_broadcast::Channel::new(Arc::new(tree), params, 9);
+        let q = Point::new(77.0, 133.0);
+        let mut heap =
+            crate::task::NnSearchTask::new(&ch, SearchMode::Point { q }, AnnMode::Exact, 2);
+        let mut linear =
+            crate::task::LinearNnSearchTask::new(&ch, SearchMode::Point { q }, AnnMode::Exact, 2);
+        heap.run_to_completion();
+        linear.run_to_completion();
+        assert_eq!(heap.peak_memory(), linear.peak_memory());
+        assert_eq!(heap.tuner().pages, linear.tuner().pages);
     }
 }

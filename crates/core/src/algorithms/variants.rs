@@ -84,7 +84,12 @@ fn double_estimate(
     p: Point,
     issued_at: u64,
     ann: AnnMode,
-) -> ((Point, ObjectId), (Point, ObjectId), [tnn_broadcast::Tuner; 2], u64) {
+) -> (
+    (Point, ObjectId),
+    (Point, ObjectId),
+    [tnn_broadcast::Tuner; 2],
+    u64,
+) {
     let mut a = NnSearchTask::new(env.channel(0), SearchMode::Point { q: p }, ann, issued_at);
     let mut b = NnSearchTask::new(env.channel(1), SearchMode::Point { q: p }, ann, issued_at);
     run_parallel(&mut a, &mut b, |_, _, _, _| {});
@@ -320,7 +325,12 @@ mod tests {
 
     fn cloud(n: usize, salt: usize) -> Vec<Point> {
         (0..n)
-            .map(|i| Point::new(((i + salt) * 37 % 211) as f64, ((i + salt) * 53 % 223) as f64))
+            .map(|i| {
+                Point::new(
+                    ((i + salt) * 37 % 211) as f64,
+                    ((i + salt) * 53 % 223) as f64,
+                )
+            })
             .collect()
     }
 
@@ -358,7 +368,9 @@ mod tests {
     #[test]
     fn order_free_reports_consistent_order() {
         // Put R's points very close to p and S far: visiting R first wins.
-        let s: Vec<Point> = (0..30).map(|i| Point::new(500.0 + i as f64, 500.0)).collect();
+        let s: Vec<Point> = (0..30)
+            .map(|i| Point::new(500.0 + i as f64, 500.0))
+            .collect();
         let r: Vec<Point> = (0..30).map(|i| Point::new(10.0 + i as f64, 10.0)).collect();
         let e = env(&s, &r);
         let p = Point::new(0.0, 0.0);

@@ -7,24 +7,28 @@
 //! out); radius `d = dis(p, s) + dis(s, r)`. The filter phase runs on
 //! both channels in parallel (the adaptation to simultaneous access).
 
-use super::Estimate;
-use crate::task::NnSearchTask;
+use super::{Estimate, QueryScratch};
+use crate::task::queue::CandidateQueue;
+use crate::task::BroadcastNnSearch;
 use crate::{SearchMode, TnnConfig};
 use tnn_broadcast::MultiChannelEnv;
 use tnn_geom::Point;
 
-pub(crate) fn estimate(
+pub(crate) fn estimate<Q: CandidateQueue>(
     env: &MultiChannelEnv,
     p: Point,
     issued_at: u64,
     cfg: &TnnConfig,
+    scratch: &mut QueryScratch<Q>,
 ) -> Estimate {
+    let [s0, s1] = &mut scratch.nn;
     // First NN query: s = p.NN(S) on channel 0.
-    let mut nn1 = NnSearchTask::new(
+    let mut nn1 = BroadcastNnSearch::with_scratch(
         env.channel(0),
         SearchMode::Point { q: p },
         cfg.ann[0],
         issued_at,
+        s0,
     );
     let t1 = nn1.run_to_completion();
     let (s_pt, _, _) = nn1
@@ -33,22 +37,26 @@ pub(crate) fn estimate(
 
     // Second NN query: r = s.NN(R) on channel 1, starting only after the
     // first finished.
-    let mut nn2 = NnSearchTask::new(
+    let mut nn2 = BroadcastNnSearch::with_scratch(
         env.channel(1),
         SearchMode::Point { q: s_pt },
         cfg.ann[1],
         t1,
+        s1,
     );
     let t2 = nn2.run_to_completion();
     let (r_pt, _, _) = nn2
         .best()
         .expect("NN search over a non-empty tree always yields a point");
 
-    Estimate {
+    let est = Estimate {
         radius: p.dist(s_pt) + s_pt.dist(r_pt),
         tuners: [*nn1.tuner(), *nn2.tuner()],
         end: t1.max(t2),
-    }
+    };
+    nn1.recycle(s0);
+    nn2.recycle(s1);
+    est
 }
 
 #[cfg(test)]
@@ -59,6 +67,10 @@ mod tests {
     use tnn_broadcast::BroadcastParams;
     use tnn_rtree::{PackingAlgorithm, RTree};
 
+    fn fresh() -> super::QueryScratch {
+        super::QueryScratch::default()
+    }
+
     fn env(s: &[Point], r: &[Point]) -> MultiChannelEnv {
         let params = BroadcastParams::new(64);
         let ts = RTree::build(s, params.rtree_params(), PackingAlgorithm::Str).unwrap();
@@ -68,7 +80,12 @@ mod tests {
 
     fn grid(n: usize, salt: usize) -> Vec<Point> {
         (0..n)
-            .map(|i| Point::new(((i + salt) * 37 % 211) as f64, ((i + salt) * 53 % 223) as f64))
+            .map(|i| {
+                Point::new(
+                    ((i + salt) * 37 % 211) as f64,
+                    ((i + salt) * 53 % 223) as f64,
+                )
+            })
             .collect()
     }
 
@@ -78,7 +95,13 @@ mod tests {
         let r = grid(150, 7);
         let e = env(&s, &r);
         let p = Point::new(100.0, 100.0);
-        let est = estimate(&e, p, 0, &TnnConfig::exact(Algorithm::WindowBased));
+        let est = estimate(
+            &e,
+            p,
+            0,
+            &TnnConfig::exact(Algorithm::WindowBased),
+            &mut fresh(),
+        );
         // s* = p's true NN in S; r* = s*'s true NN in R.
         let s_star = s
             .iter()
@@ -98,7 +121,13 @@ mod tests {
         let r = grid(200, 3);
         let e = env(&s, &r);
         let p = Point::new(50.0, 60.0);
-        let est = estimate(&e, p, 11, &TnnConfig::exact(Algorithm::WindowBased));
+        let est = estimate(
+            &e,
+            p,
+            11,
+            &TnnConfig::exact(Algorithm::WindowBased),
+            &mut fresh(),
+        );
         // Channel 1's estimate pages can only have been downloaded after
         // channel 0 finished; its tuner finish time must exceed channel
         // 0's.

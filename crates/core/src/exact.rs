@@ -62,7 +62,9 @@ mod tests {
     fn pseudo(n: usize, salt: u64) -> Vec<(f64, f64)> {
         (0..n)
             .map(|i| {
-                let a = (i as u64).wrapping_mul(6364136223846793005).wrapping_add(salt);
+                let a = (i as u64)
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(salt);
                 let x = (a >> 33) % 10_000;
                 let y = (a >> 13) % 10_000;
                 (x as f64, y as f64)
@@ -85,11 +87,7 @@ mod tests {
             let mut best = f64::INFINITY;
             for &(sx, sy) in &s_coords {
                 for &(rx, ry) in &r_coords {
-                    best = best.min(transitive_dist(
-                        p,
-                        Point::new(sx, sy),
-                        Point::new(rx, ry),
-                    ));
+                    best = best.min(transitive_dist(p, Point::new(sx, sy), Point::new(rx, ry)));
                 }
             }
             assert!((got.dist - best).abs() < 1e-9, "query {p:?}");

@@ -2,25 +2,51 @@
 //! among the retrieved candidates.
 //!
 //! The paper's Algorithm 1 (lines 7–17) is a bound-pruned nested loop; we
-//! keep that shape but accelerate the inner NN lookup with a small
-//! in-memory R-tree when the candidate sets are large (the join runs on
-//! the client from already-downloaded data, and the paper explicitly
-//! neglects its computational cost — this only keeps simulations fast).
+//! keep that shape but run every comparison in squared-distance space and
+//! accelerate the inner NN lookup with an x-sorted plane sweep when the
+//! candidate sets are large (the join runs on the client from
+//! already-downloaded data, and the paper explicitly neglects its
+//! computational cost — this only keeps simulations fast). All working
+//! memory lives in a reusable [`JoinScratch`], so a batch of queries
+//! performs no join allocations after the first.
 
 use crate::TnnPair;
 use tnn_geom::Point;
-use tnn_rtree::{ObjectId, PackingAlgorithm, RTree, RTreeParams};
+use tnn_rtree::ObjectId;
 
 /// Candidate-set size beyond which the inner loop switches from a linear
-/// scan to an in-memory R-tree NN lookup.
-const INDEXED_JOIN_THRESHOLD: usize = 48;
+/// scan to the x-sorted sweep (sorting only pays off once the scan is
+/// long enough).
+const SWEEP_JOIN_THRESHOLD: usize = 48;
+
+/// Reusable buffers for [`tnn_join_with`]: the `s`-candidate visit order
+/// and the x-sorted `r`-candidate index.
+#[derive(Debug, Default)]
+pub struct JoinScratch {
+    /// `(dis²(p, s), index)` sorted ascending.
+    s_order: Vec<(f64, u32)>,
+    /// `(x, y, index)` sorted by x (then index).
+    r_by_x: Vec<(f64, f64, u32)>,
+}
 
 /// Finds the pair `(s, r)` minimizing `dis(p, s) + dis(s, r)` over the
 /// candidate sets, or `None` when either set is empty.
 ///
-/// Ties are broken toward the pair encountered first with `s` ordered by
-/// ascending `dis(p, s)` — deterministic for deterministic inputs.
+/// Ties are broken toward smaller squared distance, then smaller
+/// candidate index — deterministic for deterministic inputs and
+/// independent of the inner-loop strategy.
 pub fn tnn_join(
+    p: Point,
+    s_cands: &[(Point, ObjectId)],
+    r_cands: &[(Point, ObjectId)],
+) -> Option<TnnPair> {
+    tnn_join_with(&mut JoinScratch::default(), p, s_cands, r_cands)
+}
+
+/// [`tnn_join`] with caller-provided scratch buffers (zero allocations
+/// once the buffers have grown to the workload's candidate counts).
+pub fn tnn_join_with(
+    scratch: &mut JoinScratch,
     p: Point,
     s_cands: &[(Point, ObjectId)],
     r_cands: &[(Point, ObjectId)],
@@ -31,46 +57,49 @@ pub fn tnn_join(
 
     // Visit s candidates in ascending dis(p, s): once dis(p, s) alone
     // reaches the best total, no later s can win (Algorithm 1 line 8).
-    let mut order: Vec<usize> = (0..s_cands.len()).collect();
-    order.sort_by(|&a, &b| {
-        p.dist_sq(s_cands[a].0)
-            .total_cmp(&p.dist_sq(s_cands[b].0))
-    });
+    // Squared distances order identically; the index tie-break keeps the
+    // unstable sort deterministic.
+    scratch.s_order.clear();
+    scratch.s_order.extend(
+        s_cands
+            .iter()
+            .enumerate()
+            .map(|(i, &(pt, _))| (p.dist_sq(pt), i as u32)),
+    );
+    scratch
+        .s_order
+        .sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
 
-    let r_index = if r_cands.len() > INDEXED_JOIN_THRESHOLD {
-        RTree::build_with_ids(r_cands, RTreeParams::new(8, 32), PackingAlgorithm::Str).ok()
-    } else {
-        None
-    };
+    let sweep = r_cands.len() > SWEEP_JOIN_THRESHOLD;
+    if sweep {
+        scratch.r_by_x.clear();
+        scratch.r_by_x.extend(
+            r_cands
+                .iter()
+                .enumerate()
+                .map(|(i, &(pt, _))| (pt.x, pt.y, i as u32)),
+        );
+        scratch
+            .r_by_x
+            .sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.2.cmp(&b.2)));
+    }
 
     let mut best: Option<TnnPair> = None;
-    for &si in &order {
-        let (s_pt, s_id) = s_cands[si];
+    for &(_, si) in &scratch.s_order {
+        let (s_pt, s_id) = s_cands[si as usize];
         let d_ps = p.dist(s_pt);
         if let Some(b) = &best {
             if d_ps >= b.dist {
                 break;
             }
         }
-        let (r_pt, r_id, d_sr) = match &r_index {
-            Some(index) => {
-                let nn = index
-                    .nearest_neighbor(s_pt)
-                    .expect("non-empty candidate index");
-                (nn.point, nn.object, nn.dist)
-            }
-            None => {
-                let mut nearest = (r_cands[0].0, r_cands[0].1, f64::INFINITY);
-                for &(r_pt, r_id) in r_cands {
-                    let d = s_pt.dist(r_pt);
-                    if d < nearest.2 {
-                        nearest = (r_pt, r_id, d);
-                    }
-                }
-                nearest
-            }
+        let (ri, d_sr_sq) = if sweep {
+            nearest_by_sweep(&scratch.r_by_x, s_pt)
+        } else {
+            nearest_by_scan(r_cands, s_pt)
         };
-        let total = d_ps + d_sr;
+        let (r_pt, r_id) = r_cands[ri];
+        let total = d_ps + d_sr_sq.sqrt();
         if best.as_ref().is_none_or(|b| total < b.dist) {
             best = Some(TnnPair {
                 s: (s_pt, s_id),
@@ -80,6 +109,55 @@ pub fn tnn_join(
         }
     }
     best
+}
+
+/// Linear inner NN in squared space; returns `(index, dis²)`. Picks the
+/// smallest `(dis², index)` pair, matching [`nearest_by_sweep`] exactly.
+fn nearest_by_scan(r_cands: &[(Point, ObjectId)], q: Point) -> (usize, f64) {
+    let mut best = (usize::MAX, f64::INFINITY);
+    for (i, &(pt, _)) in r_cands.iter().enumerate() {
+        let d2 = q.dist_sq(pt);
+        if d2 < best.1 {
+            best = (i, d2);
+        }
+    }
+    best
+}
+
+/// Inner NN over the x-sorted candidate index: expands outward from the
+/// query's x position and stops each direction once the x gap alone
+/// exceeds the best squared distance. Returns `(index, dis²)`, choosing
+/// the smallest `(dis², index)` pair so the result is independent of the
+/// sweep direction.
+fn nearest_by_sweep(r_by_x: &[(f64, f64, u32)], q: Point) -> (usize, f64) {
+    let start = r_by_x.partition_point(|e| e.0 < q.x);
+    let mut best_d2 = f64::INFINITY;
+    let mut best_idx = u32::MAX;
+    for e in &r_by_x[start..] {
+        let dx = e.0 - q.x;
+        if dx * dx > best_d2 {
+            break;
+        }
+        let dy = e.1 - q.y;
+        let d2 = dx * dx + dy * dy;
+        if d2 < best_d2 || (d2 == best_d2 && e.2 < best_idx) {
+            best_d2 = d2;
+            best_idx = e.2;
+        }
+    }
+    for e in r_by_x[..start].iter().rev() {
+        let dx = e.0 - q.x;
+        if dx * dx > best_d2 {
+            break;
+        }
+        let dy = e.1 - q.y;
+        let d2 = dx * dx + dy * dy;
+        if d2 < best_d2 || (d2 == best_d2 && e.2 < best_idx) {
+            best_d2 = d2;
+            best_idx = e.2;
+        }
+    }
+    (best_idx as usize, best_d2)
 }
 
 /// Chained-TNN join (the future-work generalization): given candidate
@@ -165,10 +243,20 @@ mod tests {
         // R-tree-accelerated inner loop.
         let p = Point::new(50.0, 50.0);
         let s: Vec<(Point, ObjectId)> = (0..80)
-            .map(|i| (Point::new((i * 13 % 97) as f64, (i * 7 % 89) as f64), ObjectId(i)))
+            .map(|i| {
+                (
+                    Point::new((i * 13 % 97) as f64, (i * 7 % 89) as f64),
+                    ObjectId(i),
+                )
+            })
             .collect();
         let r: Vec<(Point, ObjectId)> = (0..120)
-            .map(|i| (Point::new((i * 11 % 101) as f64, (i * 17 % 103) as f64), ObjectId(i)))
+            .map(|i| {
+                (
+                    Point::new((i * 11 % 101) as f64, (i * 17 % 103) as f64),
+                    ObjectId(i),
+                )
+            })
             .collect();
         let got = tnn_join(p, &s, &r).unwrap();
         let mut best = f64::INFINITY;
@@ -178,6 +266,67 @@ mod tests {
             }
         }
         assert!((got.dist - best).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sweep_and_scan_inner_loops_agree() {
+        // The x-sorted sweep must pick exactly the same (dis², index) as
+        // the plain scan, including duplicate-coordinate tie cases.
+        let mut r: Vec<(Point, ObjectId)> = (0..200)
+            .map(|i| {
+                (
+                    Point::new((i * 29 % 97) as f64, (i * 31 % 89) as f64),
+                    ObjectId(i),
+                )
+            })
+            .collect();
+        // Force coordinate duplicates.
+        r.push(r[17]);
+        r.push(r[3]);
+        let mut by_x: Vec<(f64, f64, u32)> = r
+            .iter()
+            .enumerate()
+            .map(|(i, &(pt, _))| (pt.x, pt.y, i as u32))
+            .collect();
+        by_x.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.2.cmp(&b.2)));
+        for qi in 0..150 {
+            let q = Point::new((qi * 13 % 120) as f64 - 10.0, (qi * 7 % 110) as f64 - 5.0);
+            let scan = nearest_by_scan(&r, q);
+            let sweep = nearest_by_sweep(&by_x, q);
+            assert_eq!(scan, sweep, "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn join_with_reused_scratch_matches_fresh() {
+        let p = Point::new(40.0, 40.0);
+        let mut scratch = JoinScratch::default();
+        for salt in 0..5usize {
+            let s: Vec<(Point, ObjectId)> = (0..60)
+                .map(|i| {
+                    (
+                        Point::new(((i + salt) * 13 % 97) as f64, ((i + salt) * 7 % 89) as f64),
+                        ObjectId(i as u32),
+                    )
+                })
+                .collect();
+            let r: Vec<(Point, ObjectId)> = (0..90)
+                .map(|i| {
+                    (
+                        Point::new(
+                            ((i + salt) * 11 % 101) as f64,
+                            ((i + salt) * 17 % 103) as f64,
+                        ),
+                        ObjectId(i as u32),
+                    )
+                })
+                .collect();
+            let fresh = tnn_join(p, &s, &r).unwrap();
+            let reused = tnn_join_with(&mut scratch, p, &s, &r).unwrap();
+            assert_eq!(fresh.s, reused.s);
+            assert_eq!(fresh.r, reused.r);
+            assert_eq!(fresh.dist, reused.dist);
+        }
     }
 
     #[test]

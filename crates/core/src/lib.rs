@@ -73,5 +73,12 @@ pub use result::{ChannelCost, Phase, TnnPair, TnnRun};
 
 pub use algorithms::{
     approximate_radius, approximate_radius_for_env, chain_tnn, order_free_tnn, round_trip_tnn,
-    run_query, ChainRun, VariantRun, VisitOrder,
+    run_query, run_query_impl, run_query_with, ChainRun, QueryScratch, VariantRun, VisitOrder,
 };
+pub use join::{tnn_join_with, JoinScratch};
+pub use task::{ArrivalHeap, CandidateQueue};
+
+#[cfg(feature = "linear-reference")]
+pub use algorithms::{run_query_linear, run_query_linear_with};
+#[cfg(feature = "linear-reference")]
+pub use task::LinearQueue;

@@ -63,12 +63,54 @@ impl SearchMode {
         }
     }
 
-    /// The objective at a concrete data point.
+    /// The objective at a concrete data point, as a real distance.
+    ///
+    /// Convenience wrapper over the objective-space family (the hot path
+    /// uses [`SearchMode::objective_at`] directly and converts once via
+    /// [`SearchMode::report`]); defined as the composition so the two can
+    /// never disagree.
     #[inline]
     pub fn point_objective(&self, x: Point) -> f64 {
+        self.report(self.objective_at(x))
+    }
+
+    /// The objective at a data point in the mode's **objective space**:
+    /// point mode works in squared distances (no square root on the hot
+    /// path), transitive mode in plain distance sums. Values from the
+    /// `*_objective` family are mutually comparable and convert to real
+    /// distances via [`SearchMode::report`].
+    #[inline]
+    pub fn objective_at(&self, x: Point) -> f64 {
         match *self {
-            SearchMode::Point { q } => q.dist(x),
+            SearchMode::Point { q } => q.dist_sq(x),
             SearchMode::Transitive { p, r } => p.dist(x) + x.dist(r),
+        }
+    }
+
+    /// [`SearchMode::lower_bound`] in objective space.
+    #[inline]
+    pub fn lower_bound_objective(&self, mbr: &Rect) -> f64 {
+        match *self {
+            SearchMode::Point { q } => mbr.min_dist_sq(q),
+            SearchMode::Transitive { p, r } => min_trans_dist(p, mbr, r),
+        }
+    }
+
+    /// [`SearchMode::safe_upper`] in objective space.
+    #[inline]
+    pub fn safe_upper_objective(&self, mbr: &Rect) -> f64 {
+        match *self {
+            SearchMode::Point { q } => mbr.min_max_dist_sq(q),
+            SearchMode::Transitive { p, r } => min_max_trans_dist(p, mbr, r),
+        }
+    }
+
+    /// Converts an objective-space value back to a real distance.
+    #[inline]
+    pub fn report(&self, v: f64) -> f64 {
+        match *self {
+            SearchMode::Point { .. } => v.sqrt(),
+            SearchMode::Transitive { .. } => v,
         }
     }
 

@@ -48,7 +48,7 @@ impl ChannelCost {
 }
 
 /// The outcome of one TNN query execution.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TnnRun {
     /// The answer pair, or `None` when the algorithm failed to produce
     /// one (only possible for Approximate-TNN on unlucky ranges).

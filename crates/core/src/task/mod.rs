@@ -5,10 +5,21 @@
 //! processes them strictly in that order — the backtrack-free discipline
 //! the paper adopts in §2.2/§6 ("we maintain the priority queue of the
 //! candidate R-tree nodes according to their arrival time, so that
-//! backtracking is avoided").
+//! backtracking is avoided"). Both task types realize that priority queue
+//! as a binary min-heap keyed `(arrival, node id)`, giving O(1) peeks and
+//! O(log n) pops; see [`queue`] for the backends and the pruning
+//! discipline of the NN search.
 
 mod nn;
+pub mod queue;
 mod window;
 
-pub use nn::NnSearchTask;
-pub use window::WindowQueryTask;
+pub use nn::{BroadcastNnSearch, NnScratch, NnSearchTask};
+pub use queue::{ArrivalHeap, CandidateQueue, QueueEntry};
+pub use window::{WindowQueryTask, WindowScratch};
+
+#[cfg(any(test, feature = "linear-reference"))]
+pub use nn::LinearNnSearchTask;
+
+#[cfg(any(test, feature = "linear-reference"))]
+pub use queue::LinearQueue;

@@ -11,6 +11,15 @@ use tnn_rtree::{NodeId, ObjectId};
 /// Ordered by arrival; node id breaks ties deterministically.
 type QueueEntry = Reverse<(u64, u32)>;
 
+/// Reusable buffers for one [`WindowQueryTask`]: thread one through
+/// repeated queries (e.g. a batch) to avoid re-allocating the queue and
+/// the hit list per query.
+#[derive(Debug, Default)]
+pub struct WindowScratch {
+    queue: BinaryHeap<QueueEntry>,
+    hits: Vec<(Point, ObjectId)>,
+}
+
 /// A broadcast range (window) query over a circular search range.
 ///
 /// Children whose MBR misses the circle are skipped at their parent —
@@ -29,8 +38,23 @@ pub struct WindowQueryTask<'a> {
 impl<'a> WindowQueryTask<'a> {
     /// Starts a window query on `channel` at global time `start`.
     pub fn new(channel: &'a Channel, range: Circle, start: u64) -> Self {
+        Self::with_scratch(channel, range, start, &mut WindowScratch::default())
+    }
+
+    /// Like [`WindowQueryTask::new`], but takes the queue and hit buffers
+    /// from `scratch` (pass the task back via
+    /// [`WindowQueryTask::recycle`] when done to reuse the capacity).
+    pub fn with_scratch(
+        channel: &'a Channel,
+        range: Circle,
+        start: u64,
+        scratch: &mut WindowScratch,
+    ) -> Self {
+        let mut queue = std::mem::take(&mut scratch.queue);
+        let mut hits = std::mem::take(&mut scratch.hits);
+        queue.clear();
+        hits.clear();
         let root_arrival = channel.next_root_arrival(start);
-        let mut queue = BinaryHeap::new();
         // The root is only worth downloading if the range touches the
         // dataset at all.
         if range.intersects_rect(&channel.tree().bounding_rect()) {
@@ -40,10 +64,19 @@ impl<'a> WindowQueryTask<'a> {
             channel,
             range,
             queue,
-            hits: Vec::new(),
+            hits,
             tuner: Tuner::new(),
             now: start,
         }
+    }
+
+    /// Returns the task's buffers to `scratch` for reuse by a later
+    /// query.
+    pub fn recycle(self, scratch: &mut WindowScratch) {
+        scratch.queue = self.queue;
+        scratch.hits = self.hits;
+        scratch.queue.clear();
+        scratch.hits.clear();
     }
 
     /// `true` when traversal has finished.

@@ -94,13 +94,7 @@ pub fn clustered(spec: &ClusterSpec, region: &Rect, seed: u64) -> Vec<Point> {
         .map(|_| {
             let lo = spec.spread_min.max(1e-6).ln();
             let hi = spec.spread_max.max(spec.spread_min.max(1e-6)).ln();
-            (if hi > lo {
-                rng.gen_range(lo..=hi)
-            } else {
-                lo
-            })
-            .exp()
-                * side
+            (if hi > lo { rng.gen_range(lo..=hi) } else { lo }).exp() * side
         })
         .collect();
 

@@ -194,9 +194,18 @@ mod tests {
     #[test]
     fn matches_grid_estimate_on_generic_overlaps() {
         let cases = [
-            (Circle::new(Point::new(0.3, -0.2), 1.3), Rect::from_coords(-1.0, -1.0, 1.0, 0.5)),
-            (Circle::new(Point::new(2.0, 2.0), 2.5), Rect::from_coords(0.0, 0.0, 3.0, 1.0)),
-            (Circle::new(Point::new(-1.0, 0.0), 0.8), Rect::from_coords(-0.5, -2.0, 0.5, 2.0)),
+            (
+                Circle::new(Point::new(0.3, -0.2), 1.3),
+                Rect::from_coords(-1.0, -1.0, 1.0, 0.5),
+            ),
+            (
+                Circle::new(Point::new(2.0, 2.0), 2.5),
+                Rect::from_coords(0.0, 0.0, 3.0, 1.0),
+            ),
+            (
+                Circle::new(Point::new(-1.0, 0.0), 0.8),
+                Rect::from_coords(-0.5, -2.0, 0.5, 2.0),
+            ),
         ];
         for (c, r) in cases {
             let exact = circle_rect_overlap_area(&c, &r);

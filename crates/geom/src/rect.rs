@@ -197,7 +197,15 @@ impl Rect {
     ///
     /// Used as a conservative upper bound to tighten nearest-neighbor
     /// searches before any actual point has been seen.
+    #[inline]
     pub fn min_max_dist(&self, p: Point) -> f64 {
+        self.min_max_dist_sq(p).sqrt()
+    }
+
+    /// Squared [`Rect::min_max_dist`], avoiding the square root for
+    /// comparisons (the broadcast NN search runs its whole point-mode
+    /// bound arithmetic in squared space).
+    pub fn min_max_dist_sq(&self, p: Point) -> f64 {
         // For each axis k: take the *closer* face along k and the *farther*
         // coordinate along the other axis, then minimize over axes.
         let rm_x = if p.x <= (self.min.x + self.max.x) * 0.5 {
@@ -226,7 +234,7 @@ impl Rect {
         let dy_far = p.y - r_far_y;
         let along_x = dx_near * dx_near + dy_far * dy_far;
         let along_y = dy_near * dy_near + dx_far * dx_far;
-        along_x.min(along_y).sqrt()
+        along_x.min(along_y)
     }
 }
 

@@ -112,7 +112,10 @@ fn chunk<T>(items: Vec<PackItem<T>>, capacity: usize) -> Vec<Vec<PackItem<T>>> {
     for item in items {
         current.push(item);
         if current.len() == capacity {
-            groups.push(std::mem::replace(&mut current, Vec::with_capacity(capacity)));
+            groups.push(std::mem::replace(
+                &mut current,
+                Vec::with_capacity(capacity),
+            ));
         }
     }
     if !current.is_empty() {
@@ -205,27 +208,28 @@ pub(crate) fn build_tree(
         })
         .collect();
 
-    let mut current: Vec<PackItem<usize>> = pack_level(leaf_items, params.leaf_capacity, algo, &region)
-        .into_iter()
-        .map(|group| {
-            let mbr = group
-                .iter()
-                .map(|it| it.mbr)
-                .reduce(|a, b| a.union(&b))
-                .expect("non-empty group");
-            let idx = arena.len();
-            arena.push(Node {
-                mbr,
-                level: 0,
-                entries: Entries::Leaf(group.into_iter().map(|it| it.payload).collect()),
-            });
-            PackItem {
-                center: mbr.center(),
-                mbr,
-                payload: idx,
-            }
-        })
-        .collect();
+    let mut current: Vec<PackItem<usize>> =
+        pack_level(leaf_items, params.leaf_capacity, algo, &region)
+            .into_iter()
+            .map(|group| {
+                let mbr = group
+                    .iter()
+                    .map(|it| it.mbr)
+                    .reduce(|a, b| a.union(&b))
+                    .expect("non-empty group");
+                let idx = arena.len();
+                arena.push(Node {
+                    mbr,
+                    level: 0,
+                    entries: Entries::Leaf(group.into_iter().map(|it| it.payload).collect()),
+                });
+                PackItem {
+                    center: mbr.center(),
+                    mbr,
+                    payload: idx,
+                }
+            })
+            .collect();
 
     // Upper levels: pack node handles until a single root remains.
     let mut level = 1u32;
@@ -326,12 +330,7 @@ mod tests {
 
     #[test]
     fn invalid_params_error() {
-        let err = build_tree(
-            &pts(10),
-            RTreeParams::new(1, 6),
-            PackingAlgorithm::Str,
-        )
-        .unwrap_err();
+        let err = build_tree(&pts(10), RTreeParams::new(1, 6), PackingAlgorithm::Str).unwrap_err();
         assert!(matches!(err, RTreeError::InvalidParams { .. }));
     }
 
@@ -345,12 +344,7 @@ mod tests {
 
     #[test]
     fn single_point_tree() {
-        let tree = build_tree(
-            &pts(1),
-            RTreeParams::default(),
-            PackingAlgorithm::Str,
-        )
-        .unwrap();
+        let tree = build_tree(&pts(1), RTreeParams::default(), PackingAlgorithm::Str).unwrap();
         assert_eq!(tree.height(), 1);
         assert_eq!(tree.num_nodes(), 1);
         assert!(tree.node(NodeId::ROOT).is_leaf());
@@ -389,8 +383,12 @@ mod tests {
     fn height_matches_paper_for_100k_points() {
         // ~100k points with 64-byte pages (fanout 3, leaf 6) → height 10.
         let n = 95_969; // the paper's densest uniform dataset
-        let tree = build_tree(&pts(n), RTreeParams::for_page_capacity(64), PackingAlgorithm::Str)
-            .unwrap();
+        let tree = build_tree(
+            &pts(n),
+            RTreeParams::for_page_capacity(64),
+            PackingAlgorithm::Str,
+        )
+        .unwrap();
         assert_eq!(tree.height(), 10);
     }
 

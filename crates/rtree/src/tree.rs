@@ -1,8 +1,6 @@
 //! The packed R-tree container and its structural invariants.
 
-use crate::{
-    build, Entries, Node, NodeId, ObjectId, PackingAlgorithm, RTreeError, RTreeParams,
-};
+use crate::{build, Entries, Node, NodeId, ObjectId, PackingAlgorithm, RTreeError, RTreeParams};
 use serde::{Deserialize, Serialize};
 use tnn_geom::{Point, Rect};
 
@@ -303,8 +301,12 @@ mod tests {
         let pts: Vec<Point> = (0..100)
             .map(|i| Point::new((i % 10) as f64, (i / 10) as f64))
             .collect();
-        let tree =
-            RTree::build(&pts, RTreeParams::for_page_capacity(64), PackingAlgorithm::Str).unwrap();
+        let tree = RTree::build(
+            &pts,
+            RTreeParams::for_page_capacity(64),
+            PackingAlgorithm::Str,
+        )
+        .unwrap();
         let nn = tree.nearest_neighbor(Point::new(4.2, 4.9)).unwrap();
         assert_eq!(nn.point, Point::new(4.0, 5.0));
     }

@@ -1,0 +1,352 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the surface the workspace's benches use — `Criterion`,
+//! `benchmark_group` / `bench_function` / `bench_with_input`,
+//! `BenchmarkId`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros — with a simple adaptive wall-clock measurer
+//! instead of criterion's statistical machinery.
+//!
+//! Supported CLI (after `cargo bench -- …`):
+//! * `--test` — run every benchmark body exactly once, no timing (smoke
+//!   mode, same contract as real criterion);
+//! * a bare string — only run benchmarks whose id contains it;
+//! * `--bench` and other criterion flags are accepted and ignored.
+//!
+//! When the environment variable `CRITERION_JSON` names a file, the
+//! collected `{id, ns_per_iter, iters}` records are appended there as one
+//! JSON document — this is how the repo's `BENCH_*.json` trajectory files
+//! are produced (see `docs/PERF.md`).
+
+#![deny(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full benchmark id (`group/function` or `group/function/param`).
+    pub id: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Iterations measured.
+    pub iters: u64,
+}
+
+/// Benchmark identifier (mirrors `criterion::BenchmarkId`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Id `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            name: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name }
+    }
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher<'a> {
+    mode: Mode,
+    target: Duration,
+    result: &'a mut Option<(f64, u64)>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Measure,
+    SmokeTest,
+}
+
+impl Bencher<'_> {
+    /// Measures `f`, running it adaptively until the sampling window is
+    /// filled (or exactly once in `--test` mode).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.mode == Mode::SmokeTest {
+            black_box(f());
+            *self.result = Some((0.0, 1));
+            return;
+        }
+        // Warm-up: one untimed run (fills caches, triggers lazy init).
+        black_box(f());
+        let mut batch: u64 = 1;
+        let mut total_iters: u64 = 0;
+        let mut total_time = Duration::ZERO;
+        while total_time < self.target {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            total_time += t0.elapsed();
+            total_iters += batch;
+            // Grow batches geometrically so timer overhead stays small
+            // relative to the measured work.
+            batch = batch.saturating_mul(2).min(1 << 20);
+        }
+        let ns = total_time.as_nanos() as f64 / total_iters as f64;
+        *self.result = Some((ns, total_iters));
+    }
+}
+
+/// The benchmark manager (mirrors `criterion::Criterion`).
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+    target: Duration,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            mode: Mode::Measure,
+            filter: None,
+            target: Duration::from_millis(300),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds a manager from the process CLI arguments (see crate docs).
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => c.mode = Mode::SmokeTest,
+                s if s.starts_with("--") => {} // accepted, ignored
+                s => c.filter = Some(s.to_string()),
+            }
+        }
+        c
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into().name;
+        self.run_one(id, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher<'_>)>(&mut self, id: String, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut result = None;
+        let mut b = Bencher {
+            mode: self.mode,
+            target: self.target,
+            result: &mut result,
+        };
+        f(&mut b);
+        let (ns, iters) = result.unwrap_or((0.0, 0));
+        match self.mode {
+            Mode::SmokeTest => println!("test {id} ... ok"),
+            Mode::Measure => println!("{id:<60} {:>14.1} ns/iter  ({iters} iters)", ns),
+        }
+        self.results.push(BenchResult {
+            id,
+            ns_per_iter: ns,
+            iters,
+        });
+    }
+
+    /// Prints the summary and writes `CRITERION_JSON` if requested; called
+    /// by [`criterion_main!`].
+    pub fn final_summary(&self) {
+        if self.mode == Mode::SmokeTest {
+            println!("{} benchmarks smoke-tested", self.results.len());
+            return;
+        }
+        if let Ok(path) = std::env::var("CRITERION_JSON") {
+            if let Err(e) = self.write_json(&path) {
+                eprintln!("warning: could not write {path}: {e}");
+            }
+        }
+    }
+
+    /// All results measured so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    fn write_json(&self, path: &str) -> std::io::Result<()> {
+        use std::io::Write;
+        let mut f = std::fs::File::create(path)?;
+        writeln!(f, "{{")?;
+        writeln!(f, "  \"benchmarks\": [")?;
+        for (i, r) in self.results.iter().enumerate() {
+            let comma = if i + 1 < self.results.len() { "," } else { "" };
+            writeln!(
+                f,
+                "    {{\"id\": \"{}\", \"ns_per_iter\": {:.1}, \"iters\": {}}}{comma}",
+                r.id.replace('"', "\\\""),
+                r.ns_per_iter,
+                r.iters
+            )?;
+        }
+        writeln!(f, "  ]")?;
+        writeln!(f, "}}")
+    }
+}
+
+/// A group of related benchmarks sharing an id prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes samples by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.target = t;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = format!("{}/{}", self.name, id.into().name);
+        self.criterion.run_one(id, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in this group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let id = format!("{}/{}", self.name, id.name);
+        self.criterion.run_one(id, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function (mirrors criterion's macro).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` (mirrors criterion's macro).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion {
+            target: Duration::from_millis(5),
+            ..Criterion::default()
+        };
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        assert_eq!(c.results().len(), 1);
+        assert!(c.results()[0].iters > 0);
+    }
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut c = Criterion {
+            mode: Mode::SmokeTest,
+            ..Criterion::default()
+        };
+        let mut runs = 0;
+        c.bench_function("counted", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            filter: Some("keep".into()),
+            target: Duration::from_millis(1),
+            ..Criterion::default()
+        };
+        c.bench_function("keep/this", |b| b.iter(|| 1));
+        c.bench_function("drop/this", |b| b.iter(|| 1));
+        assert_eq!(c.results().len(), 1);
+        assert_eq!(c.results()[0].id, "keep/this");
+    }
+
+    #[test]
+    fn group_prefixes_ids() {
+        let mut c = Criterion {
+            target: Duration::from_millis(1),
+            ..Criterion::default()
+        };
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("f", |b| b.iter(|| 1));
+        g.bench_with_input(BenchmarkId::new("g", 42), &7, |b, x| b.iter(|| *x));
+        g.finish();
+        assert_eq!(c.results()[0].id, "grp/f");
+        assert_eq!(c.results()[1].id, "grp/g/42");
+    }
+}

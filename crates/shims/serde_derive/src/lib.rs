@@ -1,0 +1,19 @@
+//! No-op derive macros backing the offline [`serde`] shim.
+//!
+//! The shim's `Serialize` / `Deserialize` traits are blanket-implemented,
+//! so the derives legitimately expand to nothing — they exist only so that
+//! `#[derive(Serialize, Deserialize)]` attributes compile unchanged.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; see the crate docs.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; see the crate docs.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -17,12 +17,28 @@ fn main() {
     let ctx = Context::from_env();
     let params = BroadcastParams::new(64);
     for (s, r, label) in [
-        (DatasetSpec::UnifS(-50), DatasetSpec::UnifR(-50), "S=UNIF(-5.0) R=UNIF(-5.0)"),
-        (DatasetSpec::UnifS(-58), DatasetSpec::UnifR(-58), "S=UNIF(-5.8) R=UNIF(-5.8)"),
-        (DatasetSpec::UnifS(-50), DatasetSpec::UnifR(-42), "S=UNIF(-5.0) R=UNIF(-4.2)"),
+        (
+            DatasetSpec::UnifS(-50),
+            DatasetSpec::UnifR(-50),
+            "S=UNIF(-5.0) R=UNIF(-5.0)",
+        ),
+        (
+            DatasetSpec::UnifS(-58),
+            DatasetSpec::UnifR(-58),
+            "S=UNIF(-5.8) R=UNIF(-5.8)",
+        ),
+        (
+            DatasetSpec::UnifS(-50),
+            DatasetSpec::UnifR(-42),
+            "S=UNIF(-5.0) R=UNIF(-4.2)",
+        ),
     ] {
         println!("== {label}");
-        for alg in [Algorithm::DoubleNn, Algorithm::WindowBased, Algorithm::HybridNn] {
+        for alg in [
+            Algorithm::DoubleNn,
+            Algorithm::WindowBased,
+            Algorithm::HybridNn,
+        ] {
             let enn = ctx.batch(s, r, params, TnnConfig::exact(alg), false);
             println!(
                 "{:18} eNN       tune-in {:8.1} (est {:6.1}/filt {:6.1}) radius {:7.1}",

@@ -30,10 +30,7 @@ use tnn_rtree::{NodeId, PackingAlgorithm, RTree};
 /// Returns `(access_pages, tune_in_pages)`.
 fn best_first_on_air(channel: &Channel, q: Point, start: u64) -> (u64, u64) {
     let tree = channel.tree();
-    let mut heap: Vec<(f64, NodeId)> = vec![(
-        tree.bounding_rect().min_dist(q),
-        NodeId::ROOT,
-    )];
+    let mut heap: Vec<(f64, NodeId)> = vec![(tree.bounding_rect().min_dist(q), NodeId::ROOT)];
     let mut best = f64::INFINITY;
     let mut now = start;
     let mut pages = 0u64;
@@ -70,11 +67,7 @@ fn traversal_order(ctx: &Context) -> Table {
     let params = BroadcastParams::new(64);
     let mut table = Table::new(
         "Ablation: NN traversal order on a broadcast channel (S=UNIF(-5.0))",
-        &[
-            "strategy",
-            "mean access [pages]",
-            "mean tune-in [pages]",
-        ],
+        &["strategy", "mean access [pages]", "mean tune-in [pages]"],
     );
     let tree = ctx.catalog.tree(DatasetSpec::UnifS(-50), &params);
     let channel = Channel::new(Arc::clone(&tree), params, 0);
@@ -126,13 +119,7 @@ fn packing(ctx: &Context) -> Table {
     for algo in PackingAlgorithm::ALL {
         let s = Arc::new(RTree::build(&s_pts, params.rtree_params(), algo).unwrap());
         let r = Arc::new(RTree::build(&r_pts, params.rtree_params(), algo).unwrap());
-        let stats = ctx.batch_trees(
-            &s,
-            &r,
-            params,
-            TnnConfig::exact(Algorithm::DoubleNn),
-            false,
-        );
+        let stats = ctx.batch_trees(&s, &r, params, TnnConfig::exact(Algorithm::DoubleNn), false);
         table.push_row(vec![
             algo.name().to_string(),
             f1(stats.mean_access),
@@ -220,7 +207,11 @@ fn alpha_policy(ctx: &Context) -> Table {
         &["policy", "mean tune-in [pages]", "mean radius"],
     );
     let enn = ctx.batch(s, r, params, TnnConfig::exact(Algorithm::DoubleNn), false);
-    table.push_row(vec!["eNN (α=0)".into(), f1(enn.mean_tune_in), f1(enn.mean_radius)]);
+    table.push_row(vec![
+        "eNN (α=0)".into(),
+        f1(enn.mean_tune_in),
+        f1(enn.mean_radius),
+    ]);
     for alpha in [0.1, 0.3, 0.5, 0.7, 0.9] {
         let mode = AnnMode::Fixed { alpha };
         let stats = ctx.batch(
@@ -291,11 +282,8 @@ fn variants(ctx: &Context) -> Table {
     let params = BroadcastParams::new(64);
     let s = ctx.catalog.tree(DatasetSpec::UnifS(-54), &params);
     let r = ctx.catalog.tree(DatasetSpec::UnifR(-54), &params);
-    let base = tnn_broadcast::MultiChannelEnv::new(
-        vec![Arc::clone(&s), Arc::clone(&r)],
-        params,
-        &[0, 0],
-    );
+    let base =
+        tnn_broadcast::MultiChannelEnv::new(vec![Arc::clone(&s), Arc::clone(&r)], params, &[0, 0]);
     let region = paper_region();
     let n = ctx.queries.min(300);
     let mut acc = [(0.0f64, 0u64, 0u64); 3]; // (dist, access, tune-in) per variant

@@ -52,8 +52,13 @@ fn row(
     let mut cells = vec![label];
     for alg in [Algorithm::WindowBased, Algorithm::DoubleNn] {
         let enn: BatchStats = ctx.batch(s, r, params, TnnConfig::exact(alg), false);
-        let ann_stats: BatchStats =
-            ctx.batch(s, r, params, TnnConfig::exact(alg).with_ann(ann[0], ann[1]), false);
+        let ann_stats: BatchStats = ctx.batch(
+            s,
+            r,
+            params,
+            TnnConfig::exact(alg).with_ann(ann[0], ann[1]),
+            false,
+        );
         let saved = 1.0 - ann_stats.mean_tune_in / enn.mean_tune_in.max(1e-9);
         cells.push(f1(enn.mean_tune_in));
         cells.push(f1(ann_stats.mean_tune_in));

@@ -30,7 +30,10 @@ fn panel(ctx: &Context, title: &str, s_tenths: i32) -> Table {
         let s = DatasetSpec::UnifS(s_tenths);
         let r = DatasetSpec::UnifR(t);
         let enn = ctx.batch(s, r, params, TnnConfig::exact(Algorithm::HybridNn), false);
-        let mut row = vec![format!("UNIF({:.1})", t as f64 / 10.0), f1(enn.mean_tune_in)];
+        let mut row = vec![
+            format!("UNIF({:.1})", t as f64 / 10.0),
+            f1(enn.mean_tune_in),
+        ];
         for denom in [150.0, 200.0] {
             let mode = AnnMode::Dynamic {
                 factor: 1.0 / denom,

@@ -8,7 +8,10 @@ pub mod fig13;
 pub mod fig9;
 pub mod table3;
 
-use crate::{format_table, queries_per_batch, run_batch, write_csv, BatchConfig, BatchStats, Catalog, DatasetSpec, Table};
+use crate::{
+    format_table, queries_per_batch, run_batch, write_csv, BatchConfig, BatchStats, Catalog,
+    DatasetSpec, Table,
+};
 use std::path::PathBuf;
 use std::sync::Arc;
 use tnn_broadcast::BroadcastParams;
@@ -39,9 +42,7 @@ impl Context {
                 .ok()
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(0xEDB7_2008),
-            out_dir: PathBuf::from(
-                std::env::var("TNN_OUT").unwrap_or_else(|_| "results".into()),
-            ),
+            out_dir: PathBuf::from(std::env::var("TNN_OUT").unwrap_or_else(|_| "results".into())),
         }
     }
 

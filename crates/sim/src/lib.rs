@@ -35,3 +35,6 @@ pub use metrics::BatchStats;
 pub use report::{format_table, write_csv, Table};
 pub use runner::{queries_per_batch, run_batch, run_chain_batch, BatchConfig};
 pub use workload::{Catalog, DatasetSpec};
+
+#[cfg(feature = "linear-reference")]
+pub use runner::run_batch_linear;

@@ -26,6 +26,21 @@ pub struct BatchStats {
     pub fail_rate: f64,
 }
 
+/// The raw metrics of one executed query, recorded into a pre-sized slot
+/// array by the batch workers and reduced in query order so aggregation
+/// is independent of thread count.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct QuerySample {
+    pub access: u64,
+    pub tune_in: u64,
+    pub tune_estimate: u64,
+    pub tune_filter: u64,
+    pub radius: f64,
+    pub candidates: usize,
+    pub no_answer: bool,
+    pub failed: bool,
+}
+
 /// Incremental accumulator for [`BatchStats`].
 #[derive(Debug, Clone, Default)]
 pub(crate) struct StatsAccumulator {
@@ -41,6 +56,20 @@ pub(crate) struct StatsAccumulator {
 }
 
 impl StatsAccumulator {
+    /// Records one query's sample.
+    pub fn record_sample(&mut self, s: &QuerySample) {
+        self.record(
+            s.access,
+            s.tune_in,
+            s.tune_estimate,
+            s.tune_filter,
+            s.radius,
+            s.candidates,
+            s.no_answer,
+            s.failed,
+        );
+    }
+
     #[allow(clippy::too_many_arguments)] // one scalar per recorded metric
     pub fn record(
         &mut self,
@@ -62,18 +91,6 @@ impl StatsAccumulator {
         self.candidates += candidates as f64;
         self.no_answer += usize::from(no_answer);
         self.failed += usize::from(failed);
-    }
-
-    pub fn merge(&mut self, other: &StatsAccumulator) {
-        self.n += other.n;
-        self.access += other.access;
-        self.tune_in += other.tune_in;
-        self.tune_estimate += other.tune_estimate;
-        self.tune_filter += other.tune_filter;
-        self.radius += other.radius;
-        self.candidates += other.candidates;
-        self.no_answer += other.no_answer;
-        self.failed += other.failed;
     }
 
     pub fn finish(self) -> BatchStats {
@@ -114,21 +131,24 @@ mod tests {
     }
 
     #[test]
-    fn merge_equals_sequential_recording() {
-        let mut a = StatsAccumulator::default();
-        let mut b = StatsAccumulator::default();
-        let mut whole = StatsAccumulator::default();
+    fn record_sample_equals_record() {
+        let mut by_sample = StatsAccumulator::default();
+        let mut by_args = StatsAccumulator::default();
         for i in 0..10u64 {
-            let (acc, tune) = (100 + i, 10 + i);
-            whole.record(acc, tune, 1, 2, 1.0, 1, false, false);
-            if i % 2 == 0 {
-                a.record(acc, tune, 1, 2, 1.0, 1, false, false);
-            } else {
-                b.record(acc, tune, 1, 2, 1.0, 1, false, false);
-            }
+            let s = QuerySample {
+                access: 100 + i,
+                tune_in: 10 + i,
+                tune_estimate: 1,
+                tune_filter: 2,
+                radius: 1.0,
+                candidates: 1,
+                no_answer: false,
+                failed: i == 7,
+            };
+            by_sample.record_sample(&s);
+            by_args.record(100 + i, 10 + i, 1, 2, 1.0, 1, false, i == 7);
         }
-        a.merge(&b);
-        assert_eq!(a.finish(), whole.finish());
+        assert_eq!(by_sample.finish(), by_args.finish());
     }
 
     #[test]

@@ -7,14 +7,26 @@
 //! the waiting time to get the two roots". Queries are deterministic in
 //! the seed and identical across algorithm configurations, so algorithm
 //! comparisons are paired.
+//!
+//! ## Performance shape
+//!
+//! Work is spread over all CPUs in contiguous chunks; each worker thread
+//! owns one [`QueryScratch`], so the per-query hot path performs no
+//! allocations after the first query has grown the buffers. Per-query
+//! metric samples are written into a pre-sized slot array and reduced
+//! **in query order**, making every [`BatchStats`] bit-identical for a
+//! fixed seed regardless of thread count or scheduling — which is also
+//! what lets the `linear-reference` A/B comparison demand exact equality.
 
-use crate::metrics::StatsAccumulator;
+use crate::metrics::{QuerySample, StatsAccumulator};
 use crate::BatchStats;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 use tnn_broadcast::{BroadcastParams, MultiChannelEnv};
-use tnn_core::{chain_tnn, exact_tnn, run_query, AnnMode, TnnConfig};
+use tnn_core::{
+    chain_tnn, exact_tnn, run_query_impl, AnnMode, CandidateQueue, QueryScratch, TnnConfig,
+};
 use tnn_geom::{Point, Rect};
 use tnn_rtree::RTree;
 
@@ -47,10 +59,63 @@ pub fn queries_per_batch() -> usize {
         .unwrap_or(1_000)
 }
 
+fn worker_threads(queries: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(queries.max(1))
+}
+
+/// Shared parallel scaffolding of the batch runners: splits `queries`
+/// into contiguous chunks across all CPUs, runs `run_one(query_index,
+/// slot)` per query, and reduces the samples **in query order** — so
+/// every [`BatchStats`] is bit-identical for a fixed seed regardless of
+/// thread count or scheduling.
+fn run_samples(queries: usize, run_chunk: impl Fn(usize, &mut [QuerySample]) + Sync) -> BatchStats {
+    let threads = worker_threads(queries);
+    let chunk_len = queries.div_ceil(threads.max(1)).max(1);
+    let mut samples = vec![QuerySample::default(); queries];
+    std::thread::scope(|scope| {
+        for (t, chunk) in samples.chunks_mut(chunk_len).enumerate() {
+            let run_chunk = &run_chunk;
+            scope.spawn(move || run_chunk(t * chunk_len, chunk));
+        }
+    });
+    let mut acc = StatsAccumulator::default();
+    for s in &samples {
+        acc.record_sample(s);
+    }
+    acc.finish()
+}
+
 /// Executes one batch of TNN queries over `(s_tree, r_tree)` and
 /// aggregates the paper's metrics. Work is spread over all CPUs; results
-/// are deterministic in the seed regardless of thread count.
+/// are bit-identical in the seed regardless of thread count.
 pub fn run_batch(
+    s_tree: &Arc<RTree>,
+    r_tree: &Arc<RTree>,
+    region: &Rect,
+    cfg: &BatchConfig,
+) -> BatchStats {
+    run_batch_impl::<tnn_core::ArrivalHeap>(s_tree, r_tree, region, cfg)
+}
+
+/// [`run_batch`] over the paper-literal pre-optimization hot path:
+/// linear-scan candidate queues (O(n) per queue operation, eager purge
+/// rescans) and fresh per-query buffer allocations, exactly as the
+/// original implementation behaved. Identical workload and (by
+/// construction) identical [`BatchStats`]. Only for the A/B benchmark.
+#[cfg(feature = "linear-reference")]
+pub fn run_batch_linear(
+    s_tree: &Arc<RTree>,
+    r_tree: &Arc<RTree>,
+    region: &Rect,
+    cfg: &BatchConfig,
+) -> BatchStats {
+    run_batch_impl::<tnn_core::LinearQueue>(s_tree, r_tree, region, cfg)
+}
+
+fn run_batch_impl<Q: CandidateQueue>(
     s_tree: &Arc<RTree>,
     r_tree: &Arc<RTree>,
     region: &Rect,
@@ -61,47 +126,28 @@ pub fn run_batch(
         cfg.params,
         &[0, 0],
     );
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(cfg.queries.max(1));
-
-    let mut partials: Vec<StatsAccumulator> = Vec::with_capacity(threads);
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads);
-        for t in 0..threads {
-            let base_env = &base_env;
-            let handle = scope.spawn(move |_| {
-                let mut acc = StatsAccumulator::default();
-                let mut i = t;
-                while i < cfg.queries {
-                    run_one(base_env, region, cfg, i as u64, &mut acc);
-                    i += threads;
-                }
-                acc
-            });
-            handles.push(handle);
-        }
-        for h in handles {
-            partials.push(h.join().expect("worker thread panicked"));
+    run_samples(cfg.queries, |first, chunk| {
+        // The production backend reuses one scratch per worker (zero
+        // allocations per query); the linear reference allocates fresh
+        // buffers per query like the pre-optimization implementation
+        // did. Scratch handling is invisible to results either way.
+        let mut scratch = QueryScratch::<Q>::default();
+        for (j, slot) in chunk.iter_mut().enumerate() {
+            if Q::IS_REFERENCE {
+                scratch = QueryScratch::<Q>::default();
+            }
+            *slot = run_one(&base_env, region, cfg, (first + j) as u64, &mut scratch);
         }
     })
-    .expect("crossbeam scope");
-
-    let mut total = StatsAccumulator::default();
-    for p in &partials {
-        total.merge(p);
-    }
-    total.finish()
 }
 
-fn run_one(
+fn run_one<Q: CandidateQueue>(
     base_env: &MultiChannelEnv,
     region: &Rect,
     cfg: &BatchConfig,
     query_index: u64,
-    acc: &mut StatsAccumulator,
-) {
+    scratch: &mut QueryScratch<Q>,
+) -> QuerySample {
     // Per-query randomness independent of the algorithm configuration, so
     // different algorithms see identical workloads.
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ query_index.wrapping_mul(0x9E3779B97F4A7C15));
@@ -115,7 +161,7 @@ fn run_one(
     ];
     let env = base_env.with_phases(&phases);
 
-    let run = run_query(&env, p, 0, &cfg.tnn).expect("two channels, finite query");
+    let run = run_query_impl(&env, p, 0, &cfg.tnn, scratch).expect("two channels, finite query");
     let no_answer = run.failed();
     let failed = if cfg.check_oracle {
         match &run.answer {
@@ -128,21 +174,25 @@ fn run_one(
     } else {
         no_answer
     };
-    acc.record(
-        run.access_time(),
-        run.tune_in(),
-        run.tune_in_estimate(),
-        run.tune_in_filter(),
-        run.search_radius,
-        run.candidates[0] + run.candidates[1],
+    QuerySample {
+        access: run.access_time(),
+        tune_in: run.tune_in(),
+        tune_estimate: run.tune_in_estimate(),
+        tune_filter: run.tune_in_filter(),
+        radius: run.search_radius,
+        candidates: run.candidates[0] + run.candidates[1],
         no_answer,
         failed,
-    );
+    }
 }
 
 /// Executes one batch of **chained** TNN queries over `k` trees (the
 /// future-work extension); reports the same aggregate metrics (fail rate
 /// is always 0 — the chained estimate is exact by construction).
+///
+/// Parallelized the same way as [`run_batch`]: contiguous chunks across
+/// all CPUs with an in-order reduction, so results are bit-identical in
+/// the seed regardless of thread count.
 pub fn run_chain_batch(
     trees: &[Arc<RTree>],
     region: &Rect,
@@ -152,32 +202,33 @@ pub fn run_chain_batch(
     seed: u64,
 ) -> BatchStats {
     let base_env = MultiChannelEnv::new(trees.to_vec(), params, &vec![0; trees.len()]);
-    let mut acc = StatsAccumulator::default();
-    for i in 0..queries as u64 {
-        let mut rng = StdRng::seed_from_u64(seed ^ i.wrapping_mul(0x9E3779B97F4A7C15));
-        let p = Point::new(
-            rng.gen_range(region.min.x..=region.max.x),
-            rng.gen_range(region.min.y..=region.max.y),
-        );
-        let phases: Vec<u64> = base_env
-            .channels()
-            .iter()
-            .map(|c| rng.gen_range(0..c.layout().cycle_len().max(1)))
-            .collect();
-        let env = base_env.with_phases(&phases);
-        let run = chain_tnn(&env, p, 0, ann, true).expect("valid chain environment");
-        acc.record(
-            run.access_time(),
-            run.tune_in(),
-            run.channels.iter().map(|c| c.estimate_pages).sum(),
-            run.channels.iter().map(|c| c.filter_pages).sum(),
-            run.search_radius,
-            0,
-            false,
-            false,
-        );
-    }
-    acc.finish()
+    run_samples(queries, |first, chunk| {
+        for (j, slot) in chunk.iter_mut().enumerate() {
+            let i = (first + j) as u64;
+            let mut rng = StdRng::seed_from_u64(seed ^ i.wrapping_mul(0x9E3779B97F4A7C15));
+            let p = Point::new(
+                rng.gen_range(region.min.x..=region.max.x),
+                rng.gen_range(region.min.y..=region.max.y),
+            );
+            let phases: Vec<u64> = base_env
+                .channels()
+                .iter()
+                .map(|c| rng.gen_range(0..c.layout().cycle_len().max(1)))
+                .collect();
+            let env = base_env.with_phases(&phases);
+            let run = chain_tnn(&env, p, 0, ann, true).expect("valid chain environment");
+            *slot = QuerySample {
+                access: run.access_time(),
+                tune_in: run.tune_in(),
+                tune_estimate: run.channels.iter().map(|c| c.estimate_pages).sum(),
+                tune_filter: run.channels.iter().map(|c| c.filter_pages).sum(),
+                radius: run.search_radius,
+                candidates: 0,
+                no_answer: false,
+                failed: false,
+            };
+        }
+    })
 }
 
 #[cfg(test)]
@@ -221,7 +272,11 @@ mod tests {
         let region = Rect::from_coords(0.0, 0.0, 1000.0, 1000.0);
         let s = tree(100, 3, &params);
         let r = tree(200, 4, &params);
-        for alg in [Algorithm::WindowBased, Algorithm::DoubleNn, Algorithm::HybridNn] {
+        for alg in [
+            Algorithm::WindowBased,
+            Algorithm::DoubleNn,
+            Algorithm::HybridNn,
+        ] {
             let cfg = BatchConfig {
                 params,
                 tnn: TnnConfig::exact(alg),
@@ -234,15 +289,34 @@ mod tests {
         }
     }
 
+    // The heap-vs-linear BatchStats equality gate lives in
+    // crates/bench/tests/linear_equivalence.rs, where the
+    // `linear-reference` feature is always enabled.
+
     #[test]
     fn chain_batch_runs() {
         let params = BroadcastParams::new(64);
         let region = Rect::from_coords(0.0, 0.0, 1000.0, 1000.0);
-        let trees = vec![tree(50, 5, &params), tree(60, 6, &params), tree(40, 7, &params)];
+        let trees = vec![
+            tree(50, 5, &params),
+            tree(60, 6, &params),
+            tree(40, 7, &params),
+        ];
         let stats = run_chain_batch(&trees, &region, params, AnnMode::Exact, 10, 3);
         assert_eq!(stats.queries, 10);
         assert_eq!(stats.fail_rate, 0.0);
         assert!(stats.mean_tune_in > 0.0);
+    }
+
+    #[test]
+    fn chain_batch_is_deterministic() {
+        let params = BroadcastParams::new(64);
+        let region = Rect::from_coords(0.0, 0.0, 1000.0, 1000.0);
+        let trees = vec![tree(80, 8, &params), tree(70, 9, &params)];
+        let a = run_chain_batch(&trees, &region, params, AnnMode::Exact, 24, 5);
+        let b = run_chain_batch(&trees, &region, params, AnnMode::Exact, 24, 5);
+        assert_eq!(a, b);
+        assert_eq!(a.queries, 24);
     }
 
     #[test]

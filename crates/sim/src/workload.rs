@@ -1,10 +1,10 @@
 //! The dataset catalog: every workload of §6, generated deterministically
 //! and cached as built R-trees per page capacity.
 
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
+use std::sync::Mutex;
 use tnn_broadcast::BroadcastParams;
 use tnn_datasets as data;
 use tnn_geom::Point;
@@ -90,11 +90,18 @@ impl Catalog {
         Catalog::default()
     }
 
+    /// std Mutex instead of parking_lot: tree building never panics while
+    /// the lock is held, so poisoning cannot propagate; recover
+    /// defensively anyway.
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<(DatasetSpec, usize), Arc<RTree>>> {
+        self.cache.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// The R-tree for `spec` under `params` (built on first use; STR
     /// packing, as in the paper).
     pub fn tree(&self, spec: DatasetSpec, params: &BroadcastParams) -> Arc<RTree> {
         let key = (spec, params.page_capacity);
-        if let Some(t) = self.cache.lock().get(&key) {
+        if let Some(t) = self.lock().get(&key) {
             return Arc::clone(t);
         }
         // Build outside the lock: different datasets can build in
@@ -104,10 +111,7 @@ impl Catalog {
             RTree::build(&pts, params.rtree_params(), PackingAlgorithm::Str)
                 .expect("catalog datasets are non-empty and finite"),
         );
-        self.cache
-            .lock()
-            .entry(key)
-            .or_insert_with(|| Arc::clone(&tree));
+        self.lock().entry(key).or_insert_with(|| Arc::clone(&tree));
         tree
     }
 }

@@ -18,8 +18,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let post = post_like(0x9057);
 
     let params = BroadcastParams::new(64);
-    let s_tree = Arc::new(RTree::build(&city, params.rtree_params(), PackingAlgorithm::Str)?);
-    let r_tree = Arc::new(RTree::build(&post, params.rtree_params(), PackingAlgorithm::Str)?);
+    let s_tree = Arc::new(RTree::build(
+        &city,
+        params.rtree_params(),
+        PackingAlgorithm::Str,
+    )?);
+    let r_tree = Arc::new(RTree::build(
+        &post,
+        params.rtree_params(),
+        PackingAlgorithm::Str,
+    )?);
     println!(
         "CITY index: {} pages (height {}); POST index: {} pages (height {})",
         s_tree.num_nodes(),

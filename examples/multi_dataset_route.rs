@@ -24,7 +24,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut trees = Vec::new();
     for (i, (name, n)) in categories.iter().enumerate() {
         let pts = uniform_points(*n, &city, 0xF10 + i as u64);
-        let tree = Arc::new(RTree::build(&pts, params.rtree_params(), PackingAlgorithm::Str)?);
+        let tree = Arc::new(RTree::build(
+            &pts,
+            params.rtree_params(),
+            PackingAlgorithm::Str,
+        )?);
         println!(
             "channel {i}: {n} {name}, index {} pages, cycle-relevant height {}",
             tree.num_nodes(),

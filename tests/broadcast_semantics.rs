@@ -124,7 +124,8 @@ fn interleave_m_trades_cycle_length_for_index_frequency() {
         interleave_m: 8,
         ..params_m1
     };
-    let tree = Arc::new(RTree::build(&pts, params_m1.rtree_params(), PackingAlgorithm::Str).unwrap());
+    let tree =
+        Arc::new(RTree::build(&pts, params_m1.rtree_params(), PackingAlgorithm::Str).unwrap());
     let ch1 = Channel::new(Arc::clone(&tree), params_m1, 0);
     let ch8 = Channel::new(tree, params_m8, 0);
     // More index copies per cycle → shorter expected root wait…

@@ -186,7 +186,12 @@ fn non_finite_queries_are_rejected() {
 fn wrong_channel_count_is_rejected() {
     let params = BroadcastParams::new(64);
     let t = Arc::new(
-        RTree::build(&unif(-7.0, 16), params.rtree_params(), PackingAlgorithm::Str).unwrap(),
+        RTree::build(
+            &unif(-7.0, 16),
+            params.rtree_params(),
+            PackingAlgorithm::Str,
+        )
+        .unwrap(),
     );
     let env = MultiChannelEnv::new(vec![t], params, &[0]);
     let err = run_query(
