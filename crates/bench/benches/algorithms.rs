@@ -4,21 +4,24 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use tnn_bench::{fixture_env, fixture_queries};
-use tnn_core::{exact_tnn, run_query, Algorithm, AnnMode, TnnConfig};
+use tnn_core::{exact_tnn, Algorithm, AnnMode, Query, QueryEngine, QueryScratch};
 
 fn bench_algorithms(c: &mut Criterion) {
     let env = fixture_env(10_000, 10_000);
+    let engine = QueryEngine::new(env.clone());
     let queries = fixture_queries(64);
 
     let mut g = c.benchmark_group("algorithms/query_10k_x_10k");
     for alg in Algorithm::ALL {
         g.bench_function(alg.name(), |b| {
-            let cfg = TnnConfig::exact(alg);
+            let mut scratch = QueryScratch::default();
             let mut i = 0usize;
             b.iter(|| {
                 let q = queries[i % queries.len()];
                 i += 1;
-                run_query(black_box(&env), q, 0, &cfg).unwrap()
+                engine
+                    .run_with(black_box(&Query::tnn(q).algorithm(alg)), &mut scratch)
+                    .unwrap()
             })
         });
     }
@@ -26,12 +29,21 @@ fn bench_algorithms(c: &mut Criterion) {
         let m = AnnMode::Dynamic {
             factor: 1.0 / 150.0,
         };
-        let cfg = TnnConfig::exact(Algorithm::HybridNn).with_ann(m, m);
+        let mut scratch = QueryScratch::default();
         let mut i = 0usize;
         b.iter(|| {
             let q = queries[i % queries.len()];
             i += 1;
-            run_query(black_box(&env), q, 0, &cfg).unwrap()
+            engine
+                .run_with(
+                    black_box(
+                        &Query::tnn(q)
+                            .algorithm(Algorithm::HybridNn)
+                            .ann_modes(&[m, m]),
+                    ),
+                    &mut scratch,
+                )
+                .unwrap()
         })
     });
     g.bench_function("exact_oracle", |b| {

@@ -68,7 +68,7 @@ fn bench_figures(c: &mut Criterion) {
         let m = tnn_core::AnnMode::Dynamic { factor: 0.02 };
         let cfg = BatchConfig {
             params: BroadcastParams::new(64),
-            tnn: TnnConfig::exact(Algorithm::DoubleNn).with_ann(m, m),
+            tnn: TnnConfig::exact(Algorithm::DoubleNn).with_ann_modes(&[m, m]),
             queries: 32,
             seed: 0xBEEF,
             check_oracle: false,
@@ -81,7 +81,7 @@ fn bench_figures(c: &mut Criterion) {
         };
         let cfg = BatchConfig {
             params: BroadcastParams::new(64),
-            tnn: TnnConfig::exact(Algorithm::HybridNn).with_ann(m, m),
+            tnn: TnnConfig::exact(Algorithm::HybridNn).with_ann_modes(&[m, m]),
             queries: 32,
             seed: 0xBEEF,
             check_oracle: false,

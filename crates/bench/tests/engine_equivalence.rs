@@ -1,0 +1,178 @@
+//! The acceptance gate of the `QueryEngine` API redesign: engine results
+//! must be **byte-identical** to the legacy free functions across all
+//! four algorithms, ANN modes, per-query phases, and the chained
+//! extension — and identical between the heap and linear-reference queue
+//! backends driven through the same engine.
+//!
+//! The deprecated wrappers are exercised on purpose: they are the
+//! reference implementation until they are removed.
+#![allow(deprecated)]
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use tnn_broadcast::{BroadcastParams, MultiChannelEnv};
+use tnn_core::{
+    chain_tnn, order_free_tnn, round_trip_tnn, run_query, Algorithm, AnnMode, LinearQueue, Query,
+    QueryEngine, QueryKind, QueryOutcome, TnnConfig,
+};
+use tnn_geom::Point;
+use tnn_rtree::{PackingAlgorithm, RTree};
+
+fn build_env(layers: &[Vec<Point>], phases: &[u64], page: usize) -> MultiChannelEnv {
+    let params = BroadcastParams::new(page);
+    let trees = layers
+        .iter()
+        .map(|pts| {
+            Arc::new(RTree::build(pts, params.rtree_params(), PackingAlgorithm::Str).unwrap())
+        })
+        .collect();
+    MultiChannelEnv::new(trees, params, phases)
+}
+
+fn pts_strategy(max: usize) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec(
+        (0.0f64..1000.0, 0.0f64..1000.0).prop_map(|(x, y)| Point::new(x, y)),
+        1..max,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Plain TNN: engine == legacy free function for every algorithm and
+    /// ANN mode, with per-query phases riding the overlay on the engine
+    /// side and a rephased environment on the legacy side.
+    #[test]
+    fn engine_tnn_is_byte_identical_to_legacy(
+        s in pts_strategy(180),
+        r in pts_strategy(180),
+        (ph0, ph1) in (0u64..50_000, 0u64..50_000),
+        (qx, qy) in (-100.0f64..1100.0, -100.0f64..1100.0),
+        issued_at in 0u64..20_000,
+        ann_factor in 0.0f64..2.0,
+    ) {
+        let env = build_env(&[s, r], &[0, 0], 64);
+        let engine = QueryEngine::new(env.clone());
+        let linear_engine = QueryEngine::<LinearQueue>::with_queue_backend(env.clone());
+        let p = Point::new(qx, qy);
+        let phases = [ph0, ph1];
+        let rephased = env.with_phases(&phases);
+        for alg in Algorithm::ALL {
+            for ann in [AnnMode::Exact, AnnMode::Dynamic { factor: ann_factor }] {
+                let legacy = run_query(
+                    &rephased,
+                    p,
+                    issued_at,
+                    &TnnConfig::exact(alg).with_ann_modes(&[ann, ann]),
+                )
+                .unwrap();
+                let query = Query::tnn(p)
+                    .algorithm(alg)
+                    .ann_modes(&[ann, ann])
+                    .issued_at(issued_at)
+                    .phases(&phases);
+                let got = engine.run(&query).unwrap();
+                let mut expect = QueryOutcome::from(legacy);
+                expect.kind = QueryKind::Tnn(alg);
+                prop_assert_eq!(&got, &expect, "{} / {:?}", alg.name(), ann);
+                // The linear-reference backend must agree bit-for-bit too.
+                let linear = linear_engine.run(&query).unwrap();
+                prop_assert_eq!(&linear, &expect, "linear {} / {:?}", alg.name(), ann);
+            }
+        }
+    }
+
+    /// Chained TNN over 2–4 channels: engine == legacy `chain_tnn`.
+    #[test]
+    fn engine_chain_is_byte_identical_to_legacy(
+        layers in prop::collection::vec(pts_strategy(120), 2..5),
+        phase_seed in 0u64..100_000,
+        (qx, qy) in (0.0f64..1000.0, 0.0f64..1000.0),
+        ann_factor in 0.0f64..1.5,
+    ) {
+        let k = layers.len();
+        let phases: Vec<u64> = (0..k as u64).map(|i| phase_seed.wrapping_mul(i + 1) % 60_000).collect();
+        let env = build_env(&layers, &vec![0; k], 64);
+        let engine = QueryEngine::new(env.clone());
+        let p = Point::new(qx, qy);
+        for ann in [AnnMode::Exact, AnnMode::Dynamic { factor: ann_factor }] {
+            let legacy = chain_tnn(&env.with_phases(&phases), p, 7, ann, true).unwrap();
+            let got = engine
+                .run(&Query::chain(p).ann(ann).issued_at(7).phases(&phases))
+                .unwrap();
+            prop_assert_eq!(&got, &QueryOutcome::from(legacy), "k={} {:?}", k, ann);
+            prop_assert_eq!(got.route.len(), k);
+        }
+    }
+
+    /// Order-free and round-trip variants: engine == legacy.
+    #[test]
+    fn engine_variants_are_byte_identical_to_legacy(
+        s in pts_strategy(150),
+        r in pts_strategy(150),
+        (ph0, ph1) in (0u64..40_000, 0u64..40_000),
+        (qx, qy) in (0.0f64..1000.0, 0.0f64..1000.0),
+        retrieve in prop::sample::select(vec![false, true]),
+    ) {
+        let env = build_env(&[s, r], &[ph0, ph1], 64);
+        let engine = QueryEngine::new(env.clone());
+        let p = Point::new(qx, qy);
+
+        let legacy = order_free_tnn(&env, p, 3, AnnMode::Exact, retrieve).unwrap();
+        let got = engine
+            .run(
+                &Query::order_free(p)
+                    .issued_at(3)
+                    .retrieve_answer_objects(retrieve),
+            )
+            .unwrap();
+        let mut expect = QueryOutcome::from(legacy);
+        expect.kind = QueryKind::OrderFree;
+        prop_assert_eq!(&got, &expect);
+
+        let legacy = round_trip_tnn(&env, p, 3, AnnMode::Exact, retrieve).unwrap();
+        let got = engine
+            .run(
+                &Query::round_trip(p)
+                    .issued_at(3)
+                    .retrieve_answer_objects(retrieve),
+            )
+            .unwrap();
+        let mut expect = QueryOutcome::from(legacy);
+        expect.kind = QueryKind::RoundTrip;
+        prop_assert_eq!(&got, &expect);
+    }
+}
+
+/// The pooled `run` path and the caller-scratch `run_with` path must
+/// agree with each other and with the legacy function on a fixed
+/// deterministic workload (a cheap smoke gate that needs no proptest
+/// shrinking when it fires).
+#[test]
+fn pooled_scratch_and_legacy_agree_deterministically() {
+    let cloud = |n: usize, salt: usize| -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                Point::new(
+                    ((i + salt) * 37 % 211) as f64,
+                    ((i + salt) * 53 % 223) as f64,
+                )
+            })
+            .collect()
+    };
+    let env = build_env(&[cloud(200, 1), cloud(250, 9)], &[11, 222], 64);
+    let engine = QueryEngine::new(env.clone());
+    let mut scratch = tnn_core::QueryScratch::default();
+    for i in 0..40u64 {
+        let p = Point::new((i * 31 % 211) as f64, (i * 17 % 223) as f64);
+        let alg = Algorithm::ALL[(i % 4) as usize];
+        let query = Query::tnn(p).algorithm(alg).issued_at(i * 97);
+        let pooled = engine.run(&query).unwrap();
+        let direct = engine.run_with(&query, &mut scratch).unwrap();
+        let legacy = run_query(&env, p, i * 97, &TnnConfig::exact(alg)).unwrap();
+        let mut expect = QueryOutcome::from(legacy);
+        expect.kind = QueryKind::Tnn(alg);
+        assert_eq!(pooled, expect, "pooled vs legacy, query {i}");
+        assert_eq!(direct, expect, "scratch vs legacy, query {i}");
+    }
+}

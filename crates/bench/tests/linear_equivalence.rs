@@ -31,7 +31,7 @@ fn batch_stats_bit_identical_across_backends() {
         ] {
             let cfg = BatchConfig {
                 params,
-                tnn: TnnConfig::exact(alg).with_ann(ann[0], ann[1]),
+                tnn: TnnConfig::exact(alg).with_ann_modes(&ann),
                 queries: 32,
                 seed,
                 check_oracle: false,

@@ -120,17 +120,30 @@ impl Channel {
     /// boundary, in which case the client dozes through the interposed
     /// index copy.
     pub fn retrieve_object(&self, object: ObjectId, now: u64) -> (u64, u64) {
-        let pages = self.layout.pages_per_object();
-        if pages == 0 {
-            return (now, 0);
+        self.view().retrieve_object(object, now)
+    }
+
+    /// A borrowed view of this channel under its own phase — the form the
+    /// query tasks consume (see [`ChannelView`]).
+    #[inline]
+    pub fn view(&self) -> ChannelView<'_> {
+        ChannelView {
+            channel: self,
+            phase: self.phase,
         }
-        let slot = self.layout.data_slot(object);
-        let mut t = now;
-        for k in 0..pages {
-            let arrival = self.layout.next_data_arrival(slot + k, t, self.phase);
-            t = arrival + 1; // the page occupies one slot
+    }
+
+    /// A borrowed view of this channel with `phase` substituted for the
+    /// channel's own — the zero-clone alternative to
+    /// [`Channel::with_phase`] used by
+    /// [`PhaseOverlay`](crate::PhaseOverlay) to re-randomize root waiting
+    /// times per query without touching the shared channel.
+    #[inline]
+    pub fn view_with_phase(&self, phase: u64) -> ChannelView<'_> {
+        ChannelView {
+            channel: self,
+            phase,
         }
-        (t, pages)
     }
 
     /// The content on air at global time `t`. This is the *semantic* view
@@ -153,6 +166,101 @@ impl Channel {
             object: self.object_by_rank[rank],
             part: j % self.layout.pages_per_object(),
         }
+    }
+}
+
+/// A borrowed, `Copy` view of a [`Channel`] under an (optionally
+/// overridden) phase — what the broadcast query tasks actually consume.
+///
+/// The phase is the *only* per-query degree of freedom of a channel (the
+/// tree, layout, and parameters are immutable once built), so threading a
+/// `ChannelView` through a task instead of a cloned `Channel` makes
+/// per-query phase randomization free: no `Vec` of channels, no `Arc`
+/// reference-count traffic, just a reference and a `u64`. Obtain one via
+/// [`Channel::view`], [`Channel::view_with_phase`], or a
+/// [`PhaseOverlay`](crate::PhaseOverlay).
+///
+/// All arrival arithmetic is identical to the underlying channel's with
+/// the view's phase substituted, so a view with the channel's own phase
+/// behaves exactly like the channel itself.
+#[derive(Debug, Clone, Copy)]
+pub struct ChannelView<'a> {
+    channel: &'a Channel,
+    phase: u64,
+}
+
+impl<'a> From<&'a Channel> for ChannelView<'a> {
+    fn from(channel: &'a Channel) -> Self {
+        channel.view()
+    }
+}
+
+impl<'a> ChannelView<'a> {
+    /// The underlying channel.
+    #[inline]
+    pub fn channel(&self) -> &'a Channel {
+        self.channel
+    }
+
+    /// The phase this view applies (possibly overriding the channel's).
+    #[inline]
+    pub fn phase(&self) -> u64 {
+        self.phase
+    }
+
+    /// The R-tree being broadcast.
+    #[inline]
+    pub fn tree(&self) -> &'a RTree {
+        &self.channel.tree
+    }
+
+    /// The page-level layout.
+    #[inline]
+    pub fn layout(&self) -> &'a BroadcastLayout {
+        &self.channel.layout
+    }
+
+    /// The program parameters.
+    #[inline]
+    pub fn params(&self) -> &'a BroadcastParams {
+        &self.channel.params
+    }
+
+    /// Resolves a node id to its node (the client "downloading" the page).
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &'a Node {
+        self.channel.tree.node(id)
+    }
+
+    /// Next time `t ≥ now` at which `node`'s index page is on air, under
+    /// this view's phase.
+    #[inline]
+    pub fn next_node_arrival(&self, node: NodeId, now: u64) -> u64 {
+        self.channel.layout.next_node_arrival(node, now, self.phase)
+    }
+
+    /// Next time `t ≥ now` at which the root index page is on air.
+    #[inline]
+    pub fn next_root_arrival(&self, now: u64) -> u64 {
+        self.next_node_arrival(NodeId::ROOT, now)
+    }
+
+    /// Simulates downloading all data pages of `object` starting at `now`
+    /// under this view's phase: returns `(finish_time, pages_downloaded)`.
+    /// See [`Channel::retrieve_object`].
+    pub fn retrieve_object(&self, object: ObjectId, now: u64) -> (u64, u64) {
+        let layout = &self.channel.layout;
+        let pages = layout.pages_per_object();
+        if pages == 0 {
+            return (now, 0);
+        }
+        let slot = layout.data_slot(object);
+        let mut t = now;
+        for k in 0..pages {
+            let arrival = layout.next_data_arrival(slot + k, t, self.phase);
+            t = arrival + 1; // the page occupies one slot
+        }
+        (t, pages)
     }
 }
 
@@ -261,6 +369,32 @@ mod tests {
             assert!(arr - now < ch.layout().bucket_len());
             assert_eq!(ch.page_at(arr), PageContent::IndexNode(NodeId::ROOT));
         }
+    }
+
+    #[test]
+    fn view_with_phase_matches_rephased_channel() {
+        let base = channel(40, 3);
+        let rephased = base.with_phase(777);
+        let view = base.view_with_phase(777);
+        let (_, object) = base.tree().objects_in_leaf_order().next().unwrap();
+        for now in [0u64, 9, 500, 44_444] {
+            for node in [NodeId::ROOT, NodeId(1)] {
+                assert_eq!(
+                    view.next_node_arrival(node, now),
+                    rephased.next_node_arrival(node, now)
+                );
+            }
+            assert_eq!(
+                view.retrieve_object(object, now),
+                rephased.retrieve_object(object, now)
+            );
+        }
+        // A view without an override behaves like the channel itself.
+        assert_eq!(base.view().phase(), base.phase());
+        assert_eq!(
+            base.view().next_root_arrival(17),
+            base.next_root_arrival(17)
+        );
     }
 
     #[test]

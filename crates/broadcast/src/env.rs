@@ -11,10 +11,19 @@ use tnn_rtree::RTree;
 /// using the information simultaneously received from multiple channels").
 ///
 /// A TNN query uses two channels (S on channel 0, R on channel 1); the
-/// chained-TNN extension uses one channel per dataset.
+/// chained-TNN extension uses one channel per dataset. The channel count
+/// `k` is a first-class parameter: nothing in the environment is
+/// specialized to two channels.
+///
+/// The channel list is held behind an `Arc`, so **cloning an environment
+/// is O(1)** — one atomic increment, no per-channel work. Query engines,
+/// worker threads, and (future) async executors can each hold their own
+/// handle to one shared environment. Per-query phase randomization goes
+/// through [`crate::PhaseOverlay`], which borrows the environment and
+/// clones nothing.
 #[derive(Debug, Clone)]
 pub struct MultiChannelEnv {
-    channels: Vec<Channel>,
+    channels: Arc<[Channel]>,
 }
 
 impl MultiChannelEnv {
@@ -29,12 +38,14 @@ impl MultiChannelEnv {
             phases.len(),
             "one phase per channel is required"
         );
-        let channels = trees
+        let channels: Vec<Channel> = trees
             .into_iter()
             .zip(phases)
             .map(|(tree, &phase)| Channel::new(tree, params, phase))
             .collect();
-        MultiChannelEnv { channels }
+        MultiChannelEnv {
+            channels: channels.into(),
+        }
     }
 
     /// The channels, in dataset order.
@@ -56,7 +67,12 @@ impl MultiChannelEnv {
     }
 
     /// A copy of the environment with different per-channel phases —
-    /// O(channels), sharing all trees and layouts.
+    /// O(channels), sharing all trees and layouts but materializing a new
+    /// channel list.
+    ///
+    /// Prefer [`crate::PhaseOverlay`] on hot paths: it borrows this
+    /// environment and threads the substitute phases into the query tasks
+    /// directly, cloning nothing per query.
     ///
     /// # Panics
     /// Panics when `phases` does not match the channel count.
@@ -66,13 +82,14 @@ impl MultiChannelEnv {
             phases.len(),
             "one phase per channel is required"
         );
+        let channels: Vec<Channel> = self
+            .channels
+            .iter()
+            .zip(phases)
+            .map(|(c, &p)| c.with_phase(p))
+            .collect();
         MultiChannelEnv {
-            channels: self
-                .channels
-                .iter()
-                .zip(phases)
-                .map(|(c, &p)| c.with_phase(p))
-                .collect(),
+            channels: channels.into(),
         }
     }
 
@@ -114,6 +131,22 @@ mod tests {
     fn mismatched_phases_panic() {
         let params = BroadcastParams::new(64);
         MultiChannelEnv::new(vec![tree(10, &params)], params, &[1, 2]);
+    }
+
+    #[test]
+    fn clone_shares_the_channel_list() {
+        let params = BroadcastParams::new(64);
+        let env =
+            MultiChannelEnv::new(vec![tree(20, &params), tree(50, &params)], params, &[3, 99]);
+        let copy = env.clone();
+        // O(1) clone: both handles point at the same channel slice.
+        assert!(std::ptr::eq(env.channels(), copy.channels()));
+        // with_phases produces an independent list (the legacy copying
+        // path) without touching the original.
+        let rephased = env.with_phases(&[7, 8]);
+        assert!(!std::ptr::eq(env.channels(), rephased.channels()));
+        assert_eq!(env.channel(0).phase(), 3);
+        assert_eq!(rephased.channel(0).phase(), 7);
     }
 
     #[test]

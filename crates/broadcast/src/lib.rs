@@ -37,11 +37,13 @@
 mod channel;
 mod env;
 mod layout;
+mod overlay;
 mod params;
 mod tuner;
 
-pub use channel::{Channel, PageContent};
+pub use channel::{Channel, ChannelView, PageContent};
 pub use env::MultiChannelEnv;
 pub use layout::BroadcastLayout;
+pub use overlay::{InlineVec, PhaseOverlay, PhaseVec};
 pub use params::{BroadcastParams, PAGE_CAPACITIES};
 pub use tuner::Tuner;

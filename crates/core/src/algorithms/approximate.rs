@@ -58,7 +58,7 @@ pub(crate) fn estimate(env: &MultiChannelEnv, issued_at: u64) -> Estimate {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{run_query, Algorithm, TnnConfig};
+    use crate::{run_query_impl, Algorithm, QueryScratch, TnnConfig};
     use std::sync::Arc;
     use tnn_broadcast::BroadcastParams;
     use tnn_geom::Point;
@@ -115,7 +115,14 @@ mod tests {
         let r = uniformish(700, 5, 1000.0);
         let e = env(&s, &r);
         let p = Point::new(500.0, 500.0);
-        let run = run_query(&e, p, 0, &TnnConfig::exact(Algorithm::ApproximateTnn)).unwrap();
+        let run = run_query_impl(
+            &e,
+            p,
+            0,
+            &TnnConfig::exact(Algorithm::ApproximateTnn),
+            &mut QueryScratch::<crate::ArrivalHeap>::default(),
+        )
+        .unwrap();
         let got = run.answer.expect("uniform data should succeed");
         let oracle = crate::exact_tnn(p, e.channel(0).tree(), e.channel(1).tree());
         assert!((got.dist - oracle.dist).abs() < 1e-9);
@@ -131,7 +138,14 @@ mod tests {
         let r = s.clone();
         let e = env(&s, &r);
         let p = Point::new(10.0, 10.0);
-        let run = run_query(&e, p, 0, &TnnConfig::exact(Algorithm::ApproximateTnn)).unwrap();
+        let run = run_query_impl(
+            &e,
+            p,
+            0,
+            &TnnConfig::exact(Algorithm::ApproximateTnn),
+            &mut QueryScratch::<crate::ArrivalHeap>::default(),
+        )
+        .unwrap();
         // The candidate sets are empty → the query fails outright.
         assert!(run.failed());
         assert_eq!(run.candidates, [0, 0]);

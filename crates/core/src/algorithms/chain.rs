@@ -15,10 +15,12 @@
 //! layered dynamic program ([`crate::chain_join`]) then finds the best
 //! chain among the candidates.
 
-use crate::task::{NnSearchTask, WindowQueryTask};
-use crate::{chain_join, AnnMode, ChannelCost, SearchMode, TnnError};
+use super::QueryScratch;
+use crate::task::queue::{ArrivalHeap, CandidateQueue};
+use crate::task::{BroadcastNnSearch, WindowQueryTask};
+use crate::{chain_join, AnnMode, AnnSpec, ChannelCost, SearchMode, TnnError};
 use serde::{Deserialize, Serialize};
-use tnn_broadcast::MultiChannelEnv;
+use tnn_broadcast::{MultiChannelEnv, PhaseOverlay, Tuner};
 use tnn_geom::{Circle, Point};
 use tnn_rtree::ObjectId;
 
@@ -52,11 +54,15 @@ impl ChainRun {
 }
 
 /// Executes a chained TNN query over `env.len()` channels (categories in
-/// channel order).
+/// channel order), with one ANN mode shared by every channel.
 ///
 /// # Errors
 /// [`TnnError::WrongChannelCount`] for fewer than two channels;
 /// [`TnnError::NonFiniteQuery`] for NaN/infinite query points.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `QueryEngine` and run `Query::chain(p)` instead"
+)]
 pub fn chain_tnn(
     env: &MultiChannelEnv,
     p: Point,
@@ -64,7 +70,37 @@ pub fn chain_tnn(
     ann: AnnMode,
     retrieve_answer_objects: bool,
 ) -> Result<ChainRun, TnnError> {
-    let k = env.len();
+    chain_tnn_overlay(
+        &PhaseOverlay::identity(env),
+        p,
+        issued_at,
+        &AnnSpec::Uniform(ann),
+        retrieve_answer_objects,
+        &mut QueryScratch::<ArrivalHeap>::default(),
+    )
+}
+
+/// The chained-TNN pipeline behind [`chain_tnn`] and
+/// [`crate::QueryEngine`]: runs over a [`PhaseOverlay`] (zero-clone
+/// per-query phases), supports per-channel ANN modes through
+/// [`AnnSpec`], and reuses the caller's k-ary [`QueryScratch`] for the
+/// estimate-phase searches.
+///
+/// # Errors
+/// As [`chain_tnn`].
+///
+/// # Panics
+/// Panics when a per-channel [`AnnSpec`] does not match the channel
+/// count.
+pub fn chain_tnn_overlay<Q: CandidateQueue>(
+    overlay: &PhaseOverlay<'_>,
+    p: Point,
+    issued_at: u64,
+    ann: &AnnSpec,
+    retrieve_answer_objects: bool,
+    scratch: &mut QueryScratch<Q>,
+) -> Result<ChainRun, TnnError> {
+    let k = overlay.len();
     if k < 2 {
         return Err(TnnError::WrongChannelCount {
             needed: 2,
@@ -74,13 +110,25 @@ pub fn chain_tnn(
     if !p.is_finite() {
         return Err(TnnError::NonFiniteQuery);
     }
+    ann.check_channels(k);
+    scratch.ensure_channels(k);
 
     // Estimate: parallel NN searches from p on every channel, interleaved
     // in global time order.
-    let mut tasks: Vec<NnSearchTask<'_>> = env
-        .channels()
-        .iter()
-        .map(|ch| NnSearchTask::new(ch, SearchMode::Point { q: p }, ann, issued_at))
+    let mut tasks: Vec<BroadcastNnSearch<'_, Q>> = scratch
+        .nn
+        .iter_mut()
+        .take(k)
+        .enumerate()
+        .map(|(i, nn_scratch)| {
+            BroadcastNnSearch::with_scratch(
+                overlay.view(i),
+                SearchMode::Point { q: p },
+                ann.mode(i),
+                issued_at,
+                nn_scratch,
+            )
+        })
         .collect();
     loop {
         let next = tasks
@@ -106,33 +154,45 @@ pub fn chain_tnn(
         radius += w[0].dist(w[1]);
     }
     let est_end = tasks.iter().map(|t| t.now()).max().unwrap_or(issued_at);
+    let est_costs: Vec<(Tuner, u64)> = tasks.iter().map(|t| (*t.tuner(), t.now())).collect();
+    for (task, nn_scratch) in tasks.into_iter().zip(scratch.nn.iter_mut()) {
+        task.recycle(nn_scratch);
+    }
 
-    // Filter: window queries on every channel. The range is closed (the
-    // estimate chain lies on its boundary); pad by a few ULPs so rounding
-    // cannot exclude boundary candidates.
+    // Filter: window queries on every channel, reusing the k-ary window
+    // scratch buffers (the join reads the hit lists in place — nothing
+    // is copied out). The range is closed (the estimate chain lies on
+    // its boundary); pad by a few ULPs so rounding cannot exclude
+    // boundary candidates.
     let range = Circle::new(p, radius * (1.0 + 4.0 * f64::EPSILON));
-    let mut layers = Vec::with_capacity(k);
+    let mut windows = Vec::with_capacity(k);
     let mut channels = Vec::with_capacity(k);
     let mut filter_end = est_end;
-    for (i, ch) in env.channels().iter().enumerate() {
-        let mut w = WindowQueryTask::new(ch, range, est_end);
+    for ((i, &(est_tuner, est_now)), window_scratch) in
+        est_costs.iter().enumerate().zip(scratch.window.iter_mut())
+    {
+        let mut w = WindowQueryTask::with_scratch(overlay.view(i), range, est_end, window_scratch);
         let end = w.run_to_completion();
         filter_end = filter_end.max(end);
         channels.push(ChannelCost {
-            estimate_pages: tasks[i].tuner().pages,
+            estimate_pages: est_tuner.pages,
             filter_pages: w.tuner().pages,
             retrieve_pages: 0,
-            finish_time: tasks[i].now().max(end),
+            finish_time: est_now.max(end),
         });
-        layers.push(w.into_hits());
+        windows.push(w);
     }
 
+    let layers: Vec<&[(Point, ObjectId)]> = windows.iter().map(|w| w.hits()).collect();
     let (path, total_dist) = chain_join(p, &layers)
         .expect("the estimate chain is inside the range, so no layer is empty");
+    for (w, window_scratch) in windows.into_iter().zip(scratch.window.iter_mut()) {
+        w.recycle(window_scratch);
+    }
 
     if retrieve_answer_objects {
         for (i, (_, object)) in path.iter().enumerate() {
-            let (done, pages) = env.channel(i).retrieve_object(*object, filter_end);
+            let (done, pages) = overlay.view(i).retrieve_object(*object, filter_end);
             channels[i].retrieve_pages = pages;
             channels[i].finish_time = channels[i].finish_time.max(done);
         }
@@ -162,6 +222,25 @@ mod tests {
     use tnn_broadcast::BroadcastParams;
     use tnn_rtree::{PackingAlgorithm, RTree};
 
+    /// The overlay pipeline with an identity overlay and fresh scratch —
+    /// what the deprecated `chain_tnn` wrapper does.
+    fn chain(
+        env: &MultiChannelEnv,
+        p: Point,
+        issued_at: u64,
+        ann: AnnMode,
+        retrieve: bool,
+    ) -> Result<ChainRun, TnnError> {
+        chain_tnn_overlay(
+            &PhaseOverlay::identity(env),
+            p,
+            issued_at,
+            &AnnSpec::Uniform(ann),
+            retrieve,
+            &mut QueryScratch::<ArrivalHeap>::default(),
+        )
+    }
+
     fn make_env(layers: &[Vec<Point>], phases: &[u64]) -> MultiChannelEnv {
         let params = BroadcastParams::new(64);
         let trees = layers
@@ -189,7 +268,7 @@ mod tests {
         let layers = vec![cloud(60, 0), cloud(80, 7), cloud(50, 19)];
         let env = make_env(&layers, &[3, 17, 91]);
         let p = Point::new(150.0, 150.0);
-        let run = chain_tnn(&env, p, 5, AnnMode::Exact, true).unwrap();
+        let run = chain(&env, p, 5, AnnMode::Exact, true).unwrap();
         let trees: Vec<&RTree> = env.channels().iter().map(|c| c.tree()).collect();
         let (_, oracle_total) = exact_chain_tnn(p, &trees);
         assert!(
@@ -208,7 +287,7 @@ mod tests {
         let layers = vec![cloud(70, 2), cloud(90, 11)];
         let env = make_env(&layers, &[0, 41]);
         let p = Point::new(100.0, 200.0);
-        let run = chain_tnn(&env, p, 0, AnnMode::Exact, false).unwrap();
+        let run = chain(&env, p, 0, AnnMode::Exact, false).unwrap();
         let oracle = crate::exact_tnn(p, env.channel(0).tree(), env.channel(1).tree());
         assert!((run.total_dist - oracle.dist).abs() < 1e-9);
     }
@@ -217,7 +296,7 @@ mod tests {
     fn single_channel_is_rejected() {
         let layers = vec![cloud(10, 0)];
         let env = make_env(&layers, &[0]);
-        let err = chain_tnn(&env, Point::ORIGIN, 0, AnnMode::Exact, false).unwrap_err();
+        let err = chain(&env, Point::ORIGIN, 0, AnnMode::Exact, false).unwrap_err();
         assert!(matches!(err, TnnError::WrongChannelCount { .. }));
     }
 
@@ -225,7 +304,7 @@ mod tests {
     fn non_finite_query_rejected() {
         let layers = vec![cloud(10, 0), cloud(10, 5)];
         let env = make_env(&layers, &[0, 0]);
-        let err = chain_tnn(&env, Point::new(f64::NAN, 0.0), 0, AnnMode::Exact, false).unwrap_err();
+        let err = chain(&env, Point::new(f64::NAN, 0.0), 0, AnnMode::Exact, false).unwrap_err();
         assert_eq!(err, TnnError::NonFiniteQuery);
     }
 
@@ -234,8 +313,8 @@ mod tests {
         let layers = vec![cloud(120, 1), cloud(100, 9), cloud(110, 23)];
         let env = make_env(&layers, &[7, 3, 55]);
         let p = Point::new(80.0, 120.0);
-        let exact = chain_tnn(&env, p, 0, AnnMode::Exact, false).unwrap();
-        let ann = chain_tnn(&env, p, 0, AnnMode::Dynamic { factor: 1.0 }, false).unwrap();
+        let exact = chain(&env, p, 0, AnnMode::Exact, false).unwrap();
+        let ann = chain(&env, p, 0, AnnMode::Dynamic { factor: 1.0 }, false).unwrap();
         // The ANN radius can only grow, so the DP still sees the optimum.
         assert!(ann.search_radius >= exact.search_radius - 1e-9);
         assert!((ann.total_dist - exact.total_dist).abs() < 1e-9);

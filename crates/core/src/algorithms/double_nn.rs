@@ -11,26 +11,26 @@ use super::{run_parallel, Estimate, QueryScratch};
 use crate::task::queue::CandidateQueue;
 use crate::task::BroadcastNnSearch;
 use crate::{SearchMode, TnnConfig};
-use tnn_broadcast::MultiChannelEnv;
+use tnn_broadcast::PhaseOverlay;
 use tnn_geom::Point;
 
 pub(crate) fn estimate<Q: CandidateQueue>(
-    env: &MultiChannelEnv,
+    overlay: &PhaseOverlay<'_>,
     p: Point,
     issued_at: u64,
     cfg: &TnnConfig,
     scratch: &mut QueryScratch<Q>,
 ) -> Estimate {
-    let [s0, s1] = &mut scratch.nn;
+    let (s0, s1) = scratch.nn_pair();
     let mut a = BroadcastNnSearch::with_scratch(
-        env.channel(0),
+        overlay.view(0),
         SearchMode::Point { q: p },
         cfg.ann[0],
         issued_at,
         s0,
     );
     let mut b = BroadcastNnSearch::with_scratch(
-        env.channel(1),
+        overlay.view(1),
         SearchMode::Point { q: p },
         cfg.ann[1],
         issued_at,
@@ -56,13 +56,17 @@ pub(crate) fn estimate<Q: CandidateQueue>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{run_query, Algorithm};
+    use crate::Algorithm;
     use std::sync::Arc;
-    use tnn_broadcast::BroadcastParams;
+    use tnn_broadcast::{BroadcastParams, MultiChannelEnv};
     use tnn_rtree::{PackingAlgorithm, RTree};
 
     fn fresh() -> super::QueryScratch {
         super::QueryScratch::default()
+    }
+
+    fn ov(env: &MultiChannelEnv) -> PhaseOverlay<'_> {
+        PhaseOverlay::identity(env)
     }
 
     fn env(s: &[Point], r: &[Point], phases: [u64; 2]) -> MultiChannelEnv {
@@ -90,7 +94,7 @@ mod tests {
         let e = env(&s, &r, [3, 77]);
         let p = Point::new(90.0, 110.0);
         let est = estimate(
-            &e,
+            &ov(&e),
             p,
             0,
             &TnnConfig::exact(Algorithm::DoubleNn),
@@ -118,7 +122,7 @@ mod tests {
         for (px, py) in [(10.0, 10.0), (100.0, 50.0), (200.0, 200.0)] {
             let p = Point::new(px, py);
             let d_dbl = estimate(
-                &e,
+                &ov(&e),
                 p,
                 0,
                 &TnnConfig::exact(Algorithm::DoubleNn),
@@ -126,7 +130,7 @@ mod tests {
             )
             .radius;
             let d_win = super::super::window_based::estimate(
-                &e,
+                &ov(&e),
                 p,
                 0,
                 &TnnConfig::exact(Algorithm::WindowBased),
@@ -144,7 +148,14 @@ mod tests {
         let e = env(&s, &r, [17, 3]);
         for (px, py) in [(0.0, 0.0), (150.0, 100.0), (-40.0, 260.0)] {
             let p = Point::new(px, py);
-            let run = run_query(&e, p, 4, &TnnConfig::exact(Algorithm::DoubleNn)).unwrap();
+            let run = crate::run_query_impl(
+                &e,
+                p,
+                4,
+                &TnnConfig::exact(Algorithm::DoubleNn),
+                &mut fresh(),
+            )
+            .unwrap();
             let got = run.answer.expect("double-NN never fails");
             let oracle = crate::exact_tnn(p, e.channel(0).tree(), e.channel(1).tree());
             assert!(
@@ -166,7 +177,7 @@ mod tests {
         let e = env(&s, &r, [0, 0]);
         let p = Point::new(105.0, 105.0);
         let est = estimate(
-            &e,
+            &ov(&e),
             p,
             0,
             &TnnConfig::exact(Algorithm::DoubleNn),

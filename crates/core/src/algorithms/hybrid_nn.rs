@@ -20,26 +20,26 @@ use super::{run_parallel, Estimate, QueryScratch};
 use crate::task::queue::CandidateQueue;
 use crate::task::BroadcastNnSearch;
 use crate::{SearchMode, TnnConfig};
-use tnn_broadcast::MultiChannelEnv;
+use tnn_broadcast::PhaseOverlay;
 use tnn_geom::Point;
 
 pub(crate) fn estimate<Q: CandidateQueue>(
-    env: &MultiChannelEnv,
+    overlay: &PhaseOverlay<'_>,
     p: Point,
     issued_at: u64,
     cfg: &TnnConfig,
     scratch: &mut QueryScratch<Q>,
 ) -> Estimate {
-    let [s0, s1] = &mut scratch.nn;
+    let (s0, s1) = scratch.nn_pair();
     let mut a = BroadcastNnSearch::with_scratch(
-        env.channel(0),
+        overlay.view(0),
         SearchMode::Point { q: p },
         cfg.ann[0],
         issued_at,
         s0,
     );
     let mut b = BroadcastNnSearch::with_scratch(
-        env.channel(1),
+        overlay.view(1),
         SearchMode::Point { q: p },
         cfg.ann[1],
         issued_at,
@@ -78,13 +78,21 @@ pub(crate) fn estimate<Q: CandidateQueue>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{run_query, Algorithm};
+    use crate::Algorithm;
     use std::sync::Arc;
-    use tnn_broadcast::BroadcastParams;
+    use tnn_broadcast::{BroadcastParams, MultiChannelEnv};
     use tnn_rtree::{PackingAlgorithm, RTree};
 
     fn fresh() -> super::QueryScratch {
         super::QueryScratch::default()
+    }
+
+    fn ov(env: &MultiChannelEnv) -> PhaseOverlay<'_> {
+        PhaseOverlay::identity(env)
+    }
+
+    fn rq(env: &MultiChannelEnv, p: Point, t: u64, cfg: &TnnConfig) -> crate::TnnRun {
+        crate::run_query_impl(env, p, t, cfg, &mut fresh()).unwrap()
     }
 
     fn env(s: &[Point], r: &[Point], phases: [u64; 2]) -> MultiChannelEnv {
@@ -113,7 +121,7 @@ mod tests {
         let e = env(&s, &r, [3, 55]);
         for (px, py) in [(20.0, 20.0), (150.0, 100.0), (80.0, 210.0)] {
             let p = Point::new(px, py);
-            let run = run_query(&e, p, 2, &TnnConfig::exact(Algorithm::HybridNn)).unwrap();
+            let run = rq(&e, p, 2, &TnnConfig::exact(Algorithm::HybridNn));
             let got = run.answer.expect("hybrid never fails");
             let oracle = crate::exact_tnn(p, e.channel(0).tree(), e.channel(1).tree());
             assert!(
@@ -133,7 +141,7 @@ mod tests {
         let e = env(&s, &r, [21, 5]);
         for (px, py) in [(10.0, 190.0), (130.0, 60.0)] {
             let p = Point::new(px, py);
-            let run = run_query(&e, p, 7, &TnnConfig::exact(Algorithm::HybridNn)).unwrap();
+            let run = rq(&e, p, 7, &TnnConfig::exact(Algorithm::HybridNn));
             let got = run.answer.expect("hybrid never fails");
             let oracle = crate::exact_tnn(p, e.channel(0).tree(), e.channel(1).tree());
             assert!(
@@ -154,14 +162,14 @@ mod tests {
         let e = env(&s, &r, [0, 9]);
         let p = Point::new(100.0, 100.0);
         let h = estimate(
-            &e,
+            &ov(&e),
             p,
             0,
             &TnnConfig::exact(Algorithm::HybridNn),
             &mut fresh(),
         );
         let d = super::super::double_nn::estimate(
-            &e,
+            &ov(&e),
             p,
             0,
             &TnnConfig::exact(Algorithm::DoubleNn),
@@ -188,7 +196,7 @@ mod tests {
         for (px, py) in [(30.0, 30.0), (170.0, 120.0), (60.0, 200.0)] {
             let p = Point::new(px, py);
             let h = estimate(
-                &e,
+                &ov(&e),
                 p,
                 0,
                 &TnnConfig::exact(Algorithm::HybridNn),
@@ -196,7 +204,7 @@ mod tests {
             )
             .radius;
             let d = super::super::double_nn::estimate(
-                &e,
+                &ov(&e),
                 p,
                 0,
                 &TnnConfig::exact(Algorithm::DoubleNn),
@@ -214,15 +222,12 @@ mod tests {
         let r = grid(250, 8);
         let e = env(&s, &r, [7, 19]);
         let p = Point::new(111.0, 99.0);
-        let cfg = TnnConfig::exact(Algorithm::HybridNn).with_ann(
-            crate::AnnMode::Dynamic {
+        let cfg = TnnConfig::exact(Algorithm::HybridNn).with_ann_modes(
+            &[crate::AnnMode::Dynamic {
                 factor: 1.0 / 150.0,
-            },
-            crate::AnnMode::Dynamic {
-                factor: 1.0 / 150.0,
-            },
+            }; 2],
         );
-        let run = run_query(&e, p, 0, &cfg).unwrap();
+        let run = rq(&e, p, 0, &cfg);
         let got = run.answer.unwrap();
         let oracle = crate::exact_tnn(p, e.channel(0).tree(), e.channel(1).tree());
         assert!((got.dist - oracle.dist).abs() < 1e-9);

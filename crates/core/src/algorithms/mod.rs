@@ -9,12 +9,15 @@
 //! pages.
 //!
 //! Every step is generic over the candidate-queue backend of the NN
-//! search tasks (see [`crate::task::queue`]): [`run_query`] uses the
-//! heap-ordered production backend, while the feature-gated
-//! [`run_query_linear`] drives the identical algorithm code over the
-//! paper-literal linear-scan reference for A/B benchmarking. The hot path
-//! performs no per-query allocations when driven through
-//! [`run_query_with`] with a reused [`QueryScratch`].
+//! search tasks (see [`crate::task::queue`]): the default backend is the
+//! heap-ordered production queue, while the feature-gated
+//! `run_query_linear` drives the identical algorithm code over the
+//! paper-literal linear-scan reference for A/B benchmarking. The hot
+//! path performs no per-query allocations when driven through
+//! [`crate::QueryEngine::run_with`] (or the deprecated
+//! [`run_query_with`]) with a reused [`QueryScratch`], and per-query
+//! phase randomization goes through [`run_query_overlay`] without
+//! cloning the environment.
 
 mod approximate;
 mod chain;
@@ -24,33 +27,61 @@ mod variants;
 mod window_based;
 
 pub use approximate::{approximate_radius, approximate_radius_for_env};
-pub use chain::{chain_tnn, ChainRun};
-pub use variants::{order_free_tnn, round_trip_join, round_trip_tnn, VariantRun, VisitOrder};
+#[allow(deprecated)] // legacy wrappers stay exported for one release
+pub use chain::chain_tnn;
+pub use chain::{chain_tnn_overlay, ChainRun};
+#[allow(deprecated)] // legacy wrappers stay exported for one release
+pub use variants::{order_free_tnn, round_trip_tnn};
+pub use variants::{
+    order_free_tnn_overlay, round_trip_join, round_trip_tnn_overlay, VariantRun, VisitOrder,
+};
 
 use crate::join::JoinScratch;
 use crate::task::queue::{ArrivalHeap, CandidateQueue};
 use crate::task::{BroadcastNnSearch, NnScratch, WindowQueryTask, WindowScratch};
 use crate::{tnn_join_with, Algorithm, ChannelCost, TnnConfig, TnnError, TnnRun};
-use tnn_broadcast::{MultiChannelEnv, Tuner};
+use tnn_broadcast::{MultiChannelEnv, PhaseOverlay, Tuner};
 use tnn_geom::{Circle, Point};
 use tnn_rtree::ObjectId;
 
 #[cfg(feature = "linear-reference")]
 use crate::task::queue::LinearQueue;
 
-/// Reusable per-worker buffers for the whole query pipeline: the two NN
-/// search tasks of the estimate phase, the two window queries of the
-/// filter phase, and the local join. After the first query has grown the
-/// buffers, subsequent queries through [`run_query_with`] allocate
-/// nothing.
+/// Reusable per-worker buffers for the whole query pipeline: one NN
+/// search task and one window query per channel, plus the local join —
+/// k-ary, growing on demand to the environment's channel count, so plain
+/// TNN (k = 2) and the chained extension share one shape. After the first
+/// query has grown the buffers, subsequent queries through
+/// [`crate::QueryEngine::run_with`] (or the legacy [`run_query_with`])
+/// allocate nothing.
 #[derive(Debug, Default)]
 pub struct QueryScratch<Q: CandidateQueue = ArrivalHeap> {
     /// Estimate-phase NN task buffers, one per channel.
-    pub(crate) nn: [NnScratch<Q>; 2],
+    pub(crate) nn: Vec<NnScratch<Q>>,
     /// Filter-phase window query buffers, one per channel.
-    pub(crate) window: [WindowScratch; 2],
+    pub(crate) window: Vec<WindowScratch>,
     /// Join working memory.
     pub(crate) join: JoinScratch,
+}
+
+impl<Q: CandidateQueue> QueryScratch<Q> {
+    /// Grows the per-channel buffers to at least `k` channels.
+    pub(crate) fn ensure_channels(&mut self, k: usize) {
+        while self.nn.len() < k {
+            self.nn.push(NnScratch::default());
+        }
+        while self.window.len() < k {
+            self.window.push(WindowScratch::default());
+        }
+    }
+
+    /// The first two NN scratches, mutably (the 2-channel estimate
+    /// phases).
+    pub(crate) fn nn_pair(&mut self) -> (&mut NnScratch<Q>, &mut NnScratch<Q>) {
+        self.ensure_channels(2);
+        let (a, b) = self.nn.split_at_mut(1);
+        (&mut a[0], &mut b[0])
+    }
 }
 
 /// Executes one TNN query against a two-channel environment.
@@ -62,18 +93,30 @@ pub struct QueryScratch<Q: CandidateQueue = ArrivalHeap> {
 /// # Errors
 /// [`TnnError::WrongChannelCount`] unless the environment has exactly two
 /// channels; [`TnnError::NonFiniteQuery`] for NaN/infinite query points.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `QueryEngine` and run `Query::tnn(p)` instead"
+)]
 pub fn run_query(
     env: &MultiChannelEnv,
     p: Point,
     issued_at: u64,
     cfg: &TnnConfig,
 ) -> Result<TnnRun, TnnError> {
-    run_query_with(env, p, issued_at, cfg, &mut QueryScratch::default())
+    run_query_impl(
+        env,
+        p,
+        issued_at,
+        cfg,
+        &mut QueryScratch::<ArrivalHeap>::default(),
+    )
 }
 
-/// [`run_query`] with caller-provided scratch buffers — the zero-alloc
-/// entry point batch runners should use, holding one [`QueryScratch`] per
-/// worker thread.
+/// [`run_query`] with caller-provided scratch buffers.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `QueryEngine::run_with` (same zero-alloc hot path)"
+)]
 pub fn run_query_with(
     env: &MultiChannelEnv,
     p: Point,
@@ -86,7 +129,8 @@ pub fn run_query_with(
 
 /// [`run_query`] over the paper-literal linear-scan candidate queues —
 /// identical algorithm code, O(n) queue operations. Only for benchmarks
-/// and equivalence tests.
+/// and equivalence tests (the engine equivalent is
+/// `QueryEngine::<LinearQueue>::with_queue_backend`).
 #[cfg(feature = "linear-reference")]
 pub fn run_query_linear(
     env: &MultiChannelEnv,
@@ -115,9 +159,8 @@ pub fn run_query_linear_with(
     run_query_impl(env, p, issued_at, cfg, scratch)
 }
 
-/// The queue-generic query pipeline behind [`run_query`] /
-/// [`run_query_linear`]: batch runners that A/B the two backends call
-/// this directly with their own scratch type.
+/// The queue-generic query pipeline over an environment's own phases —
+/// equivalent to [`run_query_overlay`] with an identity overlay.
 pub fn run_query_impl<Q: CandidateQueue>(
     env: &MultiChannelEnv,
     p: Point,
@@ -125,22 +168,44 @@ pub fn run_query_impl<Q: CandidateQueue>(
     cfg: &TnnConfig,
     scratch: &mut QueryScratch<Q>,
 ) -> Result<TnnRun, TnnError> {
-    if env.len() != 2 {
+    run_query_overlay(&PhaseOverlay::identity(env), p, issued_at, cfg, scratch)
+}
+
+/// The queue-generic query pipeline behind every TNN entry point, over a
+/// [`PhaseOverlay`] — per-query phase randomization without cloning the
+/// environment. [`crate::QueryEngine`] and the batch runners drive this
+/// directly.
+///
+/// # Errors
+/// As [`run_query`].
+///
+/// # Panics
+/// Panics when `cfg.ann` does not hold one mode per channel.
+pub fn run_query_overlay<Q: CandidateQueue>(
+    overlay: &PhaseOverlay<'_>,
+    p: Point,
+    issued_at: u64,
+    cfg: &TnnConfig,
+    scratch: &mut QueryScratch<Q>,
+) -> Result<TnnRun, TnnError> {
+    if overlay.len() != 2 {
         return Err(TnnError::WrongChannelCount {
             needed: 2,
-            available: env.len(),
+            available: overlay.len(),
         });
     }
     if !p.is_finite() {
         return Err(TnnError::NonFiniteQuery);
     }
+    assert_eq!(cfg.ann.len(), 2, "one ANN mode per channel is required");
+    scratch.ensure_channels(2);
     let est = match cfg.algorithm {
-        Algorithm::WindowBased => window_based::estimate(env, p, issued_at, cfg, scratch),
-        Algorithm::ApproximateTnn => approximate::estimate(env, issued_at),
-        Algorithm::DoubleNn => double_nn::estimate(env, p, issued_at, cfg, scratch),
-        Algorithm::HybridNn => hybrid_nn::estimate(env, p, issued_at, cfg, scratch),
+        Algorithm::WindowBased => window_based::estimate(overlay, p, issued_at, cfg, scratch),
+        Algorithm::ApproximateTnn => approximate::estimate(overlay.env(), issued_at),
+        Algorithm::DoubleNn => double_nn::estimate(overlay, p, issued_at, cfg, scratch),
+        Algorithm::HybridNn => hybrid_nn::estimate(overlay, p, issued_at, cfg, scratch),
     };
-    Ok(filter_and_finish(env, p, issued_at, est, cfg, scratch))
+    Ok(filter_and_finish(overlay, p, issued_at, est, cfg, scratch))
 }
 
 /// Result of an estimate phase: the filter radius plus cost accounting.
@@ -156,7 +221,7 @@ pub(crate) struct Estimate {
 
 /// The common filter + retrieve tail shared by all four algorithms.
 pub(crate) fn filter_and_finish<Q: CandidateQueue>(
-    env: &MultiChannelEnv,
+    overlay: &PhaseOverlay<'_>,
     p: Point,
     issued_at: u64,
     est: Estimate,
@@ -169,16 +234,19 @@ pub(crate) fn filter_and_finish<Q: CandidateQueue>(
     let range = Circle::new(p, est.radius * (1.0 + 4.0 * f64::EPSILON));
 
     // Filter phase: window queries on both channels, in parallel (each has
-    // its own timeline starting at the estimate end).
-    let [w0_scratch, w1_scratch] = &mut scratch.window;
-    let mut w0 = WindowQueryTask::with_scratch(env.channel(0), range, est.end, w0_scratch);
+    // its own timeline starting at the estimate end). Field destructuring
+    // keeps the window and join borrows disjoint.
+    let QueryScratch { window, join, .. } = scratch;
+    let (w0_half, w1_half) = window.split_at_mut(1);
+    let (w0_scratch, w1_scratch) = (&mut w0_half[0], &mut w1_half[0]);
+    let mut w0 = WindowQueryTask::with_scratch(overlay.view(0), range, est.end, w0_scratch);
     let f0_end = w0.run_to_completion();
-    let mut w1 = WindowQueryTask::with_scratch(env.channel(1), range, est.end, w1_scratch);
+    let mut w1 = WindowQueryTask::with_scratch(overlay.view(1), range, est.end, w1_scratch);
     let f1_end = w1.run_to_completion();
 
     let candidates = [w0.hits().len(), w1.hits().len()];
     let filter_pages = [w0.tuner().pages, w1.tuner().pages];
-    let answer = tnn_join_with(&mut scratch.join, p, w0.hits(), w1.hits());
+    let answer = tnn_join_with(join, p, w0.hits(), w1.hits());
     w0.recycle(w0_scratch);
     w1.recycle(w1_scratch);
 
@@ -203,8 +271,8 @@ pub(crate) fn filter_and_finish<Q: CandidateQueue>(
     if cfg.retrieve_answer_objects {
         if let Some(pair) = &answer {
             let start = f0_end.max(f1_end);
-            let (done0, pages0) = env.channel(0).retrieve_object(pair.s.1, start);
-            let (done1, pages1) = env.channel(1).retrieve_object(pair.r.1, start);
+            let (done0, pages0) = overlay.view(0).retrieve_object(pair.s.1, start);
+            let (done1, pages1) = overlay.view(1).retrieve_object(pair.r.1, start);
             channels[0].retrieve_pages = pages0;
             channels[0].finish_time = channels[0].finish_time.max(done0);
             channels[1].retrieve_pages = pages1;
@@ -353,7 +421,7 @@ mod equivalence_tests {
             let mut linear_scratch = QueryScratch::<LinearQueue>::default();
             for alg in Algorithm::ALL {
                 for ann in [AnnMode::Exact, AnnMode::Dynamic { factor: ann_factor }] {
-                    let cfg = TnnConfig::exact(alg).with_ann(ann, ann);
+                    let cfg = TnnConfig::exact(alg).with_ann_modes(&[ann, ann]);
                     let heap_run =
                         run_query_impl(&env, p, issued_at, &cfg, &mut heap_scratch).unwrap();
                     let linear_run =

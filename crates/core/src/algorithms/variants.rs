@@ -18,11 +18,12 @@
 //!   `2·dis(p, x) ≤ loop length`, so `circle(p, d/2)` with `d` the
 //!   feasible NN loop suffices.
 
-use super::run_parallel;
-use crate::task::{NnSearchTask, WindowQueryTask};
-use crate::{AnnMode, ChannelCost, SearchMode, TnnError, TnnPair};
+use super::{run_parallel, QueryScratch};
+use crate::task::queue::{ArrivalHeap, CandidateQueue};
+use crate::task::{BroadcastNnSearch, WindowQueryTask, WindowScratch};
+use crate::{AnnMode, AnnSpec, ChannelCost, SearchMode, TnnError, TnnPair};
 use serde::{Deserialize, Serialize};
-use tnn_broadcast::MultiChannelEnv;
+use tnn_broadcast::{MultiChannelEnv, PhaseOverlay};
 use tnn_geom::{Circle, Point};
 use tnn_rtree::ObjectId;
 
@@ -79,66 +80,82 @@ impl VariantRun {
 /// Shared estimate: parallel NN searches from `p` on both channels,
 /// returning the two NNs and the estimate costs.
 #[allow(clippy::type_complexity)]
-fn double_estimate(
-    env: &MultiChannelEnv,
+fn double_estimate<Q: CandidateQueue>(
+    overlay: &PhaseOverlay<'_>,
     p: Point,
     issued_at: u64,
-    ann: AnnMode,
+    ann: &AnnSpec,
+    scratch: &mut QueryScratch<Q>,
 ) -> (
     (Point, ObjectId),
     (Point, ObjectId),
     [tnn_broadcast::Tuner; 2],
     u64,
 ) {
-    let mut a = NnSearchTask::new(env.channel(0), SearchMode::Point { q: p }, ann, issued_at);
-    let mut b = NnSearchTask::new(env.channel(1), SearchMode::Point { q: p }, ann, issued_at);
+    let (s0, s1) = scratch.nn_pair();
+    let mut a = BroadcastNnSearch::with_scratch(
+        overlay.view(0),
+        SearchMode::Point { q: p },
+        ann.mode(0),
+        issued_at,
+        s0,
+    );
+    let mut b = BroadcastNnSearch::with_scratch(
+        overlay.view(1),
+        SearchMode::Point { q: p },
+        ann.mode(1),
+        issued_at,
+        s1,
+    );
     run_parallel(&mut a, &mut b, |_, _, _, _| {});
     let (s_pt, s_id, _) = a.best().expect("non-empty S");
     let (r_pt, r_id, _) = b.best().expect("non-empty R");
-    (
+    let out = (
         (s_pt, s_id),
         (r_pt, r_id),
         [*a.tuner(), *b.tuner()],
         a.now().max(b.now()),
-    )
+    );
+    a.recycle(s0);
+    b.recycle(s1);
+    out
 }
 
-fn validate(env: &MultiChannelEnv, p: Point) -> Result<(), TnnError> {
-    if env.len() != 2 {
+fn validate(overlay: &PhaseOverlay<'_>, p: Point, ann: &AnnSpec) -> Result<(), TnnError> {
+    if overlay.len() != 2 {
         return Err(TnnError::WrongChannelCount {
             needed: 2,
-            available: env.len(),
+            available: overlay.len(),
         });
     }
     if !p.is_finite() {
         return Err(TnnError::NonFiniteQuery);
     }
+    ann.check_channels(2);
     Ok(())
 }
 
-/// Runs both filter windows and returns hits plus accounting.
-#[allow(clippy::type_complexity)]
-fn filter(
-    env: &MultiChannelEnv,
+/// Runs both filter windows out of the caller's scratch buffers and
+/// returns the completed tasks (the joins read the hit lists in place;
+/// recycle the tasks when done) plus the filter finish time.
+fn filter<'a>(
+    overlay: &PhaseOverlay<'a>,
     range: Circle,
     start: u64,
-) -> (
-    Vec<(Point, ObjectId)>,
-    Vec<(Point, ObjectId)>,
-    [tnn_broadcast::Tuner; 2],
-    u64,
-) {
-    let mut w0 = WindowQueryTask::new(env.channel(0), range, start);
+    w0_scratch: &mut WindowScratch,
+    w1_scratch: &mut WindowScratch,
+) -> (WindowQueryTask<'a>, WindowQueryTask<'a>, u64) {
+    let mut w0 = WindowQueryTask::with_scratch(overlay.view(0), range, start, w0_scratch);
     let f0 = w0.run_to_completion();
-    let mut w1 = WindowQueryTask::new(env.channel(1), range, start);
+    let mut w1 = WindowQueryTask::with_scratch(overlay.view(1), range, start, w1_scratch);
     let f1 = w1.run_to_completion();
-    let tuners = [*w0.tuner(), *w1.tuner()];
-    (w0.into_hits(), w1.into_hits(), tuners, f0.max(f1))
+    let end = f0.max(f1);
+    (w0, w1, end)
 }
 
 #[allow(clippy::too_many_arguments)] // plain accounting glue, one value per field
 fn assemble(
-    env: &MultiChannelEnv,
+    overlay: &PhaseOverlay<'_>,
     issued_at: u64,
     est_tuners: [tnn_broadcast::Tuner; 2],
     est_end: u64,
@@ -162,7 +179,7 @@ fn assemble(
     }
     if retrieve {
         for &(_, object, ch) in &[first, second] {
-            let (done, pages) = env.channel(ch).retrieve_object(object, filter_end);
+            let (done, pages) = overlay.view(ch).retrieve_object(object, filter_end);
             channels[ch].retrieve_pages += pages;
             channels[ch].finish_time = channels[ch].finish_time.max(done);
         }
@@ -183,11 +200,16 @@ fn assemble(
 }
 
 /// Order-free TNN (future-work item 2): returns the shorter of the best
-/// `p → s → r` and the best `p → r → s` routes.
+/// `p → s → r` and the best `p → r → s` routes, with one ANN mode shared
+/// by both channels.
 ///
 /// # Errors
 /// [`TnnError::WrongChannelCount`] / [`TnnError::NonFiniteQuery`] as for
 /// [`crate::run_query`].
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `QueryEngine` and run `Query::order_free(p)` instead"
+)]
 pub fn order_free_tnn(
     env: &MultiChannelEnv,
     p: Point,
@@ -195,18 +217,50 @@ pub fn order_free_tnn(
     ann: AnnMode,
     retrieve_answer_objects: bool,
 ) -> Result<VariantRun, TnnError> {
-    validate(env, p)?;
-    let ((s_pt, _), (r_pt, _), est_tuners, est_end) = double_estimate(env, p, issued_at, ann);
+    order_free_tnn_overlay(
+        &PhaseOverlay::identity(env),
+        p,
+        issued_at,
+        &AnnSpec::Uniform(ann),
+        retrieve_answer_objects,
+        &mut QueryScratch::<ArrivalHeap>::default(),
+    )
+}
+
+/// The order-free pipeline behind [`order_free_tnn`] and
+/// [`crate::QueryEngine`]: runs over a [`PhaseOverlay`], supports
+/// per-channel ANN modes, and reuses the caller's [`QueryScratch`].
+///
+/// # Errors
+/// As [`order_free_tnn`].
+///
+/// # Panics
+/// Panics when a per-channel [`AnnSpec`] does not hold exactly two modes.
+pub fn order_free_tnn_overlay<Q: CandidateQueue>(
+    overlay: &PhaseOverlay<'_>,
+    p: Point,
+    issued_at: u64,
+    ann: &AnnSpec,
+    retrieve_answer_objects: bool,
+    scratch: &mut QueryScratch<Q>,
+) -> Result<VariantRun, TnnError> {
+    validate(overlay, p, ann)?;
+    let ((s_pt, _), (r_pt, _), est_tuners, est_end) =
+        double_estimate(overlay, p, issued_at, ann, scratch);
     // Feasible chains in both directions through the two NNs.
     let d_sr = p.dist(s_pt) + s_pt.dist(r_pt);
     let d_rs = p.dist(r_pt) + r_pt.dist(s_pt);
     let radius = d_sr.min(d_rs);
 
     let range = Circle::new(p, radius * (1.0 + 4.0 * f64::EPSILON));
-    let (s_hits, r_hits, filter_tuners, filter_end) = filter(env, range, est_end);
+    // Field destructuring keeps the window and join borrows disjoint.
+    let QueryScratch { window, join, .. } = scratch;
+    let (w0_half, w1_half) = window.split_at_mut(1);
+    let (w0, w1, filter_end) = filter(overlay, range, est_end, &mut w0_half[0], &mut w1_half[0]);
+    let filter_tuners = [*w0.tuner(), *w1.tuner()];
 
-    let forward = crate::tnn_join(p, &s_hits, &r_hits);
-    let backward = crate::tnn_join(p, &r_hits, &s_hits);
+    let forward = crate::tnn_join_with(join, p, w0.hits(), w1.hits());
+    let backward = crate::tnn_join_with(join, p, w1.hits(), w0.hits());
     let (pair, order) = match (forward, backward) {
         (Some(f), Some(b)) if b.dist < f.dist => (b, VisitOrder::RFirst),
         (Some(f), _) => (f, VisitOrder::SFirst),
@@ -217,8 +271,10 @@ pub fn order_free_tnn(
         VisitOrder::SFirst => ((pair.s.0, pair.s.1, 0), (pair.r.0, pair.r.1, 1)),
         VisitOrder::RFirst => ((pair.s.0, pair.s.1, 1), (pair.r.0, pair.r.1, 0)),
     };
+    w0.recycle(&mut w0_half[0]);
+    w1.recycle(&mut w1_half[0]);
     Ok(assemble(
-        env,
+        overlay,
         issued_at,
         est_tuners,
         est_end,
@@ -233,7 +289,8 @@ pub fn order_free_tnn(
 }
 
 /// Round-trip TNN (future-work item 3): minimizes the closed tour
-/// `dis(p, s) + dis(s, r) + dis(r, p)` with `s ∈ S`, `r ∈ R`.
+/// `dis(p, s) + dis(s, r) + dis(r, p)` with `s ∈ S`, `r ∈ R`, with one
+/// ANN mode shared by both channels.
 ///
 /// The filter uses `circle(p, d/2)`: any optimal-loop member `x`
 /// satisfies `2·dis(p, x) ≤ loop ≤ d` by the triangle inequality.
@@ -241,6 +298,10 @@ pub fn order_free_tnn(
 /// # Errors
 /// [`TnnError::WrongChannelCount`] / [`TnnError::NonFiniteQuery`] as for
 /// [`crate::run_query`].
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `QueryEngine` and run `Query::round_trip(p)` instead"
+)]
 pub fn round_trip_tnn(
     env: &MultiChannelEnv,
     p: Point,
@@ -248,17 +309,50 @@ pub fn round_trip_tnn(
     ann: AnnMode,
     retrieve_answer_objects: bool,
 ) -> Result<VariantRun, TnnError> {
-    validate(env, p)?;
-    let ((s_pt, _), (r_pt, _), est_tuners, est_end) = double_estimate(env, p, issued_at, ann);
+    round_trip_tnn_overlay(
+        &PhaseOverlay::identity(env),
+        p,
+        issued_at,
+        &AnnSpec::Uniform(ann),
+        retrieve_answer_objects,
+        &mut QueryScratch::<ArrivalHeap>::default(),
+    )
+}
+
+/// The round-trip pipeline behind [`round_trip_tnn`] and
+/// [`crate::QueryEngine`]: runs over a [`PhaseOverlay`], supports
+/// per-channel ANN modes, and reuses the caller's [`QueryScratch`].
+///
+/// # Errors
+/// As [`round_trip_tnn`].
+///
+/// # Panics
+/// Panics when a per-channel [`AnnSpec`] does not hold exactly two modes.
+pub fn round_trip_tnn_overlay<Q: CandidateQueue>(
+    overlay: &PhaseOverlay<'_>,
+    p: Point,
+    issued_at: u64,
+    ann: &AnnSpec,
+    retrieve_answer_objects: bool,
+    scratch: &mut QueryScratch<Q>,
+) -> Result<VariantRun, TnnError> {
+    validate(overlay, p, ann)?;
+    let ((s_pt, _), (r_pt, _), est_tuners, est_end) =
+        double_estimate(overlay, p, issued_at, ann, scratch);
     let d_loop = p.dist(s_pt) + s_pt.dist(r_pt) + r_pt.dist(p);
 
     let range = Circle::new(p, d_loop * 0.5 * (1.0 + 4.0 * f64::EPSILON));
-    let (s_hits, r_hits, filter_tuners, filter_end) = filter(env, range, est_end);
+    scratch.ensure_channels(2);
+    let (w0_half, w1_half) = scratch.window.split_at_mut(1);
+    let (w0, w1, filter_end) = filter(overlay, range, est_end, &mut w0_half[0], &mut w1_half[0]);
+    let filter_tuners = [*w0.tuner(), *w1.tuner()];
 
-    let pair = round_trip_join(p, &s_hits, &r_hits)
+    let pair = round_trip_join(p, w0.hits(), w1.hits())
         .expect("the estimate pair lies inside the half-radius range");
+    w0.recycle(&mut w0_half[0]);
+    w1.recycle(&mut w1_half[0]);
     Ok(assemble(
-        env,
+        overlay,
         issued_at,
         est_tuners,
         est_end,
@@ -316,6 +410,40 @@ mod tests {
     use tnn_broadcast::BroadcastParams;
     use tnn_rtree::{PackingAlgorithm, RTree};
 
+    fn order_free(
+        env: &MultiChannelEnv,
+        p: Point,
+        issued_at: u64,
+        ann: AnnMode,
+        retrieve: bool,
+    ) -> Result<VariantRun, TnnError> {
+        order_free_tnn_overlay(
+            &PhaseOverlay::identity(env),
+            p,
+            issued_at,
+            &AnnSpec::Uniform(ann),
+            retrieve,
+            &mut QueryScratch::<ArrivalHeap>::default(),
+        )
+    }
+
+    fn round_trip(
+        env: &MultiChannelEnv,
+        p: Point,
+        issued_at: u64,
+        ann: AnnMode,
+        retrieve: bool,
+    ) -> Result<VariantRun, TnnError> {
+        round_trip_tnn_overlay(
+            &PhaseOverlay::identity(env),
+            p,
+            issued_at,
+            &AnnSpec::Uniform(ann),
+            retrieve,
+            &mut QueryScratch::<ArrivalHeap>::default(),
+        )
+    }
+
     fn env(s: &[Point], r: &[Point]) -> MultiChannelEnv {
         let params = BroadcastParams::new(64);
         let ts = RTree::build(s, params.rtree_params(), PackingAlgorithm::Str).unwrap();
@@ -341,7 +469,7 @@ mod tests {
         let e = env(&s, &r);
         for (px, py) in [(10.0, 10.0), (120.0, 80.0), (200.0, 150.0)] {
             let p = Point::new(px, py);
-            let run = order_free_tnn(&e, p, 0, AnnMode::Exact, false).unwrap();
+            let run = order_free(&e, p, 0, AnnMode::Exact, false).unwrap();
             let mut best = f64::INFINITY;
             for &sp in &s {
                 for &rp in &r {
@@ -360,7 +488,7 @@ mod tests {
         let r = cloud(80, 5);
         let e = env(&s, &r);
         let p = Point::new(77.0, 99.0);
-        let free = order_free_tnn(&e, p, 0, AnnMode::Exact, false).unwrap();
+        let free = order_free(&e, p, 0, AnnMode::Exact, false).unwrap();
         let fixed = crate::exact_tnn(p, e.channel(0).tree(), e.channel(1).tree());
         assert!(free.total_dist <= fixed.dist + 1e-9);
     }
@@ -374,7 +502,7 @@ mod tests {
         let r: Vec<Point> = (0..30).map(|i| Point::new(10.0 + i as f64, 10.0)).collect();
         let e = env(&s, &r);
         let p = Point::new(0.0, 0.0);
-        let run = order_free_tnn(&e, p, 0, AnnMode::Exact, false).unwrap();
+        let run = order_free(&e, p, 0, AnnMode::Exact, false).unwrap();
         assert_eq!(run.order(), VisitOrder::RFirst);
         assert_eq!(run.first.2, 1);
         assert_eq!(run.second.2, 0);
@@ -387,7 +515,7 @@ mod tests {
         let e = env(&s, &r);
         for (px, py) in [(30.0, 170.0), (150.0, 40.0)] {
             let p = Point::new(px, py);
-            let run = round_trip_tnn(&e, p, 0, AnnMode::Exact, false).unwrap();
+            let run = round_trip(&e, p, 0, AnnMode::Exact, false).unwrap();
             let mut best = f64::INFINITY;
             for &sp in &s {
                 for &rp in &r {
@@ -403,8 +531,8 @@ mod tests {
         let s = cloud(50, 4);
         let r = cloud(55, 9);
         let p = Point::new(111.0, 55.0);
-        let run_sr = round_trip_tnn(&env(&s, &r), p, 0, AnnMode::Exact, false).unwrap();
-        let run_rs = round_trip_tnn(&env(&r, &s), p, 0, AnnMode::Exact, false).unwrap();
+        let run_sr = round_trip(&env(&s, &r), p, 0, AnnMode::Exact, false).unwrap();
+        let run_rs = round_trip(&env(&r, &s), p, 0, AnnMode::Exact, false).unwrap();
         assert!((run_sr.total_dist - run_rs.total_dist).abs() < 1e-9);
     }
 
@@ -414,7 +542,7 @@ mod tests {
         let r = cloud(45, 13);
         let e = env(&s, &r);
         let p = Point::new(60.0, 60.0);
-        let rt = round_trip_tnn(&e, p, 0, AnnMode::Exact, false).unwrap();
+        let rt = round_trip(&e, p, 0, AnnMode::Exact, false).unwrap();
         let ow = crate::exact_tnn(p, e.channel(0).tree(), e.channel(1).tree());
         assert!(rt.total_dist >= ow.dist - 1e-9);
     }
@@ -424,11 +552,11 @@ mod tests {
         let s = cloud(10, 0);
         let e = env(&s, &s);
         assert!(matches!(
-            order_free_tnn(&e, Point::new(f64::NAN, 0.0), 0, AnnMode::Exact, false),
+            order_free(&e, Point::new(f64::NAN, 0.0), 0, AnnMode::Exact, false),
             Err(TnnError::NonFiniteQuery)
         ));
         assert!(matches!(
-            round_trip_tnn(&e, Point::new(0.0, f64::INFINITY), 0, AnnMode::Exact, false),
+            round_trip(&e, Point::new(0.0, f64::INFINITY), 0, AnnMode::Exact, false),
             Err(TnnError::NonFiniteQuery)
         ));
     }
@@ -439,7 +567,7 @@ mod tests {
         let r = cloud(90, 15);
         let e = env(&s, &r);
         let p = Point::new(100.0, 100.0);
-        let run = round_trip_tnn(&e, p, 5, AnnMode::Exact, true).unwrap();
+        let run = round_trip(&e, p, 5, AnnMode::Exact, true).unwrap();
         assert!(run.tune_in() > 0);
         assert!(run.access_time() > 0);
         // Retrieval downloaded both objects' pages (16 each at 64 B).

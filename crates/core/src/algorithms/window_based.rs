@@ -11,20 +11,20 @@ use super::{Estimate, QueryScratch};
 use crate::task::queue::CandidateQueue;
 use crate::task::BroadcastNnSearch;
 use crate::{SearchMode, TnnConfig};
-use tnn_broadcast::MultiChannelEnv;
+use tnn_broadcast::PhaseOverlay;
 use tnn_geom::Point;
 
 pub(crate) fn estimate<Q: CandidateQueue>(
-    env: &MultiChannelEnv,
+    overlay: &PhaseOverlay<'_>,
     p: Point,
     issued_at: u64,
     cfg: &TnnConfig,
     scratch: &mut QueryScratch<Q>,
 ) -> Estimate {
-    let [s0, s1] = &mut scratch.nn;
+    let (s0, s1) = scratch.nn_pair();
     // First NN query: s = p.NN(S) on channel 0.
     let mut nn1 = BroadcastNnSearch::with_scratch(
-        env.channel(0),
+        overlay.view(0),
         SearchMode::Point { q: p },
         cfg.ann[0],
         issued_at,
@@ -38,7 +38,7 @@ pub(crate) fn estimate<Q: CandidateQueue>(
     // Second NN query: r = s.NN(R) on channel 1, starting only after the
     // first finished.
     let mut nn2 = BroadcastNnSearch::with_scratch(
-        env.channel(1),
+        overlay.view(1),
         SearchMode::Point { q: s_pt },
         cfg.ann[1],
         t1,
@@ -62,13 +62,17 @@ pub(crate) fn estimate<Q: CandidateQueue>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{run_query, Algorithm};
+    use crate::Algorithm;
     use std::sync::Arc;
-    use tnn_broadcast::BroadcastParams;
+    use tnn_broadcast::{BroadcastParams, MultiChannelEnv};
     use tnn_rtree::{PackingAlgorithm, RTree};
 
     fn fresh() -> super::QueryScratch {
         super::QueryScratch::default()
+    }
+
+    fn ov(env: &MultiChannelEnv) -> PhaseOverlay<'_> {
+        PhaseOverlay::identity(env)
     }
 
     fn env(s: &[Point], r: &[Point]) -> MultiChannelEnv {
@@ -96,7 +100,7 @@ mod tests {
         let e = env(&s, &r);
         let p = Point::new(100.0, 100.0);
         let est = estimate(
-            &e,
+            &ov(&e),
             p,
             0,
             &TnnConfig::exact(Algorithm::WindowBased),
@@ -122,7 +126,7 @@ mod tests {
         let e = env(&s, &r);
         let p = Point::new(50.0, 60.0);
         let est = estimate(
-            &e,
+            &ov(&e),
             p,
             11,
             &TnnConfig::exact(Algorithm::WindowBased),
@@ -142,7 +146,14 @@ mod tests {
         let r = grid(180, 9);
         let e = env(&s, &r);
         let p = Point::new(120.0, 80.0);
-        let run = run_query(&e, p, 0, &TnnConfig::exact(Algorithm::WindowBased)).unwrap();
+        let run = crate::run_query_impl(
+            &e,
+            p,
+            0,
+            &TnnConfig::exact(Algorithm::WindowBased),
+            &mut fresh(),
+        )
+        .unwrap();
         let got = run.answer.expect("window-based never fails");
         let oracle = crate::exact_tnn(p, e.channel(0).tree(), e.channel(1).tree());
         assert!((got.dist - oracle.dist).abs() < 1e-9);

@@ -4,11 +4,12 @@
 use serde::{Deserialize, Serialize};
 
 /// The pruning regime of one broadcast search.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub enum AnnMode {
     /// Exact NN search (eNN): only guaranteed pruning
     /// (`lower_bound > upper_bound`). Equivalent to `α = 0` (§5.1: "when
-    /// α is 0, ANN becomes eNN").
+    /// α is 0, ANN becomes eNN"). The default mode.
+    #[default]
     Exact,
     /// The paper's dynamic threshold (eq. 4):
     /// `α = node_depth / tree_height × factor`, so nodes near the root

@@ -1,0 +1,798 @@
+//! The unified query surface: [`QueryEngine`], builder-style [`Query`]
+//! requests, and the [`QueryOutcome`] they all return.
+//!
+//! The legacy API scattered entry points across free functions
+//! (`run_query`, `chain_tnn`, `order_free_tnn`, `round_trip_tnn`) and
+//! hardcoded the paper's two-channel special case in its types. The
+//! engine treats the channel count `k` as a first-class parameter:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use tnn_core::{Algorithm, AnnMode, Query, QueryEngine};
+//! use tnn_broadcast::{BroadcastParams, MultiChannelEnv};
+//! use tnn_geom::Point;
+//! use tnn_rtree::{PackingAlgorithm, RTree};
+//!
+//! let params = BroadcastParams::new(64);
+//! let pts: Vec<Point> =
+//!     (0..60).map(|i| Point::new((i * 7 % 53) as f64, (i * 11 % 59) as f64)).collect();
+//! let tree = |seed: usize| {
+//!     let shifted: Vec<Point> =
+//!         pts.iter().map(|p| Point::new(p.x + seed as f64, p.y)).collect();
+//!     Arc::new(RTree::build(&shifted, params.rtree_params(), PackingAlgorithm::Str).unwrap())
+//! };
+//! let env = MultiChannelEnv::new(vec![tree(0), tree(1)], params, &[17, 42]);
+//!
+//! let engine = QueryEngine::new(env);
+//! let outcome = engine
+//!     .run(&Query::tnn(Point::new(25.0, 25.0)).algorithm(Algorithm::HybridNn))
+//!     .unwrap();
+//! assert_eq!(outcome.route.len(), 2);
+//! # let _ = AnnMode::Exact;
+//! ```
+//!
+//! The engine wraps a [`MultiChannelEnv`] whose internals are shared
+//! behind an `Arc`, so cloning the engine (or the environment) is O(1)
+//! and handles can be spread across worker threads or a future async
+//! executor. Per-query phase randomization threads a
+//! [`PhaseOverlay`](tnn_broadcast::PhaseOverlay) into the query tasks
+//! instead of materializing a re-phased environment, and pooled
+//! [`QueryScratch`] buffers make the casual [`QueryEngine::run`] path
+//! allocation-light while [`QueryEngine::run_with`] stays zero-alloc for
+//! batch runners that own one scratch per worker.
+
+use crate::algorithms::{
+    chain_tnn_overlay, order_free_tnn_overlay, round_trip_tnn_overlay, run_query_overlay, ChainRun,
+    QueryScratch, VariantRun, VisitOrder,
+};
+use crate::task::queue::{ArrivalHeap, CandidateQueue};
+use crate::{Algorithm, AnnMode, AnnSpec, ChannelCost, TnnConfig, TnnError, TnnPair, TnnRun};
+use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
+use tnn_broadcast::{MultiChannelEnv, PhaseOverlay, PhaseVec};
+use tnn_geom::Point;
+use tnn_rtree::ObjectId;
+
+/// What kind of route a [`Query`] asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QueryKind {
+    /// Plain TNN (`p → s → r`, two channels) under the given algorithm.
+    Tnn(Algorithm),
+    /// Chained TNN over all `k` channels in channel order (the paper's
+    /// future-work item 1).
+    Chain,
+    /// Order-free TNN: the better of `p → s → r` and `p → r → s`
+    /// (future-work item 2, two channels).
+    OrderFree,
+    /// Round-trip TNN: the shortest closed tour `p → s → r → p`
+    /// (future-work item 3, two channels).
+    RoundTrip,
+}
+
+/// A builder-style query request: what to compute, from where, when, and
+/// under which per-channel knobs.
+///
+/// Construct with [`Query::tnn`] / [`Query::chain`] /
+/// [`Query::order_free`] / [`Query::round_trip`], refine with the
+/// builder methods, then hand to [`QueryEngine::run`]. Defaults: Hybrid-NN
+/// for plain TNN, exact (eNN) search on every channel, issue slot 0, the
+/// environment's own channel phases, and final answer-object retrieval
+/// on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Query {
+    kind: QueryKind,
+    point: Point,
+    issued_at: u64,
+    ann: AnnSpec,
+    phases: Option<PhaseVec>,
+    retrieve_answer_objects: bool,
+}
+
+impl Query {
+    fn new(kind: QueryKind, point: Point) -> Self {
+        Query {
+            kind,
+            point,
+            issued_at: 0,
+            ann: AnnSpec::default(),
+            phases: None,
+            retrieve_answer_objects: true,
+        }
+    }
+
+    /// A plain TNN query from `p` (defaults to [`Algorithm::HybridNn`]).
+    pub fn tnn(p: Point) -> Self {
+        Query::new(QueryKind::Tnn(Algorithm::HybridNn), p)
+    }
+
+    /// A chained TNN query from `p` over every channel in channel order.
+    pub fn chain(p: Point) -> Self {
+        Query::new(QueryKind::Chain, p)
+    }
+
+    /// An order-free TNN query from `p`.
+    pub fn order_free(p: Point) -> Self {
+        Query::new(QueryKind::OrderFree, p)
+    }
+
+    /// A round-trip TNN query from `p`.
+    pub fn round_trip(p: Point) -> Self {
+        Query::new(QueryKind::RoundTrip, p)
+    }
+
+    /// Selects the TNN algorithm (only meaningful for [`Query::tnn`]
+    /// requests; the extensions have a single pipeline each).
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        if let QueryKind::Tnn(_) = self.kind {
+            self.kind = QueryKind::Tnn(algorithm);
+        }
+        self
+    }
+
+    /// The global slot at which the client receives the query.
+    pub fn issued_at(mut self, slot: u64) -> Self {
+        self.issued_at = slot;
+        self
+    }
+
+    /// One ANN pruning mode for every channel.
+    pub fn ann(mut self, mode: AnnMode) -> Self {
+        self.ann = AnnSpec::Uniform(mode);
+        self
+    }
+
+    /// Explicit per-channel ANN pruning modes, in channel order; the
+    /// length is checked against the engine's channel count at execution
+    /// time (panicking on mismatch, like [`MultiChannelEnv::new`] does
+    /// for phases).
+    ///
+    /// # Panics
+    /// Panics on an empty slice.
+    pub fn ann_modes(mut self, modes: &[AnnMode]) -> Self {
+        assert!(!modes.is_empty(), "at least one ANN mode is required");
+        self.ann = AnnSpec::PerChannel(crate::AnnModes::from_slice(modes));
+        self
+    }
+
+    /// Per-query channel phases, substituted for the environment's
+    /// without cloning it (checked against the channel count at execution
+    /// time; inline storage up to four channels).
+    pub fn phases(mut self, phases: &[u64]) -> Self {
+        self.phases = Some(PhaseVec::from_slice(phases));
+        self
+    }
+
+    /// Whether the client finally downloads the answer objects' data
+    /// pages (the paper's cost model; default `true`).
+    pub fn retrieve_answer_objects(mut self, retrieve: bool) -> Self {
+        self.retrieve_answer_objects = retrieve;
+        self
+    }
+
+    /// The query's kind.
+    pub fn kind(&self) -> QueryKind {
+        self.kind
+    }
+
+    /// The query point.
+    pub fn point(&self) -> Point {
+        self.point
+    }
+}
+
+/// One stop of a [`QueryOutcome`] route: where, which object, and on
+/// which channel it was found.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RouteStop {
+    /// The stop's location.
+    pub point: Point,
+    /// The object at the stop.
+    pub object: ObjectId,
+    /// The channel (= dataset) index the object came from.
+    pub channel: usize,
+}
+
+/// The unified result of any engine query — subsumes the legacy
+/// [`TnnRun`], [`ChainRun`], and [`VariantRun`] shapes, with per-hop
+/// channel costs.
+///
+/// Converting a legacy result into a `QueryOutcome` (via `From`) is
+/// lossless for every metric the evaluation uses; the equivalence gate in
+/// `crates/bench/tests` asserts the engine's outcomes are byte-identical
+/// to converted legacy runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryOutcome {
+    /// What was asked.
+    pub kind: QueryKind,
+    /// The route stops in visit order (two for TNN and the variants, `k`
+    /// for chained queries); empty when the query failed (possible only
+    /// for [`Algorithm::ApproximateTnn`]).
+    pub route: Vec<RouteStop>,
+    /// Total route length: transitive distance for TNN/chain/order-free,
+    /// full loop length for round-trip. `None` when the query failed.
+    pub total_dist: Option<f64>,
+    /// The filter-phase search radius.
+    pub search_radius: f64,
+    /// Slot at which the query was issued.
+    pub issued_at: u64,
+    /// Slot at which the estimate phase finished, when the pipeline
+    /// records it (plain TNN only).
+    pub estimate_end: Option<u64>,
+    /// Slot at which the whole query finished.
+    pub completed_at: u64,
+    /// Filter-phase candidate counts per channel (recorded by the plain
+    /// TNN pipeline; empty otherwise).
+    pub candidates: Vec<usize>,
+    /// Per-channel cost breakdown, in channel order — each route hop's
+    /// channel indexes into this.
+    pub channels: Vec<ChannelCost>,
+}
+
+impl QueryOutcome {
+    /// **Access time** (paper metric): elapsed slots from issue to
+    /// completion.
+    pub fn access_time(&self) -> u64 {
+        self.completed_at - self.issued_at
+    }
+
+    /// **Tune-in time** (paper metric): total pages downloaded over all
+    /// channels.
+    pub fn tune_in(&self) -> u64 {
+        self.channels.iter().map(|c| c.total_pages()).sum()
+    }
+
+    /// Tune-in time of the estimate phase only.
+    pub fn tune_in_estimate(&self) -> u64 {
+        self.channels.iter().map(|c| c.estimate_pages).sum()
+    }
+
+    /// Tune-in time of the filter phase only.
+    pub fn tune_in_filter(&self) -> u64 {
+        self.channels.iter().map(|c| c.filter_pages).sum()
+    }
+
+    /// `true` when no route was found.
+    pub fn failed(&self) -> bool {
+        self.route.is_empty()
+    }
+
+    /// Total filter-phase candidates over all channels.
+    pub fn total_candidates(&self) -> usize {
+        self.candidates.iter().sum()
+    }
+
+    /// The answer as a legacy [`TnnPair`] — **plain TNN outcomes only**,
+    /// `None` otherwise. Variant routes do not fit `TnnPair`'s field
+    /// contract (an order-free route may visit the `R` channel first,
+    /// and a round-trip `total_dist` includes the return leg), so they
+    /// must be read through [`QueryOutcome::route`] /
+    /// [`QueryOutcome::total_dist`] instead.
+    pub fn tnn_pair(&self) -> Option<TnnPair> {
+        if !matches!(self.kind, QueryKind::Tnn(_)) {
+            return None;
+        }
+        match self.route.as_slice() {
+            [first, second] => Some(TnnPair {
+                s: (first.point, first.object),
+                r: (second.point, second.object),
+                dist: self.total_dist?,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Which dataset the route visits first (meaningful for order-free
+    /// queries; `None` when the query failed).
+    pub fn visit_order(&self) -> Option<VisitOrder> {
+        self.route.first().map(|stop| {
+            if stop.channel == 0 {
+                VisitOrder::SFirst
+            } else {
+                VisitOrder::RFirst
+            }
+        })
+    }
+}
+
+impl From<TnnRun> for QueryOutcome {
+    fn from(run: TnnRun) -> Self {
+        QueryOutcome {
+            // The algorithm is not recorded in a TnnRun; Hybrid-NN is the
+            // default request kind. Engine-produced outcomes overwrite
+            // this with the actual request kind.
+            kind: QueryKind::Tnn(Algorithm::HybridNn),
+            route: run
+                .answer
+                .iter()
+                .flat_map(|pair| {
+                    [
+                        RouteStop {
+                            point: pair.s.0,
+                            object: pair.s.1,
+                            channel: 0,
+                        },
+                        RouteStop {
+                            point: pair.r.0,
+                            object: pair.r.1,
+                            channel: 1,
+                        },
+                    ]
+                })
+                .collect(),
+            total_dist: run.answer.map(|pair| pair.dist),
+            search_radius: run.search_radius,
+            issued_at: run.issued_at,
+            estimate_end: Some(run.estimate_end),
+            completed_at: run.completed_at,
+            candidates: run.candidates.to_vec(),
+            channels: run.channels.to_vec(),
+        }
+    }
+}
+
+impl From<ChainRun> for QueryOutcome {
+    fn from(run: ChainRun) -> Self {
+        QueryOutcome {
+            kind: QueryKind::Chain,
+            route: run
+                .path
+                .into_iter()
+                .enumerate()
+                .map(|(channel, (point, object))| RouteStop {
+                    point,
+                    object,
+                    channel,
+                })
+                .collect(),
+            total_dist: Some(run.total_dist),
+            search_radius: run.search_radius,
+            issued_at: run.issued_at,
+            estimate_end: None,
+            completed_at: run.completed_at,
+            candidates: Vec::new(),
+            channels: run.channels,
+        }
+    }
+}
+
+impl From<VariantRun> for QueryOutcome {
+    fn from(run: VariantRun) -> Self {
+        QueryOutcome {
+            // A VariantRun does not record which variant produced it;
+            // order-free is the kind that exposes both stop orders.
+            // Engine-produced outcomes overwrite this with the actual
+            // request kind.
+            kind: QueryKind::OrderFree,
+            route: vec![
+                RouteStop {
+                    point: run.first.0,
+                    object: run.first.1,
+                    channel: run.first.2,
+                },
+                RouteStop {
+                    point: run.second.0,
+                    object: run.second.1,
+                    channel: run.second.2,
+                },
+            ],
+            total_dist: Some(run.total_dist),
+            search_radius: run.search_radius,
+            issued_at: run.issued_at,
+            estimate_end: None,
+            completed_at: run.completed_at,
+            candidates: Vec::new(),
+            channels: run.channels.to_vec(),
+        }
+    }
+}
+
+/// Upper bound on pooled scratches — enough for one per hardware thread
+/// on large machines while bounding idle memory.
+const MAX_POOLED_SCRATCH: usize = 64;
+
+/// The unified query-execution engine over one shared multi-channel
+/// environment, generic over the candidate-queue backend (the default
+/// [`ArrivalHeap`] is the production backend; benchmarks instantiate the
+/// paper-literal linear reference through
+/// [`QueryEngine::with_queue_backend`]).
+///
+/// See [`Query`] for an end-to-end example. Cloning an engine is O(1) in
+/// the environment (the channel list is `Arc`-shared) and starts an
+/// empty scratch pool.
+#[derive(Debug)]
+pub struct QueryEngine<Q: CandidateQueue = ArrivalHeap> {
+    env: MultiChannelEnv,
+    /// Recycled per-query buffers for the pooling [`QueryEngine::run`]
+    /// path. `run_with` never touches this.
+    pool: Mutex<Vec<QueryScratch<Q>>>,
+}
+
+impl QueryEngine {
+    /// An engine over `env` with the production heap-ordered queue
+    /// backend.
+    pub fn new(env: MultiChannelEnv) -> Self {
+        QueryEngine::with_queue_backend(env)
+    }
+}
+
+impl<Q: CandidateQueue> QueryEngine<Q> {
+    /// An engine over `env` with an explicit candidate-queue backend
+    /// (A/B benchmarking; everyday code wants [`QueryEngine::new`]).
+    pub fn with_queue_backend(env: MultiChannelEnv) -> Self {
+        QueryEngine {
+            env,
+            pool: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The shared environment.
+    pub fn env(&self) -> &MultiChannelEnv {
+        &self.env
+    }
+
+    /// Number of broadcast channels.
+    pub fn channels(&self) -> usize {
+        self.env.len()
+    }
+
+    /// Executes `query`, drawing a pooled [`QueryScratch`] (grown by
+    /// earlier queries) and returning it afterwards. Worker loops that
+    /// own a scratch should prefer [`QueryEngine::run_with`], which skips
+    /// the pool lock entirely.
+    ///
+    /// # Errors
+    /// [`TnnError::WrongChannelCount`] when the query kind does not fit
+    /// the channel count (plain TNN and the variants need exactly two
+    /// channels, chains at least two); [`TnnError::NonFiniteQuery`] for
+    /// NaN/infinite query points.
+    ///
+    /// # Panics
+    /// Panics when per-channel phases or ANN modes in the query do not
+    /// match the channel count.
+    pub fn run(&self, query: &Query) -> Result<QueryOutcome, TnnError> {
+        let mut scratch = self.pop_scratch();
+        let outcome = self.run_with(query, &mut scratch);
+        self.push_scratch(scratch);
+        outcome
+    }
+
+    /// [`QueryEngine::run`] with a caller-owned scratch — the zero-alloc
+    /// hot path for batch runners holding one [`QueryScratch`] per worker
+    /// thread.
+    ///
+    /// # Errors
+    /// As [`QueryEngine::run`].
+    ///
+    /// # Panics
+    /// As [`QueryEngine::run`].
+    pub fn run_with(
+        &self,
+        query: &Query,
+        scratch: &mut QueryScratch<Q>,
+    ) -> Result<QueryOutcome, TnnError> {
+        let overlay = match &query.phases {
+            Some(phases) => PhaseOverlay::new(&self.env, phases),
+            None => PhaseOverlay::identity(&self.env),
+        };
+        let mut outcome: QueryOutcome = match query.kind {
+            QueryKind::Tnn(algorithm) => {
+                // The recoverable channel-count error must win over the
+                // ANN-count panic: a per-channel mode list that matches
+                // the *environment* is not the user's mistake when the
+                // query kind itself does not fit the channel count.
+                if overlay.len() != 2 {
+                    return Err(TnnError::WrongChannelCount {
+                        needed: 2,
+                        available: overlay.len(),
+                    });
+                }
+                query.ann.check_channels(2);
+                let cfg = TnnConfig {
+                    algorithm,
+                    ann: query.ann.modes(2),
+                    retrieve_answer_objects: query.retrieve_answer_objects,
+                };
+                run_query_overlay(&overlay, query.point, query.issued_at, &cfg, scratch)?.into()
+            }
+            QueryKind::Chain => chain_tnn_overlay(
+                &overlay,
+                query.point,
+                query.issued_at,
+                &query.ann,
+                query.retrieve_answer_objects,
+                scratch,
+            )?
+            .into(),
+            QueryKind::OrderFree => order_free_tnn_overlay(
+                &overlay,
+                query.point,
+                query.issued_at,
+                &query.ann,
+                query.retrieve_answer_objects,
+                scratch,
+            )?
+            .into(),
+            QueryKind::RoundTrip => round_trip_tnn_overlay(
+                &overlay,
+                query.point,
+                query.issued_at,
+                &query.ann,
+                query.retrieve_answer_objects,
+                scratch,
+            )?
+            .into(),
+        };
+        outcome.kind = query.kind;
+        Ok(outcome)
+    }
+
+    fn pop_scratch(&self) -> QueryScratch<Q> {
+        self.pool
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop()
+            .unwrap_or_default()
+    }
+
+    fn push_scratch(&self, scratch: QueryScratch<Q>) {
+        let mut pool = self.pool.lock().unwrap_or_else(|e| e.into_inner());
+        if pool.len() < MAX_POOLED_SCRATCH {
+            pool.push(scratch);
+        }
+    }
+}
+
+impl<Q: CandidateQueue> Clone for QueryEngine<Q> {
+    fn clone(&self) -> Self {
+        QueryEngine {
+            env: self.env.clone(),
+            pool: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(deprecated)] // the engine is validated against the legacy API
+
+    use super::*;
+    use crate::{chain_tnn, order_free_tnn, round_trip_tnn, run_query};
+    use std::sync::Arc;
+    use tnn_broadcast::BroadcastParams;
+    use tnn_rtree::{PackingAlgorithm, RTree};
+
+    fn cloud(n: usize, salt: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                Point::new(
+                    ((i + salt) * 37 % 211) as f64,
+                    ((i + salt) * 53 % 223) as f64,
+                )
+            })
+            .collect()
+    }
+
+    fn build_env(layers: &[Vec<Point>], phases: &[u64]) -> MultiChannelEnv {
+        let params = BroadcastParams::new(64);
+        let trees = layers
+            .iter()
+            .map(|pts| {
+                Arc::new(RTree::build(pts, params.rtree_params(), PackingAlgorithm::Str).unwrap())
+            })
+            .collect();
+        MultiChannelEnv::new(trees, params, phases)
+    }
+
+    fn two_channel() -> MultiChannelEnv {
+        build_env(&[cloud(90, 1), cloud(110, 8)], &[13, 31])
+    }
+
+    #[test]
+    fn tnn_matches_legacy_for_every_algorithm() {
+        let env = two_channel();
+        let engine = QueryEngine::new(env.clone());
+        let p = Point::new(77.0, 99.0);
+        for alg in Algorithm::ALL {
+            let legacy = run_query(&env, p, 5, &TnnConfig::exact(alg)).unwrap();
+            let got = engine
+                .run(&Query::tnn(p).algorithm(alg).issued_at(5))
+                .unwrap();
+            let mut expect = QueryOutcome::from(legacy);
+            expect.kind = QueryKind::Tnn(alg);
+            assert_eq!(got, expect, "{}", alg.name());
+            assert_eq!(got.kind, QueryKind::Tnn(alg));
+        }
+    }
+
+    #[test]
+    fn phases_overlay_matches_rephased_env() {
+        let env = two_channel();
+        let engine = QueryEngine::new(env.clone());
+        let p = Point::new(40.0, 160.0);
+        let phases = [4_321u64, 987];
+        let legacy = run_query(
+            &env.with_phases(&phases),
+            p,
+            0,
+            &TnnConfig::exact(Algorithm::DoubleNn),
+        )
+        .unwrap();
+        let got = engine
+            .run(&Query::tnn(p).algorithm(Algorithm::DoubleNn).phases(&phases))
+            .unwrap();
+        let mut expect = QueryOutcome::from(legacy);
+        expect.kind = QueryKind::Tnn(Algorithm::DoubleNn);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn chain_matches_legacy_over_three_channels() {
+        let env = build_env(&[cloud(60, 0), cloud(80, 7), cloud(50, 19)], &[3, 17, 91]);
+        let engine = QueryEngine::new(env.clone());
+        let p = Point::new(150.0, 150.0);
+        let legacy = chain_tnn(&env, p, 5, AnnMode::Exact, true).unwrap();
+        let got = engine.run(&Query::chain(p).issued_at(5)).unwrap();
+        assert_eq!(got, QueryOutcome::from(legacy));
+        assert_eq!(got.route.len(), 3);
+        assert_eq!(got.channels.len(), 3);
+        assert!(got.tnn_pair().is_none(), "three stops are not a pair");
+    }
+
+    #[test]
+    fn variants_match_legacy() {
+        let env = two_channel();
+        let engine = QueryEngine::new(env.clone());
+        let p = Point::new(111.0, 55.0);
+        let free = engine.run(&Query::order_free(p)).unwrap();
+        let mut expect =
+            QueryOutcome::from(order_free_tnn(&env, p, 0, AnnMode::Exact, true).unwrap());
+        expect.kind = QueryKind::OrderFree;
+        assert_eq!(free, expect);
+        assert!(free.visit_order().is_some());
+
+        let tour = engine.run(&Query::round_trip(p)).unwrap();
+        let mut expect =
+            QueryOutcome::from(round_trip_tnn(&env, p, 0, AnnMode::Exact, true).unwrap());
+        expect.kind = QueryKind::RoundTrip;
+        assert_eq!(tour, expect);
+        assert!(tour.total_dist.unwrap() >= free.total_dist.unwrap() - 1e-9);
+    }
+
+    #[test]
+    fn per_channel_ann_modes_match_legacy_config() {
+        let env = two_channel();
+        let engine = QueryEngine::new(env.clone());
+        let p = Point::new(60.0, 60.0);
+        let modes = [AnnMode::Dynamic { factor: 1.0 }, AnnMode::Exact];
+        let legacy = run_query(
+            &env,
+            p,
+            0,
+            &TnnConfig::exact(Algorithm::DoubleNn).with_ann_modes(&modes),
+        )
+        .unwrap();
+        let got = engine
+            .run(
+                &Query::tnn(p)
+                    .algorithm(Algorithm::DoubleNn)
+                    .ann_modes(&modes),
+            )
+            .unwrap();
+        assert_eq!(got.tnn_pair(), legacy.answer);
+        assert_eq!(got.tune_in(), legacy.tune_in());
+    }
+
+    #[test]
+    fn pooled_and_scratch_runs_agree() {
+        let env = two_channel();
+        let engine = QueryEngine::new(env);
+        let query = Query::tnn(Point::new(10.0, 10.0));
+        let pooled = engine.run(&query).unwrap();
+        let mut scratch = QueryScratch::default();
+        let direct = engine.run_with(&query, &mut scratch).unwrap();
+        assert_eq!(pooled, direct);
+        // A second pooled run reuses the recycled scratch.
+        assert_eq!(engine.run(&query).unwrap(), pooled);
+    }
+
+    #[test]
+    fn engine_clone_shares_environment() {
+        let env = two_channel();
+        let engine = QueryEngine::new(env);
+        let copy = engine.clone();
+        assert!(std::ptr::eq(engine.env().channels(), copy.env().channels()));
+        let q = Query::round_trip(Point::new(90.0, 90.0));
+        assert_eq!(engine.run(&q).unwrap(), copy.run(&q).unwrap());
+    }
+
+    #[test]
+    fn engine_is_shareable_across_threads() {
+        let env = two_channel();
+        let engine = QueryEngine::new(env);
+        let outcomes: Vec<QueryOutcome> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|i| {
+                    let engine = &engine;
+                    scope.spawn(move || {
+                        engine
+                            .run(&Query::tnn(Point::new(10.0 * i as f64, 50.0)))
+                            .unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(outcomes.len(), 4);
+        assert!(outcomes.iter().all(|o| !o.failed()));
+    }
+
+    #[test]
+    fn wrong_channel_counts_error() {
+        let env3 = build_env(&[cloud(20, 0), cloud(20, 3), cloud(20, 6)], &[0, 0, 0]);
+        let engine = QueryEngine::new(env3);
+        let p = Point::ORIGIN;
+        assert!(matches!(
+            engine.run(&Query::tnn(p)),
+            Err(TnnError::WrongChannelCount { needed: 2, .. })
+        ));
+        assert!(engine.run(&Query::chain(p)).is_ok());
+        assert!(matches!(
+            engine.run(&Query::order_free(p)),
+            Err(TnnError::WrongChannelCount { .. })
+        ));
+        assert!(matches!(
+            engine.run(&Query::chain(Point::new(f64::NAN, 0.0)).phases(&[0, 0, 0])),
+            Err(TnnError::NonFiniteQuery)
+        ));
+    }
+
+    #[test]
+    fn wrong_kind_errors_before_ann_count_panics() {
+        // A per-channel ANN list that matches the *environment* must not
+        // panic when the query kind itself does not fit the channel
+        // count — the recoverable error wins.
+        let env3 = build_env(&[cloud(20, 0), cloud(20, 3), cloud(20, 6)], &[0, 0, 0]);
+        let engine = QueryEngine::new(env3);
+        let result = engine.run(&Query::tnn(Point::ORIGIN).ann_modes(&[AnnMode::Exact; 3]));
+        assert!(matches!(
+            result,
+            Err(TnnError::WrongChannelCount {
+                needed: 2,
+                available: 3
+            })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "one phase per channel")]
+    fn phase_count_mismatch_panics() {
+        let engine = QueryEngine::new(two_channel());
+        let _ = engine.run(&Query::tnn(Point::ORIGIN).phases(&[1, 2, 3]));
+    }
+
+    #[test]
+    #[should_panic(expected = "one ANN mode per channel")]
+    fn ann_count_mismatch_panics() {
+        let engine = QueryEngine::new(two_channel());
+        let _ = engine.run(&Query::tnn(Point::ORIGIN).ann_modes(&[AnnMode::Exact; 3]));
+    }
+
+    #[test]
+    fn outcome_metrics_match_legacy_accessors() {
+        let env = two_channel();
+        let engine = QueryEngine::new(env.clone());
+        let p = Point::new(33.0, 44.0);
+        let legacy = run_query(&env, p, 9, &TnnConfig::default()).unwrap();
+        let got = engine.run(&Query::tnn(p).issued_at(9)).unwrap();
+        assert_eq!(got.access_time(), legacy.access_time());
+        assert_eq!(got.tune_in(), legacy.tune_in());
+        assert_eq!(got.tune_in_estimate(), legacy.tune_in_estimate());
+        assert_eq!(got.tune_in_filter(), legacy.tune_in_filter());
+        assert_eq!(
+            got.total_candidates(),
+            legacy.candidates[0] + legacy.candidates[1]
+        );
+        assert_eq!(got.failed(), legacy.failed());
+        assert_eq!(got.estimate_end, Some(legacy.estimate_end));
+    }
+}

@@ -164,22 +164,26 @@ fn nearest_by_sweep(r_by_x: &[(f64, f64, u32)], q: Point) -> (usize, f64) {
 /// layers `C₁ … C_k`, finds the chain `p → s₁ → … → s_k` with `sᵢ ∈ Cᵢ`
 /// of minimum total length, by dynamic programming backwards over the
 /// layers. Returns `None` when any layer is empty.
-pub fn chain_join(
+///
+/// Layers are anything slice-like (`Vec`s or borrowed `&[_]` hit lists),
+/// so the broadcast pipeline can join straight out of reused window-task
+/// buffers without copying them into owned vectors first.
+pub fn chain_join<L: AsRef<[(Point, ObjectId)]>>(
     p: Point,
-    layers: &[Vec<(Point, ObjectId)>],
+    layers: &[L],
 ) -> Option<(Vec<(Point, ObjectId)>, f64)> {
-    if layers.is_empty() || layers.iter().any(|l| l.is_empty()) {
+    if layers.is_empty() || layers.iter().any(|l| l.as_ref().is_empty()) {
         return None;
     }
     let k = layers.len();
     // cost[i][j]: best length of the suffix starting at layer i's item j.
-    let mut cost: Vec<Vec<f64>> = layers.iter().map(|l| vec![0.0; l.len()]).collect();
-    let mut next: Vec<Vec<usize>> = layers.iter().map(|l| vec![0; l.len()]).collect();
+    let mut cost: Vec<Vec<f64>> = layers.iter().map(|l| vec![0.0; l.as_ref().len()]).collect();
+    let mut next: Vec<Vec<usize>> = layers.iter().map(|l| vec![0; l.as_ref().len()]).collect();
     for i in (0..k - 1).rev() {
-        for (j, &(pt, _)) in layers[i].iter().enumerate() {
+        for (j, &(pt, _)) in layers[i].as_ref().iter().enumerate() {
             let mut best = f64::INFINITY;
             let mut arg = 0;
-            for (j2, &(pt2, _)) in layers[i + 1].iter().enumerate() {
+            for (j2, &(pt2, _)) in layers[i + 1].as_ref().iter().enumerate() {
                 let c = pt.dist(pt2) + cost[i + 1][j2];
                 if c < best {
                     best = c;
@@ -192,7 +196,7 @@ pub fn chain_join(
     }
     // Head step from p into layer 0.
     let (mut j, mut total) = (0usize, f64::INFINITY);
-    for (j0, &(pt, _)) in layers[0].iter().enumerate() {
+    for (j0, &(pt, _)) in layers[0].as_ref().iter().enumerate() {
         let c = p.dist(pt) + cost[0][j0];
         if c < total {
             total = c;
@@ -201,7 +205,7 @@ pub fn chain_join(
     }
     let mut path = Vec::with_capacity(k);
     for i in 0..k {
-        path.push(layers[i][j]);
+        path.push(layers[i].as_ref()[j]);
         if i + 1 < k {
             j = next[i][j];
         }
@@ -383,6 +387,6 @@ mod tests {
         let p = Point::ORIGIN;
         let a = pts(&[(1.0, 0.0)]);
         assert!(chain_join(p, &[a, vec![]]).is_none());
-        assert!(chain_join(p, &[]).is_none());
+        assert!(chain_join::<Vec<(Point, ObjectId)>>(p, &[]).is_none());
     }
 }

@@ -42,18 +42,30 @@
 //!
 //! ## Extensions (the paper's future-work list, §7)
 //!
-//! * [`chain_tnn`] — item 1: `k ≥ 2` datasets on `k` channels, visited
-//!   in category order;
-//! * [`order_free_tnn`] — item 2: the visiting order is not specified
+//! * [`Query::chain`] — item 1: `k ≥ 2` datasets on `k` channels,
+//!   visited in category order;
+//! * [`Query::order_free`] — item 2: the visiting order is not specified
 //!   (best of `p→s→r` and `p→r→s`);
-//! * [`round_trip_tnn`] — item 3: a complete tour returning to the
+//! * [`Query::round_trip`] — item 3: a complete tour returning to the
 //!   source (`dis(p,s) + dis(s,r) + dis(r,p)`).
+//!
+//! ## The unified API ([`QueryEngine`])
+//!
+//! All query kinds run through one engine: build a [`QueryEngine`] over a
+//! cheaply shareable [`tnn_broadcast::MultiChannelEnv`], describe the
+//! request with the builder-style [`Query`] type (`Query::tnn(p)
+//! .algorithm(..).ann_modes(..).phases(..)`), and get a unified
+//! [`QueryOutcome`] with per-hop channel costs back. The pre-engine free
+//! functions (`run_query`, `chain_tnn`, `order_free_tnn`,
+//! `round_trip_tnn`) remain as thin deprecated wrappers for one release;
+//! see `docs/API.md` at the repository root for the migration guide.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
 mod ann;
 mod config;
+mod engine;
 mod error;
 mod exact;
 mod join;
@@ -64,7 +76,8 @@ pub mod algorithms;
 pub mod task;
 
 pub use ann::{dynamic_alpha, AnnMode};
-pub use config::{Algorithm, TnnConfig};
+pub use config::{Algorithm, AnnModes, AnnSpec, TnnConfig};
+pub use engine::{Query, QueryEngine, QueryKind, QueryOutcome, RouteStop};
 pub use error::TnnError;
 pub use exact::{exact_chain_tnn, exact_tnn};
 pub use join::{chain_join, tnn_join};
@@ -72,9 +85,12 @@ pub use mode::SearchMode;
 pub use result::{ChannelCost, Phase, TnnPair, TnnRun};
 
 pub use algorithms::{
-    approximate_radius, approximate_radius_for_env, chain_tnn, order_free_tnn, round_trip_tnn,
-    run_query, run_query_impl, run_query_with, ChainRun, QueryScratch, VariantRun, VisitOrder,
+    approximate_radius, approximate_radius_for_env, chain_tnn_overlay, order_free_tnn_overlay,
+    round_trip_tnn_overlay, run_query_impl, run_query_overlay, ChainRun, QueryScratch, VariantRun,
+    VisitOrder,
 };
+#[allow(deprecated)] // legacy wrappers stay exported for one release
+pub use algorithms::{chain_tnn, order_free_tnn, round_trip_tnn, run_query, run_query_with};
 pub use join::{tnn_join_with, JoinScratch};
 pub use task::{ArrivalHeap, CandidateQueue};
 

@@ -59,7 +59,7 @@
 
 use super::queue::{ArrivalHeap, CandidateQueue, QueueEntry};
 use crate::{AnnMode, SearchMode};
-use tnn_broadcast::{Channel, Tuner};
+use tnn_broadcast::{ChannelView, Tuner};
 use tnn_geom::Point;
 use tnn_rtree::{NodeId, ObjectId, RTree};
 
@@ -77,7 +77,7 @@ use super::queue::LinearQueue;
 /// [`BroadcastNnSearch::switch_to_transitive`] (Hybrid case 3).
 #[derive(Debug)]
 pub struct BroadcastNnSearch<'a, Q: CandidateQueue> {
-    channel: &'a Channel,
+    channel: ChannelView<'a>,
     mode: SearchMode,
     ann: AnnMode,
     queue: Q,
@@ -126,8 +126,15 @@ pub struct NnScratch<Q: CandidateQueue> {
 
 impl<'a, Q: CandidateQueue> BroadcastNnSearch<'a, Q> {
     /// Starts a search on `channel` at global time `start`; the root is
-    /// queued at its next arrival.
-    pub fn new(channel: &'a Channel, mode: SearchMode, ann: AnnMode, start: u64) -> Self {
+    /// queued at its next arrival. Accepts a plain `&Channel` (searched
+    /// under the channel's own phase) or a [`ChannelView`] carrying a
+    /// per-query phase override.
+    pub fn new(
+        channel: impl Into<ChannelView<'a>>,
+        mode: SearchMode,
+        ann: AnnMode,
+        start: u64,
+    ) -> Self {
         Self::with_scratch(channel, mode, ann, start, &mut NnScratch::default())
     }
 
@@ -135,12 +142,13 @@ impl<'a, Q: CandidateQueue> BroadcastNnSearch<'a, Q> {
     /// buffers from `scratch` (pass the task back via
     /// [`BroadcastNnSearch::recycle`] when done to reuse the capacity).
     pub fn with_scratch(
-        channel: &'a Channel,
+        channel: impl Into<ChannelView<'a>>,
         mode: SearchMode,
         ann: AnnMode,
         start: u64,
         scratch: &mut NnScratch<Q>,
     ) -> Self {
+        let channel = channel.into();
         let mut queue = std::mem::take(&mut scratch.queue);
         let mut parked = std::mem::take(&mut scratch.parked);
         queue.clear();
@@ -515,7 +523,7 @@ impl PruneContext<'_> {
 mod tests {
     use super::*;
     use std::sync::Arc;
-    use tnn_broadcast::BroadcastParams;
+    use tnn_broadcast::{BroadcastParams, Channel};
     use tnn_rtree::{PackingAlgorithm, RTree};
 
     fn channel(pts: &[Point], phase: u64) -> Channel {

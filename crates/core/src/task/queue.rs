@@ -18,7 +18,7 @@
 //!   tests and the `linear-reference` benchmark feature.
 //!
 //! Both backends must produce byte-identical search traces; the property
-//! tests in [`crate::task::nn`] assert this across all four algorithms.
+//! tests in `crate::task::nn` assert this across all four algorithms.
 //! Node ids break (arrival, node) ordering ties deterministically — the
 //! same discipline `WindowQueryTask` uses — although arrivals of distinct
 //! nodes on one channel are in fact always distinct (one page per slot).
@@ -51,7 +51,10 @@ impl QueueEntry {
 /// next in arrival order ([`ArrivalHeap`] does), relying on the caller's
 /// guarantee that the condemnation predicate only grows between
 /// [`CandidateQueue::realize`] calls.
-pub trait CandidateQueue: Default + std::fmt::Debug {
+///
+/// `Send` is part of the contract so that scratch buffers (and the
+/// engines pooling them) can cross worker threads.
+pub trait CandidateQueue: Default + std::fmt::Debug + Send {
     /// `true` when the search should evaluate the pruning predicate at
     /// push time and divert condemned children straight to the parked
     /// list (the bound is already final when a step pushes its children,

@@ -3,7 +3,7 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use tnn_broadcast::{Channel, Tuner};
+use tnn_broadcast::{ChannelView, Tuner};
 use tnn_geom::{Circle, Point};
 use tnn_rtree::{NodeId, ObjectId};
 
@@ -27,7 +27,7 @@ pub struct WindowScratch {
 /// pruning here.
 #[derive(Debug)]
 pub struct WindowQueryTask<'a> {
-    channel: &'a Channel,
+    channel: ChannelView<'a>,
     range: Circle,
     queue: BinaryHeap<QueueEntry>,
     hits: Vec<(Point, ObjectId)>,
@@ -37,7 +37,9 @@ pub struct WindowQueryTask<'a> {
 
 impl<'a> WindowQueryTask<'a> {
     /// Starts a window query on `channel` at global time `start`.
-    pub fn new(channel: &'a Channel, range: Circle, start: u64) -> Self {
+    /// Accepts a plain `&Channel` or a [`ChannelView`] carrying a
+    /// per-query phase override.
+    pub fn new(channel: impl Into<ChannelView<'a>>, range: Circle, start: u64) -> Self {
         Self::with_scratch(channel, range, start, &mut WindowScratch::default())
     }
 
@@ -45,11 +47,12 @@ impl<'a> WindowQueryTask<'a> {
     /// from `scratch` (pass the task back via
     /// [`WindowQueryTask::recycle`] when done to reuse the capacity).
     pub fn with_scratch(
-        channel: &'a Channel,
+        channel: impl Into<ChannelView<'a>>,
         range: Circle,
         start: u64,
         scratch: &mut WindowScratch,
     ) -> Self {
+        let channel = channel.into();
         let mut queue = std::mem::take(&mut scratch.queue);
         let mut hits = std::mem::take(&mut scratch.hits);
         queue.clear();
@@ -145,7 +148,7 @@ impl<'a> WindowQueryTask<'a> {
 mod tests {
     use super::*;
     use std::sync::Arc;
-    use tnn_broadcast::BroadcastParams;
+    use tnn_broadcast::{BroadcastParams, Channel};
     use tnn_rtree::{PackingAlgorithm, RTree};
 
     fn channel(pts: &[Point], phase: u64) -> Channel {

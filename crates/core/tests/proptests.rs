@@ -2,6 +2,12 @@
 //! return the true optimum on arbitrary datasets, phases and query
 //! points; ANN pruning must never change the final answer (Theorem 1);
 //! and the cost accounting must satisfy basic sanity laws.
+//!
+//! These run through the deprecated free-function wrappers on purpose:
+//! they double as regression coverage that the wrappers keep working
+//! while they exist (the engine itself is property-tested for
+//! byte-identity against them in `crates/bench/tests`).
+#![allow(deprecated)]
 
 use proptest::prelude::*;
 use std::sync::Arc;

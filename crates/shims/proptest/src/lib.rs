@@ -1,7 +1,7 @@
 //! Offline stand-in for the `proptest` crate.
 //!
 //! Implements the subset of proptest this workspace's property tests use:
-//! the [`Strategy`] trait with `prop_map`, range and tuple strategies,
+//! the [`strategy::Strategy`] trait with `prop_map`, range and tuple strategies,
 //! [`collection::vec`], [`sample::select`], the [`proptest!`] macro with
 //! `#![proptest_config(..)]`, and the `prop_assert*` / `prop_assume!`
 //! assertion macros. Cases are generated from a per-test deterministic

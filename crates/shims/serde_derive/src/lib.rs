@@ -1,4 +1,4 @@
-//! No-op derive macros backing the offline [`serde`] shim.
+//! No-op derive macros backing the offline `serde` shim.
 //!
 //! The shim's `Serialize` / `Deserialize` traits are blanket-implemented,
 //! so the derives legitimately expand to nothing — they exist only so that
@@ -6,14 +6,17 @@
 
 use proc_macro::TokenStream;
 
-/// Expands to nothing; see the crate docs.
-#[proc_macro_derive(Serialize)]
+/// Expands to nothing; see the crate docs. Registers the `#[serde(...)]`
+/// helper attribute exactly like the real derive, so container/field
+/// attributes (e.g. `#[serde(into = "...")]`) compile unchanged.
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
 
-/// Expands to nothing; see the crate docs.
-#[proc_macro_derive(Deserialize)]
+/// Expands to nothing; see the crate docs. Registers the `#[serde(...)]`
+/// helper attribute exactly like the real derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }

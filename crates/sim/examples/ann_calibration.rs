@@ -50,7 +50,13 @@ fn main() {
             );
             for f in [0.05, 0.02, 0.01, 1.0 / 150.0, 0.005, 0.002] {
                 let m = AnnMode::Dynamic { factor: f };
-                let st = ctx.batch(s, r, params, TnnConfig::exact(alg).with_ann(m, m), false);
+                let st = ctx.batch(
+                    s,
+                    r,
+                    params,
+                    TnnConfig::exact(alg).with_ann_modes(&[m, m]),
+                    false,
+                );
                 println!(
                     "{:18} f={:<7.4} tune-in {:8.1} (est {:6.1}/filt {:6.1}) radius {:7.1} saved {:+.1}%",
                     alg.name(),

@@ -218,7 +218,7 @@ fn alpha_policy(ctx: &Context) -> Table {
             s,
             r,
             params,
-            TnnConfig::exact(Algorithm::DoubleNn).with_ann(mode, mode),
+            TnnConfig::exact(Algorithm::DoubleNn).with_ann_modes(&[mode, mode]),
             false,
         );
         table.push_row(vec![
@@ -232,7 +232,7 @@ fn alpha_policy(ctx: &Context) -> Table {
         s,
         r,
         params,
-        TnnConfig::exact(Algorithm::DoubleNn).with_ann(dynamic, dynamic),
+        TnnConfig::exact(Algorithm::DoubleNn).with_ann_modes(&[dynamic, dynamic]),
         false,
     );
     table.push_row(vec![
@@ -282,8 +282,11 @@ fn variants(ctx: &Context) -> Table {
     let params = BroadcastParams::new(64);
     let s = ctx.catalog.tree(DatasetSpec::UnifS(-54), &params);
     let r = ctx.catalog.tree(DatasetSpec::UnifR(-54), &params);
-    let base =
-        tnn_broadcast::MultiChannelEnv::new(vec![Arc::clone(&s), Arc::clone(&r)], params, &[0, 0]);
+    let engine = tnn_core::QueryEngine::new(tnn_broadcast::MultiChannelEnv::new(
+        vec![Arc::clone(&s), Arc::clone(&r)],
+        params,
+        &[0, 0],
+    ));
     let region = paper_region();
     let n = ctx.queries.min(300);
     let mut acc = [(0.0f64, 0u64, 0u64); 3]; // (dist, access, tune-in) per variant
@@ -295,24 +298,32 @@ fn variants(ctx: &Context) -> Table {
             rng.gen_range(region.min.y..=region.max.y),
         );
         let phases = [
-            rng.gen_range(0..base.channel(0).layout().cycle_len()),
-            rng.gen_range(0..base.channel(1).layout().cycle_len()),
+            rng.gen_range(0..engine.env().channel(0).layout().cycle_len()),
+            rng.gen_range(0..engine.env().channel(1).layout().cycle_len()),
         ];
-        let env = base.with_phases(&phases);
-        let plain = tnn_core::run_query(&env, p, 0, &TnnConfig::exact(Algorithm::DoubleNn))
+        let plain = engine
+            .run(
+                &tnn_core::Query::tnn(p)
+                    .algorithm(Algorithm::DoubleNn)
+                    .phases(&phases),
+            )
             .expect("valid env");
-        let free = tnn_core::order_free_tnn(&env, p, 0, AnnMode::Exact, true).expect("valid env");
-        let tour = tnn_core::round_trip_tnn(&env, p, 0, AnnMode::Exact, true).expect("valid env");
-        acc[0].0 += plain.answer.as_ref().expect("exact").dist;
+        let free = engine
+            .run(&tnn_core::Query::order_free(p).phases(&phases))
+            .expect("valid env");
+        let tour = engine
+            .run(&tnn_core::Query::round_trip(p).phases(&phases))
+            .expect("valid env");
+        acc[0].0 += plain.total_dist.expect("exact");
         acc[0].1 += plain.access_time();
         acc[0].2 += plain.tune_in();
-        acc[1].0 += free.total_dist;
+        acc[1].0 += free.total_dist.expect("exact");
         acc[1].1 += free.access_time();
         acc[1].2 += free.tune_in();
-        acc[2].0 += tour.total_dist;
+        acc[2].0 += tour.total_dist.expect("exact");
         acc[2].1 += tour.access_time();
         acc[2].2 += tour.tune_in();
-        if free.order() == tnn_core::VisitOrder::RFirst {
+        if free.visit_order() == Some(tnn_core::VisitOrder::RFirst) {
             r_first += 1;
         }
     }

@@ -56,7 +56,7 @@ fn row(
             s,
             r,
             params,
-            TnnConfig::exact(alg).with_ann(ann[0], ann[1]),
+            TnnConfig::exact(alg).with_ann_modes(&ann),
             false,
         );
         let saved = 1.0 - ann_stats.mean_tune_in / enn.mean_tune_in.max(1e-9);

@@ -42,7 +42,7 @@ fn panel(ctx: &Context, title: &str, s_tenths: i32) -> Table {
                 s,
                 r,
                 params,
-                TnnConfig::exact(Algorithm::HybridNn).with_ann(mode, mode),
+                TnnConfig::exact(Algorithm::HybridNn).with_ann_modes(&[mode, mode]),
                 false,
             );
             row.push(f1(ann.mean_tune_in));

@@ -10,9 +10,13 @@
 //!
 //! ## Performance shape
 //!
-//! Work is spread over all CPUs in contiguous chunks; each worker thread
-//! owns one [`QueryScratch`], so the per-query hot path performs no
-//! allocations after the first query has grown the buffers. Per-query
+//! All batches are driven through one shared [`QueryEngine`]; work is
+//! spread over all CPUs in contiguous chunks, and each worker thread owns
+//! one [`QueryScratch`] passed to [`QueryEngine::run_with`], so the
+//! per-query hot path performs no buffer allocations after the first
+//! query has grown them. Per-query phase randomization rides the engine's
+//! `PhaseOverlay` — no channel vector is cloned per query (the former
+//! `with_phases` hot-path cost). Per-query
 //! metric samples are written into a pre-sized slot array and reduced
 //! **in query order**, making every [`BatchStats`] bit-identical for a
 //! fixed seed regardless of thread count or scheduling — which is also
@@ -24,9 +28,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 use tnn_broadcast::{BroadcastParams, MultiChannelEnv};
-use tnn_core::{
-    chain_tnn, exact_tnn, run_query_impl, AnnMode, CandidateQueue, QueryScratch, TnnConfig,
-};
+use tnn_core::{exact_tnn, AnnMode, CandidateQueue, Query, QueryEngine, QueryScratch, TnnConfig};
 use tnn_geom::{Point, Rect};
 use tnn_rtree::RTree;
 
@@ -121,11 +123,11 @@ fn run_batch_impl<Q: CandidateQueue>(
     region: &Rect,
     cfg: &BatchConfig,
 ) -> BatchStats {
-    let base_env = MultiChannelEnv::new(
+    let engine = QueryEngine::<Q>::with_queue_backend(MultiChannelEnv::new(
         vec![Arc::clone(s_tree), Arc::clone(r_tree)],
         cfg.params,
         &[0, 0],
-    );
+    ));
     run_samples(cfg.queries, |first, chunk| {
         // The production backend reuses one scratch per worker (zero
         // allocations per query); the linear reference allocates fresh
@@ -136,13 +138,13 @@ fn run_batch_impl<Q: CandidateQueue>(
             if Q::IS_REFERENCE {
                 scratch = QueryScratch::<Q>::default();
             }
-            *slot = run_one(&base_env, region, cfg, (first + j) as u64, &mut scratch);
+            *slot = run_one(&engine, region, cfg, (first + j) as u64, &mut scratch);
         }
     })
 }
 
 fn run_one<Q: CandidateQueue>(
-    base_env: &MultiChannelEnv,
+    engine: &QueryEngine<Q>,
     region: &Rect,
     cfg: &BatchConfig,
     query_index: u64,
@@ -155,20 +157,30 @@ fn run_one<Q: CandidateQueue>(
         rng.gen_range(region.min.x..=region.max.x),
         rng.gen_range(region.min.y..=region.max.y),
     );
+    let env = engine.env();
+    // Per-query phases go through the engine's `PhaseOverlay`: nothing is
+    // cloned — the old `env.with_phases(&phases)` materialized a fresh
+    // channel vector on every query of every batch.
     let phases = [
-        rng.gen_range(0..base_env.channel(0).layout().cycle_len().max(1)),
-        rng.gen_range(0..base_env.channel(1).layout().cycle_len().max(1)),
+        rng.gen_range(0..env.channel(0).layout().cycle_len().max(1)),
+        rng.gen_range(0..env.channel(1).layout().cycle_len().max(1)),
     ];
-    let env = base_env.with_phases(&phases);
+    let query = Query::tnn(p)
+        .algorithm(cfg.tnn.algorithm)
+        .ann_modes(&cfg.tnn.ann)
+        .retrieve_answer_objects(cfg.tnn.retrieve_answer_objects)
+        .phases(&phases);
 
-    let run = run_query_impl(&env, p, 0, &cfg.tnn, scratch).expect("two channels, finite query");
+    let run = engine
+        .run_with(&query, scratch)
+        .expect("two channels, finite query");
     let no_answer = run.failed();
     let failed = if cfg.check_oracle {
-        match &run.answer {
+        match run.total_dist {
             None => true,
-            Some(pair) => {
+            Some(dist) => {
                 let oracle = exact_tnn(p, env.channel(0).tree(), env.channel(1).tree());
-                pair.dist > oracle.dist * (1.0 + FAIL_EPS) + FAIL_EPS
+                dist > oracle.dist * (1.0 + FAIL_EPS) + FAIL_EPS
             }
         }
     } else {
@@ -180,7 +192,7 @@ fn run_one<Q: CandidateQueue>(
         tune_estimate: run.tune_in_estimate(),
         tune_filter: run.tune_in_filter(),
         radius: run.search_radius,
-        candidates: run.candidates[0] + run.candidates[1],
+        candidates: run.total_candidates(),
         no_answer,
         failed,
     }
@@ -201,8 +213,16 @@ pub fn run_chain_batch(
     queries: usize,
     seed: u64,
 ) -> BatchStats {
-    let base_env = MultiChannelEnv::new(trees.to_vec(), params, &vec![0; trees.len()]);
+    let engine = QueryEngine::new(MultiChannelEnv::new(
+        trees.to_vec(),
+        params,
+        &vec![0; trees.len()],
+    ));
     run_samples(queries, |first, chunk| {
+        let mut scratch = QueryScratch::default();
+        // Reused per worker; the per-query engine overlay copies it into
+        // inline storage, so no channel vector is cloned per query.
+        let mut phases: Vec<u64> = Vec::with_capacity(engine.channels());
         for (j, slot) in chunk.iter_mut().enumerate() {
             let i = (first + j) as u64;
             let mut rng = StdRng::seed_from_u64(seed ^ i.wrapping_mul(0x9E3779B97F4A7C15));
@@ -210,18 +230,23 @@ pub fn run_chain_batch(
                 rng.gen_range(region.min.x..=region.max.x),
                 rng.gen_range(region.min.y..=region.max.y),
             );
-            let phases: Vec<u64> = base_env
-                .channels()
-                .iter()
-                .map(|c| rng.gen_range(0..c.layout().cycle_len().max(1)))
-                .collect();
-            let env = base_env.with_phases(&phases);
-            let run = chain_tnn(&env, p, 0, ann, true).expect("valid chain environment");
+            phases.clear();
+            phases.extend(
+                engine
+                    .env()
+                    .channels()
+                    .iter()
+                    .map(|c| rng.gen_range(0..c.layout().cycle_len().max(1))),
+            );
+            let query = Query::chain(p).ann(ann).phases(&phases);
+            let run = engine
+                .run_with(&query, &mut scratch)
+                .expect("valid chain environment");
             *slot = QuerySample {
                 access: run.access_time(),
                 tune_in: run.tune_in(),
-                tune_estimate: run.channels.iter().map(|c| c.estimate_pages).sum(),
-                tune_filter: run.channels.iter().map(|c| c.filter_pages).sum(),
+                tune_estimate: run.tune_in_estimate(),
+                tune_filter: run.tune_in_filter(),
                 radius: run.search_radius,
                 candidates: 0,
                 no_answer: false,

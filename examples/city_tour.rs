@@ -35,10 +35,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         r_tree.num_nodes(),
         r_tree.height(),
     );
-    let env = MultiChannelEnv::new(vec![s_tree, r_tree], params, &[7, 99_999]);
+    let engine = QueryEngine::new(MultiChannelEnv::new(
+        vec![s_tree, r_tree],
+        params,
+        &[7, 99_999],
+    ));
     println!(
         "Approximate-TNN would use the uniformity radius {:.0} m everywhere\n",
-        approximate_radius_for_env(&env)
+        approximate_radius_for_env(engine.env())
     );
 
     // Tour a line of query points crossing clusters and voids.
@@ -51,17 +55,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             region.min.x + t * region.width(),
             region.min.y + (1.0 - t) * region.height() * 0.8 + 0.1 * region.height(),
         );
-        let hybrid = run_query(&env, p, 0, &TnnConfig::exact(Algorithm::HybridNn))?;
-        let approx = run_query(&env, p, 0, &TnnConfig::exact(Algorithm::ApproximateTnn))?;
-        let oracle = exact_tnn(p, env.channel(0).tree(), env.channel(1).tree());
-        let hybrid_pair = hybrid.answer.expect("hybrid never fails");
-        assert!((hybrid_pair.dist - oracle.dist).abs() < 1e-6);
+        let hybrid = engine.run(&Query::tnn(p).algorithm(Algorithm::HybridNn))?;
+        let approx = engine.run(&Query::tnn(p).algorithm(Algorithm::ApproximateTnn))?;
+        let oracle = exact_tnn(
+            p,
+            engine.env().channel(0).tree(),
+            engine.env().channel(1).tree(),
+        );
+        let hybrid_dist = hybrid.total_dist.expect("hybrid never fails");
+        assert!((hybrid_dist - oracle.dist).abs() < 1e-6);
 
-        let approx_verdict = match &approx.answer {
-            Some(pair) if (pair.dist - oracle.dist).abs() < 1e-6 => "ok".to_string(),
-            Some(pair) => {
+        let approx_verdict = match approx.total_dist {
+            Some(dist) if (dist - oracle.dist).abs() < 1e-6 => "ok".to_string(),
+            Some(dist) => {
                 approx_failures += 1;
-                format!("WRONG (+{:.0} m)", pair.dist - oracle.dist)
+                format!("WRONG (+{:.0} m)", dist - oracle.dist)
             }
             None => {
                 approx_failures += 1;

@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         params.rtree_params(),
         PackingAlgorithm::Str,
     )?);
-    let env = MultiChannelEnv::new(vec![s_tree, r_tree], params, &[0, 0]);
+    let engine = QueryEngine::new(MultiChannelEnv::new(vec![s_tree, r_tree], params, &[0, 0]));
 
     let queries = uniform_points(200, &paper_region(), 77);
 
@@ -43,19 +43,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         } else {
             AnnMode::Dynamic { factor }
         };
-        let cfg = TnnConfig::exact(Algorithm::DoubleNn).with_ann(mode, mode);
         let mut est = 0u64;
         let mut filter = 0u64;
         let mut radius = 0.0f64;
         let mut all_exact = true;
         for (i, &q) in queries.iter().enumerate() {
-            let run = run_query(&env, q, i as u64 * 131, &cfg)?;
+            let run = engine.run(
+                &Query::tnn(q)
+                    .algorithm(Algorithm::DoubleNn)
+                    .ann_modes(&[mode, mode])
+                    .issued_at(i as u64 * 131),
+            )?;
             est += run.tune_in_estimate();
             filter += run.tune_in_filter();
             radius += run.search_radius;
-            let oracle = exact_tnn(q, env.channel(0).tree(), env.channel(1).tree());
-            let pair = run.answer.expect("exact algorithms always answer");
-            all_exact &= (pair.dist - oracle.dist).abs() < 1e-6;
+            let oracle = exact_tnn(
+                q,
+                engine.env().channel(0).tree(),
+                engine.env().channel(1).tree(),
+            );
+            let dist = run.total_dist.expect("exact algorithms always answer");
+            all_exact &= (dist - oracle.dist).abs() < 1e-6;
         }
         let n = queries.len() as f64;
         println!(

@@ -36,30 +36,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         trees.push(tree);
     }
-    let env = MultiChannelEnv::new(trees, params, &[100, 2_000, 30_000]);
+    let engine = QueryEngine::new(MultiChannelEnv::new(trees, params, &[100, 2_000, 30_000]));
 
     let home = Point::new(3_900.0, 4_100.0);
     println!("\nstarting at ({:.0}, {:.0})", home.x, home.y);
 
-    let run = chain_tnn(&env, home, 0, AnnMode::Exact, true)?;
+    // One chained query over all three channels — the engine treats the
+    // channel count as a first-class parameter.
+    let run = engine.run(&Query::chain(home).ann(AnnMode::Exact))?;
+    let total = run.total_dist.expect("chained estimates are feasible");
     println!(
         "\nbest route ({} stops, total {:.1} m, radius {:.1} m):",
-        run.path.len(),
-        run.total_dist,
+        run.route.len(),
+        total,
         run.search_radius,
     );
     let mut at = home;
-    for (i, (stop, id)) in run.path.iter().enumerate() {
+    for (i, stop) in run.route.iter().enumerate() {
         println!(
-            "  {}. {} #{} at ({:6.0},{:6.0})  — leg {:7.1} m",
+            "  {}. {} #{} at ({:6.0},{:6.0})  — leg {:7.1} m (channel {})",
             i + 1,
             categories[i].0.trim_end_matches('s'),
-            id,
-            stop.x,
-            stop.y,
-            at.dist(*stop),
+            stop.object,
+            stop.point.x,
+            stop.point.y,
+            at.dist(stop.point),
+            stop.channel,
         );
-        at = *stop;
+        at = stop.point;
     }
     println!(
         "\ncosts: access {} pages, tune-in {} pages across {} channels",
@@ -69,9 +73,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // The broadcast answer matches the in-memory oracle.
-    let oracle_trees: Vec<&RTree> = env.channels().iter().map(|c| c.tree()).collect();
+    let oracle_trees: Vec<&RTree> = engine.env().channels().iter().map(|c| c.tree()).collect();
     let (_, oracle_total) = exact_chain_tnn(home, &oracle_trees);
-    assert!((run.total_dist - oracle_total).abs() < 1e-6);
+    assert!((total - oracle_total).abs() < 1e-6);
     println!("verified against the exact chain oracle ({oracle_total:.1} m).");
     Ok(())
 }

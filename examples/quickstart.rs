@@ -42,8 +42,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Two channels with arbitrary phases (Mr. Smith tunes in at a random
-    // moment of each program).
+    // moment of each program), behind one query engine.
     let env = MultiChannelEnv::new(vec![s_tree, r_tree], params, &[1_234, 56_789]);
+    let engine = QueryEngine::new(env);
 
     // Mr. Smith stands at the station and asks for the best errand.
     let here = Point::new(4_200.0, 5_100.0);
@@ -55,8 +56,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Algorithm::DoubleNn,
         Algorithm::HybridNn,
     ] {
-        let run = run_query(&env, here, 0, &TnnConfig::exact(alg))?;
-        match &run.answer {
+        let run = engine.run(&Query::tnn(here).algorithm(alg))?;
+        match run.tnn_pair() {
             Some(pair) => println!(
                 "{:18} post office #{} then restaurant #{} — walk {:7.1} m | access {:6} pages, tune-in {:4} pages",
                 alg.name(),
@@ -71,7 +72,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Sanity: the exact oracle agrees.
-    let oracle = exact_tnn(here, env.channel(0).tree(), env.channel(1).tree());
+    let oracle = exact_tnn(
+        here,
+        engine.env().channel(0).tree(),
+        engine.env().channel(1).tree(),
+    );
     println!("\nexact oracle: {:.1} m", oracle.dist);
     Ok(())
 }

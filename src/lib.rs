@@ -9,6 +9,11 @@
 //! `(s, r) ∈ S × R` minimizing `dis(p, s) + dis(s, r)` — e.g. the post
 //! office and the restaurant with the smallest total detour.
 //!
+//! All queries go through one [`QueryEngine`](prelude::QueryEngine) over
+//! a shared multi-channel environment; requests are described with the
+//! builder-style [`Query`](prelude::Query) type and return a unified
+//! [`QueryOutcome`](prelude::QueryOutcome):
+//!
 //! ```
 //! use std::sync::Arc;
 //! use tnn::prelude::*;
@@ -24,12 +29,24 @@
 //! let env = MultiChannelEnv::new(vec![s, r], params, &[17, 42]);
 //!
 //! // A mobile client runs Hybrid-NN over the air.
-//! let run = run_query(&env, Point::new(200.0, 200.0), 0, &TnnConfig::exact(Algorithm::HybridNn))?;
-//! let answer = run.answer.expect("exact algorithms always answer");
-//! println!("total distance {:.1}, access {} pages, tune-in {} pages",
-//!          answer.dist, run.access_time(), run.tune_in());
+//! let engine = QueryEngine::new(env);
+//! let outcome = engine.run(
+//!     &Query::tnn(Point::new(200.0, 200.0)).algorithm(Algorithm::HybridNn),
+//! )?;
+//! println!("total distance {:.1}, access {} slots, tune-in {} pages",
+//!          outcome.total_dist.expect("exact algorithms always answer"),
+//!          outcome.access_time(), outcome.tune_in());
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! The same engine serves the paper's future-work extensions — chained
+//! TNN over `k ≥ 2` channels (`Query::chain`), order-free TNN
+//! (`Query::order_free`), and round-trip TNN (`Query::round_trip`) — and
+//! per-query knobs ride the builder: `.ann_modes(..)` for per-channel
+//! approximate-search pruning and `.phases(..)` for zero-clone per-query
+//! phase randomization. The pre-engine free functions (`run_query`,
+//! `chain_tnn`, …) remain as deprecated wrappers for one release; see
+//! `docs/API.md` for the migration guide.
 //!
 //! ## Crate map
 //!
@@ -37,8 +54,8 @@
 //! |---|---|
 //! | [`geom`] (`tnn-geom`) | points, MBRs, the transitive metrics `MinTransDist` / `MinMaxTransDist`, exact circle/ellipse–rectangle overlap areas |
 //! | [`rtree`] (`tnn-rtree`) | packed R-tree (STR / Hilbert / Nearest-X), in-memory queries |
-//! | [`broadcast`] (`tnn-broadcast`) | `(1, m)` air-indexed broadcast programs, channels, tuner accounting |
-//! | [`core`] (`tnn-core`) | the four TNN algorithms, ANN optimization, chained-TNN extension, exact oracle |
+//! | [`broadcast`] (`tnn-broadcast`) | `(1, m)` air-indexed broadcast programs, channels, `Arc`-shared environments, zero-clone phase overlays |
+//! | [`core`] (`tnn-core`) | the `QueryEngine`, the four TNN algorithms, ANN optimization, chained-TNN extension, exact oracle |
 //! | [`datasets`] (`tnn-datasets`) | the paper's synthetic workloads and clustered real-data stand-ins |
 //! | [`sim`] (`tnn-sim`) | the experiment harness regenerating every figure/table of the paper |
 
@@ -54,10 +71,14 @@ pub use tnn_sim as sim;
 
 /// The most common imports, re-exported flat.
 pub mod prelude {
-    pub use tnn_broadcast::{BroadcastParams, Channel, MultiChannelEnv, Tuner};
+    pub use tnn_broadcast::{
+        BroadcastParams, Channel, ChannelView, MultiChannelEnv, PhaseOverlay, Tuner,
+    };
+    #[allow(deprecated)] // legacy entry points stay exported for one release
+    pub use tnn_core::{chain_tnn, order_free_tnn, round_trip_tnn, run_query};
     pub use tnn_core::{
-        chain_tnn, exact_tnn, order_free_tnn, round_trip_tnn, run_query, Algorithm, AnnMode,
-        TnnConfig, TnnPair, TnnRun,
+        exact_tnn, Algorithm, AnnMode, AnnModes, Query, QueryEngine, QueryKind, QueryOutcome,
+        RouteStop, TnnConfig, TnnPair, TnnRun,
     };
     pub use tnn_geom::{transitive_dist, Circle, Ellipse, Point, Rect};
     pub use tnn_rtree::{PackingAlgorithm, RTree, RTreeParams};
@@ -77,13 +98,11 @@ mod tests {
         let s = Arc::new(RTree::build(&pts, params.rtree_params(), PackingAlgorithm::Str).unwrap());
         let r = Arc::new(RTree::build(&pts, params.rtree_params(), PackingAlgorithm::Str).unwrap());
         let env = MultiChannelEnv::new(vec![s, r], params, &[0, 0]);
-        let run = run_query(
-            &env,
-            Point::new(25.0, 25.0),
-            0,
-            &TnnConfig::exact(Algorithm::DoubleNn),
-        )
-        .unwrap();
-        assert!(run.answer.is_some());
+        let engine = QueryEngine::new(env);
+        let outcome = engine
+            .run(&Query::tnn(Point::new(25.0, 25.0)).algorithm(Algorithm::DoubleNn))
+            .unwrap();
+        assert!(!outcome.failed());
+        assert_eq!(outcome.route.len(), 2);
     }
 }

@@ -101,7 +101,9 @@ fn larger_pages_reduce_tune_in_pages() {
         let st = Arc::new(RTree::build(&s, params.rtree_params(), PackingAlgorithm::Str).unwrap());
         let rt = Arc::new(RTree::build(&r, params.rtree_params(), PackingAlgorithm::Str).unwrap());
         let env = MultiChannelEnv::new(vec![st, rt], params, &[3, 33]);
-        let run = run_query(&env, q, 0, &TnnConfig::exact(Algorithm::DoubleNn)).unwrap();
+        let run = QueryEngine::new(env)
+            .run(&Query::tnn(q).algorithm(Algorithm::DoubleNn))
+            .unwrap();
         tune_ins.push(run.tune_in());
     }
     for w in tune_ins.windows(2) {

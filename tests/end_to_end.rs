@@ -1,6 +1,5 @@
 //! End-to-end integration tests spanning every crate: datasets → R-tree →
-//! broadcast program → query algorithms → metrics, on paper-shaped
-//! workloads.
+//! broadcast program → query engine → metrics, on paper-shaped workloads.
 
 use std::sync::Arc;
 use tnn::prelude::*;
@@ -13,25 +12,36 @@ fn env_from(s: &[Point], r: &[Point], cap: usize, phases: [u64; 2]) -> MultiChan
     MultiChannelEnv::new(vec![s_tree, r_tree], params, &phases)
 }
 
+fn engine_from(s: &[Point], r: &[Point], cap: usize, phases: [u64; 2]) -> QueryEngine {
+    QueryEngine::new(env_from(s, r, cap, phases))
+}
+
+fn oracle_dist(engine: &QueryEngine, q: Point) -> f64 {
+    exact_tnn(
+        q,
+        engine.env().channel(0).tree(),
+        engine.env().channel(1).tree(),
+    )
+    .dist
+}
+
 #[test]
 fn all_exact_algorithms_agree_with_oracle_on_paper_workload() {
     // UNIF(-6.2) × UNIF(-5.8): 960 × 2,411 points, the paper's region.
-    let env = env_from(&unif(-6.2, 1), &unif(-5.8, 2), 64, [123, 456_789]);
+    let engine = engine_from(&unif(-6.2, 1), &unif(-5.8, 2), 64, [123, 456_789]);
     let queries = uniform_points(25, &paper_region(), 42);
     for (i, &q) in queries.iter().enumerate() {
-        let oracle = exact_tnn(q, env.channel(0).tree(), env.channel(1).tree());
+        let oracle = oracle_dist(&engine, q);
         for alg in [
             Algorithm::WindowBased,
             Algorithm::DoubleNn,
             Algorithm::HybridNn,
         ] {
-            let run = run_query(&env, q, i as u64 * 1_000, &TnnConfig::exact(alg)).unwrap();
-            let got = run.answer.unwrap();
-            assert!(
-                (got.dist - oracle.dist).abs() < 1e-6,
-                "{} query {q:?}",
-                alg.name()
-            );
+            let run = engine
+                .run(&Query::tnn(q).algorithm(alg).issued_at(i as u64 * 1_000))
+                .unwrap();
+            let got = run.total_dist.unwrap();
+            assert!((got - oracle).abs() < 1e-6, "{} query {q:?}", alg.name());
         }
     }
 }
@@ -39,29 +49,33 @@ fn all_exact_algorithms_agree_with_oracle_on_paper_workload() {
 #[test]
 fn skewed_data_never_breaks_exact_algorithms() {
     let city = city_like(7);
-    let env = env_from(&city, &unif(-5.8, 3), 64, [0, 777]);
+    let engine = engine_from(&city, &unif(-5.8, 3), 64, [0, 777]);
     let queries = uniform_points(15, &paper_region(), 99);
     for &q in &queries {
-        let oracle = exact_tnn(q, env.channel(0).tree(), env.channel(1).tree());
-        let run = run_query(&env, q, 0, &TnnConfig::exact(Algorithm::HybridNn)).unwrap();
-        assert!((run.answer.unwrap().dist - oracle.dist).abs() < 1e-6);
+        let oracle = oracle_dist(&engine, q);
+        let run = engine
+            .run(&Query::tnn(q).algorithm(Algorithm::HybridNn))
+            .unwrap();
+        assert!((run.total_dist.unwrap() - oracle).abs() < 1e-6);
     }
 }
 
 #[test]
 fn ann_is_transparent_to_answers_across_page_capacities() {
     for cap in [64usize, 128, 256, 512] {
-        let env = env_from(&unif(-6.2, 4), &unif(-6.2, 5), cap, [11, 22]);
+        let engine = engine_from(&unif(-6.2, 4), &unif(-6.2, 5), cap, [11, 22]);
         let queries = uniform_points(10, &paper_region(), cap as u64);
         for &q in &queries {
-            let oracle = exact_tnn(q, env.channel(0).tree(), env.channel(1).tree());
+            let oracle = oracle_dist(&engine, q);
             let m = AnnMode::Dynamic { factor: 0.05 };
-            let cfg = TnnConfig::exact(Algorithm::DoubleNn).with_ann(m, m);
-            let run = run_query(&env, q, 0, &cfg).unwrap();
-            assert!(
-                (run.answer.unwrap().dist - oracle.dist).abs() < 1e-6,
-                "cap {cap}"
-            );
+            let run = engine
+                .run(
+                    &Query::tnn(q)
+                        .algorithm(Algorithm::DoubleNn)
+                        .ann_modes(&[m, m]),
+                )
+                .unwrap();
+            assert!((run.total_dist.unwrap() - oracle).abs() < 1e-6, "cap {cap}");
         }
     }
 }
@@ -76,14 +90,18 @@ fn metamorphic_scaling_scales_distances() {
     let s_scaled: Vec<Point> = s.iter().map(|p| Point::new(p.x * k, p.y * k)).collect();
     let r_scaled: Vec<Point> = r.iter().map(|p| Point::new(p.x * k, p.y * k)).collect();
 
-    let env_a = env_from(&s, &r, 64, [5, 9]);
-    let env_b = env_from(&s_scaled, &r_scaled, 64, [5, 9]);
+    let engine_a = engine_from(&s, &r, 64, [5, 9]);
+    let engine_b = engine_from(&s_scaled, &r_scaled, 64, [5, 9]);
     let q = Point::new(400.0, 600.0);
     let q_scaled = Point::new(q.x * k, q.y * k);
 
-    let run_a = run_query(&env_a, q, 0, &TnnConfig::exact(Algorithm::HybridNn)).unwrap();
-    let run_b = run_query(&env_b, q_scaled, 0, &TnnConfig::exact(Algorithm::HybridNn)).unwrap();
-    let (a, b) = (run_a.answer.unwrap(), run_b.answer.unwrap());
+    let run_a = engine_a
+        .run(&Query::tnn(q).algorithm(Algorithm::HybridNn))
+        .unwrap();
+    let run_b = engine_b
+        .run(&Query::tnn(q_scaled).algorithm(Algorithm::HybridNn))
+        .unwrap();
+    let (a, b) = (run_a.tnn_pair().unwrap(), run_b.tnn_pair().unwrap());
     assert!((a.dist * k - b.dist).abs() < 1e-6);
     assert_eq!(a.s.1, b.s.1);
     assert_eq!(a.r.1, b.r.1);
@@ -91,15 +109,17 @@ fn metamorphic_scaling_scales_distances() {
 
 #[test]
 fn metamorphic_phases_change_costs_not_answers() {
-    let s = unif(-6.2, 8);
-    let r = unif(-6.2, 9);
+    // One engine, per-query phase overlays: the answers must be
+    // phase-independent while the costs are not.
+    let engine = engine_from(&unif(-6.2, 8), &unif(-6.2, 9), 64, [0, 0]);
     let q = Point::new(20_000.0, 18_000.0);
     let mut answers = Vec::new();
     let mut costs = Vec::new();
     for phases in [[0u64, 0], [1_000, 2_000], [77_777, 3], [500, 123_456]] {
-        let env = env_from(&s, &r, 64, phases);
-        let run = run_query(&env, q, 0, &TnnConfig::exact(Algorithm::DoubleNn)).unwrap();
-        answers.push(run.answer.unwrap().dist);
+        let run = engine
+            .run(&Query::tnn(q).algorithm(Algorithm::DoubleNn).phases(&phases))
+            .unwrap();
+        answers.push(run.total_dist.unwrap());
         costs.push(run.access_time());
     }
     for w in answers.windows(2) {
@@ -116,13 +136,17 @@ fn tune_in_grows_with_search_radius() {
     // The filter phase must retrieve more pages for larger radii:
     // compare Double-NN (larger radius by construction) with
     // Window-Based on a workload where the difference is material.
-    let env = env_from(&unif(-7.0, 10), &unif(-5.0, 11), 64, [31, 41]);
+    let engine = engine_from(&unif(-7.0, 10), &unif(-5.0, 11), 64, [31, 41]);
     let queries = uniform_points(30, &paper_region(), 5);
     let mut double_filter = 0u64;
     let mut window_filter = 0u64;
     for &q in &queries {
-        let d = run_query(&env, q, 0, &TnnConfig::exact(Algorithm::DoubleNn)).unwrap();
-        let w = run_query(&env, q, 0, &TnnConfig::exact(Algorithm::WindowBased)).unwrap();
+        let d = engine
+            .run(&Query::tnn(q).algorithm(Algorithm::DoubleNn))
+            .unwrap();
+        let w = engine
+            .run(&Query::tnn(q).algorithm(Algorithm::WindowBased))
+            .unwrap();
         assert!(d.search_radius >= w.search_radius - 1e-9);
         double_filter += d.tune_in_filter();
         window_filter += w.tune_in_filter();
@@ -134,13 +158,19 @@ fn tune_in_grows_with_search_radius() {
 fn double_and_hybrid_share_access_time_windows_differs() {
     // §6.1.1: "Double-NN and Hybrid-NN algorithms always have the same
     // access time" (up to hybrid finishing early after pruning).
-    let env = env_from(&unif(-5.8, 12), &unif(-5.8, 13), 64, [900, 8_100]);
+    let engine = engine_from(&unif(-5.8, 12), &unif(-5.8, 13), 64, [900, 8_100]);
     let queries = uniform_points(20, &paper_region(), 17);
     for &q in &queries {
-        let d = run_query(&env, q, 0, &TnnConfig::exact(Algorithm::DoubleNn)).unwrap();
-        let h = run_query(&env, q, 0, &TnnConfig::exact(Algorithm::HybridNn)).unwrap();
+        let d = engine
+            .run(&Query::tnn(q).algorithm(Algorithm::DoubleNn))
+            .unwrap();
+        let h = engine
+            .run(&Query::tnn(q).algorithm(Algorithm::HybridNn))
+            .unwrap();
         assert!(h.access_time() <= d.access_time());
-        let w = run_query(&env, q, 0, &TnnConfig::exact(Algorithm::WindowBased)).unwrap();
+        let w = engine
+            .run(&Query::tnn(q).algorithm(Algorithm::WindowBased))
+            .unwrap();
         assert!(w.access_time() >= d.access_time());
     }
 }
@@ -150,7 +180,7 @@ fn failure_injection_degenerate_datasets() {
     // Single points, duplicated points, far-away queries.
     let s = vec![Point::new(10.0, 10.0)];
     let r = vec![Point::new(20.0, 10.0); 25]; // 25 duplicates
-    let env = env_from(&s, &r, 64, [2, 3]);
+    let engine = engine_from(&s, &r, 64, [2, 3]);
     for q in [
         Point::new(0.0, 0.0),
         Point::new(1e6, -1e6),
@@ -161,24 +191,20 @@ fn failure_injection_degenerate_datasets() {
             Algorithm::DoubleNn,
             Algorithm::HybridNn,
         ] {
-            let run = run_query(&env, q, 0, &TnnConfig::exact(alg)).unwrap();
-            let got = run.answer.unwrap();
+            let run = engine.run(&Query::tnn(q).algorithm(alg)).unwrap();
+            let got = run.total_dist.unwrap();
             let expect = q.dist(Point::new(10.0, 10.0)) + 10.0;
-            assert!((got.dist - expect).abs() < 1e-9, "{} at {q:?}", alg.name());
+            assert!((got - expect).abs() < 1e-9, "{} at {q:?}", alg.name());
         }
     }
 }
 
 #[test]
 fn non_finite_queries_are_rejected() {
-    let env = env_from(&unif(-7.0, 14), &unif(-7.0, 15), 64, [0, 0]);
-    let err = run_query(
-        &env,
-        Point::new(f64::NAN, 1.0),
-        0,
-        &TnnConfig::exact(Algorithm::DoubleNn),
-    )
-    .unwrap_err();
+    let engine = engine_from(&unif(-7.0, 14), &unif(-7.0, 15), 64, [0, 0]);
+    let err = engine
+        .run(&Query::tnn(Point::new(f64::NAN, 1.0)).algorithm(Algorithm::DoubleNn))
+        .unwrap_err();
     assert_eq!(err, tnn_core::TnnError::NonFiniteQuery);
 }
 
@@ -193,14 +219,10 @@ fn wrong_channel_count_is_rejected() {
         )
         .unwrap(),
     );
-    let env = MultiChannelEnv::new(vec![t], params, &[0]);
-    let err = run_query(
-        &env,
-        Point::new(1.0, 1.0),
-        0,
-        &TnnConfig::exact(Algorithm::DoubleNn),
-    )
-    .unwrap_err();
+    let engine = QueryEngine::new(MultiChannelEnv::new(vec![t], params, &[0]));
+    let err = engine
+        .run(&Query::tnn(Point::new(1.0, 1.0)).algorithm(Algorithm::DoubleNn))
+        .unwrap_err();
     assert!(matches!(
         err,
         tnn_core::TnnError::WrongChannelCount {
@@ -212,19 +234,49 @@ fn wrong_channel_count_is_rejected() {
 
 #[test]
 fn retrieval_toggle_only_affects_costs() {
-    let env = env_from(&unif(-6.2, 17), &unif(-6.2, 18), 64, [7, 70]);
+    let engine = engine_from(&unif(-6.2, 17), &unif(-6.2, 18), 64, [7, 70]);
     let q = Point::new(15_000.0, 22_000.0);
-    let mut with = TnnConfig::exact(Algorithm::DoubleNn);
-    with.retrieve_answer_objects = true;
-    let mut without = with;
-    without.retrieve_answer_objects = false;
-    let run_with = run_query(&env, q, 0, &with).unwrap();
-    let run_without = run_query(&env, q, 0, &without).unwrap();
+    let base = Query::tnn(q).algorithm(Algorithm::DoubleNn);
+    let run_with = engine
+        .run(&base.clone().retrieve_answer_objects(true))
+        .unwrap();
+    let run_without = engine.run(&base.retrieve_answer_objects(false)).unwrap();
     assert_eq!(
-        run_with.answer.unwrap().dist,
-        run_without.answer.unwrap().dist
+        run_with.total_dist.unwrap(),
+        run_without.total_dist.unwrap()
     );
     // 16 data pages per object on 64-byte pages, two objects.
     assert_eq!(run_with.tune_in() - run_without.tune_in(), 32);
     assert!(run_with.access_time() >= run_without.access_time());
+}
+
+/// The deprecated pre-engine wrappers must stay functional for one
+/// release and agree with the engine bit-for-bit.
+#[test]
+#[allow(deprecated)]
+fn legacy_wrappers_agree_with_engine() {
+    let env = env_from(&unif(-6.2, 19), &unif(-6.2, 20), 64, [44, 5_555]);
+    let engine = QueryEngine::new(env.clone());
+    let q = Point::new(12_345.0, 23_456.0);
+
+    let legacy = run_query(&env, q, 3, &TnnConfig::exact(Algorithm::HybridNn)).unwrap();
+    let modern = engine
+        .run(&Query::tnn(q).algorithm(Algorithm::HybridNn).issued_at(3))
+        .unwrap();
+    assert_eq!(modern.tnn_pair(), legacy.answer);
+    assert_eq!(modern.access_time(), legacy.access_time());
+    assert_eq!(modern.tune_in(), legacy.tune_in());
+
+    let legacy_chain = chain_tnn(&env, q, 0, AnnMode::Exact, true).unwrap();
+    let modern_chain = engine.run(&Query::chain(q)).unwrap();
+    assert_eq!(modern_chain.total_dist, Some(legacy_chain.total_dist));
+    assert_eq!(modern_chain.tune_in(), legacy_chain.tune_in());
+
+    let legacy_free = order_free_tnn(&env, q, 0, AnnMode::Exact, true).unwrap();
+    let modern_free = engine.run(&Query::order_free(q)).unwrap();
+    assert_eq!(modern_free.total_dist, Some(legacy_free.total_dist));
+
+    let legacy_tour = round_trip_tnn(&env, q, 0, AnnMode::Exact, true).unwrap();
+    let modern_tour = engine.run(&Query::round_trip(q)).unwrap();
+    assert_eq!(modern_tour.total_dist, Some(legacy_tour.total_dist));
 }
