@@ -15,7 +15,7 @@ use tnn_bench::{fixture_tree, write_bench_json, BenchRecord};
 use tnn_broadcast::BroadcastParams;
 use tnn_core::{Algorithm, TnnConfig};
 use tnn_datasets::paper_region;
-use tnn_sim::{run_batch, run_batch_linear, BatchConfig, BatchStats};
+use tnn_sim::{run_batch, run_batch_linear, run_tnn_batch, BatchConfig, BatchStats};
 
 /// Interleaved min-of-`reps` timing: alternating the two sides per rep
 /// cancels slow drift (shared single-core containers are noisy), and the
@@ -70,7 +70,7 @@ fn main() {
     }
     let speedup = linear_ns / heap_ns;
 
-    let records = vec![
+    let mut records = vec![
         BenchRecord {
             id: format!("queue/double_nn_10k_{queries}q/heap"),
             ns_per_iter: heap_ns,
@@ -82,19 +82,62 @@ fn main() {
             iters: reps,
         },
     ];
+    let mut extras = vec![
+        ("speedup_heap_vs_linear", speedup),
+        ("mean_access_pages", heap_stats.mean_access),
+        ("mean_tune_in_pages", heap_stats.mean_tune_in),
+    ];
+
+    // Channel-count axis: Hybrid-NN batch throughput over k = 2, 3, 4
+    // channels (the k-ary core generalization), 10k points per channel.
+    let mut k_throughput = Vec::new();
+    for k in [2usize, 3, 4] {
+        let trees: Vec<_> = (0..k)
+            .map(|i| fixture_tree(10_000, 10 + i as u64))
+            .collect();
+        let cfg = BatchConfig {
+            params: BroadcastParams::new(64),
+            tnn: TnnConfig::exact_for(Algorithm::HybridNn, k),
+            queries,
+            seed: 0xF19 + k as u64,
+            check_oracle: false,
+        };
+        // Warm-up, then min-of-reps.
+        std::hint::black_box(run_tnn_batch(&trees, &region, &cfg));
+        let mut best = f64::INFINITY;
+        for rep in 0..reps {
+            let t0 = Instant::now();
+            std::hint::black_box(run_tnn_batch(&trees, &region, &cfg));
+            let ns = t0.elapsed().as_nanos() as f64;
+            eprintln!("perf-baseline: k={k} rep {rep}: {:.1} ms", ns / 1e6);
+            best = best.min(ns);
+        }
+        let qps = queries as f64 / (best / 1e9);
+        k_throughput.push((k, best, qps));
+        records.push(BenchRecord {
+            id: format!("channels/hybrid_nn_10k_{queries}q/k{k}"),
+            ns_per_iter: best,
+            iters: reps,
+        });
+    }
+    let extra_qps: Vec<(String, f64)> = k_throughput
+        .iter()
+        .map(|&(k, _, qps)| (format!("k{k}_hybrid_queries_per_sec"), qps))
+        .collect();
+    for (name, value) in &extra_qps {
+        extras.push((name.as_str(), *value));
+    }
+
     let path = std::path::PathBuf::from(format!("BENCH_{tag}.json"));
     write_bench_json(
         &path,
         &tag,
         &format!(
-            "DoubleNn, {queries} queries/batch, 10k x 10k uniform points, page 64, paper region"
+            "DoubleNn heap-vs-linear + HybridNn k=2/3/4 channel batches, {queries} queries/batch, \
+             10k uniform points per channel, page 64, paper region"
         ),
         &records,
-        &[
-            ("speedup_heap_vs_linear", speedup),
-            ("mean_access_pages", heap_stats.mean_access),
-            ("mean_tune_in_pages", heap_stats.mean_tune_in),
-        ],
+        &extras,
     )
     .expect("write BENCH json");
 
@@ -103,5 +146,8 @@ fn main() {
         heap_ns / 1e6,
         linear_ns / 1e6
     );
+    for &(k, ns, qps) in &k_throughput {
+        println!("k={k}: {:.1} ms/batch ({qps:.0} queries/s)", ns / 1e6);
+    }
     println!("wrote {}", path.display());
 }

@@ -1,16 +1,22 @@
-//! Double-NN-Search (paper §4.1, Algorithm 1).
+//! Double-NN-Search (paper §4.1, Algorithm 1), generalized to `k ≥ 2`
+//! channels.
 //!
-//! Both nearest-neighbor queries run from the query point `p` **in
+//! All `k` nearest-neighbor queries run from the query point `p` **in
 //! parallel**, starting "at the earliest opportunity, i.e., as soon as the
-//! index roots appear in the two channels". The radius is
-//! `d = dis(p, s) + dis(s, r)` with `s = p.NN(S)` and `r = p.NN(R)` —
-//! a feasible pair, so Theorem 1 guarantees the filter range contains the
-//! answer.
+//! index roots appear in the channels". The radius is the feasible chain
+//! through the per-channel NNs `nᵢ = p.NN(Sᵢ)`:
+//! `d = dis(p, n₁) + Σ dis(nᵢ, nᵢ₊₁)` — Theorem 1 generalizes by the
+//! triangle inequality (every member of the optimal chain lies within the
+//! chain total, hence within `d`, of `p`), so the filter range contains
+//! the answer. For `k = 2` this is exactly Algorithm 1's
+//! `d = dis(p, s) + dis(s, r)` with `s = p.NN(S)`, `r = p.NN(R)`.
 
-use super::{run_parallel, Estimate, QueryScratch};
+use super::{
+    chain_length, harvest_searches, run_interleaved, spawn_parallel_searches, Estimate,
+    QueryScratch,
+};
 use crate::task::queue::CandidateQueue;
-use crate::task::BroadcastNnSearch;
-use crate::{SearchMode, TnnConfig};
+use crate::{TnnConfig, TnnError};
 use tnn_broadcast::PhaseOverlay;
 use tnn_geom::Point;
 
@@ -20,37 +26,19 @@ pub(crate) fn estimate<Q: CandidateQueue>(
     issued_at: u64,
     cfg: &TnnConfig,
     scratch: &mut QueryScratch<Q>,
-) -> Estimate {
-    let (s0, s1) = scratch.nn_pair();
-    let mut a = BroadcastNnSearch::with_scratch(
-        overlay.view(0),
-        SearchMode::Point { q: p },
-        cfg.ann[0],
-        issued_at,
-        s0,
-    );
-    let mut b = BroadcastNnSearch::with_scratch(
-        overlay.view(1),
-        SearchMode::Point { q: p },
-        cfg.ann[1],
-        issued_at,
-        s1,
-    );
+) -> Result<Estimate, TnnError> {
+    let k = overlay.len();
+    let mut tasks =
+        spawn_parallel_searches(overlay, p, issued_at, |i| cfg.ann[i], scratch.nn_slice(k));
     // No re-targeting: the completion hook is a no-op.
-    run_parallel(&mut a, &mut b, |_, _, _, _| {});
-
-    let (s_pt, _, _) = a.best().expect("non-empty S");
-    let (r_pt, _, _) = b.best().expect("non-empty R");
-
-    let est = Estimate {
-        // Algorithm 1 line 4: d ← dis(p, s) + dis(s, r), with r = p.NN(R).
-        radius: p.dist(s_pt) + s_pt.dist(r_pt),
-        tuners: [*a.tuner(), *b.tuner()],
-        end: a.now().max(b.now()),
-    };
-    a.recycle(s0);
-    b.recycle(s1);
-    est
+    run_interleaved(&mut tasks, |_, _, _, _| {});
+    let (nns, tuners, end) = harvest_searches(tasks, scratch.nn_slice(k))?;
+    Ok(Estimate {
+        // Algorithm 1 line 4, k-ary: d ← dis(p, n₁) + Σ dis(nᵢ, nᵢ₊₁).
+        radius: chain_length(p, nns.iter().map(|&(pt, _)| pt)),
+        tuners,
+        end,
+    })
 }
 
 #[cfg(test)]
@@ -76,6 +64,17 @@ mod tests {
         MultiChannelEnv::new(vec![Arc::new(ts), Arc::new(tr)], params, &phases)
     }
 
+    fn env_k(layers: &[Vec<Point>], phases: &[u64]) -> MultiChannelEnv {
+        let params = BroadcastParams::new(64);
+        let trees = layers
+            .iter()
+            .map(|pts| {
+                Arc::new(RTree::build(pts, params.rtree_params(), PackingAlgorithm::Str).unwrap())
+            })
+            .collect();
+        MultiChannelEnv::new(trees, params, phases)
+    }
+
     fn grid(n: usize, salt: usize) -> Vec<Point> {
         (0..n)
             .map(|i| {
@@ -99,7 +98,8 @@ mod tests {
             0,
             &TnnConfig::exact(Algorithm::DoubleNn),
             &mut fresh(),
-        );
+        )
+        .unwrap();
         let s_star = s
             .iter()
             .min_by(|a, b| p.dist(**a).total_cmp(&p.dist(**b)))
@@ -110,6 +110,33 @@ mod tests {
             .unwrap();
         let expect = p.dist(*s_star) + s_star.dist(*r_star);
         assert!((est.radius - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn k_ary_radius_is_chain_through_per_channel_nns() {
+        let layers = vec![grid(90, 0), grid(110, 7), grid(70, 19)];
+        let e = env_k(&layers, &[3, 17, 91]);
+        let p = Point::new(120.0, 90.0);
+        let est = estimate(
+            &ov(&e),
+            p,
+            0,
+            &TnnConfig::exact_for(Algorithm::DoubleNn, 3),
+            &mut fresh(),
+        )
+        .unwrap();
+        let mut expect = 0.0;
+        let mut prev = p;
+        for layer in &layers {
+            let nn = layer
+                .iter()
+                .min_by(|a, b| p.dist(**a).total_cmp(&p.dist(**b)))
+                .unwrap();
+            expect += prev.dist(*nn);
+            prev = *nn;
+        }
+        assert!((est.radius - expect).abs() < 1e-9);
+        assert_eq!(est.tuners.len(), 3);
     }
 
     #[test]
@@ -128,6 +155,7 @@ mod tests {
                 &TnnConfig::exact(Algorithm::DoubleNn),
                 &mut fresh(),
             )
+            .unwrap()
             .radius;
             let d_win = super::super::window_based::estimate(
                 &ov(&e),
@@ -136,6 +164,7 @@ mod tests {
                 &TnnConfig::exact(Algorithm::WindowBased),
                 &mut fresh(),
             )
+            .unwrap()
             .radius;
             assert!(d_dbl >= d_win - 1e-9);
         }
@@ -156,7 +185,7 @@ mod tests {
                 &mut fresh(),
             )
             .unwrap();
-            let got = run.answer.expect("double-NN never fails");
+            let got = run.answer().expect("double-NN never fails");
             let oracle = crate::exact_tnn(p, e.channel(0).tree(), e.channel(1).tree());
             assert!(
                 (got.dist - oracle.dist).abs() < 1e-9,
@@ -165,6 +194,27 @@ mod tests {
                 oracle.dist
             );
         }
+    }
+
+    #[test]
+    fn three_channel_run_matches_chain_oracle() {
+        let layers = vec![grid(80, 1), grid(60, 9), grid(100, 21)];
+        let e = env_k(&layers, &[5, 55, 555]);
+        let p = Point::new(100.0, 100.0);
+        let run = crate::run_query_impl(
+            &e,
+            p,
+            0,
+            &TnnConfig::exact_for(Algorithm::DoubleNn, 3),
+            &mut fresh(),
+        )
+        .unwrap();
+        let trees: Vec<&RTree> = e.channels().iter().map(|c| c.tree()).collect();
+        let (_, oracle_total) = crate::exact_chain_tnn(p, &trees);
+        assert!((run.total_dist.unwrap() - oracle_total).abs() < 1e-9);
+        assert_eq!(run.route.len(), 3);
+        assert_eq!(run.channels.len(), 3);
+        assert_eq!(run.candidates.len(), 3);
     }
 
     #[test]
@@ -182,7 +232,8 @@ mod tests {
             0,
             &TnnConfig::exact(Algorithm::DoubleNn),
             &mut fresh(),
-        );
+        )
+        .unwrap();
         let bucket0 = e.channel(0).layout().bucket_len();
         let bucket1 = e.channel(1).layout().bucket_len();
         // First download on each channel happens within its first bucket

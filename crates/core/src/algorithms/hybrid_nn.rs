@@ -1,25 +1,36 @@
-//! Hybrid-NN-Search (paper §4.2, Algorithm 2).
+//! Hybrid-NN-Search (paper §4.2, Algorithm 2), generalized to `k ≥ 2`
+//! channels.
 //!
-//! Starts exactly like Double-NN (case 1: both searches from `p` in
-//! parallel). When one channel's search finishes while the other still
-//! runs, the survivor is re-targeted to shrink the search range:
+//! Starts exactly like Double-NN (case 1: all `k` searches from `p` in
+//! parallel). Whenever one hop's search finishes while others still run,
+//! the finisher re-targets its still-running **neighbor hops** to shrink
+//! their search ranges:
 //!
-//! * **Case 2** — the `S` search finishes first with `s = p.NN(S)`: the
-//!   `R` search switches its query point from `p` to `s`, finding the
-//!   neighbor of `s` on the remaining portion of `R`'s tree.
-//! * **Case 3** — the `R` search finishes first with `r = p.NN(R)`: the
-//!   `S` search switches to the transitive metric, branch-and-bounding
-//!   with `MinTransDist` / `MinMaxTransDist` to find the `s ∈ S`
-//!   minimizing `dis(p, s) + dis(s, r)` on the remaining portion.
+//! * **Case 2, downstream** — hop `i` finishes with `nᵢ`: the hop `i+1`
+//!   search re-anchors at `nᵢ` (its query point switches from `p` to
+//!   `nᵢ`, or — when a later hop already re-targeted it to the
+//!   transitive metric — its source focus moves to `nᵢ`), finding the
+//!   neighbor of `nᵢ` on the remaining portion of channel `i+1`'s tree.
+//! * **Case 3, upstream** — hop `i` finishes with `nᵢ`: the hop `i−1`
+//!   search switches to the transitive metric, branch-and-bounding with
+//!   `MinTransDist` / `MinMaxTransDist` to find the point minimizing
+//!   `dis(a, s) + dis(s, nᵢ)` on the remaining portion, where `a` is the
+//!   hop's current anchor (`p`, or the upstream result that case 2
+//!   already re-anchored it to).
 //!
-//! Either way the estimate ends with a feasible pair `(s, r)` and radius
-//! `d = dis(p, s) + dis(s, r)`; delayed pruning (§4.2.4) guarantees the
-//! re-targeted search still has every candidate it needs.
+//! For `k = 2` exactly one switch can fire and the two rules are the
+//! paper's case 2 / case 3 verbatim. Either way the estimate ends with a
+//! feasible chain through the hops' final results and radius
+//! `d = dis(p, n₁) + Σ dis(nᵢ, nᵢ₊₁)`; delayed pruning (§4.2.4)
+//! guarantees every re-targeted search still has every candidate it
+//! needs, per hop.
 
-use super::{run_parallel, Estimate, QueryScratch};
+use super::{
+    chain_length, harvest_searches, run_interleaved, spawn_parallel_searches, Estimate,
+    QueryScratch,
+};
 use crate::task::queue::CandidateQueue;
-use crate::task::BroadcastNnSearch;
-use crate::{SearchMode, TnnConfig};
+use crate::{SearchMode, TnnConfig, TnnError};
 use tnn_broadcast::PhaseOverlay;
 use tnn_geom::Point;
 
@@ -29,50 +40,35 @@ pub(crate) fn estimate<Q: CandidateQueue>(
     issued_at: u64,
     cfg: &TnnConfig,
     scratch: &mut QueryScratch<Q>,
-) -> Estimate {
-    let (s0, s1) = scratch.nn_pair();
-    let mut a = BroadcastNnSearch::with_scratch(
-        overlay.view(0),
-        SearchMode::Point { q: p },
-        cfg.ann[0],
-        issued_at,
-        s0,
-    );
-    let mut b = BroadcastNnSearch::with_scratch(
-        overlay.view(1),
-        SearchMode::Point { q: p },
-        cfg.ann[1],
-        issued_at,
-        s1,
-    );
-    run_parallel(&mut a, &mut b, |which, finished_best, at, other| {
-        match which {
-            // Case 2: S finished first — switch R's query point to s.
-            0 => {
-                if let Some((s_pt, _, _)) = finished_best {
-                    other.switch_query_point(s_pt, at);
-                }
-            }
-            // Case 3: R finished first — switch S to the transitive metric.
-            _ => {
-                if let Some((r_pt, _, _)) = finished_best {
-                    other.switch_to_transitive(p, r_pt, at);
-                }
+) -> Result<Estimate, TnnError> {
+    let k = overlay.len();
+    let mut tasks =
+        spawn_parallel_searches(overlay, p, issued_at, |i| cfg.ann[i], scratch.nn_slice(k));
+    run_interleaved(&mut tasks, |i, finished_best, at, tasks| {
+        let Some((n_i, _, _)) = finished_best else {
+            return; // nothing to re-target around (caught as EmptyChannel later)
+        };
+        // Case 3: the upstream neighbor switches to the transitive metric
+        // through its current anchor and the finished hop's result.
+        if i > 0 && !tasks[i - 1].is_done() {
+            let anchor = tasks[i - 1].mode().anchor();
+            tasks[i - 1].switch_to_transitive(anchor, n_i, at);
+        }
+        // Case 2: the downstream neighbor re-anchors at the finished
+        // hop's result, keeping a transitive target if it has one.
+        if i + 1 < tasks.len() && !tasks[i + 1].is_done() {
+            match tasks[i + 1].mode() {
+                SearchMode::Point { .. } => tasks[i + 1].switch_query_point(n_i, at),
+                SearchMode::Transitive { r, .. } => tasks[i + 1].switch_to_transitive(n_i, r, at),
             }
         }
     });
-
-    let (s_pt, _, _) = a.best().expect("non-empty S");
-    let (r_pt, _, _) = b.best().expect("non-empty R");
-
-    let est = Estimate {
-        radius: p.dist(s_pt) + s_pt.dist(r_pt),
-        tuners: [*a.tuner(), *b.tuner()],
-        end: a.now().max(b.now()),
-    };
-    a.recycle(s0);
-    b.recycle(s1);
-    est
+    let (nns, tuners, end) = harvest_searches(tasks, scratch.nn_slice(k))?;
+    Ok(Estimate {
+        radius: chain_length(p, nns.iter().map(|&(pt, _)| pt)),
+        tuners,
+        end,
+    })
 }
 
 #[cfg(test)]
@@ -102,6 +98,17 @@ mod tests {
         MultiChannelEnv::new(vec![Arc::new(ts), Arc::new(tr)], params, &phases)
     }
 
+    fn env_k(layers: &[Vec<Point>], phases: &[u64]) -> MultiChannelEnv {
+        let params = BroadcastParams::new(64);
+        let trees = layers
+            .iter()
+            .map(|pts| {
+                Arc::new(RTree::build(pts, params.rtree_params(), PackingAlgorithm::Str).unwrap())
+            })
+            .collect();
+        MultiChannelEnv::new(trees, params, phases)
+    }
+
     fn grid(n: usize, salt: usize) -> Vec<Point> {
         (0..n)
             .map(|i| {
@@ -122,7 +129,7 @@ mod tests {
         for (px, py) in [(20.0, 20.0), (150.0, 100.0), (80.0, 210.0)] {
             let p = Point::new(px, py);
             let run = rq(&e, p, 2, &TnnConfig::exact(Algorithm::HybridNn));
-            let got = run.answer.expect("hybrid never fails");
+            let got = run.answer().expect("hybrid never fails");
             let oracle = crate::exact_tnn(p, e.channel(0).tree(), e.channel(1).tree());
             assert!(
                 (got.dist - oracle.dist).abs() < 1e-9,
@@ -142,13 +149,58 @@ mod tests {
         for (px, py) in [(10.0, 190.0), (130.0, 60.0)] {
             let p = Point::new(px, py);
             let run = rq(&e, p, 7, &TnnConfig::exact(Algorithm::HybridNn));
-            let got = run.answer.expect("hybrid never fails");
+            let got = run.answer().expect("hybrid never fails");
             let oracle = crate::exact_tnn(p, e.channel(0).tree(), e.channel(1).tree());
             assert!(
                 (got.dist - oracle.dist).abs() < 1e-9,
                 "case-3 query {p:?}: got {} expected {}",
                 got.dist,
                 oracle.dist
+            );
+        }
+    }
+
+    #[test]
+    fn three_channel_retargeting_stays_exact() {
+        // A tiny middle hop finishes first, re-targeting both neighbors
+        // (upstream goes transitive, downstream re-anchors); asymmetric
+        // outer hops then finish in either order. The answer must still
+        // match the chain oracle.
+        let layouts: [[usize; 3]; 3] = [[700, 20, 500], [25, 600, 700], [650, 550, 18]];
+        for (case, sizes) in layouts.iter().enumerate() {
+            let layers: Vec<Vec<Point>> = sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| grid(n, 3 * i + 1))
+                .collect();
+            let e = env_k(&layers, &[40, 3, 17]);
+            for (px, py) in [(10.0, 10.0), (140.0, 90.0)] {
+                let p = Point::new(px, py);
+                let run = rq(&e, p, 1, &TnnConfig::exact_for(Algorithm::HybridNn, 3));
+                let trees: Vec<&RTree> = e.channels().iter().map(|c| c.tree()).collect();
+                let (_, oracle_total) = crate::exact_chain_tnn(p, &trees);
+                let got = run.total_dist.expect("hybrid never fails");
+                assert!(
+                    (got - oracle_total).abs() < 1e-9,
+                    "case {case} query {p:?}: got {got} expected {oracle_total}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn four_channel_hybrid_matches_double_answers() {
+        // The re-targeting is a cost optimization; both algorithms must
+        // return the same (exact) chain totals at k = 4.
+        let layers: Vec<Vec<Point>> = (0..4).map(|i| grid(150 + 60 * i, 7 * i + 2)).collect();
+        let e = env_k(&layers, &[1, 22, 333, 4_444]);
+        for (px, py) in [(55.0, 66.0), (190.0, 20.0)] {
+            let p = Point::new(px, py);
+            let hybrid = rq(&e, p, 0, &TnnConfig::exact_for(Algorithm::HybridNn, 4));
+            let double = rq(&e, p, 0, &TnnConfig::exact_for(Algorithm::DoubleNn, 4));
+            assert!(
+                (hybrid.total_dist.unwrap() - double.total_dist.unwrap()).abs() < 1e-9,
+                "query {p:?}"
             );
         }
     }
@@ -167,14 +219,16 @@ mod tests {
             0,
             &TnnConfig::exact(Algorithm::HybridNn),
             &mut fresh(),
-        );
+        )
+        .unwrap();
         let d = super::super::double_nn::estimate(
             &ov(&e),
             p,
             0,
             &TnnConfig::exact(Algorithm::DoubleNn),
             &mut fresh(),
-        );
+        )
+        .unwrap();
         // Same estimate end (the paper: "Double-NN and Hybrid-NN always
         // have the same access time") — identical queues, possibly fewer
         // downloads for hybrid after the switch, but the same last
@@ -202,6 +256,7 @@ mod tests {
                 &TnnConfig::exact(Algorithm::HybridNn),
                 &mut fresh(),
             )
+            .unwrap()
             .radius;
             let d = super::super::double_nn::estimate(
                 &ov(&e),
@@ -210,6 +265,7 @@ mod tests {
                 &TnnConfig::exact(Algorithm::DoubleNn),
                 &mut fresh(),
             )
+            .unwrap()
             .radius;
             assert!(h <= d + 1e-9, "hybrid {h} > double {d} at {p:?}");
         }
@@ -228,7 +284,7 @@ mod tests {
             }; 2],
         );
         let run = rq(&e, p, 0, &cfg);
-        let got = run.answer.unwrap();
+        let got = run.answer().unwrap();
         let oracle = crate::exact_tnn(p, e.channel(0).tree(), e.channel(1).tree());
         assert!((got.dist - oracle.dist).abs() < 1e-9);
     }

@@ -1,33 +1,47 @@
-//! TNN variants from the paper's future-work list (§7):
+//! TNN variants from the paper's future-work list (§7), generalized to
+//! `k ≥ 2` channels:
 //!
 //! * **Order-free TNN** (item 2: "the visiting order of the types of
-//!   objects of interest is not specified"): find the better of
-//!   `p → s → r` and `p → r → s`.
+//!   objects of interest is not specified"): find the shortest route
+//!   visiting one object of every dataset in *any* order — for two
+//!   channels, the better of `p → s → r` and `p → r → s`.
 //! * **Round-trip TNN** (item 3: "a complete travel route, which includes
-//!   the route to return to the source point"): minimize the loop
-//!   `dis(p, s) + dis(s, r) + dis(r, p)`.
+//!   the route to return to the source point"): minimize the closed tour
+//!   `p → s₁ → … → s_k → p` in channel order.
 //!
 //! Both reuse the Double-NN estimate (parallel NN searches from `p` on
-//! both channels) and generalize Theorem 1:
+//! every channel) and generalize Theorem 1:
 //!
-//! * order-free: the winning chain's total `T*` is at most the better
-//!   feasible chain through the two NNs, and every member of the optimal
-//!   chain lies within `T*` of `p` — so `circle(p, d)` with
-//!   `d = min(d_sr, d_rs)` suffices;
-//! * round-trip: for any loop through `x`, the triangle inequality gives
-//!   `2·dis(p, x) ≤ loop length`, so `circle(p, d/2)` with `d` the
-//!   feasible NN loop suffices.
+//! * order-free: the winning route's total `T*` is at most the best
+//!   feasible chain through the per-channel NNs over all visit orders,
+//!   and every member of the optimal route lies within `T*` of `p` (its
+//!   prefix legs already cover the distance) — so `circle(p, d)` with
+//!   `d = min_σ chain(p, n_{σ(1)}, …, n_{σ(k)})` suffices;
+//! * round-trip: for any tour through `x`, the triangle inequality gives
+//!   `2·dis(p, x) ≤ tour length`, so `circle(p, d/2)` with `d` the
+//!   feasible NN tour suffices.
+//!
+//! The order-free join evaluates all `k!` visit orders over the candidate
+//! sets (each via the layered sweep join), so its local cost grows
+//! factorially with the channel count — fine for the broadcast scenarios'
+//! `k ≤ 4`, and the paper neglects local computation throughout.
 
-use super::{run_parallel, QueryScratch};
-use crate::task::queue::{ArrivalHeap, CandidateQueue};
-use crate::task::{BroadcastNnSearch, WindowQueryTask, WindowScratch};
-use crate::{AnnMode, AnnSpec, ChannelCost, SearchMode, TnnError, TnnPair};
+use super::{
+    chain_length, check_channels_non_empty, harvest_searches, run_interleaved,
+    spawn_parallel_searches, QueryScratch, TunerVec,
+};
+use crate::task::queue::CandidateQueue;
+use crate::task::{WindowQueryTask, WindowScratch};
+use crate::{
+    chain_join_with, chain_loop_join_with, tnn_join_with, AnnSpec, ChannelCost, JoinScratch,
+    TnnError, TnnPair,
+};
 use serde::{Deserialize, Serialize};
-use tnn_broadcast::{MultiChannelEnv, PhaseOverlay};
+use tnn_broadcast::{PhaseOverlay, Tuner};
 use tnn_geom::{Circle, Point};
 use tnn_rtree::ObjectId;
 
-/// Which dataset the order-free answer visits first.
+/// Which dataset a two-channel order-free answer visits first.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum VisitOrder {
     /// `p → s → r` (the plain TNN order).
@@ -36,14 +50,15 @@ pub enum VisitOrder {
     RFirst,
 }
 
-/// Outcome of an order-free or round-trip TNN query.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// Outcome of an order-free or round-trip TNN query over `k ≥ 2`
+/// channels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct VariantRun {
-    /// The first stop: `(point, object, channel index)`.
-    pub first: (Point, ObjectId, usize),
-    /// The second stop: `(point, object, channel index)`.
-    pub second: (Point, ObjectId, usize),
-    /// Total length of the route (one-way for order-free, full loop for
+    /// The route stops in **visit order**: `(point, object, channel)`.
+    /// Order-free routes may visit channels in any order; round-trip
+    /// routes visit them in channel order (the tour closes back at `p`).
+    pub stops: Vec<(Point, ObjectId, usize)>,
+    /// Total length of the route (one-way for order-free, full tour for
     /// round-trip).
     pub total_dist: f64,
     /// Filter radius used.
@@ -52,8 +67,8 @@ pub struct VariantRun {
     pub issued_at: u64,
     /// Slot at which the query finished.
     pub completed_at: u64,
-    /// Per-channel costs.
-    pub channels: [ChannelCost; 2],
+    /// Per-channel costs, in channel order.
+    pub channels: Vec<ChannelCost>,
 }
 
 impl VariantRun {
@@ -62,14 +77,14 @@ impl VariantRun {
         self.completed_at - self.issued_at
     }
 
-    /// Tune-in time in pages.
+    /// Tune-in time in pages (all channels).
     pub fn tune_in(&self) -> u64 {
         self.channels.iter().map(|c| c.total_pages()).sum()
     }
 
     /// The visit order (which channel is first).
     pub fn order(&self) -> VisitOrder {
-        if self.first.2 == 0 {
+        if self.stops.first().is_some_and(|s| s.2 == 0) {
             VisitOrder::SFirst
         } else {
             VisitOrder::RFirst
@@ -77,120 +92,98 @@ impl VariantRun {
     }
 }
 
-/// Shared estimate: parallel NN searches from `p` on both channels,
-/// returning the two NNs and the estimate costs.
-#[allow(clippy::type_complexity)]
-fn double_estimate<Q: CandidateQueue>(
-    overlay: &PhaseOverlay<'_>,
-    p: Point,
-    issued_at: u64,
-    ann: &AnnSpec,
-    scratch: &mut QueryScratch<Q>,
-) -> (
-    (Point, ObjectId),
-    (Point, ObjectId),
-    [tnn_broadcast::Tuner; 2],
-    u64,
-) {
-    let (s0, s1) = scratch.nn_pair();
-    let mut a = BroadcastNnSearch::with_scratch(
-        overlay.view(0),
-        SearchMode::Point { q: p },
-        ann.mode(0),
-        issued_at,
-        s0,
-    );
-    let mut b = BroadcastNnSearch::with_scratch(
-        overlay.view(1),
-        SearchMode::Point { q: p },
-        ann.mode(1),
-        issued_at,
-        s1,
-    );
-    run_parallel(&mut a, &mut b, |_, _, _, _| {});
-    let (s_pt, s_id, _) = a.best().expect("non-empty S");
-    let (r_pt, r_id, _) = b.best().expect("non-empty R");
-    let out = (
-        (s_pt, s_id),
-        (r_pt, r_id),
-        [*a.tuner(), *b.tuner()],
-        a.now().max(b.now()),
-    );
-    a.recycle(s0);
-    b.recycle(s1);
-    out
-}
-
 fn validate(overlay: &PhaseOverlay<'_>, p: Point, ann: &AnnSpec) -> Result<(), TnnError> {
-    if overlay.len() != 2 {
+    let k = overlay.len();
+    if k < 2 {
         return Err(TnnError::WrongChannelCount {
             needed: 2,
-            available: overlay.len(),
+            available: k,
         });
     }
     if !p.is_finite() {
         return Err(TnnError::NonFiniteQuery);
     }
-    ann.check_channels(2);
-    Ok(())
+    ann.check_channels(k);
+    check_channels_non_empty(overlay)
 }
 
-/// Runs both filter windows out of the caller's scratch buffers and
-/// returns the completed tasks (the joins read the hit lists in place;
-/// recycle the tasks when done) plus the filter finish time.
+/// Shared estimate: parallel NN searches from `p` on every channel,
+/// returning the per-channel NN points with their estimate costs.
+#[allow(clippy::type_complexity)]
+fn parallel_estimate<Q: CandidateQueue>(
+    overlay: &PhaseOverlay<'_>,
+    p: Point,
+    issued_at: u64,
+    ann: &AnnSpec,
+    scratch: &mut QueryScratch<Q>,
+) -> Result<(Vec<(Point, ObjectId)>, TunerVec, u64), TnnError> {
+    let k = overlay.len();
+    let mut tasks =
+        spawn_parallel_searches(overlay, p, issued_at, |i| ann.mode(i), scratch.nn_slice(k));
+    run_interleaved(&mut tasks, |_, _, _, _| {});
+    harvest_searches(tasks, scratch.nn_slice(k))
+}
+
+/// Runs the filter windows on every channel out of the caller's scratch
+/// buffers and returns the completed tasks (the joins read the hit lists
+/// in place; recycle the tasks when done) plus the filter finish time.
 fn filter<'a>(
     overlay: &PhaseOverlay<'a>,
     range: Circle,
     start: u64,
-    w0_scratch: &mut WindowScratch,
-    w1_scratch: &mut WindowScratch,
-) -> (WindowQueryTask<'a>, WindowQueryTask<'a>, u64) {
-    let mut w0 = WindowQueryTask::with_scratch(overlay.view(0), range, start, w0_scratch);
-    let f0 = w0.run_to_completion();
-    let mut w1 = WindowQueryTask::with_scratch(overlay.view(1), range, start, w1_scratch);
-    let f1 = w1.run_to_completion();
-    let end = f0.max(f1);
-    (w0, w1, end)
+    window: &mut [WindowScratch],
+) -> (Vec<WindowQueryTask<'a>>, u64) {
+    let mut tasks = Vec::with_capacity(overlay.len());
+    let mut end = start;
+    for (i, w_scratch) in window.iter_mut().take(overlay.len()).enumerate() {
+        let mut w = WindowQueryTask::with_scratch(overlay.view(i), range, start, w_scratch);
+        end = end.max(w.run_to_completion());
+        tasks.push(w);
+    }
+    (tasks, end)
 }
 
+/// Per-channel cost assembly shared by both variants, including the
+/// final retrieval of the answer objects' data pages.
 #[allow(clippy::too_many_arguments)] // plain accounting glue, one value per field
 fn assemble(
     overlay: &PhaseOverlay<'_>,
     issued_at: u64,
-    est_tuners: [tnn_broadcast::Tuner; 2],
+    est_tuners: &TunerVec,
     est_end: u64,
-    filter_tuners: [tnn_broadcast::Tuner; 2],
+    filter_tuners: &[Tuner],
     filter_end: u64,
-    first: (Point, ObjectId, usize),
-    second: (Point, ObjectId, usize),
+    stops: Vec<(Point, ObjectId, usize)>,
     total_dist: f64,
     search_radius: f64,
     retrieve: bool,
 ) -> VariantRun {
-    let mut channels = [ChannelCost::default(), ChannelCost::default()];
-    for k in 0..2 {
-        channels[k].estimate_pages = est_tuners[k].pages;
-        channels[k].filter_pages = filter_tuners[k].pages;
-        channels[k].finish_time = est_tuners[k]
+    let k = overlay.len();
+    let mut channels = vec![ChannelCost::default(); k];
+    for i in 0..k {
+        channels[i].estimate_pages = est_tuners[i].pages;
+        channels[i].filter_pages = filter_tuners[i].pages;
+        channels[i].finish_time = est_tuners[i]
             .finish_time
             .unwrap_or(issued_at)
-            .max(filter_tuners[k].finish_time.unwrap_or(issued_at))
+            .max(filter_tuners[i].finish_time.unwrap_or(issued_at))
             .max(est_end);
     }
     if retrieve {
-        for &(_, object, ch) in &[first, second] {
+        for &(_, object, ch) in &stops {
             let (done, pages) = overlay.view(ch).retrieve_object(object, filter_end);
             channels[ch].retrieve_pages += pages;
             channels[ch].finish_time = channels[ch].finish_time.max(done);
         }
     }
-    let completed_at = channels[0]
-        .finish_time
-        .max(channels[1].finish_time)
+    let completed_at = channels
+        .iter()
+        .map(|c| c.finish_time)
+        .max()
+        .unwrap_or(filter_end)
         .max(filter_end);
     VariantRun {
-        first,
-        second,
+        stops,
         total_dist,
         search_radius,
         issued_at,
@@ -199,43 +192,19 @@ fn assemble(
     }
 }
 
-/// Order-free TNN (future-work item 2): returns the shorter of the best
-/// `p → s → r` and the best `p → r → s` routes, with one ANN mode shared
-/// by both channels.
+/// The order-free pipeline behind [`crate::Query::order_free`]: runs over
+/// a [`PhaseOverlay`] (zero-clone per-query phases), supports per-channel
+/// ANN modes through [`AnnSpec`], and reuses the caller's k-ary
+/// [`QueryScratch`].
 ///
 /// # Errors
-/// [`TnnError::WrongChannelCount`] / [`TnnError::NonFiniteQuery`] as for
-/// [`crate::run_query`].
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `QueryEngine` and run `Query::order_free(p)` instead"
-)]
-pub fn order_free_tnn(
-    env: &MultiChannelEnv,
-    p: Point,
-    issued_at: u64,
-    ann: AnnMode,
-    retrieve_answer_objects: bool,
-) -> Result<VariantRun, TnnError> {
-    order_free_tnn_overlay(
-        &PhaseOverlay::identity(env),
-        p,
-        issued_at,
-        &AnnSpec::Uniform(ann),
-        retrieve_answer_objects,
-        &mut QueryScratch::<ArrivalHeap>::default(),
-    )
-}
-
-/// The order-free pipeline behind [`order_free_tnn`] and
-/// [`crate::QueryEngine`]: runs over a [`PhaseOverlay`], supports
-/// per-channel ANN modes, and reuses the caller's [`QueryScratch`].
-///
-/// # Errors
-/// As [`order_free_tnn`].
+/// [`TnnError::WrongChannelCount`] for fewer than two channels;
+/// [`TnnError::NonFiniteQuery`] for NaN/infinite query points;
+/// [`TnnError::EmptyChannel`] for channels broadcasting empty datasets.
 ///
 /// # Panics
-/// Panics when a per-channel [`AnnSpec`] does not hold exactly two modes.
+/// Panics when a per-channel [`AnnSpec`] does not match the channel
+/// count.
 pub fn order_free_tnn_overlay<Q: CandidateQueue>(
     overlay: &PhaseOverlay<'_>,
     p: Point,
@@ -245,89 +214,124 @@ pub fn order_free_tnn_overlay<Q: CandidateQueue>(
     scratch: &mut QueryScratch<Q>,
 ) -> Result<VariantRun, TnnError> {
     validate(overlay, p, ann)?;
-    let ((s_pt, _), (r_pt, _), est_tuners, est_end) =
-        double_estimate(overlay, p, issued_at, ann, scratch);
-    // Feasible chains in both directions through the two NNs.
-    let d_sr = p.dist(s_pt) + s_pt.dist(r_pt);
-    let d_rs = p.dist(r_pt) + r_pt.dist(s_pt);
-    let radius = d_sr.min(d_rs);
+    let k = overlay.len();
+    let (nns, est_tuners, est_end) = parallel_estimate(overlay, p, issued_at, ann, scratch)?;
+    scratch.ensure_visit_orders(k);
+
+    // Best feasible chain through the per-channel NNs over all visit
+    // orders; earlier (lexicographic) orders win ties.
+    let mut radius = f64::INFINITY;
+    for order in &scratch.visit_orders {
+        let d = chain_length(p, order.iter().map(|&i| nns[i].0));
+        if d < radius {
+            radius = d;
+        }
+    }
 
     let range = Circle::new(p, radius * (1.0 + 4.0 * f64::EPSILON));
-    // Field destructuring keeps the window and join borrows disjoint.
-    let QueryScratch { window, join, .. } = scratch;
-    let (w0_half, w1_half) = window.split_at_mut(1);
-    let (w0, w1, filter_end) = filter(overlay, range, est_end, &mut w0_half[0], &mut w1_half[0]);
-    let filter_tuners = [*w0.tuner(), *w1.tuner()];
+    // Field destructuring keeps the window, join, and permutation-table
+    // borrows disjoint.
+    let QueryScratch {
+        window,
+        join,
+        visit_orders,
+        ..
+    } = scratch;
+    let (windows, filter_end) = filter(overlay, range, est_end, window);
+    let filter_tuners: Vec<Tuner> = windows.iter().map(|w| *w.tuner()).collect();
 
-    let forward = crate::tnn_join_with(join, p, w0.hits(), w1.hits());
-    let backward = crate::tnn_join_with(join, p, w1.hits(), w0.hits());
-    let (pair, order) = match (forward, backward) {
-        (Some(f), Some(b)) if b.dist < f.dist => (b, VisitOrder::RFirst),
-        (Some(f), _) => (f, VisitOrder::SFirst),
-        (None, Some(b)) => (b, VisitOrder::RFirst),
-        (None, None) => unreachable!("the estimate pair lies inside the range"),
-    };
-    let (first, second) = match order {
-        VisitOrder::SFirst => ((pair.s.0, pair.s.1, 0), (pair.r.0, pair.r.1, 1)),
-        VisitOrder::RFirst => ((pair.s.0, pair.s.1, 1), (pair.r.0, pair.r.1, 0)),
-    };
-    w0.recycle(&mut w0_half[0]);
-    w1.recycle(&mut w1_half[0]);
+    let stops = order_free_join(join, p, &windows, visit_orders)
+        .expect("the estimate chain lies inside the range, so no layer is empty");
+    let total_dist = route_length(p, &stops);
+    for (w, w_scratch) in windows.into_iter().zip(window.iter_mut()) {
+        w.recycle(w_scratch);
+    }
     Ok(assemble(
         overlay,
         issued_at,
-        est_tuners,
+        &est_tuners,
         est_end,
-        filter_tuners,
+        &filter_tuners,
         filter_end,
-        first,
-        second,
-        pair.dist,
+        stops,
+        total_dist,
         radius,
         retrieve_answer_objects,
     ))
 }
 
-/// Round-trip TNN (future-work item 3): minimizes the closed tour
-/// `dis(p, s) + dis(s, r) + dis(r, p)` with `s ∈ S`, `r ∈ R`, with one
-/// ANN mode shared by both channels.
-///
-/// The filter uses `circle(p, d/2)`: any optimal-loop member `x`
-/// satisfies `2·dis(p, x) ≤ loop ≤ d` by the triangle inequality.
-///
-/// # Errors
-/// [`TnnError::WrongChannelCount`] / [`TnnError::NonFiniteQuery`] as for
-/// [`crate::run_query`].
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `QueryEngine` and run `Query::round_trip(p)` instead"
-)]
-pub fn round_trip_tnn(
-    env: &MultiChannelEnv,
+/// Minimum-length route over all visit orders: for two channels the
+/// bound-pruned pairwise join runs in both directions (bit-identical to
+/// the original two-channel variant); beyond that every permutation goes
+/// through the layered sweep join. Returns the stops in visit order.
+#[allow(clippy::type_complexity)] // (total, path, order) accumulator
+fn order_free_join(
+    join: &mut JoinScratch,
     p: Point,
-    issued_at: u64,
-    ann: AnnMode,
-    retrieve_answer_objects: bool,
-) -> Result<VariantRun, TnnError> {
-    round_trip_tnn_overlay(
-        &PhaseOverlay::identity(env),
-        p,
-        issued_at,
-        &AnnSpec::Uniform(ann),
-        retrieve_answer_objects,
-        &mut QueryScratch::<ArrivalHeap>::default(),
+    windows: &[WindowQueryTask<'_>],
+    orders: &[Vec<usize>],
+) -> Option<Vec<(Point, ObjectId, usize)>> {
+    let k = windows.len();
+    if k == 2 {
+        let forward = tnn_join_with(join, p, windows[0].hits(), windows[1].hits());
+        let backward = tnn_join_with(join, p, windows[1].hits(), windows[0].hits());
+        let (pair, order) = match (forward, backward) {
+            (Some(f), Some(b)) if b.dist < f.dist => (b, VisitOrder::RFirst),
+            (Some(f), _) => (f, VisitOrder::SFirst),
+            (None, Some(b)) => (b, VisitOrder::RFirst),
+            (None, None) => return None,
+        };
+        return Some(match order {
+            VisitOrder::SFirst => vec![(pair.s.0, pair.s.1, 0), (pair.r.0, pair.r.1, 1)],
+            VisitOrder::RFirst => vec![(pair.s.0, pair.s.1, 1), (pair.r.0, pair.r.1, 0)],
+        });
+    }
+    let mut best: Option<(f64, Vec<(Point, ObjectId)>, &[usize])> = None;
+    let mut layers: Vec<&[(Point, ObjectId)]> = Vec::with_capacity(k);
+    for order in orders {
+        layers.clear();
+        layers.extend(order.iter().map(|&i| windows[i].hits()));
+        if let Some((path, total)) = chain_join_with(join, p, &layers) {
+            if best.as_ref().is_none_or(|(b, _, _)| total < *b) {
+                best = Some((total, path, order));
+            }
+        }
+    }
+    let (_, path, order) = best?;
+    Some(
+        path.into_iter()
+            .zip(order)
+            .map(|((pt, object), &ch)| (pt, object, ch))
+            .collect(),
     )
 }
 
-/// The round-trip pipeline behind [`round_trip_tnn`] and
-/// [`crate::QueryEngine`]: runs over a [`PhaseOverlay`], supports
-/// per-channel ANN modes, and reuses the caller's [`QueryScratch`].
+/// Length of the one-way route `p → stops[0] → … → stops[last]`.
+fn route_length(p: Point, stops: &[(Point, ObjectId, usize)]) -> f64 {
+    let mut total = 0.0;
+    let mut prev = p;
+    for &(pt, _, _) in stops {
+        total += prev.dist(pt);
+        prev = pt;
+    }
+    total
+}
+
+/// The round-trip pipeline behind [`crate::Query::round_trip`]: minimizes
+/// the closed tour `dis(p, s₁) + Σ dis(sᵢ, sᵢ₊₁) + dis(s_k, p)` with
+/// `sᵢ` drawn from channel `i`, visiting the channels in order. Runs over
+/// a [`PhaseOverlay`], supports per-channel ANN modes, and reuses the
+/// caller's [`QueryScratch`].
+///
+/// The filter uses `circle(p, d/2)`: any optimal-tour member `x`
+/// satisfies `2·dis(p, x) ≤ tour ≤ d` by the triangle inequality.
 ///
 /// # Errors
-/// As [`round_trip_tnn`].
+/// As [`order_free_tnn_overlay`].
 ///
 /// # Panics
-/// Panics when a per-channel [`AnnSpec`] does not hold exactly two modes.
+/// Panics when a per-channel [`AnnSpec`] does not match the channel
+/// count.
 pub fn round_trip_tnn_overlay<Q: CandidateQueue>(
     overlay: &PhaseOverlay<'_>,
     p: Point,
@@ -337,39 +341,58 @@ pub fn round_trip_tnn_overlay<Q: CandidateQueue>(
     scratch: &mut QueryScratch<Q>,
 ) -> Result<VariantRun, TnnError> {
     validate(overlay, p, ann)?;
-    let ((s_pt, _), (r_pt, _), est_tuners, est_end) =
-        double_estimate(overlay, p, issued_at, ann, scratch);
-    let d_loop = p.dist(s_pt) + s_pt.dist(r_pt) + r_pt.dist(p);
+    let k = overlay.len();
+    let (nns, est_tuners, est_end) = parallel_estimate(overlay, p, issued_at, ann, scratch)?;
+    let d_loop =
+        chain_length(p, nns.iter().map(|&(pt, _)| pt)) + nns.last().expect("k ≥ 2 hops").0.dist(p);
 
     let range = Circle::new(p, d_loop * 0.5 * (1.0 + 4.0 * f64::EPSILON));
-    scratch.ensure_channels(2);
-    let (w0_half, w1_half) = scratch.window.split_at_mut(1);
-    let (w0, w1, filter_end) = filter(overlay, range, est_end, &mut w0_half[0], &mut w1_half[0]);
-    let filter_tuners = [*w0.tuner(), *w1.tuner()];
+    let QueryScratch { window, join, .. } = scratch;
+    let (windows, filter_end) = filter(overlay, range, est_end, window);
+    let filter_tuners: Vec<Tuner> = windows.iter().map(|w| *w.tuner()).collect();
 
-    let pair = round_trip_join(p, w0.hits(), w1.hits())
-        .expect("the estimate pair lies inside the half-radius range");
-    w0.recycle(&mut w0_half[0]);
-    w1.recycle(&mut w1_half[0]);
+    let (stops, total_dist) = if k == 2 {
+        let pair = round_trip_join(p, windows[0].hits(), windows[1].hits())
+            .expect("the estimate pair lies inside the half-radius range");
+        (
+            vec![(pair.s.0, pair.s.1, 0), (pair.r.0, pair.r.1, 1)],
+            pair.dist,
+        )
+    } else {
+        let layers: Vec<&[(Point, ObjectId)]> = windows.iter().map(|w| w.hits()).collect();
+        let (path, total) = chain_loop_join_with(join, p, &layers)
+            .expect("the estimate tour lies inside the half-radius range");
+        (
+            path.into_iter()
+                .enumerate()
+                .map(|(ch, (pt, object))| (pt, object, ch))
+                .collect(),
+            total,
+        )
+    };
+    for (w, w_scratch) in windows.into_iter().zip(window.iter_mut()) {
+        w.recycle(w_scratch);
+    }
     Ok(assemble(
         overlay,
         issued_at,
-        est_tuners,
+        &est_tuners,
         est_end,
-        filter_tuners,
+        &filter_tuners,
         filter_end,
-        (pair.s.0, pair.s.1, 0),
-        (pair.r.0, pair.r.1, 1),
-        pair.dist,
+        stops,
+        total_dist,
         d_loop * 0.5,
         retrieve_answer_objects,
     ))
 }
 
-/// The round-trip join: minimum of `dis(p,s) + dis(s,r) + dis(r,p)` over
-/// the candidate sets, with early exit over `s` ordered by `dis(p, s)`
-/// (for any `r`, `dis(s,r) + dis(r,p) ≥ dis(s,p)`, so the loop through
-/// `s` is at least `2·dis(p,s)`).
+/// The two-channel round-trip join: minimum of
+/// `dis(p,s) + dis(s,r) + dis(r,p)` over the candidate sets, with early
+/// exit over `s` ordered by `dis(p, s)` (for any `r`,
+/// `dis(s,r) + dis(r,p) ≥ dis(s,p)`, so the tour through `s` is at least
+/// `2·dis(p,s)`). The `k > 2` generalization is
+/// [`crate::chain_loop_join`].
 pub fn round_trip_join(
     p: Point,
     s_cands: &[(Point, ObjectId)],
@@ -406,8 +429,11 @@ pub fn round_trip_join(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::algorithms::permutations;
+    use crate::task::queue::ArrivalHeap;
+    use crate::AnnMode;
     use std::sync::Arc;
-    use tnn_broadcast::BroadcastParams;
+    use tnn_broadcast::{BroadcastParams, MultiChannelEnv};
     use tnn_rtree::{PackingAlgorithm, RTree};
 
     fn order_free(
@@ -444,11 +470,19 @@ mod tests {
         )
     }
 
-    fn env(s: &[Point], r: &[Point]) -> MultiChannelEnv {
+    fn env_k(layers: &[Vec<Point>], phases: &[u64]) -> MultiChannelEnv {
         let params = BroadcastParams::new(64);
-        let ts = RTree::build(s, params.rtree_params(), PackingAlgorithm::Str).unwrap();
-        let tr = RTree::build(r, params.rtree_params(), PackingAlgorithm::Str).unwrap();
-        MultiChannelEnv::new(vec![Arc::new(ts), Arc::new(tr)], params, &[13, 31])
+        let trees = layers
+            .iter()
+            .map(|pts| {
+                Arc::new(RTree::build(pts, params.rtree_params(), PackingAlgorithm::Str).unwrap())
+            })
+            .collect();
+        MultiChannelEnv::new(trees, params, phases)
+    }
+
+    fn env(s: &[Point], r: &[Point]) -> MultiChannelEnv {
+        env_k(&[s.to_vec(), r.to_vec()], &[13, 31])
     }
 
     fn cloud(n: usize, salt: usize) -> Vec<Point> {
@@ -460,6 +494,15 @@ mod tests {
                 )
             })
             .collect()
+    }
+
+    #[test]
+    fn permutations_are_lexicographic_identity_first() {
+        let perms = permutations(3);
+        assert_eq!(perms.len(), 6);
+        assert_eq!(perms[0], vec![0, 1, 2]);
+        assert_eq!(perms[5], vec![2, 1, 0]);
+        assert_eq!(permutations(2), vec![vec![0, 1], vec![1, 0]]);
     }
 
     #[test]
@@ -479,6 +522,39 @@ mod tests {
                 }
             }
             assert!((run.total_dist - best).abs() < 1e-9, "query {p:?}");
+        }
+    }
+
+    #[test]
+    fn order_free_three_channels_matches_brute_force() {
+        let layers = vec![cloud(25, 1), cloud(30, 8), cloud(20, 15)];
+        let e = env_k(&layers, &[3, 17, 91]);
+        for (px, py) in [(40.0, 40.0), (160.0, 120.0)] {
+            let p = Point::new(px, py);
+            let run = order_free(&e, p, 0, AnnMode::Exact, false).unwrap();
+            // Brute force over all orders and all triples.
+            let mut best = f64::INFINITY;
+            for order in permutations(3) {
+                for &a in &layers[order[0]] {
+                    for &b in &layers[order[1]] {
+                        for &c in &layers[order[2]] {
+                            best = best.min(p.dist(a) + a.dist(b) + b.dist(c));
+                        }
+                    }
+                }
+            }
+            assert!(
+                (run.total_dist - best).abs() < 1e-9,
+                "query {p:?}: got {} expected {best}",
+                run.total_dist
+            );
+            assert_eq!(run.stops.len(), 3);
+            // The stops visit each channel exactly once.
+            let mut seen: Vec<usize> = run.stops.iter().map(|s| s.2).collect();
+            seen.sort_unstable();
+            assert_eq!(seen, vec![0, 1, 2]);
+            // The reported total is realized by the reported stops.
+            assert!((route_length(p, &run.stops) - run.total_dist).abs() < 1e-9);
         }
     }
 
@@ -504,8 +580,8 @@ mod tests {
         let p = Point::new(0.0, 0.0);
         let run = order_free(&e, p, 0, AnnMode::Exact, false).unwrap();
         assert_eq!(run.order(), VisitOrder::RFirst);
-        assert_eq!(run.first.2, 1);
-        assert_eq!(run.second.2, 0);
+        assert_eq!(run.stops[0].2, 1);
+        assert_eq!(run.stops[1].2, 0);
     }
 
     #[test]
@@ -523,6 +599,37 @@ mod tests {
                 }
             }
             assert!((run.total_dist - best).abs() < 1e-9, "query {p:?}");
+        }
+    }
+
+    #[test]
+    fn round_trip_three_channels_matches_brute_force() {
+        let layers = vec![cloud(25, 4), cloud(22, 12), cloud(28, 21)];
+        let e = env_k(&layers, &[7, 3, 55]);
+        for (px, py) in [(60.0, 60.0), (150.0, 110.0)] {
+            let p = Point::new(px, py);
+            let run = round_trip(&e, p, 0, AnnMode::Exact, false).unwrap();
+            let mut best = f64::INFINITY;
+            for &a in &layers[0] {
+                for &b in &layers[1] {
+                    for &c in &layers[2] {
+                        best = best.min(p.dist(a) + a.dist(b) + b.dist(c) + c.dist(p));
+                    }
+                }
+            }
+            assert!(
+                (run.total_dist - best).abs() < 1e-9,
+                "query {p:?}: got {} expected {best}",
+                run.total_dist
+            );
+            // Channel order, closed at p.
+            assert_eq!(
+                run.stops.iter().map(|s| s.2).collect::<Vec<_>>(),
+                vec![0, 1, 2]
+            );
+            let one_way = route_length(p, &run.stops);
+            let back = run.stops.last().unwrap().0.dist(p);
+            assert!((one_way + back - run.total_dist).abs() < 1e-9);
         }
     }
 
@@ -559,6 +666,19 @@ mod tests {
             round_trip(&e, Point::new(0.0, f64::INFINITY), 0, AnnMode::Exact, false),
             Err(TnnError::NonFiniteQuery)
         ));
+        let params = BroadcastParams::new(64);
+        let full =
+            Arc::new(RTree::build(&s, params.rtree_params(), PackingAlgorithm::Str).unwrap());
+        let empty = Arc::new(RTree::empty(params.rtree_params()));
+        let degenerate = MultiChannelEnv::new(vec![full, empty], params, &[0, 0]);
+        assert_eq!(
+            order_free(&degenerate, Point::ORIGIN, 0, AnnMode::Exact, false).unwrap_err(),
+            TnnError::EmptyChannel { channel: 1 }
+        );
+        assert_eq!(
+            round_trip(&degenerate, Point::ORIGIN, 0, AnnMode::Exact, false).unwrap_err(),
+            TnnError::EmptyChannel { channel: 1 }
+        );
     }
 
     #[test]

@@ -1,16 +1,17 @@
 //! Window-Based-TNN-Search [19], adapted to the multi-channel
-//! environment (paper §3.1).
+//! environment (paper §3.1) and generalized to `k ≥ 2` channels.
 //!
-//! Estimate phase — **sequential**: first find `s = p.NN(S)` on channel
-//! 1, then `r = s.NN(R)` on channel 2 (the second query cannot start
-//! before the first finishes, which is exactly the deficiency §3.2 calls
-//! out); radius `d = dis(p, s) + dis(s, r)`. The filter phase runs on
-//! both channels in parallel (the adaptation to simultaneous access).
+//! Estimate phase — **sequential**: find `n₁ = p.NN(S₁)` on channel 1,
+//! then `n₂ = n₁.NN(S₂)` on channel 2, and so on down the hops (each
+//! query cannot start before its predecessor finishes, which is exactly
+//! the deficiency §3.2 calls out — and it compounds with `k`); radius
+//! `d = dis(p, n₁) + Σ dis(nᵢ, nᵢ₊₁)`. The filter phase runs on all
+//! channels in parallel (the adaptation to simultaneous access).
 
-use super::{Estimate, QueryScratch};
+use super::{Estimate, QueryScratch, TunerVec};
 use crate::task::queue::CandidateQueue;
 use crate::task::BroadcastNnSearch;
-use crate::{SearchMode, TnnConfig};
+use crate::{SearchMode, TnnConfig, TnnError};
 use tnn_broadcast::PhaseOverlay;
 use tnn_geom::Point;
 
@@ -20,43 +21,39 @@ pub(crate) fn estimate<Q: CandidateQueue>(
     issued_at: u64,
     cfg: &TnnConfig,
     scratch: &mut QueryScratch<Q>,
-) -> Estimate {
-    let (s0, s1) = scratch.nn_pair();
-    // First NN query: s = p.NN(S) on channel 0.
-    let mut nn1 = BroadcastNnSearch::with_scratch(
-        overlay.view(0),
-        SearchMode::Point { q: p },
-        cfg.ann[0],
-        issued_at,
-        s0,
-    );
-    let t1 = nn1.run_to_completion();
-    let (s_pt, _, _) = nn1
-        .best()
-        .expect("NN search over a non-empty tree always yields a point");
+) -> Result<Estimate, TnnError> {
+    let k = overlay.len();
+    let mut tuners = TunerVec::new();
+    let mut radius = 0.0;
+    let mut from = p;
+    let mut now = issued_at;
+    let mut end = issued_at;
+    for (i, nn_scratch) in scratch.nn_slice(k).iter_mut().enumerate() {
+        // Hop i: nᵢ = n_{i−1}.NN(Sᵢ), starting only after hop i−1
+        // finished.
+        let mut task = BroadcastNnSearch::with_scratch(
+            overlay.view(i),
+            SearchMode::Point { q: from },
+            cfg.ann[i],
+            now,
+            nn_scratch,
+        );
+        now = task.run_to_completion();
+        end = end.max(now);
+        let best = task.best();
+        tuners.push(*task.tuner());
+        task.recycle(nn_scratch);
+        let (pt, _, _) = best.ok_or(TnnError::EmptyChannel { channel: i })?;
+        // d accumulates the hop legs: dis(p, n₁) + Σ dis(nᵢ, nᵢ₊₁).
+        radius += from.dist(pt);
+        from = pt;
+    }
 
-    // Second NN query: r = s.NN(R) on channel 1, starting only after the
-    // first finished.
-    let mut nn2 = BroadcastNnSearch::with_scratch(
-        overlay.view(1),
-        SearchMode::Point { q: s_pt },
-        cfg.ann[1],
-        t1,
-        s1,
-    );
-    let t2 = nn2.run_to_completion();
-    let (r_pt, _, _) = nn2
-        .best()
-        .expect("NN search over a non-empty tree always yields a point");
-
-    let est = Estimate {
-        radius: p.dist(s_pt) + s_pt.dist(r_pt),
-        tuners: [*nn1.tuner(), *nn2.tuner()],
-        end: t1.max(t2),
-    };
-    nn1.recycle(s0);
-    nn2.recycle(s1);
-    est
+    Ok(Estimate {
+        radius,
+        tuners,
+        end,
+    })
 }
 
 #[cfg(test)]
@@ -82,6 +79,17 @@ mod tests {
         MultiChannelEnv::new(vec![Arc::new(ts), Arc::new(tr)], params, &[5, 42])
     }
 
+    fn env_k(layers: &[Vec<Point>], phases: &[u64]) -> MultiChannelEnv {
+        let params = BroadcastParams::new(64);
+        let trees = layers
+            .iter()
+            .map(|pts| {
+                Arc::new(RTree::build(pts, params.rtree_params(), PackingAlgorithm::Str).unwrap())
+            })
+            .collect();
+        MultiChannelEnv::new(trees, params, phases)
+    }
+
     fn grid(n: usize, salt: usize) -> Vec<Point> {
         (0..n)
             .map(|i| {
@@ -105,7 +113,8 @@ mod tests {
             0,
             &TnnConfig::exact(Algorithm::WindowBased),
             &mut fresh(),
-        );
+        )
+        .unwrap();
         // s* = p's true NN in S; r* = s*'s true NN in R.
         let s_star = s
             .iter()
@@ -116,6 +125,32 @@ mod tests {
             .min_by(|a, b| s_star.dist(**a).total_cmp(&s_star.dist(**b)))
             .unwrap();
         let expect = p.dist(*s_star) + s_star.dist(*r_star);
+        assert!((est.radius - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn k_ary_radius_walks_greedy_nn_hops() {
+        let layers = vec![grid(90, 3), grid(120, 11), grid(70, 29)];
+        let e = env_k(&layers, &[5, 42, 7]);
+        let p = Point::new(60.0, 140.0);
+        let est = estimate(
+            &ov(&e),
+            p,
+            0,
+            &TnnConfig::exact_for(Algorithm::WindowBased, 3),
+            &mut fresh(),
+        )
+        .unwrap();
+        let mut expect = 0.0;
+        let mut from = p;
+        for layer in &layers {
+            let nn = layer
+                .iter()
+                .min_by(|a, b| from.dist(**a).total_cmp(&from.dist(**b)))
+                .unwrap();
+            expect += from.dist(*nn);
+            from = *nn;
+        }
         assert!((est.radius - expect).abs() < 1e-9);
     }
 
@@ -131,13 +166,30 @@ mod tests {
             11,
             &TnnConfig::exact(Algorithm::WindowBased),
             &mut fresh(),
-        );
+        )
+        .unwrap();
         // Channel 1's estimate pages can only have been downloaded after
         // channel 0 finished; its tuner finish time must exceed channel
         // 0's.
         let f0 = est.tuners[0].finish_time.unwrap();
         let f1 = est.tuners[1].finish_time.unwrap();
         assert!(f1 > f0);
+    }
+
+    #[test]
+    fn hop_finishes_are_strictly_ordered_at_k3() {
+        let layers = vec![grid(150, 1), grid(150, 5), grid(150, 9)];
+        let e = env_k(&layers, &[0, 0, 0]);
+        let est = estimate(
+            &ov(&e),
+            Point::new(80.0, 80.0),
+            0,
+            &TnnConfig::exact_for(Algorithm::WindowBased, 3),
+            &mut fresh(),
+        )
+        .unwrap();
+        let f: Vec<u64> = est.tuners.iter().map(|t| t.finish_time.unwrap()).collect();
+        assert!(f[0] < f[1] && f[1] < f[2], "sequential hops: {f:?}");
     }
 
     #[test]
@@ -154,7 +206,7 @@ mod tests {
             &mut fresh(),
         )
         .unwrap();
-        let got = run.answer.expect("window-based never fails");
+        let got = run.answer().expect("window-based never fails");
         let oracle = crate::exact_tnn(p, e.channel(0).tree(), e.channel(1).tree());
         assert!((got.dist - oracle.dist).abs() < 1e-9);
     }

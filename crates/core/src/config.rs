@@ -175,11 +175,18 @@ pub struct TnnConfig {
 
 impl TnnConfig {
     /// Configuration for `algorithm` with exact (eNN) search on both
-    /// channels of a plain TNN query and final object retrieval on.
+    /// channels of the paper's two-channel TNN query and final object
+    /// retrieval on. For `k > 2` channels use [`TnnConfig::exact_for`].
     pub fn exact(algorithm: Algorithm) -> Self {
+        TnnConfig::exact_for(algorithm, 2)
+    }
+
+    /// Configuration for `algorithm` over a `k`-channel environment with
+    /// exact (eNN) search on every channel and final object retrieval on.
+    pub fn exact_for(algorithm: Algorithm, k: usize) -> Self {
         TnnConfig {
             algorithm,
-            ann: AnnModes::exact(2),
+            ann: AnnModes::exact(k),
             retrieve_answer_objects: true,
         }
     }
@@ -196,12 +203,6 @@ impl TnnConfig {
     pub fn with_ann_modes(mut self, modes: &[AnnMode]) -> Self {
         self.ann = AnnModes::from_slice(modes);
         self
-    }
-
-    /// Two-channel shim for the pre-k-ary API.
-    #[deprecated(since = "0.2.0", note = "use the k-ary `with_ann_modes`")]
-    pub fn with_ann(self, s_channel: AnnMode, r_channel: AnnMode) -> Self {
-        self.with_ann_modes(&[s_channel, r_channel])
     }
 }
 
@@ -237,13 +238,11 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn two_ary_shim_matches_k_ary() {
-        let via_shim = TnnConfig::exact(Algorithm::HybridNn)
-            .with_ann(AnnMode::Exact, AnnMode::Fixed { alpha: 0.25 });
-        let via_kary = TnnConfig::exact(Algorithm::HybridNn)
-            .with_ann_modes(&[AnnMode::Exact, AnnMode::Fixed { alpha: 0.25 }]);
-        assert_eq!(via_shim, via_kary);
+    fn exact_for_builds_k_channel_configs() {
+        let c = TnnConfig::exact_for(Algorithm::HybridNn, 4);
+        assert_eq!(c.ann.len(), 4);
+        assert!(c.ann.iter().all(|m| *m == AnnMode::Exact));
+        assert_eq!(TnnConfig::exact(Algorithm::HybridNn).ann.len(), 2);
     }
 
     #[test]

@@ -1,10 +1,10 @@
 //! The unified query surface: [`QueryEngine`], builder-style [`Query`]
 //! requests, and the [`QueryOutcome`] they all return.
 //!
-//! The legacy API scattered entry points across free functions
-//! (`run_query`, `chain_tnn`, `order_free_tnn`, `round_trip_tnn`) and
-//! hardcoded the paper's two-channel special case in its types. The
-//! engine treats the channel count `k` as a first-class parameter:
+//! The engine treats the channel count `k` as a first-class parameter:
+//! every query kind — the four TNN algorithms, chained, order-free, and
+//! round-trip routes — runs over any `k ≥ 2`-channel environment, with
+//! the paper's two-channel pipeline reproduced bit-for-bit at `k = 2`:
 //!
 //! ```
 //! use std::sync::Arc;
@@ -42,8 +42,8 @@
 //! batch runners that own one scratch per worker.
 
 use crate::algorithms::{
-    chain_tnn_overlay, order_free_tnn_overlay, round_trip_tnn_overlay, run_query_overlay, ChainRun,
-    QueryScratch, VariantRun, VisitOrder,
+    order_free_tnn_overlay, round_trip_tnn_overlay, run_query_overlay, QueryScratch, VariantRun,
+    VisitOrder,
 };
 use crate::task::queue::{ArrivalHeap, CandidateQueue};
 use crate::{Algorithm, AnnMode, AnnSpec, ChannelCost, TnnConfig, TnnError, TnnPair, TnnRun};
@@ -53,19 +53,24 @@ use tnn_broadcast::{MultiChannelEnv, PhaseOverlay, PhaseVec};
 use tnn_geom::Point;
 use tnn_rtree::ObjectId;
 
-/// What kind of route a [`Query`] asks for.
+/// What kind of route a [`Query`] asks for. Every kind runs over any
+/// `k ≥ 2`-channel environment; `k = 2` is the paper's special case.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum QueryKind {
-    /// Plain TNN (`p → s → r`, two channels) under the given algorithm.
+    /// TNN in channel order (`p → s₁ → … → s_k`) under the given
+    /// algorithm.
     Tnn(Algorithm),
     /// Chained TNN over all `k` channels in channel order (the paper's
-    /// future-work item 1).
+    /// future-work item 1) — an alias for the generalized
+    /// [`Algorithm::DoubleNn`] pipeline, kept as its own kind because the
+    /// chained workloads of the evaluation are configured by channel
+    /// count, not algorithm.
     Chain,
-    /// Order-free TNN: the better of `p → s → r` and `p → r → s`
-    /// (future-work item 2, two channels).
+    /// Order-free TNN: the shortest route visiting every channel's
+    /// dataset in *any* order (future-work item 2).
     OrderFree,
-    /// Round-trip TNN: the shortest closed tour `p → s → r → p`
-    /// (future-work item 3, two channels).
+    /// Round-trip TNN: the shortest closed tour
+    /// `p → s₁ → … → s_k → p` in channel order (future-work item 3).
     RoundTrip,
 }
 
@@ -192,21 +197,19 @@ pub struct RouteStop {
     pub channel: usize,
 }
 
-/// The unified result of any engine query — subsumes the legacy
-/// [`TnnRun`], [`ChainRun`], and [`VariantRun`] shapes, with per-hop
-/// channel costs.
+/// The unified result of any engine query — subsumes the pipeline-level
+/// [`TnnRun`] and [`VariantRun`] shapes, with per-hop channel costs.
 ///
-/// Converting a legacy result into a `QueryOutcome` (via `From`) is
+/// Converting a pipeline result into a `QueryOutcome` (via `From`) is
 /// lossless for every metric the evaluation uses; the equivalence gate in
-/// `crates/bench/tests` asserts the engine's outcomes are byte-identical
-/// to converted legacy runs.
+/// `crates/bench/tests` asserts the engine's two-channel outcomes are
+/// byte-identical to a frozen copy of the paper's pipeline.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct QueryOutcome {
     /// What was asked.
     pub kind: QueryKind,
-    /// The route stops in visit order (two for TNN and the variants, `k`
-    /// for chained queries); empty when the query failed (possible only
-    /// for [`Algorithm::ApproximateTnn`]).
+    /// The route stops in visit order (one per channel); empty when the
+    /// query failed (possible only for [`Algorithm::ApproximateTnn`]).
     pub route: Vec<RouteStop>,
     /// Total route length: transitive distance for TNN/chain/order-free,
     /// full loop length for round-trip. `None` when the query failed.
@@ -216,12 +219,13 @@ pub struct QueryOutcome {
     /// Slot at which the query was issued.
     pub issued_at: u64,
     /// Slot at which the estimate phase finished, when the pipeline
-    /// records it (plain TNN only).
+    /// records it (TNN and chained queries; the variants fold it into
+    /// the per-channel finish times).
     pub estimate_end: Option<u64>,
     /// Slot at which the whole query finished.
     pub completed_at: u64,
-    /// Filter-phase candidate counts per channel (recorded by the plain
-    /// TNN pipeline; empty otherwise).
+    /// Filter-phase candidate counts per channel (recorded by the TNN
+    /// and chained pipelines; empty otherwise).
     pub candidates: Vec<usize>,
     /// Per-channel cost breakdown, in channel order — each route hop's
     /// channel indexes into this.
@@ -261,7 +265,7 @@ impl QueryOutcome {
         self.candidates.iter().sum()
     }
 
-    /// The answer as a legacy [`TnnPair`] — **plain TNN outcomes only**,
+    /// The answer as a two-channel [`TnnPair`] — **plain TNN outcomes only**,
     /// `None` otherwise. Variant routes do not fit `TnnPair`'s field
     /// contract (an order-free route may visit the `R` channel first,
     /// and a round-trip `total_dist` includes the return leg), so they
@@ -302,40 +306,7 @@ impl From<TnnRun> for QueryOutcome {
             // this with the actual request kind.
             kind: QueryKind::Tnn(Algorithm::HybridNn),
             route: run
-                .answer
-                .iter()
-                .flat_map(|pair| {
-                    [
-                        RouteStop {
-                            point: pair.s.0,
-                            object: pair.s.1,
-                            channel: 0,
-                        },
-                        RouteStop {
-                            point: pair.r.0,
-                            object: pair.r.1,
-                            channel: 1,
-                        },
-                    ]
-                })
-                .collect(),
-            total_dist: run.answer.map(|pair| pair.dist),
-            search_radius: run.search_radius,
-            issued_at: run.issued_at,
-            estimate_end: Some(run.estimate_end),
-            completed_at: run.completed_at,
-            candidates: run.candidates.to_vec(),
-            channels: run.channels.to_vec(),
-        }
-    }
-}
-
-impl From<ChainRun> for QueryOutcome {
-    fn from(run: ChainRun) -> Self {
-        QueryOutcome {
-            kind: QueryKind::Chain,
-            route: run
-                .path
+                .route
                 .into_iter()
                 .enumerate()
                 .map(|(channel, (point, object))| RouteStop {
@@ -344,12 +315,12 @@ impl From<ChainRun> for QueryOutcome {
                     channel,
                 })
                 .collect(),
-            total_dist: Some(run.total_dist),
+            total_dist: run.total_dist,
             search_radius: run.search_radius,
             issued_at: run.issued_at,
-            estimate_end: None,
+            estimate_end: Some(run.estimate_end),
             completed_at: run.completed_at,
-            candidates: Vec::new(),
+            candidates: run.candidates,
             channels: run.channels,
         }
     }
@@ -363,25 +334,22 @@ impl From<VariantRun> for QueryOutcome {
             // Engine-produced outcomes overwrite this with the actual
             // request kind.
             kind: QueryKind::OrderFree,
-            route: vec![
-                RouteStop {
-                    point: run.first.0,
-                    object: run.first.1,
-                    channel: run.first.2,
-                },
-                RouteStop {
-                    point: run.second.0,
-                    object: run.second.1,
-                    channel: run.second.2,
-                },
-            ],
+            route: run
+                .stops
+                .into_iter()
+                .map(|(point, object, channel)| RouteStop {
+                    point,
+                    object,
+                    channel,
+                })
+                .collect(),
             total_dist: Some(run.total_dist),
             search_radius: run.search_radius,
             issued_at: run.issued_at,
             estimate_end: None,
             completed_at: run.completed_at,
             candidates: Vec::new(),
-            channels: run.channels.to_vec(),
+            channels: run.channels,
         }
     }
 }
@@ -441,10 +409,11 @@ impl<Q: CandidateQueue> QueryEngine<Q> {
     /// the pool lock entirely.
     ///
     /// # Errors
-    /// [`TnnError::WrongChannelCount`] when the query kind does not fit
-    /// the channel count (plain TNN and the variants need exactly two
-    /// channels, chains at least two); [`TnnError::NonFiniteQuery`] for
-    /// NaN/infinite query points.
+    /// [`TnnError::WrongChannelCount`] for environments with fewer than
+    /// two channels (every query kind runs over any `k ≥ 2`);
+    /// [`TnnError::NonFiniteQuery`] for NaN/infinite query points;
+    /// [`TnnError::EmptyChannel`] when a channel broadcasts an empty
+    /// dataset.
     ///
     /// # Panics
     /// Panics when per-channel phases or ANN modes in the query do not
@@ -475,34 +444,31 @@ impl<Q: CandidateQueue> QueryEngine<Q> {
             None => PhaseOverlay::identity(&self.env),
         };
         let mut outcome: QueryOutcome = match query.kind {
-            QueryKind::Tnn(algorithm) => {
+            QueryKind::Tnn(_) | QueryKind::Chain => {
+                let algorithm = match query.kind {
+                    QueryKind::Tnn(algorithm) => algorithm,
+                    // Chained TNN is the generalized Double-NN pipeline.
+                    _ => Algorithm::DoubleNn,
+                };
+                let k = overlay.len();
                 // The recoverable channel-count error must win over the
                 // ANN-count panic: a per-channel mode list that matches
                 // the *environment* is not the user's mistake when the
                 // query kind itself does not fit the channel count.
-                if overlay.len() != 2 {
+                if k < 2 {
                     return Err(TnnError::WrongChannelCount {
                         needed: 2,
-                        available: overlay.len(),
+                        available: k,
                     });
                 }
-                query.ann.check_channels(2);
+                query.ann.check_channels(k);
                 let cfg = TnnConfig {
                     algorithm,
-                    ann: query.ann.modes(2),
+                    ann: query.ann.modes(k),
                     retrieve_answer_objects: query.retrieve_answer_objects,
                 };
                 run_query_overlay(&overlay, query.point, query.issued_at, &cfg, scratch)?.into()
             }
-            QueryKind::Chain => chain_tnn_overlay(
-                &overlay,
-                query.point,
-                query.issued_at,
-                &query.ann,
-                query.retrieve_answer_objects,
-                scratch,
-            )?
-            .into(),
             QueryKind::OrderFree => order_free_tnn_overlay(
                 &overlay,
                 query.point,
@@ -553,10 +519,8 @@ impl<Q: CandidateQueue> Clone for QueryEngine<Q> {
 
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)] // the engine is validated against the legacy API
-
     use super::*;
-    use crate::{chain_tnn, order_free_tnn, round_trip_tnn, run_query};
+    use crate::{run_query_impl, AnnModes};
     use std::sync::Arc;
     use tnn_broadcast::BroadcastParams;
     use tnn_rtree::{PackingAlgorithm, RTree};
@@ -587,17 +551,26 @@ mod tests {
         build_env(&[cloud(90, 1), cloud(110, 8)], &[13, 31])
     }
 
+    /// The engine is a thin layer over the core pipeline: outcomes must
+    /// be byte-identical to a direct `run_query_impl` call.
     #[test]
-    fn tnn_matches_legacy_for_every_algorithm() {
+    fn tnn_matches_core_pipeline_for_every_algorithm() {
         let env = two_channel();
         let engine = QueryEngine::new(env.clone());
         let p = Point::new(77.0, 99.0);
         for alg in Algorithm::ALL {
-            let legacy = run_query(&env, p, 5, &TnnConfig::exact(alg)).unwrap();
+            let core = run_query_impl(
+                &env,
+                p,
+                5,
+                &TnnConfig::exact(alg),
+                &mut QueryScratch::<ArrivalHeap>::default(),
+            )
+            .unwrap();
             let got = engine
                 .run(&Query::tnn(p).algorithm(alg).issued_at(5))
                 .unwrap();
-            let mut expect = QueryOutcome::from(legacy);
+            let mut expect = QueryOutcome::from(core);
             expect.kind = QueryKind::Tnn(alg);
             assert_eq!(got, expect, "{}", alg.name());
             assert_eq!(got.kind, QueryKind::Tnn(alg));
@@ -610,65 +583,96 @@ mod tests {
         let engine = QueryEngine::new(env.clone());
         let p = Point::new(40.0, 160.0);
         let phases = [4_321u64, 987];
-        let legacy = run_query(
-            &env.with_phases(&phases),
-            p,
-            0,
-            &TnnConfig::exact(Algorithm::DoubleNn),
-        )
-        .unwrap();
+        let rephased = QueryEngine::new(env.with_phases(&phases));
+        let expect = rephased
+            .run(&Query::tnn(p).algorithm(Algorithm::DoubleNn))
+            .unwrap();
         let got = engine
             .run(&Query::tnn(p).algorithm(Algorithm::DoubleNn).phases(&phases))
             .unwrap();
-        let mut expect = QueryOutcome::from(legacy);
-        expect.kind = QueryKind::Tnn(Algorithm::DoubleNn);
         assert_eq!(got, expect);
     }
 
     #[test]
-    fn chain_matches_legacy_over_three_channels() {
+    fn tnn_runs_over_three_and_four_channels() {
+        for k in [3usize, 4] {
+            let layers: Vec<Vec<Point>> = (0..k).map(|i| cloud(60 + 10 * i, 7 * i)).collect();
+            let phases: Vec<u64> = (0..k as u64).map(|i| i * 13 + 3).collect();
+            let env = build_env(&layers, &phases);
+            let engine = QueryEngine::new(env.clone());
+            let p = Point::new(150.0, 150.0);
+            for alg in Algorithm::ALL {
+                let got = engine
+                    .run(&Query::tnn(p).algorithm(alg).issued_at(5))
+                    .unwrap();
+                assert_eq!(got.channels.len(), k, "{}", alg.name());
+                assert_eq!(got.candidates.len(), k, "{}", alg.name());
+                if alg.is_exact() {
+                    assert_eq!(got.route.len(), k, "{}", alg.name());
+                    let trees: Vec<&RTree> = env.channels().iter().map(|c| c.tree()).collect();
+                    let (_, oracle_total) = crate::exact_chain_tnn(p, &trees);
+                    assert!(
+                        (got.total_dist.unwrap() - oracle_total).abs() < 1e-9,
+                        "{} at k={k}",
+                        alg.name()
+                    );
+                    assert!(got.tnn_pair().is_none(), "k-hop routes are not pairs");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chain_kind_is_generalized_double_nn() {
         let env = build_env(&[cloud(60, 0), cloud(80, 7), cloud(50, 19)], &[3, 17, 91]);
-        let engine = QueryEngine::new(env.clone());
+        let engine = QueryEngine::new(env);
         let p = Point::new(150.0, 150.0);
-        let legacy = chain_tnn(&env, p, 5, AnnMode::Exact, true).unwrap();
-        let got = engine.run(&Query::chain(p).issued_at(5)).unwrap();
-        assert_eq!(got, QueryOutcome::from(legacy));
-        assert_eq!(got.route.len(), 3);
-        assert_eq!(got.channels.len(), 3);
-        assert!(got.tnn_pair().is_none(), "three stops are not a pair");
+        let chain = engine.run(&Query::chain(p).issued_at(5)).unwrap();
+        let tnn = engine
+            .run(&Query::tnn(p).algorithm(Algorithm::DoubleNn).issued_at(5))
+            .unwrap();
+        assert_eq!(chain.kind, QueryKind::Chain);
+        let mut relabeled = tnn;
+        relabeled.kind = QueryKind::Chain;
+        assert_eq!(chain, relabeled);
+        assert_eq!(chain.route.len(), 3);
+        assert_eq!(chain.channels.len(), 3);
+        assert!(chain.estimate_end.is_some());
     }
 
     #[test]
-    fn variants_match_legacy() {
-        let env = two_channel();
-        let engine = QueryEngine::new(env.clone());
-        let p = Point::new(111.0, 55.0);
-        let free = engine.run(&Query::order_free(p)).unwrap();
-        let mut expect =
-            QueryOutcome::from(order_free_tnn(&env, p, 0, AnnMode::Exact, true).unwrap());
-        expect.kind = QueryKind::OrderFree;
-        assert_eq!(free, expect);
-        assert!(free.visit_order().is_some());
+    fn variants_run_at_two_and_three_channels() {
+        for layers in [
+            vec![cloud(90, 1), cloud(110, 8)],
+            vec![cloud(60, 1), cloud(70, 8), cloud(50, 15)],
+        ] {
+            let k = layers.len();
+            let env = build_env(&layers, &vec![0; k]);
+            let engine = QueryEngine::new(env);
+            let p = Point::new(111.0, 55.0);
+            let free = engine.run(&Query::order_free(p)).unwrap();
+            assert_eq!(free.route.len(), k);
+            assert!(free.visit_order().is_some());
 
-        let tour = engine.run(&Query::round_trip(p)).unwrap();
-        let mut expect =
-            QueryOutcome::from(round_trip_tnn(&env, p, 0, AnnMode::Exact, true).unwrap());
-        expect.kind = QueryKind::RoundTrip;
-        assert_eq!(tour, expect);
-        assert!(tour.total_dist.unwrap() >= free.total_dist.unwrap() - 1e-9);
+            let tour = engine.run(&Query::round_trip(p)).unwrap();
+            assert_eq!(tour.route.len(), k);
+            // A closed tour is never shorter than the best one-way route.
+            assert!(tour.total_dist.unwrap() >= free.total_dist.unwrap() - 1e-9);
+        }
     }
 
     #[test]
-    fn per_channel_ann_modes_match_legacy_config() {
+    fn per_channel_ann_modes_match_core_config() {
         let env = two_channel();
         let engine = QueryEngine::new(env.clone());
         let p = Point::new(60.0, 60.0);
         let modes = [AnnMode::Dynamic { factor: 1.0 }, AnnMode::Exact];
-        let legacy = run_query(
+        let core = run_query_impl(
             &env,
             p,
             0,
             &TnnConfig::exact(Algorithm::DoubleNn).with_ann_modes(&modes),
+            &mut QueryScratch::<ArrivalHeap>::default(),
         )
         .unwrap();
         let got = engine
@@ -678,8 +682,13 @@ mod tests {
                     .ann_modes(&modes),
             )
             .unwrap();
-        assert_eq!(got.tnn_pair(), legacy.answer);
-        assert_eq!(got.tune_in(), legacy.tune_in());
+        assert_eq!(got.tnn_pair(), core.answer());
+        assert_eq!(got.tune_in(), core.tune_in());
+        // The uniform spec materializes to the same modes at any k.
+        assert_eq!(
+            AnnSpec::Uniform(AnnMode::Exact).modes(3),
+            AnnModes::exact(3)
+        );
     }
 
     #[test]
@@ -728,18 +737,36 @@ mod tests {
 
     #[test]
     fn wrong_channel_counts_error() {
+        // Every query kind runs over k ≥ 2 channels; a single channel is
+        // rejected with the recoverable error for every kind.
+        let env1 = build_env(&[cloud(20, 0)], &[0]);
+        let engine = QueryEngine::new(env1);
+        let p = Point::ORIGIN;
+        for query in [
+            Query::tnn(p),
+            Query::chain(p),
+            Query::order_free(p),
+            Query::round_trip(p),
+        ] {
+            assert!(
+                matches!(
+                    engine.run(&query),
+                    Err(TnnError::WrongChannelCount {
+                        needed: 2,
+                        available: 1
+                    })
+                ),
+                "{:?}",
+                query.kind()
+            );
+        }
+        // Three channels are fine for every kind now.
         let env3 = build_env(&[cloud(20, 0), cloud(20, 3), cloud(20, 6)], &[0, 0, 0]);
         let engine = QueryEngine::new(env3);
-        let p = Point::ORIGIN;
-        assert!(matches!(
-            engine.run(&Query::tnn(p)),
-            Err(TnnError::WrongChannelCount { needed: 2, .. })
-        ));
+        assert!(engine.run(&Query::tnn(p)).is_ok());
         assert!(engine.run(&Query::chain(p)).is_ok());
-        assert!(matches!(
-            engine.run(&Query::order_free(p)),
-            Err(TnnError::WrongChannelCount { .. })
-        ));
+        assert!(engine.run(&Query::order_free(p)).is_ok());
+        assert!(engine.run(&Query::round_trip(p)).is_ok());
         assert!(matches!(
             engine.run(&Query::chain(Point::new(f64::NAN, 0.0)).phases(&[0, 0, 0])),
             Err(TnnError::NonFiniteQuery)
@@ -751,16 +778,41 @@ mod tests {
         // A per-channel ANN list that matches the *environment* must not
         // panic when the query kind itself does not fit the channel
         // count — the recoverable error wins.
-        let env3 = build_env(&[cloud(20, 0), cloud(20, 3), cloud(20, 6)], &[0, 0, 0]);
-        let engine = QueryEngine::new(env3);
-        let result = engine.run(&Query::tnn(Point::ORIGIN).ann_modes(&[AnnMode::Exact; 3]));
+        let env1 = build_env(&[cloud(20, 0)], &[0]);
+        let engine = QueryEngine::new(env1);
+        let result = engine.run(&Query::tnn(Point::ORIGIN).ann_modes(&[AnnMode::Exact]));
         assert!(matches!(
             result,
             Err(TnnError::WrongChannelCount {
                 needed: 2,
-                available: 3
+                available: 1
             })
         ));
+    }
+
+    #[test]
+    fn empty_channels_error_through_the_engine() {
+        let params = BroadcastParams::new(64);
+        let full = Arc::new(
+            RTree::build(&cloud(30, 2), params.rtree_params(), PackingAlgorithm::Str).unwrap(),
+        );
+        let empty = Arc::new(RTree::empty(params.rtree_params()));
+        let env = MultiChannelEnv::new(vec![full, empty], params, &[0, 0]);
+        let engine = QueryEngine::new(env);
+        let p = Point::ORIGIN;
+        for query in [
+            Query::tnn(p),
+            Query::chain(p),
+            Query::order_free(p),
+            Query::round_trip(p),
+        ] {
+            assert_eq!(
+                engine.run(&query).unwrap_err(),
+                TnnError::EmptyChannel { channel: 1 },
+                "{:?}",
+                query.kind()
+            );
+        }
     }
 
     #[test]
@@ -778,21 +830,28 @@ mod tests {
     }
 
     #[test]
-    fn outcome_metrics_match_legacy_accessors() {
+    fn outcome_metrics_match_core_run_accessors() {
         let env = two_channel();
         let engine = QueryEngine::new(env.clone());
         let p = Point::new(33.0, 44.0);
-        let legacy = run_query(&env, p, 9, &TnnConfig::default()).unwrap();
+        let core = run_query_impl(
+            &env,
+            p,
+            9,
+            &TnnConfig::default(),
+            &mut QueryScratch::<ArrivalHeap>::default(),
+        )
+        .unwrap();
         let got = engine.run(&Query::tnn(p).issued_at(9)).unwrap();
-        assert_eq!(got.access_time(), legacy.access_time());
-        assert_eq!(got.tune_in(), legacy.tune_in());
-        assert_eq!(got.tune_in_estimate(), legacy.tune_in_estimate());
-        assert_eq!(got.tune_in_filter(), legacy.tune_in_filter());
+        assert_eq!(got.access_time(), core.access_time());
+        assert_eq!(got.tune_in(), core.tune_in());
+        assert_eq!(got.tune_in_estimate(), core.tune_in_estimate());
+        assert_eq!(got.tune_in_filter(), core.tune_in_filter());
         assert_eq!(
             got.total_candidates(),
-            legacy.candidates[0] + legacy.candidates[1]
+            core.candidates[0] + core.candidates[1]
         );
-        assert_eq!(got.failed(), legacy.failed());
-        assert_eq!(got.estimate_end, Some(legacy.estimate_end));
+        assert_eq!(got.failed(), core.failed());
+        assert_eq!(got.estimate_end, Some(core.estimate_end));
     }
 }

@@ -15,6 +15,12 @@ pub enum TnnError {
     },
     /// The query point has non-finite coordinates.
     NonFiniteQuery,
+    /// A channel broadcasts an empty dataset — no feasible route exists
+    /// through it, so the estimate phase cannot produce a radius.
+    EmptyChannel {
+        /// Index of the offending channel.
+        channel: usize,
+    },
 }
 
 impl fmt::Display for TnnError {
@@ -25,6 +31,9 @@ impl fmt::Display for TnnError {
                 "query needs {needed} broadcast channels but the environment has {available}"
             ),
             TnnError::NonFiniteQuery => write!(f, "query point has non-finite coordinates"),
+            TnnError::EmptyChannel { channel } => {
+                write!(f, "channel {channel} broadcasts an empty dataset")
+            }
         }
     }
 }
@@ -43,5 +52,8 @@ mod tests {
         };
         assert!(e.to_string().contains("2"));
         assert!(TnnError::NonFiniteQuery.to_string().contains("non-finite"));
+        assert!(TnnError::EmptyChannel { channel: 3 }
+            .to_string()
+            .contains("channel 3"));
     }
 }

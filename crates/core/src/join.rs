@@ -19,14 +19,25 @@ use tnn_rtree::ObjectId;
 /// long enough).
 const SWEEP_JOIN_THRESHOLD: usize = 48;
 
-/// Reusable buffers for [`tnn_join_with`]: the `s`-candidate visit order
-/// and the x-sorted `r`-candidate index.
+/// Reusable buffers for [`tnn_join_with`] and the k-layer
+/// [`chain_join_with`]: the `s`-candidate visit order, the x-sorted
+/// inner-layer index, and the chain DP's per-layer cost/backpointer
+/// tables. One scratch serves both the two-channel join and every hop of
+/// a `k`-layer join, so a batch of queries performs no join allocations
+/// after the buffers have grown to the workload's candidate counts.
 #[derive(Debug, Default)]
 pub struct JoinScratch {
     /// `(dis²(p, s), index)` sorted ascending.
     s_order: Vec<(f64, u32)>,
     /// `(x, y, index)` sorted by x (then index).
     r_by_x: Vec<(f64, f64, u32)>,
+    /// The downstream layer of the current chain-DP transition, sorted by
+    /// x (then index).
+    layer_by_x: Vec<(Point, u32)>,
+    /// Chain DP: suffix cost per layer item, one table per layer.
+    chain_cost: Vec<Vec<f64>>,
+    /// Chain DP: best-successor backpointers, one table per layer.
+    chain_next: Vec<Vec<u32>>,
 }
 
 /// Finds the pair `(s, r)` minimizing `dis(p, s) + dis(s, r)` over the
@@ -172,45 +183,189 @@ pub fn chain_join<L: AsRef<[(Point, ObjectId)]>>(
     p: Point,
     layers: &[L],
 ) -> Option<(Vec<(Point, ObjectId)>, f64)> {
+    chain_join_with(&mut JoinScratch::default(), p, layers)
+}
+
+/// [`chain_join`] with caller-provided scratch buffers — the k-layer
+/// sibling of [`tnn_join_with`], reusing the same [`JoinScratch`].
+///
+/// Each layer transition is the x-sorted sweep of the two-channel join,
+/// iterated pairwise down the layers: large downstream layers are sorted
+/// by x once per transition and each upstream point expands outward from
+/// its x position, stopping a direction when the x gap plus the smallest
+/// downstream suffix cost already reaches its best total (`dis ≥ |Δx|`
+/// and `cost ≥ min cost` bound the objective from below).
+pub fn chain_join_with<L: AsRef<[(Point, ObjectId)]>>(
+    scratch: &mut JoinScratch,
+    p: Point,
+    layers: &[L],
+) -> Option<(Vec<(Point, ObjectId)>, f64)> {
+    chain_join_core(scratch, p, layers, false)
+}
+
+/// The closed-tour k-layer join: minimizes
+/// `dis(p, s₁) + Σ dis(sᵢ, sᵢ₊₁) + dis(s_k, p)` — the round-trip TNN
+/// objective over `k ≥ 2` layers. Returns `None` when any layer is empty.
+pub fn chain_loop_join<L: AsRef<[(Point, ObjectId)]>>(
+    p: Point,
+    layers: &[L],
+) -> Option<(Vec<(Point, ObjectId)>, f64)> {
+    chain_loop_join_with(&mut JoinScratch::default(), p, layers)
+}
+
+/// [`chain_loop_join`] with caller-provided scratch buffers.
+pub fn chain_loop_join_with<L: AsRef<[(Point, ObjectId)]>>(
+    scratch: &mut JoinScratch,
+    p: Point,
+    layers: &[L],
+) -> Option<(Vec<(Point, ObjectId)>, f64)> {
+    chain_join_core(scratch, p, layers, true)
+}
+
+/// Shared implementation of the open-chain and closed-tour k-layer joins.
+/// `close_tour` seeds the last layer's suffix costs with the return leg
+/// `dis(s_k, p)` instead of zero.
+///
+/// Ties are broken toward the smaller `(total, index)` pair in every
+/// transition and in the head step, matching the plain nested-loop order
+/// — deterministic and independent of whether a transition took the scan
+/// or the sweep path.
+fn chain_join_core<L: AsRef<[(Point, ObjectId)]>>(
+    scratch: &mut JoinScratch,
+    p: Point,
+    layers: &[L],
+    close_tour: bool,
+) -> Option<(Vec<(Point, ObjectId)>, f64)> {
     if layers.is_empty() || layers.iter().any(|l| l.as_ref().is_empty()) {
         return None;
     }
     let k = layers.len();
-    // cost[i][j]: best length of the suffix starting at layer i's item j.
-    let mut cost: Vec<Vec<f64>> = layers.iter().map(|l| vec![0.0; l.as_ref().len()]).collect();
-    let mut next: Vec<Vec<usize>> = layers.iter().map(|l| vec![0; l.as_ref().len()]).collect();
-    for i in (0..k - 1).rev() {
-        for (j, &(pt, _)) in layers[i].as_ref().iter().enumerate() {
-            let mut best = f64::INFINITY;
-            let mut arg = 0;
-            for (j2, &(pt2, _)) in layers[i + 1].as_ref().iter().enumerate() {
-                let c = pt.dist(pt2) + cost[i + 1][j2];
-                if c < best {
-                    best = c;
-                    arg = j2;
-                }
+    // Grow the per-layer DP tables to k layers, reusing inner capacity.
+    while scratch.chain_cost.len() < k {
+        scratch.chain_cost.push(Vec::new());
+        scratch.chain_next.push(Vec::new());
+    }
+    for (i, layer) in layers.iter().enumerate() {
+        let n = layer.as_ref().len();
+        let cost = &mut scratch.chain_cost[i];
+        cost.clear();
+        if i == k - 1 {
+            if close_tour {
+                cost.extend(layer.as_ref().iter().map(|&(pt, _)| pt.dist(p)));
+            } else {
+                cost.extend(std::iter::repeat_n(0.0, n));
             }
-            cost[i][j] = best;
-            next[i][j] = arg;
+        } else {
+            cost.extend(std::iter::repeat_n(f64::INFINITY, n));
+        }
+        let next = &mut scratch.chain_next[i];
+        next.clear();
+        next.extend(std::iter::repeat_n(0u32, n));
+    }
+
+    // Backward DP: cost[i][j] = best suffix length starting at layer i's
+    // item j. Each transition is a (weighted) nearest-neighbor problem
+    // over the downstream layer; large layers take the x-sorted sweep.
+    for i in (0..k - 1).rev() {
+        let downstream = layers[i + 1].as_ref();
+        let (cost_i, cost_next) = {
+            let (head, tail) = scratch.chain_cost.split_at_mut(i + 1);
+            (&mut head[i], &tail[0][..downstream.len()])
+        };
+        let next_i = &mut scratch.chain_next[i];
+        let sweep = downstream.len() > SWEEP_JOIN_THRESHOLD;
+        let min_future = cost_next.iter().copied().fold(f64::INFINITY, f64::min);
+        if sweep {
+            scratch.layer_by_x.clear();
+            scratch.layer_by_x.extend(
+                downstream
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &(pt, _))| (pt, j as u32)),
+            );
+            scratch
+                .layer_by_x
+                .sort_unstable_by(|a, b| a.0.x.total_cmp(&b.0.x).then(a.1.cmp(&b.1)));
+        }
+        for (j, &(pt, _)) in layers[i].as_ref().iter().enumerate() {
+            let (best, arg) = if sweep {
+                weighted_nearest_by_sweep(&scratch.layer_by_x, cost_next, min_future, pt)
+            } else {
+                weighted_nearest_by_scan(downstream, cost_next, pt)
+            };
+            cost_i[j] = best;
+            next_i[j] = arg;
         }
     }
+
     // Head step from p into layer 0.
     let (mut j, mut total) = (0usize, f64::INFINITY);
     for (j0, &(pt, _)) in layers[0].as_ref().iter().enumerate() {
-        let c = p.dist(pt) + cost[0][j0];
+        let c = p.dist(pt) + scratch.chain_cost[0][j0];
         if c < total {
             total = c;
             j = j0;
         }
     }
     let mut path = Vec::with_capacity(k);
-    for i in 0..k {
-        path.push(layers[i].as_ref()[j]);
+    for (i, layer) in layers.iter().enumerate() {
+        path.push(layer.as_ref()[j]);
         if i + 1 < k {
-            j = next[i][j];
+            j = scratch.chain_next[i][j] as usize;
         }
     }
     Some((path, total))
+}
+
+/// Linear inner loop of one chain-DP transition: minimizes
+/// `dis(q, cand) + cost[cand]` over the downstream layer, preferring the
+/// smaller `(total, index)` pair on ties.
+fn weighted_nearest_by_scan(cands: &[(Point, ObjectId)], cost: &[f64], q: Point) -> (f64, u32) {
+    let mut best = (f64::INFINITY, u32::MAX);
+    for (j, &(pt, _)) in cands.iter().enumerate() {
+        let total = q.dist(pt) + cost[j];
+        if total < best.0 {
+            best = (total, j as u32);
+        }
+    }
+    best
+}
+
+/// Sweep inner loop of one chain-DP transition over the x-sorted
+/// downstream layer: expands outward from the query's x position and
+/// stops a direction once `|Δx| + min_cost` alone reaches the best total
+/// (`dis(q, cand) ≥ |Δx|` and `cost[cand] ≥ min_cost`). Picks the
+/// smallest `(total, index)` pair, matching [`weighted_nearest_by_scan`]
+/// exactly, so the result is independent of the sweep direction.
+fn weighted_nearest_by_sweep(
+    by_x: &[(Point, u32)],
+    cost: &[f64],
+    min_cost: f64,
+    q: Point,
+) -> (f64, u32) {
+    let start = by_x.partition_point(|e| e.0.x < q.x);
+    let mut best = (f64::INFINITY, u32::MAX);
+    for &(pt, j) in &by_x[start..] {
+        let dx = pt.x - q.x;
+        if dx + min_cost > best.0 {
+            break;
+        }
+        let total = q.dist(pt) + cost[j as usize];
+        if total < best.0 || (total == best.0 && j < best.1) {
+            best = (total, j);
+        }
+    }
+    for &(pt, j) in by_x[..start].iter().rev() {
+        let dx = q.x - pt.x;
+        if dx + min_cost > best.0 {
+            break;
+        }
+        let total = q.dist(pt) + cost[j as usize];
+        if total < best.0 || (total == best.0 && j < best.1) {
+            best = (total, j);
+        }
+    }
+    best
 }
 
 #[cfg(test)]

@@ -7,7 +7,10 @@
 //!
 //! Given a query point `p` and two datasets `S`, `R` broadcast on two
 //! channels, a TNN query returns the pair `(s, r) ∈ S × R` minimizing the
-//! transitive distance `dis(p, s) + dis(s, r)`.
+//! transitive distance `dis(p, s) + dis(s, r)`. This crate generalizes
+//! the whole pipeline to `k ≥ 2` channels: the same four algorithms find
+//! the minimum-length route `p → s₁ → … → s_k` with one stop per
+//! channel, and `k = 2` reproduces the paper bit-for-bit.
 //!
 //! ## Algorithms ([`Algorithm`])
 //!
@@ -43,11 +46,12 @@
 //! ## Extensions (the paper's future-work list, §7)
 //!
 //! * [`Query::chain`] — item 1: `k ≥ 2` datasets on `k` channels,
-//!   visited in category order;
+//!   visited in category order (an alias for the generalized
+//!   [`Algorithm::DoubleNn`] pipeline);
 //! * [`Query::order_free`] — item 2: the visiting order is not specified
-//!   (best of `p→s→r` and `p→r→s`);
+//!   (the shortest route over every visit order);
 //! * [`Query::round_trip`] — item 3: a complete tour returning to the
-//!   source (`dis(p,s) + dis(s,r) + dis(r,p)`).
+//!   source (`dis(p,s₁) + Σ dis(sᵢ,sᵢ₊₁) + dis(s_k,p)`).
 //!
 //! ## The unified API ([`QueryEngine`])
 //!
@@ -57,8 +61,8 @@
 //! .algorithm(..).ann_modes(..).phases(..)`), and get a unified
 //! [`QueryOutcome`] with per-hop channel costs back. The pre-engine free
 //! functions (`run_query`, `chain_tnn`, `order_free_tnn`,
-//! `round_trip_tnn`) remain as thin deprecated wrappers for one release;
-//! see `docs/API.md` at the repository root for the migration guide.
+//! `round_trip_tnn`) were deprecated in 0.2.0 and are gone; see
+//! `docs/API.md` at the repository root for the migration guide.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -80,18 +84,16 @@ pub use config::{Algorithm, AnnModes, AnnSpec, TnnConfig};
 pub use engine::{Query, QueryEngine, QueryKind, QueryOutcome, RouteStop};
 pub use error::TnnError;
 pub use exact::{exact_chain_tnn, exact_tnn};
-pub use join::{chain_join, tnn_join};
+pub use join::{chain_join, chain_loop_join, tnn_join};
 pub use mode::SearchMode;
 pub use result::{ChannelCost, Phase, TnnPair, TnnRun};
 
 pub use algorithms::{
-    approximate_radius, approximate_radius_for_env, chain_tnn_overlay, order_free_tnn_overlay,
-    round_trip_tnn_overlay, run_query_impl, run_query_overlay, ChainRun, QueryScratch, VariantRun,
+    approximate_radius, approximate_radius_for_env, order_free_tnn_overlay, round_trip_join,
+    round_trip_tnn_overlay, run_query_impl, run_query_overlay, QueryScratch, VariantRun,
     VisitOrder,
 };
-#[allow(deprecated)] // legacy wrappers stay exported for one release
-pub use algorithms::{chain_tnn, order_free_tnn, round_trip_tnn, run_query, run_query_with};
-pub use join::{tnn_join_with, JoinScratch};
+pub use join::{chain_join_with, chain_loop_join_with, tnn_join_with, JoinScratch};
 pub use task::{ArrivalHeap, CandidateQueue};
 
 #[cfg(feature = "linear-reference")]

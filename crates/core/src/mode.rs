@@ -42,6 +42,18 @@ pub enum SearchMode {
 }
 
 impl SearchMode {
+    /// The point the search departs from: the query point in point mode,
+    /// the source focus `p` in transitive mode. The generalized Hybrid-NN
+    /// re-targeting uses this as the fixed endpoint when an upstream hop's
+    /// search switches to the transitive metric.
+    #[inline]
+    pub fn anchor(&self) -> Point {
+        match *self {
+            SearchMode::Point { q } => q,
+            SearchMode::Transitive { p, .. } => p,
+        }
+    }
+
     /// Lower bound of the objective over all points inside `mbr`
     /// (`MinDist` / `MinTransDist`); the pruning metric.
     #[inline]

@@ -47,12 +47,21 @@ impl ChannelCost {
     }
 }
 
-/// The outcome of one TNN query execution.
+/// The outcome of one TNN query execution over `k ≥ 2` channels.
+///
+/// The paper's two-channel special case (`p → s → r`) is `k = 2`; the
+/// generalized core runs the same estimate–filter–join pipeline over a
+/// `k`-hop route `p → s₁ → … → s_k` with `sᵢ` drawn from channel `i`'s
+/// dataset.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TnnRun {
-    /// The answer pair, or `None` when the algorithm failed to produce
-    /// one (only possible for Approximate-TNN on unlucky ranges).
-    pub answer: Option<TnnPair>,
+    /// The answer route, one stop per channel in channel (= visit) order;
+    /// empty when the algorithm failed to produce one (only possible for
+    /// Approximate-TNN on unlucky ranges).
+    pub route: Vec<(Point, ObjectId)>,
+    /// Total route length `dis(p, s₁) + Σ dis(sᵢ, sᵢ₊₁)`, or `None` when
+    /// the query failed.
+    pub total_dist: Option<f64>,
     /// The search radius `d` used by the filter phase.
     pub search_radius: f64,
     /// Slot at which the query was issued.
@@ -64,9 +73,9 @@ pub struct TnnRun {
     pub completed_at: u64,
     /// Number of candidates retrieved by the filter phase from each
     /// channel.
-    pub candidates: [usize; 2],
+    pub candidates: Vec<usize>,
     /// Per-channel cost breakdown.
-    pub channels: [ChannelCost; 2],
+    pub channels: Vec<ChannelCost>,
 }
 
 impl TnnRun {
@@ -82,19 +91,32 @@ impl TnnRun {
         self.channels.iter().map(|c| c.total_pages()).sum()
     }
 
-    /// Tune-in time of the estimate phase only (both channels).
+    /// Tune-in time of the estimate phase only (all channels).
     pub fn tune_in_estimate(&self) -> u64 {
         self.channels.iter().map(|c| c.estimate_pages).sum()
     }
 
-    /// Tune-in time of the filter phase only (both channels).
+    /// Tune-in time of the filter phase only (all channels).
     pub fn tune_in_filter(&self) -> u64 {
         self.channels.iter().map(|c| c.filter_pages).sum()
     }
 
     /// `true` when the algorithm produced no answer at all.
     pub fn failed(&self) -> bool {
-        self.answer.is_none()
+        self.route.is_empty()
+    }
+
+    /// The answer as a classic two-channel [`TnnPair`]; `None` for failed
+    /// queries and for `k > 2` routes (read [`TnnRun::route`] instead).
+    pub fn answer(&self) -> Option<TnnPair> {
+        match self.route.as_slice() {
+            [s, r] => Some(TnnPair {
+                s: *s,
+                r: *r,
+                dist: self.total_dist?,
+            }),
+            _ => None,
+        }
     }
 }
 
@@ -104,13 +126,14 @@ mod tests {
 
     fn sample_run() -> TnnRun {
         TnnRun {
-            answer: None,
+            route: Vec::new(),
+            total_dist: None,
             search_radius: 10.0,
             issued_at: 100,
             estimate_end: 150,
             completed_at: 260,
-            candidates: [3, 4],
-            channels: [
+            candidates: vec![3, 4],
+            channels: vec![
                 ChannelCost {
                     estimate_pages: 5,
                     filter_pages: 7,
@@ -135,6 +158,24 @@ mod tests {
         assert_eq!(run.tune_in_estimate(), 7);
         assert_eq!(run.tune_in_filter(), 10);
         assert!(run.failed());
+        assert!(run.answer().is_none());
         assert_eq!(run.channels[0].total_pages(), 28);
+    }
+
+    #[test]
+    fn answer_pair_only_for_two_stop_routes() {
+        let mut run = sample_run();
+        run.route = vec![
+            (Point::new(1.0, 0.0), ObjectId(4)),
+            (Point::new(2.0, 0.0), ObjectId(9)),
+        ];
+        run.total_dist = Some(2.0);
+        let pair = run.answer().expect("two stops form a pair");
+        assert_eq!(pair.s.1, ObjectId(4));
+        assert_eq!(pair.r.1, ObjectId(9));
+        assert_eq!(pair.dist, 2.0);
+        run.route.push((Point::new(3.0, 0.0), ObjectId(1)));
+        assert!(run.answer().is_none(), "3-hop routes do not fit a pair");
+        assert!(!run.failed());
     }
 }

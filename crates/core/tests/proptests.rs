@@ -1,18 +1,20 @@
 //! Property tests for TNN query processing: every exact algorithm must
 //! return the true optimum on arbitrary datasets, phases and query
-//! points; ANN pruning must never change the final answer (Theorem 1);
-//! and the cost accounting must satisfy basic sanity laws.
+//! points — at the paper's two channels and beyond; ANN pruning must
+//! never change the final answer (Theorem 1); and the cost accounting
+//! must satisfy basic sanity laws.
 //!
-//! These run through the deprecated free-function wrappers on purpose:
-//! they double as regression coverage that the wrappers keep working
-//! while they exist (the engine itself is property-tested for
-//! byte-identity against them in `crates/bench/tests`).
-#![allow(deprecated)]
+//! These run through the single-query `run_query_impl` entry point (the
+//! engine itself is property-tested for byte-identity against a frozen
+//! copy of the two-channel pipeline in `crates/bench/tests`).
 
 use proptest::prelude::*;
 use std::sync::Arc;
 use tnn_broadcast::{BroadcastParams, MultiChannelEnv};
-use tnn_core::{exact_tnn, run_query, Algorithm, AnnMode, TnnConfig};
+use tnn_core::{
+    exact_chain_tnn, exact_tnn, run_query_impl, Algorithm, AnnMode, Query, QueryEngine,
+    QueryScratch, TnnConfig, TnnRun,
+};
 use tnn_geom::Point;
 use tnn_rtree::{PackingAlgorithm, RTree};
 
@@ -58,6 +60,22 @@ fn build_env(sc: &Scenario) -> MultiChannelEnv {
     MultiChannelEnv::new(vec![Arc::new(ts), Arc::new(tr)], params, &sc.phases)
 }
 
+fn build_env_k(layers: &[Vec<Point>], phases: &[u64], page: usize) -> MultiChannelEnv {
+    let params = BroadcastParams::new(page);
+    let trees = layers
+        .iter()
+        .map(|pts| {
+            Arc::new(RTree::build(pts, params.rtree_params(), PackingAlgorithm::Str).unwrap())
+        })
+        .collect();
+    MultiChannelEnv::new(trees, params, phases)
+}
+
+fn run(env: &MultiChannelEnv, p: Point, issued_at: u64, cfg: &TnnConfig) -> TnnRun {
+    let mut scratch: QueryScratch = QueryScratch::default();
+    run_query_impl(env, p, issued_at, cfg, &mut scratch).unwrap()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
@@ -67,8 +85,8 @@ proptest! {
         let env = build_env(&sc);
         let oracle = exact_tnn(sc.query, env.channel(0).tree(), env.channel(1).tree());
         for alg in [Algorithm::WindowBased, Algorithm::DoubleNn, Algorithm::HybridNn] {
-            let run = run_query(&env, sc.query, sc.issued_at, &TnnConfig::exact(alg)).unwrap();
-            let got = run.answer.unwrap_or_else(|| panic!("{} failed", alg.name()));
+            let run = run(&env, sc.query, sc.issued_at, &TnnConfig::exact(alg));
+            let got = run.answer().unwrap_or_else(|| panic!("{} failed", alg.name()));
             prop_assert!(
                 (got.dist - oracle.dist).abs() < 1e-9,
                 "{}: got {} expected {}",
@@ -85,9 +103,8 @@ proptest! {
         let oracle = exact_tnn(sc.query, env.channel(0).tree(), env.channel(1).tree());
         for alg in [Algorithm::WindowBased, Algorithm::DoubleNn, Algorithm::HybridNn] {
             let cfg = TnnConfig::exact(alg)
-                .with_ann(AnnMode::Dynamic { factor }, AnnMode::Dynamic { factor });
-            let run = run_query(&env, sc.query, sc.issued_at, &cfg).unwrap();
-            let got = run.answer.unwrap();
+                .with_ann_modes(&[AnnMode::Dynamic { factor }; 2]);
+            let got = run(&env, sc.query, sc.issued_at, &cfg).answer().unwrap();
             prop_assert!(
                 (got.dist - oracle.dist).abs() < 1e-9,
                 "{} + ANN({factor}): got {} expected {}",
@@ -104,8 +121,8 @@ proptest! {
     fn answers_are_internally_consistent(sc in scenario_strategy()) {
         let env = build_env(&sc);
         for alg in Algorithm::ALL {
-            let run = run_query(&env, sc.query, sc.issued_at, &TnnConfig::exact(alg)).unwrap();
-            if let Some(pair) = &run.answer {
+            let run = run(&env, sc.query, sc.issued_at, &TnnConfig::exact(alg));
+            if let Some(pair) = run.answer() {
                 let recomputed = sc.query.dist(pair.s.0) + pair.s.0.dist(pair.r.0);
                 prop_assert!((recomputed - pair.dist).abs() < 1e-9);
                 // Theorem 1: candidates are drawn from circle(p, d).
@@ -126,7 +143,7 @@ proptest! {
     fn cost_accounting_laws(sc in scenario_strategy()) {
         let env = build_env(&sc);
         for alg in Algorithm::ALL {
-            let run = run_query(&env, sc.query, sc.issued_at, &TnnConfig::exact(alg)).unwrap();
+            let run = run(&env, sc.query, sc.issued_at, &TnnConfig::exact(alg));
             prop_assert!(run.issued_at == sc.issued_at);
             prop_assert!(run.estimate_end >= run.issued_at);
             prop_assert!(run.completed_at >= run.estimate_end);
@@ -135,7 +152,7 @@ proptest! {
             prop_assert!(run.access_time() >= run.estimate_end - run.issued_at);
             // Exact algorithms always answer.
             if alg.is_exact() {
-                prop_assert!(run.answer.is_some());
+                prop_assert!(!run.failed());
             }
         }
     }
@@ -151,9 +168,9 @@ proptest! {
         sc_b.phases = [alt_phases.0, alt_phases.1];
         let env_b = build_env(&sc_b);
         for alg in [Algorithm::WindowBased, Algorithm::DoubleNn] {
-            let run_a = run_query(&env_a, sc.query, sc.issued_at, &TnnConfig::exact(alg)).unwrap();
-            let run_b = run_query(&env_b, sc.query, sc.issued_at, &TnnConfig::exact(alg)).unwrap();
-            let (a, b) = (run_a.answer.unwrap(), run_b.answer.unwrap());
+            let run_a = run(&env_a, sc.query, sc.issued_at, &TnnConfig::exact(alg));
+            let run_b = run(&env_b, sc.query, sc.issued_at, &TnnConfig::exact(alg));
+            let (a, b) = (run_a.answer().unwrap(), run_b.answer().unwrap());
             prop_assert!((a.dist - b.dist).abs() < 1e-9, "{}", alg.name());
         }
     }
@@ -164,11 +181,11 @@ proptest! {
     #[test]
     fn approximate_tnn_properties(sc in scenario_strategy()) {
         let env = build_env(&sc);
-        let run = run_query(&env, sc.query, sc.issued_at,
-            &TnnConfig::exact(Algorithm::ApproximateTnn)).unwrap();
+        let run = run(&env, sc.query, sc.issued_at,
+            &TnnConfig::exact(Algorithm::ApproximateTnn));
         prop_assert_eq!(run.tune_in_estimate(), 0);
         prop_assert_eq!(run.estimate_end, sc.issued_at);
-        if let Some(pair) = &run.answer {
+        if let Some(pair) = run.answer() {
             prop_assert!(sc.query.dist(pair.s.0) <= run.search_radius + 1e-9);
             prop_assert!(sc.query.dist(pair.r.0) <= run.search_radius + 1e-9);
         }
@@ -191,8 +208,125 @@ proptest! {
             query: Point::new(qx, qy), issued_at: 0,
         };
         let env = build_env(&sc);
-        let hybrid = run_query(&env, sc.query, 0, &TnnConfig::exact(Algorithm::HybridNn)).unwrap();
-        let double = run_query(&env, sc.query, 0, &TnnConfig::exact(Algorithm::DoubleNn)).unwrap();
+        let hybrid = run(&env, sc.query, 0, &TnnConfig::exact(Algorithm::HybridNn));
+        let double = run(&env, sc.query, 0, &TnnConfig::exact(Algorithm::DoubleNn));
         prop_assert!(hybrid.search_radius <= double.search_radius + 1e-9);
+    }
+
+    /// Every exact algorithm returns the true optimal chain at three and
+    /// four channels — the generalized core against the exact chain
+    /// oracle, with per-hop costs and a full k-stop route.
+    #[test]
+    fn exact_algorithms_match_chain_oracle_at_k(
+        layers in prop::collection::vec(
+            prop::collection::vec(
+                (0.0f64..1000.0, 0.0f64..1000.0).prop_map(|(x, y)| Point::new(x, y)),
+                1..120,
+            ),
+            3..5,
+        ),
+        phase_seed in 0u64..100_000,
+        (qx, qy) in (-100.0f64..1100.0, -100.0f64..1100.0),
+        issued_at in 0u64..20_000,
+    ) {
+        let k = layers.len();
+        let phases: Vec<u64> =
+            (0..k as u64).map(|i| phase_seed.wrapping_mul(i + 1) % 60_000).collect();
+        let env = build_env_k(&layers, &phases, 64);
+        let p = Point::new(qx, qy);
+        let trees: Vec<&RTree> = env.channels().iter().map(|c| c.tree()).collect();
+        let (_, oracle_total) = exact_chain_tnn(p, &trees);
+        for alg in [Algorithm::WindowBased, Algorithm::DoubleNn, Algorithm::HybridNn] {
+            let run = run(&env, p, issued_at, &TnnConfig::exact_for(alg, k));
+            prop_assert_eq!(run.route.len(), k, "{}", alg.name());
+            prop_assert_eq!(run.channels.len(), k, "{}", alg.name());
+            let got = run.total_dist.unwrap();
+            prop_assert!(
+                (got - oracle_total).abs() < 1e-9,
+                "{} at k={}: got {} expected {}",
+                alg.name(), k, got, oracle_total
+            );
+            // Every stop lies inside the filter circle (Theorem 1,
+            // generalized).
+            for &(pt, _) in &run.route {
+                prop_assert!(p.dist(pt) <= run.search_radius + 1e-9);
+            }
+        }
+    }
+
+    /// Duplicate points — shared across channels and repeated within one
+    /// — never confuse the pipeline: the optimum matches the oracle and
+    /// the route realizes the reported total.
+    #[test]
+    fn duplicate_points_across_channels(
+        base in prop::collection::vec(
+            (0.0f64..200.0, 0.0f64..200.0).prop_map(|(x, y)| Point::new(x, y)),
+            1..40,
+        ),
+        dups in 1usize..4,
+        k in 2usize..5,
+        (qx, qy) in (0.0f64..200.0, 0.0f64..200.0),
+    ) {
+        // Every channel broadcasts the same multiset of points, each
+        // repeated `dups` times.
+        let layer: Vec<Point> = base
+            .iter()
+            .flat_map(|&pt| std::iter::repeat_n(pt, dups))
+            .collect();
+        let layers: Vec<Vec<Point>> = (0..k).map(|_| layer.clone()).collect();
+        let env = build_env_k(&layers, &vec![7; k], 64);
+        let p = Point::new(qx, qy);
+        // With identical layers the optimal chain parks at p's NN:
+        // d = dis(p, nn) and every later hop repeats the same point.
+        let nn = base
+            .iter()
+            .map(|&pt| p.dist(pt))
+            .fold(f64::INFINITY, f64::min);
+        for alg in [Algorithm::WindowBased, Algorithm::DoubleNn, Algorithm::HybridNn] {
+            let run = run(&env, p, 0, &TnnConfig::exact_for(alg, k));
+            let got = run.total_dist.unwrap();
+            prop_assert!(
+                (got - nn).abs() < 1e-9,
+                "{} k={} dups={}: got {} expected {}",
+                alg.name(), k, dups, got, nn
+            );
+            // The route realizes the total.
+            let mut recomputed = 0.0;
+            let mut prev = p;
+            for &(pt, _) in &run.route {
+                recomputed += prev.dist(pt);
+                prev = pt;
+            }
+            prop_assert!((recomputed - got).abs() < 1e-9);
+        }
+    }
+
+    /// Pooled engine runs and caller-scratch runs are deterministic and
+    /// identical at k > 2, across repeated executions on the same pool.
+    #[test]
+    fn pooled_vs_scratch_determinism_beyond_two_channels(
+        layers in prop::collection::vec(
+            prop::collection::vec(
+                (0.0f64..500.0, 0.0f64..500.0).prop_map(|(x, y)| Point::new(x, y)),
+                1..80,
+            ),
+            3..5,
+        ),
+        (qx, qy) in (0.0f64..500.0, 0.0f64..500.0),
+    ) {
+        let k = layers.len();
+        let env = build_env_k(&layers, &vec![13; k], 64);
+        let engine = QueryEngine::new(env);
+        let p = Point::new(qx, qy);
+        let mut scratch = QueryScratch::default();
+        for alg in Algorithm::ALL {
+            let query = Query::tnn(p).algorithm(alg).issued_at(9);
+            let pooled_a = engine.run(&query).unwrap();
+            let direct = engine.run_with(&query, &mut scratch).unwrap();
+            // A second pooled run draws the recycled (grown) scratch.
+            let pooled_b = engine.run(&query).unwrap();
+            prop_assert_eq!(&pooled_a, &direct, "{}", alg.name());
+            prop_assert_eq!(&pooled_a, &pooled_b, "{}", alg.name());
+        }
     }
 }

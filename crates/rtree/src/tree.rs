@@ -56,6 +56,26 @@ impl RTree {
         build::build_tree(points, params, algo)
     }
 
+    /// A tree over the **empty dataset**: a single entry-less leaf root
+    /// with a degenerate bounding rectangle.
+    ///
+    /// [`RTree::build`] deliberately rejects empty input
+    /// ([`RTreeError::EmptyDataset`]) because a packed tree cannot index
+    /// nothing — this constructor exists so a broadcast channel whose
+    /// dataset is (still) empty can be *represented* and rejected
+    /// gracefully downstream (`TnnError::EmptyChannel`) instead of being
+    /// unconstructible. Queries against an empty tree find nothing:
+    /// [`RTree::nearest_neighbor`] returns `None` and range queries see
+    /// an empty leaf.
+    pub fn empty(params: RTreeParams) -> Self {
+        let root = Node {
+            mbr: Rect::from_coords(0.0, 0.0, 0.0, 0.0),
+            level: 0,
+            entries: Entries::Leaf(Vec::new()),
+        };
+        RTree::from_parts(vec![root], 0, 1, params, PackingAlgorithm::Str)
+    }
+
     pub(crate) fn from_parts(
         nodes: Vec<Node>,
         num_objects: usize,
@@ -156,7 +176,9 @@ impl RTree {
         let mut seen_children = vec![false; self.nodes.len()];
         seen_children[0] = true;
         for (i, node) in self.nodes.iter().enumerate() {
-            if node.is_empty() {
+            // The only legal empty node is the lone leaf root of an
+            // [`RTree::empty`] tree.
+            if node.is_empty() && !(self.num_objects == 0 && self.nodes.len() == 1) {
                 return Err(format!("node n{i} is empty"));
             }
             match &node.entries {
@@ -309,5 +331,27 @@ mod tests {
         .unwrap();
         let nn = tree.nearest_neighbor(Point::new(4.2, 4.9)).unwrap();
         assert_eq!(nn.point, Point::new(4.0, 5.0));
+    }
+
+    #[test]
+    fn empty_tree_is_valid_and_finds_nothing() {
+        let tree = RTree::empty(RTreeParams::for_page_capacity(64));
+        tree.validate().expect("empty singleton tree is legal");
+        assert_eq!(tree.num_objects(), 0);
+        assert_eq!(tree.num_nodes(), 1);
+        assert_eq!(tree.height(), 1);
+        assert!(tree.nearest_neighbor(Point::new(1.0, 2.0)).is_none());
+        assert_eq!(tree.objects_in_leaf_order().count(), 0);
+        // `build` keeps rejecting empty input — `empty` is the only way
+        // to represent a dataset-less channel.
+        assert_eq!(
+            RTree::build(
+                &[],
+                RTreeParams::for_page_capacity(64),
+                PackingAlgorithm::Str
+            )
+            .unwrap_err(),
+            RTreeError::EmptyDataset
+        );
     }
 }

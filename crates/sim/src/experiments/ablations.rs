@@ -13,9 +13,14 @@
 //!    Lin et al. \[14\].
 //! 6. **Chained TNN** — cost scaling of the future-work generalization
 //!    over k = 2, 3, 4 channels.
+//! 7. **Channel count for the core algorithms** — the k-ary
+//!    generalization of Window-Based, Double-NN, and Hybrid-NN over
+//!    k = 2, 3, 4 channels (the chained estimate is Double-NN's; this
+//!    axis shows how the sequential Window-Based estimate and the
+//!    neighbor-hop re-targeting of Hybrid-NN scale with hops).
 
 use super::{f1, Context};
-use crate::{run_chain_batch, DatasetSpec, Table};
+use crate::{run_chain_batch, run_tnn_batch, BatchConfig, DatasetSpec, Table};
 use std::sync::Arc;
 use tnn_broadcast::{BroadcastParams, Channel, PAGE_CAPACITIES};
 use tnn_core::{Algorithm, AnnMode, SearchMode, TnnConfig};
@@ -275,7 +280,61 @@ fn chained(ctx: &Context) -> Table {
     table
 }
 
-/// Ablation 7: the order-free and round-trip variants (future-work items
+/// Ablation 7: channel count for the core TNN algorithms — the k-ary
+/// generalization over k = 2, 3, 4 channels, exercising the sequential
+/// Window-Based hops, the parallel Double-NN fan-out, and Hybrid-NN's
+/// neighbor-hop re-targeting at every k (oracle-checked).
+fn core_channel_count(ctx: &Context) -> Table {
+    let params = BroadcastParams::new(64);
+    let mut table = Table::new(
+        "Extension: core TNN algorithms over k channels (UNIF(-5.4) per channel)",
+        &[
+            "k",
+            "Window access",
+            "Window tune-in",
+            "Double access",
+            "Double tune-in",
+            "Hybrid access",
+            "Hybrid tune-in",
+        ],
+    );
+    let region = paper_region();
+    for k in [2usize, 3, 4] {
+        let trees: Vec<Arc<RTree>> = (0..k)
+            .map(|i| {
+                let pts = tnn_datasets::unif(-5.4, 0x8100 + i as u64);
+                Arc::new(RTree::build(&pts, params.rtree_params(), PackingAlgorithm::Str).unwrap())
+            })
+            .collect();
+        let mut row = vec![k.to_string()];
+        for alg in [
+            Algorithm::WindowBased,
+            Algorithm::DoubleNn,
+            Algorithm::HybridNn,
+        ] {
+            let cfg = BatchConfig {
+                params,
+                tnn: TnnConfig::exact_for(alg, k),
+                queries: ctx.queries.min(300),
+                seed: ctx.seed,
+                check_oracle: true,
+            };
+            let stats = run_tnn_batch(&trees, &region, &cfg);
+            assert_eq!(
+                stats.fail_rate,
+                0.0,
+                "{} must stay exact at k={k}",
+                alg.name()
+            );
+            row.push(f1(stats.mean_access));
+            row.push(f1(stats.mean_tune_in));
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+/// Ablation 8: the order-free and round-trip variants (future-work items
 /// 2 and 3) against plain TNN on the same workload.
 fn variants(ctx: &Context) -> Table {
     use rand::{Rng, SeedableRng};
@@ -367,6 +426,7 @@ pub fn run(ctx: &Context) -> Vec<Table> {
         page_capacity(ctx),
         alpha_policy(ctx),
         chained(ctx),
+        core_channel_count(ctx),
         variants(ctx),
     ]
 }

@@ -28,7 +28,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 use tnn_broadcast::{BroadcastParams, MultiChannelEnv};
-use tnn_core::{exact_tnn, AnnMode, CandidateQueue, Query, QueryEngine, QueryScratch, TnnConfig};
+use tnn_core::{
+    exact_chain_tnn, exact_tnn, AnnMode, CandidateQueue, Query, QueryEngine, QueryScratch,
+    TnnConfig,
+};
 use tnn_geom::{Point, Rect};
 use tnn_rtree::RTree;
 
@@ -91,15 +94,35 @@ fn run_samples(queries: usize, run_chunk: impl Fn(usize, &mut [QuerySample]) + S
 }
 
 /// Executes one batch of TNN queries over `(s_tree, r_tree)` and
-/// aggregates the paper's metrics. Work is spread over all CPUs; results
-/// are bit-identical in the seed regardless of thread count.
+/// aggregates the paper's metrics — the paper's two-channel workload,
+/// a thin wrapper over the k-ary [`run_tnn_batch`]. Work is spread over
+/// all CPUs; results are bit-identical in the seed regardless of thread
+/// count.
 pub fn run_batch(
     s_tree: &Arc<RTree>,
     r_tree: &Arc<RTree>,
     region: &Rect,
     cfg: &BatchConfig,
 ) -> BatchStats {
-    run_batch_impl::<tnn_core::ArrivalHeap>(s_tree, r_tree, region, cfg)
+    run_tnn_batch_impl::<tnn_core::ArrivalHeap>(
+        &[Arc::clone(s_tree), Arc::clone(r_tree)],
+        region,
+        cfg,
+    )
+}
+
+/// Executes one batch of TNN queries over `k ≥ 2` trees, one broadcast
+/// channel per tree — the channel-count axis of the evaluation. The
+/// configured algorithm runs the generalized `k`-hop pipeline;
+/// `cfg.tnn.ann` must hold one mode per channel (see
+/// [`TnnConfig::exact_for`]). With `check_oracle` every answer is
+/// verified against the exact chain oracle.
+///
+/// Parallelized like [`run_batch`]: contiguous chunks across all CPUs
+/// with an in-order reduction, bit-identical in the seed regardless of
+/// thread count.
+pub fn run_tnn_batch(trees: &[Arc<RTree>], region: &Rect, cfg: &BatchConfig) -> BatchStats {
+    run_tnn_batch_impl::<tnn_core::ArrivalHeap>(trees, region, cfg)
 }
 
 /// [`run_batch`] over the paper-literal pre-optimization hot path:
@@ -114,31 +137,49 @@ pub fn run_batch_linear(
     region: &Rect,
     cfg: &BatchConfig,
 ) -> BatchStats {
-    run_batch_impl::<tnn_core::LinearQueue>(s_tree, r_tree, region, cfg)
+    run_tnn_batch_impl::<tnn_core::LinearQueue>(
+        &[Arc::clone(s_tree), Arc::clone(r_tree)],
+        region,
+        cfg,
+    )
 }
 
-fn run_batch_impl<Q: CandidateQueue>(
-    s_tree: &Arc<RTree>,
-    r_tree: &Arc<RTree>,
+/// [`run_tnn_batch`] over the linear-scan reference backend.
+#[cfg(feature = "linear-reference")]
+pub fn run_tnn_batch_linear(trees: &[Arc<RTree>], region: &Rect, cfg: &BatchConfig) -> BatchStats {
+    run_tnn_batch_impl::<tnn_core::LinearQueue>(trees, region, cfg)
+}
+
+fn run_tnn_batch_impl<Q: CandidateQueue>(
+    trees: &[Arc<RTree>],
     region: &Rect,
     cfg: &BatchConfig,
 ) -> BatchStats {
     let engine = QueryEngine::<Q>::with_queue_backend(MultiChannelEnv::new(
-        vec![Arc::clone(s_tree), Arc::clone(r_tree)],
+        trees.to_vec(),
         cfg.params,
-        &[0, 0],
+        &vec![0; trees.len()],
     ));
     run_samples(cfg.queries, |first, chunk| {
         // The production backend reuses one scratch per worker (zero
-        // allocations per query); the linear reference allocates fresh
-        // buffers per query like the pre-optimization implementation
-        // did. Scratch handling is invisible to results either way.
+        // buffer allocations per query); the linear reference allocates
+        // fresh buffers per query like the pre-optimization
+        // implementation did. Scratch handling is invisible to results
+        // either way.
         let mut scratch = QueryScratch::<Q>::default();
+        let mut phases: Vec<u64> = Vec::with_capacity(engine.channels());
         for (j, slot) in chunk.iter_mut().enumerate() {
             if Q::IS_REFERENCE {
                 scratch = QueryScratch::<Q>::default();
             }
-            *slot = run_one(&engine, region, cfg, (first + j) as u64, &mut scratch);
+            *slot = run_one(
+                &engine,
+                region,
+                cfg,
+                (first + j) as u64,
+                &mut scratch,
+                &mut phases,
+            );
         }
     })
 }
@@ -149,6 +190,7 @@ fn run_one<Q: CandidateQueue>(
     cfg: &BatchConfig,
     query_index: u64,
     scratch: &mut QueryScratch<Q>,
+    phases: &mut Vec<u64>,
 ) -> QuerySample {
     // Per-query randomness independent of the algorithm configuration, so
     // different algorithms see identical workloads.
@@ -160,27 +202,36 @@ fn run_one<Q: CandidateQueue>(
     let env = engine.env();
     // Per-query phases go through the engine's `PhaseOverlay`: nothing is
     // cloned — the old `env.with_phases(&phases)` materialized a fresh
-    // channel vector on every query of every batch.
-    let phases = [
-        rng.gen_range(0..env.channel(0).layout().cycle_len().max(1)),
-        rng.gen_range(0..env.channel(1).layout().cycle_len().max(1)),
-    ];
+    // channel vector on every query of every batch. One independent
+    // random phase per channel, drawn in channel order (so the k = 2
+    // case reproduces the paper's "two random numbers" bit-for-bit).
+    phases.clear();
+    phases.extend(
+        env.channels()
+            .iter()
+            .map(|c| rng.gen_range(0..c.layout().cycle_len().max(1))),
+    );
     let query = Query::tnn(p)
         .algorithm(cfg.tnn.algorithm)
         .ann_modes(&cfg.tnn.ann)
         .retrieve_answer_objects(cfg.tnn.retrieve_answer_objects)
-        .phases(&phases);
+        .phases(phases);
 
     let run = engine
         .run_with(&query, scratch)
-        .expect("two channels, finite query");
+        .expect("k >= 2 channels, finite query");
     let no_answer = run.failed();
     let failed = if cfg.check_oracle {
         match run.total_dist {
             None => true,
             Some(dist) => {
-                let oracle = exact_tnn(p, env.channel(0).tree(), env.channel(1).tree());
-                dist > oracle.dist * (1.0 + FAIL_EPS) + FAIL_EPS
+                let oracle = if engine.channels() == 2 {
+                    exact_tnn(p, env.channel(0).tree(), env.channel(1).tree()).dist
+                } else {
+                    let trees: Vec<&RTree> = env.channels().iter().map(|c| c.tree()).collect();
+                    exact_chain_tnn(p, &trees).1
+                };
+                dist > oracle * (1.0 + FAIL_EPS) + FAIL_EPS
             }
         }
     } else {
@@ -317,6 +368,50 @@ mod tests {
     // The heap-vs-linear BatchStats equality gate lives in
     // crates/bench/tests/linear_equivalence.rs, where the
     // `linear-reference` feature is always enabled.
+
+    #[test]
+    fn k_channel_tnn_batches_run_and_are_deterministic() {
+        let params = BroadcastParams::new(64);
+        let region = Rect::from_coords(0.0, 0.0, 1000.0, 1000.0);
+        for k in [2usize, 3, 4] {
+            let trees: Vec<Arc<RTree>> = (0..k)
+                .map(|i| tree(60 + 20 * i, 40 + i as u64, &params))
+                .collect();
+            for alg in [Algorithm::DoubleNn, Algorithm::HybridNn] {
+                let cfg = BatchConfig {
+                    params,
+                    tnn: TnnConfig::exact_for(alg, k),
+                    queries: 16,
+                    seed: 0xA1,
+                    check_oracle: true,
+                };
+                let a = run_tnn_batch(&trees, &region, &cfg);
+                let b = run_tnn_batch(&trees, &region, &cfg);
+                assert_eq!(a, b, "{} k={k}", alg.name());
+                assert_eq!(a.queries, 16);
+                assert_eq!(a.fail_rate, 0.0, "{} k={k}", alg.name());
+                assert!(a.mean_tune_in > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn two_channel_wrapper_equals_k_ary_runner() {
+        let params = BroadcastParams::new(64);
+        let region = Rect::from_coords(0.0, 0.0, 1000.0, 1000.0);
+        let s = tree(120, 51, &params);
+        let r = tree(90, 52, &params);
+        let cfg = BatchConfig {
+            params,
+            tnn: TnnConfig::exact(Algorithm::HybridNn),
+            queries: 20,
+            seed: 7,
+            check_oracle: false,
+        };
+        let wrapped = run_batch(&s, &r, &region, &cfg);
+        let k_ary = run_tnn_batch(&[Arc::clone(&s), Arc::clone(&r)], &region, &cfg);
+        assert_eq!(wrapped, k_ary);
+    }
 
     #[test]
     fn chain_batch_runs() {

@@ -1,7 +1,7 @@
 //! Chained TNN over more than two datasets — the paper's future-work
-//! item 1, implemented as `chain_tnn`: pharmacy → florist → restaurant,
-//! each category on its own broadcast channel, visited in order with
-//! minimum total walking distance.
+//! item 1, served by the k-ary core pipeline (`Query::chain`):
+//! pharmacy → florist → restaurant, each category on its own broadcast
+//! channel, visited in order with minimum total walking distance.
 //!
 //! ```sh
 //! cargo run --release --example multi_dataset_route

@@ -39,14 +39,17 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
-//! The same engine serves the paper's future-work extensions — chained
-//! TNN over `k ≥ 2` channels (`Query::chain`), order-free TNN
-//! (`Query::order_free`), and round-trip TNN (`Query::round_trip`) — and
-//! per-query knobs ride the builder: `.ann_modes(..)` for per-channel
-//! approximate-search pruning and `.phases(..)` for zero-clone per-query
-//! phase randomization. The pre-engine free functions (`run_query`,
-//! `chain_tnn`, …) remain as deprecated wrappers for one release; see
-//! `docs/API.md` for the migration guide.
+//! Every query kind runs over any `k ≥ 2`-channel environment: the four
+//! TNN algorithms generalize to `k`-hop routes `p → s₁ → … → s_k` (the
+//! paper's chained future-work item, `Query::chain`, is the Double-NN
+//! pipeline under another name), as do order-free TNN
+//! (`Query::order_free`, any visit order) and round-trip TNN
+//! (`Query::round_trip`, closed tour). Per-query knobs ride the builder:
+//! `.ann_modes(..)` for per-channel approximate-search pruning and
+//! `.phases(..)` for zero-clone per-query phase randomization. The
+//! pre-engine free functions (`run_query`, `chain_tnn`, …) were
+//! deprecated in 0.2.0 and are gone; see `docs/API.md` for the
+//! migration guide.
 //!
 //! ## Crate map
 //!
@@ -74,11 +77,9 @@ pub mod prelude {
     pub use tnn_broadcast::{
         BroadcastParams, Channel, ChannelView, MultiChannelEnv, PhaseOverlay, Tuner,
     };
-    #[allow(deprecated)] // legacy entry points stay exported for one release
-    pub use tnn_core::{chain_tnn, order_free_tnn, round_trip_tnn, run_query};
     pub use tnn_core::{
-        exact_tnn, Algorithm, AnnMode, AnnModes, Query, QueryEngine, QueryKind, QueryOutcome,
-        RouteStop, TnnConfig, TnnPair, TnnRun,
+        exact_chain_tnn, exact_tnn, Algorithm, AnnMode, AnnModes, Query, QueryEngine, QueryKind,
+        QueryOutcome, RouteStop, TnnConfig, TnnError, TnnPair, TnnRun,
     };
     pub use tnn_geom::{transitive_dist, Circle, Ellipse, Point, Rect};
     pub use tnn_rtree::{PackingAlgorithm, RTree, RTreeParams};

@@ -250,33 +250,56 @@ fn retrieval_toggle_only_affects_costs() {
     assert!(run_with.access_time() >= run_without.access_time());
 }
 
-/// The deprecated pre-engine wrappers must stay functional for one
-/// release and agree with the engine bit-for-bit.
+/// Every query kind over 3- and 4-channel environments: exact answers
+/// against the chain oracle, per-hop channel costs, and coherent variant
+/// routes — the k-ary pipeline end to end.
 #[test]
-#[allow(deprecated)]
-fn legacy_wrappers_agree_with_engine() {
-    let env = env_from(&unif(-6.2, 19), &unif(-6.2, 20), 64, [44, 5_555]);
-    let engine = QueryEngine::new(env.clone());
-    let q = Point::new(12_345.0, 23_456.0);
-
-    let legacy = run_query(&env, q, 3, &TnnConfig::exact(Algorithm::HybridNn)).unwrap();
-    let modern = engine
-        .run(&Query::tnn(q).algorithm(Algorithm::HybridNn).issued_at(3))
-        .unwrap();
-    assert_eq!(modern.tnn_pair(), legacy.answer);
-    assert_eq!(modern.access_time(), legacy.access_time());
-    assert_eq!(modern.tune_in(), legacy.tune_in());
-
-    let legacy_chain = chain_tnn(&env, q, 0, AnnMode::Exact, true).unwrap();
-    let modern_chain = engine.run(&Query::chain(q)).unwrap();
-    assert_eq!(modern_chain.total_dist, Some(legacy_chain.total_dist));
-    assert_eq!(modern_chain.tune_in(), legacy_chain.tune_in());
-
-    let legacy_free = order_free_tnn(&env, q, 0, AnnMode::Exact, true).unwrap();
-    let modern_free = engine.run(&Query::order_free(q)).unwrap();
-    assert_eq!(modern_free.total_dist, Some(legacy_free.total_dist));
-
-    let legacy_tour = round_trip_tnn(&env, q, 0, AnnMode::Exact, true).unwrap();
-    let modern_tour = engine.run(&Query::round_trip(q)).unwrap();
-    assert_eq!(modern_tour.total_dist, Some(legacy_tour.total_dist));
+fn k_channel_queries_end_to_end() {
+    let params = BroadcastParams::new(64);
+    for k in [3usize, 4] {
+        let trees: Vec<Arc<RTree>> = (0..k)
+            .map(|i| {
+                let pts = unif(-5.4, 30 + i as u64);
+                Arc::new(RTree::build(&pts, params.rtree_params(), PackingAlgorithm::Str).unwrap())
+            })
+            .collect();
+        let phases: Vec<u64> = (0..k as u64).map(|i| i * 7_777 + 13).collect();
+        let engine = QueryEngine::new(MultiChannelEnv::new(trees, params, &phases));
+        let queries = uniform_points(8, &paper_region(), 1_000 + k as u64);
+        for &q in &queries {
+            let oracle_trees: Vec<&RTree> =
+                engine.env().channels().iter().map(|c| c.tree()).collect();
+            let (_, oracle_total) = exact_chain_tnn(q, &oracle_trees);
+            for alg in [
+                Algorithm::WindowBased,
+                Algorithm::DoubleNn,
+                Algorithm::HybridNn,
+            ] {
+                let run = engine.run(&Query::tnn(q).algorithm(alg)).unwrap();
+                assert_eq!(run.route.len(), k, "{} at k={k}", alg.name());
+                assert_eq!(run.channels.len(), k);
+                assert!(
+                    (run.total_dist.unwrap() - oracle_total).abs() < 1e-6,
+                    "{} at k={k}, query {q:?}",
+                    alg.name()
+                );
+                // Per-hop costs: every channel participated in the filter
+                // phase and route stop i indexes channel i.
+                for (i, stop) in run.route.iter().enumerate() {
+                    assert_eq!(stop.channel, i);
+                }
+                assert!(run.tune_in() > 0);
+            }
+            // Chain is the Double-NN pipeline under another name.
+            let chain = engine.run(&Query::chain(q)).unwrap();
+            assert!((chain.total_dist.unwrap() - oracle_total).abs() < 1e-6);
+            // The variants produce coherent k-hop routes.
+            let free = engine.run(&Query::order_free(q)).unwrap();
+            assert_eq!(free.route.len(), k);
+            assert!(free.total_dist.unwrap() <= oracle_total + 1e-6);
+            let tour = engine.run(&Query::round_trip(q)).unwrap();
+            assert_eq!(tour.route.len(), k);
+            assert!(tour.total_dist.unwrap() >= free.total_dist.unwrap() - 1e-6);
+        }
+    }
 }
