@@ -1,0 +1,207 @@
+//! Concurrency stress/soak for the serving subsystem — **ignored by
+//! default** (run via `cargo test -p tnn-bench --test serve_stress --
+//! --ignored`, which is what the `stress` CI job does; `TNN_STRESS_SECS`
+//! scales the per-policy soak, default 2 seconds).
+//!
+//! Eight submitter threads hammer a 2-worker server with a tiny queue
+//! bound under each backpressure policy, shutdown lands while work is
+//! still in flight, and afterwards the harness asserts:
+//! * **no deadlock** — every submitter and worker thread exits;
+//! * **no lost tickets** — the conservation invariant
+//!   `submitted = completed + rejected + shed + cancelled` holds, the
+//!   client-side counts match the server's, and every ticket any client
+//!   kept is resolved;
+//! * **clean shutdown with in-flight work** — `shutdown` returns with
+//!   queue and in-flight counts at zero.
+//!
+//! The whole drill repeats over the paper-literal `LinearQueue` backend.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tnn_broadcast::{BroadcastParams, MultiChannelEnv};
+use tnn_core::{ArrivalHeap, CandidateQueue, LinearQueue, Query, QueryEngine, TnnError};
+use tnn_geom::Point;
+use tnn_rtree::{PackingAlgorithm, RTree};
+use tnn_serve::{Backpressure, ServeConfig, Server, ShutdownMode};
+
+const SUBMITTERS: usize = 8;
+
+fn stress_secs() -> f64 {
+    std::env::var("TNN_STRESS_SECS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2.0)
+}
+
+fn small_env() -> MultiChannelEnv {
+    let params = BroadcastParams::new(64);
+    let trees: Vec<Arc<RTree>> = (0..2)
+        .map(|c| {
+            let pts: Vec<Point> = (0..250)
+                .map(|i| {
+                    Point::new(
+                        ((i * 37 + c * 131) % 997) as f64,
+                        ((i * 59 + c * 211) % 983) as f64,
+                    )
+                })
+                .collect();
+            Arc::new(RTree::build(&pts, params.rtree_params(), PackingAlgorithm::Str).unwrap())
+        })
+        .collect();
+    MultiChannelEnv::new(trees, params, &[7, 19])
+}
+
+/// Per-submitter tallies, reconciled against the server's stats.
+#[derive(Default)]
+struct ClientTally {
+    ok: u64,
+    overloaded: u64,
+    cancelled: u64,
+}
+
+/// Hammers one server configuration for `secs`, shuts down `mode`-wise
+/// while submitters are still firing, and checks conservation from both
+/// sides of the API.
+fn hammer<Q: CandidateQueue + 'static>(policy: Backpressure, mode: ShutdownMode, secs: f64) {
+    let server = Server::spawn_engine(
+        QueryEngine::<Q>::with_queue_backend(small_env()),
+        ServeConfig::new()
+            .workers(2)
+            .queue_capacity(4)
+            .backpressure(policy)
+            .batch_window(2),
+    );
+    let deadline = Instant::now() + Duration::from_secs_f64(secs);
+    let stats = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..SUBMITTERS)
+            .map(|t| {
+                let server = &server;
+                scope.spawn(move || {
+                    let mut tally = ClientTally::default();
+                    let mut kept = Vec::new();
+                    let mut i = 0u64;
+                    // Run until the shutdown refusal arrives (not until
+                    // the deadline): the point is that shutdown lands
+                    // while this thread still has requests in flight.
+                    loop {
+                        let p = Point::new(
+                            ((t as u64 * 7919 + i * 127) % 1000) as f64,
+                            ((t as u64 * 104_729 + i * 211) % 1000) as f64,
+                        );
+                        i += 1;
+                        match server.submit(Query::tnn(p)) {
+                            Ok(ticket) => {
+                                tally.ok += 1;
+                                // Mix waiting styles: some tickets are
+                                // awaited inline, some polled, most
+                                // dropped without waiting.
+                                match i % 11 {
+                                    0 => {
+                                        let _ = ticket.wait();
+                                    }
+                                    1 => kept.push(ticket),
+                                    2 => {
+                                        let _ = ticket.poll();
+                                    }
+                                    _ => drop(ticket),
+                                }
+                            }
+                            Err(TnnError::Overloaded) => tally.overloaded += 1,
+                            Err(TnnError::Cancelled) => {
+                                tally.cancelled += 1;
+                                break;
+                            }
+                            Err(other) => panic!("unexpected submit error {other:?}"),
+                        }
+                    }
+                    (tally, kept)
+                })
+            })
+            .collect();
+        // Let the storm build, then shut down mid-flight.
+        while Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        server.shutdown(mode);
+        let mut client_ok = 0u64;
+        let mut client_overloaded = 0u64;
+        let mut client_cancelled = 0u64;
+        for handle in handles {
+            let (tally, kept) = handle
+                .join()
+                .expect("submitter must not die: deadlock/panic");
+            client_ok += tally.ok;
+            client_overloaded += tally.overloaded;
+            client_cancelled += tally.cancelled;
+            for ticket in &kept {
+                assert!(ticket.is_done(), "ticket unresolved after shutdown");
+            }
+        }
+        // Reconcile against a snapshot taken only after every submitter
+        // has exited: their last refused submissions are counted after
+        // `shutdown` already returned.
+        let stats = server.stats();
+        // Client-side and server-side accounting must agree exactly.
+        assert_eq!(client_ok, stats.accepted, "{policy:?}/{mode:?}");
+        match policy {
+            // Only Reject refuses with Overloaded at the door; under
+            // Shed the overload lands on the evicted ticket instead.
+            Backpressure::Reject => {
+                assert_eq!(
+                    client_overloaded + client_cancelled,
+                    stats.rejected,
+                    "{mode:?}"
+                )
+            }
+            _ => assert_eq!(client_cancelled, stats.rejected, "{policy:?}/{mode:?}"),
+        }
+        stats
+    });
+    // No lost tickets: every submission is accounted for exactly once,
+    // and the server is fully quiescent.
+    assert!(stats.conserved(), "conservation violated: {stats:?}");
+    assert_eq!(stats.queued, 0, "{policy:?}/{mode:?}");
+    assert_eq!(stats.in_flight, 0, "{policy:?}/{mode:?}");
+    assert_eq!(
+        stats.submitted,
+        stats.completed + stats.rejected + stats.shed + stats.cancelled,
+        "lost tickets: {stats:?}"
+    );
+    assert!(
+        stats.completed > 0,
+        "soak must actually execute queries: {stats:?}"
+    );
+}
+
+#[test]
+#[ignore = "stress/soak — run by the stress CI job"]
+fn soak_block_policy_drain_shutdown() {
+    hammer::<ArrivalHeap>(Backpressure::Block, ShutdownMode::Drain, stress_secs());
+}
+
+#[test]
+#[ignore = "stress/soak — run by the stress CI job"]
+fn soak_block_policy_cancel_shutdown() {
+    hammer::<ArrivalHeap>(Backpressure::Block, ShutdownMode::Cancel, stress_secs());
+}
+
+#[test]
+#[ignore = "stress/soak — run by the stress CI job"]
+fn soak_reject_policy() {
+    hammer::<ArrivalHeap>(Backpressure::Reject, ShutdownMode::Cancel, stress_secs());
+}
+
+#[test]
+#[ignore = "stress/soak — run by the stress CI job"]
+fn soak_shed_policy() {
+    hammer::<ArrivalHeap>(Backpressure::Shed, ShutdownMode::Drain, stress_secs());
+}
+
+#[test]
+#[ignore = "stress/soak — run by the stress CI job"]
+fn soak_linear_reference_backend_all_policies() {
+    let secs = (stress_secs() / 3.0).max(0.3);
+    hammer::<LinearQueue>(Backpressure::Block, ShutdownMode::Drain, secs);
+    hammer::<LinearQueue>(Backpressure::Reject, ShutdownMode::Cancel, secs);
+    hammer::<LinearQueue>(Backpressure::Shed, ShutdownMode::Cancel, secs);
+}

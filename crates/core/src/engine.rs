@@ -183,6 +183,38 @@ impl Query {
     pub fn point(&self) -> Point {
         self.point
     }
+
+    /// The slot at which the client receives the query (see
+    /// [`Query::issued_at`]).
+    pub fn issue_slot(&self) -> u64 {
+        self.issued_at
+    }
+
+    /// Runs the same per-channel arity checks [`QueryEngine::run_with`]
+    /// performs, eagerly. Serving front-ends call this at admission time
+    /// so a malformed query panics on the *submitting* thread instead of
+    /// poisoning a worker that picks the job up later.
+    ///
+    /// # Panics
+    /// Panics when per-channel phases or ANN modes do not match the
+    /// `k`-channel environment (the same conditions under which
+    /// [`QueryEngine::run`] panics).
+    pub fn check_channels(&self, k: usize) {
+        if let Some(phases) = &self.phases {
+            assert_eq!(
+                phases.len(),
+                k,
+                "one phase per channel is required (got {} for {k} channels)",
+                phases.len()
+            );
+        }
+        // Degenerate k < 2 environments are a *recoverable* error
+        // (`TnnError::WrongChannelCount`) in the pipeline, which wins
+        // over the ANN arity panic — mirror that precedence here.
+        if k >= 2 {
+            self.ann.check_channels(k);
+        }
+    }
 }
 
 /// One stop of a [`QueryOutcome`] route: where, which object, and on
@@ -419,9 +451,9 @@ impl<Q: CandidateQueue> QueryEngine<Q> {
     /// Panics when per-channel phases or ANN modes in the query do not
     /// match the channel count.
     pub fn run(&self, query: &Query) -> Result<QueryOutcome, TnnError> {
-        let mut scratch = self.pop_scratch();
+        let mut scratch = self.scratch();
         let outcome = self.run_with(query, &mut scratch);
-        self.push_scratch(scratch);
+        self.recycle(scratch);
         outcome
     }
 
@@ -492,7 +524,13 @@ impl<Q: CandidateQueue> QueryEngine<Q> {
         Ok(outcome)
     }
 
-    fn pop_scratch(&self) -> QueryScratch<Q> {
+    /// Draws a [`QueryScratch`] from the engine's pool (or a fresh one
+    /// when the pool is empty). Long-lived worker loops — the serving
+    /// front-end in `tnn-serve`, the batch runners — take one scratch up
+    /// front, drive every query through [`QueryEngine::run_with`], and
+    /// [`QueryEngine::recycle`] it on exit, so buffers grown by earlier
+    /// queries keep amortizing across workers and server generations.
+    pub fn scratch(&self) -> QueryScratch<Q> {
         self.pool
             .lock()
             .unwrap_or_else(|e| e.into_inner())
@@ -500,7 +538,9 @@ impl<Q: CandidateQueue> QueryEngine<Q> {
             .unwrap_or_default()
     }
 
-    fn push_scratch(&self, scratch: QueryScratch<Q>) {
+    /// Returns a scratch drawn with [`QueryEngine::scratch`] to the pool
+    /// (dropped silently once the pool cap is reached).
+    pub fn recycle(&self, scratch: QueryScratch<Q>) {
         let mut pool = self.pool.lock().unwrap_or_else(|e| e.into_inner());
         if pool.len() < MAX_POOLED_SCRATCH {
             pool.push(scratch);

@@ -21,6 +21,15 @@ pub enum TnnError {
         /// Index of the offending channel.
         channel: usize,
     },
+    /// A serving front-end refused the query because its submission
+    /// queue was full (the `Reject` backpressure policy), or evicted it
+    /// from the queue to admit newer work (the `Shed` policy). The query
+    /// itself is well-formed; resubmitting later may succeed.
+    Overloaded,
+    /// The query was admitted but never executed: the serving front-end
+    /// shut down (or was asked to cancel its backlog) before a worker
+    /// picked it up.
+    Cancelled,
 }
 
 impl fmt::Display for TnnError {
@@ -33,6 +42,12 @@ impl fmt::Display for TnnError {
             TnnError::NonFiniteQuery => write!(f, "query point has non-finite coordinates"),
             TnnError::EmptyChannel { channel } => {
                 write!(f, "channel {channel} broadcasts an empty dataset")
+            }
+            TnnError::Overloaded => {
+                write!(f, "serving queue is full; the query was refused or shed")
+            }
+            TnnError::Cancelled => {
+                write!(f, "query was cancelled before a worker executed it")
             }
         }
     }
@@ -55,5 +70,7 @@ mod tests {
         assert!(TnnError::EmptyChannel { channel: 3 }
             .to_string()
             .contains("channel 3"));
+        assert!(TnnError::Overloaded.to_string().contains("full"));
+        assert!(TnnError::Cancelled.to_string().contains("cancelled"));
     }
 }

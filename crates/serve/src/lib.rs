@@ -1,0 +1,54 @@
+//! # tnn-serve
+//!
+//! A concurrent query-serving front-end over the
+//! [`tnn_core::QueryEngine`] — the executor-facing surface of the
+//! broadcast-TNN reproduction: request queueing, backpressure, and
+//! micro-batching over the `Sync`, O(1)-clonable engine the core crates
+//! provide.
+//!
+//! Deliberately dependency-free: built on `std::thread`,
+//! `std::sync::Mutex`/`Condvar`, and nothing else, so it runs in the
+//! same offline environment as the rest of the workspace (no async
+//! runtime required — the engine's per-query latency is microseconds,
+//! so OS threads with a bounded queue are the right tool).
+//!
+//! ## Shape
+//!
+//! * [`Server::spawn`] starts `N` worker threads over one shared
+//!   environment; each worker owns an O(1)-cloned engine handle and one
+//!   recycled [`tnn_core::QueryScratch`], so the per-query hot path is
+//!   the same zero-alloc [`tnn_core::QueryEngine::run_with`] path the
+//!   batch runners use.
+//! * [`Server::submit`] admits a [`tnn_core::Query`] through a **bounded
+//!   queue** with an explicit [`Backpressure`] policy — [`Backpressure::Block`]
+//!   the caller, [`Backpressure::Reject`] with
+//!   [`tnn_core::TnnError::Overloaded`], or [`Backpressure::Shed`] the
+//!   oldest queued query — and returns a non-blocking [`Ticket`];
+//!   [`Server::submit_batch`] admits many under one lock acquisition and
+//!   one worker wake-up.
+//! * [`Ticket::poll`] / [`Ticket::wait`] read the outcome; both are
+//!   idempotent (wait twice, poll after wait — always the same cached
+//!   outcome, never a hang). [`Ticket::latency`] reports exact
+//!   submission-to-resolution wall time, stamped by the resolver.
+//! * [`Server::shutdown`] drains or cancels deterministically: when it
+//!   returns, every admitted ticket has resolved.
+//!
+//! ## Guarantees
+//!
+//! Concurrency may reorder *completion*, never *answers*: every outcome
+//! delivered through a ticket is byte-identical to a direct
+//! [`tnn_core::QueryEngine::run`] of the same query. The property gate
+//! lives in `crates/bench/tests/serve_equivalence.rs`; the
+//! ticket-conservation invariant ([`ServeStats::conserved`]) is
+//! stress-tested in `crates/bench/tests/serve_stress.rs`.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+mod config;
+mod server;
+mod ticket;
+
+pub use config::{Backpressure, ServeConfig, ShutdownMode};
+pub use server::{ServeStats, Server};
+pub use ticket::Ticket;

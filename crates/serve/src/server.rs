@@ -1,0 +1,500 @@
+//! The worker-pool server: bounded submission queue, backpressure,
+//! micro-batched dispatch, and deterministic shutdown.
+
+use crate::config::{Backpressure, ServeConfig, ShutdownMode};
+use crate::ticket::{Ticket, TicketCell};
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Instant;
+use tnn_broadcast::MultiChannelEnv;
+use tnn_core::{ArrivalHeap, CandidateQueue, Query, QueryEngine, TnnError};
+
+/// Admission/completion counters, snapshotted atomically (all counters
+/// mutate under one lock, so [`ServeStats::conserved`] holds for *every*
+/// snapshot, not just quiescent ones).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Total [`Server::submit`] calls (including refused ones).
+    pub submitted: u64,
+    /// Queries admitted into the queue (including later-shed ones).
+    pub accepted: u64,
+    /// Queries refused at the door: queue full under
+    /// [`Backpressure::Reject`], or submitted during/after shutdown.
+    pub rejected: u64,
+    /// Admitted queries evicted by [`Backpressure::Shed`] (their tickets
+    /// resolved to [`TnnError::Overloaded`]).
+    pub shed: u64,
+    /// Admitted queries resolved to [`TnnError::Cancelled`] by a
+    /// [`ShutdownMode::Cancel`] shutdown (or the final shutdown sweep).
+    pub cancelled: u64,
+    /// Queries executed by a worker (successfully or with a recoverable
+    /// query error — both count as completions).
+    pub completed: u64,
+    /// Jobs admitted but not yet picked up, at snapshot time.
+    pub queued: usize,
+    /// Jobs being executed by a worker, at snapshot time.
+    pub in_flight: usize,
+}
+
+impl ServeStats {
+    /// The ticket-conservation invariant: every submission is accounted
+    /// for exactly once. Holds for every snapshot; after a shutdown,
+    /// [`ServeStats::queued`] and [`ServeStats::in_flight`] are both 0,
+    /// so it reduces to `submitted = rejected + shed + cancelled +
+    /// completed`.
+    pub fn conserved(&self) -> bool {
+        self.submitted == self.accepted + self.rejected
+            && self.accepted
+                == self.completed
+                    + self.shed
+                    + self.cancelled
+                    + self.queued as u64
+                    + self.in_flight as u64
+    }
+}
+
+/// One admitted query and the cell its ticket reads from.
+struct Job {
+    query: Query,
+    cell: Arc<TicketCell>,
+}
+
+impl Drop for Job {
+    fn drop(&mut self) {
+        // Safety net: a job dropped without resolution (a worker
+        // panicking mid-batch unwinds its local jobs through here) must
+        // not strand its waiters. For jobs resolved normally this is an
+        // idempotent no-op.
+        self.cell.resolve(Err(TnnError::Cancelled));
+    }
+}
+
+/// Mutable queue state — every field mutates under one mutex, which is
+/// what makes the [`ServeStats`] conservation invariant snapshot-exact.
+struct State {
+    queue: VecDeque<Job>,
+    shutdown: Option<ShutdownMode>,
+    in_flight: usize,
+    submitted: u64,
+    accepted: u64,
+    rejected: u64,
+    shed: u64,
+    cancelled: u64,
+    completed: u64,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    /// Wakes workers when jobs arrive (or shutdown begins).
+    work: Condvar,
+    /// Wakes `Block`ed submitters when a worker frees queue slots.
+    space: Condvar,
+    config: ServeConfig,
+}
+
+/// A concurrent query-serving front-end over a [`QueryEngine`].
+///
+/// `N` worker threads each own an O(1)-cloned engine handle and one
+/// recycled [`tnn_core::QueryScratch`]; clients submit [`Query`]s through
+/// a bounded queue with an explicit [`Backpressure`] policy and get
+/// non-blocking [`Ticket`]s back. Concurrency may reorder *completion*,
+/// never *answers*: every outcome delivered through a ticket is
+/// byte-identical to a direct [`QueryEngine::run`] of the same query
+/// (gated by `crates/bench/tests/serve_equivalence.rs`).
+///
+/// ```
+/// use std::sync::Arc;
+/// use tnn_broadcast::{BroadcastParams, MultiChannelEnv};
+/// use tnn_core::Query;
+/// use tnn_geom::Point;
+/// use tnn_rtree::{PackingAlgorithm, RTree};
+/// use tnn_serve::{ServeConfig, Server, ShutdownMode};
+///
+/// let params = BroadcastParams::new(64);
+/// let tree = |salt: usize| {
+///     let pts: Vec<Point> = (0..40)
+///         .map(|i| Point::new(((i * 7 + salt) % 53) as f64, ((i * 11 + salt) % 59) as f64))
+///         .collect();
+///     Arc::new(RTree::build(&pts, params.rtree_params(), PackingAlgorithm::Str).unwrap())
+/// };
+/// let env = MultiChannelEnv::new(vec![tree(0), tree(5)], params, &[3, 17]);
+///
+/// let server = Server::spawn(env, ServeConfig::new().workers(2));
+/// let ticket = server.submit(Query::tnn(Point::new(20.0, 20.0))).unwrap();
+/// let outcome = ticket.wait().unwrap();
+/// assert_eq!(outcome.route.len(), 2);
+/// let stats = server.shutdown(ShutdownMode::Drain);
+/// assert!(stats.conserved());
+/// ```
+pub struct Server<Q: CandidateQueue + 'static = ArrivalHeap> {
+    inner: Arc<Inner>,
+    engine: QueryEngine<Q>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Server<ArrivalHeap> {
+    /// Spawns a server over `env` with the production heap-ordered queue
+    /// backend. See [`Server::spawn_engine`] for the full contract.
+    pub fn spawn(env: MultiChannelEnv, config: ServeConfig) -> Self {
+        Server::spawn_engine(QueryEngine::new(env), config)
+    }
+}
+
+impl<Q: CandidateQueue + 'static> Server<Q> {
+    /// Spawns `config.workers` worker threads over (clones of) `engine`.
+    ///
+    /// `config.workers = 0` is allowed and means a *paused* server:
+    /// submissions queue up (and backpressure applies) but nothing
+    /// executes; [`Server::shutdown`] then resolves the backlog as
+    /// cancelled regardless of mode. `queue_capacity` and `batch_window`
+    /// are clamped to at least 1.
+    pub fn spawn_engine(engine: QueryEngine<Q>, config: ServeConfig) -> Self {
+        let config = ServeConfig {
+            queue_capacity: config.queue_capacity.max(1),
+            batch_window: config.batch_window.max(1),
+            ..config
+        };
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                shutdown: None,
+                in_flight: 0,
+                submitted: 0,
+                accepted: 0,
+                rejected: 0,
+                shed: 0,
+                cancelled: 0,
+                completed: 0,
+            }),
+            work: Condvar::new(),
+            space: Condvar::new(),
+            config,
+        });
+        let workers = (0..config.workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                let engine = engine.clone();
+                std::thread::Builder::new()
+                    .name(format!("tnn-serve-{i}"))
+                    .spawn(move || worker_loop(&inner, &engine))
+                    .expect("spawn tnn-serve worker thread")
+            })
+            .collect();
+        Server {
+            inner,
+            engine,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// The engine the workers execute against (workers hold O(1) clones
+    /// sharing this environment).
+    pub fn engine(&self) -> &QueryEngine<Q> {
+        &self.engine
+    }
+
+    /// The normalized configuration the server runs with.
+    pub fn config(&self) -> ServeConfig {
+        self.inner.config
+    }
+
+    /// Submits one query and returns its completion [`Ticket`].
+    ///
+    /// # Errors
+    /// [`TnnError::Overloaded`] when the queue is full under
+    /// [`Backpressure::Reject`]; [`TnnError::Cancelled`] when the server
+    /// is shutting down (under [`Backpressure::Block`] this can surface
+    /// after a wait). Query-level errors (wrong channel count, empty
+    /// channels, non-finite points) are *not* raised here — they travel
+    /// through the ticket, exactly as [`QueryEngine::run`] would return
+    /// them.
+    ///
+    /// # Panics
+    /// Panics — on the submitting thread, before anything is enqueued —
+    /// when per-channel phases or ANN modes do not match the engine's
+    /// channel count (the same conditions under which
+    /// [`QueryEngine::run`] panics; see [`Query::check_channels`]).
+    pub fn submit(&self, query: Query) -> Result<Ticket, TnnError> {
+        query.check_channels(self.engine.channels());
+        // Stamped before admission: under `Block` the wait for a queue
+        // slot is part of the client-observed latency.
+        let submitted_at = Instant::now();
+        let state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        let (state, result) = self.admit(state, query, submitted_at);
+        drop(state);
+        if result.is_ok() {
+            self.inner.work.notify_one();
+        }
+        result
+    }
+
+    /// Submits many queries under one queue-lock acquisition and wakes
+    /// the workers once, returning one [`Ticket`] result per query in
+    /// order. Workers then drain the backlog in micro-batches of up to
+    /// [`ServeConfig::batch_window`] jobs per wake-up, amortizing the
+    /// wake/steal overhead that per-query submission would pay `n`
+    /// times.
+    ///
+    /// Per-query admission follows [`Server::submit`] exactly (a
+    /// [`Backpressure::Reject`] overflow rejects only the overflowing
+    /// queries; [`Backpressure::Block`] may wait mid-batch for workers
+    /// to free slots).
+    ///
+    /// # Panics
+    /// As [`Server::submit`] — every query is validated before the first
+    /// one is enqueued.
+    pub fn submit_batch(
+        &self,
+        queries: impl IntoIterator<Item = Query>,
+    ) -> Vec<Result<Ticket, TnnError>> {
+        let queries: Vec<Query> = queries.into_iter().collect();
+        for query in &queries {
+            query.check_channels(self.engine.channels());
+        }
+        // One stamp for the whole batch, taken at entry: time spent
+        // blocked mid-batch counts toward the latency of every later
+        // query in it — the client handed them all over at this instant.
+        let submitted_at = Instant::now();
+        let mut out = Vec::with_capacity(queries.len());
+        let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut admitted = false;
+        for query in queries {
+            let (next, result) = self.admit(state, query, submitted_at);
+            state = next;
+            admitted |= result.is_ok();
+            out.push(result);
+        }
+        drop(state);
+        if admitted {
+            self.inner.work.notify_all();
+        }
+        out
+    }
+
+    /// Admission under the state lock: applies the backpressure policy,
+    /// pushes the job, and mints its ticket. Returns the (possibly
+    /// re-acquired, for `Block`) guard so batch submission stays under
+    /// one logical critical section.
+    fn admit<'a>(
+        &self,
+        mut state: MutexGuard<'a, State>,
+        query: Query,
+        submitted_at: Instant,
+    ) -> (MutexGuard<'a, State>, Result<Ticket, TnnError>) {
+        state.submitted += 1;
+        loop {
+            if state.shutdown.is_some() {
+                state.rejected += 1;
+                return (state, Err(TnnError::Cancelled));
+            }
+            if state.queue.len() < self.inner.config.queue_capacity {
+                break;
+            }
+            match self.inner.config.backpressure {
+                Backpressure::Block => {
+                    // A full queue means there is work: make sure a
+                    // worker is awake to drain it before sleeping on the
+                    // space condvar (a batched submitter publishes its
+                    // work notification only after the whole batch).
+                    self.inner.work.notify_all();
+                    state = self
+                        .inner
+                        .space
+                        .wait(state)
+                        .unwrap_or_else(|e| e.into_inner());
+                }
+                Backpressure::Reject => {
+                    state.rejected += 1;
+                    return (state, Err(TnnError::Overloaded));
+                }
+                Backpressure::Shed => {
+                    let victim = state.queue.pop_front().expect("full queue has a front");
+                    state.shed += 1;
+                    victim.cell.resolve(Err(TnnError::Overloaded));
+                    break;
+                }
+            }
+        }
+        state.accepted += 1;
+        let cell = TicketCell::new();
+        state.queue.push_back(Job {
+            query,
+            cell: Arc::clone(&cell),
+        });
+        (state, Ok(Ticket { cell, submitted_at }))
+    }
+
+    /// A consistent snapshot of the admission/completion counters.
+    pub fn stats(&self) -> ServeStats {
+        let state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        ServeStats {
+            submitted: state.submitted,
+            accepted: state.accepted,
+            rejected: state.rejected,
+            shed: state.shed,
+            cancelled: state.cancelled,
+            completed: state.completed,
+            queued: state.queue.len(),
+            in_flight: state.in_flight,
+        }
+    }
+
+    /// Shuts the server down and joins every worker thread.
+    ///
+    /// Deterministic contract, regardless of mode and timing: when this
+    /// returns, **every admitted ticket has resolved** — with its real
+    /// outcome ([`ShutdownMode::Drain`], or any job already picked up by
+    /// a worker), or with [`TnnError::Cancelled`]
+    /// ([`ShutdownMode::Cancel`] backlog, and any backlog left when no
+    /// worker survives to drain it, e.g. on a paused server). Concurrent
+    /// `submit` calls from other threads fail with
+    /// [`TnnError::Cancelled`] from the moment shutdown begins.
+    ///
+    /// Idempotent: later calls (including the implicit drain in `Drop`)
+    /// join nothing and return the final stats; the first mode wins.
+    pub fn shutdown(&self, mode: ShutdownMode) -> ServeStats {
+        // Hold the handle lock across begin + join + sweep so a
+        // concurrent shutdown call returns only after the first one has
+        // fully quiesced the server.
+        let mut handles = self.workers.lock().unwrap_or_else(|e| e.into_inner());
+        self.begin_shutdown(mode);
+        for handle in handles.drain(..) {
+            let _ = handle.join();
+        }
+        // Final sweep: with zero (or crashed) workers the backlog is
+        // still sitting in the queue; no ticket may outlive shutdown
+        // unresolved.
+        let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        while let Some(job) = state.queue.pop_front() {
+            state.cancelled += 1;
+            job.cell.resolve(Err(TnnError::Cancelled));
+        }
+        drop(state);
+        drop(handles);
+        self.stats()
+    }
+
+    fn begin_shutdown(&self, mode: ShutdownMode) {
+        let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.shutdown.is_none() {
+            state.shutdown = Some(mode);
+        }
+        if state.shutdown == Some(ShutdownMode::Cancel) {
+            // Resolve the backlog here, not in the workers: every queued
+            // ticket has resolved by the time `shutdown` returns even if
+            // all workers are busy mid-batch.
+            while let Some(job) = state.queue.pop_front() {
+                state.cancelled += 1;
+                job.cell.resolve(Err(TnnError::Cancelled));
+            }
+        }
+        drop(state);
+        self.inner.work.notify_all();
+        self.inner.space.notify_all();
+    }
+}
+
+impl<Q: CandidateQueue + 'static> Drop for Server<Q> {
+    fn drop(&mut self) {
+        let live = !self
+            .workers
+            .get_mut()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_empty();
+        let state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        let pending = !state.queue.is_empty();
+        drop(state);
+        if live || pending {
+            self.shutdown(ShutdownMode::Drain);
+        }
+    }
+}
+
+/// Accounting guard for one popped micro-batch. The normal path settles
+/// `completed == taken` in one lock per batch (not per job); if the
+/// worker unwinds mid-batch (an engine panic would be an internal bug,
+/// but must not corrupt the server), the guard's `Drop` books the
+/// abandoned jobs as cancelled — keeping [`ServeStats::conserved`] true
+/// and `in_flight` exact — and **fails the server closed**: with a dead
+/// worker, stranding clients on a queue nobody drains is worse than
+/// refusing them.
+struct BatchGuard<'a> {
+    inner: &'a Inner,
+    taken: usize,
+    completed: u64,
+}
+
+impl Drop for BatchGuard<'_> {
+    fn drop(&mut self) {
+        let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.completed += self.completed;
+        state.in_flight -= self.taken;
+        let abandoned = self.taken as u64 - self.completed;
+        if abandoned > 0 {
+            // Unwinding: the un-run jobs resolve `Cancelled` through
+            // `Job::drop` right after this; account for them and trip an
+            // emergency cancel-shutdown so submitters fail fast instead
+            // of blocking on a worker that no longer exists.
+            state.cancelled += abandoned;
+            if state.shutdown.is_none() {
+                state.shutdown = Some(ShutdownMode::Cancel);
+            }
+            while let Some(job) = state.queue.pop_front() {
+                state.cancelled += 1;
+                job.cell.resolve(Err(TnnError::Cancelled));
+            }
+            drop(state);
+            self.inner.work.notify_all();
+            self.inner.space.notify_all();
+        }
+    }
+}
+
+/// One worker: wait for jobs, pop a micro-batch of up to
+/// [`ServeConfig::batch_window`], execute it against a thread-local
+/// scratch, resolve each ticket, repeat until shutdown.
+fn worker_loop<Q: CandidateQueue>(inner: &Inner, engine: &QueryEngine<Q>) {
+    let mut scratch = engine.scratch();
+    let mut local: Vec<Job> = Vec::with_capacity(inner.config.batch_window);
+    'serve: loop {
+        {
+            let mut state = inner.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                match state.shutdown {
+                    // Cancel already resolved the backlog; nothing left
+                    // for workers to do.
+                    Some(ShutdownMode::Cancel) => break 'serve,
+                    Some(ShutdownMode::Drain) if state.queue.is_empty() => break 'serve,
+                    _ => {}
+                }
+                if !state.queue.is_empty() {
+                    break;
+                }
+                state = inner.work.wait(state).unwrap_or_else(|e| e.into_inner());
+            }
+            let n = inner.config.batch_window.min(state.queue.len());
+            local.extend(state.queue.drain(..n));
+            state.in_flight += n;
+            drop(state);
+            // n slots freed — let Block'ed submitters race for them.
+            inner.space.notify_all();
+        }
+        // Tickets resolve as each job finishes; the counters catch up in
+        // the guard's single per-batch settlement (a snapshot may
+        // briefly see a resolved job still in flight — conservation
+        // holds either way).
+        let mut guard = BatchGuard {
+            inner,
+            taken: local.len(),
+            completed: 0,
+        };
+        for job in local.drain(..) {
+            let result = engine.run_with(&job.query, &mut scratch);
+            job.cell.resolve(result);
+            guard.completed += 1;
+        }
+        drop(guard);
+    }
+    engine.recycle(scratch);
+}

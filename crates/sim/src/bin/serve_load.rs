@@ -1,0 +1,332 @@
+//! Load generator for the `tnn-serve` front-end: measures serving
+//! throughput and latency percentiles against the batch-runner ceiling
+//! and writes a `BENCH_<tag>.json` trajectory point.
+//!
+//! Two phases per channel count (k = 2, 3, 4 by default, override with
+//! positional arguments):
+//!
+//! 1. **Closed loop** — the run_tnn_batch workload (Hybrid-NN, identical
+//!    per-query rng streams) pushed through a 1-worker server via
+//!    `submit_batch`; its throughput is compared against a direct
+//!    `run_tnn_batch` of the same queries (the serving overhead must be
+//!    small — the acceptance gate wants the 1-worker path within 15% on
+//!    a single-CPU host).
+//! 2. **Open loop** — Poisson-ish arrivals (exponential inter-arrival
+//!    times drawn from the rand shim) at ~70% of the measured capacity,
+//!    mixing **all four algorithms**, against a multi-worker server with
+//!    the `Reject` policy; per-query latency comes from
+//!    `Ticket::latency()` (stamped at resolution) and is reported as
+//!    p50/p99.
+//!
+//! ```sh
+//! cargo run --release -p tnn-sim --bin serve_load -- --tag pr4 2 3 4
+//! ```
+//!
+//! Environment knobs: `TNN_QUERIES` (closed-loop batch size, default
+//! 1,000), `TNN_LOAD_POINTS` (points per channel, default 10,000),
+//! `TNN_LOAD_SECS` (open-loop duration per k, default 2), and
+//! `TNN_BENCH_REPS` (min-of-reps for the closed loop, default 3).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::Write;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tnn_broadcast::BroadcastParams;
+use tnn_core::{Algorithm, Query, TnnConfig};
+use tnn_datasets::{paper_region, uniform_points};
+use tnn_geom::Rect;
+use tnn_rtree::{PackingAlgorithm, RTree};
+use tnn_serve::{Backpressure, ServeConfig, Server, ShutdownMode};
+use tnn_sim::{format_table, run_tnn_batch, BatchConfig, Table};
+
+const SEED_GAMMA: u64 = 0x9E3779B97F4A7C15;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The exact per-query workload of `run_tnn_batch`'s `run_one`: point
+/// and per-channel phases from the seed-premixed per-query stream, so
+/// the served batch is the batch runner's workload query for query.
+fn batch_query(
+    region: &Rect,
+    cycle_lens: &[u64],
+    seed: u64,
+    index: u64,
+    algorithm: Algorithm,
+) -> Query {
+    let mut rng = StdRng::seed_from_u64(seed ^ index.wrapping_mul(SEED_GAMMA));
+    let p = tnn_geom::Point::new(
+        rng.gen_range(region.min.x..=region.max.x),
+        rng.gen_range(region.min.y..=region.max.y),
+    );
+    let phases: Vec<u64> = cycle_lens
+        .iter()
+        .map(|&len| rng.gen_range(0..len.max(1)))
+        .collect();
+    Query::tnn(p).algorithm(algorithm).phases(&phases)
+}
+
+fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Minimal `BENCH_*.json` writer (format-identical to
+/// `tnn-bench::write_bench_json`; duplicated here because `tnn-bench`
+/// depends on this crate).
+fn write_bench_json(
+    path: &std::path::Path,
+    tag: &str,
+    workload: &str,
+    records: &[(String, f64, u64)],
+    derived: &[(String, f64)],
+) -> std::io::Result<()> {
+    let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "{{")?;
+    writeln!(f, "  \"tag\": \"{}\",", esc(tag))?;
+    writeln!(f, "  \"workload\": \"{}\",", esc(workload))?;
+    writeln!(f, "  \"benchmarks\": [")?;
+    for (i, (id, ns, iters)) in records.iter().enumerate() {
+        let comma = if i + 1 < records.len() { "," } else { "" };
+        writeln!(
+            f,
+            "    {{\"id\": \"{}\", \"ns_per_iter\": {ns:.1}, \"iters\": {iters}}}{comma}",
+            esc(id)
+        )?;
+    }
+    writeln!(f, "  ],")?;
+    writeln!(f, "  \"derived\": {{")?;
+    for (i, (k, v)) in derived.iter().enumerate() {
+        let comma = if i + 1 < derived.len() { "," } else { "" };
+        writeln!(f, "    \"{}\": {v:.4}{comma}", esc(k))?;
+    }
+    writeln!(f, "  }}")?;
+    writeln!(f, "}}")
+}
+
+fn main() {
+    let mut tag = String::from("pr4");
+    let mut ks: Vec<usize> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--tag" {
+            tag = args.next().expect("--tag needs a value");
+        } else if let Ok(k) = arg.parse::<usize>() {
+            assert!(k >= 2, "TNN needs at least two channels");
+            ks.push(k);
+        } else {
+            panic!("unknown argument {arg:?} (usage: serve_load [--tag T] [k...])");
+        }
+    }
+    if ks.is_empty() {
+        ks = vec![2, 3, 4];
+    }
+    let queries = env_usize("TNN_QUERIES", 1_000);
+    let points = env_usize("TNN_LOAD_POINTS", 10_000);
+    let open_secs = env_f64("TNN_LOAD_SECS", 2.0);
+    let reps = env_usize("TNN_BENCH_REPS", 3).max(1);
+    let open_workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!(
+        "serve_load: {queries} queries/batch over {points} points/channel, k = {ks:?}, \
+         {reps} reps, {open_secs} s open loop ({open_workers} workers)"
+    );
+
+    let params = BroadcastParams::new(64);
+    let region = paper_region();
+    let mut table = Table::new(
+        "tnn-serve load: closed-loop vs batch runner, open-loop latency",
+        &[
+            "k",
+            "batch [q/s]",
+            "serve 1w [q/s]",
+            "serve/batch",
+            "offered [q/s]",
+            "p50 [ms]",
+            "p99 [ms]",
+            "rejected",
+        ],
+    );
+    let mut records: Vec<(String, f64, u64)> = Vec::new();
+    let mut derived: Vec<(String, f64)> = Vec::new();
+
+    for &k in &ks {
+        let trees: Vec<Arc<RTree>> = (0..k)
+            .map(|i| {
+                let pts = uniform_points(points, &region, 10 + i as u64);
+                Arc::new(RTree::build(&pts, params.rtree_params(), PackingAlgorithm::Str).unwrap())
+            })
+            .collect();
+        let seed = 0xF19 + k as u64;
+        let cfg = BatchConfig {
+            params,
+            tnn: TnnConfig::exact_for(Algorithm::HybridNn, k),
+            queries,
+            seed,
+            check_oracle: false,
+        };
+
+        // --- Closed loop: direct batch runner (the throughput ceiling).
+        run_tnn_batch(&trees, &region, &cfg); // warm-up
+        let mut batch_ns = f64::INFINITY;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            std::hint::black_box(run_tnn_batch(&trees, &region, &cfg));
+            batch_ns = batch_ns.min(t0.elapsed().as_nanos() as f64);
+        }
+        let batch_qps = queries as f64 / (batch_ns / 1e9);
+
+        // --- Closed loop: the same workload through a 1-worker server.
+        let env = tnn_broadcast::MultiChannelEnv::new(trees.clone(), params, &vec![0; k]);
+        let cycle_lens: Vec<u64> = env
+            .channels()
+            .iter()
+            .map(|c| c.layout().cycle_len())
+            .collect();
+        let workload: Vec<Query> = (0..queries as u64)
+            .map(|i| batch_query(&region, &cycle_lens, seed, i, Algorithm::HybridNn))
+            .collect();
+        let server = Server::spawn(
+            env.clone(),
+            ServeConfig::new()
+                .workers(1)
+                .queue_capacity(queries)
+                .backpressure(Backpressure::Block)
+                .batch_window(32),
+        );
+        let mut serve_ns = f64::INFINITY;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let tickets = server.submit_batch(workload.iter().cloned());
+            // Wait in reverse submission order: completions are FIFO, so
+            // blocking on the *last* ticket sleeps exactly once instead
+            // of ping-ponging worker and collector on every resolve.
+            for ticket in tickets.into_iter().rev() {
+                ticket
+                    .expect("capacity covers the batch")
+                    .wait()
+                    .expect("closed-loop queries are valid");
+            }
+            serve_ns = serve_ns.min(t0.elapsed().as_nanos() as f64);
+        }
+        let stats = server.shutdown(ShutdownMode::Drain);
+        assert!(stats.conserved(), "closed loop lost tickets: {stats:?}");
+        let serve_qps = queries as f64 / (serve_ns / 1e9);
+        let ratio = serve_qps / batch_qps;
+
+        // --- Open loop: Poisson-ish arrivals at ~70% capacity, all four
+        // algorithms, multi-worker, Reject backpressure.
+        let server = Server::spawn(
+            env,
+            ServeConfig::new()
+                .workers(open_workers)
+                .queue_capacity(256)
+                .backpressure(Backpressure::Reject)
+                .batch_window(16),
+        );
+        let rate = (serve_qps * 0.7).max(1.0); // arrivals per second
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xA5A5_A5A5);
+        let mut tickets = Vec::new();
+        let mut rejected = 0u64;
+        let mut offered = 0u64;
+        let t0 = Instant::now();
+        let mut next_arrival = Duration::ZERO;
+        while next_arrival.as_secs_f64() < open_secs {
+            // Exponential inter-arrival gap (guard u = 0 → ln(0)).
+            let u: f64 = rng.gen::<f64>().max(1e-12);
+            next_arrival += Duration::from_secs_f64((-u.ln() / rate).min(open_secs));
+            while t0.elapsed() < next_arrival {
+                std::thread::sleep(Duration::from_micros(50));
+            }
+            let alg = match rng.gen_range(0u32..4) {
+                0 => Algorithm::WindowBased,
+                1 => Algorithm::ApproximateTnn,
+                2 => Algorithm::DoubleNn,
+                _ => Algorithm::HybridNn,
+            };
+            offered += 1;
+            match server.submit(batch_query(
+                &region,
+                &cycle_lens,
+                seed ^ 0x0BE1,
+                offered,
+                alg,
+            )) {
+                Ok(t) => tickets.push(t),
+                Err(_) => rejected += 1,
+            }
+        }
+        let stats = server.shutdown(ShutdownMode::Drain);
+        assert!(stats.conserved(), "open loop lost tickets: {stats:?}");
+        let mut latencies: Vec<Duration> = tickets
+            .iter()
+            .map(|t| t.latency().expect("drained tickets are resolved"))
+            .collect();
+        latencies.sort_unstable();
+        let p50 = percentile(&latencies, 0.50);
+        let p99 = percentile(&latencies, 0.99);
+
+        table.push_row(vec![
+            k.to_string(),
+            format!("{batch_qps:.0}"),
+            format!("{serve_qps:.0}"),
+            format!("{ratio:.3}"),
+            format!("{rate:.0}"),
+            format!("{:.3}", p50.as_secs_f64() * 1e3),
+            format!("{:.3}", p99.as_secs_f64() * 1e3),
+            rejected.to_string(),
+        ]);
+        records.push((
+            format!("serve/hybrid_{queries}q/k{k}_batch"),
+            batch_ns,
+            reps as u64,
+        ));
+        records.push((
+            format!("serve/hybrid_{queries}q/k{k}_serve_1w"),
+            serve_ns,
+            reps as u64,
+        ));
+        derived.push((format!("k{k}_batch_qps"), batch_qps));
+        derived.push((format!("k{k}_serve_1w_qps"), serve_qps));
+        derived.push((format!("k{k}_serve_vs_batch"), ratio));
+        derived.push((format!("k{k}_open_offered_qps"), rate));
+        derived.push((format!("k{k}_open_completed"), latencies.len() as f64));
+        derived.push((format!("k{k}_open_rejected"), rejected as f64));
+        derived.push((format!("k{k}_open_p50_ms"), p50.as_secs_f64() * 1e3));
+        derived.push((format!("k{k}_open_p99_ms"), p99.as_secs_f64() * 1e3));
+    }
+
+    println!("{}", format_table(&table));
+    let path = std::path::PathBuf::from(format!("BENCH_{tag}.json"));
+    write_bench_json(
+        &path,
+        &tag,
+        &format!(
+            "tnn-serve load generator: HybridNn closed loop (1 worker, batch_window 32) vs \
+             run_tnn_batch, plus open-loop Poisson arrivals at 70% capacity over all four \
+             algorithms ({open_workers} workers, Reject policy); {queries} queries/batch, \
+             {points} uniform points per channel, page 64, paper region"
+        ),
+        &records,
+        &derived,
+    )
+    .expect("write BENCH json");
+    eprintln!("serve_load: wrote {}", path.display());
+}

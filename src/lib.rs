@@ -60,6 +60,7 @@
 //! | [`broadcast`] (`tnn-broadcast`) | `(1, m)` air-indexed broadcast programs, channels, `Arc`-shared environments, zero-clone phase overlays |
 //! | [`core`] (`tnn-core`) | the `QueryEngine`, the four TNN algorithms, ANN optimization, chained-TNN extension, exact oracle |
 //! | [`datasets`] (`tnn-datasets`) | the paper's synthetic workloads and clustered real-data stand-ins |
+//! | [`serve`] (`tnn-serve`) | the concurrent serving front-end: worker pool, bounded queue with backpressure, tickets, graceful shutdown |
 //! | [`sim`] (`tnn-sim`) | the experiment harness regenerating every figure/table of the paper |
 
 #![warn(missing_docs)]
@@ -70,6 +71,7 @@ pub use tnn_core as core;
 pub use tnn_datasets as datasets;
 pub use tnn_geom as geom;
 pub use tnn_rtree as rtree;
+pub use tnn_serve as serve;
 pub use tnn_sim as sim;
 
 /// The most common imports, re-exported flat.
@@ -83,6 +85,7 @@ pub mod prelude {
     };
     pub use tnn_geom::{transitive_dist, Circle, Ellipse, Point, Rect};
     pub use tnn_rtree::{PackingAlgorithm, RTree, RTreeParams};
+    pub use tnn_serve::{Backpressure, ServeConfig, ServeStats, Server, ShutdownMode, Ticket};
 }
 
 #[cfg(test)]
