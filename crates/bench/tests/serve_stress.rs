@@ -14,7 +14,12 @@
 //! * **clean shutdown with in-flight work** — `shutdown` returns with
 //!   queue and in-flight counts at zero.
 //!
-//! The whole drill repeats over the paper-literal `LinearQueue` backend.
+//! The whole drill repeats over the paper-literal `LinearQueue` backend,
+//! and again as a **mixed-priority storm** (`hammer_qos`): submitters
+//! spread over all three service classes with a mix of tight, generous,
+//! and absent deadlines, reconciling the per-class conservation
+//! invariant against per-class client tallies. The deterministic
+//! no-priority-inversion-at-shutdown gate at the bottom runs in tier-1.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -22,7 +27,7 @@ use tnn_broadcast::{BroadcastParams, MultiChannelEnv};
 use tnn_core::{ArrivalHeap, CandidateQueue, LinearQueue, Query, QueryEngine, TnnError};
 use tnn_geom::Point;
 use tnn_rtree::{PackingAlgorithm, RTree};
-use tnn_serve::{Backpressure, ServeConfig, Server, ShutdownMode};
+use tnn_serve::{Backpressure, Priority, Qos, ServeConfig, Server, ShutdownMode};
 
 const SUBMITTERS: usize = 8;
 
@@ -204,4 +209,225 @@ fn soak_linear_reference_backend_all_policies() {
     hammer::<LinearQueue>(Backpressure::Block, ShutdownMode::Drain, secs);
     hammer::<LinearQueue>(Backpressure::Reject, ShutdownMode::Cancel, secs);
     hammer::<LinearQueue>(Backpressure::Shed, ShutdownMode::Cancel, secs);
+}
+
+/// Per-submitter tallies of the mixed-priority storm, one row per class.
+#[derive(Default, Clone, Copy)]
+struct ClassTally {
+    ok: u64,
+    overloaded: u64,
+    cancelled: u64,
+}
+
+/// Mixed-priority 8-way storm: submitter `t` rides class `t % 3` and
+/// stamps a deadline on half its queries (some generous, some that will
+/// expire in the queue), shutdown lands mid-flight, and afterwards the
+/// per-class conservation invariant must reconcile exactly against each
+/// class's client-side tally — on top of the global invariant, which now
+/// also folds the cache classification of every completion.
+fn hammer_qos(policy: Backpressure, mode: ShutdownMode, secs: f64) {
+    let server = Server::spawn_engine(
+        QueryEngine::<ArrivalHeap>::with_queue_backend(small_env()),
+        ServeConfig::new()
+            .workers(2)
+            .queue_capacity(4)
+            .backpressure(policy)
+            .batch_window(2),
+    );
+    let deadline = Instant::now() + Duration::from_secs_f64(secs);
+    let classes = [Priority::Interactive, Priority::Batch, Priority::Background];
+    let (tallies, stats) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..SUBMITTERS)
+            .map(|t| {
+                let server = &server;
+                let class = classes[t % classes.len()];
+                scope.spawn(move || {
+                    let mut tally = ClassTally::default();
+                    let mut kept = Vec::new();
+                    let mut i = 0u64;
+                    loop {
+                        let p = Point::new(
+                            ((t as u64 * 7919 + i * 127) % 1000) as f64,
+                            ((t as u64 * 104_729 + i * 211) % 1000) as f64,
+                        );
+                        i += 1;
+                        let qos = match i % 4 {
+                            // Deadlines that expire inside a saturated
+                            // queue, generous ones, and none at all.
+                            0 => Qos::new()
+                                .priority(class)
+                                .deadline_in(Duration::from_micros(200)),
+                            1 => Qos::new()
+                                .priority(class)
+                                .deadline_in(Duration::from_secs(30)),
+                            _ => Qos::new().priority(class),
+                        };
+                        match server.submit_with(Query::tnn(p), qos) {
+                            Ok(ticket) => {
+                                tally.ok += 1;
+                                match i % 11 {
+                                    0 => {
+                                        let _ = ticket.wait();
+                                    }
+                                    1 => kept.push(ticket),
+                                    2 => {
+                                        let _ = ticket.poll();
+                                    }
+                                    _ => drop(ticket),
+                                }
+                            }
+                            Err(TnnError::Overloaded) => tally.overloaded += 1,
+                            Err(TnnError::Cancelled) => {
+                                tally.cancelled += 1;
+                                break;
+                            }
+                            Err(other) => panic!("unexpected submit error {other:?}"),
+                        }
+                    }
+                    (class, tally, kept)
+                })
+            })
+            .collect();
+        while Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        server.shutdown(mode);
+        let mut tallies = [ClassTally::default(); 3];
+        for handle in handles {
+            let (class, tally, kept) = handle
+                .join()
+                .expect("submitter must not die: deadlock/panic");
+            let slot = &mut tallies[class.index()];
+            slot.ok += tally.ok;
+            slot.overloaded += tally.overloaded;
+            slot.cancelled += tally.cancelled;
+            for ticket in &kept {
+                assert!(ticket.is_done(), "ticket unresolved after shutdown");
+            }
+        }
+        // Snapshot only after every submitter exited (their closing
+        // refusals land after `shutdown` returned).
+        (tallies, server.stats())
+    });
+    assert!(stats.conserved(), "conservation violated: {stats:?}");
+    assert_eq!(
+        (stats.queued, stats.in_flight),
+        (0, 0),
+        "{policy:?}/{mode:?}"
+    );
+    for class in classes {
+        let server_side = stats.class(class);
+        let client_side = &tallies[class.index()];
+        assert!(server_side.conserved(), "{}: {server_side:?}", class.name());
+        assert_eq!(
+            client_side.ok,
+            server_side.accepted,
+            "{} accepted mismatch under {policy:?}/{mode:?}",
+            class.name()
+        );
+        match policy {
+            Backpressure::Reject => assert_eq!(
+                client_side.overloaded + client_side.cancelled,
+                server_side.rejected,
+                "{}",
+                class.name()
+            ),
+            _ => assert_eq!(
+                client_side.cancelled,
+                server_side.rejected,
+                "{}",
+                class.name()
+            ),
+        }
+    }
+    assert!(stats.completed > 0, "soak must execute queries: {stats:?}");
+    if policy == Backpressure::Shed {
+        // The 200 µs deadlines under a saturated 4-slot queue guarantee
+        // expiries; expiry-aware shedding must be observed doing its job.
+        assert!(stats.expired > 0, "no deadline ever fired: {stats:?}");
+    }
+}
+
+#[test]
+#[ignore = "stress/soak — run by the stress CI job"]
+fn soak_mixed_priority_storm_shed_drain() {
+    hammer_qos(Backpressure::Shed, ShutdownMode::Drain, stress_secs());
+}
+
+#[test]
+#[ignore = "stress/soak — run by the stress CI job"]
+fn soak_mixed_priority_storm_shed_cancel() {
+    hammer_qos(Backpressure::Shed, ShutdownMode::Cancel, stress_secs());
+}
+
+#[test]
+#[ignore = "stress/soak — run by the stress CI job"]
+fn soak_mixed_priority_storm_reject_cancel() {
+    hammer_qos(Backpressure::Reject, ShutdownMode::Cancel, stress_secs());
+}
+
+#[test]
+#[ignore = "stress/soak — run by the stress CI job"]
+fn soak_mixed_priority_storm_block_drain() {
+    hammer_qos(Backpressure::Block, ShutdownMode::Drain, stress_secs());
+}
+
+/// No priority inversion at shutdown — deterministic, so it runs in
+/// tier-1 too (not only the soak job). One atomic mixed-class batch
+/// against one worker is popped in strict priority order; whichever
+/// mode lands, the set of jobs that *completed* must be a prefix of
+/// that order: a completed background job implies every interactive and
+/// batch job completed, and a completed batch job implies every
+/// interactive one did.
+#[test]
+fn no_priority_inversion_at_drain_or_cancel() {
+    for mode in [ShutdownMode::Drain, ShutdownMode::Cancel] {
+        let server = Server::spawn_engine(
+            QueryEngine::<ArrivalHeap>::with_queue_backend(small_env()),
+            ServeConfig::new().workers(1).batch_window(1),
+        );
+        let class_of = |i: usize| match i / 20 {
+            0 => Qos::interactive(),
+            1 => Qos::batch(),
+            _ => Qos::background(),
+        };
+        let submissions: Vec<_> = (0..60)
+            .map(|i| {
+                let p = Point::new(((i * 89) % 997) as f64, ((i * 139) % 983) as f64);
+                (Query::tnn(p), class_of(i))
+            })
+            .collect();
+        let tickets = server.submit_batch_qos(submissions);
+        let stats = server.shutdown(mode);
+        assert!(stats.conserved());
+        let mut completed = [0usize; 3];
+        let mut cancelled = [0usize; 3];
+        for (i, ticket) in tickets.into_iter().enumerate() {
+            match ticket
+                .unwrap()
+                .poll()
+                .expect("shutdown resolves everything")
+            {
+                Ok(_) => completed[i / 20] += 1,
+                Err(TnnError::Cancelled) => cancelled[i / 20] += 1,
+                Err(other) => panic!("unexpected outcome {other:?}"),
+            }
+        }
+        if completed[2] > 0 {
+            assert_eq!(
+                (cancelled[0], cancelled[1]),
+                (0, 0),
+                "a background job ran while higher classes were cancelled ({mode:?})"
+            );
+        }
+        if completed[1] > 0 {
+            assert_eq!(
+                cancelled[0], 0,
+                "a batch job ran while interactive work was cancelled ({mode:?})"
+            );
+        }
+        if mode == ShutdownMode::Drain {
+            assert_eq!(completed, [20, 20, 20], "drain completes everything");
+        }
+    }
 }

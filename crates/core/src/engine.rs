@@ -190,6 +190,23 @@ impl Query {
         self.issued_at
     }
 
+    /// The per-channel ANN specification the query carries (see
+    /// [`Query::ann`] / [`Query::ann_modes`]).
+    pub fn ann_spec(&self) -> &AnnSpec {
+        &self.ann
+    }
+
+    /// The per-query phase substitution, if any (see [`Query::phases`]).
+    pub fn phase_overrides(&self) -> Option<&[u64]> {
+        self.phases.as_deref()
+    }
+
+    /// Whether the client finally downloads the answer objects' data
+    /// pages (see [`Query::retrieve_answer_objects`]).
+    pub fn retrieves_answer_objects(&self) -> bool {
+        self.retrieve_answer_objects
+    }
+
     /// Runs the same per-channel arity checks [`QueryEngine::run_with`]
     /// performs, eagerly. Serving front-ends call this at admission time
     /// so a malformed query panics on the *submitting* thread instead of

@@ -30,6 +30,11 @@ pub enum TnnError {
     /// shut down (or was asked to cancel its backlog) before a worker
     /// picked it up.
     Cancelled,
+    /// The query carried a deadline that elapsed before a worker could
+    /// answer it — it was refused at admission, evicted from the queue by
+    /// deadline-aware shedding, or discarded at dequeue. The answer was
+    /// never computed; resubmitting with a fresh deadline may succeed.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for TnnError {
@@ -48,6 +53,9 @@ impl fmt::Display for TnnError {
             }
             TnnError::Cancelled => {
                 write!(f, "query was cancelled before a worker executed it")
+            }
+            TnnError::DeadlineExceeded => {
+                write!(f, "query deadline elapsed before a worker could answer it")
             }
         }
     }
@@ -72,5 +80,6 @@ mod tests {
             .contains("channel 3"));
         assert!(TnnError::Overloaded.to_string().contains("full"));
         assert!(TnnError::Cancelled.to_string().contains("cancelled"));
+        assert!(TnnError::DeadlineExceeded.to_string().contains("deadline"));
     }
 }

@@ -1,0 +1,207 @@
+//! Result-cache key derivation: [`QueryKey`], the hashable identity of a
+//! [`Query`] against a `k`-channel environment.
+//!
+//! The engine is deterministic: two queries with equal keys produce
+//! byte-identical [`QueryOutcome`](crate::QueryOutcome)s on the same
+//! environment. That is the contract a serving-layer result cache needs —
+//! a cache hit may substitute the stored outcome for a fresh
+//! [`QueryEngine::run`](crate::QueryEngine::run) without changing a
+//! single byte (property-gated in `crates/bench/tests/qos_equivalence.rs`).
+//!
+//! The key therefore folds in **every** outcome-affecting request field:
+//! the query kind (with the algorithm for plain TNN), the query point's
+//! exact f64 bit patterns, the issue slot (access time depends on where
+//! in each broadcast cycle the query starts), the materialized
+//! per-channel ANN modes, the per-query phase substitution (or its
+//! absence), the answer-object retrieval flag, and the channel count
+//! itself. Float fields are keyed by `to_bits`, so `-0.0 ≠ 0.0` and any
+//! NaN pattern is just another (never-hit, since NaN queries error) key.
+
+use crate::engine::{Query, QueryKind};
+use crate::{Algorithm, AnnMode};
+
+/// One per-channel ANN mode, encoded exactly (discriminant + parameter
+/// bits) so the key is `Eq + Hash` despite [`AnnMode`]'s float fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum AnnKey {
+    Exact,
+    Dynamic(u64),
+    Fixed(u64),
+}
+
+impl From<AnnMode> for AnnKey {
+    fn from(mode: AnnMode) -> Self {
+        match mode {
+            AnnMode::Exact => AnnKey::Exact,
+            AnnMode::Dynamic { factor } => AnnKey::Dynamic(factor.to_bits()),
+            AnnMode::Fixed { alpha } => AnnKey::Fixed(alpha.to_bits()),
+        }
+    }
+}
+
+/// The query kind with its algorithm flattened in, so `Tnn(DoubleNn)` and
+/// `Chain` (which runs the same pipeline but reports a different
+/// [`QueryKind`](crate::QueryKind)) key differently, as their outcomes do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum KindKey {
+    Tnn(Algorithm),
+    Chain,
+    OrderFree,
+    RoundTrip,
+}
+
+/// The cache identity of one [`Query`] against a `k`-channel environment.
+///
+/// Built by [`Query::cache_key`]; equal keys guarantee byte-identical
+/// engine outcomes on the same environment. Uniform and per-channel ANN
+/// specifications that resolve to the same modes share a key (both are
+/// materialized through [`AnnSpec::mode`](crate::AnnSpec::mode)), and a
+/// query carrying no phase substitution keys differently from one that
+/// spells out the environment's own phases — the engine runs them through
+/// different overlay paths, and the key does not know the environment's
+/// phases to prove them equal.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct QueryKey {
+    kind: KindKey,
+    point_bits: (u64, u64),
+    issued_at: u64,
+    channels: usize,
+    ann: Vec<AnnKey>,
+    phases: Option<Vec<u64>>,
+    retrieve_answer_objects: bool,
+}
+
+impl Query {
+    /// Derives the result-cache key of this query against a `k`-channel
+    /// environment. Two queries with equal keys produce byte-identical
+    /// outcomes on the same environment (the engine is deterministic in
+    /// exactly the folded fields).
+    ///
+    /// # Panics
+    /// Panics when a per-channel ANN mode list does not match `k` — the
+    /// same condition under which [`QueryEngine::run`] panics, so callers
+    /// that validated the query via [`Query::check_channels`] (as
+    /// `tnn-serve` does at admission) never hit it.
+    ///
+    /// [`QueryEngine::run`]: crate::QueryEngine::run
+    pub fn cache_key(&self, k: usize) -> QueryKey {
+        let kind = match self.kind() {
+            QueryKind::Tnn(algorithm) => KindKey::Tnn(algorithm),
+            QueryKind::Chain => KindKey::Chain,
+            QueryKind::OrderFree => KindKey::OrderFree,
+            QueryKind::RoundTrip => KindKey::RoundTrip,
+        };
+        let spec = self.ann_spec();
+        spec.check_channels(k);
+        let p = self.point();
+        QueryKey {
+            kind,
+            point_bits: (p.x.to_bits(), p.y.to_bits()),
+            issued_at: self.issue_slot(),
+            channels: k,
+            ann: (0..k).map(|i| AnnKey::from(spec.mode(i))).collect(),
+            phases: self.phase_overrides().map(<[u64]>::to_vec),
+            retrieve_answer_objects: self.retrieves_answer_objects(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    use tnn_geom::Point;
+
+    fn hash_of(key: &QueryKey) -> u64 {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn equal_queries_share_a_key() {
+        let a = Query::tnn(Point::new(3.0, 4.0))
+            .issued_at(7)
+            .phases(&[1, 2]);
+        let b = Query::tnn(Point::new(3.0, 4.0))
+            .issued_at(7)
+            .phases(&[1, 2]);
+        assert_eq!(a.cache_key(2), b.cache_key(2));
+        assert_eq!(hash_of(&a.cache_key(2)), hash_of(&b.cache_key(2)));
+    }
+
+    #[test]
+    fn every_outcome_affecting_field_changes_the_key() {
+        let base = Query::tnn(Point::new(3.0, 4.0))
+            .issued_at(7)
+            .phases(&[1, 2]);
+        let key = base.cache_key(2);
+        let variants = [
+            Query::tnn(Point::new(3.0, 4.5))
+                .issued_at(7)
+                .phases(&[1, 2]),
+            Query::tnn(Point::new(3.0, 4.0))
+                .issued_at(8)
+                .phases(&[1, 2]),
+            Query::tnn(Point::new(3.0, 4.0))
+                .issued_at(7)
+                .phases(&[1, 3]),
+            Query::tnn(Point::new(3.0, 4.0)).issued_at(7), // no substitution
+            Query::tnn(Point::new(3.0, 4.0))
+                .algorithm(Algorithm::WindowBased)
+                .issued_at(7)
+                .phases(&[1, 2]),
+            Query::tnn(Point::new(3.0, 4.0))
+                .ann(AnnMode::Dynamic { factor: 1.0 })
+                .issued_at(7)
+                .phases(&[1, 2]),
+            Query::tnn(Point::new(3.0, 4.0))
+                .issued_at(7)
+                .phases(&[1, 2])
+                .retrieve_answer_objects(false),
+        ];
+        for variant in &variants {
+            assert_ne!(variant.cache_key(2), key, "{variant:?}");
+        }
+    }
+
+    #[test]
+    fn kinds_key_differently_even_on_the_shared_pipeline() {
+        let p = Point::new(9.0, 9.0);
+        // Chain runs the Double-NN pipeline but reports QueryKind::Chain
+        // in its outcome, so the two must not share a cache entry.
+        let tnn = Query::tnn(p).algorithm(Algorithm::DoubleNn).cache_key(2);
+        let chain = Query::chain(p).cache_key(2);
+        let free = Query::order_free(p).cache_key(2);
+        let tour = Query::round_trip(p).cache_key(2);
+        assert_ne!(tnn, chain);
+        assert_ne!(chain, free);
+        assert_ne!(free, tour);
+    }
+
+    #[test]
+    fn uniform_and_per_channel_ann_resolve_to_one_key() {
+        let p = Point::new(1.0, 2.0);
+        let uniform = Query::tnn(p).ann(AnnMode::Dynamic { factor: 0.5 });
+        let explicit = Query::tnn(p).ann_modes(&[AnnMode::Dynamic { factor: 0.5 }; 3]);
+        assert_eq!(uniform.cache_key(3), explicit.cache_key(3));
+        // ...but the same uniform spec at a different k keys differently.
+        assert_ne!(uniform.cache_key(3), uniform.cache_key(2));
+    }
+
+    #[test]
+    fn float_identity_is_bitwise() {
+        let pos = Query::tnn(Point::new(0.0, 1.0)).cache_key(2);
+        let neg = Query::tnn(Point::new(-0.0, 1.0)).cache_key(2);
+        assert_ne!(pos, neg, "-0.0 and 0.0 are distinct keys");
+    }
+
+    #[test]
+    #[should_panic(expected = "one ANN mode per channel")]
+    fn per_channel_arity_mismatch_panics() {
+        let _ = Query::tnn(Point::ORIGIN)
+            .ann_modes(&[AnnMode::Exact; 2])
+            .cache_key(3);
+    }
+}

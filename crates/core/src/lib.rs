@@ -73,6 +73,7 @@ mod engine;
 mod error;
 mod exact;
 mod join;
+mod key;
 mod mode;
 mod result;
 
@@ -85,6 +86,7 @@ pub use engine::{Query, QueryEngine, QueryKind, QueryOutcome, RouteStop};
 pub use error::TnnError;
 pub use exact::{exact_chain_tnn, exact_tnn};
 pub use join::{chain_join, chain_loop_join, tnn_join};
+pub use key::QueryKey;
 pub use mode::SearchMode;
 pub use result::{ChannelCost, Phase, TnnPair, TnnRun};
 

@@ -1,0 +1,507 @@
+//! The sharded, lock-striped LRU result cache: [`ResultCache`].
+
+use std::collections::hash_map::{DefaultHasher, Entry as MapEntry};
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Result-cache tuning knobs.
+///
+/// ```
+/// use std::time::Duration;
+/// use tnn_qos::CacheConfig;
+///
+/// let cfg = CacheConfig::new()
+///     .capacity(8192)
+///     .shards(16)
+///     .ttl(Some(Duration::from_secs(30)));
+/// assert!(cfg.enabled);
+/// assert!(!CacheConfig::disabled().enabled);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Whether a front-end should consult the cache at all. `false`
+    /// reproduces uncached serving exactly (every lookup is a bypass).
+    pub enabled: bool,
+    /// Total entry bound over all shards (clamped to at least one entry
+    /// per shard).
+    pub capacity: usize,
+    /// Lock stripes; rounded up to a power of two, clamped to ≥ 1. More
+    /// shards mean less contention between concurrent workers.
+    pub shards: usize,
+    /// Entry time-to-live: a stored result older than this counts as
+    /// [`Lookup::Expired`] and is dropped. `None` (the default) keeps
+    /// entries until LRU eviction — correct whenever the underlying data
+    /// is immutable, as a broadcast cycle's datasets are.
+    pub ttl: Option<Duration>,
+}
+
+impl CacheConfig {
+    /// Enabled, 4096 entries over 8 shards, no TTL.
+    pub fn new() -> Self {
+        CacheConfig {
+            enabled: true,
+            capacity: 4096,
+            shards: 8,
+            ttl: None,
+        }
+    }
+
+    /// A disabled cache (every lookup bypasses).
+    pub fn disabled() -> Self {
+        CacheConfig {
+            enabled: false,
+            ..CacheConfig::new()
+        }
+    }
+
+    /// Sets the total entry bound.
+    pub fn capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity;
+        self
+    }
+
+    /// Sets the lock-stripe count.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the entry time-to-live.
+    pub fn ttl(mut self, ttl: Option<Duration>) -> Self {
+        self.ttl = ttl;
+        self
+    }
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig::new()
+    }
+}
+
+/// One cache probe's outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Lookup<V> {
+    /// A live entry was found; the stored value is returned (and the
+    /// entry refreshed to most-recently-used).
+    Hit(V),
+    /// An entry was found but its TTL had elapsed; it has been removed.
+    /// The caller recomputes and re-inserts.
+    Expired,
+    /// No entry under this key.
+    Miss,
+}
+
+/// Aggregate cache counters, folded over all shards.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Probes that returned [`Lookup::Hit`].
+    pub hits: u64,
+    /// Probes that returned [`Lookup::Miss`].
+    pub misses: u64,
+    /// Probes that found only a TTL-expired entry ([`Lookup::Expired`]).
+    pub expired: u64,
+    /// Values stored (fresh keys and overwrites alike).
+    pub insertions: u64,
+    /// Entries dropped to make room (LRU victims; TTL drops count under
+    /// [`CacheStats::expired`] instead).
+    pub evictions: u64,
+    /// Live entries at snapshot time.
+    pub len: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction of all probes, 0.0 on an unprobed cache.
+    pub fn hit_rate(&self) -> f64 {
+        let probes = self.hits + self.misses + self.expired;
+        if probes == 0 {
+            0.0
+        } else {
+            self.hits as f64 / probes as f64
+        }
+    }
+}
+
+/// Slot index used as "no link" in the intrusive LRU list.
+const NIL: usize = usize::MAX;
+
+struct Entry<K, V> {
+    key: K,
+    value: V,
+    stored_at: Instant,
+    prev: usize,
+    next: usize,
+}
+
+/// One lock stripe: a hash map into a slab of entries threaded on an
+/// intrusive most-recent-first list, so every operation is O(1).
+struct Shard<K, V> {
+    map: HashMap<K, usize>,
+    slots: Vec<Option<Entry<K, V>>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+    expired: u64,
+    insertions: u64,
+    evictions: u64,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> Shard<K, V> {
+    fn new(capacity: usize) -> Self {
+        Shard {
+            map: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+            hits: 0,
+            misses: 0,
+            expired: 0,
+            insertions: 0,
+            evictions: 0,
+        }
+    }
+
+    fn entry(&self, slot: usize) -> &Entry<K, V> {
+        self.slots[slot].as_ref().expect("linked slot is occupied")
+    }
+
+    fn entry_mut(&mut self, slot: usize) -> &mut Entry<K, V> {
+        self.slots[slot].as_mut().expect("linked slot is occupied")
+    }
+
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = {
+            let e = self.entry(slot);
+            (e.prev, e.next)
+        };
+        match prev {
+            NIL => self.head = next,
+            p => self.entry_mut(p).next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.entry_mut(n).prev = prev,
+        }
+    }
+
+    fn link_front(&mut self, slot: usize) {
+        let old_head = self.head;
+        {
+            let e = self.entry_mut(slot);
+            e.prev = NIL;
+            e.next = old_head;
+        }
+        match old_head {
+            NIL => self.tail = slot,
+            h => self.entry_mut(h).prev = slot,
+        }
+        self.head = slot;
+    }
+
+    /// Removes `slot` entirely, returning its entry to the free list.
+    fn remove(&mut self, slot: usize) {
+        self.unlink(slot);
+        let entry = self.slots[slot].take().expect("removed slot was occupied");
+        self.map.remove(&entry.key);
+        self.free.push(slot);
+    }
+
+    fn lookup(&mut self, key: &K, now: Instant, ttl: Option<Duration>) -> Lookup<V> {
+        let Some(&slot) = self.map.get(key) else {
+            self.misses += 1;
+            return Lookup::Miss;
+        };
+        if let Some(ttl) = ttl {
+            // Saturating: a concurrent writer may have stamped the entry
+            // an instant after the caller drew `now`.
+            if now.saturating_duration_since(self.entry(slot).stored_at) >= ttl {
+                self.remove(slot);
+                self.expired += 1;
+                return Lookup::Expired;
+            }
+        }
+        self.unlink(slot);
+        self.link_front(slot);
+        self.hits += 1;
+        Lookup::Hit(self.entry(slot).value.clone())
+    }
+
+    fn insert(&mut self, key: K, value: V, now: Instant) {
+        self.insertions += 1;
+        if let MapEntry::Occupied(occupied) = self.map.entry(key.clone()) {
+            let slot = *occupied.get();
+            let entry = self.entry_mut(slot);
+            entry.value = value;
+            entry.stored_at = now;
+            self.unlink(slot);
+            self.link_front(slot);
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            let victim = self.tail;
+            self.remove(victim);
+            self.evictions += 1;
+        }
+        let entry = Entry {
+            key: key.clone(),
+            value,
+            stored_at: now,
+            prev: NIL,
+            next: NIL,
+        };
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot] = Some(entry);
+                slot
+            }
+            None => {
+                self.slots.push(Some(entry));
+                self.slots.len() - 1
+            }
+        };
+        self.map.insert(key, slot);
+        self.link_front(slot);
+    }
+}
+
+/// A sharded, lock-striped LRU cache with optional entry TTL.
+///
+/// Keys route to one of `shards` stripes by hash; each stripe is an
+/// independent O(1) LRU under its own mutex, so concurrent workers only
+/// contend when their keys collide on a stripe. Values are returned by
+/// clone — the intended value type (a query outcome) is cheap relative
+/// to recomputing it over a broadcast cycle.
+///
+/// ```
+/// use std::time::Instant;
+/// use tnn_qos::{CacheConfig, Lookup, ResultCache};
+///
+/// let cache: ResultCache<u64, String> = ResultCache::new(CacheConfig::new().capacity(128));
+/// let now = Instant::now();
+/// assert_eq!(cache.lookup(&7, now), Lookup::Miss);
+/// cache.insert(7, "answer".into(), now);
+/// assert_eq!(cache.lookup(&7, now), Lookup::Hit("answer".into()));
+/// assert_eq!(cache.stats().hits, 1);
+/// ```
+#[derive(Debug)]
+pub struct ResultCache<K, V> {
+    shards: Vec<Mutex<Shard<K, V>>>,
+    mask: u64,
+    ttl: Option<Duration>,
+}
+
+// Shard<K, V> has no Debug bound on K/V; keep the derive-free impl tiny.
+impl<K, V> std::fmt::Debug for Shard<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shard")
+            .field("len", &self.map.len())
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> ResultCache<K, V> {
+    /// A cache sized by `config` ([`CacheConfig::enabled`] is the
+    /// *caller's* switch — a constructed cache always works).
+    pub fn new(config: CacheConfig) -> Self {
+        let shards = config.shards.max(1).next_power_of_two();
+        let per_shard = config.capacity.div_ceil(shards).max(1);
+        ResultCache {
+            shards: (0..shards)
+                .map(|_| Mutex::new(Shard::new(per_shard)))
+                .collect(),
+            mask: shards as u64 - 1,
+            ttl: config.ttl,
+        }
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<Shard<K, V>> {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() & self.mask) as usize]
+    }
+
+    /// Probes the cache at `now`. A [`Lookup::Hit`] refreshes the entry
+    /// to most-recently-used; a TTL-expired entry is removed and
+    /// reported as [`Lookup::Expired`].
+    pub fn lookup(&self, key: &K, now: Instant) -> Lookup<V> {
+        self.shard(key)
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .lookup(key, now, self.ttl)
+    }
+
+    /// Stores `value` under `key`, stamped at `now`, evicting the
+    /// stripe's least-recently-used entry if it is full. An existing
+    /// entry is overwritten and re-stamped.
+    pub fn insert(&self, key: K, value: V, now: Instant) {
+        self.shard(&key)
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(key, value, now);
+    }
+
+    /// Live entries over all stripes.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).map.len())
+            .sum()
+    }
+
+    /// `true` when no stripe holds an entry.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counters folded over all stripes.
+    pub fn stats(&self) -> CacheStats {
+        let mut stats = CacheStats::default();
+        for shard in &self.shards {
+            let shard = shard.lock().unwrap_or_else(|e| e.into_inner());
+            stats.hits += shard.hits;
+            stats.misses += shard.misses;
+            stats.expired += shard.expired;
+            stats.insertions += shard.insertions;
+            stats.evictions += shard.evictions;
+            stats.len += shard.map.len();
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(capacity: usize, shards: usize) -> ResultCache<u64, u64> {
+        ResultCache::new(CacheConfig::new().capacity(capacity).shards(shards))
+    }
+
+    #[test]
+    fn hit_returns_the_stored_value() {
+        let cache = small(16, 1);
+        let now = Instant::now();
+        assert_eq!(cache.lookup(&1, now), Lookup::Miss);
+        cache.insert(1, 100, now);
+        cache.insert(2, 200, now);
+        assert_eq!(cache.lookup(&1, now), Lookup::Hit(100));
+        assert_eq!(cache.lookup(&2, now), Lookup::Hit(200));
+        assert_eq!(cache.len(), 2);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.insertions), (2, 1, 2));
+        assert!(stats.hit_rate() > 0.6);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        // One shard so recency order is global.
+        let cache = small(3, 1);
+        let now = Instant::now();
+        for k in 0..3 {
+            cache.insert(k, k * 10, now);
+        }
+        // Touch 0 so 1 becomes the LRU, then overflow.
+        assert_eq!(cache.lookup(&0, now), Lookup::Hit(0));
+        cache.insert(3, 30, now);
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.lookup(&1, now), Lookup::Miss, "LRU victim");
+        assert_eq!(cache.lookup(&0, now), Lookup::Hit(0));
+        assert_eq!(cache.lookup(&2, now), Lookup::Hit(20));
+        assert_eq!(cache.lookup(&3, now), Lookup::Hit(30));
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn overwrite_refreshes_value_and_recency() {
+        let cache = small(2, 1);
+        let now = Instant::now();
+        cache.insert(1, 10, now);
+        cache.insert(2, 20, now);
+        cache.insert(1, 11, now); // overwrite: 2 is now the LRU
+        cache.insert(3, 30, now);
+        assert_eq!(cache.lookup(&2, now), Lookup::Miss);
+        assert_eq!(cache.lookup(&1, now), Lookup::Hit(11));
+        assert_eq!(cache.lookup(&3, now), Lookup::Hit(30));
+    }
+
+    #[test]
+    fn ttl_expires_entries() {
+        let cache: ResultCache<u64, u64> = ResultCache::new(
+            CacheConfig::new()
+                .capacity(8)
+                .shards(1)
+                .ttl(Some(Duration::from_millis(10))),
+        );
+        let t0 = Instant::now();
+        cache.insert(1, 10, t0);
+        assert_eq!(cache.lookup(&1, t0), Lookup::Hit(10), "fresh");
+        let later = t0 + Duration::from_millis(10);
+        assert_eq!(cache.lookup(&1, later), Lookup::Expired, "ttl inclusive");
+        // The expired entry is gone: the next probe is a plain miss, and
+        // re-inserting restores it with a fresh stamp.
+        assert_eq!(cache.lookup(&1, later), Lookup::Miss);
+        cache.insert(1, 11, later);
+        assert_eq!(cache.lookup(&1, later), Lookup::Hit(11));
+        let stats = cache.stats();
+        assert_eq!(stats.expired, 1);
+        assert_eq!(stats.len, 1);
+    }
+
+    #[test]
+    fn zero_ttl_always_expires() {
+        let cache: ResultCache<u64, u64> =
+            ResultCache::new(CacheConfig::new().shards(1).ttl(Some(Duration::ZERO)));
+        let now = Instant::now();
+        cache.insert(1, 10, now);
+        assert_eq!(cache.lookup(&1, now), Lookup::Expired);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn shards_split_the_capacity_and_keys() {
+        let cache = small(64, 4);
+        let now = Instant::now();
+        for k in 0..64u64 {
+            cache.insert(k, k, now);
+        }
+        // Per-shard LRU may evict unevenly, but the total stays bounded
+        // and most keys survive.
+        assert!(cache.len() <= 64);
+        assert!(cache.len() >= 32);
+        let hits = (0..64u64)
+            .filter(|k| matches!(cache.lookup(k, now), Lookup::Hit(_)))
+            .count();
+        assert!(hits >= 32);
+    }
+
+    #[test]
+    fn concurrent_probes_and_inserts_stay_consistent() {
+        let cache = std::sync::Arc::new(small(256, 8));
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let cache = std::sync::Arc::clone(&cache);
+                scope.spawn(move || {
+                    let now = Instant::now();
+                    for i in 0..1000u64 {
+                        let key = (t * 31 + i) % 97;
+                        match cache.lookup(&key, now) {
+                            Lookup::Hit(v) => assert_eq!(v, key * 2),
+                            _ => cache.insert(key, key * 2, now),
+                        }
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses + stats.expired, 4000);
+        assert!(stats.len <= 97);
+    }
+}

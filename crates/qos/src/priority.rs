@@ -1,0 +1,62 @@
+//! Service classes: [`Priority`].
+
+/// The service class of one submission, in strictly decreasing order of
+/// urgency. A scheduler honouring these classes always serves the most
+/// urgent non-empty class first ([`MultiLevelQueue::pop`]); within a
+/// class, submissions stay FIFO.
+///
+/// [`MultiLevelQueue::pop`]: crate::MultiLevelQueue::pop
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Latency-sensitive foreground traffic — a mobile client waiting on
+    /// the answer. Always served before anything else.
+    Interactive,
+    /// Ordinary request traffic: served when no interactive work is
+    /// queued. The default class.
+    #[default]
+    Batch,
+    /// Best-effort work (prefetching, analytics): only served on an
+    /// otherwise idle queue.
+    Background,
+}
+
+impl Priority {
+    /// Number of service classes.
+    pub const COUNT: usize = 3;
+
+    /// All classes, most urgent first.
+    pub const ALL: [Priority; Priority::COUNT] =
+        [Priority::Interactive, Priority::Batch, Priority::Background];
+
+    /// The class's index (0 = most urgent), usable into per-class arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Short human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::Interactive => "interactive",
+            Priority::Batch => "batch",
+            Priority::Background => "background",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_are_ordered_most_urgent_first() {
+        assert!(Priority::Interactive < Priority::Batch);
+        assert!(Priority::Batch < Priority::Background);
+        assert_eq!(Priority::ALL.len(), Priority::COUNT);
+        for (i, class) in Priority::ALL.into_iter().enumerate() {
+            assert_eq!(class.index(), i);
+        }
+        assert_eq!(Priority::default(), Priority::Batch);
+        assert_eq!(Priority::Background.name(), "background");
+    }
+}

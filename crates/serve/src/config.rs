@@ -1,8 +1,10 @@
 //! Server tuning knobs: [`ServeConfig`], [`Backpressure`], and
 //! [`ShutdownMode`].
 
-/// What [`crate::Server::submit`] does when the submission queue is at
-/// capacity.
+use tnn_qos::{CacheConfig, Priority, ShedDiscipline};
+
+/// What [`crate::Server::submit`] does when the submission lane of the
+/// query's priority class is at capacity.
 ///
 /// The trade-off mirrors the admission/contention choices of the
 /// multi-access serving literature: `Block` pushes the queueing delay
@@ -11,16 +13,22 @@
 /// fresh queries over stale ones when answers lose value with age.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Backpressure {
-    /// Block the submitting thread until a worker frees a slot (or the
-    /// server shuts down). Submission never fails with
+    /// Block the submitting thread until a worker frees a slot in the
+    /// class's lane (or the server shuts down, or the query's own
+    /// deadline passes). Submission never fails with
     /// [`tnn_core::TnnError::Overloaded`].
     Block,
     /// Refuse the new query immediately: `submit` returns
     /// [`tnn_core::TnnError::Overloaded`] and nothing is enqueued.
     Reject,
-    /// Admit the new query by evicting the **oldest** still-queued one,
-    /// whose ticket resolves to [`tnn_core::TnnError::Overloaded`].
-    /// Submission itself never fails.
+    /// Admit the new query by evicting a still-queued one from the same
+    /// class. Which one is governed by [`ServeConfig::shed`]: under the
+    /// default [`ShedDiscipline::ExpiredFirst`] the oldest *expired*
+    /// query goes first (its ticket resolves
+    /// [`tnn_core::TnnError::DeadlineExceeded`]), and only a lane with
+    /// no expired work sacrifices its oldest (ticket resolves
+    /// [`tnn_core::TnnError::Overloaded`]). Submission itself never
+    /// fails.
     Shed,
 }
 
@@ -40,13 +48,18 @@ pub enum ShutdownMode {
 /// Configuration for [`crate::Server::spawn`].
 ///
 /// ```
+/// use tnn_qos::{CacheConfig, Priority, ShedDiscipline};
 /// use tnn_serve::{Backpressure, ServeConfig};
 /// let cfg = ServeConfig::new()
 ///     .workers(4)
 ///     .queue_capacity(256)
-///     .backpressure(Backpressure::Reject)
+///     .class_capacity(Priority::Background, 32)
+///     .backpressure(Backpressure::Shed)
+///     .shed_discipline(ShedDiscipline::ExpiredFirst)
+///     .cache(CacheConfig::new().capacity(8192))
 ///     .batch_window(32);
 /// assert_eq!(cfg.workers, 4);
+/// assert_eq!(cfg.class_capacity[Priority::Background.index()], 32);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServeConfig {
@@ -56,11 +69,28 @@ pub struct ServeConfig {
     /// but nothing executes until shutdown resolves the backlog as
     /// cancelled — see [`crate::Server::spawn_engine`].
     pub workers: usize,
-    /// Bound of the submission queue (jobs admitted but not yet picked
-    /// up). Clamped to at least 1.
+    /// Default bound of each priority class's submission lane (jobs
+    /// admitted but not yet picked up). Clamped to at least 1. The
+    /// total backlog is bounded by the *sum* of the per-class bounds.
     pub queue_capacity: usize,
-    /// Policy when the queue is full.
+    /// Per-class lane bounds, indexed by [`Priority::index`]; `0` (the
+    /// default) means "inherit [`ServeConfig::queue_capacity`]". A
+    /// tight `Background` bound keeps best-effort floods from holding
+    /// memory that interactive traffic will never have to wait on.
+    pub class_capacity: [usize; Priority::COUNT],
+    /// Policy when the class's lane is full.
     pub backpressure: Backpressure,
+    /// Victim selection for [`Backpressure::Shed`] (default: evict
+    /// expired work before sacrificing anything still viable).
+    pub shed: ShedDiscipline,
+    /// The result cache over `(query, channel count)` keys
+    /// ([`tnn_core::QueryKey`]). Enabled by default — hits are
+    /// byte-identical to fresh engine runs (the engine is
+    /// deterministic), so the cache is invisible except in latency and
+    /// the [`crate::ServeStats`] cache counters. Disable it
+    /// ([`CacheConfig::disabled`]) for honest throughput measurements
+    /// of repeated workloads.
+    pub cache: CacheConfig,
     /// Upper bound on jobs one worker pops per wake-up. Values above 1
     /// amortize the queue lock and condvar traffic over micro-batches
     /// under load while leaving latency untouched when the queue is
@@ -71,15 +101,19 @@ pub struct ServeConfig {
 
 impl ServeConfig {
     /// The default configuration: one worker per available CPU, a
-    /// 1024-slot queue, [`Backpressure::Block`], and a 16-job batch
-    /// window.
+    /// 1024-slot lane per class, [`Backpressure::Block`],
+    /// expired-first shedding, the default result cache, and a 16-job
+    /// batch window.
     pub fn new() -> Self {
         ServeConfig {
             workers: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
             queue_capacity: 1024,
+            class_capacity: [0; Priority::COUNT],
             backpressure: Backpressure::Block,
+            shed: ShedDiscipline::ExpiredFirst,
+            cache: CacheConfig::new(),
             batch_window: 16,
         }
     }
@@ -90,15 +124,34 @@ impl ServeConfig {
         self
     }
 
-    /// Sets the submission-queue bound.
+    /// Sets the default per-class submission-lane bound.
     pub fn queue_capacity(mut self, capacity: usize) -> Self {
         self.queue_capacity = capacity;
         self
     }
 
-    /// Sets the full-queue policy.
+    /// Overrides the lane bound of one priority class (`0` restores
+    /// "inherit [`ServeConfig::queue_capacity`]").
+    pub fn class_capacity(mut self, class: Priority, capacity: usize) -> Self {
+        self.class_capacity[class.index()] = capacity;
+        self
+    }
+
+    /// Sets the full-lane policy.
     pub fn backpressure(mut self, policy: Backpressure) -> Self {
         self.backpressure = policy;
+        self
+    }
+
+    /// Sets the [`Backpressure::Shed`] victim discipline.
+    pub fn shed_discipline(mut self, shed: ShedDiscipline) -> Self {
+        self.shed = shed;
+        self
+    }
+
+    /// Configures (or disables) the result cache.
+    pub fn cache(mut self, cache: CacheConfig) -> Self {
+        self.cache = cache;
         self
     }
 
@@ -106,6 +159,17 @@ impl ServeConfig {
     pub fn batch_window(mut self, window: usize) -> Self {
         self.batch_window = window;
         self
+    }
+
+    /// The effective lane bound of `class` after inheritance and
+    /// clamping — what the server actually enforces.
+    pub fn lane_capacity(&self, class: Priority) -> usize {
+        let cap = self.class_capacity[class.index()];
+        if cap == 0 {
+            self.queue_capacity.max(1)
+        } else {
+            cap
+        }
     }
 }
 
@@ -125,12 +189,35 @@ mod tests {
             .workers(3)
             .queue_capacity(7)
             .backpressure(Backpressure::Shed)
+            .shed_discipline(ShedDiscipline::OldestFirst)
+            .cache(CacheConfig::disabled())
             .batch_window(5);
         assert_eq!(cfg.workers, 3);
         assert_eq!(cfg.queue_capacity, 7);
         assert_eq!(cfg.backpressure, Backpressure::Shed);
+        assert_eq!(cfg.shed, ShedDiscipline::OldestFirst);
+        assert!(!cfg.cache.enabled);
         assert_eq!(cfg.batch_window, 5);
         assert!(ServeConfig::new().workers >= 1);
         assert_eq!(ServeConfig::new().backpressure, Backpressure::Block);
+        assert_eq!(ServeConfig::new().shed, ShedDiscipline::ExpiredFirst);
+        assert!(ServeConfig::new().cache.enabled);
+    }
+
+    #[test]
+    fn class_capacities_inherit_the_queue_bound() {
+        let cfg = ServeConfig::new()
+            .queue_capacity(10)
+            .class_capacity(Priority::Background, 3);
+        assert_eq!(cfg.lane_capacity(Priority::Interactive), 10);
+        assert_eq!(cfg.lane_capacity(Priority::Batch), 10);
+        assert_eq!(cfg.lane_capacity(Priority::Background), 3);
+        // Degenerate bounds clamp to one slot.
+        assert_eq!(
+            ServeConfig::new()
+                .queue_capacity(0)
+                .lane_capacity(Priority::Batch),
+            1
+        );
     }
 }

@@ -1,16 +1,18 @@
 //! # tnn-serve
 //!
-//! A concurrent query-serving front-end over the
+//! A concurrent, QoS-aware query-serving front-end over the
 //! [`tnn_core::QueryEngine`] — the executor-facing surface of the
-//! broadcast-TNN reproduction: request queueing, backpressure, and
+//! broadcast-TNN reproduction: request queueing with priority classes
+//! and deadlines, backpressure, a sharded result cache, and
 //! micro-batching over the `Sync`, O(1)-clonable engine the core crates
 //! provide.
 //!
 //! Deliberately dependency-free: built on `std::thread`,
-//! `std::sync::Mutex`/`Condvar`, and nothing else, so it runs in the
-//! same offline environment as the rest of the workspace (no async
-//! runtime required — the engine's per-query latency is microseconds,
-//! so OS threads with a bounded queue are the right tool).
+//! `std::sync::Mutex`/`Condvar`, and the equally std-only QoS
+//! primitives of [`tnn_qos`], so it runs in the same offline
+//! environment as the rest of the workspace (no async runtime required
+//! — the engine's per-query latency is microseconds, so OS threads with
+//! a bounded queue are the right tool).
 //!
 //! ## Shape
 //!
@@ -19,13 +21,25 @@
 //!   recycled [`tnn_core::QueryScratch`], so the per-query hot path is
 //!   the same zero-alloc [`tnn_core::QueryEngine::run_with`] path the
 //!   batch runners use.
-//! * [`Server::submit`] admits a [`tnn_core::Query`] through a **bounded
-//!   queue** with an explicit [`Backpressure`] policy — [`Backpressure::Block`]
-//!   the caller, [`Backpressure::Reject`] with
-//!   [`tnn_core::TnnError::Overloaded`], or [`Backpressure::Shed`] the
-//!   oldest queued query — and returns a non-blocking [`Ticket`];
-//!   [`Server::submit_batch`] admits many under one lock acquisition and
-//!   one worker wake-up.
+//! * [`Server::submit_with`] admits a [`tnn_core::Query`] under
+//!   explicit [`Qos`] terms — a [`Priority`] class ([`Priority::Interactive`]
+//!   `>` [`Priority::Batch`] `>` [`Priority::Background`], strictly
+//!   drained most-urgent-first with per-class lane bounds) and an
+//!   optional [`Deadline`] (enforced at admission, at shed-victim
+//!   selection, and at dequeue; missed deadlines resolve
+//!   [`tnn_core::TnnError::DeadlineExceeded`]). [`Server::submit`] is
+//!   the QoS-oblivious shorthand (batch class, no deadline).
+//! * A **sharded LRU result cache** keyed on [`tnn_core::QueryKey`]
+//!   answers repeated queries — probed at admission (a hit resolves the
+//!   ticket inside `submit`, touching no worker) and again at dequeue
+//!   (duplicates queued behind their first occurrence skip the engine)
+//!   — with bytes identical to a fresh engine run, because the engine
+//!   is deterministic in exactly the keyed fields.
+//! * Full lanes apply an explicit [`Backpressure`] policy —
+//!   [`Backpressure::Block`] the caller, [`Backpressure::Reject`] with
+//!   [`tnn_core::TnnError::Overloaded`], or [`Backpressure::Shed`]
+//!   queued work, evicting *expired* queries before sacrificing viable
+//!   ones ([`ShedDiscipline`]).
 //! * [`Ticket::poll`] / [`Ticket::wait`] read the outcome; both are
 //!   idempotent (wait twice, poll after wait — always the same cached
 //!   outcome, never a hang). [`Ticket::latency`] reports exact
@@ -35,12 +49,16 @@
 //!
 //! ## Guarantees
 //!
-//! Concurrency may reorder *completion*, never *answers*: every outcome
-//! delivered through a ticket is byte-identical to a direct
-//! [`tnn_core::QueryEngine::run`] of the same query. The property gate
-//! lives in `crates/bench/tests/serve_equivalence.rs`; the
-//! ticket-conservation invariant ([`ServeStats::conserved`]) is
-//! stress-tested in `crates/bench/tests/serve_stress.rs`.
+//! Concurrency, priorities, and caching may reorder or short-circuit
+//! *completion*, never *answers*: every outcome delivered through a
+//! ticket is byte-identical to a direct [`tnn_core::QueryEngine::run`]
+//! of the same query. The property gates live in
+//! `crates/bench/tests/serve_equivalence.rs` (scheduling) and
+//! `crates/bench/tests/qos_equivalence.rs` (cache hits, within-class
+//! FIFO order); the ticket-conservation invariant
+//! ([`ServeStats::conserved`] — now per class, with every completion
+//! classified by exactly one cache outcome) is stress-tested in
+//! `crates/bench/tests/serve_stress.rs`.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -50,5 +68,9 @@ mod server;
 mod ticket;
 
 pub use config::{Backpressure, ServeConfig, ShutdownMode};
-pub use server::{ServeStats, Server};
+pub use server::{ClassStats, ServeStats, Server};
 pub use ticket::Ticket;
+
+// The QoS vocabulary callers need to speak the submission API, re-
+// exported so `tnn_serve` alone suffices for everyday serving code.
+pub use tnn_qos::{CacheConfig, CacheStats, Deadline, Priority, Qos, ShedDiscipline};

@@ -1,56 +1,159 @@
-//! The worker-pool server: bounded submission queue, backpressure,
+//! The worker-pool server: strict-priority multi-level submission queue,
+//! deadline enforcement, backpressure, an admission-time result cache,
 //! micro-batched dispatch, and deterministic shutdown.
 
 use crate::config::{Backpressure, ServeConfig, ShutdownMode};
 use crate::ticket::{Ticket, TicketCell};
-use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::Instant;
 use tnn_broadcast::MultiChannelEnv;
-use tnn_core::{ArrivalHeap, CandidateQueue, Query, QueryEngine, TnnError};
+use tnn_core::{ArrivalHeap, CandidateQueue, Query, QueryEngine, QueryKey, QueryOutcome, TnnError};
+use tnn_qos::{Deadline, Lookup, MultiLevelQueue, Priority, Qos, ResultCache};
 
-/// Admission/completion counters, snapshotted atomically (all counters
-/// mutate under one lock, so [`ServeStats::conserved`] holds for *every*
-/// snapshot, not just quiescent ones).
+/// Admission/completion counters of one priority class.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct ServeStats {
-    /// Total [`Server::submit`] calls (including refused ones).
+pub struct ClassStats {
+    /// Submissions naming this class (including refused ones).
     pub submitted: u64,
-    /// Queries admitted into the queue (including later-shed ones).
+    /// Queries admitted (including later-shed/expired ones; admission
+    /// cache hits count here too — they are accepted *and* completed in
+    /// one step).
     pub accepted: u64,
-    /// Queries refused at the door: queue full under
+    /// Queries refused at the door: lane full under
     /// [`Backpressure::Reject`], or submitted during/after shutdown.
     pub rejected: u64,
-    /// Admitted queries evicted by [`Backpressure::Shed`] (their tickets
-    /// resolved to [`TnnError::Overloaded`]).
+    /// Admitted queries evicted by [`Backpressure::Shed`] while still
+    /// viable (tickets resolved [`TnnError::Overloaded`]).
     pub shed: u64,
-    /// Admitted queries resolved to [`TnnError::Cancelled`] by a
+    /// Admitted queries resolved [`TnnError::Cancelled`] by a
     /// [`ShutdownMode::Cancel`] shutdown (or the final shutdown sweep).
     pub cancelled: u64,
-    /// Queries executed by a worker (successfully or with a recoverable
-    /// query error — both count as completions).
+    /// Queries whose outcome was delivered (engine-run, engine-error, or
+    /// cache hit — all count as completions).
     pub completed: u64,
+    /// Admitted queries whose deadline passed before a worker could
+    /// answer — refused dead at admission, evicted as the expired shed
+    /// victim, or discarded at dequeue (tickets resolved
+    /// [`TnnError::DeadlineExceeded`]).
+    pub expired: u64,
     /// Jobs admitted but not yet picked up, at snapshot time.
     pub queued: usize,
     /// Jobs being executed by a worker, at snapshot time.
     pub in_flight: usize,
 }
 
-impl ServeStats {
-    /// The ticket-conservation invariant: every submission is accounted
-    /// for exactly once. Holds for every snapshot; after a shutdown,
-    /// [`ServeStats::queued`] and [`ServeStats::in_flight`] are both 0,
-    /// so it reduces to `submitted = rejected + shed + cancelled +
-    /// completed`.
+impl ClassStats {
+    /// Per-class ticket conservation: every submission naming this class
+    /// is accounted for exactly once.
     pub fn conserved(&self) -> bool {
         self.submitted == self.accepted + self.rejected
             && self.accepted
                 == self.completed
                     + self.shed
                     + self.cancelled
+                    + self.expired
                     + self.queued as u64
                     + self.in_flight as u64
+    }
+}
+
+/// Admission/completion counters, snapshotted atomically (all counters
+/// mutate under one lock, so [`ServeStats::conserved`] holds for *every*
+/// snapshot, not just quiescent ones). The flat fields are totals over
+/// [`ServeStats::classes`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Total [`Server::submit`] calls (including refused ones).
+    pub submitted: u64,
+    /// Queries admitted into the queue (including later-shed ones and
+    /// admission cache hits).
+    pub accepted: u64,
+    /// Queries refused at the door (full lane under
+    /// [`Backpressure::Reject`], or shutdown).
+    pub rejected: u64,
+    /// Still-viable queries evicted by [`Backpressure::Shed`].
+    pub shed: u64,
+    /// Queries resolved [`TnnError::Cancelled`] at shutdown.
+    pub cancelled: u64,
+    /// Queries whose outcome was delivered (cache hits included).
+    pub completed: u64,
+    /// Queries resolved [`TnnError::DeadlineExceeded`] — at admission,
+    /// by expiry-aware shedding, or at dequeue.
+    pub expired: u64,
+    /// Jobs admitted but not yet picked up, at snapshot time.
+    pub queued: usize,
+    /// Jobs being executed by a worker, at snapshot time.
+    pub in_flight: usize,
+    /// Completions served straight from the result cache (byte-identical
+    /// to an engine run of the same query).
+    pub cache_hits: u64,
+    /// Completions that ran the engine because no cache entry existed
+    /// (the outcome was then stored).
+    pub cache_misses: u64,
+    /// Completions that ran the engine because the cache entry's TTL had
+    /// elapsed (the outcome re-stored, refreshing the entry).
+    pub cache_expired: u64,
+    /// Completions that never touched the cache: caching disabled, a
+    /// degenerate (`k < 2`) environment, or an error outcome (errors are
+    /// never cached).
+    pub cache_bypass: u64,
+    /// The same counters split by priority class (cache counters are
+    /// tracked globally, not per class).
+    pub classes: [ClassStats; Priority::COUNT],
+}
+
+impl ServeStats {
+    /// The ticket-conservation invariant, now three-way:
+    ///
+    /// 1. every submission is accounted for exactly once
+    ///    (`submitted = accepted + rejected` and `accepted = completed +
+    ///    shed + cancelled + expired + queued + in_flight`);
+    /// 2. the same holds within every priority class, and the classes
+    ///    sum to the totals;
+    /// 3. every completion is classified by exactly one cache outcome
+    ///    (`completed = cache_hits + cache_misses + cache_expired +
+    ///    cache_bypass`).
+    ///
+    /// Holds for every snapshot; after a shutdown `queued` and
+    /// `in_flight` are 0, so clause 1 reduces to `submitted = rejected +
+    /// shed + cancelled + expired + completed`.
+    pub fn conserved(&self) -> bool {
+        let totals = self.submitted == self.accepted + self.rejected
+            && self.accepted
+                == self.completed
+                    + self.shed
+                    + self.cancelled
+                    + self.expired
+                    + self.queued as u64
+                    + self.in_flight as u64;
+        let classes = self.classes.iter().all(ClassStats::conserved)
+            && self.submitted == self.classes.iter().map(|c| c.submitted).sum::<u64>()
+            && self.accepted == self.classes.iter().map(|c| c.accepted).sum::<u64>()
+            && self.rejected == self.classes.iter().map(|c| c.rejected).sum::<u64>()
+            && self.shed == self.classes.iter().map(|c| c.shed).sum::<u64>()
+            && self.cancelled == self.classes.iter().map(|c| c.cancelled).sum::<u64>()
+            && self.completed == self.classes.iter().map(|c| c.completed).sum::<u64>()
+            && self.expired == self.classes.iter().map(|c| c.expired).sum::<u64>()
+            && self.queued == self.classes.iter().map(|c| c.queued).sum::<usize>()
+            && self.in_flight == self.classes.iter().map(|c| c.in_flight).sum::<usize>();
+        let cache = self.completed
+            == self.cache_hits + self.cache_misses + self.cache_expired + self.cache_bypass;
+        totals && classes && cache
+    }
+
+    /// The per-class counters for `class`.
+    pub fn class(&self, class: Priority) -> &ClassStats {
+        &self.classes[class.index()]
+    }
+
+    /// Cache hit fraction of all completions, 0.0 before any complete.
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.completed as f64
+        }
     }
 }
 
@@ -58,6 +161,14 @@ impl ServeStats {
 struct Job {
     query: Query,
     cell: Arc<TicketCell>,
+    class: Priority,
+    deadline: Deadline,
+    /// The query's cache identity — `Some` exactly when the result cache
+    /// will be consulted for it (cache enabled, cacheable environment).
+    key: Option<QueryKey>,
+    /// The admission probe found a TTL-expired entry: this run refreshes
+    /// it (classified `cache_expired`, not `cache_misses`).
+    refresh: bool,
 }
 
 impl Drop for Job {
@@ -70,18 +181,38 @@ impl Drop for Job {
     }
 }
 
-/// Mutable queue state — every field mutates under one mutex, which is
-/// what makes the [`ServeStats`] conservation invariant snapshot-exact.
-struct State {
-    queue: VecDeque<Job>,
-    shutdown: Option<ShutdownMode>,
-    in_flight: usize,
+/// Per-class mutable counters (`queued` is read off the queue itself).
+#[derive(Default, Clone, Copy)]
+struct ClassCounters {
     submitted: u64,
     accepted: u64,
     rejected: u64,
     shed: u64,
     cancelled: u64,
     completed: u64,
+    expired: u64,
+    in_flight: usize,
+}
+
+/// Mutable queue state — every field mutates under one mutex, which is
+/// what makes the [`ServeStats`] conservation invariant snapshot-exact.
+struct State {
+    queue: MultiLevelQueue<Job>,
+    shutdown: Option<ShutdownMode>,
+    classes: [ClassCounters; Priority::COUNT],
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_expired: u64,
+    cache_bypass: u64,
+}
+
+impl State {
+    fn cancel_backlog(&mut self) {
+        while let Some((class, job)) = self.queue.pop() {
+            self.classes[class.index()].cancelled += 1;
+            job.cell.resolve(Err(TnnError::Cancelled));
+        }
+    }
 }
 
 struct Inner {
@@ -90,6 +221,8 @@ struct Inner {
     work: Condvar,
     /// Wakes `Block`ed submitters when a worker frees queue slots.
     space: Condvar,
+    /// The shared result cache; `None` when disabled by configuration.
+    cache: Option<ResultCache<QueryKey, QueryOutcome>>,
     config: ServeConfig,
 }
 
@@ -97,19 +230,25 @@ struct Inner {
 ///
 /// `N` worker threads each own an O(1)-cloned engine handle and one
 /// recycled [`tnn_core::QueryScratch`]; clients submit [`Query`]s through
-/// a bounded queue with an explicit [`Backpressure`] policy and get
-/// non-blocking [`Ticket`]s back. Concurrency may reorder *completion*,
-/// never *answers*: every outcome delivered through a ticket is
-/// byte-identical to a direct [`QueryEngine::run`] of the same query
-/// (gated by `crates/bench/tests/serve_equivalence.rs`).
+/// a strict-priority bounded queue with an explicit [`Backpressure`]
+/// policy and get non-blocking [`Ticket`]s back. Per-submission
+/// [`Qos`] terms carry a priority class and an optional deadline
+/// ([`Server::submit_with`]); a sharded result cache answers repeated
+/// queries without touching a worker. Concurrency and caching may
+/// reorder or short-circuit *completion*, never *answers*: every outcome
+/// delivered through a ticket is byte-identical to a direct
+/// [`QueryEngine::run`] of the same query (gated by
+/// `crates/bench/tests/serve_equivalence.rs` and
+/// `crates/bench/tests/qos_equivalence.rs`).
 ///
 /// ```
 /// use std::sync::Arc;
+/// use std::time::Duration;
 /// use tnn_broadcast::{BroadcastParams, MultiChannelEnv};
 /// use tnn_core::Query;
 /// use tnn_geom::Point;
 /// use tnn_rtree::{PackingAlgorithm, RTree};
-/// use tnn_serve::{ServeConfig, Server, ShutdownMode};
+/// use tnn_serve::{Qos, ServeConfig, Server, ShutdownMode};
 ///
 /// let params = BroadcastParams::new(64);
 /// let tree = |salt: usize| {
@@ -121,11 +260,17 @@ struct Inner {
 /// let env = MultiChannelEnv::new(vec![tree(0), tree(5)], params, &[3, 17]);
 ///
 /// let server = Server::spawn(env, ServeConfig::new().workers(2));
-/// let ticket = server.submit(Query::tnn(Point::new(20.0, 20.0))).unwrap();
+/// let query = Query::tnn(Point::new(20.0, 20.0));
+/// let qos = Qos::interactive().deadline_in(Duration::from_secs(5));
+/// let ticket = server.submit_with(query.clone(), qos).unwrap();
 /// let outcome = ticket.wait().unwrap();
 /// assert_eq!(outcome.route.len(), 2);
+/// // A repeat of the same query completes from the cache — same bytes.
+/// let again = server.submit(query).unwrap().wait().unwrap();
+/// assert_eq!(again, outcome);
 /// let stats = server.shutdown(ShutdownMode::Drain);
 /// assert!(stats.conserved());
+/// assert_eq!(stats.cache_hits, 1);
 /// ```
 pub struct Server<Q: CandidateQueue + 'static = ArrivalHeap> {
     inner: Arc<Inner>,
@@ -155,20 +300,23 @@ impl<Q: CandidateQueue + 'static> Server<Q> {
             batch_window: config.batch_window.max(1),
             ..config
         };
+        // Caching needs a k ≥ 2 environment: anything else errors on
+        // every query, and errors are never cached.
+        let cache = (config.cache.enabled && engine.channels() >= 2)
+            .then(|| ResultCache::new(config.cache));
         let inner = Arc::new(Inner {
             state: Mutex::new(State {
-                queue: VecDeque::new(),
+                queue: MultiLevelQueue::new(),
                 shutdown: None,
-                in_flight: 0,
-                submitted: 0,
-                accepted: 0,
-                rejected: 0,
-                shed: 0,
-                cancelled: 0,
-                completed: 0,
+                classes: [ClassCounters::default(); Priority::COUNT],
+                cache_hits: 0,
+                cache_misses: 0,
+                cache_expired: 0,
+                cache_bypass: 0,
             }),
             work: Condvar::new(),
             space: Condvar::new(),
+            cache,
             config,
         });
         let workers = (0..config.workers)
@@ -199,70 +347,138 @@ impl<Q: CandidateQueue + 'static> Server<Q> {
         self.inner.config
     }
 
-    /// Submits one query and returns its completion [`Ticket`].
+    /// Submits one query under default QoS terms ([`Priority::Batch`],
+    /// no deadline) and returns its completion [`Ticket`]. See
+    /// [`Server::submit_with`].
     ///
     /// # Errors
-    /// [`TnnError::Overloaded`] when the queue is full under
+    /// As [`Server::submit_with`].
+    ///
+    /// # Panics
+    /// As [`Server::submit_with`].
+    pub fn submit(&self, query: Query) -> Result<Ticket, TnnError> {
+        self.submit_with(query, Qos::default())
+    }
+
+    /// Submits one query under explicit [`Qos`] terms and returns its
+    /// completion [`Ticket`].
+    ///
+    /// The priority class selects the submission lane (strictly drained
+    /// most-urgent-first) and the lane bound backpressure applies
+    /// against. The deadline is enforced three times: a query already
+    /// expired at admission resolves [`TnnError::DeadlineExceeded`]
+    /// without queueing, expiry-aware [`Backpressure::Shed`] evicts
+    /// expired work first, and a worker discards (rather than runs) a
+    /// job whose deadline passed while queued. A result-cache hit
+    /// resolves the ticket at admission with bytes identical to a fresh
+    /// engine run.
+    ///
+    /// # Errors
+    /// [`TnnError::Overloaded`] when the class lane is full under
     /// [`Backpressure::Reject`]; [`TnnError::Cancelled`] when the server
     /// is shutting down (under [`Backpressure::Block`] this can surface
     /// after a wait). Query-level errors (wrong channel count, empty
     /// channels, non-finite points) are *not* raised here — they travel
     /// through the ticket, exactly as [`QueryEngine::run`] would return
-    /// them.
+    /// them. A pre-expired deadline also travels through the ticket
+    /// (the submission itself succeeded).
     ///
     /// # Panics
     /// Panics — on the submitting thread, before anything is enqueued —
     /// when per-channel phases or ANN modes do not match the engine's
     /// channel count (the same conditions under which
     /// [`QueryEngine::run`] panics; see [`Query::check_channels`]).
-    pub fn submit(&self, query: Query) -> Result<Ticket, TnnError> {
+    pub fn submit_with(&self, query: Query, qos: Qos) -> Result<Ticket, TnnError> {
         query.check_channels(self.engine.channels());
+        // Key derivation (hashing + small allocations) happens before
+        // the state lock — the admission critical section stays short.
+        let key = self.derive_key(&query);
         // Stamped before admission: under `Block` the wait for a queue
         // slot is part of the client-observed latency.
         let submitted_at = Instant::now();
         let state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
-        let (state, result) = self.admit(state, query, submitted_at);
+        let (state, result, enqueued) = self.admit(state, query, key, qos, submitted_at);
         drop(state);
-        if result.is_ok() {
+        if enqueued {
             self.inner.work.notify_one();
         }
         result
     }
 
-    /// Submits many queries under one queue-lock acquisition and wakes
-    /// the workers once, returning one [`Ticket`] result per query in
-    /// order. Workers then drain the backlog in micro-batches of up to
-    /// [`ServeConfig::batch_window`] jobs per wake-up, amortizing the
-    /// wake/steal overhead that per-query submission would pay `n`
-    /// times.
+    /// Submits many queries under one queue-lock acquisition and default
+    /// QoS terms. See [`Server::submit_batch_with`].
     ///
-    /// Per-query admission follows [`Server::submit`] exactly (a
+    /// # Panics
+    /// As [`Server::submit_with`] — every query is validated before the
+    /// first one is enqueued.
+    pub fn submit_batch(
+        &self,
+        queries: impl IntoIterator<Item = Query>,
+    ) -> Vec<Result<Ticket, TnnError>> {
+        self.submit_batch_with(queries, Qos::default())
+    }
+
+    /// Submits many queries under one queue-lock acquisition and shared
+    /// [`Qos`] terms, wakes the workers once, and returns one [`Ticket`]
+    /// result per query in order. Workers then drain the backlog in
+    /// micro-batches of up to [`ServeConfig::batch_window`] jobs per
+    /// wake-up, amortizing the wake/steal overhead that per-query
+    /// submission would pay `n` times.
+    ///
+    /// Per-query admission follows [`Server::submit_with`] exactly (a
     /// [`Backpressure::Reject`] overflow rejects only the overflowing
     /// queries; [`Backpressure::Block`] may wait mid-batch for workers
     /// to free slots).
     ///
     /// # Panics
-    /// As [`Server::submit`] — every query is validated before the first
-    /// one is enqueued.
-    pub fn submit_batch(
+    /// As [`Server::submit_with`] — every query is validated before the
+    /// first one is enqueued.
+    pub fn submit_batch_with(
         &self,
         queries: impl IntoIterator<Item = Query>,
+        qos: Qos,
     ) -> Vec<Result<Ticket, TnnError>> {
-        let queries: Vec<Query> = queries.into_iter().collect();
-        for query in &queries {
+        self.submit_batch_qos(queries.into_iter().map(|query| (query, qos)))
+    }
+
+    /// Submits many `(query, qos)` pairs under one queue-lock
+    /// acquisition — the mixed-class form of
+    /// [`Server::submit_batch_with`] for front-ends whose inbound
+    /// traffic carries heterogeneous priorities and deadlines. The whole
+    /// batch is admitted atomically with respect to the workers: no job
+    /// of the batch starts executing before the last one is enqueued
+    /// (unless a [`Backpressure::Block`] wait has to yield the lock
+    /// mid-batch), so strict-priority draining applies to the batch as
+    /// a whole.
+    ///
+    /// # Panics
+    /// As [`Server::submit_with`] — every query is validated before the
+    /// first one is enqueued.
+    pub fn submit_batch_qos(
+        &self,
+        submissions: impl IntoIterator<Item = (Query, Qos)>,
+    ) -> Vec<Result<Ticket, TnnError>> {
+        let submissions: Vec<(Query, Qos)> = submissions.into_iter().collect();
+        for (query, _) in &submissions {
             query.check_channels(self.engine.channels());
         }
+        // Keys for the whole batch are derived before the lock — the
+        // batch-long critical section does no hashing or allocation.
+        let keys: Vec<Option<QueryKey>> = submissions
+            .iter()
+            .map(|(query, _)| self.derive_key(query))
+            .collect();
         // One stamp for the whole batch, taken at entry: time spent
         // blocked mid-batch counts toward the latency of every later
         // query in it — the client handed them all over at this instant.
         let submitted_at = Instant::now();
-        let mut out = Vec::with_capacity(queries.len());
+        let mut out = Vec::with_capacity(submissions.len());
         let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
         let mut admitted = false;
-        for query in queries {
-            let (next, result) = self.admit(state, query, submitted_at);
+        for ((query, qos), key) in submissions.into_iter().zip(keys) {
+            let (next, result, enqueued) = self.admit(state, query, key, qos, submitted_at);
             state = next;
-            admitted |= result.is_ok();
+            admitted |= enqueued;
             out.push(result);
         }
         drop(state);
@@ -272,72 +488,189 @@ impl<Q: CandidateQueue + 'static> Server<Q> {
         out
     }
 
-    /// Admission under the state lock: applies the backpressure policy,
-    /// pushes the job, and mints its ticket. Returns the (possibly
+    /// The query's cache identity, derived only when the cache exists
+    /// (the spawn gate guarantees a cacheable `k ≥ 2` environment then).
+    fn derive_key(&self, query: &Query) -> Option<QueryKey> {
+        self.inner
+            .cache
+            .is_some()
+            .then(|| query.cache_key(self.engine.channels()))
+    }
+
+    /// Admission under the state lock: deadline check, cache probe,
+    /// backpressure, enqueue, ticket mint. Returns the (possibly
     /// re-acquired, for `Block`) guard so batch submission stays under
-    /// one logical critical section.
+    /// one logical critical section, plus whether a job actually entered
+    /// the queue (cache hits and dead-on-arrival deadlines resolve
+    /// without one, so no worker wake-up is owed).
     fn admit<'a>(
         &self,
         mut state: MutexGuard<'a, State>,
         query: Query,
+        key: Option<QueryKey>,
+        qos: Qos,
         submitted_at: Instant,
-    ) -> (MutexGuard<'a, State>, Result<Ticket, TnnError>) {
-        state.submitted += 1;
+    ) -> (MutexGuard<'a, State>, Result<Ticket, TnnError>, bool) {
+        let class = qos.priority.index();
+        state.classes[class].submitted += 1;
+        if state.shutdown.is_some() {
+            state.classes[class].rejected += 1;
+            return (state, Err(TnnError::Cancelled), false);
+        }
+        // Deadline at admission: dead-on-arrival work resolves without
+        // costing a slot (or a cache probe — the client said "by then").
+        if qos.deadline.expired(Instant::now()) {
+            state.classes[class].accepted += 1;
+            state.classes[class].expired += 1;
+            let cell = TicketCell::new();
+            cell.resolve(Err(TnnError::DeadlineExceeded));
+            return (state, Ok(Ticket { cell, submitted_at }), false);
+        }
+        // Admission-time cache probe: a hit completes right here —
+        // byte-identical bytes, zero queue traffic. Probed at a fresh
+        // `now`, not `submitted_at`: a batch stamp can be arbitrarily
+        // stale after a mid-batch Block wait, and TTL expiry must be
+        // judged against the present.
+        let mut refresh = false;
+        if let (Some(cache), Some(candidate)) = (&self.inner.cache, &key) {
+            match cache.lookup(candidate, Instant::now()) {
+                Lookup::Hit(outcome) => {
+                    state.classes[class].accepted += 1;
+                    state.classes[class].completed += 1;
+                    state.cache_hits += 1;
+                    let cell = TicketCell::new();
+                    cell.resolve(Ok(outcome));
+                    return (state, Ok(Ticket { cell, submitted_at }), false);
+                }
+                Lookup::Expired => refresh = true,
+                Lookup::Miss => {}
+            }
+        }
+        let capacity = self.inner.config.lane_capacity(qos.priority);
         loop {
             if state.shutdown.is_some() {
-                state.rejected += 1;
-                return (state, Err(TnnError::Cancelled));
+                state.classes[class].rejected += 1;
+                return (state, Err(TnnError::Cancelled), false);
             }
-            if state.queue.len() < self.inner.config.queue_capacity {
+            // The deadline can pass while Block-waiting for a slot.
+            if qos.deadline.expired(Instant::now()) {
+                state.classes[class].accepted += 1;
+                state.classes[class].expired += 1;
+                let cell = TicketCell::new();
+                cell.resolve(Err(TnnError::DeadlineExceeded));
+                return (state, Ok(Ticket { cell, submitted_at }), false);
+            }
+            if state.queue.len_of(qos.priority) < capacity {
                 break;
             }
             match self.inner.config.backpressure {
                 Backpressure::Block => {
-                    // A full queue means there is work: make sure a
+                    // A full lane means there is work: make sure a
                     // worker is awake to drain it before sleeping on the
                     // space condvar (a batched submitter publishes its
-                    // work notification only after the whole batch).
+                    // work notification only after the whole batch). A
+                    // deadline bounds the sleep — on a wedged or paused
+                    // server no space wake-up ever comes, and the query
+                    // must still resolve `DeadlineExceeded` on time
+                    // (checked at the top of the loop).
                     self.inner.work.notify_all();
-                    state = self
-                        .inner
-                        .space
-                        .wait(state)
-                        .unwrap_or_else(|e| e.into_inner());
+                    state = match qos.deadline.remaining(Instant::now()) {
+                        Some(left) => {
+                            self.inner
+                                .space
+                                .wait_timeout(state, left)
+                                .unwrap_or_else(|e| e.into_inner())
+                                .0
+                        }
+                        None => self
+                            .inner
+                            .space
+                            .wait(state)
+                            .unwrap_or_else(|e| e.into_inner()),
+                    };
                 }
                 Backpressure::Reject => {
-                    state.rejected += 1;
-                    return (state, Err(TnnError::Overloaded));
+                    state.classes[class].rejected += 1;
+                    return (state, Err(TnnError::Overloaded), false);
                 }
                 Backpressure::Shed => {
-                    let victim = state.queue.pop_front().expect("full queue has a front");
-                    state.shed += 1;
-                    victim.cell.resolve(Err(TnnError::Overloaded));
+                    let now = Instant::now();
+                    let (victim, was_expired) = state
+                        .queue
+                        .shed_victim(qos.priority, self.inner.config.shed, |job| {
+                            job.deadline.expired(now)
+                        })
+                        .expect("full lane has a victim");
+                    if was_expired {
+                        state.classes[victim.class.index()].expired += 1;
+                        victim.cell.resolve(Err(TnnError::DeadlineExceeded));
+                    } else {
+                        state.classes[victim.class.index()].shed += 1;
+                        victim.cell.resolve(Err(TnnError::Overloaded));
+                    }
                     break;
                 }
             }
         }
-        state.accepted += 1;
+        state.classes[class].accepted += 1;
         let cell = TicketCell::new();
-        state.queue.push_back(Job {
-            query,
-            cell: Arc::clone(&cell),
-        });
-        (state, Ok(Ticket { cell, submitted_at }))
+        state.queue.push_back(
+            qos.priority,
+            Job {
+                query,
+                cell: Arc::clone(&cell),
+                class: qos.priority,
+                deadline: qos.deadline,
+                key,
+                refresh,
+            },
+        );
+        (state, Ok(Ticket { cell, submitted_at }), true)
     }
 
     /// A consistent snapshot of the admission/completion counters.
     pub fn stats(&self) -> ServeStats {
         let state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
-        ServeStats {
-            submitted: state.submitted,
-            accepted: state.accepted,
-            rejected: state.rejected,
-            shed: state.shed,
-            cancelled: state.cancelled,
-            completed: state.completed,
-            queued: state.queue.len(),
-            in_flight: state.in_flight,
+        let mut stats = ServeStats {
+            cache_hits: state.cache_hits,
+            cache_misses: state.cache_misses,
+            cache_expired: state.cache_expired,
+            cache_bypass: state.cache_bypass,
+            ..ServeStats::default()
+        };
+        for class in Priority::ALL {
+            let i = class.index();
+            let c = &state.classes[i];
+            let snapshot = ClassStats {
+                submitted: c.submitted,
+                accepted: c.accepted,
+                rejected: c.rejected,
+                shed: c.shed,
+                cancelled: c.cancelled,
+                completed: c.completed,
+                expired: c.expired,
+                queued: state.queue.len_of(class),
+                in_flight: c.in_flight,
+            };
+            stats.classes[i] = snapshot;
+            stats.submitted += snapshot.submitted;
+            stats.accepted += snapshot.accepted;
+            stats.rejected += snapshot.rejected;
+            stats.shed += snapshot.shed;
+            stats.cancelled += snapshot.cancelled;
+            stats.completed += snapshot.completed;
+            stats.expired += snapshot.expired;
+            stats.queued += snapshot.queued;
+            stats.in_flight += snapshot.in_flight;
         }
+        stats
+    }
+
+    /// Counters of the shared result cache (entry counts, evictions),
+    /// `None` when caching is disabled. The per-completion hit/miss
+    /// classification lives in [`ServeStats`].
+    pub fn cache_stats(&self) -> Option<tnn_qos::CacheStats> {
+        self.inner.cache.as_ref().map(ResultCache::stats)
     }
 
     /// Shuts the server down and joins every worker thread.
@@ -366,10 +699,7 @@ impl<Q: CandidateQueue + 'static> Server<Q> {
         // still sitting in the queue; no ticket may outlive shutdown
         // unresolved.
         let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
-        while let Some(job) = state.queue.pop_front() {
-            state.cancelled += 1;
-            job.cell.resolve(Err(TnnError::Cancelled));
-        }
+        state.cancel_backlog();
         drop(state);
         drop(handles);
         self.stats()
@@ -384,10 +714,7 @@ impl<Q: CandidateQueue + 'static> Server<Q> {
             // Resolve the backlog here, not in the workers: every queued
             // ticket has resolved by the time `shutdown` returns even if
             // all workers are busy mid-batch.
-            while let Some(job) = state.queue.pop_front() {
-                state.cancelled += 1;
-                job.cell.resolve(Err(TnnError::Cancelled));
-            }
+            state.cancel_backlog();
         }
         drop(state);
         self.inner.work.notify_all();
@@ -412,38 +739,50 @@ impl<Q: CandidateQueue + 'static> Drop for Server<Q> {
 }
 
 /// Accounting guard for one popped micro-batch. The normal path settles
-/// `completed == taken` in one lock per batch (not per job); if the
-/// worker unwinds mid-batch (an engine panic would be an internal bug,
-/// but must not corrupt the server), the guard's `Drop` books the
-/// abandoned jobs as cancelled — keeping [`ServeStats::conserved`] true
-/// and `in_flight` exact — and **fails the server closed**: with a dead
-/// worker, stranding clients on a queue nobody drains is worse than
-/// refusing them.
+/// the per-class completed/expired counts (and the cache classification)
+/// in one lock per batch (not per job); if the worker unwinds mid-batch
+/// (an engine panic would be an internal bug, but must not corrupt the
+/// server), the guard's `Drop` books the abandoned jobs as cancelled —
+/// keeping [`ServeStats::conserved`] true and `in_flight` exact — and
+/// **fails the server closed**: with a dead worker, stranding clients on
+/// a queue nobody drains is worse than refusing them.
 struct BatchGuard<'a> {
     inner: &'a Inner,
-    taken: usize,
-    completed: u64,
+    taken: [usize; Priority::COUNT],
+    completed: [usize; Priority::COUNT],
+    expired: [usize; Priority::COUNT],
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_expired: u64,
+    cache_bypass: u64,
 }
 
 impl Drop for BatchGuard<'_> {
     fn drop(&mut self) {
         let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
-        state.completed += self.completed;
-        state.in_flight -= self.taken;
-        let abandoned = self.taken as u64 - self.completed;
-        if abandoned > 0 {
+        state.cache_hits += self.cache_hits;
+        state.cache_misses += self.cache_misses;
+        state.cache_expired += self.cache_expired;
+        state.cache_bypass += self.cache_bypass;
+        let mut abandoned_total = 0u64;
+        for i in 0..Priority::COUNT {
+            let class = &mut state.classes[i];
+            class.completed += self.completed[i] as u64;
+            class.expired += self.expired[i] as u64;
+            class.in_flight -= self.taken[i];
+            let abandoned = (self.taken[i] - self.completed[i] - self.expired[i]) as u64;
+            class.cancelled += abandoned;
+            abandoned_total += abandoned;
+        }
+        if abandoned_total > 0 {
             // Unwinding: the un-run jobs resolve `Cancelled` through
             // `Job::drop` right after this; account for them and trip an
             // emergency cancel-shutdown so submitters fail fast instead
             // of blocking on a worker that no longer exists.
-            state.cancelled += abandoned;
             if state.shutdown.is_none() {
                 state.shutdown = Some(ShutdownMode::Cancel);
             }
-            while let Some(job) = state.queue.pop_front() {
-                state.cancelled += 1;
-                job.cell.resolve(Err(TnnError::Cancelled));
-            }
+            state.cancel_backlog();
             drop(state);
             self.inner.work.notify_all();
             self.inner.space.notify_all();
@@ -452,8 +791,10 @@ impl Drop for BatchGuard<'_> {
 }
 
 /// One worker: wait for jobs, pop a micro-batch of up to
-/// [`ServeConfig::batch_window`], execute it against a thread-local
-/// scratch, resolve each ticket, repeat until shutdown.
+/// [`ServeConfig::batch_window`] in strict priority order, execute it
+/// against a thread-local scratch (skipping jobs whose deadline passed
+/// while queued, filling the result cache with fresh outcomes), resolve
+/// each ticket, repeat until shutdown.
 fn worker_loop<Q: CandidateQueue>(inner: &Inner, engine: &QueryEngine<Q>) {
     let mut scratch = engine.scratch();
     let mut local: Vec<Job> = Vec::with_capacity(inner.config.batch_window);
@@ -474,8 +815,11 @@ fn worker_loop<Q: CandidateQueue>(inner: &Inner, engine: &QueryEngine<Q>) {
                 state = inner.work.wait(state).unwrap_or_else(|e| e.into_inner());
             }
             let n = inner.config.batch_window.min(state.queue.len());
-            local.extend(state.queue.drain(..n));
-            state.in_flight += n;
+            for _ in 0..n {
+                let (class, job) = state.queue.pop().expect("n jobs are queued");
+                state.classes[class.index()].in_flight += 1;
+                local.push(job);
+            }
             drop(state);
             // n slots freed — let Block'ed submitters race for them.
             inner.space.notify_all();
@@ -486,13 +830,66 @@ fn worker_loop<Q: CandidateQueue>(inner: &Inner, engine: &QueryEngine<Q>) {
         // holds either way).
         let mut guard = BatchGuard {
             inner,
-            taken: local.len(),
-            completed: 0,
+            taken: [0; Priority::COUNT],
+            completed: [0; Priority::COUNT],
+            expired: [0; Priority::COUNT],
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_expired: 0,
+            cache_bypass: 0,
         };
+        for job in &local {
+            guard.taken[job.class.index()] += 1;
+        }
         for job in local.drain(..) {
-            let result = engine.run_with(&job.query, &mut scratch);
+            let class = job.class.index();
+            let now = Instant::now();
+            // Deadline at dequeue: a job that died waiting is discarded,
+            // not run — the worker's time goes to viable work.
+            if job.deadline.expired(now) {
+                job.cell.resolve(Err(TnnError::DeadlineExceeded));
+                guard.expired[class] += 1;
+                continue;
+            }
+            // Second cache probe, at dequeue: duplicates that were still
+            // queued behind their first occurrence (an admission probe
+            // runs before any of them executes — batch admission even
+            // holds the queue lock across the whole batch) hit here
+            // instead of re-running the engine.
+            let result = match (&job.key, &inner.cache) {
+                (Some(key), Some(cache)) => match cache.lookup(key, now) {
+                    Lookup::Hit(outcome) => {
+                        guard.cache_hits += 1;
+                        Ok(outcome)
+                    }
+                    lookup => {
+                        let refresh = job.refresh || matches!(lookup, Lookup::Expired);
+                        let result = engine.run_with(&job.query, &mut scratch);
+                        match &result {
+                            Ok(outcome) => {
+                                cache.insert(key.clone(), outcome.clone(), Instant::now());
+                                if refresh {
+                                    guard.cache_expired += 1;
+                                } else {
+                                    guard.cache_misses += 1;
+                                }
+                            }
+                            // Errors are never cached (cheap to
+                            // recompute, and a transient error must not
+                            // mask a later success).
+                            Err(_) => guard.cache_bypass += 1,
+                        }
+                        result
+                    }
+                },
+                // A keyless job never consults the cache at all.
+                _ => {
+                    guard.cache_bypass += 1;
+                    engine.run_with(&job.query, &mut scratch)
+                }
+            };
             job.cell.resolve(result);
-            guard.completed += 1;
+            guard.completed[class] += 1;
         }
         drop(guard);
     }

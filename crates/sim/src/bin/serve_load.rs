@@ -1,31 +1,41 @@
 //! Load generator for the `tnn-serve` front-end: measures serving
-//! throughput and latency percentiles against the batch-runner ceiling
-//! and writes a `BENCH_<tag>.json` trajectory point.
+//! throughput, latency percentiles, cache effectiveness, and
+//! deadline-miss behaviour against the batch-runner ceiling and writes a
+//! `BENCH_<tag>.json` trajectory point.
 //!
-//! Two phases per channel count (k = 2, 3, 4 by default, override with
-//! positional arguments):
+//! Phases (k = 2, 3, 4 by default, override with positional arguments):
 //!
-//! 1. **Closed loop** — the run_tnn_batch workload (Hybrid-NN, identical
-//!    per-query rng streams) pushed through a 1-worker server via
-//!    `submit_batch`; its throughput is compared against a direct
-//!    `run_tnn_batch` of the same queries (the serving overhead must be
-//!    small — the acceptance gate wants the 1-worker path within 15% on
-//!    a single-CPU host).
-//! 2. **Open loop** — Poisson-ish arrivals (exponential inter-arrival
-//!    times drawn from the rand shim) at ~70% of the measured capacity,
-//!    mixing **all four algorithms**, against a multi-worker server with
-//!    the `Reject` policy; per-query latency comes from
-//!    `Ticket::latency()` (stamped at resolution) and is reported as
-//!    p50/p99.
+//! 1. **Closed loop** (per k) — the run_tnn_batch workload (Hybrid-NN,
+//!    identical per-query rng streams) pushed through a 1-worker server
+//!    via `submit_batch` with the cache disabled; its throughput is
+//!    compared against a direct `run_tnn_batch` of the same queries (the
+//!    serving overhead must be small — the acceptance gate wants the
+//!    1-worker path within 15% on a single-CPU host).
+//! 2. **Open loop** (per k) — Poisson-ish arrivals (exponential
+//!    inter-arrival times from the rand shim) at ~70% of measured
+//!    capacity, mixing **all four algorithms**, against a multi-worker
+//!    `Reject` server, cache disabled; `Ticket::latency()` p50/p99.
+//! 3. **Zipf cache axis** (per k) — a skewed repeat-query workload
+//!    (`TNN_POOL` distinct queries, Zipf exponent `TNN_ZIPF`) served
+//!    cold through an uncached and a cached server; reports the cache
+//!    speedup and hit rate, and **asserts a nonzero hit rate** (the CI
+//!    smoke gate).
+//! 4. **Deadline axis** (k = 2) — saturating bursts of mixed tight/
+//!    generous deadlines against a `Shed` server, once per shed
+//!    discipline; reports the client-observed deadline-miss rate of
+//!    expiry-aware shedding vs. the old shed-oldest.
+//! 5. **Ablation** (k = 2) — the deferred `batch_window` ×
+//!    `queue_capacity` grid: closed-loop throughput per combination.
 //!
 //! ```sh
-//! cargo run --release -p tnn-sim --bin serve_load -- --tag pr4 2 3 4
+//! cargo run --release -p tnn-sim --bin serve_load -- --tag pr5 2 3 4
 //! ```
 //!
 //! Environment knobs: `TNN_QUERIES` (closed-loop batch size, default
 //! 1,000), `TNN_LOAD_POINTS` (points per channel, default 10,000),
-//! `TNN_LOAD_SECS` (open-loop duration per k, default 2), and
-//! `TNN_BENCH_REPS` (min-of-reps for the closed loop, default 3).
+//! `TNN_LOAD_SECS` (open-loop duration per k, default 2),
+//! `TNN_BENCH_REPS` (min-of-reps, default 3), `TNN_POOL` (Zipf pool
+//! size, default 200), and `TNN_ZIPF` (Zipf exponent, default 1.1).
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -33,12 +43,14 @@ use std::io::Write;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tnn_broadcast::BroadcastParams;
-use tnn_core::{Algorithm, Query, TnnConfig};
+use tnn_core::{Algorithm, Query, TnnConfig, TnnError};
 use tnn_datasets::{paper_region, uniform_points};
 use tnn_geom::Rect;
 use tnn_rtree::{PackingAlgorithm, RTree};
-use tnn_serve::{Backpressure, ServeConfig, Server, ShutdownMode};
-use tnn_sim::{format_table, run_tnn_batch, BatchConfig, Table};
+use tnn_serve::{
+    Backpressure, CacheConfig, Qos, ServeConfig, Server, ShedDiscipline, ShutdownMode,
+};
+use tnn_sim::{format_table, run_tnn_batch, BatchConfig, Table, ZipfSampler};
 
 const SEED_GAMMA: u64 = 0x9E3779B97F4A7C15;
 
@@ -120,8 +132,41 @@ fn write_bench_json(
     writeln!(f, "}}")
 }
 
+/// Pushes `workload` through a fresh 1-worker server (cold cache) and
+/// returns the elapsed nanoseconds plus the server's final stats.
+fn closed_loop_once(
+    env: &tnn_broadcast::MultiChannelEnv,
+    workload: &[Query],
+    cache: CacheConfig,
+) -> (f64, tnn_serve::ServeStats) {
+    let server = Server::spawn(
+        env.clone(),
+        ServeConfig::new()
+            .workers(1)
+            .queue_capacity(workload.len())
+            .backpressure(Backpressure::Block)
+            .cache(cache)
+            .batch_window(32),
+    );
+    let t0 = Instant::now();
+    let tickets = server.submit_batch(workload.to_vec());
+    // Wait in reverse submission order: completions are FIFO, so
+    // blocking on the *last* ticket sleeps exactly once instead of
+    // ping-ponging worker and collector on every resolve.
+    for ticket in tickets.into_iter().rev() {
+        ticket
+            .expect("capacity covers the batch")
+            .wait()
+            .expect("closed-loop queries are valid");
+    }
+    let elapsed = t0.elapsed().as_nanos() as f64;
+    let stats = server.shutdown(ShutdownMode::Drain);
+    assert!(stats.conserved(), "closed loop lost tickets: {stats:?}");
+    (elapsed, stats)
+}
+
 fn main() {
-    let mut tag = String::from("pr4");
+    let mut tag = String::from("pr5");
     let mut ks: Vec<usize> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -141,31 +186,38 @@ fn main() {
     let points = env_usize("TNN_LOAD_POINTS", 10_000);
     let open_secs = env_f64("TNN_LOAD_SECS", 2.0);
     let reps = env_usize("TNN_BENCH_REPS", 3).max(1);
+    let pool_size = env_usize("TNN_POOL", 200).max(1);
+    let zipf_s = env_f64("TNN_ZIPF", 1.1);
     let open_workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     eprintln!(
         "serve_load: {queries} queries/batch over {points} points/channel, k = {ks:?}, \
-         {reps} reps, {open_secs} s open loop ({open_workers} workers)"
+         {reps} reps, {open_secs} s open loop ({open_workers} workers), \
+         Zipf({zipf_s}) over a {pool_size}-query pool"
     );
 
     let params = BroadcastParams::new(64);
     let region = paper_region();
     let mut table = Table::new(
-        "tnn-serve load: closed-loop vs batch runner, open-loop latency",
+        "tnn-serve load: closed-loop vs batch runner, open-loop latency, Zipf cache axis",
         &[
             "k",
             "batch [q/s]",
             "serve 1w [q/s]",
             "serve/batch",
-            "offered [q/s]",
             "p50 [ms]",
             "p99 [ms]",
             "rejected",
+            "cache speedup",
+            "hit rate",
         ],
     );
     let mut records: Vec<(String, f64, u64)> = Vec::new();
     let mut derived: Vec<(String, f64)> = Vec::new();
+    let mut k2_serve_qps = 0.0f64;
+    let mut k2_env = None;
+    let mut k2_workload = Vec::new();
 
     for &k in &ks {
         let trees: Vec<Arc<RTree>> = (0..k)
@@ -193,7 +245,9 @@ fn main() {
         }
         let batch_qps = queries as f64 / (batch_ns / 1e9);
 
-        // --- Closed loop: the same workload through a 1-worker server.
+        // --- Closed loop: the same workload through a 1-worker server,
+        // cache disabled (every query distinct anyway — this measures
+        // pure serving overhead, comparable with the pr4 trajectory).
         let env = tnn_broadcast::MultiChannelEnv::new(trees.clone(), params, &vec![0; k]);
         let cycle_lens: Vec<u64> = env
             .channels()
@@ -203,42 +257,28 @@ fn main() {
         let workload: Vec<Query> = (0..queries as u64)
             .map(|i| batch_query(&region, &cycle_lens, seed, i, Algorithm::HybridNn))
             .collect();
-        let server = Server::spawn(
-            env.clone(),
-            ServeConfig::new()
-                .workers(1)
-                .queue_capacity(queries)
-                .backpressure(Backpressure::Block)
-                .batch_window(32),
-        );
         let mut serve_ns = f64::INFINITY;
         for _ in 0..reps {
-            let t0 = Instant::now();
-            let tickets = server.submit_batch(workload.iter().cloned());
-            // Wait in reverse submission order: completions are FIFO, so
-            // blocking on the *last* ticket sleeps exactly once instead
-            // of ping-ponging worker and collector on every resolve.
-            for ticket in tickets.into_iter().rev() {
-                ticket
-                    .expect("capacity covers the batch")
-                    .wait()
-                    .expect("closed-loop queries are valid");
-            }
-            serve_ns = serve_ns.min(t0.elapsed().as_nanos() as f64);
+            let (elapsed, _) = closed_loop_once(&env, &workload, CacheConfig::disabled());
+            serve_ns = serve_ns.min(elapsed);
         }
-        let stats = server.shutdown(ShutdownMode::Drain);
-        assert!(stats.conserved(), "closed loop lost tickets: {stats:?}");
         let serve_qps = queries as f64 / (serve_ns / 1e9);
         let ratio = serve_qps / batch_qps;
+        if k == 2 {
+            k2_serve_qps = serve_qps;
+            k2_env = Some(env.clone());
+            k2_workload = workload.clone();
+        }
 
         // --- Open loop: Poisson-ish arrivals at ~70% capacity, all four
-        // algorithms, multi-worker, Reject backpressure.
+        // algorithms, multi-worker, Reject backpressure, no cache.
         let server = Server::spawn(
-            env,
+            env.clone(),
             ServeConfig::new()
                 .workers(open_workers)
                 .queue_capacity(256)
                 .backpressure(Backpressure::Reject)
+                .cache(CacheConfig::disabled())
                 .batch_window(16),
         );
         let rate = (serve_qps * 0.7).max(1.0); // arrivals per second
@@ -283,15 +323,49 @@ fn main() {
         let p50 = percentile(&latencies, 0.50);
         let p99 = percentile(&latencies, 0.99);
 
+        // --- Zipf cache axis: a skewed repeat-query workload, cold
+        // through an uncached and then a cached server (min over reps,
+        // fresh server each rep so both start cold).
+        let pool: Vec<Query> = (0..pool_size as u64)
+            .map(|i| batch_query(&region, &cycle_lens, seed ^ 0x21BF, i, Algorithm::HybridNn))
+            .collect();
+        let zipf = ZipfSampler::new(pool_size, zipf_s);
+        let mut zrng = StdRng::seed_from_u64(seed ^ 0x51CC);
+        let skewed: Vec<Query> = (0..queries)
+            .map(|_| pool[zipf.sample(&mut zrng)].clone())
+            .collect();
+        let mut uncached_ns = f64::INFINITY;
+        let mut cached_ns = f64::INFINITY;
+        let mut cached_stats = None;
+        for _ in 0..reps {
+            let (elapsed, _) = closed_loop_once(&env, &skewed, CacheConfig::disabled());
+            uncached_ns = uncached_ns.min(elapsed);
+            let (elapsed, stats) =
+                closed_loop_once(&env, &skewed, CacheConfig::new().capacity(2 * pool_size));
+            cached_ns = cached_ns.min(elapsed);
+            cached_stats = Some(stats);
+        }
+        let cached_stats = cached_stats.expect("at least one rep");
+        let speedup = uncached_ns / cached_ns;
+        let hit_rate = cached_stats.cache_hit_rate();
+        // The CI smoke gate: a skewed workload over a pool smaller than
+        // the batch *must* hit — repeats queued behind their first
+        // occurrence hit the dequeue-time probe deterministically.
+        assert!(
+            cached_stats.cache_hits > 0,
+            "skewed workload produced no cache hits: {cached_stats:?}"
+        );
+
         table.push_row(vec![
             k.to_string(),
             format!("{batch_qps:.0}"),
             format!("{serve_qps:.0}"),
             format!("{ratio:.3}"),
-            format!("{rate:.0}"),
             format!("{:.3}", p50.as_secs_f64() * 1e3),
             format!("{:.3}", p99.as_secs_f64() * 1e3),
             rejected.to_string(),
+            format!("{speedup:.2}x"),
+            format!("{:.3}", hit_rate),
         ]);
         records.push((
             format!("serve/hybrid_{queries}q/k{k}_batch"),
@@ -303,6 +377,16 @@ fn main() {
             serve_ns,
             reps as u64,
         ));
+        records.push((
+            format!("serve/zipf_{queries}q/k{k}_uncached"),
+            uncached_ns,
+            reps as u64,
+        ));
+        records.push((
+            format!("serve/zipf_{queries}q/k{k}_cached"),
+            cached_ns,
+            reps as u64,
+        ));
         derived.push((format!("k{k}_batch_qps"), batch_qps));
         derived.push((format!("k{k}_serve_1w_qps"), serve_qps));
         derived.push((format!("k{k}_serve_vs_batch"), ratio));
@@ -311,18 +395,200 @@ fn main() {
         derived.push((format!("k{k}_open_rejected"), rejected as f64));
         derived.push((format!("k{k}_open_p50_ms"), p50.as_secs_f64() * 1e3));
         derived.push((format!("k{k}_open_p99_ms"), p99.as_secs_f64() * 1e3));
+        derived.push((format!("k{k}_zipf_cache_speedup"), speedup));
+        derived.push((format!("k{k}_zipf_hit_rate"), hit_rate));
     }
 
     println!("{}", format_table(&table));
+
+    // --- Deadline axis (k = 2): saturating bursts of mixed tight and
+    // generous deadlines against a Shed server, once per discipline.
+    // Self-calibrated against the measured 1-worker capacity so the
+    // tight TTL genuinely expires inside a full queue while the
+    // generous one comfortably outlives it, whatever this host's speed.
+    // The shed discipline matters exactly when *viable* work shares the
+    // lane with *aged* dead weight as fresh pressure arrives. Each round
+    // reproduces the regression scenario at benchmark scale: a standing
+    // backlog of generous-deadline work the worker is still serving, a
+    // block of ultra-short-TTL probes queued behind it (dead long before
+    // a worker could reach them — their misses are sunk either way),
+    // then a renewed burst of viable work that overflows the lane.
+    // Expiry-aware shedding spends every eviction on a corpse; shed-
+    // oldest spends them on the viable front of the lane. Timings
+    // self-calibrate against the measured 1-worker capacity so the
+    // phase structure holds whatever this host's speed.
+    if let Some(env) = &k2_env {
+        let gen_block = 80usize; // standing viable backlog per round
+        let tight_block = 40usize; // short-TTL probes (die in the queue)
+        let storm_block = 40usize; // renewed viable pressure → overflow
+        let qcap = gen_block + tight_block - 10;
+        let service = 1.0 / k2_serve_qps.max(1.0); // seconds per query
+                                                   // The storm lands while the worker is still inside the generous
+                                                   // backlog (robust to ~3× sleep overshoot: 0.3 × 80 drains 24 of
+                                                   // 80 nominally) but well after the probes died.
+        let storm_delay = Duration::from_secs_f64(0.3 * gen_block as f64 * service);
+        let tight = Duration::from_secs_f64(0.4 * storm_delay.as_secs_f64());
+        let generous = Duration::from_secs_f64(2000.0 * service);
+        let drain_gap = Duration::from_secs_f64((gen_block + storm_block + 10) as f64 * service);
+        let per_round = gen_block + tight_block + storm_block;
+        let rounds = (queries / per_round).max(25);
+        let cycle_lens: Vec<u64> = env
+            .channels()
+            .iter()
+            .map(|c| c.layout().cycle_len())
+            .collect();
+        let mut dtable = Table::new(
+            "deadline-miss rate under saturation (k = 2, Shed policy, mixed TTLs)",
+            &[
+                "shed discipline",
+                "offered",
+                "completed",
+                "missed",
+                "miss rate",
+                "generous missed",
+                "generous miss rate",
+            ],
+        );
+        let mut miss_rates = Vec::new();
+        for (label, discipline) in [
+            ("expired-first", ShedDiscipline::ExpiredFirst),
+            ("oldest-first", ShedDiscipline::OldestFirst),
+        ] {
+            let server = Server::spawn(
+                env.clone(),
+                ServeConfig::new()
+                    .workers(1)
+                    .queue_capacity(qcap)
+                    .backpressure(Backpressure::Shed)
+                    .shed_discipline(discipline)
+                    .cache(CacheConfig::disabled())
+                    .batch_window(4),
+            );
+            let mut tickets: Vec<(tnn_serve::Ticket, Duration)> = Vec::new();
+            let mut index = 0u64;
+            let mut block = |server: &Server, n: usize, ttl: Duration| {
+                let submissions: Vec<(Query, Qos)> = (0..n)
+                    .map(|_| {
+                        index += 1;
+                        let query =
+                            batch_query(&region, &cycle_lens, 0xDEAD, index, Algorithm::HybridNn);
+                        (query, Qos::new().deadline_in(ttl))
+                    })
+                    .collect();
+                server
+                    .submit_batch_qos(submissions)
+                    .into_iter()
+                    .map(|t| (t.expect("Shed never refuses"), ttl))
+                    .collect::<Vec<_>>()
+            };
+            for _ in 0..rounds {
+                tickets.extend(block(&server, gen_block, generous));
+                tickets.extend(block(&server, tight_block, tight));
+                std::thread::sleep(storm_delay);
+                tickets.extend(block(&server, storm_block, generous));
+                std::thread::sleep(drain_gap);
+            }
+            let offered = tickets.len();
+            let mut missed = 0usize;
+            let mut completed = 0usize;
+            let mut generous_missed = 0usize;
+            let mut generous_offered = 0usize;
+            for (ticket, ttl) in &tickets {
+                let is_generous = *ttl == generous;
+                generous_offered += is_generous as usize;
+                let miss = match ticket.wait() {
+                    Ok(_) => {
+                        completed += 1;
+                        ticket.latency().expect("resolved") > *ttl
+                    }
+                    Err(TnnError::DeadlineExceeded) | Err(TnnError::Overloaded) => true,
+                    Err(other) => panic!("unexpected outcome {other:?}"),
+                };
+                missed += miss as usize;
+                generous_missed += (miss && is_generous) as usize;
+            }
+            let stats = server.shutdown(ShutdownMode::Drain);
+            assert!(stats.conserved(), "deadline axis lost tickets: {stats:?}");
+            eprintln!(
+                "deadline axis [{label}]: completed={} shed={} expired={}",
+                stats.completed, stats.shed, stats.expired
+            );
+            let miss_rate = missed as f64 / offered as f64;
+            let generous_rate = generous_missed as f64 / generous_offered.max(1) as f64;
+            miss_rates.push(miss_rate);
+            dtable.push_row(vec![
+                label.to_string(),
+                offered.to_string(),
+                completed.to_string(),
+                missed.to_string(),
+                format!("{miss_rate:.3}"),
+                generous_missed.to_string(),
+                format!("{generous_rate:.3}"),
+            ]);
+            let key = label.replace('-', "_");
+            derived.push((format!("k2_deadline_miss_{key}"), miss_rate));
+            derived.push((format!("k2_deadline_generous_miss_{key}"), generous_rate));
+        }
+        println!("{}", format_table(&dtable));
+        derived.push((
+            "k2_deadline_miss_ratio_old_over_new".into(),
+            miss_rates[1] / miss_rates[0].max(1e-9),
+        ));
+
+        // --- Ablation (k = 2): batch_window × queue_capacity over the
+        // closed-loop workload, all available workers, Block policy.
+        let mut atable = Table::new(
+            "closed-loop throughput [q/s] over batch_window x queue_capacity (k = 2)",
+            &["batch_window", "qcap 64", "qcap 256", "qcap 1024"],
+        );
+        for bw in [1usize, 4, 16, 64] {
+            let mut row = vec![bw.to_string()];
+            for qc in [64usize, 256, 1024] {
+                let mut best_ns = f64::INFINITY;
+                for _ in 0..reps {
+                    let server = Server::spawn(
+                        env.clone(),
+                        ServeConfig::new()
+                            .workers(open_workers)
+                            .queue_capacity(qc)
+                            .backpressure(Backpressure::Block)
+                            .cache(CacheConfig::disabled())
+                            .batch_window(bw),
+                    );
+                    let t0 = Instant::now();
+                    let tickets = server.submit_batch(k2_workload.to_vec());
+                    for ticket in tickets.into_iter().rev() {
+                        ticket
+                            .expect("Block admits everything")
+                            .wait()
+                            .expect("ablation queries are valid");
+                    }
+                    best_ns = best_ns.min(t0.elapsed().as_nanos() as f64);
+                    let stats = server.shutdown(ShutdownMode::Drain);
+                    assert!(stats.conserved(), "ablation lost tickets: {stats:?}");
+                }
+                let qps = queries as f64 / (best_ns / 1e9);
+                row.push(format!("{qps:.0}"));
+                derived.push((format!("k2_ablation_bw{bw}_qc{qc}_qps"), qps));
+            }
+            atable.push_row(row);
+        }
+        println!("{}", format_table(&atable));
+    }
+
     let path = std::path::PathBuf::from(format!("BENCH_{tag}.json"));
     write_bench_json(
         &path,
         &tag,
         &format!(
-            "tnn-serve load generator: HybridNn closed loop (1 worker, batch_window 32) vs \
-             run_tnn_batch, plus open-loop Poisson arrivals at 70% capacity over all four \
-             algorithms ({open_workers} workers, Reject policy); {queries} queries/batch, \
-             {points} uniform points per channel, page 64, paper region"
+            "tnn-serve QoS load generator: HybridNn closed loop (1 worker, cache off) vs \
+             run_tnn_batch; open-loop Poisson arrivals at 70% capacity over all four \
+             algorithms ({open_workers} workers, Reject); Zipf({zipf_s}) repeat-query cache \
+             axis over a {pool_size}-query pool (cold cached vs uncached server); \
+             k=2 deadline-miss axis (Shed expired-first vs oldest-first, saturating \
+             mixed-TTL bursts); k=2 batch_window x queue_capacity ablation; \
+             {queries} queries/batch, {points} uniform points per channel, page 64, \
+             paper region"
         ),
         &records,
         &derived,

@@ -1,0 +1,109 @@
+//! Zipf-distributed rank sampling for skewed repeat-query workloads.
+//!
+//! Real query traffic is head-heavy: a few hot query points are asked
+//! over and over while the tail is asked once. The serving benchmarks
+//! model that with the classic Zipf law — rank `r` (1-based) is drawn
+//! with probability proportional to `1 / r^s` — which is what makes a
+//! result cache earn its keep (and what `serve_load`'s cache axis
+//! measures).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A sampler over ranks `0..n` with Zipf exponent `s` (`s = 0` is
+/// uniform; `s ≈ 1` is the canonical web-traffic skew). Sampling is a
+/// binary search over the precomputed CDF — O(log n) per draw,
+/// deterministic in the caller's rng stream.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    /// `cdf[r]` = P(rank ≤ r), monotonically increasing to 1.0.
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// A sampler over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    /// Panics when `n` is zero or `s` is negative/non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "Zipf exponent must be finite and ≥ 0"
+        );
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for r in 1..=n {
+            total += (r as f64).powf(-s);
+            cdf.push(total);
+        }
+        for v in &mut cdf {
+            *v /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// `true` for the degenerate single-rank sampler.
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws one rank in `0..n` (0 is the hottest).
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn head_ranks_dominate_under_skew() {
+        let zipf = ZipfSampler::new(100, 1.1);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0u32; 100];
+        for _ in 0..20_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        // Rank 0 is drawn far more often than a deep-tail rank, and the
+        // top decile carries the majority of the mass.
+        assert!(counts[0] > 20 * counts[90].max(1));
+        let head: u32 = counts[..10].iter().sum();
+        assert!(head > 10_000, "head ranks carry the traffic: {head}");
+    }
+
+    #[test]
+    fn zero_exponent_is_roughly_uniform() {
+        let zipf = ZipfSampler::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = vec![0u32; 10];
+        for _ in 0..10_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..=1300).contains(&c), "uniform-ish: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn samples_stay_in_range_and_are_deterministic() {
+        let zipf = ZipfSampler::new(7, 1.5);
+        assert_eq!(zipf.len(), 7);
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..50).map(|_| zipf.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        let a = draw(3);
+        assert_eq!(a, draw(3));
+        assert!(a.iter().all(|&r| r < 7));
+        assert_ne!(a, draw(4));
+    }
+}

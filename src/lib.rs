@@ -60,7 +60,8 @@
 //! | [`broadcast`] (`tnn-broadcast`) | `(1, m)` air-indexed broadcast programs, channels, `Arc`-shared environments, zero-clone phase overlays |
 //! | [`core`] (`tnn-core`) | the `QueryEngine`, the four TNN algorithms, ANN optimization, chained-TNN extension, exact oracle |
 //! | [`datasets`] (`tnn-datasets`) | the paper's synthetic workloads and clustered real-data stand-ins |
-//! | [`serve`] (`tnn-serve`) | the concurrent serving front-end: worker pool, bounded queue with backpressure, tickets, graceful shutdown |
+//! | [`qos`] (`tnn-qos`) | quality-of-service primitives: priority classes, deadlines, the strict-priority multi-level queue, the sharded LRU result cache |
+//! | [`serve`] (`tnn-serve`) | the concurrent serving front-end: worker pool, priority lanes with deadlines and backpressure, result cache, tickets, graceful shutdown |
 //! | [`sim`] (`tnn-sim`) | the experiment harness regenerating every figure/table of the paper |
 
 #![warn(missing_docs)]
@@ -70,6 +71,7 @@ pub use tnn_broadcast as broadcast;
 pub use tnn_core as core;
 pub use tnn_datasets as datasets;
 pub use tnn_geom as geom;
+pub use tnn_qos as qos;
 pub use tnn_rtree as rtree;
 pub use tnn_serve as serve;
 pub use tnn_sim as sim;
@@ -80,12 +82,15 @@ pub mod prelude {
         BroadcastParams, Channel, ChannelView, MultiChannelEnv, PhaseOverlay, Tuner,
     };
     pub use tnn_core::{
-        exact_chain_tnn, exact_tnn, Algorithm, AnnMode, AnnModes, Query, QueryEngine, QueryKind,
-        QueryOutcome, RouteStop, TnnConfig, TnnError, TnnPair, TnnRun,
+        exact_chain_tnn, exact_tnn, Algorithm, AnnMode, AnnModes, Query, QueryEngine, QueryKey,
+        QueryKind, QueryOutcome, RouteStop, TnnConfig, TnnError, TnnPair, TnnRun,
     };
     pub use tnn_geom::{transitive_dist, Circle, Ellipse, Point, Rect};
+    pub use tnn_qos::{CacheConfig, Deadline, Priority, Qos, ShedDiscipline};
     pub use tnn_rtree::{PackingAlgorithm, RTree, RTreeParams};
-    pub use tnn_serve::{Backpressure, ServeConfig, ServeStats, Server, ShutdownMode, Ticket};
+    pub use tnn_serve::{
+        Backpressure, ClassStats, ServeConfig, ServeStats, Server, ShutdownMode, Ticket,
+    };
 }
 
 #[cfg(test)]
