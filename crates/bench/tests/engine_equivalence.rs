@@ -285,6 +285,7 @@ fn frozen_tnn<Q: CandidateQueue>(
         completed_at,
         candidates,
         channels,
+        degraded: false,
     }
 }
 
@@ -342,6 +343,7 @@ fn frozen_variant_outcome(
         completed_at,
         candidates: Vec::new(),
         channels: channels.to_vec(),
+        degraded: false,
     }
 }
 

@@ -18,8 +18,13 @@
 //! and again as a **mixed-priority storm** (`hammer_qos`): submitters
 //! spread over all three service classes with a mix of tight, generous,
 //! and absent deadlines, reconciling the per-class conservation
-//! invariant against per-class client tallies. The deterministic
-//! no-priority-inversion-at-shutdown gate at the bottom runs in tier-1.
+//! invariant against per-class client tallies. A **chaos storm**
+//! (`hammer_chaos`) reruns the drill under an aggressive [`FaultPlan`] —
+//! drops, jitter, outages, engine panics, and scheduled worker kills —
+//! asserting the server keeps serving across respawns with zero lost
+//! tickets and the invariant exact in every mid-storm snapshot. The
+//! deterministic no-priority-inversion gate and the bounded chaos smoke
+//! run in tier-1.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -27,7 +32,10 @@ use tnn_broadcast::{BroadcastParams, MultiChannelEnv};
 use tnn_core::{ArrivalHeap, CandidateQueue, LinearQueue, Query, QueryEngine, TnnError};
 use tnn_geom::Point;
 use tnn_rtree::{PackingAlgorithm, RTree};
-use tnn_serve::{Backpressure, Priority, Qos, ServeConfig, Server, ShutdownMode};
+use tnn_serve::{
+    Backpressure, ChannelFaults, Degradation, FaultPlan, Priority, Qos, RetryPolicy, ServeConfig,
+    Server, ShutdownMode,
+};
 
 const SUBMITTERS: usize = 8;
 
@@ -370,6 +378,252 @@ fn soak_mixed_priority_storm_reject_cancel() {
 #[ignore = "stress/soak — run by the stress CI job"]
 fn soak_mixed_priority_storm_block_drain() {
     hammer_qos(Backpressure::Block, ShutdownMode::Drain, stress_secs());
+}
+
+/// Chaos soak: the full mixed-priority storm runs under an aggressive
+/// fault schedule — per-channel drops, jitter, periodic outages, engine
+/// panics, and worker kills — with a deep retry ladder and Approximate
+/// degradation, and shutdown lands mid-storm. The server must keep
+/// serving across ≥ 2 worker kills, lose zero tickets, and keep the
+/// conservation invariant exact in every snapshot.
+/// The mid-storm slice of the conservation invariant: everything past
+/// the admission door. `submitted == accepted + rejected` is *not*
+/// asserted here — a submitter blocked inside `submit` (Block
+/// backpressure) has been counted `submitted` but not yet decided, so
+/// that clause only holds once no submitter is mid-call.
+fn admitted_side_conserved(s: &tnn_serve::ServeStats) -> bool {
+    s.accepted
+        == s.completed + s.shed + s.cancelled + s.expired + s.queued as u64 + s.in_flight as u64
+        && s.completed == s.cache_hits + s.cache_misses + s.cache_expired + s.cache_bypass
+        && s.classes
+            .iter()
+            .all(|c| c.degraded <= c.completed && c.latency.count() <= c.completed)
+}
+
+fn hammer_chaos(mode: ShutdownMode, secs: f64) {
+    let plan = FaultPlan::new(0xC4405)
+        .channel(0, ChannelFaults::NONE.drop_rate(60).jitter(3))
+        .channel(1, ChannelFaults::NONE.outage(32, 3).jitter(1))
+        .panic_rate(4)
+        .kill_at(50)
+        .kill_at(150)
+        .kill_at(400);
+    let server = Server::spawn_with_faults(
+        small_env(),
+        ServeConfig::new()
+            .workers(2)
+            .queue_capacity(4)
+            .backpressure(Backpressure::Block)
+            .batch_window(2)
+            .retry(
+                RetryPolicy::new()
+                    .max_attempts(6)
+                    .base(Duration::from_micros(50))
+                    .cap(Duration::from_micros(500)),
+            )
+            .degradation(Degradation::Approximate),
+        plan,
+    );
+    let deadline = Instant::now() + Duration::from_secs_f64(secs);
+    let classes = [Priority::Interactive, Priority::Batch, Priority::Background];
+    let stats = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..SUBMITTERS)
+            .map(|t| {
+                let server = &server;
+                let class = classes[t % classes.len()];
+                scope.spawn(move || {
+                    let mut ok = 0u64;
+                    let mut kept = Vec::new();
+                    let mut i = 0u64;
+                    loop {
+                        let p = Point::new(
+                            ((t as u64 * 7919 + i * 127) % 1000) as f64,
+                            ((t as u64 * 104_729 + i * 211) % 1000) as f64,
+                        );
+                        i += 1;
+                        let qos = match i % 5 {
+                            0 => Qos::new()
+                                .priority(class)
+                                .deadline_in(Duration::from_millis(2)),
+                            1 => Qos::new()
+                                .priority(class)
+                                .deadline_in(Duration::from_secs(30)),
+                            _ => Qos::new().priority(class),
+                        };
+                        match server.submit_with(Query::tnn(p), qos) {
+                            Ok(ticket) => {
+                                ok += 1;
+                                match i % 11 {
+                                    0 => {
+                                        // Delivered outcomes are either a
+                                        // real/degraded answer or one of
+                                        // the fault-path errors — never a
+                                        // hang, never anything else.
+                                        match ticket.wait() {
+                                            Ok(_)
+                                            | Err(TnnError::Internal)
+                                            | Err(TnnError::DeadlineExceeded)
+                                            | Err(TnnError::ChannelUnavailable { .. })
+                                            | Err(TnnError::Cancelled) => {}
+                                            Err(other) => {
+                                                panic!("unexpected outcome {other:?}")
+                                            }
+                                        }
+                                    }
+                                    1 => kept.push(ticket),
+                                    2 => {
+                                        let _ = ticket.poll();
+                                    }
+                                    _ => drop(ticket),
+                                }
+                            }
+                            Err(TnnError::Cancelled) => break ok,
+                            Err(other) => panic!("unexpected submit error {other:?}"),
+                        }
+                        // The admitted-side invariant must hold in
+                        // *every* mid-storm snapshot, kills and
+                        // respawns included.
+                        if i.is_multiple_of(64) {
+                            let snap = server.stats();
+                            assert!(
+                                admitted_side_conserved(&snap),
+                                "mid-storm violation: {snap:?}"
+                            );
+                        }
+                    }
+                })
+            })
+            .collect();
+        // Record violations instead of asserting inline: shutdown must
+        // still run, or the blocked submitters would spin forever and
+        // the test would hang rather than fail.
+        let mut violation = None;
+        while Instant::now() < deadline && violation.is_none() {
+            std::thread::sleep(Duration::from_millis(10));
+            let snap = server.stats();
+            if !admitted_side_conserved(&snap) {
+                violation = Some(format!("{snap:?}"));
+            }
+        }
+        server.shutdown(mode);
+        let client_ok: u64 = handles
+            .into_iter()
+            .map(|h| h.join().expect("submitter must not die: deadlock/panic"))
+            .sum();
+        assert!(
+            violation.is_none(),
+            "observer snapshot violation: {}",
+            violation.unwrap()
+        );
+        let stats = server.stats();
+        assert_eq!(client_ok, stats.accepted, "{mode:?}");
+        stats
+    });
+    assert!(stats.conserved(), "conservation violated: {stats:?}");
+    assert_eq!((stats.queued, stats.in_flight), (0, 0), "{mode:?}");
+    assert_eq!(
+        stats.submitted,
+        stats.completed + stats.rejected + stats.shed + stats.cancelled + stats.expired,
+        "lost tickets: {stats:?}"
+    );
+    assert!(stats.completed > 0, "chaos soak must serve: {stats:?}");
+    assert!(
+        stats.worker_restarts >= 2,
+        "the storm must outlive ≥ 2 worker kills: {stats:?}"
+    );
+    assert!(
+        stats.retried > 0,
+        "the outage schedule never fired: {stats:?}"
+    );
+}
+
+#[test]
+#[ignore = "stress/soak — run by the stress CI job"]
+fn soak_chaos_storm_drain() {
+    hammer_chaos(ShutdownMode::Drain, stress_secs());
+}
+
+#[test]
+#[ignore = "stress/soak — run by the stress CI job"]
+fn soak_chaos_storm_cancel() {
+    hammer_chaos(ShutdownMode::Cancel, stress_secs());
+}
+
+/// Bounded chaos smoke — deterministic enough for tier-1: a fixed 300-
+/// submission burst through a faulted 2-worker server with two scheduled
+/// worker kills, periodic outages, and one scheduled panic. Every ticket
+/// resolves (an answer, possibly degraded, or `Internal` for the killed
+/// jobs), both kills respawn, and no ticket is lost.
+#[test]
+fn chaos_smoke_bounded_storm_survives_kills_and_outages() {
+    let plan = FaultPlan::new(0x57081)
+        .channel(0, ChannelFaults::NONE.drop_rate(80).jitter(2))
+        .channel(1, ChannelFaults::NONE.outage(16, 2))
+        .panic_at(200)
+        .kill_at(40)
+        .kill_at(120);
+    let server = Server::spawn_with_faults(
+        small_env(),
+        ServeConfig::new()
+            .workers(2)
+            .queue_capacity(8)
+            .backpressure(Backpressure::Block)
+            .batch_window(2)
+            .retry(
+                RetryPolicy::new()
+                    .max_attempts(6)
+                    .base(Duration::from_micros(50))
+                    .cap(Duration::from_micros(500)),
+            )
+            .degradation(Degradation::Approximate),
+        plan,
+    );
+    let tickets: Vec<_> = std::thread::scope(|scope| {
+        let submit = |t: u64| {
+            let server = &server;
+            scope.spawn(move || {
+                (0..150u64)
+                    .map(|i| {
+                        let p = Point::new(
+                            ((t * 7919 + i * 127) % 1000) as f64,
+                            ((t * 104_729 + i * 211) % 1000) as f64,
+                        );
+                        server.submit(Query::tnn(p)).expect("Block never refuses")
+                    })
+                    .collect::<Vec<_>>()
+            })
+        };
+        let a = submit(1);
+        let b = submit(2);
+        let mut tickets = a.join().unwrap();
+        tickets.extend(b.join().unwrap());
+        tickets
+    });
+    let mut answered = 0u64;
+    let mut internal = 0u64;
+    for ticket in &tickets {
+        match ticket.wait() {
+            Ok(_) => answered += 1,
+            Err(TnnError::Internal) => internal += 1,
+            Err(other) => panic!("unexpected outcome {other:?}"),
+        }
+    }
+    assert_eq!(answered + internal, 300, "every ticket resolves");
+    // Two kills abandon at most a batch each (plus the panicked query);
+    // everything else gets a real answer.
+    assert!(answered >= 294, "too many casualties: {answered}");
+    let faults = server.fault_stats().unwrap();
+    assert_eq!(faults.worker_kills, 2);
+    assert!(faults.outages > 0);
+    let stats = server.shutdown(ShutdownMode::Drain);
+    assert_eq!(stats.worker_restarts, 2, "both kills respawned");
+    assert_eq!(stats.completed, 300);
+    assert_eq!(
+        stats.submitted,
+        stats.completed + stats.rejected + stats.shed + stats.cancelled,
+        "lost tickets: {stats:?}"
+    );
+    assert!(stats.conserved(), "conservation violated: {stats:?}");
 }
 
 /// No priority inversion at shutdown — deterministic, so it runs in

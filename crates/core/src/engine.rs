@@ -279,6 +279,14 @@ pub struct QueryOutcome {
     /// Per-channel cost breakdown, in channel order — each route hop's
     /// channel indexes into this.
     pub channels: Vec<ChannelCost>,
+    /// `true` when a serving front-end answered via a degradation
+    /// fallback (the approximate algorithm or a replica path) after its
+    /// retry ladder gave up on the primary channels. The engine itself
+    /// always produces full-fidelity outcomes (`degraded = false`);
+    /// degraded outcomes are never stored in a result cache, because
+    /// their bytes are not what a full-fidelity run of the same
+    /// [`crate::QueryKey`] would return.
+    pub degraded: bool,
 }
 
 impl QueryOutcome {
@@ -371,6 +379,7 @@ impl From<TnnRun> for QueryOutcome {
             completed_at: run.completed_at,
             candidates: run.candidates,
             channels: run.channels,
+            degraded: false,
         }
     }
 }
@@ -399,6 +408,7 @@ impl From<VariantRun> for QueryOutcome {
             completed_at: run.completed_at,
             candidates: Vec::new(),
             channels: run.channels,
+            degraded: false,
         }
     }
 }

@@ -35,6 +35,22 @@ pub enum TnnError {
     /// deadline-aware shedding, or discarded at dequeue. The answer was
     /// never computed; resubmitting with a fresh deadline may succeed.
     DeadlineExceeded,
+    /// A broadcast channel could not be tuned in — the packet was lost
+    /// or the channel is in an outage. **Recoverable**: `retry_after`
+    /// is the injector's estimate of how many retry attempts until the
+    /// channel clears (`1` for a transient drop), and the serving
+    /// layer's retry ladder normally absorbs this error before a caller
+    /// ever sees it.
+    ChannelUnavailable {
+        /// Index of the unreachable channel.
+        channel: usize,
+        /// Estimated retry attempts until the channel clears.
+        retry_after: u64,
+    },
+    /// The query died to a server-side defect (a worker panicked while
+    /// executing or holding it). The submission was well-formed and the
+    /// server keeps serving; resubmitting usually succeeds.
+    Internal,
 }
 
 impl fmt::Display for TnnError {
@@ -56,6 +72,16 @@ impl fmt::Display for TnnError {
             }
             TnnError::DeadlineExceeded => {
                 write!(f, "query deadline elapsed before a worker could answer it")
+            }
+            TnnError::ChannelUnavailable {
+                channel,
+                retry_after,
+            } => write!(
+                f,
+                "channel {channel} could not be tuned in (retry after {retry_after} attempts)"
+            ),
+            TnnError::Internal => {
+                write!(f, "query died to an internal server fault; resubmit")
             }
         }
     }
@@ -81,5 +107,12 @@ mod tests {
         assert!(TnnError::Overloaded.to_string().contains("full"));
         assert!(TnnError::Cancelled.to_string().contains("cancelled"));
         assert!(TnnError::DeadlineExceeded.to_string().contains("deadline"));
+        let unavailable = TnnError::ChannelUnavailable {
+            channel: 2,
+            retry_after: 4,
+        };
+        assert!(unavailable.to_string().contains("channel 2"));
+        assert!(unavailable.to_string().contains("4 attempts"));
+        assert!(TnnError::Internal.to_string().contains("internal"));
     }
 }

@@ -8,6 +8,9 @@
 //! * [`Deadline`] — an optional per-request expiry instant, built from a
 //!   TTL ([`Deadline::within`]) or an absolute [`std::time::Instant`];
 //! * [`Qos`] — the per-submission bundle of both;
+//! * [`RetryPolicy`] — capped exponential backoff with deterministic
+//!   seeded jitter, and [`RetryBudget`] — per-class pools of retry
+//!   attempts so one class's failing traffic cannot starve the others;
 //! * [`MultiLevelQueue`] — a strict-priority submission queue with
 //!   per-class bounds and deadline-aware victim selection
 //!   ([`ShedDiscipline::ExpiredFirst`] evicts already-dead work before
@@ -30,10 +33,12 @@ mod cache;
 mod deadline;
 mod priority;
 mod queue;
+mod retry;
 mod spec;
 
 pub use cache::{CacheConfig, CacheStats, Lookup, ResultCache};
 pub use deadline::Deadline;
 pub use priority::Priority;
 pub use queue::{MultiLevelQueue, ShedDiscipline};
+pub use retry::{RetryBudget, RetryPolicy};
 pub use spec::Qos;

@@ -1,0 +1,259 @@
+//! Retry pacing and per-class retry budgets: [`RetryPolicy`],
+//! [`RetryBudget`].
+
+use crate::priority::Priority;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// SplitMix64 finalizer — deterministic jitter needs no RNG state.
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// How a server paces retries of a recoverable failure (a
+/// `ChannelUnavailable` tune-in miss): capped exponential backoff with
+/// **deterministic** seeded jitter.
+///
+/// The backoff-from-feedback analysis of the multi-access literature
+/// says retries must decorrelate (identical backoffs re-collide forever)
+/// but reproductions must replay (random jitter breaks every
+/// equivalence gate) — so the jitter here is a pure function of
+/// `(jitter_seed, key, attempt)`: spread across keys, identical across
+/// reruns.
+///
+/// ```
+/// use std::time::Duration;
+/// use tnn_qos::RetryPolicy;
+///
+/// let policy = RetryPolicy::new()
+///     .max_attempts(5)
+///     .base(Duration::from_micros(400))
+///     .cap(Duration::from_millis(5));
+/// // Exponential growth, capped…
+/// assert!(policy.backoff(2, 7) >= policy.backoff(1, 7));
+/// assert!(policy.backoff(30, 7) <= Duration::from_millis(5) * 3 / 2);
+/// // …and fully reproducible.
+/// assert_eq!(policy.backoff(3, 7), policy.backoff(3, 7));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RetryPolicy {
+    /// Total execution attempts per job, including the first (clamped
+    /// to at least 1; `1` means "never retry").
+    pub max_attempts: u32,
+    /// Backoff before the first retry; each further retry doubles it.
+    pub base: Duration,
+    /// Upper bound on any single backoff (pre-jitter).
+    pub cap: Duration,
+    /// Seed of the deterministic jitter draw; `0` disables jitter.
+    pub jitter_seed: u64,
+}
+
+impl RetryPolicy {
+    /// Never retry: one attempt, no backoff.
+    pub const NONE: RetryPolicy = RetryPolicy {
+        max_attempts: 1,
+        base: Duration::ZERO,
+        cap: Duration::ZERO,
+        jitter_seed: 0,
+    };
+
+    /// The default policy: 4 attempts, 200 µs base doubling to a 10 ms
+    /// cap, jittered. Deep enough to clear short outages, bounded
+    /// enough that a worker stuck retrying resolves within ~30 ms.
+    pub fn new() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base: Duration::from_micros(200),
+            cap: Duration::from_millis(10),
+            jitter_seed: 0x5EED,
+        }
+    }
+
+    /// Sets the total attempt bound (clamped to at least 1).
+    pub fn max_attempts(mut self, attempts: u32) -> Self {
+        self.max_attempts = attempts.max(1);
+        self
+    }
+
+    /// Sets the first-retry backoff.
+    pub fn base(mut self, base: Duration) -> Self {
+        self.base = base;
+        self
+    }
+
+    /// Sets the per-backoff upper bound.
+    pub fn cap(mut self, cap: Duration) -> Self {
+        self.cap = cap;
+        self
+    }
+
+    /// Sets the jitter seed (`0` disables jitter).
+    pub fn jitter(mut self, seed: u64) -> Self {
+        self.jitter_seed = seed;
+        self
+    }
+
+    /// The pause before retry `attempt` (1-based: the first retry is
+    /// attempt 1) of the work item identified by `key` — exponential in
+    /// `attempt`, capped, then scaled by a deterministic jitter factor
+    /// in `[0.5, 1.5)` drawn from `(jitter_seed, key, attempt)`.
+    pub fn backoff(&self, attempt: u32, key: u64) -> Duration {
+        if self.base.is_zero() || attempt == 0 {
+            return Duration::ZERO;
+        }
+        let exp = attempt.saturating_sub(1).min(32);
+        let nanos = (self.base.as_nanos() << exp).min(self.cap.as_nanos().max(1));
+        let nanos = u64::try_from(nanos).unwrap_or(u64::MAX);
+        if self.jitter_seed == 0 {
+            return Duration::from_nanos(nanos);
+        }
+        // Scale by 512..1536 / 1024 — a power-of-two fixed-point [0.5, 1.5).
+        let draw = mix(self.jitter_seed ^ mix(key ^ mix(u64::from(attempt)))) % 1024;
+        Duration::from_nanos((nanos / 1024).saturating_mul(512 + draw))
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::new()
+    }
+}
+
+/// Per-class retry budgets: a shared pool of retry *attempts* each
+/// priority class may spend, so a Background storm of failing queries
+/// cannot monopolize workers with backoff-sleeps that Interactive
+/// traffic then queues behind.
+///
+/// A limit of `0` means unlimited. Charging is lock-free (one CAS per
+/// retry); once a class's pool is exhausted, its jobs skip the ladder
+/// and degrade (or fail) immediately.
+#[derive(Debug)]
+pub struct RetryBudget {
+    limits: [u64; Priority::COUNT],
+    spent: [AtomicU64; Priority::COUNT],
+}
+
+impl RetryBudget {
+    /// A budget with the given per-class attempt limits (`0` =
+    /// unlimited), indexed by [`Priority::index`].
+    pub fn new(limits: [u64; Priority::COUNT]) -> Self {
+        RetryBudget {
+            limits,
+            spent: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// An unlimited budget for every class.
+    pub fn unlimited() -> Self {
+        RetryBudget::new([0; Priority::COUNT])
+    }
+
+    /// Tries to charge one retry attempt to `class`: `true` and counted
+    /// when the class still has budget, `false` (and not counted) once
+    /// its pool is dry.
+    pub fn try_charge(&self, class: Priority) -> bool {
+        let i = class.index();
+        let limit = self.limits[i];
+        if limit == 0 {
+            self.spent[i].fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+        self.spent[i]
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |spent| {
+                (spent < limit).then_some(spent + 1)
+            })
+            .is_ok()
+    }
+
+    /// Retry attempts charged to `class` so far.
+    pub fn spent(&self, class: Priority) -> u64 {
+        self.spent[class.index()].load(Ordering::Relaxed)
+    }
+
+    /// Attempts left for `class`, `None` when unlimited.
+    pub fn remaining(&self, class: Priority) -> Option<u64> {
+        let i = class.index();
+        (self.limits[i] != 0).then(|| self.limits[i] - self.spent[i].load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially_then_caps() {
+        let p = RetryPolicy::new()
+            .base(Duration::from_micros(100))
+            .cap(Duration::from_millis(1))
+            .jitter(0);
+        assert_eq!(p.backoff(1, 0), Duration::from_micros(100));
+        assert_eq!(p.backoff(2, 0), Duration::from_micros(200));
+        assert_eq!(p.backoff(3, 0), Duration::from_micros(400));
+        assert_eq!(p.backoff(11, 0), Duration::from_millis(1));
+        assert_eq!(p.backoff(60, 0), Duration::from_millis(1)); // exp clamp
+        assert_eq!(RetryPolicy::NONE.backoff(1, 0), Duration::ZERO);
+        assert_eq!(p.backoff(0, 0), Duration::ZERO);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_bounded_and_spread() {
+        let p = RetryPolicy::new()
+            .base(Duration::from_micros(512))
+            .cap(Duration::from_secs(1));
+        let nominal = Duration::from_micros(512);
+        let mut distinct = std::collections::HashSet::new();
+        for key in 0..32 {
+            let b = p.backoff(1, key);
+            assert_eq!(b, p.backoff(1, key), "replay-exact");
+            assert!(b >= nominal / 2 && b < nominal * 3 / 2, "{b:?}");
+            distinct.insert(b);
+        }
+        assert!(distinct.len() > 16, "jitter should spread across keys");
+    }
+
+    #[test]
+    fn budget_charges_until_dry_per_class() {
+        let budget = RetryBudget::new([2, 0, 1]);
+        assert!(budget.try_charge(Priority::Interactive));
+        assert!(budget.try_charge(Priority::Interactive));
+        assert!(!budget.try_charge(Priority::Interactive));
+        assert_eq!(budget.spent(Priority::Interactive), 2);
+        assert_eq!(budget.remaining(Priority::Interactive), Some(0));
+        // Unlimited class never refuses but still counts.
+        for _ in 0..100 {
+            assert!(budget.try_charge(Priority::Batch));
+        }
+        assert_eq!(budget.spent(Priority::Batch), 100);
+        assert_eq!(budget.remaining(Priority::Batch), None);
+        // Classes are independent pools.
+        assert!(budget.try_charge(Priority::Background));
+        assert!(!budget.try_charge(Priority::Background));
+    }
+
+    #[test]
+    fn budget_is_exact_under_contention() {
+        let budget = std::sync::Arc::new(RetryBudget::new([0, 1000, 0]));
+        let granted: u64 = std::thread::scope(|s| {
+            (0..8)
+                .map(|_| {
+                    let budget = std::sync::Arc::clone(&budget);
+                    s.spawn(move || {
+                        (0..1000)
+                            .filter(|_| budget.try_charge(Priority::Batch))
+                            .count() as u64
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum()
+        });
+        assert_eq!(granted, 1000);
+        assert_eq!(budget.spent(Priority::Batch), 1000);
+    }
+}

@@ -1,7 +1,7 @@
-//! Server tuning knobs: [`ServeConfig`], [`Backpressure`], and
-//! [`ShutdownMode`].
+//! Server tuning knobs: [`ServeConfig`], [`Backpressure`],
+//! [`ShutdownMode`], and [`Degradation`].
 
-use tnn_qos::{CacheConfig, Priority, ShedDiscipline};
+use tnn_qos::{CacheConfig, Priority, RetryPolicy, ShedDiscipline};
 
 /// What [`crate::Server::submit`] does when the submission lane of the
 /// query's priority class is at capacity.
@@ -43,6 +43,34 @@ pub enum ShutdownMode {
     /// worker run to completion. Deterministic: when `shutdown` returns,
     /// every admitted ticket has resolved one way or the other.
     Cancel,
+}
+
+/// What a worker does when the retry ladder gives up on a query whose
+/// channels stay unreachable ([`tnn_core::TnnError::ChannelUnavailable`]
+/// after [`RetryPolicy::max_attempts`], or an exhausted per-class retry
+/// budget).
+///
+/// Both fallback modes run outside the fault schedule (they model tuning
+/// to a replica carrier the plan does not cover), tag the outcome
+/// [`tnn_core::QueryOutcome::degraded`], and **never** store it in the
+/// result cache: a degraded answer must not be replayed under a
+/// full-fidelity [`tnn_core::QueryKey`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Degradation {
+    /// No fallback: the ticket resolves with the final
+    /// [`tnn_core::TnnError::ChannelUnavailable`]. The default — opting
+    /// into degraded answers is an explicit choice.
+    #[default]
+    Fail,
+    /// Fall back to [`tnn_core::Algorithm::ApproximateTnn`] for
+    /// TNN-kind queries (the paper's estimate-free pipeline: cheapest
+    /// possible tune-in, may fail on skewed data); other query kinds
+    /// have no approximate variant and fall back replica-style.
+    Approximate,
+    /// Re-run the query at full fidelity against a replica carrier:
+    /// same bytes as the primary would have produced, tagged degraded
+    /// because it was not served by the scheduled channels.
+    Replica,
 }
 
 /// Configuration for [`crate::Server::spawn`].
@@ -97,6 +125,27 @@ pub struct ServeConfig {
     /// short (a worker never waits to fill a batch). Clamped to at
     /// least 1.
     pub batch_window: usize,
+    /// How workers pace retries of recoverable tune-in failures
+    /// ([`tnn_core::TnnError::ChannelUnavailable`]). Retries never
+    /// outlive the submitter's deadline: the ladder re-checks it before
+    /// every attempt and bounds each backoff sleep by the time left.
+    pub retry: RetryPolicy,
+    /// The fallback once the retry ladder gives up (default:
+    /// [`Degradation::Fail`]).
+    pub degradation: Degradation,
+    /// Upper bound on worker respawns, cumulative across the pool: a
+    /// worker whose serving round panics (an injected kill, or a bug
+    /// outside the per-job isolation) restarts in place until the pool
+    /// has spent this many restarts, after which the next death fails
+    /// the server closed (emergency cancel) — endless respawn would
+    /// mask a crash loop.
+    pub max_worker_restarts: u32,
+    /// Per-class pools of retry attempts, indexed by
+    /// [`Priority::index`]; `0` (the default) means unlimited. A bounded
+    /// Background pool keeps a storm of failing best-effort queries
+    /// from occupying workers with backoff sleeps that Interactive
+    /// traffic then queues behind.
+    pub retry_budget: [u64; Priority::COUNT],
 }
 
 impl ServeConfig {
@@ -115,6 +164,10 @@ impl ServeConfig {
             shed: ShedDiscipline::ExpiredFirst,
             cache: CacheConfig::new(),
             batch_window: 16,
+            retry: RetryPolicy::new(),
+            degradation: Degradation::Fail,
+            max_worker_restarts: 32,
+            retry_budget: [0; Priority::COUNT],
         }
     }
 
@@ -161,6 +214,31 @@ impl ServeConfig {
         self
     }
 
+    /// Sets the retry pacing policy.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// Sets the exhausted-retries fallback.
+    pub fn degradation(mut self, mode: Degradation) -> Self {
+        self.degradation = mode;
+        self
+    }
+
+    /// Sets the pool-wide worker-respawn bound.
+    pub fn max_worker_restarts(mut self, restarts: u32) -> Self {
+        self.max_worker_restarts = restarts;
+        self
+    }
+
+    /// Bounds one class's pool of retry attempts (`0` restores
+    /// unlimited).
+    pub fn retry_budget(mut self, class: Priority, attempts: u64) -> Self {
+        self.retry_budget[class.index()] = attempts;
+        self
+    }
+
     /// The effective lane bound of `class` after inheritance and
     /// clamping — what the server actually enforces.
     pub fn lane_capacity(&self, class: Priority) -> usize {
@@ -191,17 +269,29 @@ mod tests {
             .backpressure(Backpressure::Shed)
             .shed_discipline(ShedDiscipline::OldestFirst)
             .cache(CacheConfig::disabled())
-            .batch_window(5);
+            .batch_window(5)
+            .retry(RetryPolicy::NONE.max_attempts(9))
+            .degradation(Degradation::Approximate)
+            .max_worker_restarts(2)
+            .retry_budget(Priority::Background, 64);
         assert_eq!(cfg.workers, 3);
         assert_eq!(cfg.queue_capacity, 7);
         assert_eq!(cfg.backpressure, Backpressure::Shed);
         assert_eq!(cfg.shed, ShedDiscipline::OldestFirst);
         assert!(!cfg.cache.enabled);
         assert_eq!(cfg.batch_window, 5);
+        assert_eq!(cfg.retry.max_attempts, 9);
+        assert_eq!(cfg.degradation, Degradation::Approximate);
+        assert_eq!(cfg.max_worker_restarts, 2);
+        assert_eq!(cfg.retry_budget[Priority::Background.index()], 64);
         assert!(ServeConfig::new().workers >= 1);
         assert_eq!(ServeConfig::new().backpressure, Backpressure::Block);
         assert_eq!(ServeConfig::new().shed, ShedDiscipline::ExpiredFirst);
         assert!(ServeConfig::new().cache.enabled);
+        // Fault-free defaults: no degradation, unlimited retry pools.
+        assert_eq!(ServeConfig::new().degradation, Degradation::Fail);
+        assert_eq!(ServeConfig::new().retry_budget, [0; Priority::COUNT]);
+        assert!(ServeConfig::new().retry.max_attempts > 1);
     }
 
     #[test]

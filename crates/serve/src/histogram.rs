@@ -1,0 +1,175 @@
+//! Fixed-footprint latency accounting: [`LatencyHistogram`].
+
+use std::time::Duration;
+
+/// Number of log₂ buckets: bucket `i` counts latencies in
+/// `[2^i, 2^(i+1))` microseconds, so 32 buckets span sub-microsecond to
+/// ~71 minutes — more than any serving latency this stack produces.
+const BUCKETS: usize = 32;
+
+/// A log₂-bucketed latency histogram over microseconds — `Copy`,
+/// allocation-free, and mergeable, so it lives inside
+/// [`crate::ClassStats`] snapshots and crosses threads by value.
+///
+/// Quantiles are read as the *upper bound* of the bucket holding the
+/// requested rank (conservative: reported p99 ≥ true p99, never under),
+/// which is the right direction for deadline budgeting.
+///
+/// ```
+/// use std::time::Duration;
+/// use tnn_serve::LatencyHistogram;
+///
+/// let mut h = LatencyHistogram::default();
+/// for ms in [1u64, 1, 1, 1, 50] {
+///     h.record(Duration::from_millis(ms));
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert!(h.quantile(0.50) < Duration::from_millis(3));
+/// assert!(h.quantile(0.99) >= Duration::from_millis(50));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LatencyHistogram {
+    buckets: [u64; BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// The bucket index of `latency`: `floor(log2(µs))`, clamped.
+    #[inline]
+    fn index(latency: Duration) -> usize {
+        let micros = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        if micros == 0 {
+            0
+        } else {
+            (63 - micros.leading_zeros() as usize).min(BUCKETS - 1)
+        }
+    }
+
+    /// Counts one observation.
+    #[inline]
+    pub fn record(&mut self, latency: Duration) {
+        self.buckets[Self::index(latency)] += 1;
+    }
+
+    /// Adds every observation of `other` into `self`.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (into, from) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *into += from;
+        }
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.iter().all(|&b| b == 0)
+    }
+
+    /// The latency at quantile `q` (clamped to `0.0..=1.0`): the upper
+    /// bound of the bucket holding the `ceil(q · count)`-th observation.
+    /// [`Duration::ZERO`] while empty.
+    pub fn quantile(&self, q: f64) -> Duration {
+        let total = self.count();
+        if total == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &bucket) in self.buckets.iter().enumerate() {
+            seen += bucket;
+            if seen >= rank {
+                // Upper bound of bucket i: 2^(i+1) − 1 µs.
+                return Duration::from_micros((1u64 << (i + 1)) - 1);
+            }
+        }
+        Duration::from_micros(u64::MAX >> 10)
+    }
+
+    /// Median latency (bucket upper bound).
+    pub fn p50(&self) -> Duration {
+        self.quantile(0.50)
+    }
+
+    /// 99th-percentile latency (bucket upper bound).
+    pub fn p99(&self) -> Duration {
+        self.quantile(0.99)
+    }
+
+    /// The raw bucket counts (bucket `i` spans `[2^i, 2^(i+1))` µs).
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reads_zero() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.count(), 0);
+        assert!(h.is_empty());
+        assert_eq!(h.p50(), Duration::ZERO);
+        assert_eq!(h.p99(), Duration::ZERO);
+    }
+
+    #[test]
+    fn bucketing_is_log2_of_micros() {
+        assert_eq!(LatencyHistogram::index(Duration::ZERO), 0);
+        assert_eq!(LatencyHistogram::index(Duration::from_micros(1)), 0);
+        assert_eq!(LatencyHistogram::index(Duration::from_micros(2)), 1);
+        assert_eq!(LatencyHistogram::index(Duration::from_micros(3)), 1);
+        assert_eq!(LatencyHistogram::index(Duration::from_micros(4)), 2);
+        assert_eq!(LatencyHistogram::index(Duration::from_millis(1)), 9);
+        assert_eq!(LatencyHistogram::index(Duration::from_secs(3600)), 31);
+        assert_eq!(
+            LatencyHistogram::index(Duration::from_secs(1_000_000)),
+            BUCKETS - 1
+        );
+    }
+
+    #[test]
+    fn quantiles_bracket_the_distribution() {
+        let mut h = LatencyHistogram::default();
+        for _ in 0..99 {
+            h.record(Duration::from_micros(100));
+        }
+        h.record(Duration::from_millis(80));
+        assert_eq!(h.count(), 100);
+        // p50 sits in the 64..128 µs bucket; its upper bound is 127 µs.
+        assert_eq!(h.p50(), Duration::from_micros(127));
+        // p99 lands on the 99th observation — still the fast bucket —
+        // while p100 must cover the slow outlier.
+        assert_eq!(h.p99(), Duration::from_micros(127));
+        assert!(h.quantile(1.0) >= Duration::from_millis(80));
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = LatencyHistogram::default();
+        let mut b = LatencyHistogram::default();
+        a.record(Duration::from_micros(10));
+        b.record(Duration::from_micros(10));
+        b.record(Duration::from_millis(5));
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.buckets()[3], 2); // 8..16 µs
+        let merged_empty = {
+            let mut h = a;
+            h.merge(&LatencyHistogram::default());
+            h
+        };
+        assert_eq!(merged_empty, a);
+    }
+}

@@ -46,6 +46,14 @@
 //!   submission-to-resolution wall time, stamped by the resolver.
 //! * [`Server::shutdown`] drains or cancels deterministically: when it
 //!   returns, every admitted ticket has resolved.
+//! * [`Server::spawn_with_faults`] runs the same pool under a
+//!   deterministic [`FaultPlan`]: injected tune-in failures enter a
+//!   deadline-aware retry ladder ([`RetryPolicy`], per-class
+//!   [`RetryBudget`]), exhausted ladders fall back per [`Degradation`]
+//!   (outcomes tagged degraded, never cached), injected engine panics
+//!   resolve [`tnn_core::TnnError::Internal`] behind a panic boundary,
+//!   and killed workers respawn in place (bounded by
+//!   [`ServeConfig::max_worker_restarts`]). See `docs/ROBUSTNESS.md`.
 //!
 //! ## Guarantees
 //!
@@ -64,13 +72,20 @@
 #![deny(unsafe_code)]
 
 mod config;
+mod histogram;
 mod server;
 mod ticket;
 
-pub use config::{Backpressure, ServeConfig, ShutdownMode};
+pub use config::{Backpressure, Degradation, ServeConfig, ShutdownMode};
+pub use histogram::LatencyHistogram;
 pub use server::{ClassStats, ServeStats, Server};
 pub use ticket::Ticket;
 
 // The QoS vocabulary callers need to speak the submission API, re-
 // exported so `tnn_serve` alone suffices for everyday serving code.
-pub use tnn_qos::{CacheConfig, CacheStats, Deadline, Priority, Qos, ShedDiscipline};
+pub use tnn_qos::{
+    CacheConfig, CacheStats, Deadline, Priority, Qos, RetryBudget, RetryPolicy, ShedDiscipline,
+};
+
+// The fault vocabulary for chaos-mode servers ([`Server::spawn_with_faults`]).
+pub use tnn_faults::{ChannelFaults, FaultPlan, FaultStats, FaultyChannelView, TuneIn};

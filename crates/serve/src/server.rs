@@ -1,15 +1,23 @@
 //! The worker-pool server: strict-priority multi-level submission queue,
 //! deadline enforcement, backpressure, an admission-time result cache,
-//! micro-batched dispatch, and deterministic shutdown.
+//! micro-batched dispatch, fault-schedule execution (retry ladder,
+//! degradation, panic isolation, worker respawn), and deterministic
+//! shutdown.
 
-use crate::config::{Backpressure, ServeConfig, ShutdownMode};
+use crate::config::{Backpressure, Degradation, ServeConfig, ShutdownMode};
+use crate::histogram::LatencyHistogram;
 use crate::ticket::{Ticket, TicketCell};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::Instant;
 use tnn_broadcast::MultiChannelEnv;
-use tnn_core::{ArrivalHeap, CandidateQueue, Query, QueryEngine, QueryKey, QueryOutcome, TnnError};
-use tnn_qos::{Deadline, Lookup, MultiLevelQueue, Priority, Qos, ResultCache};
+use tnn_core::{
+    Algorithm, ArrivalHeap, CandidateQueue, Query, QueryEngine, QueryKey, QueryOutcome,
+    QueryScratch, TnnError,
+};
+use tnn_faults::{FaultInjector, FaultPlan, FaultStats};
+use tnn_qos::{Deadline, Lookup, MultiLevelQueue, Priority, Qos, ResultCache, RetryBudget};
 
 /// Admission/completion counters of one priority class.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -41,6 +49,18 @@ pub struct ClassStats {
     pub queued: usize,
     /// Jobs being executed by a worker, at snapshot time.
     pub in_flight: usize,
+    /// Retry attempts charged to this class: each time a job's tune-in
+    /// failed recoverably and the ladder paused to try again.
+    pub retried: u64,
+    /// Completions answered by a degradation fallback (the delivered
+    /// [`QueryOutcome`] carries `degraded = true`). A subset of
+    /// [`ClassStats::completed`].
+    pub degraded: u64,
+    /// Submission-to-resolution latency of this class's completions
+    /// (log₂ µs buckets; see [`LatencyHistogram`]). Jobs resolved by
+    /// panic-unwind accounting are counted in `completed` but carry no
+    /// latency observation.
+    pub latency: LatencyHistogram,
 }
 
 impl ClassStats {
@@ -95,11 +115,22 @@ pub struct ServeStats {
     /// elapsed (the outcome re-stored, refreshing the entry).
     pub cache_expired: u64,
     /// Completions that never touched the cache: caching disabled, a
-    /// degenerate (`k < 2`) environment, or an error outcome (errors are
-    /// never cached).
+    /// degenerate (`k < 2`) environment, an error outcome (errors are
+    /// never cached), a degraded outcome (fallback answers must not be
+    /// replayed under a full-fidelity key), or a job abandoned by a
+    /// dying worker.
     pub cache_bypass: u64,
-    /// The same counters split by priority class (cache counters are
-    /// tracked globally, not per class).
+    /// Total retry attempts over all classes.
+    pub retried: u64,
+    /// Total degraded completions over all classes.
+    pub degraded: u64,
+    /// Worker serving rounds that panicked and respawned in place (an
+    /// injected kill, or a bug that escaped per-job isolation). Bounded
+    /// by [`ServeConfig::max_worker_restarts`]; beyond the bound the
+    /// server fails closed.
+    pub worker_restarts: u64,
+    /// The same counters split by priority class (cache counters and
+    /// worker restarts are tracked globally, not per class).
     pub classes: [ClassStats; Priority::COUNT],
 }
 
@@ -139,7 +170,13 @@ impl ServeStats {
             && self.in_flight == self.classes.iter().map(|c| c.in_flight).sum::<usize>();
         let cache = self.completed
             == self.cache_hits + self.cache_misses + self.cache_expired + self.cache_bypass;
-        totals && classes && cache
+        let resilience = self.retried == self.classes.iter().map(|c| c.retried).sum::<u64>()
+            && self.degraded == self.classes.iter().map(|c| c.degraded).sum::<u64>()
+            && self
+                .classes
+                .iter()
+                .all(|c| c.degraded <= c.completed && c.latency.count() <= c.completed);
+        totals && classes && cache && resilience
     }
 
     /// The per-class counters for `class`.
@@ -169,15 +206,24 @@ struct Job {
     /// The admission probe found a TTL-expired entry: this run refreshes
     /// it (classified `cache_expired`, not `cache_misses`).
     refresh: bool,
+    /// Admission sequence number — the logical clock every fault
+    /// decision is keyed by (see [`FaultPlan`]), assigned under the
+    /// state lock at enqueue.
+    seq: u64,
+    /// When the client handed the query over, for the per-class latency
+    /// histograms.
+    submitted_at: Instant,
 }
 
 impl Drop for Job {
     fn drop(&mut self) {
         // Safety net: a job dropped without resolution (a worker
         // panicking mid-batch unwinds its local jobs through here) must
-        // not strand its waiters. For jobs resolved normally this is an
-        // idempotent no-op.
-        self.cell.resolve(Err(TnnError::Cancelled));
+        // not strand its waiters. The job died to a server-side defect,
+        // not to scheduling, so the waiter sees `Internal` — every
+        // deliberate resolution path (workers, shedding, cancellation)
+        // resolves explicitly first, making this a no-op there.
+        self.cell.resolve(Err(TnnError::Internal));
     }
 }
 
@@ -192,6 +238,9 @@ struct ClassCounters {
     completed: u64,
     expired: u64,
     in_flight: usize,
+    retried: u64,
+    degraded: u64,
+    latency: LatencyHistogram,
 }
 
 /// Mutable queue state — every field mutates under one mutex, which is
@@ -204,6 +253,11 @@ struct State {
     cache_misses: u64,
     cache_expired: u64,
     cache_bypass: u64,
+    /// Next admission sequence number (assigned to enqueued jobs only,
+    /// so a single-threaded submitter gets a deterministic numbering).
+    next_seq: u64,
+    /// Worker rounds that panicked and respawned, pool-wide.
+    worker_restarts: u64,
 }
 
 impl State {
@@ -223,6 +277,12 @@ struct Inner {
     space: Condvar,
     /// The shared result cache; `None` when disabled by configuration.
     cache: Option<ResultCache<QueryKey, QueryOutcome>>,
+    /// The fault schedule workers execute under; `None` for servers
+    /// spawned without one (the plain [`Server::spawn`] path keeps the
+    /// exact PR 5 hot path — not even a zero-plan probe per job).
+    faults: Option<FaultInjector>,
+    /// Per-class retry-attempt pools ([`ServeConfig::retry_budget`]).
+    budget: RetryBudget,
     config: ServeConfig,
 }
 
@@ -284,6 +344,13 @@ impl Server<ArrivalHeap> {
     pub fn spawn(env: MultiChannelEnv, config: ServeConfig) -> Self {
         Server::spawn_engine(QueryEngine::new(env), config)
     }
+
+    /// [`Server::spawn`] under a [`FaultPlan`]: workers execute every
+    /// job through the plan's injected drops, outages, jitter, panics,
+    /// and kills. See [`Server::spawn_engine_with_faults`].
+    pub fn spawn_with_faults(env: MultiChannelEnv, config: ServeConfig, plan: FaultPlan) -> Self {
+        Server::spawn_engine_with_faults(QueryEngine::new(env), config, plan)
+    }
 }
 
 impl<Q: CandidateQueue + 'static> Server<Q> {
@@ -295,6 +362,34 @@ impl<Q: CandidateQueue + 'static> Server<Q> {
     /// cancelled regardless of mode. `queue_capacity` and `batch_window`
     /// are clamped to at least 1.
     pub fn spawn_engine(engine: QueryEngine<Q>, config: ServeConfig) -> Self {
+        Server::spawn_engine_faulted(engine, config, None)
+    }
+
+    /// [`Server::spawn_engine`] under a [`FaultPlan`]: before each
+    /// execution attempt a worker probes every channel through the
+    /// plan; a drop or outage surfaces as
+    /// [`TnnError::ChannelUnavailable`] and enters the retry ladder
+    /// ([`ServeConfig::retry`], then [`ServeConfig::degradation`]);
+    /// injected engine panics resolve only their own ticket
+    /// ([`TnnError::Internal`]); injected worker kills unwind a whole
+    /// serving round and exercise in-place respawn
+    /// ([`ServeStats::worker_restarts`]). A zero plan injects nothing:
+    /// outcomes are byte-identical to a plain [`Server::spawn_engine`]
+    /// (gated by `crates/bench/tests/fault_equivalence.rs`). Read the
+    /// injected-fault tallies back with [`Server::fault_stats`].
+    pub fn spawn_engine_with_faults(
+        engine: QueryEngine<Q>,
+        config: ServeConfig,
+        plan: FaultPlan,
+    ) -> Self {
+        Server::spawn_engine_faulted(engine, config, Some(FaultInjector::new(plan)))
+    }
+
+    fn spawn_engine_faulted(
+        engine: QueryEngine<Q>,
+        config: ServeConfig,
+        faults: Option<FaultInjector>,
+    ) -> Self {
         let config = ServeConfig {
             queue_capacity: config.queue_capacity.max(1),
             batch_window: config.batch_window.max(1),
@@ -313,10 +408,14 @@ impl<Q: CandidateQueue + 'static> Server<Q> {
                 cache_misses: 0,
                 cache_expired: 0,
                 cache_bypass: 0,
+                next_seq: 0,
+                worker_restarts: 0,
             }),
             work: Condvar::new(),
             space: Condvar::new(),
             cache,
+            faults,
+            budget: RetryBudget::new(config.retry_budget),
             config,
         });
         let workers = (0..config.workers)
@@ -538,6 +637,9 @@ impl<Q: CandidateQueue + 'static> Server<Q> {
                     state.classes[class].accepted += 1;
                     state.classes[class].completed += 1;
                     state.cache_hits += 1;
+                    state.classes[class]
+                        .latency
+                        .record(Instant::now().saturating_duration_since(submitted_at));
                     let cell = TicketCell::new();
                     cell.resolve(Ok(outcome));
                     return (state, Ok(Ticket { cell, submitted_at }), false);
@@ -614,6 +716,8 @@ impl<Q: CandidateQueue + 'static> Server<Q> {
         }
         state.classes[class].accepted += 1;
         let cell = TicketCell::new();
+        let seq = state.next_seq;
+        state.next_seq += 1;
         state.queue.push_back(
             qos.priority,
             Job {
@@ -623,6 +727,8 @@ impl<Q: CandidateQueue + 'static> Server<Q> {
                 deadline: qos.deadline,
                 key,
                 refresh,
+                seq,
+                submitted_at,
             },
         );
         (state, Ok(Ticket { cell, submitted_at }), true)
@@ -636,6 +742,7 @@ impl<Q: CandidateQueue + 'static> Server<Q> {
             cache_misses: state.cache_misses,
             cache_expired: state.cache_expired,
             cache_bypass: state.cache_bypass,
+            worker_restarts: state.worker_restarts,
             ..ServeStats::default()
         };
         for class in Priority::ALL {
@@ -651,6 +758,9 @@ impl<Q: CandidateQueue + 'static> Server<Q> {
                 expired: c.expired,
                 queued: state.queue.len_of(class),
                 in_flight: c.in_flight,
+                retried: c.retried,
+                degraded: c.degraded,
+                latency: c.latency,
             };
             stats.classes[i] = snapshot;
             stats.submitted += snapshot.submitted;
@@ -662,6 +772,8 @@ impl<Q: CandidateQueue + 'static> Server<Q> {
             stats.expired += snapshot.expired;
             stats.queued += snapshot.queued;
             stats.in_flight += snapshot.in_flight;
+            stats.retried += snapshot.retried;
+            stats.degraded += snapshot.degraded;
         }
         stats
     }
@@ -671,6 +783,14 @@ impl<Q: CandidateQueue + 'static> Server<Q> {
     /// classification lives in [`ServeStats`].
     pub fn cache_stats(&self) -> Option<tnn_qos::CacheStats> {
         self.inner.cache.as_ref().map(ResultCache::stats)
+    }
+
+    /// Exact tallies of the injected faults so far, `None` for a server
+    /// spawned without a [`FaultPlan`]. For plans without worker kills
+    /// the tallies are bit-identical across worker counts and reruns of
+    /// the same admission sequence (see [`FaultStats`]).
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.inner.faults.as_ref().map(FaultInjector::stats)
     }
 
     /// Shuts the server down and joins every worker thread.
@@ -741,16 +861,21 @@ impl<Q: CandidateQueue + 'static> Drop for Server<Q> {
 /// Accounting guard for one popped micro-batch. The normal path settles
 /// the per-class completed/expired counts (and the cache classification)
 /// in one lock per batch (not per job); if the worker unwinds mid-batch
-/// (an engine panic would be an internal bug, but must not corrupt the
-/// server), the guard's `Drop` books the abandoned jobs as cancelled —
-/// keeping [`ServeStats::conserved`] true and `in_flight` exact — and
-/// **fails the server closed**: with a dead worker, stranding clients on
-/// a queue nobody drains is worse than refusing them.
+/// (an injected fault, or a real engine bug — either way the server must
+/// not corrupt), the guard's `Drop` books the abandoned jobs as
+/// *completed with a bypassed cache* — their tickets resolve
+/// [`TnnError::Internal`] through [`Job`]'s drop right after this, so an
+/// outcome **was** delivered — keeping [`ServeStats::conserved`] true and
+/// `in_flight` exact. The worker itself respawns (bounded by
+/// [`ServeConfig::max_worker_restarts`]); the server keeps serving.
 struct BatchGuard<'a> {
     inner: &'a Inner,
     taken: [usize; Priority::COUNT],
     completed: [usize; Priority::COUNT],
     expired: [usize; Priority::COUNT],
+    retried: [u64; Priority::COUNT],
+    degraded: [u64; Priority::COUNT],
+    latency: [LatencyHistogram; Priority::COUNT],
     cache_hits: u64,
     cache_misses: u64,
     cache_expired: u64,
@@ -767,35 +892,82 @@ impl Drop for BatchGuard<'_> {
         let mut abandoned_total = 0u64;
         for i in 0..Priority::COUNT {
             let class = &mut state.classes[i];
-            class.completed += self.completed[i] as u64;
+            let abandoned = (self.taken[i] - self.completed[i] - self.expired[i]) as u64;
+            // Abandoned jobs (worker unwound mid-batch) resolve
+            // `Err(Internal)` when the batch buffer drops: the client got
+            // an answer, so they complete — with no cache interaction.
+            class.completed += self.completed[i] as u64 + abandoned;
             class.expired += self.expired[i] as u64;
             class.in_flight -= self.taken[i];
-            let abandoned = (self.taken[i] - self.completed[i] - self.expired[i]) as u64;
-            class.cancelled += abandoned;
+            class.retried += self.retried[i];
+            class.degraded += self.degraded[i];
+            class.latency.merge(&self.latency[i]);
             abandoned_total += abandoned;
         }
-        if abandoned_total > 0 {
-            // Unwinding: the un-run jobs resolve `Cancelled` through
-            // `Job::drop` right after this; account for them and trip an
-            // emergency cancel-shutdown so submitters fail fast instead
-            // of blocking on a worker that no longer exists.
+        state.cache_bypass += abandoned_total;
+    }
+}
+
+/// Panic payload of an injected engine panic — a private type so tests
+/// and the worker can tell injected unwinds from real bugs.
+struct InjectedPanic;
+
+/// Panic payload of an injected worker kill (abandons the whole
+/// micro-batch, not just one query).
+struct InjectedKill;
+
+/// What one execution of a job produced.
+enum Executed {
+    /// The job ran (possibly after retries, possibly degraded, possibly
+    /// to an error). `retries` counts the backoff pauses actually taken.
+    Done {
+        result: Result<QueryOutcome, TnnError>,
+        retries: u64,
+    },
+    /// The deadline expired before any attempt could finish (`retries`
+    /// still counts the backoff pauses taken on the way there).
+    Expired { retries: u64 },
+}
+
+/// One worker thread: run serving rounds, and if a round unwinds (an
+/// injected worker kill, or a real bug that escaped the per-query
+/// isolation) respawn **in place** — the same OS thread re-enters the
+/// serving loop — up to [`ServeConfig::max_worker_restarts`] restarts
+/// pool-wide. Beyond the bound the server assumes a crash loop and fails
+/// closed: emergency [`ShutdownMode::Cancel`] so submitters fail fast
+/// instead of feeding a dying pool.
+fn worker_loop<Q: CandidateQueue>(inner: &Inner, engine: &QueryEngine<Q>) {
+    loop {
+        if catch_unwind(AssertUnwindSafe(|| worker_rounds(inner, engine))).is_ok() {
+            return; // clean shutdown
+        }
+        // The round unwound. Its batch guard already settled the
+        // abandoned jobs (tickets resolved `Err(Internal)` as the batch
+        // buffer dropped); all that is left is to count the restart and
+        // decide whether this pool is still healthy.
+        let mut state = inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.worker_restarts += 1;
+        if state.worker_restarts > u64::from(inner.config.max_worker_restarts) {
             if state.shutdown.is_none() {
                 state.shutdown = Some(ShutdownMode::Cancel);
             }
             state.cancel_backlog();
             drop(state);
-            self.inner.work.notify_all();
-            self.inner.space.notify_all();
+            inner.work.notify_all();
+            inner.space.notify_all();
+            return;
         }
     }
 }
 
-/// One worker: wait for jobs, pop a micro-batch of up to
-/// [`ServeConfig::batch_window`] in strict priority order, execute it
-/// against a thread-local scratch (skipping jobs whose deadline passed
-/// while queued, filling the result cache with fresh outcomes), resolve
-/// each ticket, repeat until shutdown.
-fn worker_loop<Q: CandidateQueue>(inner: &Inner, engine: &QueryEngine<Q>) {
+/// The serving rounds of one worker: wait for jobs, pop a micro-batch of
+/// up to [`ServeConfig::batch_window`] in strict priority order, execute
+/// it against a thread-local scratch (skipping jobs whose deadline
+/// passed while queued, filling the result cache with fresh
+/// non-degraded outcomes), resolve each ticket, repeat until shutdown.
+/// May unwind mid-batch under an injected worker kill; [`worker_loop`]
+/// catches and respawns.
+fn worker_rounds<Q: CandidateQueue>(inner: &Inner, engine: &QueryEngine<Q>) {
     let mut scratch = engine.scratch();
     let mut local: Vec<Job> = Vec::with_capacity(inner.config.batch_window);
     'serve: loop {
@@ -833,6 +1005,9 @@ fn worker_loop<Q: CandidateQueue>(inner: &Inner, engine: &QueryEngine<Q>) {
             taken: [0; Priority::COUNT],
             completed: [0; Priority::COUNT],
             expired: [0; Priority::COUNT],
+            retried: [0; Priority::COUNT],
+            degraded: [0; Priority::COUNT],
+            latency: [LatencyHistogram::default(); Priority::COUNT],
             cache_hits: 0,
             cache_misses: 0,
             cache_expired: 0,
@@ -843,6 +1018,15 @@ fn worker_loop<Q: CandidateQueue>(inner: &Inner, engine: &QueryEngine<Q>) {
         }
         for job in local.drain(..) {
             let class = job.class.index();
+            if let Some(faults) = &inner.faults {
+                if faults.worker_kill(job.seq) {
+                    // Quiet unwind (skips the panic hook): this job and
+                    // the rest of the batch resolve `Err(Internal)` via
+                    // their drops, the guard books them, and
+                    // `worker_loop` respawns the thread.
+                    resume_unwind(Box::new(InjectedKill));
+                }
+            }
             let now = Instant::now();
             // Deadline at dequeue: a job that died waiting is discarded,
             // not run — the worker's time goes to viable work.
@@ -855,43 +1039,177 @@ fn worker_loop<Q: CandidateQueue>(inner: &Inner, engine: &QueryEngine<Q>) {
             // queued behind their first occurrence (an admission probe
             // runs before any of them executes — batch admission even
             // holds the queue lock across the whole batch) hit here
-            // instead of re-running the engine.
-            let result = match (&job.key, &inner.cache) {
+            // instead of re-running the engine. A hit also skips the
+            // fault schedule entirely: a cached answer needs no tune-in.
+            let mut refresh = job.refresh;
+            let cacheable = match (&job.key, &inner.cache) {
                 (Some(key), Some(cache)) => match cache.lookup(key, now) {
                     Lookup::Hit(outcome) => {
                         guard.cache_hits += 1;
-                        Ok(outcome)
+                        job.cell.resolve(Ok(outcome));
+                        guard.completed[class] += 1;
+                        guard.latency[class]
+                            .record(Instant::now().saturating_duration_since(job.submitted_at));
+                        continue;
                     }
                     lookup => {
-                        let refresh = job.refresh || matches!(lookup, Lookup::Expired);
-                        let result = engine.run_with(&job.query, &mut scratch);
-                        match &result {
-                            Ok(outcome) => {
-                                cache.insert(key.clone(), outcome.clone(), Instant::now());
-                                if refresh {
-                                    guard.cache_expired += 1;
-                                } else {
-                                    guard.cache_misses += 1;
-                                }
-                            }
-                            // Errors are never cached (cheap to
-                            // recompute, and a transient error must not
-                            // mask a later success).
-                            Err(_) => guard.cache_bypass += 1,
-                        }
-                        result
+                        refresh = refresh || matches!(lookup, Lookup::Expired);
+                        true
                     }
                 },
-                // A keyless job never consults the cache at all.
-                _ => {
-                    guard.cache_bypass += 1;
-                    engine.run_with(&job.query, &mut scratch)
-                }
+                // A keyless (or cacheless) job never consults the cache.
+                _ => false,
             };
-            job.cell.resolve(result);
-            guard.completed[class] += 1;
+            match run_job(inner, engine, &job, &mut scratch) {
+                Executed::Expired { retries } => {
+                    guard.retried[class] += retries;
+                    job.cell.resolve(Err(TnnError::DeadlineExceeded));
+                    guard.expired[class] += 1;
+                }
+                Executed::Done { result, retries } => {
+                    guard.retried[class] += retries;
+                    let degraded = matches!(&result, Ok(outcome) if outcome.degraded);
+                    if degraded {
+                        guard.degraded[class] += 1;
+                    }
+                    match (&result, cacheable) {
+                        (Ok(outcome), true) if !degraded => {
+                            let key = job.key.clone().expect("cacheable implies a key");
+                            let cache = inner.cache.as_ref().expect("cacheable implies a cache");
+                            cache.insert(key, outcome.clone(), Instant::now());
+                            if refresh {
+                                guard.cache_expired += 1;
+                            } else {
+                                guard.cache_misses += 1;
+                            }
+                        }
+                        // Errors and degraded outcomes are never cached:
+                        // a transient fault must not mask the exact
+                        // answer a later healthy run would produce.
+                        _ => guard.cache_bypass += 1,
+                    }
+                    job.cell.resolve(result);
+                    guard.completed[class] += 1;
+                    guard.latency[class]
+                        .record(Instant::now().saturating_duration_since(job.submitted_at));
+                }
+            }
         }
         drop(guard);
     }
     engine.recycle(scratch);
+}
+
+/// Executes one job under the server's fault schedule and retry policy.
+///
+/// Fault-free servers take a single straight-line engine run — the exact
+/// pre-fault hot path, no probes and no ladder. Faulted servers probe
+/// every channel tune-in first; a recoverable
+/// [`TnnError::ChannelUnavailable`] enters the retry ladder (capped
+/// exponential backoff with deterministic jitter, bounded by
+/// [`tnn_qos::RetryPolicy::max_attempts`], the per-class
+/// [`RetryBudget`], and the job's deadline — a retry never outlives the
+/// submitter's deadline), and exhausting the ladder falls through to the
+/// configured [`Degradation`].
+fn run_job<Q: CandidateQueue>(
+    inner: &Inner,
+    engine: &QueryEngine<Q>,
+    job: &Job,
+    scratch: &mut QueryScratch<Q>,
+) -> Executed {
+    let Some(faults) = &inner.faults else {
+        return Executed::Done {
+            result: engine.run_with(&job.query, scratch),
+            retries: 0,
+        };
+    };
+    let policy = inner.config.retry;
+    let mut attempt: u32 = 0; // failed tune-ins so far (advances outages)
+    let mut retries: u64 = 0;
+    loop {
+        if job.deadline.expired(Instant::now()) {
+            return Executed::Expired { retries };
+        }
+        match faults.check_tune_in(engine.env(), job.seq, attempt) {
+            Ok(()) => {
+                let inject = faults.engine_panic(job.seq);
+                return Executed::Done {
+                    result: run_isolated(engine, &job.query, scratch, inject),
+                    retries,
+                };
+            }
+            Err(err) => {
+                attempt += 1;
+                let can_retry =
+                    attempt < policy.max_attempts.max(1) && inner.budget.try_charge(job.class);
+                if !can_retry {
+                    return Executed::Done {
+                        result: degrade(inner, engine, job, scratch, err),
+                        retries,
+                    };
+                }
+                retries += 1;
+                let mut pause = policy.backoff(attempt, job.seq);
+                if let Some(left) = job.deadline.remaining(Instant::now()) {
+                    pause = pause.min(left);
+                }
+                if !pause.is_zero() {
+                    std::thread::sleep(pause);
+                }
+            }
+        }
+    }
+}
+
+/// Runs `query` with the engine panic boundary in place: a panic (an
+/// injected one, or a real engine bug) resolves to
+/// [`TnnError::Internal`] instead of killing the worker, and the scratch
+/// — which may hold arbitrary partial state after an unwind — is
+/// replaced before reuse.
+fn run_isolated<Q: CandidateQueue>(
+    engine: &QueryEngine<Q>,
+    query: &Query,
+    scratch: &mut QueryScratch<Q>,
+    inject_panic: bool,
+) -> Result<QueryOutcome, TnnError> {
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        if inject_panic {
+            // Quiet unwind: injected chaos must not spam the panic hook,
+            // while real bugs still print a backtrace.
+            resume_unwind(Box::new(InjectedPanic));
+        }
+        engine.run_with(query, scratch)
+    }));
+    match caught {
+        Ok(result) => result,
+        Err(_) => {
+            *scratch = engine.scratch();
+            Err(TnnError::Internal)
+        }
+    }
+}
+
+/// The last rung of the ladder: what a job does once retries are
+/// exhausted. Fallback runs execute *outside* the fault schedule (they
+/// model a replica or a cheaper code path that does not contend for the
+/// faulty channels), and any outcome they produce is tagged
+/// [`QueryOutcome::degraded`] — delivered to the client, never cached.
+fn degrade<Q: CandidateQueue>(
+    inner: &Inner,
+    engine: &QueryEngine<Q>,
+    job: &Job,
+    scratch: &mut QueryScratch<Q>,
+    err: TnnError,
+) -> Result<QueryOutcome, TnnError> {
+    let fallback = match inner.config.degradation {
+        Degradation::Fail => return Err(err),
+        // `Query::algorithm` rewrites only TNN-kind queries; chain and
+        // round-trip variants fall back to a replica-style exact rerun.
+        Degradation::Approximate => job.query.clone().algorithm(Algorithm::ApproximateTnn),
+        Degradation::Replica => job.query.clone(),
+    };
+    run_isolated(engine, &fallback, scratch, false).map(|mut outcome| {
+        outcome.degraded = true;
+        outcome
+    })
 }

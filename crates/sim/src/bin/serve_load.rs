@@ -26,16 +26,24 @@
 //!    expiry-aware shedding vs. the old shed-oldest.
 //! 5. **Ablation** (k = 2) — the deferred `batch_window` ×
 //!    `queue_capacity` grid: closed-loop throughput per combination.
+//! 6. **Chaos axis** (k = 2, `--faults` only) — a mixed-priority
+//!    workload through [`Server::spawn_with_faults`] under a nonzero
+//!    fault schedule (channel drops + jitter, a periodic outage, an
+//!    injected engine panic, and two worker kills). The binary itself
+//!    *asserts* zero lost tickets and nonzero `worker_restarts` — this
+//!    is the CI chaos smoke gate — and reports per-class p50/p99 from
+//!    the server-side [`tnn_serve::ServeStats`] latency histograms.
 //!
 //! ```sh
-//! cargo run --release -p tnn-sim --bin serve_load -- --tag pr5 2 3 4
+//! cargo run --release -p tnn-sim --bin serve_load -- --tag pr6 --faults 2 3 4
 //! ```
 //!
 //! Environment knobs: `TNN_QUERIES` (closed-loop batch size, default
 //! 1,000), `TNN_LOAD_POINTS` (points per channel, default 10,000),
 //! `TNN_LOAD_SECS` (open-loop duration per k, default 2),
 //! `TNN_BENCH_REPS` (min-of-reps, default 3), `TNN_POOL` (Zipf pool
-//! size, default 200), and `TNN_ZIPF` (Zipf exponent, default 1.1).
+//! size, default 200), `TNN_ZIPF` (Zipf exponent, default 1.1), and
+//! `TNN_CHAOS_QUERIES` (chaos-axis workload size, default 300).
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -48,7 +56,8 @@ use tnn_datasets::{paper_region, uniform_points};
 use tnn_geom::Rect;
 use tnn_rtree::{PackingAlgorithm, RTree};
 use tnn_serve::{
-    Backpressure, CacheConfig, Qos, ServeConfig, Server, ShedDiscipline, ShutdownMode,
+    Backpressure, CacheConfig, ChannelFaults, Degradation, FaultPlan, Priority, Qos, RetryPolicy,
+    ServeConfig, Server, ShedDiscipline, ShutdownMode,
 };
 use tnn_sim::{format_table, run_tnn_batch, BatchConfig, Table, ZipfSampler};
 
@@ -168,15 +177,18 @@ fn closed_loop_once(
 fn main() {
     let mut tag = String::from("pr5");
     let mut ks: Vec<usize> = Vec::new();
+    let mut faults = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--tag" {
             tag = args.next().expect("--tag needs a value");
+        } else if arg == "--faults" {
+            faults = true;
         } else if let Ok(k) = arg.parse::<usize>() {
             assert!(k >= 2, "TNN needs at least two channels");
             ks.push(k);
         } else {
-            panic!("unknown argument {arg:?} (usage: serve_load [--tag T] [k...])");
+            panic!("unknown argument {arg:?} (usage: serve_load [--tag T] [--faults] [k...])");
         }
     }
     if ks.is_empty() {
@@ -395,6 +407,18 @@ fn main() {
         derived.push((format!("k{k}_open_rejected"), rejected as f64));
         derived.push((format!("k{k}_open_p50_ms"), p50.as_secs_f64() * 1e3));
         derived.push((format!("k{k}_open_p99_ms"), p99.as_secs_f64() * 1e3));
+        // Server-side histogram of the same completions (open-loop
+        // traffic is all Batch class) — the in-server view to hold
+        // against the client-observed ticket latencies above.
+        let server_lat = &stats.class(Priority::Batch).latency;
+        derived.push((
+            format!("k{k}_open_server_p50_ms"),
+            server_lat.p50().as_secs_f64() * 1e3,
+        ));
+        derived.push((
+            format!("k{k}_open_server_p99_ms"),
+            server_lat.p99().as_secs_f64() * 1e3,
+        ));
         derived.push((format!("k{k}_zipf_cache_speedup"), speedup));
         derived.push((format!("k{k}_zipf_hit_rate"), hit_rate));
     }
@@ -576,6 +600,159 @@ fn main() {
         println!("{}", format_table(&atable));
     }
 
+    // --- Chaos axis (k = 2, `--faults` only): a mixed-priority workload
+    // through a faulted server. The submission sequence is single-
+    // threaded so every fault draw lands on a deterministic job seq; the
+    // plan carries channel drops + jitter, a periodic outage, one
+    // injected engine panic, and two worker kills. The assertions below
+    // ARE the CI chaos smoke gate: nothing may be lost, and the pool
+    // must have died (worker_restarts > 0) and kept serving.
+    if faults {
+        let cpoints = points.min(2_000);
+        let trees: Vec<Arc<RTree>> = (0..2)
+            .map(|i| {
+                let pts = uniform_points(cpoints, &region, 910 + i as u64);
+                Arc::new(RTree::build(&pts, params.rtree_params(), PackingAlgorithm::Str).unwrap())
+            })
+            .collect();
+        let env = tnn_broadcast::MultiChannelEnv::new(trees, params, &[0, 0]);
+        let cycle_lens: Vec<u64> = env
+            .channels()
+            .iter()
+            .map(|c| c.layout().cycle_len())
+            .collect();
+        let n = env_usize("TNN_CHAOS_QUERIES", 300).max(64) as u64;
+        let plan = FaultPlan::new(0xC7A05)
+            .channel(0, ChannelFaults::NONE.drop_rate(80).jitter(2))
+            .channel(1, ChannelFaults::NONE.outage(16, 2))
+            .panic_at(2 * n / 3)
+            .kill_at(n / 8)
+            .kill_at(n / 3);
+        let server = Server::spawn_with_faults(
+            env,
+            ServeConfig::new()
+                .workers(2)
+                .queue_capacity(64)
+                .backpressure(Backpressure::Block)
+                .cache(CacheConfig::disabled())
+                .batch_window(4)
+                .retry(
+                    RetryPolicy::new()
+                        .max_attempts(6)
+                        .base(Duration::from_micros(50))
+                        .cap(Duration::from_micros(500)),
+                )
+                .degradation(Degradation::Approximate),
+            plan,
+        );
+        let tickets: Vec<_> = (0..n)
+            .map(|i| {
+                let class = Priority::ALL[i as usize % Priority::COUNT];
+                let query = batch_query(&region, &cycle_lens, 0xFA17, i, Algorithm::HybridNn);
+                server
+                    .submit_with(query, Qos::new().priority(class))
+                    .expect("Block admits everything")
+            })
+            .collect();
+        let mut answered = 0u64;
+        let mut internal = 0u64;
+        for ticket in &tickets {
+            match ticket.wait() {
+                Ok(_) => answered += 1,
+                // A kill abandoned the job mid-batch, or the injected
+                // engine panic fired: resolved fail-closed, never lost.
+                Err(TnnError::Internal) => internal += 1,
+                Err(other) => panic!("unexpected chaos outcome {other:?}"),
+            }
+        }
+        let fstats = server.fault_stats().expect("faulted spawn exposes stats");
+        let stats = server.shutdown(ShutdownMode::Drain);
+        assert!(
+            stats.conserved(),
+            "chaos axis broke conservation: {stats:?}"
+        );
+        assert_eq!(
+            stats.submitted,
+            stats.completed + stats.rejected + stats.shed + stats.cancelled + stats.expired,
+            "chaos axis lost tickets: {stats:?}"
+        );
+        assert_eq!(answered + internal, n, "a ticket vanished: {stats:?}");
+        assert_eq!(
+            stats.completed, n,
+            "Block + Drain must complete all: {stats:?}"
+        );
+        assert!(
+            fstats.injected() > 0,
+            "the chaos plan injected nothing: {fstats:?}"
+        );
+        assert_eq!(fstats.worker_kills, 2, "both kills must fire: {fstats:?}");
+        assert_eq!(
+            stats.worker_restarts, 2,
+            "both killed workers must respawn in place: {stats:?}"
+        );
+        assert!(
+            stats.retried > 0,
+            "drops + outage must force retries: {stats:?}"
+        );
+
+        let mut ctable = Table::new(
+            "chaos axis (k = 2): per-class server-side latency under injected faults",
+            &[
+                "class",
+                "completed",
+                "retried",
+                "degraded",
+                "p50 [ms]",
+                "p99 [ms]",
+            ],
+        );
+        for class in Priority::ALL {
+            let c = stats.class(class);
+            let name = match class {
+                Priority::Interactive => "interactive",
+                Priority::Batch => "batch",
+                Priority::Background => "background",
+            };
+            ctable.push_row(vec![
+                name.to_string(),
+                c.completed.to_string(),
+                c.retried.to_string(),
+                c.degraded.to_string(),
+                format!("{:.3}", c.latency.p50().as_secs_f64() * 1e3),
+                format!("{:.3}", c.latency.p99().as_secs_f64() * 1e3),
+            ]);
+            derived.push((format!("chaos_{name}_completed"), c.completed as f64));
+            derived.push((
+                format!("chaos_{name}_p50_ms"),
+                c.latency.p50().as_secs_f64() * 1e3,
+            ));
+            derived.push((
+                format!("chaos_{name}_p99_ms"),
+                c.latency.p99().as_secs_f64() * 1e3,
+            ));
+        }
+        println!("{}", format_table(&ctable));
+        eprintln!(
+            "chaos axis: {} answered, {} internal, faults {fstats:?}",
+            answered, internal
+        );
+        derived.push(("chaos_completed".into(), stats.completed as f64));
+        derived.push(("chaos_internal_errors".into(), internal as f64));
+        derived.push(("chaos_retried".into(), stats.retried as f64));
+        derived.push(("chaos_degraded".into(), stats.degraded as f64));
+        derived.push(("chaos_worker_restarts".into(), stats.worker_restarts as f64));
+        derived.push(("chaos_injected_faults".into(), fstats.injected() as f64));
+        derived.push(("chaos_drops".into(), fstats.drops as f64));
+        derived.push(("chaos_outages".into(), fstats.outages as f64));
+    }
+
+    let chaos_note = if faults {
+        "; k=2 chaos axis (faulted 2-worker server: drops+jitter on channel 0, periodic \
+         outage on channel 1, 1 injected engine panic, 2 worker kills, Approximate \
+         degradation, mixed priority classes)"
+    } else {
+        ""
+    };
     let path = std::path::PathBuf::from(format!("BENCH_{tag}.json"));
     write_bench_json(
         &path,
@@ -586,7 +763,7 @@ fn main() {
              algorithms ({open_workers} workers, Reject); Zipf({zipf_s}) repeat-query cache \
              axis over a {pool_size}-query pool (cold cached vs uncached server); \
              k=2 deadline-miss axis (Shed expired-first vs oldest-first, saturating \
-             mixed-TTL bursts); k=2 batch_window x queue_capacity ablation; \
+             mixed-TTL bursts); k=2 batch_window x queue_capacity ablation{chaos_note}; \
              {queries} queries/batch, {points} uniform points per channel, page 64, \
              paper region"
         ),

@@ -60,8 +60,9 @@
 //! | [`broadcast`] (`tnn-broadcast`) | `(1, m)` air-indexed broadcast programs, channels, `Arc`-shared environments, zero-clone phase overlays |
 //! | [`core`] (`tnn-core`) | the `QueryEngine`, the four TNN algorithms, ANN optimization, chained-TNN extension, exact oracle |
 //! | [`datasets`] (`tnn-datasets`) | the paper's synthetic workloads and clustered real-data stand-ins |
-//! | [`qos`] (`tnn-qos`) | quality-of-service primitives: priority classes, deadlines, the strict-priority multi-level queue, the sharded LRU result cache |
-//! | [`serve`] (`tnn-serve`) | the concurrent serving front-end: worker pool, priority lanes with deadlines and backpressure, result cache, tickets, graceful shutdown |
+//! | [`qos`] (`tnn-qos`) | quality-of-service primitives: priority classes, deadlines, retry policies and budgets, the strict-priority multi-level queue, the sharded LRU result cache |
+//! | [`faults`] (`tnn-faults`) | deterministic fault injection: seedable per-channel drop/jitter/outage schedules, engine panics, worker kills |
+//! | [`serve`] (`tnn-serve`) | the concurrent serving front-end: worker pool, priority lanes with deadlines and backpressure, result cache, tickets, retry/degradation ladder, self-healing workers, graceful shutdown |
 //! | [`sim`] (`tnn-sim`) | the experiment harness regenerating every figure/table of the paper |
 
 #![warn(missing_docs)]
@@ -70,6 +71,7 @@
 pub use tnn_broadcast as broadcast;
 pub use tnn_core as core;
 pub use tnn_datasets as datasets;
+pub use tnn_faults as faults;
 pub use tnn_geom as geom;
 pub use tnn_qos as qos;
 pub use tnn_rtree as rtree;
@@ -85,11 +87,15 @@ pub mod prelude {
         exact_chain_tnn, exact_tnn, Algorithm, AnnMode, AnnModes, Query, QueryEngine, QueryKey,
         QueryKind, QueryOutcome, RouteStop, TnnConfig, TnnError, TnnPair, TnnRun,
     };
+    pub use tnn_faults::{ChannelFaults, FaultPlan, FaultStats, TuneIn};
     pub use tnn_geom::{transitive_dist, Circle, Ellipse, Point, Rect};
-    pub use tnn_qos::{CacheConfig, Deadline, Priority, Qos, ShedDiscipline};
+    pub use tnn_qos::{
+        CacheConfig, Deadline, Priority, Qos, RetryBudget, RetryPolicy, ShedDiscipline,
+    };
     pub use tnn_rtree::{PackingAlgorithm, RTree, RTreeParams};
     pub use tnn_serve::{
-        Backpressure, ClassStats, ServeConfig, ServeStats, Server, ShutdownMode, Ticket,
+        Backpressure, ClassStats, Degradation, LatencyHistogram, ServeConfig, ServeStats, Server,
+        ShutdownMode, Ticket,
     };
 }
 
