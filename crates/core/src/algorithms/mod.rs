@@ -38,7 +38,7 @@ use crate::join::JoinScratch;
 use crate::task::queue::{ArrivalHeap, CandidateQueue};
 use crate::task::{BroadcastNnSearch, NnScratch, WindowQueryTask, WindowScratch};
 use crate::SearchMode;
-use crate::{chain_join_with, tnn_join_with, Algorithm, ChannelCost, TnnConfig, TnnError, TnnRun};
+use crate::{Algorithm, ChannelCost, TnnConfig, TnnError, TnnRun};
 use tnn_broadcast::{InlineVec, MultiChannelEnv, PhaseOverlay, Tuner};
 use tnn_geom::{Circle, Point};
 use tnn_rtree::ObjectId;
@@ -272,20 +272,27 @@ pub(crate) fn filter_and_finish<Q: CandidateQueue>(
     }
 
     let candidates: Vec<usize> = windows.iter().map(|w| w.hits().len()).collect();
-    // Local join: the two-channel bound-pruned join is kept verbatim for
-    // k = 2 (bit-identical to the paper pipeline); k > 2 routes go
-    // through the layered sweep join.
-    let (route, total_dist) = if k == 2 {
-        match tnn_join_with(join, p, windows[0].hits(), windows[1].hits()) {
-            Some(pair) => (vec![pair.s, pair.r], Some(pair.dist)),
-            None => (Vec::new(), None),
-        }
-    } else {
-        let layers: Vec<&[(Point, ObjectId)]> = windows.iter().map(|w| w.hits()).collect();
-        match chain_join_with(join, p, &layers) {
-            Some((path, total)) => (path, Some(total)),
-            None => (Vec::new(), None),
-        }
+    // Local join through the shared candidate-merge entry point (the
+    // two-channel bound-pruned join stays verbatim for k = 2 — bit-
+    // identical to the paper pipeline; k > 2 routes go through the
+    // layered sweep join).
+    let layers: Vec<&[(Point, ObjectId)]> = windows.iter().map(|w| w.hits()).collect();
+    let (route, total_dist) = match crate::merge::merge_route_layers(
+        join,
+        crate::merge::RouteObjective::Chain,
+        p,
+        &layers,
+        None,
+    ) {
+        Some(merged) => (
+            merged
+                .stops
+                .into_iter()
+                .map(|(pt, object, _)| (pt, object))
+                .collect(),
+            Some(merged.total_dist),
+        ),
+        None => (Vec::new(), None),
     };
 
     let mut channels: Vec<ChannelCost> = windows

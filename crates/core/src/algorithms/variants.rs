@@ -30,12 +30,10 @@ use super::{
     chain_length, check_channels_non_empty, harvest_searches, run_interleaved,
     spawn_parallel_searches, QueryScratch, TunerVec,
 };
+use crate::merge::{merge_route_layers, MergedRoute, RouteObjective};
 use crate::task::queue::CandidateQueue;
 use crate::task::{WindowQueryTask, WindowScratch};
-use crate::{
-    chain_join_with, chain_loop_join_with, tnn_join_with, AnnSpec, ChannelCost, JoinScratch,
-    TnnError, TnnPair,
-};
+use crate::{AnnSpec, ChannelCost, TnnError, TnnPair};
 use serde::{Deserialize, Serialize};
 use tnn_broadcast::{PhaseOverlay, Tuner};
 use tnn_geom::{Circle, Point};
@@ -240,9 +238,15 @@ pub fn order_free_tnn_overlay<Q: CandidateQueue>(
     let (windows, filter_end) = filter(overlay, range, est_end, window);
     let filter_tuners: Vec<Tuner> = windows.iter().map(|w| *w.tuner()).collect();
 
-    let stops = order_free_join(join, p, &windows, visit_orders)
-        .expect("the estimate chain lies inside the range, so no layer is empty");
-    let total_dist = route_length(p, &stops);
+    let layers: Vec<&[(Point, ObjectId)]> = windows.iter().map(|w| w.hits()).collect();
+    let MergedRoute { stops, total_dist } = merge_route_layers(
+        join,
+        RouteObjective::OrderFree,
+        p,
+        &layers,
+        Some(visit_orders),
+    )
+    .expect("the estimate chain lies inside the range, so no layer is empty");
     for (w, w_scratch) in windows.into_iter().zip(window.iter_mut()) {
         w.recycle(w_scratch);
     }
@@ -258,63 +262,6 @@ pub fn order_free_tnn_overlay<Q: CandidateQueue>(
         radius,
         retrieve_answer_objects,
     ))
-}
-
-/// Minimum-length route over all visit orders: for two channels the
-/// bound-pruned pairwise join runs in both directions (bit-identical to
-/// the original two-channel variant); beyond that every permutation goes
-/// through the layered sweep join. Returns the stops in visit order.
-#[allow(clippy::type_complexity)] // (total, path, order) accumulator
-fn order_free_join(
-    join: &mut JoinScratch,
-    p: Point,
-    windows: &[WindowQueryTask<'_>],
-    orders: &[Vec<usize>],
-) -> Option<Vec<(Point, ObjectId, usize)>> {
-    let k = windows.len();
-    if k == 2 {
-        let forward = tnn_join_with(join, p, windows[0].hits(), windows[1].hits());
-        let backward = tnn_join_with(join, p, windows[1].hits(), windows[0].hits());
-        let (pair, order) = match (forward, backward) {
-            (Some(f), Some(b)) if b.dist < f.dist => (b, VisitOrder::RFirst),
-            (Some(f), _) => (f, VisitOrder::SFirst),
-            (None, Some(b)) => (b, VisitOrder::RFirst),
-            (None, None) => return None,
-        };
-        return Some(match order {
-            VisitOrder::SFirst => vec![(pair.s.0, pair.s.1, 0), (pair.r.0, pair.r.1, 1)],
-            VisitOrder::RFirst => vec![(pair.s.0, pair.s.1, 1), (pair.r.0, pair.r.1, 0)],
-        });
-    }
-    let mut best: Option<(f64, Vec<(Point, ObjectId)>, &[usize])> = None;
-    let mut layers: Vec<&[(Point, ObjectId)]> = Vec::with_capacity(k);
-    for order in orders {
-        layers.clear();
-        layers.extend(order.iter().map(|&i| windows[i].hits()));
-        if let Some((path, total)) = chain_join_with(join, p, &layers) {
-            if best.as_ref().is_none_or(|(b, _, _)| total < *b) {
-                best = Some((total, path, order));
-            }
-        }
-    }
-    let (_, path, order) = best?;
-    Some(
-        path.into_iter()
-            .zip(order)
-            .map(|((pt, object), &ch)| (pt, object, ch))
-            .collect(),
-    )
-}
-
-/// Length of the one-way route `p → stops[0] → … → stops[last]`.
-fn route_length(p: Point, stops: &[(Point, ObjectId, usize)]) -> f64 {
-    let mut total = 0.0;
-    let mut prev = p;
-    for &(pt, _, _) in stops {
-        total += prev.dist(pt);
-        prev = pt;
-    }
-    total
 }
 
 /// The round-trip pipeline behind [`crate::Query::round_trip`]: minimizes
@@ -341,7 +288,6 @@ pub fn round_trip_tnn_overlay<Q: CandidateQueue>(
     scratch: &mut QueryScratch<Q>,
 ) -> Result<VariantRun, TnnError> {
     validate(overlay, p, ann)?;
-    let k = overlay.len();
     let (nns, est_tuners, est_end) = parallel_estimate(overlay, p, issued_at, ann, scratch)?;
     let d_loop =
         chain_length(p, nns.iter().map(|&(pt, _)| pt)) + nns.last().expect("k ≥ 2 hops").0.dist(p);
@@ -351,25 +297,10 @@ pub fn round_trip_tnn_overlay<Q: CandidateQueue>(
     let (windows, filter_end) = filter(overlay, range, est_end, window);
     let filter_tuners: Vec<Tuner> = windows.iter().map(|w| *w.tuner()).collect();
 
-    let (stops, total_dist) = if k == 2 {
-        let pair = round_trip_join(p, windows[0].hits(), windows[1].hits())
-            .expect("the estimate pair lies inside the half-radius range");
-        (
-            vec![(pair.s.0, pair.s.1, 0), (pair.r.0, pair.r.1, 1)],
-            pair.dist,
-        )
-    } else {
-        let layers: Vec<&[(Point, ObjectId)]> = windows.iter().map(|w| w.hits()).collect();
-        let (path, total) = chain_loop_join_with(join, p, &layers)
+    let layers: Vec<&[(Point, ObjectId)]> = windows.iter().map(|w| w.hits()).collect();
+    let MergedRoute { stops, total_dist } =
+        merge_route_layers(join, RouteObjective::RoundTrip, p, &layers, None)
             .expect("the estimate tour lies inside the half-radius range");
-        (
-            path.into_iter()
-                .enumerate()
-                .map(|(ch, (pt, object))| (pt, object, ch))
-                .collect(),
-            total,
-        )
-    };
     for (w, w_scratch) in windows.into_iter().zip(window.iter_mut()) {
         w.recycle(w_scratch);
     }
@@ -430,6 +361,7 @@ pub fn round_trip_join(
 mod tests {
     use super::*;
     use crate::algorithms::permutations;
+    use crate::merge::route_length;
     use crate::task::queue::ArrivalHeap;
     use crate::AnnMode;
     use std::sync::Arc;

@@ -74,6 +74,7 @@ mod error;
 mod exact;
 mod join;
 mod key;
+mod merge;
 mod mode;
 mod result;
 
@@ -87,6 +88,7 @@ pub use error::TnnError;
 pub use exact::{exact_chain_tnn, exact_tnn};
 pub use join::{chain_join, chain_loop_join, tnn_join};
 pub use key::QueryKey;
+pub use merge::{merge_route_layers, MergedRoute, RouteObjective};
 pub use mode::SearchMode;
 pub use result::{ChannelCost, Phase, TnnPair, TnnRun};
 

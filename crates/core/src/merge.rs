@@ -1,0 +1,380 @@
+//! Candidate-merge entry points: the join stage of every query pipeline,
+//! factored out so layers that *gather* candidates elsewhere (the
+//! scatter-gather shard router in `tnn-shard`) can merge them through
+//! **the exact code path the engine uses** — same joins, same
+//! floating-point association order, same tie-breaks — and obtain
+//! bit-identical routes and totals.
+//!
+//! The pipelines in [`crate::algorithms`] call these functions for their
+//! own final join, so the engine-equivalence property gates
+//! (`crates/bench/tests/*.rs`) transitively pin this module: it *cannot*
+//! drift from the engine without breaking them.
+//!
+//! ## Bit-level contract
+//!
+//! For the same winning route the reported total is bit-identical no
+//! matter which candidate superset it was selected from, because every
+//! objective folds distances along the route only:
+//!
+//! * [`RouteObjective::Chain`]: `k = 2` pairs fold
+//!   `dis(p,s) + dis(s,r)` left-to-right ([`tnn_join_with`]); `k ≥ 3`
+//!   chains fold backwards through the DP suffix costs
+//!   ([`chain_join_with`]).
+//! * [`RouteObjective::OrderFree`]: the winner is selected on the joins'
+//!   totals (earlier visit orders win ties), then the reported total is
+//!   re-derived as the forward fold over the stops — exactly the
+//!   pipeline's `route_length`.
+//! * [`RouteObjective::RoundTrip`]: `k = 2` tours fold
+//!   `(dis(p,s) + dis(s,r)) + dis(r,p)` ([`round_trip_join`] — *not* the
+//!   DP association); `k ≥ 3` tours use the closed-tour DP
+//!   ([`chain_loop_join_with`]).
+//!
+//! Candidate-*order* dependence is confined to exact-tie breaking
+//! (identical `(total, index)` keys), which cannot occur for
+//! general-position inputs.
+
+use crate::algorithms::permutations;
+use crate::join::{chain_join_with, chain_loop_join_with, tnn_join_with, JoinScratch};
+use crate::round_trip_join;
+use tnn_geom::Point;
+use tnn_rtree::ObjectId;
+
+/// Which route objective a candidate merge minimizes — the join-stage
+/// counterpart of [`crate::QueryKind`] (all four TNN algorithms share
+/// the `Chain` objective; they differ only in how the candidate window
+/// was estimated).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RouteObjective {
+    /// Open route `p → s₁ → … → s_k` visiting the layers in order
+    /// ([`crate::QueryKind::Tnn`] and [`crate::QueryKind::Chain`]).
+    Chain,
+    /// Open route over the best of all `k!` layer visit orders
+    /// ([`crate::QueryKind::OrderFree`]).
+    OrderFree,
+    /// Closed tour returning to `p` ([`crate::QueryKind::RoundTrip`]).
+    RoundTrip,
+}
+
+/// A merged route: one stop per layer tagged with its layer index, in
+/// visit order, plus the objective value realized by those stops.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergedRoute {
+    /// `(point, object, layer)` stops in visit order. `Chain` and
+    /// `RoundTrip` visit layers in index order; `OrderFree` reports the
+    /// winning order.
+    pub stops: Vec<(Point, ObjectId, usize)>,
+    /// The objective value of `stops` (for `RoundTrip` including the
+    /// return leg to `p`).
+    pub total_dist: f64,
+}
+
+/// Merges per-layer candidate lists into the minimum-objective route —
+/// the engine's own join stage over caller-gathered candidates.
+///
+/// Returns `None` when any layer is empty (no feasible route). Layers
+/// are anything slice-like, so shard gatherers can pass owned
+/// concatenation buffers and the pipelines their borrowed window hit
+/// lists alike.
+///
+/// `orders` optionally supplies the visit-order table for
+/// `OrderFree` at `k ≥ 3` (all permutations of `0..k`, lexicographic,
+/// identity first — [`crate::QueryScratch`] caches exactly this); pass
+/// `None` to have it computed on the fly.
+pub fn merge_route_layers<L: AsRef<[(Point, ObjectId)]>>(
+    join: &mut JoinScratch,
+    objective: RouteObjective,
+    p: Point,
+    layers: &[L],
+    orders: Option<&[Vec<usize>]>,
+) -> Option<MergedRoute> {
+    let k = layers.len();
+    if k == 0 || layers.iter().any(|l| l.as_ref().is_empty()) {
+        return None;
+    }
+    match objective {
+        RouteObjective::Chain => {
+            if k == 2 {
+                let pair = tnn_join_with(join, p, layers[0].as_ref(), layers[1].as_ref())?;
+                Some(MergedRoute {
+                    stops: vec![(pair.s.0, pair.s.1, 0), (pair.r.0, pair.r.1, 1)],
+                    total_dist: pair.dist,
+                })
+            } else {
+                let (path, total) = chain_join_with(join, p, layers)?;
+                Some(MergedRoute {
+                    stops: tag_in_layer_order(path),
+                    total_dist: total,
+                })
+            }
+        }
+        RouteObjective::OrderFree => {
+            let stops = order_free_merge(join, p, layers, orders)?;
+            let total_dist = route_length(p, &stops);
+            Some(MergedRoute { stops, total_dist })
+        }
+        RouteObjective::RoundTrip => {
+            if k == 2 {
+                let pair = round_trip_join(p, layers[0].as_ref(), layers[1].as_ref())?;
+                Some(MergedRoute {
+                    stops: vec![(pair.s.0, pair.s.1, 0), (pair.r.0, pair.r.1, 1)],
+                    total_dist: pair.dist,
+                })
+            } else {
+                let (path, total) = chain_loop_join_with(join, p, layers)?;
+                Some(MergedRoute {
+                    stops: tag_in_layer_order(path),
+                    total_dist: total,
+                })
+            }
+        }
+    }
+}
+
+/// The best order-free candidate so far: total, layer-ordered stops,
+/// and the visit order that produced them.
+type BestOrder<'a> = (f64, Vec<(Point, ObjectId)>, &'a [usize]);
+
+/// Minimum-length route over all visit orders: for two layers the
+/// bound-pruned pairwise join runs in both directions (the backward
+/// direction wins only when *strictly* smaller — bit-identical to the
+/// original two-channel variant); beyond that every permutation goes
+/// through the layered sweep join and earlier (lexicographic) orders
+/// win ties. Returns the stops in visit order.
+fn order_free_merge<L: AsRef<[(Point, ObjectId)]>>(
+    join: &mut JoinScratch,
+    p: Point,
+    layers: &[L],
+    orders: Option<&[Vec<usize>]>,
+) -> Option<Vec<(Point, ObjectId, usize)>> {
+    let k = layers.len();
+    if k == 2 {
+        let forward = tnn_join_with(join, p, layers[0].as_ref(), layers[1].as_ref());
+        let backward = tnn_join_with(join, p, layers[1].as_ref(), layers[0].as_ref());
+        let (pair, reversed) = match (forward, backward) {
+            (Some(f), Some(b)) if b.dist < f.dist => (b, true),
+            (Some(f), _) => (f, false),
+            (None, Some(b)) => (b, true),
+            (None, None) => return None,
+        };
+        return Some(if reversed {
+            vec![(pair.s.0, pair.s.1, 1), (pair.r.0, pair.r.1, 0)]
+        } else {
+            vec![(pair.s.0, pair.s.1, 0), (pair.r.0, pair.r.1, 1)]
+        });
+    }
+    let computed;
+    let orders: &[Vec<usize>] = match orders {
+        Some(orders) => orders,
+        None => {
+            computed = permutations(k);
+            &computed
+        }
+    };
+    let mut best: Option<BestOrder<'_>> = None;
+    let mut ordered: Vec<&[(Point, ObjectId)]> = Vec::with_capacity(k);
+    for order in orders {
+        ordered.clear();
+        ordered.extend(order.iter().map(|&i| layers[i].as_ref()));
+        if let Some((path, total)) = chain_join_with(join, p, &ordered) {
+            if best.as_ref().is_none_or(|(b, _, _)| total < *b) {
+                best = Some((total, path, order));
+            }
+        }
+    }
+    let (_, path, order) = best?;
+    Some(
+        path.into_iter()
+            .zip(order)
+            .map(|((pt, object), &layer)| (pt, object, layer))
+            .collect(),
+    )
+}
+
+/// Tags a layer-ordered path with its layer indices.
+fn tag_in_layer_order(path: Vec<(Point, ObjectId)>) -> Vec<(Point, ObjectId, usize)> {
+    path.into_iter()
+        .enumerate()
+        .map(|(layer, (pt, object))| (pt, object, layer))
+        .collect()
+}
+
+/// Length of the one-way route `p → stops[0] → … → stops[last]` — the
+/// forward fold every order-free total is reported in.
+pub(crate) fn route_length(p: Point, stops: &[(Point, ObjectId, usize)]) -> f64 {
+    let mut total = 0.0;
+    let mut prev = p;
+    for &(pt, _, _) in stops {
+        total += prev.dist(pt);
+        prev = pt;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer(coords: &[(f64, f64)], salt: u32) -> Vec<(Point, ObjectId)> {
+        coords
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| (Point::new(x, y), ObjectId(salt * 100 + i as u32)))
+            .collect()
+    }
+
+    fn clouds(k: usize, n: usize) -> Vec<Vec<(Point, ObjectId)>> {
+        (0..k)
+            .map(|c| {
+                (0..n)
+                    .map(|i| {
+                        (
+                            Point::new(
+                                ((i * 37 + c * 13 + 7) % 211) as f64 + 0.25 * c as f64,
+                                ((i * 53 + c * 29 + 3) % 223) as f64 + 0.125 * i as f64,
+                            ),
+                            ObjectId(i as u32),
+                        )
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_layer_merges_to_none() {
+        let mut join = JoinScratch::default();
+        let a = layer(&[(1.0, 1.0)], 0);
+        for objective in [
+            RouteObjective::Chain,
+            RouteObjective::OrderFree,
+            RouteObjective::RoundTrip,
+        ] {
+            assert!(merge_route_layers(
+                &mut join,
+                objective,
+                Point::ORIGIN,
+                &[a.clone(), vec![]],
+                None
+            )
+            .is_none());
+            assert!(merge_route_layers::<Vec<(Point, ObjectId)>>(
+                &mut join,
+                objective,
+                Point::ORIGIN,
+                &[],
+                None
+            )
+            .is_none());
+        }
+    }
+
+    #[test]
+    fn chain_merge_matches_brute_force_and_folds() {
+        let mut join = JoinScratch::default();
+        for k in [2usize, 3, 4] {
+            let layers = clouds(k, 40);
+            let p = Point::new(77.0, 99.0);
+            let got = merge_route_layers(&mut join, RouteObjective::Chain, p, &layers, None)
+                .expect("non-empty layers");
+            assert_eq!(got.stops.len(), k);
+            assert_eq!(
+                got.stops.iter().map(|s| s.2).collect::<Vec<_>>(),
+                (0..k).collect::<Vec<_>>()
+            );
+            // Exhaustive check at k = 2 (larger k covered by the join's
+            // own brute-force tests).
+            if k == 2 {
+                let mut best = f64::INFINITY;
+                for &(s, _) in &layers[0] {
+                    for &(r, _) in &layers[1] {
+                        best = best.min(p.dist(s) + s.dist(r));
+                    }
+                }
+                assert!((got.total_dist - best).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn order_free_total_is_the_forward_fold_over_its_stops() {
+        let mut join = JoinScratch::default();
+        for k in [2usize, 3, 4] {
+            let layers = clouds(k, 25);
+            let p = Point::new(10.0, 200.0);
+            let got = merge_route_layers(&mut join, RouteObjective::OrderFree, p, &layers, None)
+                .expect("non-empty layers");
+            assert_eq!(
+                got.total_dist.to_bits(),
+                route_length(p, &got.stops).to_bits()
+            );
+            let mut visited: Vec<usize> = got.stops.iter().map(|s| s.2).collect();
+            visited.sort_unstable();
+            assert_eq!(visited, (0..k).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn order_free_cached_orders_match_on_the_fly_orders() {
+        let mut join = JoinScratch::default();
+        let layers = clouds(3, 30);
+        let p = Point::new(150.0, 40.0);
+        let cached = permutations(3);
+        let with_cache = merge_route_layers(
+            &mut join,
+            RouteObjective::OrderFree,
+            p,
+            &layers,
+            Some(&cached),
+        )
+        .unwrap();
+        let without =
+            merge_route_layers(&mut join, RouteObjective::OrderFree, p, &layers, None).unwrap();
+        assert_eq!(with_cache, without);
+    }
+
+    #[test]
+    fn round_trip_merge_closes_the_tour() {
+        let mut join = JoinScratch::default();
+        for k in [2usize, 3] {
+            let layers = clouds(k, 20);
+            let p = Point::new(120.0, 120.0);
+            let got = merge_route_layers(&mut join, RouteObjective::RoundTrip, p, &layers, None)
+                .expect("non-empty layers");
+            let one_way = route_length(p, &got.stops);
+            let back = got.stops.last().unwrap().0.dist(p);
+            assert!((one_way + back - got.total_dist).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn merge_over_a_superset_returns_the_same_route() {
+        // The shard contract in miniature: merging a superset that still
+        // contains the optimum yields the identical stops and bits.
+        let mut join = JoinScratch::default();
+        let p = Point::new(50.0, 50.0);
+        for objective in [
+            RouteObjective::Chain,
+            RouteObjective::OrderFree,
+            RouteObjective::RoundTrip,
+        ] {
+            for k in [2usize, 3] {
+                let full = clouds(k, 60);
+                let small: Vec<Vec<(Point, ObjectId)>> = full
+                    .iter()
+                    .map(|l| {
+                        let mut l: Vec<_> = l.clone();
+                        l.sort_by(|a, b| p.dist_sq(a.0).total_cmp(&p.dist_sq(b.0)));
+                        l.truncate(45);
+                        l
+                    })
+                    .collect();
+                let a = merge_route_layers(&mut join, objective, p, &full, None).unwrap();
+                let b = merge_route_layers(&mut join, objective, p, &small, None).unwrap();
+                if b.total_dist == a.total_dist {
+                    assert_eq!(a.stops, b.stops, "{objective:?} k={k}");
+                    assert_eq!(a.total_dist.to_bits(), b.total_dist.to_bits());
+                }
+            }
+        }
+    }
+}

@@ -76,6 +76,25 @@ impl ClassStats {
                     + self.queued as u64
                     + self.in_flight as u64
     }
+
+    /// Adds `other`'s counters (and latency observations) into `self` —
+    /// the per-class half of multi-server aggregation. Merging snapshots
+    /// that are each [`ClassStats::conserved`] yields a conserved result:
+    /// every clause is a linear equation over the counters.
+    pub fn merge(&mut self, other: &ClassStats) {
+        self.submitted += other.submitted;
+        self.accepted += other.accepted;
+        self.rejected += other.rejected;
+        self.shed += other.shed;
+        self.cancelled += other.cancelled;
+        self.completed += other.completed;
+        self.expired += other.expired;
+        self.queued += other.queued;
+        self.in_flight += other.in_flight;
+        self.retried += other.retried;
+        self.degraded += other.degraded;
+        self.latency.merge(&other.latency);
+    }
 }
 
 /// Admission/completion counters, snapshotted atomically (all counters
@@ -182,6 +201,46 @@ impl ServeStats {
     /// The per-class counters for `class`.
     pub fn class(&self, class: Priority) -> &ClassStats {
         &self.classes[class.index()]
+    }
+
+    /// Adds `other`'s counters into `self`, per class and in total — the
+    /// aggregation a multi-server deployment (one snapshot per shard
+    /// replica) folds its fleet view out of. Every
+    /// [`ServeStats::conserved`] clause is a linear equation over the
+    /// counters, so **merging conserved snapshots yields a conserved
+    /// aggregate** — the invariant the shard router's `ShardStats`
+    /// re-asserts after folding.
+    pub fn merge(&mut self, other: &ServeStats) {
+        self.submitted += other.submitted;
+        self.accepted += other.accepted;
+        self.rejected += other.rejected;
+        self.shed += other.shed;
+        self.cancelled += other.cancelled;
+        self.completed += other.completed;
+        self.expired += other.expired;
+        self.queued += other.queued;
+        self.in_flight += other.in_flight;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_expired += other.cache_expired;
+        self.cache_bypass += other.cache_bypass;
+        self.retried += other.retried;
+        self.degraded += other.degraded;
+        self.worker_restarts += other.worker_restarts;
+        for (mine, theirs) in self.classes.iter_mut().zip(other.classes.iter()) {
+            mine.merge(theirs);
+        }
+    }
+
+    /// Folds an iterator of per-server snapshots into one aggregate via
+    /// [`ServeStats::merge`] (the empty fold is the all-zero snapshot,
+    /// which is conserved).
+    pub fn fold<'a>(snapshots: impl IntoIterator<Item = &'a ServeStats>) -> ServeStats {
+        let mut total = ServeStats::default();
+        for snapshot in snapshots {
+            total.merge(snapshot);
+        }
+        total
     }
 
     /// Cache hit fraction of all completions, 0.0 before any complete.

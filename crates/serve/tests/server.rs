@@ -320,3 +320,69 @@ fn variant_queries_serve_like_tnn_ones() {
         }
     }
 }
+
+#[test]
+fn stats_merge_preserves_conservation_and_sums_totals() {
+    // Two live servers with different traffic shapes; each snapshot is
+    // conserved, and the fold of the two must be conserved with summed
+    // totals — the multi-server aggregation the shard router relies on.
+    let server_a = Server::spawn(env(2), ServeConfig::new().workers(1));
+    let server_b = Server::spawn(env(3), ServeConfig::new().workers(2));
+    for p in points(12) {
+        let _ = server_a.submit(Query::tnn(p)).unwrap();
+        let _ = server_b.submit(Query::chain(p)).unwrap();
+        let _ = server_b.submit(Query::round_trip(p)).unwrap();
+    }
+    let a = server_a.shutdown(ShutdownMode::Drain);
+    let b = server_b.shutdown(ShutdownMode::Drain);
+    assert!(a.conserved() && b.conserved());
+
+    let folded = tnn_serve::ServeStats::fold([&a, &b]);
+    assert!(
+        folded.conserved(),
+        "folded snapshot broke conservation: {folded:?}"
+    );
+    assert_eq!(folded.submitted, a.submitted + b.submitted);
+    assert_eq!(folded.completed, a.completed + b.completed);
+    assert_eq!(folded.cache_hits, a.cache_hits + b.cache_hits);
+    for i in 0..folded.classes.len() {
+        assert_eq!(
+            folded.classes[i].submitted,
+            a.classes[i].submitted + b.classes[i].submitted
+        );
+        assert_eq!(
+            folded.classes[i].latency.count(),
+            a.classes[i].latency.count() + b.classes[i].latency.count()
+        );
+    }
+
+    // merge == fold of two, and the empty fold is the zero snapshot.
+    let mut merged = a;
+    merged.merge(&b);
+    assert_eq!(merged, folded);
+    let empty = tnn_serve::ServeStats::fold([]);
+    assert_eq!(empty, tnn_serve::ServeStats::default());
+    assert!(empty.conserved());
+}
+
+#[test]
+fn stats_merge_of_mid_flight_snapshots_is_conserved() {
+    // Conservation is snapshot-exact per server, so folding snapshots
+    // taken while work is queued/in flight must also be conserved.
+    let server = Server::spawn(env(2), ServeConfig::new().workers(1).queue_capacity(64));
+    let tickets: Vec<_> = points(30)
+        .into_iter()
+        .map(|p| server.submit(Query::tnn(p)).unwrap())
+        .collect();
+    let live_a = server.stats();
+    let live_b = server.stats();
+    let folded = tnn_serve::ServeStats::fold([&live_a, &live_b]);
+    assert!(
+        folded.conserved(),
+        "mid-flight fold broke conservation: {folded:?}"
+    );
+    for t in tickets {
+        let _ = t.wait();
+    }
+    server.shutdown(ShutdownMode::Drain);
+}

@@ -1,0 +1,824 @@
+//! The scatter-gather router: one [`tnn_serve::Server`] pool per
+//! eligible shard, a transitive-bound pruner in front of them, and a
+//! final merge through the same k-layer sweep join the unsharded
+//! pipelines use.
+//!
+//! ## Why the sharded answer is byte-identical
+//!
+//! Every query kind minimizes a sum of hop distances along its route, so
+//! the triangle inequality bounds each stop of an optimal route by the
+//! route's own total `T*`: `dis(p, s) ≤ T*` for the open kinds and
+//! `2·dis(p, s) ≤ T*` for round-trip tours. Any *feasible* route total
+//! `B ≥ T*` therefore yields a circle around `p` guaranteed to contain
+//! every optimal stop — exactly Theorem 1 of the paper, applied at the
+//! cluster level. The router obtains `B` by scattering the query to
+//! shard-local servers (each answers over its own slice, and any
+//! shard-local route is globally feasible because shard objects are
+//! real dataset objects), gathers all candidates within the `B`-circle
+//! from every shard sub-tree, and joins them with
+//! [`tnn_core::merge_route_layers`] — the *same* function the unsharded
+//! pipelines call, folding the same distances in the same order, so the
+//! winning route and its total come out bit-for-bit identical.
+//!
+//! Shards whose MBR lower bound [`Rect::min_dist_sq`] exceeds the
+//! current bound are pruned from both phases; pruning can only skip
+//! sub-trees that provably contain no optimal stop, so it never changes
+//! the answer (gated in `crates/bench/tests/shard_equivalence.rs`).
+//!
+//! [`Rect::min_dist_sq`]: tnn_geom::Rect::min_dist_sq
+
+use crate::config::ShardConfig;
+use crate::partition::ShardPlan;
+use crate::stats::ShardStats;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock};
+use tnn_broadcast::MultiChannelEnv;
+use tnn_core::{
+    approximate_radius_for_env, merge_route_layers, Algorithm, ArrivalHeap, CandidateQueue,
+    JoinScratch, Query, QueryEngine, QueryKind, RouteObjective, RouteStop, TnnError,
+};
+use tnn_geom::{Circle, Point};
+use tnn_qos::Qos;
+use tnn_rtree::ObjectId;
+use tnn_serve::{ServeStats, Server, ShutdownMode, Ticket};
+
+/// The engine's own floating-point guard on filter radii — candidates at
+/// exactly the estimate distance must not be lost to rounding.
+const FP_PAD: f64 = 1.0 + 4.0 * f64::EPSILON;
+
+/// The result of one sharded query: the merged route (byte-identical to
+/// an unsharded [`tnn_core::QueryEngine::run`] of the same query) plus
+/// per-query scatter-gather accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardOutcome {
+    /// What was asked.
+    pub kind: QueryKind,
+    /// The merged route, one stop per channel in visit order. Empty only
+    /// for a failed [`Algorithm::ApproximateTnn`] query (the one
+    /// non-guaranteed algorithm).
+    pub route: Vec<RouteStop>,
+    /// The route's total length under the kind's objective; `None` when
+    /// the query failed.
+    pub total_dist: Option<f64>,
+    /// The gather radius actually searched (the transitive bound after
+    /// scatter, padded like the engine's filter radius).
+    pub search_radius: f64,
+    /// Sub-queries admitted by shard servers for this query.
+    pub shards_scattered: usize,
+    /// Shards the transitive bound pruned from the scatter phase.
+    pub shards_pruned: usize,
+    /// Whether the gather bound had to be computed locally because no
+    /// shard could answer a whole sub-query (no eligible shard, or all
+    /// scatters were refused).
+    pub fallback: bool,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    queries: AtomicU64,
+    scattered: AtomicU64,
+    scatter_rejected: AtomicU64,
+    scatter_errors: AtomicU64,
+    scatter_pruned: AtomicU64,
+    gather_probed: AtomicU64,
+    gather_pruned: AtomicU64,
+    fallbacks: AtomicU64,
+    replicas_spawned: AtomicU64,
+    /// Routed sub-query attempts over all shards — the denominator of
+    /// the hotness share.
+    routed: AtomicU64,
+}
+
+struct ShardHandle<Q: CandidateQueue + 'static> {
+    /// The shard's live replicas — starts at one for eligible shards,
+    /// grows (under the write lock) up to [`ShardConfig::replication`]
+    /// when the shard runs hot. Ineligible shards serve nothing.
+    replicas: RwLock<Vec<Server<Q>>>,
+    /// Sub-query attempts routed to this shard — the numerator of the
+    /// hotness share.
+    routed: AtomicU64,
+}
+
+/// Scatter-gather front-end over a spatially sharded environment.
+///
+/// [`ShardRouter::spawn`] partitions the environment (see
+/// [`ShardPlan`]), starts one [`Server`] per *eligible* shard (a shard
+/// holding objects of every channel), and then answers queries by
+/// scatter → prune → gather → merge:
+///
+/// 1. **Scatter** the query to the primary shard (smallest
+///    [`tnn_geom::Rect::min_max_dist_sq`] to the query point — the
+///    shard guaranteed to contain a nearby object), seeding the
+///    transitive bound `B` with its sub-route total; then to every
+///    other eligible shard the bound does not prune, tightening `B`
+///    with each sub-result. Per shard, the sub-query goes to the
+///    replica with the shallowest queue.
+/// 2. **Gather** every candidate within the `B`-circle from every
+///    shard sub-tree (pruning whole sub-trees by root-MBR distance).
+/// 3. **Merge** the per-channel candidate layers through
+///    [`tnn_core::merge_route_layers`] — the same k-layer sweep join
+///    the unsharded pipelines end in — into the final route.
+///
+/// ```
+/// use std::sync::Arc;
+/// use tnn_broadcast::{BroadcastParams, MultiChannelEnv};
+/// use tnn_core::Query;
+/// use tnn_geom::Point;
+/// use tnn_rtree::{PackingAlgorithm, RTree};
+/// use tnn_serve::{ServeConfig, ShutdownMode};
+/// use tnn_shard::{ShardConfig, ShardRouter};
+///
+/// let params = BroadcastParams::new(64);
+/// let pts: Vec<Point> =
+///     (0..60).map(|i| Point::new((i * 7 % 53) as f64, (i * 11 % 59) as f64)).collect();
+/// let tree = |seed: usize| {
+///     let shifted: Vec<Point> =
+///         pts.iter().map(|p| Point::new(p.x + seed as f64, p.y)).collect();
+///     Arc::new(RTree::build(&shifted, params.rtree_params(), PackingAlgorithm::Str).unwrap())
+/// };
+/// let env = MultiChannelEnv::new(vec![tree(0), tree(1)], params, &[17, 42]);
+///
+/// let router = ShardRouter::spawn(
+///     env,
+///     ShardConfig::new().shards(4).serve(ServeConfig::new().workers(1)),
+/// );
+/// let outcome = router.run(&Query::tnn(Point::new(25.0, 25.0))).unwrap();
+/// assert_eq!(outcome.route.len(), 2);
+/// router.shutdown(ShutdownMode::Drain);
+/// ```
+pub struct ShardRouter<Q: CandidateQueue + 'static = ArrivalHeap> {
+    env: MultiChannelEnv,
+    config: ShardConfig,
+    plan: ShardPlan,
+    shards: Vec<ShardHandle<Q>>,
+    counters: Counters,
+    /// Folded replica stats frozen at shutdown, so [`ShardRouter::stats`]
+    /// keeps answering afterwards.
+    final_serve: Mutex<Option<ServeStats>>,
+}
+
+impl ShardRouter<ArrivalHeap> {
+    /// Spawns a router over `env` with the production heap-ordered
+    /// candidate-queue backend.
+    pub fn spawn(env: MultiChannelEnv, config: ShardConfig) -> Self {
+        ShardRouter::spawn_with_backend(env, config)
+    }
+}
+
+impl<Q: CandidateQueue + 'static> ShardRouter<Q> {
+    /// [`ShardRouter::spawn`] generic over the candidate-queue backend,
+    /// mirroring [`QueryEngine::with_queue_backend`] — benchmarks
+    /// instantiate the paper-literal linear reference through this.
+    pub fn spawn_with_backend(env: MultiChannelEnv, config: ShardConfig) -> Self {
+        let plan = ShardPlan::build(&env, &config);
+        let shards = (0..plan.num_shards())
+            .map(|i| {
+                let replicas = if plan.is_eligible(i) {
+                    vec![spawn_replica::<Q>(plan.shard_env(i), &config)]
+                } else {
+                    Vec::new()
+                };
+                ShardHandle {
+                    replicas: RwLock::new(replicas),
+                    routed: AtomicU64::new(0),
+                }
+            })
+            .collect();
+        ShardRouter {
+            env,
+            config,
+            plan,
+            shards,
+            counters: Counters::default(),
+            final_serve: Mutex::new(None),
+        }
+    }
+
+    /// The full (unsharded) environment the router was built over.
+    pub fn env(&self) -> &MultiChannelEnv {
+        &self.env
+    }
+
+    /// The configuration the router was spawned with.
+    pub fn config(&self) -> &ShardConfig {
+        &self.config
+    }
+
+    /// The partitioning the router scatters over.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// Live replica count of shard `i` (0 for ineligible shards).
+    pub fn replica_count(&self, i: usize) -> usize {
+        self.shards[i].replicas.read().expect("replica lock").len()
+    }
+
+    /// Runs `query` under default QoS terms (batch class, no deadline).
+    ///
+    /// # Errors
+    /// Exactly the validation errors of [`QueryEngine::run`]:
+    /// [`TnnError::WrongChannelCount`], [`TnnError::NonFiniteQuery`],
+    /// [`TnnError::EmptyChannel`] — with identical precedence, so the
+    /// equivalence gates compare errors too. Scatter-phase refusals or
+    /// sub-query errors never fail the query; they only weaken the
+    /// gather bound.
+    ///
+    /// # Panics
+    /// As [`QueryEngine::run`]: per-channel phase or ANN-mode lists that
+    /// do not match the environment's channel count.
+    pub fn run(&self, query: &Query) -> Result<ShardOutcome, TnnError> {
+        self.run_with(query, Qos::default())
+    }
+
+    /// [`ShardRouter::run`] under explicit [`Qos`] terms, applied to
+    /// every scattered sub-query.
+    ///
+    /// # Errors
+    /// As [`ShardRouter::run`].
+    ///
+    /// # Panics
+    /// As [`ShardRouter::run`].
+    pub fn run_with(&self, query: &Query, qos: Qos) -> Result<ShardOutcome, TnnError> {
+        self.counters.queries.fetch_add(1, Ordering::Relaxed);
+        self.validate(query)?;
+        let p = query.point();
+        let kind = query.kind();
+
+        // Approximate-TNN's radius is a *global* density artifact (eq. 1
+        // over the full region and cardinalities); shard sub-queries
+        // would each derive a different radius from their slice and the
+        // non-guaranteed failure behavior would diverge from the
+        // unsharded run. So: no scatter — gather with exactly the
+        // full-environment radius and join, reproducing the engine's
+        // answer (including its failures) bit-for-bit.
+        if kind == QueryKind::Tnn(Algorithm::ApproximateTnn) {
+            let radius = approximate_radius_for_env(&self.env) * FP_PAD;
+            let layers = self.gather(p, radius);
+            let mut join = JoinScratch::default();
+            let merged = merge_route_layers(&mut join, RouteObjective::Chain, p, &layers, None);
+            return Ok(match merged {
+                Some(m) => self.outcome(kind, m, radius, 0, 0, false),
+                None => ShardOutcome {
+                    kind,
+                    route: Vec::new(),
+                    total_dist: None,
+                    search_radius: radius,
+                    shards_scattered: 0,
+                    shards_pruned: 0,
+                    fallback: false,
+                },
+            });
+        }
+
+        let (objective, round_trip) = match kind {
+            QueryKind::Tnn(_) | QueryKind::Chain => (RouteObjective::Chain, false),
+            QueryKind::OrderFree => (RouteObjective::OrderFree, false),
+            QueryKind::RoundTrip => (RouteObjective::RoundTrip, true),
+        };
+
+        // -- Scatter: seed and tighten the transitive bound B ---------
+        let mut scattered = 0usize;
+        let mut pruned = 0usize;
+        let mut bound = f64::INFINITY;
+        let eligible = self.plan.eligible_shards();
+        if !eligible.is_empty() {
+            // The primary shard minimizes min_max_dist_sq to p — the
+            // classic R-tree guarantee that it *does* contain an object
+            // near p, so its sub-route seeds a tight bound.
+            let primary = eligible
+                .iter()
+                .copied()
+                .min_by(|&a, &b| {
+                    let da = self.shard_mbr(a).min_max_dist_sq(p);
+                    let db = self.shard_mbr(b).min_max_dist_sq(p);
+                    da.total_cmp(&db)
+                })
+                .expect("eligible is non-empty");
+            match self.submit_to_shard(primary, query, qos) {
+                Ok(ticket) => {
+                    scattered += 1;
+                    self.counters.scattered.fetch_add(1, Ordering::Relaxed);
+                    match ticket.wait() {
+                        Ok(outcome) => {
+                            if let Some(total) = outcome.total_dist {
+                                bound = total;
+                            }
+                        }
+                        Err(_) => {
+                            self.counters.scatter_errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                Err(_) => {
+                    self.counters
+                        .scatter_rejected
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            // Every stop of an optimal route lies within B of p (B/2
+            // for tours) — shards entirely farther than that cannot
+            // improve the route and are pruned. Survivors run
+            // concurrently across their shard servers; the waits fold
+            // the bound down in ascending shard order.
+            let prune_factor = if round_trip { 2.0 } else { 1.0 };
+            let mut waits: Vec<Ticket> = Vec::new();
+            for &s in eligible.iter().filter(|&&s| s != primary) {
+                if self.shard_mbr(s).min_dist(p) * prune_factor > bound {
+                    pruned += 1;
+                    self.counters.scatter_pruned.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                match self.submit_to_shard(s, query, qos) {
+                    Ok(ticket) => {
+                        scattered += 1;
+                        self.counters.scattered.fetch_add(1, Ordering::Relaxed);
+                        waits.push(ticket);
+                    }
+                    Err(_) => {
+                        self.counters
+                            .scatter_rejected
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            for ticket in waits {
+                match ticket.wait() {
+                    Ok(outcome) => {
+                        if let Some(total) = outcome.total_dist {
+                            if total < bound {
+                                bound = total;
+                            }
+                        }
+                    }
+                    Err(_) => {
+                        self.counters.scatter_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        let fallback = !bound.is_finite();
+        if fallback {
+            // No shard answered (no eligible shard, or every scatter was
+            // refused): bound the gather with any feasible route,
+            // computed locally — first object of each channel, walked in
+            // channel order. Correctness only needs *feasibility*.
+            self.counters.fallbacks.fetch_add(1, Ordering::Relaxed);
+            bound = self.fallback_bound(p, round_trip);
+        }
+
+        // -- Gather and merge -----------------------------------------
+        let radius = if round_trip {
+            bound * 0.5 * FP_PAD
+        } else {
+            bound * FP_PAD
+        };
+        let layers = self.gather(p, radius);
+        let mut join = JoinScratch::default();
+        let merged = merge_route_layers(&mut join, objective, p, &layers, None).expect(
+            "the gather bound comes from a feasible route, so every layer holds that route's stop",
+        );
+        Ok(self.outcome(kind, merged, radius, scattered, pruned, fallback))
+    }
+
+    /// A snapshot of the router's counters plus the fold of every
+    /// replica's serving stats (frozen by [`ShardRouter::shutdown`]).
+    pub fn stats(&self) -> ShardStats {
+        let frozen = *self.final_serve.lock().expect("stats lock");
+        let serve = frozen.unwrap_or_else(|| {
+            let snapshots: Vec<ServeStats> = self
+                .shards
+                .iter()
+                .flat_map(|handle| {
+                    let replicas = handle.replicas.read().expect("replica lock");
+                    replicas.iter().map(Server::stats).collect::<Vec<_>>()
+                })
+                .collect();
+            ServeStats::fold(snapshots.iter())
+        });
+        ShardStats {
+            queries: self.counters.queries.load(Ordering::Relaxed),
+            scattered: self.counters.scattered.load(Ordering::Relaxed),
+            scatter_rejected: self.counters.scatter_rejected.load(Ordering::Relaxed),
+            scatter_errors: self.counters.scatter_errors.load(Ordering::Relaxed),
+            scatter_pruned: self.counters.scatter_pruned.load(Ordering::Relaxed),
+            gather_probed: self.counters.gather_probed.load(Ordering::Relaxed),
+            gather_pruned: self.counters.gather_pruned.load(Ordering::Relaxed),
+            fallbacks: self.counters.fallbacks.load(Ordering::Relaxed),
+            replicas_spawned: self.counters.replicas_spawned.load(Ordering::Relaxed),
+            serve,
+        }
+    }
+
+    /// Shuts every replica of every shard down under `mode` and returns
+    /// the final stats. Idempotent; later [`ShardRouter::stats`] calls
+    /// keep returning the frozen fold.
+    pub fn shutdown(&self, mode: ShutdownMode) -> ShardStats {
+        {
+            let mut guard = self.final_serve.lock().expect("stats lock");
+            if guard.is_none() {
+                let mut snapshots = Vec::new();
+                for handle in &self.shards {
+                    let replicas = handle.replicas.read().expect("replica lock");
+                    for server in replicas.iter() {
+                        snapshots.push(server.shutdown(mode));
+                    }
+                }
+                *guard = Some(ServeStats::fold(snapshots.iter()));
+            }
+        }
+        self.stats()
+    }
+
+    /// Mirrors [`QueryEngine::run_with`]'s validation, with identical
+    /// error/panic precedence (phase-arity assert, then the recoverable
+    /// channel-count error, then — in kind order — the ANN-arity assert
+    /// and the non-finite check, then the first empty channel).
+    fn validate(&self, query: &Query) -> Result<(), TnnError> {
+        let k = self.env.len();
+        if let Some(phases) = query.phase_overrides() {
+            assert_eq!(
+                phases.len(),
+                k,
+                "one phase per channel is required (got {} for {k} channels)",
+                phases.len()
+            );
+        }
+        if k < 2 {
+            return Err(TnnError::WrongChannelCount {
+                needed: 2,
+                available: k,
+            });
+        }
+        match query.kind() {
+            QueryKind::Tnn(_) | QueryKind::Chain => {
+                query.ann_spec().check_channels(k);
+                if !query.point().is_finite() {
+                    return Err(TnnError::NonFiniteQuery);
+                }
+            }
+            QueryKind::OrderFree | QueryKind::RoundTrip => {
+                if !query.point().is_finite() {
+                    return Err(TnnError::NonFiniteQuery);
+                }
+                query.ann_spec().check_channels(k);
+            }
+        }
+        for (i, channel) in self.env.channels().iter().enumerate() {
+            if channel.tree().num_objects() == 0 {
+                return Err(TnnError::EmptyChannel { channel: i });
+            }
+        }
+        Ok(())
+    }
+
+    fn shard_mbr(&self, shard: usize) -> tnn_geom::Rect {
+        self.plan.mbr(shard).expect("eligible shards hold objects")
+    }
+
+    /// Routes one sub-query to `shard`: bumps the hotness counters,
+    /// scales the replica set up if the shard runs hot, and submits to
+    /// the replica with the shallowest queue (ties to the lowest
+    /// index — `min_by_key` keeps the first minimum).
+    fn submit_to_shard(&self, shard: usize, query: &Query, qos: Qos) -> Result<Ticket, TnnError> {
+        let handle = &self.shards[shard];
+        let shard_routed = handle.routed.fetch_add(1, Ordering::Relaxed) + 1;
+        let total_routed = self.counters.routed.fetch_add(1, Ordering::Relaxed) + 1;
+        self.maybe_replicate(shard, shard_routed, total_routed);
+        let replicas = handle.replicas.read().expect("replica lock");
+        let server = replicas
+            .iter()
+            .min_by_key(|server| {
+                let stats = server.stats();
+                stats.queued + stats.in_flight
+            })
+            .expect("eligible shards hold at least one replica");
+        server.submit_with(query.clone(), qos)
+    }
+
+    /// Adds a replica to `shard` when its observed share of routed
+    /// sub-queries exceeds [`ShardConfig::hot_fair_share_factor`] times
+    /// the fair share — bounded by [`ShardConfig::replication`] and
+    /// quiet during the warmup window.
+    fn maybe_replicate(&self, shard: usize, shard_routed: u64, total_routed: u64) {
+        if self.config.replication <= 1 || total_routed < self.config.replication_warmup {
+            return;
+        }
+        let fair = self.plan.eligible_shards().len() as f64;
+        if fair <= 1.0 {
+            // A single eligible shard's share is always 1 — "hot" is
+            // meaningless without siblings to compare against.
+            return;
+        }
+        let share = shard_routed as f64 / total_routed as f64;
+        if share * fair < self.config.hot_fair_share_factor {
+            return;
+        }
+        let mut replicas = self.shards[shard].replicas.write().expect("replica lock");
+        if replicas.len() >= self.config.replication {
+            return;
+        }
+        replicas.push(spawn_replica::<Q>(self.plan.shard_env(shard), &self.config));
+        self.counters
+            .replicas_spawned
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A feasible route total computed without any index search: the
+    /// first stored object of each channel, walked in channel order
+    /// (plus the hop home for tours). Any feasible total is a valid
+    /// gather bound.
+    fn fallback_bound(&self, p: Point, round_trip: bool) -> f64 {
+        let mut total = 0.0;
+        let mut cursor = p;
+        for channel in self.env.channels() {
+            let (stop, _) = channel
+                .tree()
+                .objects_in_leaf_order()
+                .next()
+                .expect("validation rejected empty channels");
+            total += cursor.dist(stop);
+            cursor = stop;
+        }
+        if round_trip {
+            total += cursor.dist(p);
+        }
+        total
+    }
+
+    /// Collects every candidate within `radius` of `p`, per channel,
+    /// walking shards in ascending index. Whole sub-trees are skipped
+    /// when their root MBR lies entirely outside the circle — the same
+    /// test [`tnn_rtree::RTree::range_circle`] applies at its root, so
+    /// pruning skips only provably hit-free searches.
+    fn gather(&self, p: Point, radius: f64) -> Vec<Vec<(Point, ObjectId)>> {
+        let r_sq = radius * radius;
+        let circle = Circle::new(p, radius);
+        let mut layers: Vec<Vec<(Point, ObjectId)>> = vec![Vec::new(); self.env.len()];
+        for s in 0..self.plan.num_shards() {
+            for (c, layer) in layers.iter_mut().enumerate() {
+                let tree = self.plan.tree(s, c);
+                if tree.num_objects() == 0 {
+                    continue;
+                }
+                if tree.root_mbr().min_dist_sq(p) > r_sq {
+                    self.counters.gather_pruned.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                self.counters.gather_probed.fetch_add(1, Ordering::Relaxed);
+                // Shard trees carry dense local ids; restore the
+                // originals so the merged route's stops are the same
+                // bytes an unsharded run reports.
+                let remap = self.plan.original_ids(s, c);
+                layer.extend(
+                    tree.range_circle(&circle)
+                        .hits
+                        .into_iter()
+                        .map(|(point, local)| (point, remap[local.index()])),
+                );
+            }
+        }
+        layers
+    }
+
+    fn outcome(
+        &self,
+        kind: QueryKind,
+        merged: tnn_core::MergedRoute,
+        radius: f64,
+        scattered: usize,
+        pruned: usize,
+        fallback: bool,
+    ) -> ShardOutcome {
+        ShardOutcome {
+            kind,
+            route: merged
+                .stops
+                .into_iter()
+                .map(|(point, object, channel)| RouteStop {
+                    point,
+                    object,
+                    channel,
+                })
+                .collect(),
+            total_dist: Some(merged.total_dist),
+            search_radius: radius,
+            shards_scattered: scattered,
+            shards_pruned: pruned,
+            fallback,
+        }
+    }
+}
+
+fn spawn_replica<Q: CandidateQueue + 'static>(
+    env: &MultiChannelEnv,
+    config: &ShardConfig,
+) -> Server<Q> {
+    Server::spawn_engine(QueryEngine::<Q>::with_queue_backend(env.clone()), config.serve)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Partition;
+    use std::sync::Arc;
+    use tnn_broadcast::BroadcastParams;
+    use tnn_datasets::uniform_points;
+    use tnn_geom::Rect;
+    use tnn_rtree::{PackingAlgorithm, RTree};
+    use tnn_serve::ServeConfig;
+
+    fn build_env(layers: &[Vec<Point>]) -> MultiChannelEnv {
+        let params = BroadcastParams::new(64);
+        let trees = layers
+            .iter()
+            .map(|pts| {
+                let tree = if pts.is_empty() {
+                    RTree::empty(params.rtree_params())
+                } else {
+                    RTree::build(pts, params.rtree_params(), PackingAlgorithm::Str).unwrap()
+                };
+                Arc::new(tree)
+            })
+            .collect();
+        let phases: Vec<u64> = (0..layers.len() as u64).map(|i| i * 5 + 3).collect();
+        MultiChannelEnv::new(trees, params, &phases)
+    }
+
+    fn sample_env(k: usize) -> MultiChannelEnv {
+        let region = Rect::from_coords(0.0, 0.0, 1000.0, 1000.0);
+        let layers: Vec<Vec<Point>> = (0..k)
+            .map(|i| uniform_points(140 + 25 * i, &region, 0xD1CE + i as u64))
+            .collect();
+        build_env(&layers)
+    }
+
+    fn small_serve() -> ServeConfig {
+        ServeConfig::new().workers(1).queue_capacity(32)
+    }
+
+    fn query_mix(p: Point) -> Vec<Query> {
+        let mut queries: Vec<Query> = Algorithm::ALL
+            .iter()
+            .map(|&alg| Query::tnn(p).algorithm(alg))
+            .collect();
+        queries.push(Query::chain(p));
+        queries.push(Query::order_free(p));
+        queries.push(Query::round_trip(p));
+        queries
+    }
+
+    #[test]
+    fn sharded_routes_match_the_unsharded_engine() {
+        for k in [2usize, 3] {
+            let env = sample_env(k);
+            let engine = QueryEngine::new(env.clone());
+            for partition in [Partition::Grid, Partition::TopLevel] {
+                let router = ShardRouter::spawn(
+                    env.clone(),
+                    ShardConfig::new()
+                        .shards(4)
+                        .partition(partition)
+                        .serve(small_serve()),
+                );
+                for p in [
+                    Point::new(481.0, 522.0),
+                    Point::new(3.0, 995.0),
+                    Point::new(-250.0, 400.0),
+                ] {
+                    for query in query_mix(p) {
+                        let got = router.run(&query).unwrap();
+                        let want = engine.run(&query).unwrap();
+                        assert_eq!(got.route, want.route, "k={k} {partition:?} {query:?}");
+                        assert_eq!(
+                            got.total_dist, want.total_dist,
+                            "k={k} {partition:?} {query:?}"
+                        );
+                    }
+                }
+                let stats = router.shutdown(ShutdownMode::Drain);
+                assert!(stats.conserved(), "{stats:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn validation_errors_match_the_engine() {
+        // Empty channel 1: same error, same index.
+        let region = Rect::from_coords(0.0, 0.0, 100.0, 100.0);
+        let env = build_env(&[uniform_points(30, &region, 7), Vec::new()]);
+        let engine = QueryEngine::new(env.clone());
+        let router = ShardRouter::spawn(env, ShardConfig::new().shards(2).serve(small_serve()));
+        let q = Query::tnn(Point::new(5.0, 5.0));
+        assert_eq!(router.run(&q).unwrap_err(), engine.run(&q).unwrap_err());
+
+        // One-channel environment: recoverable channel-count error.
+        let env1 = build_env(&[uniform_points(30, &region, 8)]);
+        let engine1 = QueryEngine::new(env1.clone());
+        let router1 = ShardRouter::spawn(env1, ShardConfig::new().shards(2).serve(small_serve()));
+        assert_eq!(router1.run(&q).unwrap_err(), engine1.run(&q).unwrap_err());
+
+        // Non-finite query point.
+        let env2 = sample_env(2);
+        let engine2 = QueryEngine::new(env2.clone());
+        let router2 = ShardRouter::spawn(env2, ShardConfig::new().shards(2).serve(small_serve()));
+        let bad = Query::chain(Point::new(f64::NAN, 1.0));
+        assert_eq!(
+            router2.run(&bad).unwrap_err(),
+            engine2.run(&bad).unwrap_err()
+        );
+        router2.shutdown(ShutdownMode::Drain);
+    }
+
+    #[test]
+    fn clustered_data_prunes_distant_shards() {
+        // Two tight clusters in opposite corners; querying inside one
+        // cluster must prune the sub-trees (and scatter) of the other.
+        let region_a = Rect::from_coords(0.0, 0.0, 60.0, 60.0);
+        let region_b = Rect::from_coords(940.0, 940.0, 1000.0, 1000.0);
+        let mut s = uniform_points(60, &region_a, 11);
+        s.extend(uniform_points(60, &region_b, 12));
+        let mut r = uniform_points(60, &region_a, 13);
+        r.extend(uniform_points(60, &region_b, 14));
+        let env = build_env(&[s, r]);
+        let router = ShardRouter::spawn(env, ShardConfig::new().shards(4).serve(small_serve()));
+        let outcome = router.run(&Query::tnn(Point::new(10.0, 10.0))).unwrap();
+        assert_eq!(outcome.route.len(), 2);
+        let stats = router.shutdown(ShutdownMode::Drain);
+        assert!(
+            stats.gather_pruned > 0,
+            "far-corner sub-trees must be pruned: {stats:?}"
+        );
+        assert!(stats.conserved(), "{stats:?}");
+    }
+
+    #[test]
+    fn hot_shard_grows_replicas_up_to_the_cap() {
+        let env = sample_env(2);
+        let router = ShardRouter::spawn(
+            env,
+            ShardConfig::new()
+                .shards(4)
+                .replication(2)
+                .replication_warmup(8)
+                .serve(small_serve()),
+        );
+        assert!(
+            router.plan().eligible_shards().len() > 1,
+            "test needs sibling shards"
+        );
+        // Hammer one corner so its shard's share dwarfs the fair share.
+        for i in 0..40u32 {
+            let p = Point::new(30.0 + f64::from(i % 7), 40.0 + f64::from(i % 5));
+            router.run(&Query::tnn(p)).unwrap();
+        }
+        let stats = router.stats();
+        assert!(
+            stats.replicas_spawned >= 1,
+            "hot shard never replicated: {stats:?}"
+        );
+        for i in 0..router.plan().num_shards() {
+            assert!(router.replica_count(i) <= 2);
+        }
+        let final_stats = router.shutdown(ShutdownMode::Drain);
+        assert!(final_stats.conserved(), "{final_stats:?}");
+    }
+
+    #[test]
+    fn approximate_queries_reproduce_engine_failures() {
+        // Skewed data far from the query point: the approximate radius
+        // misses, and the sharded run must fail exactly like the engine.
+        let region = Rect::from_coords(900.0, 900.0, 1000.0, 1000.0);
+        let env = build_env(&[
+            uniform_points(80, &region, 21),
+            uniform_points(80, &region, 22),
+        ]);
+        let engine = QueryEngine::new(env.clone());
+        let router = ShardRouter::spawn(env, ShardConfig::new().shards(4).serve(small_serve()));
+        let q = Query::tnn(Point::new(5.0, 5.0)).algorithm(Algorithm::ApproximateTnn);
+        let got = router.run(&q).unwrap();
+        let want = engine.run(&q).unwrap();
+        assert_eq!(got.total_dist, want.total_dist);
+        assert_eq!(got.route, want.route);
+        assert!(
+            want.failed(),
+            "this layout should defeat the approximate radius"
+        );
+        router.shutdown(ShutdownMode::Drain);
+    }
+
+    #[test]
+    fn stats_account_for_every_scatter_submission() {
+        let env = sample_env(2);
+        let router = ShardRouter::spawn(env, ShardConfig::new().shards(4).serve(small_serve()));
+        for i in 0..12u32 {
+            let p = Point::new(f64::from(i) * 80.0, f64::from(i) * 70.0);
+            router.run(&Query::order_free(p)).unwrap();
+        }
+        let stats = router.shutdown(ShutdownMode::Drain);
+        assert_eq!(stats.queries, 12);
+        assert!(stats.scattered > 0);
+        assert!(stats.conserved(), "{stats:?}");
+        assert_eq!(stats.serve.completed, stats.scattered);
+    }
+}

@@ -1,0 +1,60 @@
+//! Router-level counters, folded with the per-replica serving stats.
+
+use tnn_serve::ServeStats;
+
+/// A snapshot of one [`crate::ShardRouter`]'s activity: scatter-gather
+/// counters plus the [`ServeStats::fold`] of every shard replica's
+/// serving counters.
+#[derive(Debug, Clone, Default)]
+pub struct ShardStats {
+    /// Queries accepted by [`crate::ShardRouter::run`] (before
+    /// validation; failed validations count too).
+    pub queries: u64,
+    /// Sub-queries admitted by shard servers during scatter.
+    pub scattered: u64,
+    /// Sub-queries a shard server refused at the door (full lane under
+    /// `Backpressure::Reject`, or shutdown). The route is still exact —
+    /// a refused shard just cannot tighten the gather bound.
+    pub scatter_rejected: u64,
+    /// Admitted sub-queries that resolved to an error (cancelled,
+    /// expired, …) instead of a bound-tightening outcome.
+    pub scatter_errors: u64,
+    /// Shards skipped in the scatter phase because the transitive bound
+    /// proved they cannot improve the best-known route.
+    pub scatter_pruned: u64,
+    /// `(shard, channel)` sub-trees actually range-searched in the
+    /// gather phase.
+    pub gather_probed: u64,
+    /// `(shard, channel)` sub-trees skipped in the gather phase because
+    /// their root MBR lies entirely outside the gather circle.
+    pub gather_pruned: u64,
+    /// Queries that found no eligible shard (no single shard holds all
+    /// `k` channels) and fell back to a locally computed gather bound.
+    pub fallbacks: u64,
+    /// Extra replicas spawned by hot-shard scale-up (beyond the one
+    /// every eligible shard starts with).
+    pub replicas_spawned: u64,
+    /// [`ServeStats::fold`] over every replica of every shard.
+    pub serve: ServeStats,
+}
+
+impl ShardStats {
+    /// Fraction of gather sub-tree visits avoided by MBR pruning, in
+    /// `[0, 1]` (`0.0` when nothing was gathered yet).
+    pub fn gather_prune_rate(&self) -> f64 {
+        let total = self.gather_probed + self.gather_pruned;
+        if total == 0 {
+            0.0
+        } else {
+            self.gather_pruned as f64 / total as f64
+        }
+    }
+
+    /// The sharded conservation invariant: the folded serving stats
+    /// conserve tickets, and every scatter submission the router made is
+    /// accounted for by the shard servers
+    /// (`serve.submitted = scattered + scatter_rejected`).
+    pub fn conserved(&self) -> bool {
+        self.serve.conserved() && self.serve.submitted == self.scattered + self.scatter_rejected
+    }
+}

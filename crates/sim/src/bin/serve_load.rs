@@ -26,7 +26,17 @@
 //!    expiry-aware shedding vs. the old shed-oldest.
 //! 5. **Ablation** (k = 2) — the deferred `batch_window` ×
 //!    `queue_capacity` grid: closed-loop throughput per combination.
-//! 6. **Chaos axis** (k = 2, `--faults` only) — a mixed-priority
+//! 6. **Shard axis** (k = 2, `--shards` only) — spatially skewed Zipf
+//!    traffic (the hot head of the query pool lives in one corner cell)
+//!    pushed by concurrent clients through a [`tnn_shard::ShardRouter`]
+//!    over the shard-count × replication grid, with a deliberately tiny
+//!    per-replica queue under `Reject` backpressure. Reports throughput,
+//!    scatter rejections, fallbacks, the gather prune rate, and spawned
+//!    replicas per configuration; the binary *asserts* a nonzero gather
+//!    prune rate on the ≥ 4-shard grids — this is the CI shard smoke
+//!    gate — and the single-copy vs replicated rejection counts show
+//!    hot-shard replication absorbing the skew.
+//! 7. **Chaos axis** (k = 2, `--faults` only) — a mixed-priority
 //!    workload through [`Server::spawn_with_faults`] under a nonzero
 //!    fault schedule (channel drops + jitter, a periodic outage, an
 //!    injected engine panic, and two worker kills). The binary itself
@@ -35,14 +45,15 @@
 //!    the server-side [`tnn_serve::ServeStats`] latency histograms.
 //!
 //! ```sh
-//! cargo run --release -p tnn-sim --bin serve_load -- --tag pr6 --faults 2 3 4
+//! cargo run --release -p tnn-sim --bin serve_load -- --tag pr7 --faults --shards 2 3 4
 //! ```
 //!
 //! Environment knobs: `TNN_QUERIES` (closed-loop batch size, default
 //! 1,000), `TNN_LOAD_POINTS` (points per channel, default 10,000),
 //! `TNN_LOAD_SECS` (open-loop duration per k, default 2),
 //! `TNN_BENCH_REPS` (min-of-reps, default 3), `TNN_POOL` (Zipf pool
-//! size, default 200), `TNN_ZIPF` (Zipf exponent, default 1.1), and
+//! size, default 200), `TNN_ZIPF` (Zipf exponent, default 1.1),
+//! `TNN_SHARD_QUERIES` (shard-axis workload size, default 400), and
 //! `TNN_CHAOS_QUERIES` (chaos-axis workload size, default 300).
 
 use rand::rngs::StdRng;
@@ -53,12 +64,13 @@ use std::time::{Duration, Instant};
 use tnn_broadcast::BroadcastParams;
 use tnn_core::{Algorithm, Query, TnnConfig, TnnError};
 use tnn_datasets::{paper_region, uniform_points};
-use tnn_geom::Rect;
+use tnn_geom::{Point, Rect};
 use tnn_rtree::{PackingAlgorithm, RTree};
 use tnn_serve::{
     Backpressure, CacheConfig, ChannelFaults, Degradation, FaultPlan, Priority, Qos, RetryPolicy,
     ServeConfig, Server, ShedDiscipline, ShutdownMode,
 };
+use tnn_shard::{ShardConfig, ShardRouter};
 use tnn_sim::{format_table, run_tnn_batch, BatchConfig, Table, ZipfSampler};
 
 const SEED_GAMMA: u64 = 0x9E3779B97F4A7C15;
@@ -178,17 +190,23 @@ fn main() {
     let mut tag = String::from("pr5");
     let mut ks: Vec<usize> = Vec::new();
     let mut faults = false;
+    let mut shards_axis = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--tag" {
             tag = args.next().expect("--tag needs a value");
         } else if arg == "--faults" {
             faults = true;
+        } else if arg == "--shards" {
+            shards_axis = true;
         } else if let Ok(k) = arg.parse::<usize>() {
             assert!(k >= 2, "TNN needs at least two channels");
             ks.push(k);
         } else {
-            panic!("unknown argument {arg:?} (usage: serve_load [--tag T] [--faults] [k...])");
+            panic!(
+                "unknown argument {arg:?} \
+                 (usage: serve_load [--tag T] [--faults] [--shards] [k...])"
+            );
         }
     }
     if ks.is_empty() {
@@ -600,6 +618,133 @@ fn main() {
         println!("{}", format_table(&atable));
     }
 
+    // --- Shard axis (k = 2, `--shards` only): spatially skewed Zipf
+    // traffic through a ShardRouter across the shard-count ×
+    // replication grid. The hot head of the query pool lives in one
+    // corner cell, so its shard takes nearly every primary sub-query;
+    // a deliberately tiny per-replica queue under Reject backpressure
+    // makes the single-copy hot shard turn concurrent clients away,
+    // while hot-shard replication absorbs the same skew. The gather-
+    // prune assertion is the CI shard smoke gate: distant sub-trees
+    // must be skipped wholesale once the transitive bound is known.
+    if shards_axis {
+        let trees: Vec<Arc<RTree>> = (0..2)
+            .map(|i| {
+                let pts = uniform_points(points, &region, 510 + i as u64);
+                Arc::new(RTree::build(&pts, params.rtree_params(), PackingAlgorithm::Str).unwrap())
+            })
+            .collect();
+        let env = tnn_broadcast::MultiChannelEnv::new(trees, params, &[0, 0]);
+        let n = env_usize("TNN_SHARD_QUERIES", 400).max(32);
+        let clients = 4usize;
+        // The Zipf head (the most popular fifth of the pool) is drawn
+        // from the lower-left corner cell; the tail spans the region.
+        let head = (pool_size / 5).max(1);
+        let hot = Rect::from_coords(
+            region.min.x,
+            region.min.y,
+            region.min.x + 0.25 * (region.max.x - region.min.x),
+            region.min.y + 0.25 * (region.max.y - region.min.y),
+        );
+        let mut pool_pts = uniform_points(head, &hot, 0x507);
+        pool_pts.extend(uniform_points(pool_size - head, &region, 0x7A11));
+        let zipf = ZipfSampler::new(pool_size, zipf_s);
+        let mut zrng = StdRng::seed_from_u64(0x5A4D);
+        let qpoints: Vec<Point> = (0..n).map(|_| pool_pts[zipf.sample(&mut zrng)]).collect();
+
+        let mut stable = Table::new(
+            "shard axis (k = 2): Zipf-skewed scatter-gather over shards x replication",
+            &[
+                "shards",
+                "repl",
+                "qps",
+                "rejected",
+                "fallbacks",
+                "gather prune",
+                "replicas",
+            ],
+        );
+        let mut s4_rejected = [0u64; 2];
+        for shards in [1usize, 2, 4, 8] {
+            for replication in [1usize, 2] {
+                let config = ShardConfig::new()
+                    .shards(shards)
+                    .replication(replication)
+                    .replication_warmup(16)
+                    .serve(
+                        ServeConfig::new()
+                            .workers(1)
+                            .queue_capacity(2)
+                            .backpressure(Backpressure::Reject)
+                            .cache(CacheConfig::disabled())
+                            .batch_window(1),
+                    );
+                let router = ShardRouter::spawn(env.clone(), config);
+                let t0 = Instant::now();
+                std::thread::scope(|scope| {
+                    for c in 0..clients {
+                        let router = &router;
+                        let qpoints = &qpoints;
+                        scope.spawn(move || {
+                            let mut i = c;
+                            while i < qpoints.len() {
+                                router
+                                    .run(&Query::tnn(qpoints[i]).algorithm(Algorithm::HybridNn))
+                                    .expect("shard-axis queries are valid");
+                                i += clients;
+                            }
+                        });
+                    }
+                });
+                let elapsed = t0.elapsed().as_nanos() as f64;
+                let stats = router.shutdown(ShutdownMode::Drain);
+                assert!(stats.conserved(), "shard axis lost tickets: {stats:?}");
+                if shards >= 4 {
+                    // The CI shard smoke gate: with the hot head in one
+                    // corner of a >= 4-cell grid, the transitive bound
+                    // must keep the gather out of distant sub-trees.
+                    assert!(
+                        stats.gather_prune_rate() > 0.0,
+                        "sharded gather pruned nothing at {shards} shards: {stats:?}"
+                    );
+                }
+                if shards == 4 {
+                    s4_rejected[replication - 1] = stats.scatter_rejected;
+                }
+                let qps = n as f64 / (elapsed / 1e9);
+                stable.push_row(vec![
+                    shards.to_string(),
+                    replication.to_string(),
+                    format!("{qps:.0}"),
+                    stats.scatter_rejected.to_string(),
+                    stats.fallbacks.to_string(),
+                    format!("{:.3}", stats.gather_prune_rate()),
+                    stats.replicas_spawned.to_string(),
+                ]);
+                records.push((
+                    format!("shard/zipf_{n}q/s{shards}_r{replication}"),
+                    elapsed,
+                    1,
+                ));
+                let key = format!("shard_s{shards}_r{replication}");
+                derived.push((format!("{key}_qps"), qps));
+                derived.push((format!("{key}_rejected"), stats.scatter_rejected as f64));
+                derived.push((format!("{key}_fallbacks"), stats.fallbacks as f64));
+                derived.push((format!("{key}_scatter_pruned"), stats.scatter_pruned as f64));
+                derived.push((
+                    format!("{key}_gather_prune_rate"),
+                    stats.gather_prune_rate(),
+                ));
+                derived.push((format!("{key}_replicas"), stats.replicas_spawned as f64));
+            }
+        }
+        println!("{}", format_table(&stable));
+        derived.push((
+            "shard_s4_reject_ratio_r1_over_r2".into(),
+            s4_rejected[0] as f64 / s4_rejected[1].max(1) as f64,
+        ));
+    }
+
     // --- Chaos axis (k = 2, `--faults` only): a mixed-priority workload
     // through a faulted server. The submission sequence is single-
     // threaded so every fault draw lands on a deterministic job seq; the
@@ -746,6 +891,13 @@ fn main() {
         derived.push(("chaos_outages".into(), fstats.outages as f64));
     }
 
+    let shard_note = if shards_axis {
+        "; k=2 shard axis (ShardRouter scatter-gather over shards {1,2,4,8} x replication \
+         {1,2}, corner-skewed Zipf traffic, 4 concurrent clients, 1-worker 2-slot Reject \
+         replicas)"
+    } else {
+        ""
+    };
     let chaos_note = if faults {
         "; k=2 chaos axis (faulted 2-worker server: drops+jitter on channel 0, periodic \
          outage on channel 1, 1 injected engine panic, 2 worker kills, Approximate \
@@ -763,7 +915,7 @@ fn main() {
              algorithms ({open_workers} workers, Reject); Zipf({zipf_s}) repeat-query cache \
              axis over a {pool_size}-query pool (cold cached vs uncached server); \
              k=2 deadline-miss axis (Shed expired-first vs oldest-first, saturating \
-             mixed-TTL bursts); k=2 batch_window x queue_capacity ablation{chaos_note}; \
+             mixed-TTL bursts); k=2 batch_window x queue_capacity ablation{shard_note}{chaos_note}; \
              {queries} queries/batch, {points} uniform points per channel, page 64, \
              paper region"
         ),

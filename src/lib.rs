@@ -63,6 +63,7 @@
 //! | [`qos`] (`tnn-qos`) | quality-of-service primitives: priority classes, deadlines, retry policies and budgets, the strict-priority multi-level queue, the sharded LRU result cache |
 //! | [`faults`] (`tnn-faults`) | deterministic fault injection: seedable per-channel drop/jitter/outage schedules, engine panics, worker kills |
 //! | [`serve`] (`tnn-serve`) | the concurrent serving front-end: worker pool, priority lanes with deadlines and backpressure, result cache, tickets, retry/degradation ladder, self-healing workers, graceful shutdown |
+//! | [`shard`] (`tnn-shard`) | spatially-sharded scatter-gather serving: grid / R-tree-split partitioning, transitive-bound shard pruning, hot-shard replication with queue-depth routing, byte-identical merged answers |
 //! | [`sim`] (`tnn-sim`) | the experiment harness regenerating every figure/table of the paper |
 
 #![warn(missing_docs)]
@@ -76,6 +77,7 @@ pub use tnn_geom as geom;
 pub use tnn_qos as qos;
 pub use tnn_rtree as rtree;
 pub use tnn_serve as serve;
+pub use tnn_shard as shard;
 pub use tnn_sim as sim;
 
 /// The most common imports, re-exported flat.
@@ -97,6 +99,7 @@ pub mod prelude {
         Backpressure, ClassStats, Degradation, LatencyHistogram, ServeConfig, ServeStats, Server,
         ShutdownMode, Ticket,
     };
+    pub use tnn_shard::{Partition, ShardConfig, ShardOutcome, ShardPlan, ShardRouter, ShardStats};
 }
 
 #[cfg(test)]
