@@ -10,6 +10,11 @@
 //! The tag defaults to `baseline`. `TNN_BENCH_QUERIES` (default 1,000)
 //! shrinks the workload for smoke runs.
 
+#![forbid(unsafe_code)]
+// R1-approved timing module (see check/r1.allow): wall-clock calls are
+// deliberate here, so the clippy mirror of the rule is waived file-wide.
+#![allow(clippy::disallowed_methods)]
+
 use std::time::Instant;
 use tnn_bench::{fixture_tree, write_bench_json, BenchRecord};
 use tnn_broadcast::BroadcastParams;

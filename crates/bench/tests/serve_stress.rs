@@ -26,6 +26,10 @@
 //! deterministic no-priority-inversion gate and the bounded chaos smoke
 //! run in tier-1.
 
+// R1-approved timing module (see check/r1.allow): wall-clock calls are
+// deliberate here, so the clippy mirror of the rule is waived file-wide.
+#![allow(clippy::disallowed_methods)]
+
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tnn_broadcast::{BroadcastParams, MultiChannelEnv};

@@ -32,7 +32,7 @@
 //! indexes in **arrival order** (see `tnn-core`).
 
 #![warn(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 mod channel;
 mod env;

@@ -1,0 +1,350 @@
+//! A small, total Rust lexer: comments and literals are recognized (so
+//! rule patterns can never match inside them), everything else is
+//! reduced to identifiers and single-character punctuation.
+//!
+//! The lexer is deliberately forgiving — it must produce *some* token
+//! stream for any input, including unterminated literals and non-Rust
+//! bytes, because the linter may run over source that does not compile
+//! yet (and the property tests feed it arbitrary strings). It never
+//! panics and always terminates: every loop consumes at least one
+//! character.
+
+/// One lexical token with the 1-based line its first character sits on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: u32,
+}
+
+/// What a token is. String/char/number contents are irrelevant to every
+/// rule, so literals carry no text; comments do (pragmas live there).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`fn`, `unwrap`, `Instant`, …).
+    Ident(String),
+    /// One punctuation character (`::` arrives as two `:` tokens).
+    Punct(char),
+    /// A string, raw string, byte string, char, or number literal —
+    /// contents stripped.
+    Literal,
+    /// A line or block comment, text preserved for pragma parsing
+    /// (`// check:allow(R2, reason)`).
+    Comment(String),
+}
+
+impl Token {
+    /// The identifier text, if this token is one.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// `true` when this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+struct Cursor<'a> {
+    rest: &'a str,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<char> {
+        self.rest.chars().next()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.rest.chars().nth(1)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.rest.chars().next()?;
+        self.rest = &self.rest[c.len_utf8()..];
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    /// Consumes characters while `pred` holds, returning the slice.
+    fn take_while(&mut self, pred: impl Fn(char) -> bool) -> &'a str {
+        let start = self.rest;
+        let mut len = 0;
+        while let Some(c) = self.peek() {
+            if !pred(c) {
+                break;
+            }
+            len += c.len_utf8();
+            self.bump();
+        }
+        &start[..len]
+    }
+}
+
+/// Lexes `src` into tokens. Total: never panics, consumes all input.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor { rest: src, line: 1 };
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek() {
+        let line = cur.line;
+        match c {
+            c if c.is_whitespace() => {
+                cur.bump();
+            }
+            '/' if cur.peek2() == Some('/') => {
+                let text = cur.take_while(|c| c != '\n').to_string();
+                out.push(Token {
+                    kind: TokenKind::Comment(text),
+                    line,
+                });
+            }
+            '/' if cur.peek2() == Some('*') => {
+                out.push(Token {
+                    kind: TokenKind::Comment(block_comment(&mut cur)),
+                    line,
+                });
+            }
+            '"' => {
+                cur.bump();
+                string_body(&mut cur, 0);
+                out.push(Token {
+                    kind: TokenKind::Literal,
+                    line,
+                });
+            }
+            '\'' => {
+                lifetime_or_char(&mut cur, &mut out, line);
+            }
+            c if c.is_ascii_digit() => {
+                number(&mut cur);
+                out.push(Token {
+                    kind: TokenKind::Literal,
+                    line,
+                });
+            }
+            c if is_ident_start(c) => {
+                let word = cur.take_while(is_ident_continue);
+                // A quote directly after `r`/`b`/`c` combinations means
+                // the "identifier" was a literal prefix: r"", r#"",
+                // b"", br#"", c"", cr#"", b''.
+                let raw_ok = matches!(word, "r" | "br" | "cr" | "b" | "c");
+                match cur.peek() {
+                    Some('"') if raw_ok => {
+                        cur.bump();
+                        string_body(&mut cur, 0);
+                        out.push(Token {
+                            kind: TokenKind::Literal,
+                            line,
+                        });
+                    }
+                    Some('#') if matches!(word, "r" | "br" | "cr") => {
+                        if raw_string(&mut cur) {
+                            out.push(Token {
+                                kind: TokenKind::Literal,
+                                line,
+                            });
+                        } else {
+                            // `r#ident` (raw identifier) or stray `#`:
+                            // emit what we saw and continue.
+                            out.push(Token {
+                                kind: TokenKind::Ident(word.to_string()),
+                                line,
+                            });
+                        }
+                    }
+                    Some('\'') if word == "b" => {
+                        cur.bump();
+                        char_body(&mut cur);
+                        out.push(Token {
+                            kind: TokenKind::Literal,
+                            line,
+                        });
+                    }
+                    _ => out.push(Token {
+                        kind: TokenKind::Ident(word.to_string()),
+                        line,
+                    }),
+                }
+            }
+            c => {
+                cur.bump();
+                out.push(Token {
+                    kind: TokenKind::Punct(c),
+                    line,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Consumes a (possibly nested) block comment, `/*` already peeked.
+fn block_comment(cur: &mut Cursor) -> String {
+    let start = cur.rest;
+    let mut len = 0;
+    let mut depth = 0u32;
+    loop {
+        match (cur.peek(), cur.peek2()) {
+            (Some('/'), Some('*')) => {
+                depth += 1;
+                len += 2;
+                cur.bump();
+                cur.bump();
+            }
+            (Some('*'), Some('/')) => {
+                depth = depth.saturating_sub(1);
+                len += 2;
+                cur.bump();
+                cur.bump();
+                if depth == 0 {
+                    break;
+                }
+            }
+            (Some(c), _) => {
+                len += c.len_utf8();
+                cur.bump();
+            }
+            (None, _) => break, // unterminated: comment runs to EOF
+        }
+    }
+    start[..len].to_string()
+}
+
+/// Consumes a string body after the opening quote; `hashes` raw-string
+/// hash marks must follow the closing quote (`0` for plain strings,
+/// where backslash escapes apply instead).
+fn string_body(cur: &mut Cursor, hashes: usize) {
+    while let Some(c) = cur.bump() {
+        match c {
+            '\\' if hashes == 0 => {
+                cur.bump(); // the escaped character, whatever it is
+            }
+            '"' => {
+                if hashes == 0 {
+                    return;
+                }
+                // Count trailing #s; fewer than `hashes` means the
+                // quote was literal text.
+                let mut seen = 0;
+                while seen < hashes && cur.peek() == Some('#') {
+                    cur.bump();
+                    seen += 1;
+                }
+                if seen == hashes {
+                    return;
+                }
+            }
+            _ => {}
+        }
+    }
+    // Unterminated: string runs to EOF.
+}
+
+/// Attempts `#…#"…"#…#` after a raw prefix (`r`, `br`, `cr`), with the
+/// leading `#` still unconsumed. Returns `false` (consuming only what a
+/// raw identifier would) when no quote follows the hashes.
+fn raw_string(cur: &mut Cursor) -> bool {
+    let hashes = cur.take_while(|c| c == '#').len();
+    if cur.peek() == Some('"') {
+        cur.bump();
+        string_body(cur, hashes);
+        true
+    } else {
+        false
+    }
+}
+
+/// Disambiguates `'a` (lifetime) from `'a'` / `'\n'` (char literal),
+/// with the `'` still unconsumed.
+fn lifetime_or_char(cur: &mut Cursor, out: &mut Vec<Token>, line: u32) {
+    cur.bump(); // the quote
+    match cur.peek() {
+        // `'x` where `x` starts an identifier: lifetime unless the char
+        // after the identifier-run's first char closes a char literal.
+        Some(c) if is_ident_start(c) => {
+            let closes = {
+                let mut chars = cur.rest.chars();
+                chars.next();
+                chars.next() == Some('\'')
+            };
+            if closes {
+                // 'x' — a one-character char literal.
+                cur.bump();
+                cur.bump();
+                out.push(Token {
+                    kind: TokenKind::Literal,
+                    line,
+                });
+            } else {
+                cur.take_while(is_ident_continue);
+                out.push(Token {
+                    kind: TokenKind::Literal, // lifetimes matter to no rule
+                    line,
+                });
+            }
+        }
+        Some(_) => {
+            char_body(cur);
+            out.push(Token {
+                kind: TokenKind::Literal,
+                line,
+            });
+        }
+        None => out.push(Token {
+            kind: TokenKind::Punct('\''),
+            line,
+        }),
+    }
+}
+
+/// Consumes a char-literal body after the opening quote (escapes
+/// honored; unterminated literals stop at a newline or EOF so a stray
+/// quote cannot swallow the rest of the file).
+fn char_body(cur: &mut Cursor) {
+    while let Some(c) = cur.peek() {
+        match c {
+            '\\' => {
+                cur.bump();
+                cur.bump();
+            }
+            '\'' => {
+                cur.bump();
+                return;
+            }
+            '\n' => return,
+            _ => {
+                cur.bump();
+            }
+        }
+    }
+}
+
+/// Consumes a number literal: digits, `_`, type suffixes, hex/oct/bin
+/// letters, and a decimal point or exponent sign only when digits
+/// follow (so `0..10` and `1.min(x)` tokenize as expected).
+fn number(cur: &mut Cursor) {
+    cur.take_while(|c| c.is_ascii_alphanumeric() || c == '_');
+    while cur.peek() == Some('.') {
+        let after = cur.peek2();
+        if after.is_some_and(|c| c.is_ascii_digit()) {
+            cur.bump();
+            cur.take_while(|c| c.is_ascii_alphanumeric() || c == '_');
+        } else {
+            break;
+        }
+    }
+    // `1e-5` tokenizes as Literal `-` Literal — the split changes
+    // nothing for any rule, so signed exponents are not special-cased.
+}

@@ -1,0 +1,168 @@
+//! CLI for the workspace invariant linter.
+//!
+//! ```text
+//! cargo run -p tnn-check                      # findings fatal, warnings advisory
+//! cargo run -p tnn-check -- --deny-warnings   # CI mode: warnings fatal too
+//! cargo run -p tnn-check -- --fix-allowlist   # append TODO entries for findings
+//! cargo run -p tnn-check -- --root /path      # lint a different checkout
+//! ```
+//!
+//! Exit code 0 = clean, 1 = findings (or warnings under
+//! `--deny-warnings`), 2 = usage/config error.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use tnn_check::config::Config;
+use tnn_check::{collect_units, rules};
+
+fn main() -> ExitCode {
+    let mut deny_warnings = false;
+    let mut fix_allowlist = false;
+    let mut root_arg: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny-warnings" => deny_warnings = true,
+            "--fix-allowlist" => fix_allowlist = true,
+            "--root" => match args.next() {
+                Some(path) => root_arg = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("error: --root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "tnn-check [--deny-warnings] [--fix-allowlist] [--root PATH]\n\
+                     Lints the workspace against the invariants in docs/ANALYSIS.md."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root_arg.map_or_else(find_root, Ok) {
+        Ok(root) => root,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let config = match Config::load(&root) {
+        Ok(config) => config,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let units = match collect_units(&root) {
+        Ok(units) => units,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = rules::check_files(&units, &config);
+    for finding in &report.findings {
+        println!("{}", finding.render());
+    }
+    for warning in &report.warnings {
+        println!("warning: {}", warning.render());
+    }
+
+    if fix_allowlist && !report.findings.is_empty() {
+        if let Err(e) = append_allowlist(&root, &report.findings) {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    let checked = units.len();
+    let fatal = report.findings.len()
+        + if deny_warnings {
+            report.warnings.len()
+        } else {
+            0
+        };
+    println!(
+        "tnn-check: {checked} files, {} finding(s), {} warning(s){}",
+        report.findings.len(),
+        report.warnings.len(),
+        if fix_allowlist && !report.findings.is_empty() {
+            " — allowlists updated, reasons stamped TODO (replace them before CI)"
+        } else {
+            ""
+        }
+    );
+    if fatal > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Ascends from the current directory to the checkout holding
+/// `check/config.toml`.
+fn find_root() -> Result<PathBuf, String> {
+    let start = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+    let mut dir = start.as_path();
+    loop {
+        if dir.join("check/config.toml").is_file() {
+            return Ok(dir.to_path_buf());
+        }
+        match dir.parent() {
+            Some(parent) => dir = parent,
+            None => {
+                return Err(format!(
+                    "no check/config.toml found above {} — run from the repo, or pass --root",
+                    start.display()
+                ));
+            }
+        }
+    }
+}
+
+/// Appends one `key  TODO: justify` line per distinct finding key to
+/// the finding's rule allowlist, keeping existing content.
+fn append_allowlist(root: &Path, findings: &[rules::Finding]) -> Result<(), String> {
+    let mut by_rule: BTreeMap<&str, Vec<&rules::Finding>> = BTreeMap::new();
+    for finding in findings {
+        by_rule.entry(&finding.rule).or_default().push(finding);
+    }
+    for (rule, group) in by_rule {
+        let rel = format!("check/{}.allow", rule.to_lowercase());
+        let path = root.join(&rel);
+        let mut text = std::fs::read_to_string(&path).unwrap_or_default();
+        if !text.is_empty() && !text.ends_with('\n') {
+            text.push('\n');
+        }
+        let mut seen: std::collections::BTreeSet<String> = text
+            .lines()
+            .filter_map(|l| l.split_whitespace().next())
+            .map(str::to_string)
+            .collect();
+        let keys: Vec<String> = group
+            .iter()
+            .filter(|f| seen.insert(f.allow_key.clone()))
+            .map(|f| f.allow_key.clone())
+            .collect();
+        for key in &keys {
+            text.push_str(key);
+            text.push_str("  TODO: justify\n");
+        }
+        if !keys.is_empty() {
+            std::fs::write(&path, text).map_err(|e| format!("cannot write {rel}: {e}"))?;
+            println!("wrote {} entr(y/ies) to {rel}", keys.len());
+        }
+    }
+    Ok(())
+}

@@ -65,7 +65,7 @@
 //! `docs/API.md` at the repository root for the migration guide.
 
 #![warn(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 mod ann;
 mod config;

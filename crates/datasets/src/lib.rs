@@ -19,7 +19,7 @@
 //! same dataset.
 
 #![warn(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 mod clustered;
 mod region;

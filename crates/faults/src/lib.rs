@@ -32,7 +32,7 @@
 //! nothing and leaves the pipeline byte-identical to an un-wrapped run.
 
 #![warn(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 mod plan;
 mod stats;

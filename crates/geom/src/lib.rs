@@ -20,7 +20,7 @@
 //! path.
 
 #![warn(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 mod circle;
 mod ellipse;

@@ -1,5 +1,9 @@
 //! Per-request expiry: [`Deadline`].
 
+// R1-approved timing module (see check/r1.allow): wall-clock calls are
+// deliberate here, so the clippy mirror of the rule is waived file-wide.
+#![allow(clippy::disallowed_methods)]
+
 use std::time::{Duration, Instant};
 
 /// When a request stops being worth answering.

@@ -27,7 +27,7 @@
 //! refuse* — not raw throughput — dominates tail behaviour.
 
 #![warn(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 mod cache;
 mod deadline;

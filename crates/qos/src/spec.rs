@@ -1,5 +1,9 @@
 //! The per-submission QoS bundle: [`Qos`].
 
+// R1-approved timing module (see check/r1.allow): wall-clock calls are
+// deliberate here, so the clippy mirror of the rule is waived file-wide.
+#![allow(clippy::disallowed_methods)]
+
 use crate::{Deadline, Priority};
 use std::time::{Duration, Instant};
 

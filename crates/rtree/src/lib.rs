@@ -26,7 +26,7 @@
 //! deletion are involved").
 
 #![warn(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 mod build;
 mod error;

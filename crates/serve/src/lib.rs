@@ -69,7 +69,7 @@
 //! `crates/bench/tests/serve_stress.rs`.
 
 #![warn(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 mod config;
 mod histogram;

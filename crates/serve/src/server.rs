@@ -4,6 +4,10 @@
 //! degradation, panic isolation, worker respawn), and deterministic
 //! shutdown.
 
+// R1-approved timing module (see check/r1.allow): wall-clock calls are
+// deliberate here, so the clippy mirror of the rule is waived file-wide.
+#![allow(clippy::disallowed_methods)]
+
 use crate::config::{Backpressure, Degradation, ServeConfig, ShutdownMode};
 use crate::histogram::LatencyHistogram;
 use crate::ticket::{Ticket, TicketCell};
@@ -65,7 +69,8 @@ pub struct ClassStats {
 
 impl ClassStats {
     /// Per-class ticket conservation: every submission naming this class
-    /// is accounted for exactly once.
+    /// is accounted for exactly once, and degraded completions never
+    /// exceed completions (they are a subset).
     pub fn conserved(&self) -> bool {
         self.submitted == self.accepted + self.rejected
             && self.accepted
@@ -75,6 +80,7 @@ impl ClassStats {
                     + self.expired
                     + self.queued as u64
                     + self.in_flight as u64
+            && self.degraded <= self.completed
     }
 
     /// Adds `other`'s counters (and latency observations) into `self` —
@@ -484,6 +490,7 @@ impl<Q: CandidateQueue + 'static> Server<Q> {
                 std::thread::Builder::new()
                     .name(format!("tnn-serve-{i}"))
                     .spawn(move || worker_loop(&inner, &engine))
+                    // check:allow(R2, construction-time OS spawn failure has no caller to report to — a server that cannot start its pool must not pretend it did)
                     .expect("spawn tnn-serve worker thread")
             })
             .collect();
@@ -761,6 +768,7 @@ impl<Q: CandidateQueue + 'static> Server<Q> {
                         .shed_victim(qos.priority, self.inner.config.shed, |job| {
                             job.deadline.expired(now)
                         })
+                        // check:allow(R2, Shed is only reached when the lane is full, and a full lane always yields a victim)
                         .expect("full lane has a victim");
                     if was_expired {
                         state.classes[victim.class.index()].expired += 1;
@@ -1047,7 +1055,12 @@ fn worker_rounds<Q: CandidateQueue>(inner: &Inner, engine: &QueryEngine<Q>) {
             }
             let n = inner.config.batch_window.min(state.queue.len());
             for _ in 0..n {
-                let (class, job) = state.queue.pop().expect("n jobs are queued");
+                // `n` was clamped to the queue length under this same
+                // guard, so pop cannot come up dry — but a defect here
+                // must stop the batch, not the worker.
+                let Some((class, job)) = state.queue.pop() else {
+                    break;
+                };
                 state.classes[class.index()].in_flight += 1;
                 local.push(job);
             }
@@ -1131,11 +1144,12 @@ fn worker_rounds<Q: CandidateQueue>(inner: &Inner, engine: &QueryEngine<Q>) {
                     if degraded {
                         guard.degraded[class] += 1;
                     }
-                    match (&result, cacheable) {
-                        (Ok(outcome), true) if !degraded => {
-                            let key = job.key.clone().expect("cacheable implies a key");
-                            let cache = inner.cache.as_ref().expect("cacheable implies a cache");
-                            cache.insert(key, outcome.clone(), Instant::now());
+                    // `cacheable` implies a key and a cache were present
+                    // at dispatch; matching on all three keeps the
+                    // worker panic-free if that coupling ever breaks.
+                    match (&result, &job.key, &inner.cache) {
+                        (Ok(outcome), Some(key), Some(cache)) if cacheable && !degraded => {
+                            cache.insert(key.clone(), outcome.clone(), Instant::now());
                             if refresh {
                                 guard.cache_expired += 1;
                             } else {

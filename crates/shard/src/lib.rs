@@ -40,7 +40,7 @@
 //! replica sets, no async runtime.
 
 #![warn(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 mod config;
 mod partition;

@@ -116,6 +116,7 @@ impl ShardPlan {
                                 objects.iter().map(|&(point, _)| point).collect();
                             Arc::new(
                                 RTree::build(&points, source.params(), source.packing())
+                                    // check:allow(R2, plan construction is pre-serving — a malformed bucket must abort the build, not limp into traffic)
                                     .expect("a non-empty bucket bulk-loads"),
                             )
                         }
@@ -269,6 +270,7 @@ fn top_level_cells(env: &MultiChannelEnv, per_channel: &[Vec<(Point, ObjectId)>]
     }
     let source = env.channel(0).tree();
     let probe = RTree::build(&points, source.params(), source.packing())
+        // check:allow(R2, plan construction is pre-serving and the empty case returned early above)
         .expect("the pooled dataset is non-empty");
     probe
         .top_level_partitions()
@@ -288,6 +290,7 @@ fn assign(cells: &[Rect], p: Point) -> usize {
                 .iter()
                 .enumerate()
                 .min_by(|a, b| a.1.min_dist_sq(p).total_cmp(&b.1.min_dist_sq(p)))
+                // check:allow(R2, every constructor emits at least one cell — the empty-input path returns a single degenerate rect)
                 .expect("plans hold at least one cell")
                 .0
         })

@@ -211,7 +211,11 @@ impl<Q: CandidateQueue + 'static> ShardRouter<Q> {
 
     /// Live replica count of shard `i` (0 for ineligible shards).
     pub fn replica_count(&self, i: usize) -> usize {
-        self.shards[i].replicas.read().expect("replica lock").len()
+        self.shards[i]
+            .replicas
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .len()
     }
 
     /// Runs `query` under default QoS terms (batch class, no deadline).
@@ -294,6 +298,7 @@ impl<Q: CandidateQueue + 'static> ShardRouter<Q> {
                     let db = self.shard_mbr(b).min_max_dist_sq(p);
                     da.total_cmp(&db)
                 })
+                // check:allow(R2, min_by over `eligible` which the enclosing `!eligible.is_empty()` guard proves non-empty)
                 .expect("eligible is non-empty");
             match self.submit_to_shard(primary, query, qos) {
                 Ok(ticket) => {
@@ -375,22 +380,25 @@ impl<Q: CandidateQueue + 'static> ShardRouter<Q> {
         };
         let layers = self.gather(p, radius);
         let mut join = JoinScratch::default();
-        let merged = merge_route_layers(&mut join, objective, p, &layers, None).expect(
-            "the gather bound comes from a feasible route, so every layer holds that route's stop",
-        );
+        // The gather bound comes from a feasible route, so every layer
+        // holds that route's stop and the merge cannot come up empty —
+        // but a defect here must surface as an error, not a panic in
+        // whatever thread runs the router.
+        let merged =
+            merge_route_layers(&mut join, objective, p, &layers, None).ok_or(TnnError::Internal)?;
         Ok(self.outcome(kind, merged, radius, scattered, pruned, fallback))
     }
 
     /// A snapshot of the router's counters plus the fold of every
     /// replica's serving stats (frozen by [`ShardRouter::shutdown`]).
     pub fn stats(&self) -> ShardStats {
-        let frozen = *self.final_serve.lock().expect("stats lock");
+        let frozen = *self.final_serve.lock().unwrap_or_else(|e| e.into_inner());
         let serve = frozen.unwrap_or_else(|| {
             let snapshots: Vec<ServeStats> = self
                 .shards
                 .iter()
                 .flat_map(|handle| {
-                    let replicas = handle.replicas.read().expect("replica lock");
+                    let replicas = handle.replicas.read().unwrap_or_else(|e| e.into_inner());
                     replicas.iter().map(Server::stats).collect::<Vec<_>>()
                 })
                 .collect();
@@ -415,11 +423,11 @@ impl<Q: CandidateQueue + 'static> ShardRouter<Q> {
     /// keep returning the frozen fold.
     pub fn shutdown(&self, mode: ShutdownMode) -> ShardStats {
         {
-            let mut guard = self.final_serve.lock().expect("stats lock");
+            let mut guard = self.final_serve.lock().unwrap_or_else(|e| e.into_inner());
             if guard.is_none() {
                 let mut snapshots = Vec::new();
                 for handle in &self.shards {
-                    let replicas = handle.replicas.read().expect("replica lock");
+                    let replicas = handle.replicas.read().unwrap_or_else(|e| e.into_inner());
                     for server in replicas.iter() {
                         snapshots.push(server.shutdown(mode));
                     }
@@ -473,6 +481,7 @@ impl<Q: CandidateQueue + 'static> ShardRouter<Q> {
     }
 
     fn shard_mbr(&self, shard: usize) -> tnn_geom::Rect {
+        // check:allow(R2, only called with indices from eligible_shards(), whose cells have MBRs by construction)
         self.plan.mbr(shard).expect("eligible shards hold objects")
     }
 
@@ -485,14 +494,17 @@ impl<Q: CandidateQueue + 'static> ShardRouter<Q> {
         let shard_routed = handle.routed.fetch_add(1, Ordering::Relaxed) + 1;
         let total_routed = self.counters.routed.fetch_add(1, Ordering::Relaxed) + 1;
         self.maybe_replicate(shard, shard_routed, total_routed);
-        let replicas = handle.replicas.read().expect("replica lock");
+        let replicas = handle.replicas.read().unwrap_or_else(|e| e.into_inner());
         let server = replicas
             .iter()
             .min_by_key(|server| {
                 let stats = server.stats();
                 stats.queued + stats.in_flight
             })
-            .expect("eligible shards hold at least one replica");
+            // An empty replica set would be a spawn defect; refuse the
+            // sub-query (callers count Err as scatter_rejected) rather
+            // than take the router thread down.
+            .ok_or(TnnError::Overloaded)?;
         server.submit_with(query.clone(), qos)
     }
 
@@ -514,7 +526,10 @@ impl<Q: CandidateQueue + 'static> ShardRouter<Q> {
         if share * fair < self.config.hot_fair_share_factor {
             return;
         }
-        let mut replicas = self.shards[shard].replicas.write().expect("replica lock");
+        let mut replicas = self.shards[shard]
+            .replicas
+            .write()
+            .unwrap_or_else(|e| e.into_inner());
         if replicas.len() >= self.config.replication {
             return;
         }
@@ -536,6 +551,7 @@ impl<Q: CandidateQueue + 'static> ShardRouter<Q> {
                 .tree()
                 .objects_in_leaf_order()
                 .next()
+                // check:allow(R2, validate() rejected empty channels before any query runs, so every tree yields an object)
                 .expect("validation rejected empty channels");
             total += cursor.dist(stop);
             cursor = stop;
@@ -614,7 +630,10 @@ fn spawn_replica<Q: CandidateQueue + 'static>(
     env: &MultiChannelEnv,
     config: &ShardConfig,
 ) -> Server<Q> {
-    Server::spawn_engine(QueryEngine::<Q>::with_queue_backend(env.clone()), config.serve)
+    Server::spawn_engine(
+        QueryEngine::<Q>::with_queue_backend(env.clone()),
+        config.serve,
+    )
 }
 
 #[cfg(test)]

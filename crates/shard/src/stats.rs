@@ -51,10 +51,42 @@ impl ShardStats {
     }
 
     /// The sharded conservation invariant: the folded serving stats
-    /// conserve tickets, and every scatter submission the router made is
+    /// conserve tickets, every scatter submission the router made is
     /// accounted for by the shard servers
-    /// (`serve.submitted = scattered + scatter_rejected`).
+    /// (`serve.submitted = scattered + scatter_rejected`), errored
+    /// sub-queries are a subset of admitted ones, and fallbacks are a
+    /// subset of queries.
     pub fn conserved(&self) -> bool {
-        self.serve.conserved() && self.serve.submitted == self.scattered + self.scatter_rejected
+        self.serve.conserved()
+            && self.serve.submitted == self.scattered + self.scatter_rejected
+            && self.scatter_errors <= self.scattered
+            && self.fallbacks <= self.queries
+    }
+
+    /// Adds `other`'s counters (and folded serving stats) into `self` —
+    /// aggregation across routers, mirroring [`ServeStats::merge`].
+    /// Every [`ShardStats::conserved`] clause is linear or a sum-side
+    /// inequality, so merging conserved snapshots yields a conserved
+    /// result.
+    pub fn merge(&mut self, other: &ShardStats) {
+        self.queries += other.queries;
+        self.scattered += other.scattered;
+        self.scatter_rejected += other.scatter_rejected;
+        self.scatter_errors += other.scatter_errors;
+        self.scatter_pruned += other.scatter_pruned;
+        self.gather_probed += other.gather_probed;
+        self.gather_pruned += other.gather_pruned;
+        self.fallbacks += other.fallbacks;
+        self.replicas_spawned += other.replicas_spawned;
+        self.serve.merge(&other.serve);
+    }
+
+    /// [`ShardStats::merge`] over any number of snapshots.
+    pub fn fold<'a>(snapshots: impl IntoIterator<Item = &'a ShardStats>) -> ShardStats {
+        let mut acc = ShardStats::default();
+        for snapshot in snapshots {
+            acc.merge(snapshot);
+        }
+        acc
     }
 }

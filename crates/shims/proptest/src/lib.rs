@@ -12,7 +12,7 @@
 //!   assertion message, but is not minimized;
 //! * `prop_assume!` skips the current case rather than re-drawing it.
 
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub mod strategy {
     //! The [`Strategy`] trait and combinators.

@@ -10,7 +10,7 @@
 //! phase sequence on every platform. Swapping in the real `rand` changes
 //! the concrete streams (different algorithm) but no code.
 
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 /// Pseudo-random number generators (mirrors `rand::rngs`).
 pub mod rngs {

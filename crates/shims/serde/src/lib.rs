@@ -9,6 +9,8 @@
 //! generate real impls. Replacing this shim with the real `serde` is a
 //! one-line change in the workspace manifest.
 
+#![forbid(unsafe_code)]
+
 /// Marker trait mirroring `serde::Serialize` (blanket-implemented).
 pub trait Serialize {}
 impl<T: ?Sized> Serialize for T {}

@@ -4,6 +4,8 @@
 //! so the derives legitimately expand to nothing — they exist only so that
 //! `#[derive(Serialize, Deserialize)]` attributes compile unchanged.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::TokenStream;
 
 /// Expands to nothing; see the crate docs. Registers the `#[serde(...)]`

@@ -4,6 +4,8 @@
 //! generalization. Pass explicit channel counts as arguments
 //! (`channels 2 3 4`); `TNN_QUERIES` / `TNN_SEED` control the batch.
 
+#![forbid(unsafe_code)]
+
 use std::sync::Arc;
 use tnn_broadcast::BroadcastParams;
 use tnn_core::{Algorithm, TnnConfig};

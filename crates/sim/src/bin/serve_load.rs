@@ -56,6 +56,11 @@
 //! `TNN_SHARD_QUERIES` (shard-axis workload size, default 400), and
 //! `TNN_CHAOS_QUERIES` (chaos-axis workload size, default 300).
 
+#![forbid(unsafe_code)]
+// R1-approved timing module (see check/r1.allow): wall-clock calls are
+// deliberate here, so the clippy mirror of the rule is waived file-wide.
+#![allow(clippy::disallowed_methods)]
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::io::Write;

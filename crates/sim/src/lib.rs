@@ -23,7 +23,7 @@
 //! time and tune-in time in pages.
 
 #![warn(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub mod experiments;
 mod metrics;

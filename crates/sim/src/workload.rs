@@ -93,7 +93,7 @@ impl Catalog {
     /// std Mutex instead of parking_lot: tree building never panics while
     /// the lock is held, so poisoning cannot propagate; recover
     /// defensively anyway.
-    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<(DatasetSpec, usize), Arc<RTree>>> {
+    fn guard(&self) -> std::sync::MutexGuard<'_, HashMap<(DatasetSpec, usize), Arc<RTree>>> {
         self.cache.lock().unwrap_or_else(|e| e.into_inner())
     }
 
@@ -101,7 +101,7 @@ impl Catalog {
     /// packing, as in the paper).
     pub fn tree(&self, spec: DatasetSpec, params: &BroadcastParams) -> Arc<RTree> {
         let key = (spec, params.page_capacity);
-        if let Some(t) = self.lock().get(&key) {
+        if let Some(t) = self.guard().get(&key) {
             return Arc::clone(t);
         }
         // Build outside the lock: different datasets can build in
@@ -111,7 +111,7 @@ impl Catalog {
             RTree::build(&pts, params.rtree_params(), PackingAlgorithm::Str)
                 .expect("catalog datasets are non-empty and finite"),
         );
-        self.lock().entry(key).or_insert_with(|| Arc::clone(&tree));
+        self.guard().entry(key).or_insert_with(|| Arc::clone(&tree));
         tree
     }
 }

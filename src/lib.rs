@@ -67,7 +67,7 @@
 //! | [`sim`] (`tnn-sim`) | the experiment harness regenerating every figure/table of the paper |
 
 #![warn(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub use tnn_broadcast as broadcast;
 pub use tnn_core as core;
