@@ -1,0 +1,251 @@
+//! The acceptance gate of mutable environments: **updated ≡ rebuilt**.
+//!
+//! For arbitrary interleaved insert/delete schedules applied through
+//! [`DeltaOverlay`], the materialized tree must be **byte-identical**
+//! to a tree rebuilt from scratch over the same live set — and every
+//! query outcome over the updated environment must match the rebuilt
+//! environment exactly, across all four algorithms, k ∈ {2, 3, 4}
+//! channels, and both candidate-queue backends. Degenerate schedules
+//! (delete-to-empty channels) must degrade to the engine's recoverable
+//! `EmptyChannel` error, identically on both sides.
+//!
+//! The second gate pins cache identity across epochs: after an
+//! environment swap, a served answer (cold or cached) must be
+//! byte-identical to a fresh engine run over the new environment —
+//! pre-swap cache entries can never leak through.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use tnn_broadcast::{BroadcastParams, MultiChannelEnv};
+use tnn_core::{Algorithm, CandidateQueue, LinearQueue, Query, QueryEngine};
+use tnn_geom::Point;
+use tnn_rtree::{DeltaOverlay, ObjectId, PackingAlgorithm, RTree, RTreeParams};
+use tnn_serve::{ServeConfig, Server, ShutdownMode};
+
+/// One edit against a channel. Ids are drawn from a small range on
+/// purpose: schedules collide with base objects (overwrites), with
+/// their own inserts (upserts), and delete ids that never existed.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u32, Point),
+    Delete(u32),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    ((0u32..2), (0u32..48), (0.0f64..1000.0, 0.0f64..1000.0)).prop_map(|(kind, id, (x, y))| {
+        if kind == 0 {
+            Op::Insert(id, Point::new(x, y))
+        } else {
+            Op::Delete(id)
+        }
+    })
+}
+
+fn channel_strategy() -> impl Strategy<Value = (Vec<Point>, Vec<Op>)> {
+    (
+        prop::collection::vec(
+            (0.0f64..1000.0, 0.0f64..1000.0).prop_map(|(x, y)| Point::new(x, y)),
+            1..24,
+        ),
+        prop::collection::vec(op_strategy(), 0..32),
+    )
+}
+
+fn params() -> BroadcastParams {
+    BroadcastParams::new(64)
+}
+
+fn rtree_params() -> RTreeParams {
+    params().rtree_params()
+}
+
+/// Applies `schedule` through a [`DeltaOverlay`] over `base` and — in
+/// parallel — through a plain reference map (the executable spec of
+/// what the schedule's net effect should be).
+fn apply_schedule(base: &[Point], schedule: &[Op]) -> (DeltaOverlay, BTreeMap<u32, Point>) {
+    let base_tree = Arc::new(RTree::build(base, rtree_params(), PackingAlgorithm::Str).unwrap());
+    let mut overlay = DeltaOverlay::new(base_tree);
+    let mut reference: BTreeMap<u32, Point> = base
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (i as u32, p))
+        .collect();
+    for op in schedule {
+        match *op {
+            Op::Insert(id, p) => {
+                overlay.insert(ObjectId(id), p).unwrap();
+                reference.insert(id, p);
+            }
+            Op::Delete(id) => {
+                let was_live = overlay.delete(ObjectId(id));
+                assert_eq!(was_live, reference.remove(&id).is_some());
+            }
+        }
+    }
+    assert_eq!(overlay.len(), reference.len());
+    (overlay, reference)
+}
+
+/// The from-scratch rebuild of `reference`, preserving original ids.
+fn rebuild(reference: &BTreeMap<u32, Point>) -> RTree {
+    if reference.is_empty() {
+        return RTree::empty(rtree_params());
+    }
+    let pairs: Vec<(Point, ObjectId)> = reference
+        .iter()
+        .map(|(&id, &p)| (p, ObjectId(id)))
+        .collect();
+    RTree::build_with_ids(&pairs, rtree_params(), PackingAlgorithm::Str).unwrap()
+}
+
+/// A channel-ready tree over `points` in the given order: broadcast
+/// layouts require dense ids, exactly what a cycle cut assigns when it
+/// renumbers the (canonically ordered) live set.
+fn dense_tree(points: &[Point]) -> RTree {
+    if points.is_empty() {
+        RTree::empty(rtree_params())
+    } else {
+        RTree::build(points, rtree_params(), PackingAlgorithm::Str).unwrap()
+    }
+}
+
+/// Every TNN algorithm plus the three variant kinds over one point.
+fn query_mix(p: Point) -> Vec<Query> {
+    let mut queries: Vec<Query> = Algorithm::ALL
+        .iter()
+        .map(|&alg| Query::tnn(p).algorithm(alg).issued_at(7))
+        .collect();
+    queries.push(Query::chain(p).issued_at(7));
+    queries.push(Query::order_free(p).issued_at(7));
+    queries.push(Query::round_trip(p).issued_at(7));
+    queries
+}
+
+fn assert_envs_answer_identically<QB: CandidateQueue>(
+    updated: &MultiChannelEnv,
+    rebuilt: &MultiChannelEnv,
+    queries: &[Query],
+) {
+    let updated_engine = QueryEngine::<QB>::with_queue_backend(updated.clone());
+    let rebuilt_engine = QueryEngine::<QB>::with_queue_backend(rebuilt.clone());
+    for query in queries {
+        assert_eq!(
+            updated_engine.run(query),
+            rebuilt_engine.run(query),
+            "updated and rebuilt environments diverged on {query:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Updated ≡ rebuilt, end to end: materialized overlays are
+    /// byte-identical to from-scratch builds, and the environments over
+    /// them answer every query identically (answers *and* errors) on
+    /// both queue backends.
+    #[test]
+    fn interleaved_schedules_equal_rebuild_from_scratch(
+        channels in prop::collection::vec(channel_strategy(), 2..5),
+        (qx, qy) in (0.0f64..1000.0, 0.0f64..1000.0),
+    ) {
+        let mut updated_trees = Vec::new();
+        let mut rebuilt_trees = Vec::new();
+        for (base, schedule) in &channels {
+            let (overlay, reference) = apply_schedule(base, schedule);
+            let updated = overlay.materialize().unwrap();
+            let rebuilt = rebuild(&reference);
+            prop_assert_eq!(
+                updated.content_fingerprint(),
+                rebuilt.content_fingerprint(),
+                "live-set fingerprints diverged"
+            );
+            prop_assert_eq!(
+                format!("{updated:?}"),
+                format!("{rebuilt:?}"),
+                "materialized tree is not byte-identical to the rebuild"
+            );
+            // Channel trees need dense ids (a cycle cut renumbers the
+            // canonical live set) — derived through two independent
+            // paths: the overlay's merged view vs the reference map.
+            let from_overlay: Vec<Point> =
+                overlay.live_points().iter().map(|&(p, _)| p).collect();
+            let from_reference: Vec<Point> = reference.values().copied().collect();
+            updated_trees.push(Arc::new(dense_tree(&from_overlay)));
+            rebuilt_trees.push(Arc::new(dense_tree(&from_reference)));
+        }
+        let phases: Vec<u64> = (0..channels.len() as u64).map(|i| i * 5 + 1).collect();
+        let updated_env = MultiChannelEnv::new(updated_trees, params(), &phases);
+        let rebuilt_env = MultiChannelEnv::new(rebuilt_trees, params(), &phases);
+        // Equal content ⇒ equal identity: caches keyed on the
+        // fingerprint treat the two environments as the same data.
+        prop_assert_eq!(updated_env.fingerprint(), rebuilt_env.fingerprint());
+        let queries = query_mix(Point::new(qx, qy));
+        assert_envs_answer_identically::<tnn_core::ArrivalHeap>(
+            &updated_env, &rebuilt_env, &queries,
+        );
+        assert_envs_answer_identically::<LinearQueue>(&updated_env, &rebuilt_env, &queries);
+    }
+
+    /// Cache identity across epochs: prime a caching server, swap in a
+    /// mutated environment, and every post-swap answer — including a
+    /// repeat that hits the new epoch's cache — must be byte-identical
+    /// to a fresh engine run over the swapped-in environment.
+    #[test]
+    fn post_swap_answers_equal_fresh_runs(
+        channels in prop::collection::vec(channel_strategy(), 2..4),
+        (qx, qy) in (0.0f64..1000.0, 0.0f64..1000.0),
+    ) {
+        let phases: Vec<u64> = (0..channels.len() as u64).map(|i| i * 5 + 1).collect();
+        let base_env = MultiChannelEnv::new(
+            channels
+                .iter()
+                .map(|(base, _)| {
+                    Arc::new(RTree::build(base, rtree_params(), PackingAlgorithm::Str).unwrap())
+                })
+                .collect(),
+            params(),
+            &phases,
+        );
+        let next_env = base_env.advance(
+            channels
+                .iter()
+                .map(|(base, schedule)| {
+                    let (overlay, _) = apply_schedule(base, schedule);
+                    let live: Vec<Point> =
+                        overlay.live_points().iter().map(|&(p, _)| p).collect();
+                    Arc::new(dense_tree(&live))
+                })
+                .collect(),
+        );
+        prop_assume!(next_env.channels().iter().all(|c| c.tree().num_objects() > 0));
+
+        let server = Server::spawn(base_env.clone(), ServeConfig::new().workers(1));
+        let fresh = QueryEngine::new(next_env.clone());
+        let queries = query_mix(Point::new(qx, qy));
+        // Prime the cache at the base epoch...
+        for query in &queries {
+            server.submit(query.clone()).unwrap().wait().ok();
+        }
+        server.swap_env(next_env).unwrap();
+        prop_assert_eq!(server.engine().env().epoch(), base_env.epoch() + 1);
+        // ...then every post-swap submission (first a cold run at the
+        // new epoch, then a cached repeat) must equal the fresh engine.
+        for round in 0..2 {
+            for query in &queries {
+                let got = server.submit(query.clone()).unwrap().wait();
+                let want = fresh.run(query);
+                prop_assert_eq!(
+                    got,
+                    want,
+                    "round {} diverged from the fresh engine on {:?}",
+                    round,
+                    query
+                );
+            }
+        }
+        let stats = server.shutdown(ShutdownMode::Drain);
+        prop_assert!(stats.conserved(), "{stats:?}");
+    }
+}

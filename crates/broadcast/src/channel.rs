@@ -34,6 +34,25 @@ pub struct Channel {
     phase: u64,
     /// Leaf-rank → object id: which object occupies data block `rank`.
     object_by_rank: Arc<Vec<ObjectId>>,
+    /// Cached content identity (tree data + program parameters), computed
+    /// once at construction — see [`Channel::fingerprint`].
+    fingerprint: u64,
+}
+
+/// FNV-1a over a word sequence — the workspace's deterministic
+/// fingerprint fold (the std hasher is unspecified across releases,
+/// while these values identify environments across processes).
+pub(crate) fn fnv1a(words: impl IntoIterator<Item = u64>) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    for word in words {
+        for byte in word.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    }
+    h
 }
 
 impl Channel {
@@ -43,12 +62,19 @@ impl Channel {
     pub fn new(tree: Arc<RTree>, params: BroadcastParams, phase: u64) -> Self {
         let layout = Arc::new(BroadcastLayout::new(&tree, &params));
         let object_by_rank = Arc::new(tree.objects_in_leaf_order().map(|(_, o)| o).collect());
+        let fingerprint = fnv1a([
+            tree.content_fingerprint(),
+            params.page_capacity as u64,
+            u64::from(params.interleave_m),
+            params.data_content_bytes as u64,
+        ]);
         Channel {
             tree,
             layout,
             params,
             phase,
             object_by_rank,
+            fingerprint,
         }
     }
 
@@ -62,7 +88,19 @@ impl Channel {
             params: self.params,
             phase,
             object_by_rank: Arc::clone(&self.object_by_rank),
+            fingerprint: self.fingerprint,
         }
+    }
+
+    /// A deterministic 64-bit identity of the channel's **content**: the
+    /// broadcast tree's data/shape fingerprint folded with the program
+    /// parameters. The phase is deliberately excluded (it is schedule
+    /// alignment, not content, and is folded separately at the
+    /// environment level); see
+    /// [`MultiChannelEnv::fingerprint`](crate::MultiChannelEnv::fingerprint).
+    #[inline]
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// The R-tree being broadcast.

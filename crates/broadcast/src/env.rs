@@ -1,6 +1,7 @@
 //! The multi-channel access environment: several broadcast channels
 //! observable simultaneously by one client.
 
+use crate::channel::fnv1a;
 use crate::{BroadcastParams, Channel};
 use std::sync::Arc;
 use tnn_rtree::RTree;
@@ -21,14 +22,43 @@ use tnn_rtree::RTree;
 /// handle to one shared environment. Per-query phase randomization goes
 /// through [`crate::PhaseOverlay`], which borrows the environment and
 /// clones nothing.
+///
+/// # Epochs and mutation
+///
+/// Environments are **versioned snapshots**: every value is immutable,
+/// and a data update produces a *new* environment via
+/// [`MultiChannelEnv::advance`] / [`MultiChannelEnv::advance_channel`]
+/// with the [`MultiChannelEnv::epoch`] bumped. In-flight readers keep
+/// their clone (and thus a consistent view) while writers publish the
+/// next snapshot — the `Arc<[Channel]>` machinery makes both sides O(1)
+/// apart from the replaced channels themselves. The epoch together with
+/// the content [`MultiChannelEnv::fingerprint`] is the environment's
+/// cache identity: `QueryKey` in `tnn-core` folds both, so result-cache
+/// entries from a replaced environment can never be served again.
 #[derive(Debug, Clone)]
 pub struct MultiChannelEnv {
     channels: Arc<[Channel]>,
+    /// Mutation counter: 0 at construction, +1 per `advance*` call.
+    epoch: u64,
+    /// Content identity folded over every channel (see `fingerprint()`).
+    fingerprint: u64,
+}
+
+/// Folds the channel count plus every channel's `(content, phase)` pair.
+/// The phases belong here (not in the per-channel fingerprint): they are
+/// environment-level schedule alignment, and they change query outcomes
+/// whenever a query does not override them.
+fn fingerprint_of(channels: &[Channel]) -> u64 {
+    fnv1a(
+        std::iter::once(channels.len() as u64)
+            .chain(channels.iter().flat_map(|c| [c.fingerprint(), c.phase()])),
+    )
 }
 
 impl MultiChannelEnv {
     /// Builds an environment broadcasting each tree on its own channel
-    /// with the given phase offsets.
+    /// with the given phase offsets. A fresh environment starts at epoch
+    /// 0.
     ///
     /// # Panics
     /// Panics when `trees` and `phases` differ in length.
@@ -43,8 +73,11 @@ impl MultiChannelEnv {
             .zip(phases)
             .map(|(tree, &phase)| Channel::new(tree, params, phase))
             .collect();
+        let fingerprint = fingerprint_of(&channels);
         MultiChannelEnv {
             channels: channels.into(),
+            epoch: 0,
+            fingerprint,
         }
     }
 
@@ -88,8 +121,14 @@ impl MultiChannelEnv {
             .zip(phases)
             .map(|(c, &p)| c.with_phase(p))
             .collect();
+        let fingerprint = fingerprint_of(&channels);
         MultiChannelEnv {
             channels: channels.into(),
+            // Re-phasing is not a data mutation: the epoch carries over,
+            // but the fingerprint reflects the new alignment (phases
+            // change outcomes for queries without a phase override).
+            epoch: self.epoch,
+            fingerprint,
         }
     }
 
@@ -97,6 +136,82 @@ impl MultiChannelEnv {
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.channels.is_empty()
+    }
+
+    /// The environment's mutation epoch: 0 for a freshly built
+    /// environment, incremented by every [`MultiChannelEnv::advance`] /
+    /// [`MultiChannelEnv::advance_channel`]. Together with
+    /// [`MultiChannelEnv::fingerprint`] this is the identity caches fold
+    /// into their keys.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// A deterministic 64-bit identity of the environment's **content**:
+    /// channel count plus every channel's data fingerprint and phase.
+    /// Two environments broadcasting the same datasets under the same
+    /// parameters and phases share a fingerprint even across processes.
+    #[inline]
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The next snapshot: every channel's dataset replaced by the
+    /// corresponding tree, keeping each channel's parameters and phase,
+    /// with the epoch bumped. Readers holding a clone of `self` are
+    /// unaffected — this is the writer half of the epoch-versioned
+    /// snapshot contract.
+    ///
+    /// # Panics
+    /// Panics when `trees` does not match the channel count.
+    pub fn advance(&self, trees: Vec<Arc<RTree>>) -> Self {
+        assert_eq!(
+            self.channels.len(),
+            trees.len(),
+            "one tree per channel is required"
+        );
+        let channels: Vec<Channel> = self
+            .channels
+            .iter()
+            .zip(trees)
+            .map(|(c, tree)| Channel::new(tree, *c.params(), c.phase()))
+            .collect();
+        let fingerprint = fingerprint_of(&channels);
+        MultiChannelEnv {
+            channels: channels.into(),
+            epoch: self.epoch + 1,
+            fingerprint,
+        }
+    }
+
+    /// The next snapshot with only channel `i`'s dataset replaced —
+    /// every other channel is shared (O(1) per untouched channel), the
+    /// epoch is bumped. The common churn path: one dataset's broadcast
+    /// cycle is re-cut while the rest stay on air.
+    ///
+    /// # Panics
+    /// Panics when `i` is out of range.
+    pub fn advance_channel(&self, i: usize, tree: Arc<RTree>) -> Self {
+        assert!(i < self.channels.len(), "channel index out of range");
+        let channels: Vec<Channel> = self
+            .channels
+            .iter()
+            .enumerate()
+            .map(|(j, c)| {
+                if j == i {
+                    Channel::new(Arc::clone(&tree), *c.params(), c.phase())
+                } else {
+                    c.clone()
+                }
+            })
+            .collect();
+        let fingerprint = fingerprint_of(&channels);
+        MultiChannelEnv {
+            channels: channels.into(),
+            epoch: self.epoch + 1,
+            fingerprint,
+        }
     }
 }
 
@@ -147,6 +262,66 @@ mod tests {
         assert!(!std::ptr::eq(env.channels(), rephased.channels()));
         assert_eq!(env.channel(0).phase(), 3);
         assert_eq!(rephased.channel(0).phase(), 7);
+    }
+
+    #[test]
+    fn advance_bumps_the_epoch_and_changes_the_fingerprint() {
+        let params = BroadcastParams::new(64);
+        let env =
+            MultiChannelEnv::new(vec![tree(20, &params), tree(50, &params)], params, &[3, 99]);
+        assert_eq!(env.epoch(), 0);
+        let next = env.advance_channel(0, tree(21, &params));
+        assert_eq!(next.epoch(), 1);
+        assert_ne!(next.fingerprint(), env.fingerprint());
+        // The untouched channel is shared, phases and params carry over.
+        assert!(std::ptr::eq(
+            env.channel(1).tree_arc().as_ref(),
+            next.channel(1).tree_arc().as_ref()
+        ));
+        assert_eq!(next.channel(0).phase(), 3);
+        assert_eq!(next.channel(1).phase(), 99);
+        // The reader's snapshot is untouched.
+        assert_eq!(env.epoch(), 0);
+        assert_eq!(env.channel(0).tree().num_objects(), 20);
+        // A whole-environment advance replaces every channel.
+        let all = next.advance(vec![tree(5, &params), tree(6, &params)]);
+        assert_eq!(all.epoch(), 2);
+        assert_eq!(all.channel(0).tree().num_objects(), 5);
+        assert_eq!(all.channel(1).tree().num_objects(), 6);
+    }
+
+    #[test]
+    fn fingerprint_tracks_content_and_phases() {
+        let params = BroadcastParams::new(64);
+        let a = MultiChannelEnv::new(vec![tree(20, &params), tree(50, &params)], params, &[3, 99]);
+        let b = MultiChannelEnv::new(vec![tree(20, &params), tree(50, &params)], params, &[3, 99]);
+        assert_eq!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "same data, params, phases → same identity"
+        );
+        // An advance to *identical* trees still changes the epoch, so
+        // the (epoch, fingerprint) pair stays distinct even though the
+        // content identity matches.
+        let same = a.advance(vec![tree(20, &params), tree(50, &params)]);
+        assert_eq!(same.fingerprint(), a.fingerprint());
+        assert_eq!(same.epoch(), 1);
+        // Re-phasing changes the fingerprint but not the epoch.
+        let rephased = a.with_phases(&[4, 99]);
+        assert_eq!(rephased.epoch(), 0);
+        assert_ne!(rephased.fingerprint(), a.fingerprint());
+        // Different data changes the fingerprint.
+        let other =
+            MultiChannelEnv::new(vec![tree(21, &params), tree(50, &params)], params, &[3, 99]);
+        assert_ne!(other.fingerprint(), a.fingerprint());
+    }
+
+    #[test]
+    #[should_panic(expected = "one tree per channel")]
+    fn mismatched_advance_panics() {
+        let params = BroadcastParams::new(64);
+        let env = MultiChannelEnv::new(vec![tree(10, &params)], params, &[1]);
+        env.advance(vec![tree(10, &params), tree(10, &params)]);
     }
 
     #[test]

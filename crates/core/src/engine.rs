@@ -48,7 +48,7 @@ use crate::algorithms::{
 use crate::task::queue::{ArrivalHeap, CandidateQueue};
 use crate::{Algorithm, AnnMode, AnnSpec, ChannelCost, TnnConfig, TnnError, TnnPair, TnnRun};
 use serde::{Deserialize, Serialize};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, RwLock};
 use tnn_broadcast::{MultiChannelEnv, PhaseOverlay, PhaseVec};
 use tnn_geom::Point;
 use tnn_rtree::ObjectId;
@@ -423,12 +423,28 @@ const MAX_POOLED_SCRATCH: usize = 64;
 /// paper-literal linear reference through
 /// [`QueryEngine::with_queue_backend`]).
 ///
-/// See [`Query`] for an end-to-end example. Cloning an engine is O(1) in
-/// the environment (the channel list is `Arc`-shared) and starts an
-/// empty scratch pool.
+/// See [`Query`] for an end-to-end example. Cloning an engine is O(1)
+/// and shares the environment cell: clones (worker handles) observe
+/// every [`QueryEngine::swap_env`] the moment it lands. Each clone
+/// starts an empty scratch pool.
+///
+/// # Mutable environments
+///
+/// The engine holds the **current** environment snapshot behind a cell;
+/// [`QueryEngine::swap_env`] publishes the next epoch while in-flight
+/// queries keep running on the snapshot they took at dispatch (an
+/// environment clone is O(1), so the read path stays cheap). The channel
+/// count is fixed at construction — swaps must preserve it, mirroring
+/// how every admitted query was validated against it.
 #[derive(Debug)]
 pub struct QueryEngine<Q: CandidateQueue = ArrivalHeap> {
-    env: MultiChannelEnv,
+    /// The current environment snapshot, shared across engine clones.
+    /// Readers clone it out (O(1)) and never hold the guard across a
+    /// query; `swap_env` is the only writer.
+    env: Arc<RwLock<MultiChannelEnv>>,
+    /// Channel count, fixed at construction and invariant under swaps —
+    /// reading it never takes the env lock.
+    channels: usize,
     /// Recycled per-query buffers for the pooling [`QueryEngine::run`]
     /// path. `run_with` never touches this.
     pool: Mutex<Vec<QueryScratch<Q>>>,
@@ -446,20 +462,50 @@ impl<Q: CandidateQueue> QueryEngine<Q> {
     /// An engine over `env` with an explicit candidate-queue backend
     /// (A/B benchmarking; everyday code wants [`QueryEngine::new`]).
     pub fn with_queue_backend(env: MultiChannelEnv) -> Self {
+        let channels = env.len();
         QueryEngine {
-            env,
+            env: Arc::new(RwLock::new(env)),
+            channels,
             pool: Mutex::new(Vec::new()),
         }
     }
 
-    /// The shared environment.
-    pub fn env(&self) -> &MultiChannelEnv {
-        &self.env
+    /// The current environment snapshot — an O(1) clone out of the
+    /// shared cell. The snapshot is immutable and stays consistent in
+    /// the caller's hands even while a concurrent
+    /// [`QueryEngine::swap_env`] publishes the next epoch.
+    pub fn env(&self) -> MultiChannelEnv {
+        self.env.read().unwrap_or_else(|e| e.into_inner()).clone()
     }
 
-    /// Number of broadcast channels.
+    /// Number of broadcast channels — fixed at construction, invariant
+    /// under [`QueryEngine::swap_env`], and readable without touching
+    /// the environment cell.
     pub fn channels(&self) -> usize {
-        self.env.len()
+        self.channels
+    }
+
+    /// Publishes `env` as the engine's next environment snapshot. Every
+    /// engine clone (worker handles included) observes the swap on its
+    /// next dispatch; queries already executing finish on the snapshot
+    /// they started with. Callers advance epochs via
+    /// [`MultiChannelEnv::advance`] / [`MultiChannelEnv::advance_channel`]
+    /// so downstream caches see the identity change.
+    ///
+    /// # Errors
+    /// [`TnnError::WrongChannelCount`] when `env`'s channel count
+    /// differs from the engine's — admitted queries were validated
+    /// against the original count, so a swap may change *data*, never
+    /// *shape*.
+    pub fn swap_env(&self, env: MultiChannelEnv) -> Result<(), TnnError> {
+        if env.len() != self.channels {
+            return Err(TnnError::WrongChannelCount {
+                needed: self.channels,
+                available: env.len(),
+            });
+        }
+        *self.env.write().unwrap_or_else(|e| e.into_inner()) = env;
+        Ok(())
     }
 
     /// Executes `query`, drawing a pooled [`QueryScratch`] (grown by
@@ -486,7 +532,9 @@ impl<Q: CandidateQueue> QueryEngine<Q> {
 
     /// [`QueryEngine::run`] with a caller-owned scratch — the zero-alloc
     /// hot path for batch runners holding one [`QueryScratch`] per worker
-    /// thread.
+    /// thread. Takes the engine's current environment snapshot; callers
+    /// that must pin a specific snapshot across several runs (serving
+    /// workers keying a cache) use [`QueryEngine::run_on`].
     ///
     /// # Errors
     /// As [`QueryEngine::run`].
@@ -498,9 +546,30 @@ impl<Q: CandidateQueue> QueryEngine<Q> {
         query: &Query,
         scratch: &mut QueryScratch<Q>,
     ) -> Result<QueryOutcome, TnnError> {
+        let env = self.env();
+        self.run_on(&env, query, scratch)
+    }
+
+    /// [`QueryEngine::run_with`] against an explicit environment
+    /// snapshot — the epoch-consistent path for serving workers: take
+    /// one snapshot, derive the cache key from it, and execute on it,
+    /// so a concurrent [`QueryEngine::swap_env`] can never wedge an
+    /// answer from one epoch under a key from another.
+    ///
+    /// # Errors
+    /// As [`QueryEngine::run`].
+    ///
+    /// # Panics
+    /// As [`QueryEngine::run`].
+    pub fn run_on(
+        &self,
+        env: &MultiChannelEnv,
+        query: &Query,
+        scratch: &mut QueryScratch<Q>,
+    ) -> Result<QueryOutcome, TnnError> {
         let overlay = match &query.phases {
-            Some(phases) => PhaseOverlay::new(&self.env, phases),
-            None => PhaseOverlay::identity(&self.env),
+            Some(phases) => PhaseOverlay::new(env, phases),
+            None => PhaseOverlay::identity(env),
         };
         let mut outcome: QueryOutcome = match query.kind {
             QueryKind::Tnn(_) | QueryKind::Chain => {
@@ -578,7 +647,10 @@ impl<Q: CandidateQueue> QueryEngine<Q> {
 impl<Q: CandidateQueue> Clone for QueryEngine<Q> {
     fn clone(&self) -> Self {
         QueryEngine {
-            env: self.env.clone(),
+            // Clones share the cell, not just the snapshot: a swap on
+            // any handle is observed by all of them.
+            env: Arc::clone(&self.env),
+            channels: self.channels,
             pool: Mutex::new(Vec::new()),
         }
     }
@@ -782,6 +854,70 @@ mod tests {
     }
 
     #[test]
+    fn swap_env_publishes_to_every_clone() {
+        let engine = QueryEngine::new(two_channel());
+        let copy = engine.clone();
+        let q = Query::tnn(Point::new(77.0, 99.0));
+        let before = engine.run(&q).unwrap();
+        // Swap in an advanced environment with channel 0's dataset moved.
+        let env = engine.env();
+        let params = *env.channel(0).params();
+        let shifted: Vec<Point> = cloud(90, 1)
+            .iter()
+            .map(|p| Point::new(p.x + 40.0, p.y + 40.0))
+            .collect();
+        let tree =
+            Arc::new(RTree::build(&shifted, params.rtree_params(), PackingAlgorithm::Str).unwrap());
+        engine.swap_env(env.advance_channel(0, tree)).unwrap();
+        assert_eq!(engine.env().epoch(), 1);
+        assert_eq!(copy.env().epoch(), 1, "clones share the cell");
+        let after_original = engine.run(&q).unwrap();
+        let after_copy = copy.run(&q).unwrap();
+        assert_eq!(after_original, after_copy);
+        assert_ne!(
+            before, after_original,
+            "moved dataset must change the answer"
+        );
+        // A fresh engine over the swapped snapshot agrees byte-for-byte.
+        let fresh = QueryEngine::new(engine.env());
+        assert_eq!(fresh.run(&q).unwrap(), after_original);
+    }
+
+    #[test]
+    fn swap_env_rejects_channel_count_changes() {
+        let engine = QueryEngine::new(two_channel());
+        let three = build_env(&[cloud(20, 0), cloud(20, 3), cloud(20, 6)], &[0, 0, 0]);
+        assert_eq!(
+            engine.swap_env(three).unwrap_err(),
+            TnnError::WrongChannelCount {
+                needed: 2,
+                available: 3
+            }
+        );
+        assert_eq!(engine.channels(), 2);
+        assert_eq!(engine.env().epoch(), 0, "rejected swap changes nothing");
+    }
+
+    #[test]
+    fn run_on_pins_a_snapshot_across_a_swap() {
+        let engine = QueryEngine::new(two_channel());
+        let q = Query::tnn(Point::new(40.0, 160.0));
+        let pinned = engine.env();
+        let before = engine.run(&q).unwrap();
+        // Swap to a different dataset; the pinned snapshot still answers
+        // like the original environment.
+        let params = *pinned.channel(0).params();
+        let tree = Arc::new(
+            RTree::build(&cloud(33, 5), params.rtree_params(), PackingAlgorithm::Str).unwrap(),
+        );
+        engine.swap_env(pinned.advance_channel(0, tree)).unwrap();
+        let mut scratch = QueryScratch::default();
+        let on_pinned = engine.run_on(&pinned, &q, &mut scratch).unwrap();
+        assert_eq!(on_pinned, before, "in-flight view stays consistent");
+        assert_ne!(engine.run(&q).unwrap(), before);
+    }
+
+    #[test]
     fn engine_is_shareable_across_threads() {
         let env = two_channel();
         let engine = QueryEngine::new(env);
@@ -879,6 +1015,59 @@ mod tests {
                 "{:?}",
                 query.kind()
             );
+        }
+    }
+
+    #[test]
+    fn delete_to_empty_then_insert_recovers_for_every_algorithm() {
+        // The degenerate mutation transitions must surface as recoverable
+        // errors, never panics: deleting a channel's last object yields a
+        // valid empty tree (queries → EmptyChannel), and inserting into
+        // the empty channel makes it queryable again.
+        use tnn_rtree::{DeltaOverlay, ObjectId};
+        let engine = QueryEngine::new(two_channel());
+        let p = Point::new(50.0, 50.0);
+        // Delete every object on channel 1 through the overlay.
+        let env = engine.env();
+        let mut delta = DeltaOverlay::new(Arc::clone(env.channel(1).tree_arc()));
+        let ids: Vec<ObjectId> = delta.live_points().iter().map(|&(_, id)| id).collect();
+        for id in ids {
+            assert!(delta.delete(id));
+        }
+        let emptied = delta.materialize().unwrap();
+        engine
+            .swap_env(env.advance_channel(1, Arc::new(emptied)))
+            .unwrap();
+        let queries = [
+            Query::tnn(p).algorithm(Algorithm::DoubleNn),
+            Query::tnn(p).algorithm(Algorithm::HybridNn),
+            Query::tnn(p).algorithm(Algorithm::WindowBased),
+            Query::tnn(p).algorithm(Algorithm::ApproximateTnn),
+            Query::chain(p),
+            Query::order_free(p),
+            Query::round_trip(p),
+        ];
+        for query in &queries {
+            assert_eq!(
+                engine.run(query).unwrap_err(),
+                TnnError::EmptyChannel { channel: 1 },
+                "{:?}",
+                query.kind()
+            );
+        }
+        // Insert into the emptied channel and every kind works again.
+        let env = engine.env();
+        let mut refill = DeltaOverlay::new(Arc::clone(env.channel(1).tree_arc()));
+        refill.insert(ObjectId(0), Point::new(55.0, 55.0)).unwrap();
+        refill.insert(ObjectId(1), Point::new(60.0, 45.0)).unwrap();
+        let refilled = refill.materialize().unwrap();
+        engine
+            .swap_env(env.advance_channel(1, Arc::new(refilled)))
+            .unwrap();
+        assert_eq!(engine.env().epoch(), 2);
+        for query in &queries {
+            let outcome = engine.run(query).unwrap();
+            assert!(!outcome.failed(), "{:?}", query.kind());
         }
     }
 

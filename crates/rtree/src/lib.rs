@@ -20,15 +20,19 @@
 //!   k-NN, incremental distance browsing, and circular/rectangular range
 //!   queries, all reporting visit statistics.
 //!
-//! The tree is immutable by design: broadcast programs are recomputed per
-//! cycle from a static snapshot, as in the paper ("the locations of the
-//! points in all the datasets are known a priori, and no insertion and
-//! deletion are involved").
+//! The packed tree itself is immutable: broadcast programs are recomputed
+//! per cycle from a static snapshot, as in the paper ("the locations of
+//! the points in all the datasets are known a priori, and no insertion
+//! and deletion are involved"). Churning datasets are handled one level
+//! up by [`DeltaOverlay`], a log-structured edit log merged at query
+//! time and folded into a fresh packed snapshot per cycle via canonical
+//! materialization.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod build;
+mod delta;
 mod error;
 mod node;
 mod params;
@@ -36,6 +40,7 @@ mod query;
 mod tree;
 
 pub use build::PackingAlgorithm;
+pub use delta::DeltaOverlay;
 pub use error::RTreeError;
 pub use node::{ChildEntry, Entries, LeafEntry, Node, NodeId, ObjectId};
 pub use params::RTreeParams;

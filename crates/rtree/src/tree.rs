@@ -201,6 +201,43 @@ impl RTree {
         self.height - 1 - self.node(id).level
     }
 
+    /// A deterministic 64-bit fingerprint of the tree's **content and
+    /// shape**: build parameters, packing algorithm, and every
+    /// `(point, object)` pair in leaf preorder. Two trees carry the same
+    /// fingerprint exactly when they index the same data the same way,
+    /// so downstream caches can use it as environment identity (see
+    /// `QueryKey` in `tnn-core`).
+    ///
+    /// FNV-1a over the raw bit patterns — hand-rolled rather than
+    /// `DefaultHasher` because the std hasher's algorithm is
+    /// unspecified and may change between releases, while this value is
+    /// compared across processes and persisted in benchmark artifacts.
+    pub fn content_fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut mix = |word: u64| {
+            for byte in word.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        mix(self.num_objects as u64);
+        mix(self.params.fanout as u64);
+        mix(self.params.leaf_capacity as u64);
+        mix(match self.packing {
+            PackingAlgorithm::Str => 1,
+            PackingAlgorithm::HilbertSort => 2,
+            PackingAlgorithm::NearestX => 3,
+        });
+        for (p, o) in self.objects_in_leaf_order() {
+            mix(p.x.to_bits());
+            mix(p.y.to_bits());
+            mix(u64::from(o.0));
+        }
+        h
+    }
+
     /// Iterates over all `(point, object)` pairs in leaf preorder — the
     /// order in which objects are placed into the broadcast data segment.
     pub fn objects_in_leaf_order(&self) -> impl Iterator<Item = (Point, ObjectId)> + '_ {
@@ -451,6 +488,45 @@ mod tests {
             assert_eq!(shard.num_objects(), objects.len());
             assert!(mbr.contains_rect(&shard.root_mbr()));
         }
+    }
+
+    #[test]
+    fn content_fingerprint_separates_data_params_and_packing() {
+        let tree = sample_tree(100);
+        assert_eq!(
+            tree.content_fingerprint(),
+            sample_tree(100).content_fingerprint(),
+            "same build → same fingerprint"
+        );
+        assert_ne!(
+            tree.content_fingerprint(),
+            sample_tree(101).content_fingerprint()
+        );
+        let pts: Vec<Point> = (0..100)
+            .map(|i| Point::new((i * 13 % 47) as f64, (i * 29 % 53) as f64))
+            .collect();
+        let other_params = RTree::build(
+            &pts,
+            RTreeParams::for_page_capacity(128),
+            PackingAlgorithm::Str,
+        )
+        .unwrap();
+        assert_ne!(
+            tree.content_fingerprint(),
+            other_params.content_fingerprint()
+        );
+        let other_packing =
+            RTree::build(&pts, RTreeParams::default(), PackingAlgorithm::HilbertSort).unwrap();
+        assert_ne!(
+            tree.content_fingerprint(),
+            other_packing.content_fingerprint()
+        );
+        // One moved point changes the fingerprint.
+        let mut moved = pts.clone();
+        moved[42] = Point::new(moved[42].x + 0.5, moved[42].y);
+        let moved_tree =
+            RTree::build(&moved, RTreeParams::default(), PackingAlgorithm::Str).unwrap();
+        assert_ne!(tree.content_fingerprint(), moved_tree.content_fingerprint());
     }
 
     #[test]

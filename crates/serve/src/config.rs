@@ -146,6 +146,16 @@ pub struct ServeConfig {
     /// from occupying workers with backoff sleeps that Interactive
     /// traffic then queues behind.
     pub retry_budget: [u64; Priority::COUNT],
+    /// Coalesce concurrent identical cache misses into one engine run
+    /// (singleflight): the first miss of a key leads and executes, and
+    /// while it is in flight every further submission of the same key
+    /// joins its ticket instead of queueing a duplicate job
+    /// ([`crate::ServeStats::cache_coalesced`]). Off by default; takes
+    /// effect only when the result cache is active (queries need cache
+    /// identities to coalesce by) and the server runs without a fault
+    /// plan (followers share the leader's outcome byte-for-byte, which
+    /// injected faults and degraded fallbacks would break).
+    pub singleflight: bool,
 }
 
 impl ServeConfig {
@@ -168,6 +178,7 @@ impl ServeConfig {
             degradation: Degradation::Fail,
             max_worker_restarts: 32,
             retry_budget: [0; Priority::COUNT],
+            singleflight: false,
         }
     }
 
@@ -239,6 +250,13 @@ impl ServeConfig {
         self
     }
 
+    /// Enables (or disables) singleflight coalescing of concurrent
+    /// identical cache misses.
+    pub fn singleflight(mut self, enabled: bool) -> Self {
+        self.singleflight = enabled;
+        self
+    }
+
     /// The effective lane bound of `class` after inheritance and
     /// clamping — what the server actually enforces.
     pub fn lane_capacity(&self, class: Priority) -> usize {
@@ -273,7 +291,8 @@ mod tests {
             .retry(RetryPolicy::NONE.max_attempts(9))
             .degradation(Degradation::Approximate)
             .max_worker_restarts(2)
-            .retry_budget(Priority::Background, 64);
+            .retry_budget(Priority::Background, 64)
+            .singleflight(true);
         assert_eq!(cfg.workers, 3);
         assert_eq!(cfg.queue_capacity, 7);
         assert_eq!(cfg.backpressure, Backpressure::Shed);
@@ -284,6 +303,7 @@ mod tests {
         assert_eq!(cfg.degradation, Degradation::Approximate);
         assert_eq!(cfg.max_worker_restarts, 2);
         assert_eq!(cfg.retry_budget[Priority::Background.index()], 64);
+        assert!(cfg.singleflight);
         assert!(ServeConfig::new().workers >= 1);
         assert_eq!(ServeConfig::new().backpressure, Backpressure::Block);
         assert_eq!(ServeConfig::new().shed, ShedDiscipline::ExpiredFirst);
@@ -292,6 +312,8 @@ mod tests {
         assert_eq!(ServeConfig::new().degradation, Degradation::Fail);
         assert_eq!(ServeConfig::new().retry_budget, [0; Priority::COUNT]);
         assert!(ServeConfig::new().retry.max_attempts > 1);
+        // Coalescing is opt-in: plain spawns keep one-job-per-submission.
+        assert!(!ServeConfig::new().singleflight);
     }
 
     #[test]

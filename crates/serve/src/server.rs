@@ -21,7 +21,10 @@ use tnn_core::{
     QueryScratch, TnnError,
 };
 use tnn_faults::{FaultInjector, FaultPlan, FaultStats};
-use tnn_qos::{Deadline, Lookup, MultiLevelQueue, Priority, Qos, ResultCache, RetryBudget};
+use tnn_qos::{
+    Deadline, FlightOutcome, FlightTable, Lookup, MultiLevelQueue, Priority, Qos, ResultCache,
+    RetryBudget,
+};
 
 /// Admission/completion counters of one priority class.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -145,6 +148,12 @@ pub struct ServeStats {
     /// replayed under a full-fidelity key), or a job abandoned by a
     /// dying worker.
     pub cache_bypass: u64,
+    /// Completions coalesced onto another submission's in-flight engine
+    /// run ([`ServeConfig::singleflight`]): the follower's ticket shares
+    /// the leader's outcome, so the engine ran once for the whole
+    /// flight. The leader itself is classified by its own cache outcome
+    /// (`cache_misses` or `cache_expired`), never here.
+    pub cache_coalesced: u64,
     /// Total retry attempts over all classes.
     pub retried: u64,
     /// Total degraded completions over all classes.
@@ -169,7 +178,7 @@ impl ServeStats {
     ///    sum to the totals;
     /// 3. every completion is classified by exactly one cache outcome
     ///    (`completed = cache_hits + cache_misses + cache_expired +
-    ///    cache_bypass`).
+    ///    cache_bypass + cache_coalesced`).
     ///
     /// Holds for every snapshot; after a shutdown `queued` and
     /// `in_flight` are 0, so clause 1 reduces to `submitted = rejected +
@@ -194,7 +203,11 @@ impl ServeStats {
             && self.queued == self.classes.iter().map(|c| c.queued).sum::<usize>()
             && self.in_flight == self.classes.iter().map(|c| c.in_flight).sum::<usize>();
         let cache = self.completed
-            == self.cache_hits + self.cache_misses + self.cache_expired + self.cache_bypass;
+            == self.cache_hits
+                + self.cache_misses
+                + self.cache_expired
+                + self.cache_bypass
+                + self.cache_coalesced;
         let resilience = self.retried == self.classes.iter().map(|c| c.retried).sum::<u64>()
             && self.degraded == self.classes.iter().map(|c| c.degraded).sum::<u64>()
             && self
@@ -230,6 +243,7 @@ impl ServeStats {
         self.cache_misses += other.cache_misses;
         self.cache_expired += other.cache_expired;
         self.cache_bypass += other.cache_bypass;
+        self.cache_coalesced += other.cache_coalesced;
         self.retried += other.retried;
         self.degraded += other.degraded;
         self.worker_restarts += other.worker_restarts;
@@ -271,6 +285,10 @@ struct Job {
     /// The admission probe found a TTL-expired entry: this run refreshes
     /// it (classified `cache_expired`, not `cache_misses`).
     refresh: bool,
+    /// This job leads a singleflight: concurrent identical submissions
+    /// share its cell, and the worker that resolves it must retire the
+    /// flight-table entry so the next miss of the key leads anew.
+    lead: bool,
     /// Admission sequence number — the logical clock every fault
     /// decision is keyed by (see [`FaultPlan`]), assigned under the
     /// state lock at enqueue.
@@ -318,6 +336,7 @@ struct State {
     cache_misses: u64,
     cache_expired: u64,
     cache_bypass: u64,
+    cache_coalesced: u64,
     /// Next admission sequence number (assigned to enqueued jobs only,
     /// so a single-threaded submitter gets a deterministic numbering).
     next_seq: u64,
@@ -334,6 +353,17 @@ impl State {
     }
 }
 
+impl Inner {
+    /// Removes `key`'s singleflight entry (if flights are on and the
+    /// job had a cache identity) — called by whichever path resolved a
+    /// leader's cell, so the key's next miss leads a fresh engine run.
+    fn retire_flight(&self, key: &Option<QueryKey>) {
+        if let (Some(flights), Some(key)) = (&self.flights, key) {
+            flights.complete(key);
+        }
+    }
+}
+
 struct Inner {
     state: Mutex<State>,
     /// Wakes workers when jobs arrive (or shutdown begins).
@@ -342,6 +372,12 @@ struct Inner {
     space: Condvar,
     /// The shared result cache; `None` when disabled by configuration.
     cache: Option<ResultCache<QueryKey, QueryOutcome>>,
+    /// In-flight engine runs by cache key, for singleflight coalescing;
+    /// `None` unless [`ServeConfig::singleflight`] is on, the cache is
+    /// active, and no fault plan is installed (injected faults and
+    /// degraded fallbacks would break the share-the-leader's-bytes
+    /// contract).
+    flights: Option<FlightTable<QueryKey, Arc<TicketCell>>>,
     /// The fault schedule workers execute under; `None` for servers
     /// spawned without one (the plain [`Server::spawn`] path keeps the
     /// exact PR 5 hot path — not even a zero-plan probe per job).
@@ -464,6 +500,8 @@ impl<Q: CandidateQueue + 'static> Server<Q> {
         // every query, and errors are never cached.
         let cache = (config.cache.enabled && engine.channels() >= 2)
             .then(|| ResultCache::new(config.cache));
+        let flights =
+            (config.singleflight && cache.is_some() && faults.is_none()).then(FlightTable::new);
         let inner = Arc::new(Inner {
             state: Mutex::new(State {
                 queue: MultiLevelQueue::new(),
@@ -473,12 +511,14 @@ impl<Q: CandidateQueue + 'static> Server<Q> {
                 cache_misses: 0,
                 cache_expired: 0,
                 cache_bypass: 0,
+                cache_coalesced: 0,
                 next_seq: 0,
                 worker_restarts: 0,
             }),
             work: Condvar::new(),
             space: Condvar::new(),
             cache,
+            flights,
             faults,
             budget: RetryBudget::new(config.retry_budget),
             config,
@@ -505,6 +545,23 @@ impl<Q: CandidateQueue + 'static> Server<Q> {
     /// sharing this environment).
     pub fn engine(&self) -> &QueryEngine<Q> {
         &self.engine
+    }
+
+    /// Publishes `env` as the serving environment without stopping the
+    /// server: workers pick up the new snapshot on their next job, while
+    /// jobs already executing finish on the snapshot they started with.
+    /// Queries admitted after the swap carry the new environment's
+    /// epoch/fingerprint in their cache keys, so pre-swap cache entries
+    /// miss instead of replaying stale answers (churn regression:
+    /// `crates/serve/tests/churn.rs`).
+    ///
+    /// # Errors
+    /// [`TnnError::WrongChannelCount`] when `env`'s channel count
+    /// differs from the engine's — a swap may change data, never shape
+    /// (see [`QueryEngine::swap_env`]). The server keeps serving the
+    /// old environment on error.
+    pub fn swap_env(&self, env: MultiChannelEnv) -> Result<(), TnnError> {
+        self.engine.swap_env(env)
     }
 
     /// The normalized configuration the server runs with.
@@ -655,11 +712,16 @@ impl<Q: CandidateQueue + 'static> Server<Q> {
 
     /// The query's cache identity, derived only when the cache exists
     /// (the spawn gate guarantees a cacheable `k ≥ 2` environment then).
+    /// Stamped against the *current* environment snapshot: the key
+    /// carries the env's epoch and content fingerprint, so entries
+    /// written before a [`Server::swap_env`] can never answer queries
+    /// admitted after it. A worker re-stamps the key if the environment
+    /// moved between admission and execution.
     fn derive_key(&self, query: &Query) -> Option<QueryKey> {
         self.inner
             .cache
             .is_some()
-            .then(|| query.cache_key(self.engine.channels()))
+            .then(|| query.cache_key(&self.engine.env()))
     }
 
     /// Admission under the state lock: deadline check, cache probe,
@@ -714,18 +776,48 @@ impl<Q: CandidateQueue + 'static> Server<Q> {
                 Lookup::Miss => {}
             }
         }
+        // Singleflight: a live in-flight run of this exact key absorbs
+        // the miss — the follower's ticket reads the leader's cell, no
+        // job is enqueued, and the engine runs once for the whole
+        // flight. Otherwise this submission becomes the leader and must
+        // retire the flight entry on every exit path below.
+        let cell = TicketCell::new();
+        let mut lead = false;
+        if let (Some(flights), Some(candidate)) = (&self.inner.flights, &key) {
+            match flights.join_or_lead(candidate, Arc::clone(&cell), |c| !c.is_resolved()) {
+                FlightOutcome::Joined(leader) => {
+                    state.classes[class].accepted += 1;
+                    state.classes[class].completed += 1;
+                    state.cache_coalesced += 1;
+                    state.classes[class]
+                        .latency
+                        .record(Instant::now().saturating_duration_since(submitted_at));
+                    let cell = leader;
+                    return (state, Ok(Ticket { cell, submitted_at }), false);
+                }
+                FlightOutcome::Led => lead = true,
+            }
+        }
         let capacity = self.inner.config.lane_capacity(qos.priority);
         loop {
             if state.shutdown.is_some() {
                 state.classes[class].rejected += 1;
+                // Followers already on this flight share the leader's
+                // fate; the entry must not outlive it.
+                if lead {
+                    cell.resolve(Err(TnnError::Cancelled));
+                    self.inner.retire_flight(&key);
+                }
                 return (state, Err(TnnError::Cancelled), false);
             }
             // The deadline can pass while Block-waiting for a slot.
             if qos.deadline.expired(Instant::now()) {
                 state.classes[class].accepted += 1;
                 state.classes[class].expired += 1;
-                let cell = TicketCell::new();
                 cell.resolve(Err(TnnError::DeadlineExceeded));
+                if lead {
+                    self.inner.retire_flight(&key);
+                }
                 return (state, Ok(Ticket { cell, submitted_at }), false);
             }
             if state.queue.len_of(qos.priority) < capacity {
@@ -759,6 +851,10 @@ impl<Q: CandidateQueue + 'static> Server<Q> {
                 }
                 Backpressure::Reject => {
                     state.classes[class].rejected += 1;
+                    if lead {
+                        cell.resolve(Err(TnnError::Overloaded));
+                        self.inner.retire_flight(&key);
+                    }
                     return (state, Err(TnnError::Overloaded), false);
                 }
                 Backpressure::Shed => {
@@ -777,12 +873,17 @@ impl<Q: CandidateQueue + 'static> Server<Q> {
                         state.classes[victim.class.index()].shed += 1;
                         victim.cell.resolve(Err(TnnError::Overloaded));
                     }
+                    // An evicted leader's flight dies with it: retire
+                    // the entry so the key's next miss leads a fresh
+                    // run instead of probing a resolved cell.
+                    if victim.lead {
+                        self.inner.retire_flight(&victim.key);
+                    }
                     break;
                 }
             }
         }
         state.classes[class].accepted += 1;
-        let cell = TicketCell::new();
         let seq = state.next_seq;
         state.next_seq += 1;
         state.queue.push_back(
@@ -794,6 +895,7 @@ impl<Q: CandidateQueue + 'static> Server<Q> {
                 deadline: qos.deadline,
                 key,
                 refresh,
+                lead,
                 seq,
                 submitted_at,
             },
@@ -809,6 +911,7 @@ impl<Q: CandidateQueue + 'static> Server<Q> {
             cache_misses: state.cache_misses,
             cache_expired: state.cache_expired,
             cache_bypass: state.cache_bypass,
+            cache_coalesced: state.cache_coalesced,
             worker_restarts: state.worker_restarts,
             ..ServeStats::default()
         };
@@ -1104,21 +1207,42 @@ fn worker_rounds<Q: CandidateQueue>(inner: &Inner, engine: &QueryEngine<Q>) {
             // not run — the worker's time goes to viable work.
             if job.deadline.expired(now) {
                 job.cell.resolve(Err(TnnError::DeadlineExceeded));
+                if job.lead {
+                    inner.retire_flight(&job.key);
+                }
                 guard.expired[class] += 1;
                 continue;
             }
+            // One environment snapshot pins this job's whole execution
+            // — cache identity, fault probes, engine run — to a single
+            // epoch, even while a concurrent [`Server::swap_env`]
+            // publishes the next one mid-batch.
+            let env = engine.env();
+            // Re-stamp the cache identity if the environment moved
+            // since admission: the job probes and fills the cache under
+            // the identity of the environment it actually runs on (the
+            // admission-time key would miss forever and, worse, write
+            // an entry no future submission could ever hit). A re-stamp
+            // also clears the refresh flag — the expired entry it
+            // described belongs to the dead epoch.
+            let (key, mut refresh) = match &job.key {
+                Some(key) if !key.matches_env(&env) => (Some(job.query.cache_key(&env)), false),
+                other => (other.clone(), job.refresh),
+            };
             // Second cache probe, at dequeue: duplicates that were still
             // queued behind their first occurrence (an admission probe
             // runs before any of them executes — batch admission even
             // holds the queue lock across the whole batch) hit here
             // instead of re-running the engine. A hit also skips the
             // fault schedule entirely: a cached answer needs no tune-in.
-            let mut refresh = job.refresh;
-            let cacheable = match (&job.key, &inner.cache) {
+            let cacheable = match (&key, &inner.cache) {
                 (Some(key), Some(cache)) => match cache.lookup(key, now) {
                     Lookup::Hit(outcome) => {
                         guard.cache_hits += 1;
                         job.cell.resolve(Ok(outcome));
+                        if job.lead {
+                            inner.retire_flight(&job.key);
+                        }
                         guard.completed[class] += 1;
                         guard.latency[class]
                             .record(Instant::now().saturating_duration_since(job.submitted_at));
@@ -1132,10 +1256,13 @@ fn worker_rounds<Q: CandidateQueue>(inner: &Inner, engine: &QueryEngine<Q>) {
                 // A keyless (or cacheless) job never consults the cache.
                 _ => false,
             };
-            match run_job(inner, engine, &job, &mut scratch) {
+            match run_job(inner, engine, &env, &job, &mut scratch) {
                 Executed::Expired { retries } => {
                     guard.retried[class] += retries;
                     job.cell.resolve(Err(TnnError::DeadlineExceeded));
+                    if job.lead {
+                        inner.retire_flight(&job.key);
+                    }
                     guard.expired[class] += 1;
                 }
                 Executed::Done { result, retries } => {
@@ -1147,7 +1274,10 @@ fn worker_rounds<Q: CandidateQueue>(inner: &Inner, engine: &QueryEngine<Q>) {
                     // `cacheable` implies a key and a cache were present
                     // at dispatch; matching on all three keeps the
                     // worker panic-free if that coupling ever breaks.
-                    match (&result, &job.key, &inner.cache) {
+                    // Inserted *before* the leader's cell resolves so a
+                    // miss that arrives as the flight retires finds the
+                    // fresh entry waiting in the cache.
+                    match (&result, &key, &inner.cache) {
                         (Ok(outcome), Some(key), Some(cache)) if cacheable && !degraded => {
                             cache.insert(key.clone(), outcome.clone(), Instant::now());
                             if refresh {
@@ -1162,6 +1292,9 @@ fn worker_rounds<Q: CandidateQueue>(inner: &Inner, engine: &QueryEngine<Q>) {
                         _ => guard.cache_bypass += 1,
                     }
                     job.cell.resolve(result);
+                    if job.lead {
+                        inner.retire_flight(&job.key);
+                    }
                     guard.completed[class] += 1;
                     guard.latency[class]
                         .record(Instant::now().saturating_duration_since(job.submitted_at));
@@ -1187,12 +1320,13 @@ fn worker_rounds<Q: CandidateQueue>(inner: &Inner, engine: &QueryEngine<Q>) {
 fn run_job<Q: CandidateQueue>(
     inner: &Inner,
     engine: &QueryEngine<Q>,
+    env: &MultiChannelEnv,
     job: &Job,
     scratch: &mut QueryScratch<Q>,
 ) -> Executed {
     let Some(faults) = &inner.faults else {
         return Executed::Done {
-            result: engine.run_with(&job.query, scratch),
+            result: engine.run_on(env, &job.query, scratch),
             retries: 0,
         };
     };
@@ -1203,11 +1337,11 @@ fn run_job<Q: CandidateQueue>(
         if job.deadline.expired(Instant::now()) {
             return Executed::Expired { retries };
         }
-        match faults.check_tune_in(engine.env(), job.seq, attempt) {
+        match faults.check_tune_in(env, job.seq, attempt) {
             Ok(()) => {
                 let inject = faults.engine_panic(job.seq);
                 return Executed::Done {
-                    result: run_isolated(engine, &job.query, scratch, inject),
+                    result: run_isolated(engine, env, &job.query, scratch, inject),
                     retries,
                 };
             }
@@ -1217,7 +1351,7 @@ fn run_job<Q: CandidateQueue>(
                     attempt < policy.max_attempts.max(1) && inner.budget.try_charge(job.class);
                 if !can_retry {
                     return Executed::Done {
-                        result: degrade(inner, engine, job, scratch, err),
+                        result: degrade(inner, engine, env, job, scratch, err),
                         retries,
                     };
                 }
@@ -1241,6 +1375,7 @@ fn run_job<Q: CandidateQueue>(
 /// replaced before reuse.
 fn run_isolated<Q: CandidateQueue>(
     engine: &QueryEngine<Q>,
+    env: &MultiChannelEnv,
     query: &Query,
     scratch: &mut QueryScratch<Q>,
     inject_panic: bool,
@@ -1251,7 +1386,7 @@ fn run_isolated<Q: CandidateQueue>(
             // while real bugs still print a backtrace.
             resume_unwind(Box::new(InjectedPanic));
         }
-        engine.run_with(query, scratch)
+        engine.run_on(env, query, scratch)
     }));
     match caught {
         Ok(result) => result,
@@ -1270,6 +1405,7 @@ fn run_isolated<Q: CandidateQueue>(
 fn degrade<Q: CandidateQueue>(
     inner: &Inner,
     engine: &QueryEngine<Q>,
+    env: &MultiChannelEnv,
     job: &Job,
     scratch: &mut QueryScratch<Q>,
     err: TnnError,
@@ -1281,7 +1417,7 @@ fn degrade<Q: CandidateQueue>(
         Degradation::Approximate => job.query.clone().algorithm(Algorithm::ApproximateTnn),
         Degradation::Replica => job.query.clone(),
     };
-    run_isolated(engine, &fallback, scratch, false).map(|mut outcome| {
+    run_isolated(engine, env, &fallback, scratch, false).map(|mut outcome| {
         outcome.degraded = true;
         outcome
     })

@@ -25,7 +25,7 @@ use tnn_rtree::{ObjectId, RTree};
 
 /// One shard: a full `k`-channel sub-environment plus the routing
 /// metadata the scatter-gather layer prunes with.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct ShardData {
     /// The shard's own `k`-channel environment — same broadcast
     /// parameters and phases as the source, one sub-tree per channel
@@ -46,9 +46,12 @@ struct ShardData {
 /// The partitioning of one [`MultiChannelEnv`] into shards: the cells,
 /// the per-shard sub-environments, and the per-shard routing metadata.
 ///
-/// Built once by [`ShardPlan::build`]; the [`crate::ShardRouter`] then
-/// prunes and scatters against it on every query.
-#[derive(Debug)]
+/// Built once per environment epoch by [`ShardPlan::build`]; the
+/// [`crate::ShardRouter`] prunes and scatters against it on every query
+/// (and builds a fresh plan when [`crate::ShardRouter::swap_env`]
+/// publishes a new environment). Cloning is cheap-ish — trees are
+/// shared [`Arc`]s; only the remap tables copy.
+#[derive(Debug, Clone)]
 pub struct ShardPlan {
     k: usize,
     cells: Vec<Rect>,

@@ -84,6 +84,11 @@ struct Counters {
     gather_pruned: AtomicU64,
     fallbacks: AtomicU64,
     replicas_spawned: AtomicU64,
+    /// Environment swaps published via [`ShardRouter::swap_env`].
+    env_swaps: AtomicU64,
+    /// Replicas drained and retired by environment swaps (their final
+    /// stats live on in the `retired` fold).
+    retired_replicas: AtomicU64,
     /// Routed sub-query attempts over all shards — the denominator of
     /// the hotness share.
     routed: AtomicU64,
@@ -97,6 +102,38 @@ struct ShardHandle<Q: CandidateQueue + 'static> {
     /// Sub-query attempts routed to this shard — the numerator of the
     /// hotness share.
     routed: AtomicU64,
+}
+
+/// One environment epoch's serving structure: the environment, its
+/// partitioning, and the shard servers built over it. Swapped as a unit
+/// by [`ShardRouter::swap_env`] — queries hold a read guard on the
+/// current topology for their whole scatter-gather pass, so a swap
+/// (which takes the write side) never tears a query between epochs.
+struct Topology<Q: CandidateQueue + 'static> {
+    env: MultiChannelEnv,
+    plan: ShardPlan,
+    shards: Vec<ShardHandle<Q>>,
+}
+
+fn build_topology<Q: CandidateQueue + 'static>(
+    env: MultiChannelEnv,
+    config: &ShardConfig,
+) -> Topology<Q> {
+    let plan = ShardPlan::build(&env, config);
+    let shards = (0..plan.num_shards())
+        .map(|i| {
+            let replicas = if plan.is_eligible(i) {
+                vec![spawn_replica::<Q>(plan.shard_env(i), config)]
+            } else {
+                Vec::new()
+            };
+            ShardHandle {
+                replicas: RwLock::new(replicas),
+                routed: AtomicU64::new(0),
+            }
+        })
+        .collect();
+    Topology { env, plan, shards }
 }
 
 /// Scatter-gather front-end over a spatially sharded environment.
@@ -147,14 +184,20 @@ struct ShardHandle<Q: CandidateQueue + 'static> {
 /// router.shutdown(ShutdownMode::Drain);
 /// ```
 pub struct ShardRouter<Q: CandidateQueue + 'static = ArrivalHeap> {
-    env: MultiChannelEnv,
+    /// The current serving topology (environment + plan + shard
+    /// servers). Queries read-lock it for their whole scatter-gather
+    /// pass; [`ShardRouter::swap_env`] write-locks it to publish the
+    /// next environment epoch atomically.
+    topology: RwLock<Topology<Q>>,
     config: ShardConfig,
-    plan: ShardPlan,
-    shards: Vec<ShardHandle<Q>>,
     counters: Counters,
     /// Folded replica stats frozen at shutdown, so [`ShardRouter::stats`]
     /// keeps answering afterwards.
     final_serve: Mutex<Option<ServeStats>>,
+    /// Folded final stats of replicas retired by environment swaps —
+    /// merged into every [`ShardRouter::stats`] snapshot so pre-swap
+    /// work is never dropped or double-counted.
+    retired: Mutex<ServeStats>,
 }
 
 impl ShardRouter<ArrivalHeap> {
@@ -170,33 +213,24 @@ impl<Q: CandidateQueue + 'static> ShardRouter<Q> {
     /// mirroring [`QueryEngine::with_queue_backend`] — benchmarks
     /// instantiate the paper-literal linear reference through this.
     pub fn spawn_with_backend(env: MultiChannelEnv, config: ShardConfig) -> Self {
-        let plan = ShardPlan::build(&env, &config);
-        let shards = (0..plan.num_shards())
-            .map(|i| {
-                let replicas = if plan.is_eligible(i) {
-                    vec![spawn_replica::<Q>(plan.shard_env(i), &config)]
-                } else {
-                    Vec::new()
-                };
-                ShardHandle {
-                    replicas: RwLock::new(replicas),
-                    routed: AtomicU64::new(0),
-                }
-            })
-            .collect();
         ShardRouter {
-            env,
+            topology: RwLock::new(build_topology::<Q>(env, &config)),
             config,
-            plan,
-            shards,
             counters: Counters::default(),
             final_serve: Mutex::new(None),
+            retired: Mutex::new(ServeStats::default()),
         }
     }
 
-    /// The full (unsharded) environment the router was built over.
-    pub fn env(&self) -> &MultiChannelEnv {
-        &self.env
+    /// A snapshot of the full (unsharded) environment currently being
+    /// served — O(1): channels sit behind a shared `Arc`. Carries the
+    /// epoch/fingerprint of the topology queries run against right now.
+    pub fn env(&self) -> MultiChannelEnv {
+        self.topology
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .env
+            .clone()
     }
 
     /// The configuration the router was spawned with.
@@ -204,18 +238,91 @@ impl<Q: CandidateQueue + 'static> ShardRouter<Q> {
         &self.config
     }
 
-    /// The partitioning the router scatters over.
-    pub fn plan(&self) -> &ShardPlan {
-        &self.plan
+    /// A snapshot of the partitioning the router currently scatters
+    /// over (rebuilt by every [`ShardRouter::swap_env`]).
+    pub fn plan(&self) -> ShardPlan {
+        self.topology
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .plan
+            .clone()
     }
 
     /// Live replica count of shard `i` (0 for ineligible shards).
     pub fn replica_count(&self, i: usize) -> usize {
-        self.shards[i]
+        let topology = self.topology.read().unwrap_or_else(|e| e.into_inner());
+        let replicas = topology.shards[i]
             .replicas
             .read()
+            .unwrap_or_else(|e| e.into_inner());
+        replicas.len()
+    }
+
+    /// Publishes `env` as the serving environment: re-partitions the
+    /// data, spawns fresh shard servers over the new slices, swaps them
+    /// in atomically (in-flight queries finish on the topology they
+    /// started with — the swap waits for their read guards), then
+    /// drains the old replicas and folds their final serving stats into
+    /// the retired ledger ([`ShardStats`] conservation holds across the
+    /// swap). Scatter sub-queries admitted after the swap carry the new
+    /// environment's epoch/fingerprint in their cache keys, so replica
+    /// caches can never replay pre-swap answers — and the old replicas'
+    /// caches retire wholesale with their servers.
+    ///
+    /// # Errors
+    /// [`TnnError::WrongChannelCount`] when `env`'s channel count
+    /// differs from the current environment's (a swap changes data,
+    /// never shape), and [`TnnError::Cancelled`] after
+    /// [`ShardRouter::shutdown`] — a shut-down router stays shut.
+    pub fn swap_env(&self, env: MultiChannelEnv) -> Result<(), TnnError> {
+        if self
+            .final_serve
+            .lock()
             .unwrap_or_else(|e| e.into_inner())
-            .len()
+            .is_some()
+        {
+            return Err(TnnError::Cancelled);
+        }
+        let needed = {
+            let topology = self.topology.read().unwrap_or_else(|e| e.into_inner());
+            topology.env.len()
+        };
+        if env.len() != needed {
+            return Err(TnnError::WrongChannelCount {
+                needed,
+                available: env.len(),
+            });
+        }
+        // Partitioning and replica spawn happen *before* the write lock:
+        // queries keep flowing on the old topology while the new one
+        // warms up, and the swap itself is just a pointer exchange (plus
+        // waiting out in-flight read guards).
+        let fresh = build_topology::<Q>(env, &self.config);
+        let old = {
+            let mut topology = self.topology.write().unwrap_or_else(|e| e.into_inner());
+            std::mem::replace(&mut *topology, fresh)
+        };
+        // Drain the retirees outside the lock — queries already run on
+        // the new topology — and bank their final counters so stats
+        // snapshots keep conserving across the swap.
+        let mut folded = ServeStats::default();
+        let mut count = 0u64;
+        for handle in &old.shards {
+            let replicas = handle.replicas.read().unwrap_or_else(|e| e.into_inner());
+            for server in replicas.iter() {
+                folded.merge(&server.shutdown(ShutdownMode::Drain));
+                count += 1;
+            }
+        }
+        {
+            let mut retired = self.retired.lock().unwrap_or_else(|e| e.into_inner());
+            retired.merge(&folded);
+        }
+        self.counters
+            .retired_replicas
+            .fetch_add(count, Ordering::Relaxed);
+        self.counters.env_swaps.fetch_add(1, Ordering::Relaxed);
+        Ok(())
     }
 
     /// Runs `query` under default QoS terms (batch class, no deadline).
@@ -245,7 +352,12 @@ impl<Q: CandidateQueue + 'static> ShardRouter<Q> {
     /// As [`ShardRouter::run`].
     pub fn run_with(&self, query: &Query, qos: Qos) -> Result<ShardOutcome, TnnError> {
         self.counters.queries.fetch_add(1, Ordering::Relaxed);
-        self.validate(query)?;
+        // The read guard pins one topology for the whole scatter-gather
+        // pass: a concurrent swap_env waits until every in-flight query
+        // releases it, so no query ever mixes epochs.
+        let topology = self.topology.read().unwrap_or_else(|e| e.into_inner());
+        let topology = &*topology;
+        validate(&topology.env, query)?;
         let p = query.point();
         let kind = query.kind();
 
@@ -257,8 +369,8 @@ impl<Q: CandidateQueue + 'static> ShardRouter<Q> {
         // full-environment radius and join, reproducing the engine's
         // answer (including its failures) bit-for-bit.
         if kind == QueryKind::Tnn(Algorithm::ApproximateTnn) {
-            let radius = approximate_radius_for_env(&self.env) * FP_PAD;
-            let layers = self.gather(p, radius);
+            let radius = approximate_radius_for_env(&topology.env) * FP_PAD;
+            let layers = self.gather(topology, p, radius);
             let mut join = JoinScratch::default();
             let merged = merge_route_layers(&mut join, RouteObjective::Chain, p, &layers, None);
             return Ok(match merged {
@@ -285,7 +397,7 @@ impl<Q: CandidateQueue + 'static> ShardRouter<Q> {
         let mut scattered = 0usize;
         let mut pruned = 0usize;
         let mut bound = f64::INFINITY;
-        let eligible = self.plan.eligible_shards();
+        let eligible = topology.plan.eligible_shards();
         if !eligible.is_empty() {
             // The primary shard minimizes min_max_dist_sq to p — the
             // classic R-tree guarantee that it *does* contain an object
@@ -294,13 +406,13 @@ impl<Q: CandidateQueue + 'static> ShardRouter<Q> {
                 .iter()
                 .copied()
                 .min_by(|&a, &b| {
-                    let da = self.shard_mbr(a).min_max_dist_sq(p);
-                    let db = self.shard_mbr(b).min_max_dist_sq(p);
+                    let da = shard_mbr(&topology.plan, a).min_max_dist_sq(p);
+                    let db = shard_mbr(&topology.plan, b).min_max_dist_sq(p);
                     da.total_cmp(&db)
                 })
                 // check:allow(R2, min_by over `eligible` which the enclosing `!eligible.is_empty()` guard proves non-empty)
                 .expect("eligible is non-empty");
-            match self.submit_to_shard(primary, query, qos) {
+            match self.submit_to_shard(topology, primary, query, qos) {
                 Ok(ticket) => {
                     scattered += 1;
                     self.counters.scattered.fetch_add(1, Ordering::Relaxed);
@@ -329,12 +441,12 @@ impl<Q: CandidateQueue + 'static> ShardRouter<Q> {
             let prune_factor = if round_trip { 2.0 } else { 1.0 };
             let mut waits: Vec<Ticket> = Vec::new();
             for &s in eligible.iter().filter(|&&s| s != primary) {
-                if self.shard_mbr(s).min_dist(p) * prune_factor > bound {
+                if shard_mbr(&topology.plan, s).min_dist(p) * prune_factor > bound {
                     pruned += 1;
                     self.counters.scatter_pruned.fetch_add(1, Ordering::Relaxed);
                     continue;
                 }
-                match self.submit_to_shard(s, query, qos) {
+                match self.submit_to_shard(topology, s, query, qos) {
                     Ok(ticket) => {
                         scattered += 1;
                         self.counters.scattered.fetch_add(1, Ordering::Relaxed);
@@ -369,7 +481,7 @@ impl<Q: CandidateQueue + 'static> ShardRouter<Q> {
             // computed locally — first object of each channel, walked in
             // channel order. Correctness only needs *feasibility*.
             self.counters.fallbacks.fetch_add(1, Ordering::Relaxed);
-            bound = self.fallback_bound(p, round_trip);
+            bound = fallback_bound(&topology.env, p, round_trip);
         }
 
         // -- Gather and merge -----------------------------------------
@@ -378,7 +490,7 @@ impl<Q: CandidateQueue + 'static> ShardRouter<Q> {
         } else {
             bound * FP_PAD
         };
-        let layers = self.gather(p, radius);
+        let layers = self.gather(topology, p, radius);
         let mut join = JoinScratch::default();
         // The gather bound comes from a feasible route, so every layer
         // holds that route's stop and the merge cannot come up empty —
@@ -390,11 +502,14 @@ impl<Q: CandidateQueue + 'static> ShardRouter<Q> {
     }
 
     /// A snapshot of the router's counters plus the fold of every
-    /// replica's serving stats (frozen by [`ShardRouter::shutdown`]).
+    /// replica's serving stats — live replicas *and* the ones already
+    /// retired by environment swaps (frozen by
+    /// [`ShardRouter::shutdown`]).
     pub fn stats(&self) -> ShardStats {
         let frozen = *self.final_serve.lock().unwrap_or_else(|e| e.into_inner());
         let serve = frozen.unwrap_or_else(|| {
-            let snapshots: Vec<ServeStats> = self
+            let topology = self.topology.read().unwrap_or_else(|e| e.into_inner());
+            let snapshots: Vec<ServeStats> = topology
                 .shards
                 .iter()
                 .flat_map(|handle| {
@@ -402,7 +517,11 @@ impl<Q: CandidateQueue + 'static> ShardRouter<Q> {
                     replicas.iter().map(Server::stats).collect::<Vec<_>>()
                 })
                 .collect();
-            ServeStats::fold(snapshots.iter())
+            drop(topology);
+            let mut folded = ServeStats::fold(snapshots.iter());
+            let retired = self.retired.lock().unwrap_or_else(|e| e.into_inner());
+            folded.merge(&retired);
+            folded
         });
         ShardStats {
             queries: self.counters.queries.load(Ordering::Relaxed),
@@ -414,6 +533,8 @@ impl<Q: CandidateQueue + 'static> ShardRouter<Q> {
             gather_pruned: self.counters.gather_pruned.load(Ordering::Relaxed),
             fallbacks: self.counters.fallbacks.load(Ordering::Relaxed),
             replicas_spawned: self.counters.replicas_spawned.load(Ordering::Relaxed),
+            env_swaps: self.counters.env_swaps.load(Ordering::Relaxed),
+            retired_replicas: self.counters.retired_replicas.load(Ordering::Relaxed),
             serve,
         }
     }
@@ -425,75 +546,41 @@ impl<Q: CandidateQueue + 'static> ShardRouter<Q> {
         {
             let mut guard = self.final_serve.lock().unwrap_or_else(|e| e.into_inner());
             if guard.is_none() {
+                let topology = self.topology.read().unwrap_or_else(|e| e.into_inner());
                 let mut snapshots = Vec::new();
-                for handle in &self.shards {
+                for handle in &topology.shards {
                     let replicas = handle.replicas.read().unwrap_or_else(|e| e.into_inner());
                     for server in replicas.iter() {
                         snapshots.push(server.shutdown(mode));
                     }
                 }
-                *guard = Some(ServeStats::fold(snapshots.iter()));
+                drop(topology);
+                let mut folded = ServeStats::fold(snapshots.iter());
+                {
+                    let retired = self.retired.lock().unwrap_or_else(|e| e.into_inner());
+                    folded.merge(&retired);
+                }
+                *guard = Some(folded);
             }
         }
         self.stats()
-    }
-
-    /// Mirrors [`QueryEngine::run_with`]'s validation, with identical
-    /// error/panic precedence (phase-arity assert, then the recoverable
-    /// channel-count error, then — in kind order — the ANN-arity assert
-    /// and the non-finite check, then the first empty channel).
-    fn validate(&self, query: &Query) -> Result<(), TnnError> {
-        let k = self.env.len();
-        if let Some(phases) = query.phase_overrides() {
-            assert_eq!(
-                phases.len(),
-                k,
-                "one phase per channel is required (got {} for {k} channels)",
-                phases.len()
-            );
-        }
-        if k < 2 {
-            return Err(TnnError::WrongChannelCount {
-                needed: 2,
-                available: k,
-            });
-        }
-        match query.kind() {
-            QueryKind::Tnn(_) | QueryKind::Chain => {
-                query.ann_spec().check_channels(k);
-                if !query.point().is_finite() {
-                    return Err(TnnError::NonFiniteQuery);
-                }
-            }
-            QueryKind::OrderFree | QueryKind::RoundTrip => {
-                if !query.point().is_finite() {
-                    return Err(TnnError::NonFiniteQuery);
-                }
-                query.ann_spec().check_channels(k);
-            }
-        }
-        for (i, channel) in self.env.channels().iter().enumerate() {
-            if channel.tree().num_objects() == 0 {
-                return Err(TnnError::EmptyChannel { channel: i });
-            }
-        }
-        Ok(())
-    }
-
-    fn shard_mbr(&self, shard: usize) -> tnn_geom::Rect {
-        // check:allow(R2, only called with indices from eligible_shards(), whose cells have MBRs by construction)
-        self.plan.mbr(shard).expect("eligible shards hold objects")
     }
 
     /// Routes one sub-query to `shard`: bumps the hotness counters,
     /// scales the replica set up if the shard runs hot, and submits to
     /// the replica with the shallowest queue (ties to the lowest
     /// index — `min_by_key` keeps the first minimum).
-    fn submit_to_shard(&self, shard: usize, query: &Query, qos: Qos) -> Result<Ticket, TnnError> {
-        let handle = &self.shards[shard];
+    fn submit_to_shard(
+        &self,
+        topology: &Topology<Q>,
+        shard: usize,
+        query: &Query,
+        qos: Qos,
+    ) -> Result<Ticket, TnnError> {
+        let handle = &topology.shards[shard];
         let shard_routed = handle.routed.fetch_add(1, Ordering::Relaxed) + 1;
         let total_routed = self.counters.routed.fetch_add(1, Ordering::Relaxed) + 1;
-        self.maybe_replicate(shard, shard_routed, total_routed);
+        self.maybe_replicate(topology, shard, shard_routed, total_routed);
         let replicas = handle.replicas.read().unwrap_or_else(|e| e.into_inner());
         let server = replicas
             .iter()
@@ -512,11 +599,17 @@ impl<Q: CandidateQueue + 'static> ShardRouter<Q> {
     /// sub-queries exceeds [`ShardConfig::hot_fair_share_factor`] times
     /// the fair share — bounded by [`ShardConfig::replication`] and
     /// quiet during the warmup window.
-    fn maybe_replicate(&self, shard: usize, shard_routed: u64, total_routed: u64) {
+    fn maybe_replicate(
+        &self,
+        topology: &Topology<Q>,
+        shard: usize,
+        shard_routed: u64,
+        total_routed: u64,
+    ) {
         if self.config.replication <= 1 || total_routed < self.config.replication_warmup {
             return;
         }
-        let fair = self.plan.eligible_shards().len() as f64;
+        let fair = topology.plan.eligible_shards().len() as f64;
         if fair <= 1.0 {
             // A single eligible shard's share is always 1 — "hot" is
             // meaningless without siblings to compare against.
@@ -526,40 +619,20 @@ impl<Q: CandidateQueue + 'static> ShardRouter<Q> {
         if share * fair < self.config.hot_fair_share_factor {
             return;
         }
-        let mut replicas = self.shards[shard]
+        let mut replicas = topology.shards[shard]
             .replicas
             .write()
             .unwrap_or_else(|e| e.into_inner());
         if replicas.len() >= self.config.replication {
             return;
         }
-        replicas.push(spawn_replica::<Q>(self.plan.shard_env(shard), &self.config));
+        replicas.push(spawn_replica::<Q>(
+            topology.plan.shard_env(shard),
+            &self.config,
+        ));
         self.counters
             .replicas_spawned
             .fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// A feasible route total computed without any index search: the
-    /// first stored object of each channel, walked in channel order
-    /// (plus the hop home for tours). Any feasible total is a valid
-    /// gather bound.
-    fn fallback_bound(&self, p: Point, round_trip: bool) -> f64 {
-        let mut total = 0.0;
-        let mut cursor = p;
-        for channel in self.env.channels() {
-            let (stop, _) = channel
-                .tree()
-                .objects_in_leaf_order()
-                .next()
-                // check:allow(R2, validate() rejected empty channels before any query runs, so every tree yields an object)
-                .expect("validation rejected empty channels");
-            total += cursor.dist(stop);
-            cursor = stop;
-        }
-        if round_trip {
-            total += cursor.dist(p);
-        }
-        total
     }
 
     /// Collects every candidate within `radius` of `p`, per channel,
@@ -567,13 +640,13 @@ impl<Q: CandidateQueue + 'static> ShardRouter<Q> {
     /// when their root MBR lies entirely outside the circle — the same
     /// test [`tnn_rtree::RTree::range_circle`] applies at its root, so
     /// pruning skips only provably hit-free searches.
-    fn gather(&self, p: Point, radius: f64) -> Vec<Vec<(Point, ObjectId)>> {
+    fn gather(&self, topology: &Topology<Q>, p: Point, radius: f64) -> Vec<Vec<(Point, ObjectId)>> {
         let r_sq = radius * radius;
         let circle = Circle::new(p, radius);
-        let mut layers: Vec<Vec<(Point, ObjectId)>> = vec![Vec::new(); self.env.len()];
-        for s in 0..self.plan.num_shards() {
+        let mut layers: Vec<Vec<(Point, ObjectId)>> = vec![Vec::new(); topology.env.len()];
+        for s in 0..topology.plan.num_shards() {
             for (c, layer) in layers.iter_mut().enumerate() {
-                let tree = self.plan.tree(s, c);
+                let tree = topology.plan.tree(s, c);
                 if tree.num_objects() == 0 {
                     continue;
                 }
@@ -585,7 +658,7 @@ impl<Q: CandidateQueue + 'static> ShardRouter<Q> {
                 // Shard trees carry dense local ids; restore the
                 // originals so the merged route's stops are the same
                 // bytes an unsharded run reports.
-                let remap = self.plan.original_ids(s, c);
+                let remap = topology.plan.original_ids(s, c);
                 layer.extend(
                     tree.range_circle(&circle)
                         .hits
@@ -634,6 +707,76 @@ fn spawn_replica<Q: CandidateQueue + 'static>(
         QueryEngine::<Q>::with_queue_backend(env.clone()),
         config.serve,
     )
+}
+
+/// Mirrors [`QueryEngine::run_with`]'s validation, with identical
+/// error/panic precedence (phase-arity assert, then the recoverable
+/// channel-count error, then — in kind order — the ANN-arity assert
+/// and the non-finite check, then the first empty channel).
+fn validate(env: &MultiChannelEnv, query: &Query) -> Result<(), TnnError> {
+    let k = env.len();
+    if let Some(phases) = query.phase_overrides() {
+        assert_eq!(
+            phases.len(),
+            k,
+            "one phase per channel is required (got {} for {k} channels)",
+            phases.len()
+        );
+    }
+    if k < 2 {
+        return Err(TnnError::WrongChannelCount {
+            needed: 2,
+            available: k,
+        });
+    }
+    match query.kind() {
+        QueryKind::Tnn(_) | QueryKind::Chain => {
+            query.ann_spec().check_channels(k);
+            if !query.point().is_finite() {
+                return Err(TnnError::NonFiniteQuery);
+            }
+        }
+        QueryKind::OrderFree | QueryKind::RoundTrip => {
+            if !query.point().is_finite() {
+                return Err(TnnError::NonFiniteQuery);
+            }
+            query.ann_spec().check_channels(k);
+        }
+    }
+    for (i, channel) in env.channels().iter().enumerate() {
+        if channel.tree().num_objects() == 0 {
+            return Err(TnnError::EmptyChannel { channel: i });
+        }
+    }
+    Ok(())
+}
+
+fn shard_mbr(plan: &ShardPlan, shard: usize) -> tnn_geom::Rect {
+    // check:allow(R2, only called with indices from eligible_shards(), whose cells have MBRs by construction)
+    plan.mbr(shard).expect("eligible shards hold objects")
+}
+
+/// A feasible route total computed without any index search: the
+/// first stored object of each channel, walked in channel order
+/// (plus the hop home for tours). Any feasible total is a valid
+/// gather bound.
+fn fallback_bound(env: &MultiChannelEnv, p: Point, round_trip: bool) -> f64 {
+    let mut total = 0.0;
+    let mut cursor = p;
+    for channel in env.channels() {
+        let (stop, _) = channel
+            .tree()
+            .objects_in_leaf_order()
+            .next()
+            // check:allow(R2, validate() rejected empty channels before any query runs, so every tree yields an object)
+            .expect("validation rejected empty channels");
+        total += cursor.dist(stop);
+        cursor = stop;
+    }
+    if round_trip {
+        total += cursor.dist(p);
+    }
+    total
 }
 
 #[cfg(test)]
@@ -839,5 +982,133 @@ mod tests {
         assert!(stats.scattered > 0);
         assert!(stats.conserved(), "{stats:?}");
         assert_eq!(stats.serve.completed, stats.scattered);
+    }
+
+    /// `env` with every channel's data replaced by a fresh uniform
+    /// sample — same shape, next epoch.
+    fn advanced(env: &MultiChannelEnv, seed: u64) -> MultiChannelEnv {
+        let region = Rect::from_coords(0.0, 0.0, 1000.0, 1000.0);
+        let trees = (0..env.len())
+            .map(|i| {
+                let pts = uniform_points(120 + 20 * i, &region, seed + i as u64);
+                Arc::new(
+                    RTree::build(
+                        &pts,
+                        env.channel(0).params().rtree_params(),
+                        PackingAlgorithm::Str,
+                    )
+                    .unwrap(),
+                )
+            })
+            .collect();
+        env.advance(trees)
+    }
+
+    #[test]
+    fn env_swap_publishes_new_answers_and_banks_retired_stats() {
+        let env = sample_env(2);
+        let router = ShardRouter::spawn(
+            env.clone(),
+            ShardConfig::new().shards(4).serve(small_serve()),
+        );
+        for i in 0..8u32 {
+            let p = Point::new(f64::from(i) * 110.0, f64::from(i) * 90.0);
+            router.run(&Query::tnn(p)).unwrap();
+        }
+        let before = router.stats();
+        assert!(before.serve.completed > 0);
+
+        let next = advanced(&env, 0xBEEF);
+        router.swap_env(next.clone()).unwrap();
+        assert_eq!(router.env().epoch(), env.epoch() + 1);
+        assert_eq!(router.env().fingerprint(), next.fingerprint());
+
+        // Post-swap answers come from the new data, byte-identical to
+        // an unsharded engine over the swapped-in environment.
+        let engine = QueryEngine::new(next);
+        for p in [Point::new(481.0, 522.0), Point::new(40.0, 900.0)] {
+            for query in query_mix(p) {
+                let got = router.run(&query).unwrap();
+                let want = engine.run(&query).unwrap();
+                assert_eq!(got.route, want.route, "{query:?}");
+                assert_eq!(got.total_dist, want.total_dist, "{query:?}");
+            }
+        }
+
+        let stats = router.shutdown(ShutdownMode::Drain);
+        assert_eq!(stats.env_swaps, 1);
+        assert!(stats.retired_replicas > 0, "{stats:?}");
+        assert!(
+            stats.serve.completed >= before.serve.completed,
+            "pre-swap completions were dropped: {before:?} vs {stats:?}"
+        );
+        assert!(stats.conserved(), "{stats:?}");
+    }
+
+    #[test]
+    fn swap_under_concurrent_load_conserves_stats() {
+        let env = sample_env(2);
+        let next = advanced(&env, 0xFACE);
+        let old_engine = QueryEngine::new(env.clone());
+        let new_engine = QueryEngine::new(next.clone());
+        let router = ShardRouter::spawn(env, ShardConfig::new().shards(4).serve(small_serve()));
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..3u64)
+                .map(|t| {
+                    let router = &router;
+                    let old_engine = &old_engine;
+                    let new_engine = &new_engine;
+                    scope.spawn(move || {
+                        for i in 0..10u64 {
+                            let p = Point::new(
+                                ((t * 10 + i) * 97 % 1000) as f64,
+                                ((t * 10 + i) * 61 % 1000) as f64,
+                            );
+                            let query = Query::tnn(p);
+                            let got = router.run(&query).unwrap();
+                            // A query pinned to either epoch's topology is
+                            // fine — but it must match *one* of them
+                            // exactly, never a mix.
+                            let old = old_engine.run(&query).unwrap();
+                            let new = new_engine.run(&query).unwrap();
+                            assert!(
+                                (got.route == old.route && got.total_dist == old.total_dist)
+                                    || (got.route == new.route && got.total_dist == new.total_dist),
+                                "query at {p:?} matched neither epoch"
+                            );
+                        }
+                    })
+                })
+                .collect();
+            router.swap_env(next.clone()).unwrap();
+            for worker in workers {
+                worker.join().unwrap();
+            }
+        });
+        let stats = router.shutdown(ShutdownMode::Drain);
+        assert_eq!(stats.env_swaps, 1);
+        assert!(stats.retired_replicas > 0, "{stats:?}");
+        assert!(stats.conserved(), "{stats:?}");
+    }
+
+    #[test]
+    fn swap_env_rejects_shape_changes_and_stays_shut() {
+        let env = sample_env(2);
+        let router = ShardRouter::spawn(
+            env.clone(),
+            ShardConfig::new().shards(2).serve(small_serve()),
+        );
+        assert_eq!(
+            router.swap_env(sample_env(3)),
+            Err(TnnError::WrongChannelCount {
+                needed: 2,
+                available: 3,
+            })
+        );
+        router.shutdown(ShutdownMode::Drain);
+        assert_eq!(
+            router.swap_env(advanced(&env, 0xD00D)),
+            Err(TnnError::Cancelled)
+        );
     }
 }

@@ -34,7 +34,16 @@ pub struct ShardStats {
     /// Extra replicas spawned by hot-shard scale-up (beyond the one
     /// every eligible shard starts with).
     pub replicas_spawned: u64,
-    /// [`ServeStats::fold`] over every replica of every shard.
+    /// Environment swaps published through
+    /// [`crate::ShardRouter::swap_env`] — each one re-partitions the
+    /// data and replaces every shard's replica set.
+    pub env_swaps: u64,
+    /// Replicas drained and retired by environment swaps. Their serving
+    /// counters are *not* lost: each retiree's final stats fold into
+    /// [`ShardStats::serve`] alongside the live replicas'.
+    pub retired_replicas: u64,
+    /// [`ServeStats::fold`] over every replica of every shard — the live
+    /// ones plus every replica retired by an environment swap.
     pub serve: ServeStats,
 }
 
@@ -54,13 +63,17 @@ impl ShardStats {
     /// conserve tickets, every scatter submission the router made is
     /// accounted for by the shard servers
     /// (`serve.submitted = scattered + scatter_rejected`), errored
-    /// sub-queries are a subset of admitted ones, and fallbacks are a
-    /// subset of queries.
+    /// sub-queries are a subset of admitted ones, fallbacks are a
+    /// subset of queries, and replicas retire only through environment
+    /// swaps (`retired_replicas == 0 || env_swaps > 0`) — the folded
+    /// serving stats span retirees and live replicas alike, so a swap
+    /// can never drop or double-count pre-swap completions.
     pub fn conserved(&self) -> bool {
         self.serve.conserved()
             && self.serve.submitted == self.scattered + self.scatter_rejected
             && self.scatter_errors <= self.scattered
             && self.fallbacks <= self.queries
+            && (self.retired_replicas == 0 || self.env_swaps > 0)
     }
 
     /// Adds `other`'s counters (and folded serving stats) into `self` —
@@ -78,6 +91,8 @@ impl ShardStats {
         self.gather_pruned += other.gather_pruned;
         self.fallbacks += other.fallbacks;
         self.replicas_spawned += other.replicas_spawned;
+        self.env_swaps += other.env_swaps;
+        self.retired_replicas += other.retired_replicas;
         self.serve.merge(&other.serve);
     }
 

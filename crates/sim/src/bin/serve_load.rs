@@ -43,9 +43,18 @@
 //!    *asserts* zero lost tickets and nonzero `worker_restarts` — this
 //!    is the CI chaos smoke gate — and reports per-class p50/p99 from
 //!    the server-side [`tnn_serve::ServeStats`] latency histograms.
+//! 8. **Churn axis** (k = 2, `--churn` only) — a skewed repeat-query
+//!    workload against a caching, singleflight server whose environment
+//!    is swapped (`Server::swap_env`) between rounds: every channel's
+//!    data is replaced and the epoch bumped. The binary *asserts* — the
+//!    CI churn smoke gate — that the epoch actually advanced, that the
+//!    cache was exercised (nonzero hits), and that **zero** served
+//!    answers diverge from a fresh reference engine over the
+//!    then-current environment (a stale cache entry surviving a swap
+//!    would fail the count).
 //!
 //! ```sh
-//! cargo run --release -p tnn-sim --bin serve_load -- --tag pr7 --faults --shards 2 3 4
+//! cargo run --release -p tnn-sim --bin serve_load -- --tag pr7 --faults --shards --churn 2 3 4
 //! ```
 //!
 //! Environment knobs: `TNN_QUERIES` (closed-loop batch size, default
@@ -53,8 +62,9 @@
 //! `TNN_LOAD_SECS` (open-loop duration per k, default 2),
 //! `TNN_BENCH_REPS` (min-of-reps, default 3), `TNN_POOL` (Zipf pool
 //! size, default 200), `TNN_ZIPF` (Zipf exponent, default 1.1),
-//! `TNN_SHARD_QUERIES` (shard-axis workload size, default 400), and
-//! `TNN_CHAOS_QUERIES` (chaos-axis workload size, default 300).
+//! `TNN_SHARD_QUERIES` (shard-axis workload size, default 400),
+//! `TNN_CHAOS_QUERIES` (chaos-axis workload size, default 300), and
+//! `TNN_CHURN_QUERIES` (churn-axis queries per epoch, default 240).
 
 #![forbid(unsafe_code)]
 // R1-approved timing module (see check/r1.allow): wall-clock calls are
@@ -196,6 +206,7 @@ fn main() {
     let mut ks: Vec<usize> = Vec::new();
     let mut faults = false;
     let mut shards_axis = false;
+    let mut churn = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--tag" {
@@ -204,13 +215,15 @@ fn main() {
             faults = true;
         } else if arg == "--shards" {
             shards_axis = true;
+        } else if arg == "--churn" {
+            churn = true;
         } else if let Ok(k) = arg.parse::<usize>() {
             assert!(k >= 2, "TNN needs at least two channels");
             ks.push(k);
         } else {
             panic!(
                 "unknown argument {arg:?} \
-                 (usage: serve_load [--tag T] [--faults] [--shards] [k...])"
+                 (usage: serve_load [--tag T] [--faults] [--shards] [--churn] [k...])"
             );
         }
     }
@@ -896,6 +909,108 @@ fn main() {
         derived.push(("chaos_outages".into(), fstats.outages as f64));
     }
 
+    // --- Churn axis (k = 2, `--churn` only): environment swaps between
+    // rounds of a skewed repeat-query workload through a caching,
+    // singleflight server. Round 0 primes the cache; every later round
+    // swaps in freshly rebuilt channel data first (epoch +1), so its
+    // repeats would hit *stale* entries if cache keys ignored the
+    // environment's identity. The asserts below ARE the CI churn smoke
+    // gate: epochs must actually advance, the cache must be exercised,
+    // and zero served answers may diverge from a fresh reference engine
+    // over the then-current environment.
+    if churn {
+        let cpoints = points.min(3_000);
+        let epochs = 4u64;
+        let n = env_usize("TNN_CHURN_QUERIES", 240).max(32);
+        let make_trees = |seed: u64| -> Vec<Arc<RTree>> {
+            (0..2u64)
+                .map(|i| {
+                    let pts = uniform_points(cpoints, &region, seed + i);
+                    Arc::new(
+                        RTree::build(&pts, params.rtree_params(), PackingAlgorithm::Str).unwrap(),
+                    )
+                })
+                .collect()
+        };
+        let base_env = tnn_broadcast::MultiChannelEnv::new(make_trees(0xE9_0000), params, &[0, 0]);
+        // A small pool with many repeats: every round re-offers the same
+        // query bytes, the exact workload a stale cache would poison.
+        let pool_n = (n / 4).max(1);
+        let pool_pts = uniform_points(pool_n, &region, 0x000C_09CE);
+        let workload: Vec<Query> = (0..n)
+            .map(|i| {
+                Query::tnn(pool_pts[i % pool_n])
+                    .algorithm(Algorithm::HybridNn)
+                    .issued_at(3)
+            })
+            .collect();
+        let server = Server::spawn(
+            base_env.clone(),
+            ServeConfig::new()
+                .workers(2)
+                .queue_capacity(n)
+                .backpressure(Backpressure::Block)
+                .cache(CacheConfig::new().capacity(2 * pool_n))
+                .singleflight(true)
+                .batch_window(8),
+        );
+        let mut env = base_env.clone();
+        let mut stale = 0u64;
+        let t0 = Instant::now();
+        for round in 0..epochs {
+            if round > 0 {
+                env = env.advance(make_trees(0xE9_0000 + 0x101 * round));
+                server.swap_env(env.clone()).expect("swap keeps the shape");
+            }
+            let reference = tnn_core::QueryEngine::new(env.clone());
+            // Two passes per round: the first runs cold at this epoch
+            // (repeats coalesce behind their leader), the second repeats
+            // the same bytes against a now-warm cache — the exact path a
+            // stale entry would poison.
+            for _pass in 0..2 {
+                let tickets = server.submit_batch(workload.to_vec());
+                for (ticket, query) in tickets.into_iter().zip(&workload) {
+                    let got = ticket
+                        .expect("Block admits everything")
+                        .wait()
+                        .expect("churn queries are valid");
+                    let want = reference.run(query).expect("churn queries are valid");
+                    stale += (got != want) as u64;
+                }
+            }
+        }
+        let elapsed = t0.elapsed().as_nanos() as f64;
+        let final_epoch = server.engine().env().epoch();
+        let stats = server.shutdown(ShutdownMode::Drain);
+        assert!(stats.conserved(), "churn axis lost tickets: {stats:?}");
+        assert_eq!(
+            final_epoch,
+            base_env.epoch() + (epochs - 1),
+            "every swap must bump the epoch: {stats:?}"
+        );
+        assert_eq!(
+            stale, 0,
+            "served answers diverged from the current environment \
+             (stale cache entries survived a swap): {stats:?}"
+        );
+        assert!(
+            stats.cache_hits > 0,
+            "churn workload never exercised the cache: {stats:?}"
+        );
+        let qps = (epochs as usize * 2 * n) as f64 / (elapsed / 1e9);
+        eprintln!(
+            "churn axis: {} rounds x 2 x {n} queries at {qps:.0} q/s, epoch {final_epoch}, \
+             {} hits / {} misses / {} coalesced, 0 stale",
+            epochs, stats.cache_hits, stats.cache_misses, stats.cache_coalesced
+        );
+        records.push((format!("churn/hybrid_{n}q_x{epochs}"), elapsed, 1));
+        derived.push(("churn_epoch_bumps".into(), (epochs - 1) as f64));
+        derived.push(("churn_stale_answers".into(), stale as f64));
+        derived.push(("churn_qps".into(), qps));
+        derived.push(("churn_cache_hits".into(), stats.cache_hits as f64));
+        derived.push(("churn_cache_coalesced".into(), stats.cache_coalesced as f64));
+    }
+
     let shard_note = if shards_axis {
         "; k=2 shard axis (ShardRouter scatter-gather over shards {1,2,4,8} x replication \
          {1,2}, corner-skewed Zipf traffic, 4 concurrent clients, 1-worker 2-slot Reject \
@@ -910,6 +1025,12 @@ fn main() {
     } else {
         ""
     };
+    let churn_note = if churn {
+        "; k=2 churn axis (caching singleflight server, full-data environment swap per \
+         round, every answer checked against a fresh reference engine on the current epoch)"
+    } else {
+        ""
+    };
     let path = std::path::PathBuf::from(format!("BENCH_{tag}.json"));
     write_bench_json(
         &path,
@@ -920,7 +1041,7 @@ fn main() {
              algorithms ({open_workers} workers, Reject); Zipf({zipf_s}) repeat-query cache \
              axis over a {pool_size}-query pool (cold cached vs uncached server); \
              k=2 deadline-miss axis (Shed expired-first vs oldest-first, saturating \
-             mixed-TTL bursts); k=2 batch_window x queue_capacity ablation{shard_note}{chaos_note}; \
+             mixed-TTL bursts); k=2 batch_window x queue_capacity ablation{shard_note}{chaos_note}{churn_note}; \
              {queries} queries/batch, {points} uniform points per channel, page 64, \
              paper region"
         ),

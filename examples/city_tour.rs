@@ -42,7 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ));
     println!(
         "Approximate-TNN would use the uniformity radius {:.0} m everywhere\n",
-        approximate_radius_for_env(engine.env())
+        approximate_radius_for_env(&engine.env())
     );
 
     // Tour a line of query points crossing clusters and voids.
@@ -57,11 +57,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         let hybrid = engine.run(&Query::tnn(p).algorithm(Algorithm::HybridNn))?;
         let approx = engine.run(&Query::tnn(p).algorithm(Algorithm::ApproximateTnn))?;
-        let oracle = exact_tnn(
-            p,
-            engine.env().channel(0).tree(),
-            engine.env().channel(1).tree(),
-        );
+        let env = engine.env();
+        let oracle = exact_tnn(p, env.channel(0).tree(), env.channel(1).tree());
         let hybrid_dist = hybrid.total_dist.expect("hybrid never fails");
         assert!((hybrid_dist - oracle.dist).abs() < 1e-6);
 

@@ -73,7 +73,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // The broadcast answer matches the in-memory oracle.
-    let oracle_trees: Vec<&RTree> = engine.env().channels().iter().map(|c| c.tree()).collect();
+    let env = engine.env();
+    let oracle_trees: Vec<&RTree> = env.channels().iter().map(|c| c.tree()).collect();
     let (_, oracle_total) = exact_chain_tnn(home, &oracle_trees);
     assert!((total - oracle_total).abs() < 1e-6);
     println!("verified against the exact chain oracle ({oracle_total:.1} m).");

@@ -266,9 +266,9 @@ fn k_channel_queries_end_to_end() {
         let phases: Vec<u64> = (0..k as u64).map(|i| i * 7_777 + 13).collect();
         let engine = QueryEngine::new(MultiChannelEnv::new(trees, params, &phases));
         let queries = uniform_points(8, &paper_region(), 1_000 + k as u64);
+        let env = engine.env();
         for &q in &queries {
-            let oracle_trees: Vec<&RTree> =
-                engine.env().channels().iter().map(|c| c.tree()).collect();
+            let oracle_trees: Vec<&RTree> = env.channels().iter().map(|c| c.tree()).collect();
             let (_, oracle_total) = exact_chain_tnn(q, &oracle_trees);
             for alg in [
                 Algorithm::WindowBased,
