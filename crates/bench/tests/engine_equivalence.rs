@@ -76,6 +76,14 @@ struct FrozenEstimate {
     radius: f64,
     tuners: [Tuner; 2],
     end: u64,
+    /// Per-channel `(peak_queue, prune_hits)` of the estimate searches,
+    /// measured straight off the frozen task handles.
+    hops: [(u64, u64); 2],
+}
+
+/// The `(peak_queue, prune_hits)` reading of one completed search task.
+fn hop_stats<Q: CandidateQueue>(task: &BroadcastNnSearch<'_, Q>) -> (u64, u64) {
+    (task.peak_memory() as u64, task.parked_len() as u64)
 }
 
 /// The frozen two-channel estimate phase of each algorithm.
@@ -110,6 +118,7 @@ fn frozen_estimate<Q: CandidateQueue>(
                 radius: p.dist(s_pt) + s_pt.dist(r_pt),
                 tuners: [*nn1.tuner(), *nn2.tuner()],
                 end: t1.max(t2),
+                hops: [hop_stats(&nn1), hop_stats(&nn2)],
             }
         }
         Algorithm::ApproximateTnn => {
@@ -125,6 +134,7 @@ fn frozen_estimate<Q: CandidateQueue>(
                 radius: (r_s + r_r) * side,
                 tuners: [Tuner::new(), Tuner::new()],
                 end: issued_at,
+                hops: [(0, 0), (0, 0)],
             }
         }
         Algorithm::DoubleNn | Algorithm::HybridNn => {
@@ -192,6 +202,7 @@ fn frozen_estimate<Q: CandidateQueue>(
                 radius: p.dist(s_pt) + s_pt.dist(r_pt),
                 tuners: [*a.tuner(), *b.tuner()],
                 end: a.now().max(b.now()),
+                hops: [hop_stats(&a), hop_stats(&b)],
             }
         }
     }
@@ -235,12 +246,16 @@ fn frozen_tnn<Q: CandidateQueue>(
             filter_pages: filter_pages[0],
             retrieve_pages: 0,
             finish_time: est.tuners[0].finish_time.unwrap_or(issued_at).max(f0_end),
+            peak_queue: est.hops[0].0,
+            prune_hits: est.hops[0].1,
         },
         ChannelCost {
             estimate_pages: est.tuners[1].pages,
             filter_pages: filter_pages[1],
             retrieve_pages: 0,
             finish_time: est.tuners[1].finish_time.unwrap_or(issued_at).max(f1_end),
+            peak_queue: est.hops[1].0,
+            prune_hits: est.hops[1].1,
         },
     ];
     if retrieve {
@@ -298,6 +313,7 @@ fn frozen_variant_outcome(
     issued_at: u64,
     est_tuners: [Tuner; 2],
     est_end: u64,
+    est_hops: [(u64, u64); 2],
     radius: f64,
     stops: Vec<(Point, tnn_rtree::ObjectId, usize)>,
     total_dist: f64,
@@ -309,6 +325,8 @@ fn frozen_variant_outcome(
     for k in 0..2 {
         channels[k].estimate_pages = est_tuners[k].pages;
         channels[k].filter_pages = filter_tuners[k].pages;
+        channels[k].peak_queue = est_hops[k].0;
+        channels[k].prune_hits = est_hops[k].1;
         channels[k].finish_time = est_tuners[k]
             .finish_time
             .unwrap_or(issued_at)
@@ -438,6 +456,7 @@ fn frozen_variant<Q: CandidateQueue>(
         issued_at,
         est.tuners,
         est.end,
+        est.hops,
         radius,
         stops,
         total,

@@ -18,7 +18,7 @@
 //! fails (paper §6.3, Table 3) — and on uniform data the range is
 //! unnecessarily large, inflating tune-in time (§6.1.2, Fig. 11(d)).
 
-use super::{Estimate, TunerVec};
+use super::{Estimate, HopStats, HopStatsVec, TunerVec};
 use tnn_broadcast::{MultiChannelEnv, Tuner};
 use tnn_geom::Rect;
 
@@ -58,13 +58,16 @@ pub fn approximate_radius_for_env(env: &MultiChannelEnv) -> f64 {
 
 pub(crate) fn estimate(env: &MultiChannelEnv, issued_at: u64) -> Estimate {
     let mut tuners = TunerVec::new();
+    let mut hops = HopStatsVec::new();
     for _ in 0..env.len() {
         tuners.push(Tuner::new());
+        hops.push(HopStats::default());
     }
     Estimate {
         radius: approximate_radius_for_env(env),
         tuners,
         end: issued_at, // purely local computation; nothing on air
+        hops,
     }
 }
 

@@ -32,12 +32,13 @@ pub(crate) fn estimate<Q: CandidateQueue>(
         spawn_parallel_searches(overlay, p, issued_at, |i| cfg.ann[i], scratch.nn_slice(k));
     // No re-targeting: the completion hook is a no-op.
     run_interleaved(&mut tasks, |_, _, _, _| {});
-    let (nns, tuners, end) = harvest_searches(tasks, scratch.nn_slice(k))?;
+    let (nns, tuners, end, hops) = harvest_searches(tasks, scratch.nn_slice(k))?;
     Ok(Estimate {
         // Algorithm 1 line 4, k-ary: d ← dis(p, n₁) + Σ dis(nᵢ, nᵢ₊₁).
         radius: chain_length(p, nns.iter().map(|&(pt, _)| pt)),
         tuners,
         end,
+        hops,
     })
 }
 

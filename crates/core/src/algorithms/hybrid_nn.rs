@@ -63,11 +63,12 @@ pub(crate) fn estimate<Q: CandidateQueue>(
             }
         }
     });
-    let (nns, tuners, end) = harvest_searches(tasks, scratch.nn_slice(k))?;
+    let (nns, tuners, end, hops) = harvest_searches(tasks, scratch.nn_slice(k))?;
     Ok(Estimate {
         radius: chain_length(p, nns.iter().map(|&(pt, _)| pt)),
         tuners,
         end,
+        hops,
     })
 }
 

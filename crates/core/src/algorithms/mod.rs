@@ -50,6 +50,20 @@ use crate::task::queue::LinearQueue;
 /// evaluation's workloads never spill).
 pub(crate) type TunerVec = InlineVec<Tuner, 4>;
 
+/// Per-channel estimate-phase queue statistics, inline up to four
+/// channels like [`TunerVec`].
+pub(crate) type HopStatsVec = InlineVec<HopStats, 4>;
+
+/// Client-side queue accounting of one hop's estimate-phase NN search,
+/// surfaced on [`ChannelCost`] for observability.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct HopStats {
+    /// Peak queued + parked entries — the `(H−1)(M−1)`-bounded metric.
+    pub peak_queue: u64,
+    /// Entries still parked (pruned by §4.2.4) when the search ended.
+    pub prune_hits: u64,
+}
+
 /// Reusable per-worker buffers for the whole query pipeline: one NN
 /// search task and one window query per channel, plus the local join —
 /// k-ary, growing on demand to the environment's channel count, so the
@@ -229,6 +243,9 @@ pub(crate) struct Estimate {
     /// Global slot at which the radius became known (the filter phase
     /// starts here on every channel).
     pub end: u64,
+    /// Per-channel queue statistics of the estimate searches (all zero
+    /// for Approximate-TNN, which runs no searches).
+    pub hops: HopStatsVec,
 }
 
 /// Length of the feasible chain `p → pts₀ → … → pts_{k−1}` — the
@@ -303,6 +320,8 @@ pub(crate) fn filter_and_finish<Q: CandidateQueue>(
             filter_pages: w.tuner().pages,
             retrieve_pages: 0,
             finish_time: est.tuners[i].finish_time.unwrap_or(issued_at).max(w.now()),
+            peak_queue: est.hops[i].peak_queue,
+            prune_hits: est.hops[i].prune_hits,
         })
         .collect();
     for (w, w_scratch) in windows.into_iter().zip(window.iter_mut()) {
@@ -411,25 +430,31 @@ pub(crate) fn spawn_parallel_searches<'a, Q: CandidateQueue>(
         .collect()
 }
 
-/// Collects each task's best point, tuner, and clock, recycling the task
-/// buffers into `scratch`. Returns [`TnnError::EmptyChannel`] when a
-/// search ended without reaching any data point.
+/// Collects each task's best point, tuner, clock, and queue statistics,
+/// recycling the task buffers into `scratch`. Returns
+/// [`TnnError::EmptyChannel`] when a search ended without reaching any
+/// data point.
 #[allow(clippy::type_complexity)]
 pub(crate) fn harvest_searches<Q: CandidateQueue>(
     tasks: Vec<BroadcastNnSearch<'_, Q>>,
     scratch: &mut [NnScratch<Q>],
-) -> Result<(Vec<(Point, ObjectId)>, TunerVec, u64), TnnError> {
+) -> Result<(Vec<(Point, ObjectId)>, TunerVec, u64, HopStatsVec), TnnError> {
     let mut nns = Vec::with_capacity(tasks.len());
     let mut tuners = TunerVec::new();
     let mut end = 0u64;
+    let mut hops = HopStatsVec::new();
     for (i, (task, nn_scratch)) in tasks.into_iter().zip(scratch.iter_mut()).enumerate() {
         let (pt, object, _) = task.best().ok_or(TnnError::EmptyChannel { channel: i })?;
         nns.push((pt, object));
         tuners.push(*task.tuner());
         end = end.max(task.now());
+        hops.push(HopStats {
+            peak_queue: task.peak_memory() as u64,
+            prune_hits: task.parked_len() as u64,
+        });
         task.recycle(nn_scratch);
     }
-    Ok((nns, tuners, end))
+    Ok((nns, tuners, end, hops))
 }
 
 /// Property tests asserting the heap-ordered production queue and the

@@ -28,7 +28,7 @@
 
 use super::{
     chain_length, check_channels_non_empty, harvest_searches, run_interleaved,
-    spawn_parallel_searches, QueryScratch, TunerVec,
+    spawn_parallel_searches, HopStatsVec, QueryScratch, TunerVec,
 };
 use crate::merge::{merge_route_layers, MergedRoute, RouteObjective};
 use crate::task::queue::CandidateQueue;
@@ -114,7 +114,7 @@ fn parallel_estimate<Q: CandidateQueue>(
     issued_at: u64,
     ann: &AnnSpec,
     scratch: &mut QueryScratch<Q>,
-) -> Result<(Vec<(Point, ObjectId)>, TunerVec, u64), TnnError> {
+) -> Result<(Vec<(Point, ObjectId)>, TunerVec, u64, HopStatsVec), TnnError> {
     let k = overlay.len();
     let mut tasks =
         spawn_parallel_searches(overlay, p, issued_at, |i| ann.mode(i), scratch.nn_slice(k));
@@ -149,6 +149,7 @@ fn assemble(
     issued_at: u64,
     est_tuners: &TunerVec,
     est_end: u64,
+    est_hops: &HopStatsVec,
     filter_tuners: &[Tuner],
     filter_end: u64,
     stops: Vec<(Point, ObjectId, usize)>,
@@ -161,6 +162,8 @@ fn assemble(
     for i in 0..k {
         channels[i].estimate_pages = est_tuners[i].pages;
         channels[i].filter_pages = filter_tuners[i].pages;
+        channels[i].peak_queue = est_hops[i].peak_queue;
+        channels[i].prune_hits = est_hops[i].prune_hits;
         channels[i].finish_time = est_tuners[i]
             .finish_time
             .unwrap_or(issued_at)
@@ -213,7 +216,8 @@ pub fn order_free_tnn_overlay<Q: CandidateQueue>(
 ) -> Result<VariantRun, TnnError> {
     validate(overlay, p, ann)?;
     let k = overlay.len();
-    let (nns, est_tuners, est_end) = parallel_estimate(overlay, p, issued_at, ann, scratch)?;
+    let (nns, est_tuners, est_end, est_hops) =
+        parallel_estimate(overlay, p, issued_at, ann, scratch)?;
     scratch.ensure_visit_orders(k);
 
     // Best feasible chain through the per-channel NNs over all visit
@@ -255,6 +259,7 @@ pub fn order_free_tnn_overlay<Q: CandidateQueue>(
         issued_at,
         &est_tuners,
         est_end,
+        &est_hops,
         &filter_tuners,
         filter_end,
         stops,
@@ -288,7 +293,8 @@ pub fn round_trip_tnn_overlay<Q: CandidateQueue>(
     scratch: &mut QueryScratch<Q>,
 ) -> Result<VariantRun, TnnError> {
     validate(overlay, p, ann)?;
-    let (nns, est_tuners, est_end) = parallel_estimate(overlay, p, issued_at, ann, scratch)?;
+    let (nns, est_tuners, est_end, est_hops) =
+        parallel_estimate(overlay, p, issued_at, ann, scratch)?;
     let d_loop =
         chain_length(p, nns.iter().map(|&(pt, _)| pt)) + nns.last().expect("k ≥ 2 hops").0.dist(p);
 
@@ -309,6 +315,7 @@ pub fn round_trip_tnn_overlay<Q: CandidateQueue>(
         issued_at,
         &est_tuners,
         est_end,
+        &est_hops,
         &filter_tuners,
         filter_end,
         stops,

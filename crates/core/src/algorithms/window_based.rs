@@ -8,7 +8,7 @@
 //! `d = dis(p, n₁) + Σ dis(nᵢ, nᵢ₊₁)`. The filter phase runs on all
 //! channels in parallel (the adaptation to simultaneous access).
 
-use super::{Estimate, QueryScratch, TunerVec};
+use super::{Estimate, HopStats, HopStatsVec, QueryScratch, TunerVec};
 use crate::task::queue::CandidateQueue;
 use crate::task::BroadcastNnSearch;
 use crate::{SearchMode, TnnConfig, TnnError};
@@ -24,6 +24,7 @@ pub(crate) fn estimate<Q: CandidateQueue>(
 ) -> Result<Estimate, TnnError> {
     let k = overlay.len();
     let mut tuners = TunerVec::new();
+    let mut hops = HopStatsVec::new();
     let mut radius = 0.0;
     let mut from = p;
     let mut now = issued_at;
@@ -42,6 +43,10 @@ pub(crate) fn estimate<Q: CandidateQueue>(
         end = end.max(now);
         let best = task.best();
         tuners.push(*task.tuner());
+        hops.push(HopStats {
+            peak_queue: task.peak_memory() as u64,
+            prune_hits: task.parked_len() as u64,
+        });
         task.recycle(nn_scratch);
         let (pt, _, _) = best.ok_or(TnnError::EmptyChannel { channel: i })?;
         // d accumulates the hop legs: dis(p, n₁) + Σ dis(nᵢ, nᵢ₊₁).
@@ -53,6 +58,7 @@ pub(crate) fn estimate<Q: CandidateQueue>(
         radius,
         tuners,
         end,
+        hops,
     })
 }
 

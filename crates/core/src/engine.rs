@@ -312,6 +312,32 @@ impl QueryOutcome {
         self.channels.iter().map(|c| c.filter_pages).sum()
     }
 
+    /// Peak client-queue occupancy (live queue + delayed-pruning parked
+    /// list, max over channels) — the paper's `(H−1)(M−1)`-bounded
+    /// client-memory metric of §4.2.4. Zero for Approximate-TNN, which
+    /// runs no estimate searches.
+    pub fn peak_queue(&self) -> u64 {
+        self.channels
+            .iter()
+            .map(|c| c.peak_queue)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total delayed-pruning hits across channels: condemned entries
+    /// the estimate searches parked instead of expanding (§4.2.4).
+    pub fn prune_hits(&self) -> u64 {
+        self.channels.iter().map(|c| c.prune_hits).sum()
+    }
+
+    /// Index nodes visited ≙ index pages downloaded by the estimate and
+    /// filter searches (in the broadcast cost model every visited node
+    /// is one downloaded page; answer retrieval reads data pages, which
+    /// [`QueryOutcome::tune_in`] adds on top).
+    pub fn node_visits(&self) -> u64 {
+        self.tune_in_estimate() + self.tune_in_filter()
+    }
+
     /// `true` when no route was found.
     pub fn failed(&self) -> bool {
         self.route.is_empty()
@@ -1109,5 +1135,51 @@ mod tests {
         );
         assert_eq!(got.failed(), core.failed());
         assert_eq!(got.estimate_end, Some(core.estimate_end));
+        assert_eq!(got.peak_queue(), core.peak_queue());
+        assert_eq!(got.prune_hits(), core.prune_hits());
+        assert_eq!(
+            got.node_visits(),
+            core.tune_in_estimate() + core.tune_in_filter()
+        );
+    }
+
+    /// The paper's §4.2.4 client-memory bound `(H−1)(M−1)`, observed
+    /// end-to-end through the engine outcome: every search-running
+    /// algorithm stays within a generous multiple of the per-channel
+    /// bound, and Approximate-TNN (no searches) reports zero.
+    #[test]
+    fn outcome_peak_queue_respects_paper_memory_bound() {
+        let env = build_env(&[cloud(900, 3), cloud(800, 11)], &[9, 27]);
+        let engine = QueryEngine::new(env.clone());
+        let bound = env
+            .channels()
+            .iter()
+            .map(|ch| {
+                let h = ch.tree().height() as u64;
+                let m = ch.tree().params().fanout as u64;
+                4 * (h - 1) * (m - 1) + m + 1
+            })
+            .max()
+            .unwrap();
+        for alg in [
+            Algorithm::WindowBased,
+            Algorithm::DoubleNn,
+            Algorithm::HybridNn,
+        ] {
+            let got = engine
+                .run(&Query::tnn(Point::new(120.0, 120.0)).algorithm(alg))
+                .unwrap();
+            assert!(
+                (1..=bound).contains(&got.peak_queue()),
+                "{}: peak queue {} vs paper-derived bound {bound}",
+                alg.name(),
+                got.peak_queue()
+            );
+        }
+        let approx = engine
+            .run(&Query::tnn(Point::new(120.0, 120.0)).algorithm(Algorithm::ApproximateTnn))
+            .unwrap();
+        assert_eq!(approx.peak_queue(), 0, "no estimate searches, no queue");
+        assert_eq!(approx.prune_hits(), 0);
     }
 }

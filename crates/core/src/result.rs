@@ -38,6 +38,13 @@ pub struct ChannelCost {
     pub retrieve_pages: u64,
     /// Completion slot of the last activity on this channel.
     pub finish_time: u64,
+    /// Peak client-queue occupancy of this channel's estimate-phase NN
+    /// search (live queue + delayed-pruning parked list) — the paper's
+    /// `(H−1)(M−1)`-bounded memory metric, per hop.
+    pub peak_queue: u64,
+    /// Delayed-pruning hits during the estimate phase: entries parked
+    /// (§4.2.4) instead of expanded, still parked when the search ended.
+    pub prune_hits: u64,
 }
 
 impl ChannelCost {
@@ -101,6 +108,21 @@ impl TnnRun {
         self.channels.iter().map(|c| c.filter_pages).sum()
     }
 
+    /// Peak client-queue occupancy over all channels — the paper's
+    /// `(H−1)(M−1)`-bounded client-memory metric for the whole query.
+    pub fn peak_queue(&self) -> u64 {
+        self.channels
+            .iter()
+            .map(|c| c.peak_queue)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total delayed-pruning hits across channels (§4.2.4).
+    pub fn prune_hits(&self) -> u64 {
+        self.channels.iter().map(|c| c.prune_hits).sum()
+    }
+
     /// `true` when the algorithm produced no answer at all.
     pub fn failed(&self) -> bool {
         self.route.is_empty()
@@ -139,12 +161,16 @@ mod tests {
                     filter_pages: 7,
                     retrieve_pages: 16,
                     finish_time: 260,
+                    peak_queue: 9,
+                    prune_hits: 4,
                 },
                 ChannelCost {
                     estimate_pages: 2,
                     filter_pages: 3,
                     retrieve_pages: 16,
                     finish_time: 250,
+                    peak_queue: 11,
+                    prune_hits: 1,
                 },
             ],
         }
@@ -157,6 +183,8 @@ mod tests {
         assert_eq!(run.tune_in(), 5 + 7 + 16 + 2 + 3 + 16);
         assert_eq!(run.tune_in_estimate(), 7);
         assert_eq!(run.tune_in_filter(), 10);
+        assert_eq!(run.peak_queue(), 11, "max over channels");
+        assert_eq!(run.prune_hits(), 5, "sum over channels");
         assert!(run.failed());
         assert!(run.answer().is_none());
         assert_eq!(run.channels[0].total_pages(), 28);

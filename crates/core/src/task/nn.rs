@@ -240,6 +240,15 @@ impl<'a, Q: CandidateQueue> BroadcastNnSearch<'a, Q> {
         self.peak_memory
     }
 
+    /// Number of entries currently parked by delayed pruning (§4.2.4):
+    /// condemned but kept revivable for re-targeting switches. After a
+    /// completed search this is the count of candidates pruning saved
+    /// from expansion — backend-independent, since lazy and eager
+    /// pruning classify entries identically by completion.
+    pub fn parked_len(&self) -> usize {
+        self.parked.len()
+    }
+
     /// Downloads the next candidate node and processes it. Returns the
     /// arrival slot handled, or `None` when already done.
     pub fn step(&mut self) -> Option<u64> {

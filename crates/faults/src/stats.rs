@@ -37,6 +37,42 @@ impl FaultStats {
     pub fn injected(&self) -> u64 {
         self.drops + self.outages + self.engine_panics + self.worker_kills
     }
+
+    /// Publishes the fault tallies into `registry` under `tnn_faults_*`
+    /// names. All tallies are cumulative, so repeated publications are
+    /// monotone (Prometheus counter semantics).
+    pub fn publish_metrics(&self, registry: &tnn_trace::MetricsRegistry) {
+        registry.counter(
+            "tnn_faults_drops_total",
+            "Tune-in attempts that lost their packet",
+            self.drops,
+        );
+        registry.counter(
+            "tnn_faults_outages_total",
+            "Tune-in attempts that found a channel dark",
+            self.outages,
+        );
+        registry.counter(
+            "tnn_faults_jitter_slots_total",
+            "Injected arrival-jitter slots over successful tune-ins",
+            self.jitter_slots,
+        );
+        registry.counter(
+            "tnn_faults_engine_panics_total",
+            "Engine runs panicked by injection",
+            self.engine_panics,
+        );
+        registry.counter(
+            "tnn_faults_worker_kills_total",
+            "Worker threads killed by injection",
+            self.worker_kills,
+        );
+        registry.counter(
+            "tnn_faults_clean_rounds_total",
+            "Tune-in rounds that cleared every channel without a fault",
+            self.clean_rounds,
+        );
+    }
 }
 
 /// The shared, thread-safe decision point the serving layer probes: a

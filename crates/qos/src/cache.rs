@@ -126,6 +126,31 @@ impl CacheStats {
             self.hits as f64 / probes as f64
         }
     }
+
+    /// Publishes the cache counters into `registry` under `tnn_cache_*`
+    /// names. Every field of this snapshot except `len` only grows, so
+    /// repeated publications are monotone (Prometheus counter
+    /// semantics); `len` is a gauge.
+    pub fn publish_metrics(&self, registry: &tnn_trace::MetricsRegistry) {
+        registry.counter("tnn_cache_hits_total", "Probes that hit", self.hits);
+        registry.counter("tnn_cache_misses_total", "Probes that missed", self.misses);
+        registry.counter(
+            "tnn_cache_expired_total",
+            "Probes that found only a TTL-expired entry",
+            self.expired,
+        );
+        registry.counter(
+            "tnn_cache_insertions_total",
+            "Values stored",
+            self.insertions,
+        );
+        registry.counter(
+            "tnn_cache_evictions_total",
+            "Entries dropped to make room (LRU victims)",
+            self.evictions,
+        );
+        registry.gauge("tnn_cache_len", "Live entries", self.len as f64);
+    }
 }
 
 /// Slot index used as "no link" in the intrusive LRU list.

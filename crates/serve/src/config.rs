@@ -2,6 +2,7 @@
 //! [`ShutdownMode`], and [`Degradation`].
 
 use tnn_qos::{CacheConfig, Priority, RetryPolicy, ShedDiscipline};
+use tnn_trace::TraceConfig;
 
 /// What [`crate::Server::submit`] does when the submission lane of the
 /// query's priority class is at capacity.
@@ -156,6 +157,16 @@ pub struct ServeConfig {
     /// plan (followers share the leader's outcome byte-for-byte, which
     /// injected faults and degraded fallbacks would break).
     pub singleflight: bool,
+    /// Cross-layer query tracing ([`TraceConfig::Off`] by default).
+    /// When on, workers stamp per-query phase spans (admission wait,
+    /// queue residency, cache probe, engine run, retry backoff) and a
+    /// bounded [`tnn_trace::FlightRecorder`] retains the slowest and
+    /// every degraded-or-errored [`tnn_trace::QueryTrace`]
+    /// ([`crate::Server::recorder`]). Tracing observes and never
+    /// steers: delivered outcomes and [`crate::ServeStats`] counters
+    /// are byte-identical either way (gated by
+    /// `crates/bench/tests/trace_equivalence.rs`).
+    pub trace: TraceConfig,
 }
 
 impl ServeConfig {
@@ -179,6 +190,7 @@ impl ServeConfig {
             max_worker_restarts: 32,
             retry_budget: [0; Priority::COUNT],
             singleflight: false,
+            trace: TraceConfig::Off,
         }
     }
 
@@ -257,6 +269,14 @@ impl ServeConfig {
         self
     }
 
+    /// Sets the tracing mode ([`TraceConfig::on`] for the default
+    /// flight-recorder retention, or `TraceConfig::On` with explicit
+    /// [`tnn_trace::RecorderConfig`] bounds).
+    pub fn trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
+        self
+    }
+
     /// The effective lane bound of `class` after inheritance and
     /// clamping — what the server actually enforces.
     pub fn lane_capacity(&self, class: Priority) -> usize {
@@ -292,7 +312,8 @@ mod tests {
             .degradation(Degradation::Approximate)
             .max_worker_restarts(2)
             .retry_budget(Priority::Background, 64)
-            .singleflight(true);
+            .singleflight(true)
+            .trace(TraceConfig::on());
         assert_eq!(cfg.workers, 3);
         assert_eq!(cfg.queue_capacity, 7);
         assert_eq!(cfg.backpressure, Backpressure::Shed);
@@ -304,6 +325,7 @@ mod tests {
         assert_eq!(cfg.max_worker_restarts, 2);
         assert_eq!(cfg.retry_budget[Priority::Background.index()], 64);
         assert!(cfg.singleflight);
+        assert!(cfg.trace.is_on());
         assert!(ServeConfig::new().workers >= 1);
         assert_eq!(ServeConfig::new().backpressure, Backpressure::Block);
         assert_eq!(ServeConfig::new().shed, ShedDiscipline::ExpiredFirst);
@@ -314,6 +336,8 @@ mod tests {
         assert!(ServeConfig::new().retry.max_attempts > 1);
         // Coalescing is opt-in: plain spawns keep one-job-per-submission.
         assert!(!ServeConfig::new().singleflight);
+        // Tracing is opt-in: plain spawns keep the exact untraced path.
+        assert!(!ServeConfig::new().trace.is_on());
     }
 
     #[test]

@@ -72,14 +72,23 @@
 #![forbid(unsafe_code)]
 
 mod config;
-mod histogram;
 mod server;
 mod ticket;
 
 pub use config::{Backpressure, Degradation, ServeConfig, ShutdownMode};
-pub use histogram::LatencyHistogram;
 pub use server::{ClassStats, ServeStats, Server};
 pub use ticket::Ticket;
+
+// The observability vocabulary ([`ServeConfig::trace`],
+// [`Server::recorder`], [`Server::publish_metrics`]), re-exported so
+// serving code speaks tracing without naming `tnn_trace` directly.
+// `LatencyHistogram` moved to `tnn-trace` (it is the registry's
+// histogram value type); this re-export keeps the original
+// `tnn_serve::LatencyHistogram` path working.
+pub use tnn_trace::{
+    FlightRecorder, LatencyHistogram, MetricsRegistry, QueryTrace, RecorderConfig, Span, SpanKind,
+    TraceConfig,
+};
 
 // The QoS vocabulary callers need to speak the submission API, re-
 // exported so `tnn_serve` alone suffices for everyday serving code.

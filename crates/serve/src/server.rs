@@ -9,12 +9,11 @@
 #![allow(clippy::disallowed_methods)]
 
 use crate::config::{Backpressure, Degradation, ServeConfig, ShutdownMode};
-use crate::histogram::LatencyHistogram;
 use crate::ticket::{Ticket, TicketCell};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use tnn_broadcast::MultiChannelEnv;
 use tnn_core::{
     Algorithm, ArrivalHeap, CandidateQueue, Query, QueryEngine, QueryKey, QueryOutcome,
@@ -25,6 +24,7 @@ use tnn_qos::{
     Deadline, FlightOutcome, FlightTable, Lookup, MultiLevelQueue, Priority, Qos, ResultCache,
     RetryBudget,
 };
+use tnn_trace::{FlightRecorder, LatencyHistogram, MetricsRegistry, QueryTrace, SpanKind};
 
 /// Admission/completion counters of one priority class.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -271,6 +271,109 @@ impl ServeStats {
             self.cache_hits as f64 / self.completed as f64
         }
     }
+
+    /// Publishes this snapshot into `registry`: per-class
+    /// admission/completion counters and latency histograms under
+    /// `tnn_serve_*` (labelled `{class="..."}`), the cache-outcome
+    /// classification, and the worker-restart tally. All counter fields
+    /// of a live server's snapshots only ever grow, so repeated
+    /// publications are monotone (Prometheus counter semantics).
+    pub fn publish_metrics(&self, registry: &MetricsRegistry) {
+        for class in Priority::ALL {
+            let c = self.class(class);
+            let series = |name: &str| format!("{name}{{class=\"{}\"}}", class.name());
+            registry.counter(
+                &series("tnn_serve_submitted_total"),
+                "Queries submitted, including refused ones",
+                c.submitted,
+            );
+            registry.counter(
+                &series("tnn_serve_accepted_total"),
+                "Queries admitted into the queue",
+                c.accepted,
+            );
+            registry.counter(
+                &series("tnn_serve_rejected_total"),
+                "Queries refused at the door",
+                c.rejected,
+            );
+            registry.counter(
+                &series("tnn_serve_shed_total"),
+                "Viable queries evicted by load shedding",
+                c.shed,
+            );
+            registry.counter(
+                &series("tnn_serve_cancelled_total"),
+                "Queries cancelled at shutdown",
+                c.cancelled,
+            );
+            registry.counter(
+                &series("tnn_serve_completed_total"),
+                "Queries whose outcome was delivered",
+                c.completed,
+            );
+            registry.counter(
+                &series("tnn_serve_expired_total"),
+                "Queries whose deadline passed unanswered",
+                c.expired,
+            );
+            registry.counter(
+                &series("tnn_serve_retried_total"),
+                "Retry attempts charged to the class",
+                c.retried,
+            );
+            registry.counter(
+                &series("tnn_serve_degraded_total"),
+                "Completions answered by a degradation fallback",
+                c.degraded,
+            );
+            registry.gauge(
+                &series("tnn_serve_queued"),
+                "Jobs admitted but not yet picked up",
+                c.queued as f64,
+            );
+            registry.gauge(
+                &series("tnn_serve_in_flight"),
+                "Jobs being executed by a worker",
+                c.in_flight as f64,
+            );
+            registry.histogram(
+                &series("tnn_serve_latency"),
+                "Submission-to-resolution latency",
+                &c.latency,
+            );
+        }
+        registry.counter(
+            "tnn_serve_cache_hits_total",
+            "Completions served straight from the result cache",
+            self.cache_hits,
+        );
+        registry.counter(
+            "tnn_serve_cache_misses_total",
+            "Completions that ran the engine on a cache miss",
+            self.cache_misses,
+        );
+        registry.counter(
+            "tnn_serve_cache_expired_total",
+            "Completions that refreshed a TTL-expired cache entry",
+            self.cache_expired,
+        );
+        registry.counter(
+            "tnn_serve_cache_bypass_total",
+            "Completions that never touched the cache",
+            self.cache_bypass,
+        );
+        registry.counter(
+            "tnn_serve_cache_coalesced_total",
+            "Completions coalesced onto an in-flight engine run",
+            self.cache_coalesced,
+        );
+        registry.counter(
+            "tnn_serve_worker_restarts_total",
+            "Worker serving rounds that panicked and respawned",
+            self.worker_restarts,
+        );
+    }
 }
 
 /// One admitted query and the cell its ticket reads from.
@@ -296,6 +399,11 @@ struct Job {
     /// When the client handed the query over, for the per-class latency
     /// histograms.
     submitted_at: Instant,
+    /// When the job entered the queue — stamped only under
+    /// [`tnn_trace::TraceConfig::On`] (`None` keeps the untraced
+    /// admission path stamp-free), splitting admission wait from queue
+    /// residency in the job's [`QueryTrace`].
+    enqueued_at: Option<Instant>,
 }
 
 impl Drop for Job {
@@ -384,6 +492,11 @@ struct Inner {
     faults: Option<FaultInjector>,
     /// Per-class retry-attempt pools ([`ServeConfig::retry_budget`]).
     budget: RetryBudget,
+    /// The slow-query flight recorder; `Some` exactly when
+    /// [`ServeConfig::trace`] is on. Workers record each executed
+    /// job's [`QueryTrace`] here *after* resolving its ticket, holding
+    /// no other lock.
+    recorder: Option<FlightRecorder>,
     config: ServeConfig,
 }
 
@@ -502,6 +615,7 @@ impl<Q: CandidateQueue + 'static> Server<Q> {
             .then(|| ResultCache::new(config.cache));
         let flights =
             (config.singleflight && cache.is_some() && faults.is_none()).then(FlightTable::new);
+        let recorder = config.trace.recorder().map(FlightRecorder::new);
         let inner = Arc::new(Inner {
             state: Mutex::new(State {
                 queue: MultiLevelQueue::new(),
@@ -521,6 +635,7 @@ impl<Q: CandidateQueue + 'static> Server<Q> {
             flights,
             faults,
             budget: RetryBudget::new(config.retry_budget),
+            recorder,
             config,
         });
         let workers = (0..config.workers)
@@ -898,6 +1013,7 @@ impl<Q: CandidateQueue + 'static> Server<Q> {
                 lead,
                 seq,
                 submitted_at,
+                enqueued_at: self.inner.recorder.is_some().then(Instant::now),
             },
         );
         (state, Ok(Ticket { cell, submitted_at }), true)
@@ -961,6 +1077,47 @@ impl<Q: CandidateQueue + 'static> Server<Q> {
     /// the same admission sequence (see [`FaultStats`]).
     pub fn fault_stats(&self) -> Option<FaultStats> {
         self.inner.faults.as_ref().map(FaultInjector::stats)
+    }
+
+    /// The slow-query flight recorder, `None` unless
+    /// [`ServeConfig::trace`] is on. Holds the N slowest and every
+    /// degraded-or-errored [`QueryTrace`] of worker-executed jobs
+    /// (admission-time cache hits and refusals resolve without a
+    /// worker and are counted in [`ServeStats`] only).
+    pub fn recorder(&self) -> Option<&FlightRecorder> {
+        self.inner.recorder.as_ref()
+    }
+
+    /// Publishes a snapshot of this server's metrics into `registry`:
+    /// per-class admission/completion counters and latency histograms
+    /// under `tnn_serve_*`, the cache-outcome classification, the
+    /// result cache's own `tnn_cache_*` counters and the fault
+    /// injector's `tnn_faults_*` tallies when present, and the flight
+    /// recorder's retention counters under `tnn_trace_*`.
+    ///
+    /// Every counter is published from a stats snapshot whose fields
+    /// only ever grow, so repeated publications are monotone —
+    /// Prometheus counter semantics ([`MetricsRegistry::render_prometheus`]).
+    pub fn publish_metrics(&self, registry: &MetricsRegistry) {
+        self.stats().publish_metrics(registry);
+        if let Some(cache) = self.cache_stats() {
+            cache.publish_metrics(registry);
+        }
+        if let Some(faults) = self.fault_stats() {
+            faults.publish_metrics(registry);
+        }
+        if let Some(recorder) = self.recorder() {
+            registry.counter(
+                "tnn_trace_recorded_total",
+                "Query traces offered to the flight recorder",
+                recorder.recorded(),
+            );
+            registry.gauge(
+                "tnn_trace_retained",
+                "Query traces currently retained by the flight recorder",
+                recorder.len() as f64,
+            );
+        }
     }
 
     /// Shuts the server down and joins every worker thread.
@@ -1203,6 +1360,24 @@ fn worker_rounds<Q: CandidateQueue>(inner: &Inner, engine: &QueryEngine<Q>) {
                 }
             }
             let now = Instant::now();
+            // Trace assembly starts at dequeue: admission wait and
+            // queue residency are reconstructed from the job's stamps.
+            // `None` whenever tracing is off — the untraced path takes
+            // no stamps and allocates nothing.
+            let mut trace = inner.recorder.as_ref().map(|_| {
+                let mut t = QueryTrace::new(job.seq);
+                if let Some(enqueued_at) = job.enqueued_at {
+                    t.span(
+                        SpanKind::AdmissionWait,
+                        enqueued_at.saturating_duration_since(job.submitted_at),
+                    );
+                    t.span(
+                        SpanKind::QueueResidency,
+                        now.saturating_duration_since(enqueued_at),
+                    );
+                }
+                t
+            });
             // Deadline at dequeue: a job that died waiting is discarded,
             // not run — the worker's time goes to viable work.
             if job.deadline.expired(now) {
@@ -1211,6 +1386,10 @@ fn worker_rounds<Q: CandidateQueue>(inner: &Inner, engine: &QueryEngine<Q>) {
                     inner.retire_flight(&job.key);
                 }
                 guard.expired[class] += 1;
+                if let Some(t) = trace.as_mut() {
+                    t.errored = true;
+                }
+                record_trace(inner, trace, job.submitted_at);
                 continue;
             }
             // One environment snapshot pins this job's whole execution
@@ -1236,27 +1415,59 @@ fn worker_rounds<Q: CandidateQueue>(inner: &Inner, engine: &QueryEngine<Q>) {
             // instead of re-running the engine. A hit also skips the
             // fault schedule entirely: a cached answer needs no tune-in.
             let cacheable = match (&key, &inner.cache) {
-                (Some(key), Some(cache)) => match cache.lookup(key, now) {
-                    Lookup::Hit(outcome) => {
-                        guard.cache_hits += 1;
-                        job.cell.resolve(Ok(outcome));
-                        if job.lead {
-                            inner.retire_flight(&job.key);
+                (Some(key), Some(cache)) => {
+                    let probe_started = trace.as_ref().map(|_| Instant::now());
+                    let looked = cache.lookup(key, now);
+                    if let (Some(t), Some(started)) = (trace.as_mut(), probe_started) {
+                        t.span(
+                            SpanKind::CacheProbe,
+                            Instant::now().saturating_duration_since(started),
+                        );
+                    }
+                    match looked {
+                        Lookup::Hit(outcome) => {
+                            guard.cache_hits += 1;
+                            if let Some(t) = trace.as_mut() {
+                                stamp_counters(t, &outcome);
+                            }
+                            job.cell.resolve(Ok(outcome));
+                            if job.lead {
+                                inner.retire_flight(&job.key);
+                            }
+                            guard.completed[class] += 1;
+                            guard.latency[class]
+                                .record(Instant::now().saturating_duration_since(job.submitted_at));
+                            record_trace(inner, trace, job.submitted_at);
+                            continue;
                         }
-                        guard.completed[class] += 1;
-                        guard.latency[class]
-                            .record(Instant::now().saturating_duration_since(job.submitted_at));
-                        continue;
+                        lookup => {
+                            refresh = refresh || matches!(lookup, Lookup::Expired);
+                            true
+                        }
                     }
-                    lookup => {
-                        refresh = refresh || matches!(lookup, Lookup::Expired);
-                        true
-                    }
-                },
+                }
                 // A keyless (or cacheless) job never consults the cache.
                 _ => false,
             };
-            match run_job(inner, engine, &env, &job, &mut scratch) {
+            let run_started = trace.as_ref().map(|_| Instant::now());
+            let mut ladder = LadderTimings::default();
+            let executed = run_job(inner, engine, &env, &job, &mut scratch, &mut ladder);
+            if let (Some(t), Some(started)) = (trace.as_mut(), run_started) {
+                let elapsed = Instant::now().saturating_duration_since(started);
+                t.span(
+                    SpanKind::EngineRun,
+                    elapsed
+                        .saturating_sub(ladder.backoff)
+                        .saturating_sub(ladder.degraded),
+                );
+                if !ladder.backoff.is_zero() {
+                    t.span(SpanKind::RetryBackoff, ladder.backoff);
+                }
+                if !ladder.degraded.is_zero() {
+                    t.span(SpanKind::Degradation, ladder.degraded);
+                }
+            }
+            match executed {
                 Executed::Expired { retries } => {
                     guard.retried[class] += retries;
                     job.cell.resolve(Err(TnnError::DeadlineExceeded));
@@ -1264,6 +1475,11 @@ fn worker_rounds<Q: CandidateQueue>(inner: &Inner, engine: &QueryEngine<Q>) {
                         inner.retire_flight(&job.key);
                     }
                     guard.expired[class] += 1;
+                    if let Some(t) = trace.as_mut() {
+                        t.attempts = retries as u32;
+                        t.errored = true;
+                    }
+                    record_trace(inner, trace, job.submitted_at);
                 }
                 Executed::Done { result, retries } => {
                     guard.retried[class] += retries;
@@ -1291,6 +1507,13 @@ fn worker_rounds<Q: CandidateQueue>(inner: &Inner, engine: &QueryEngine<Q>) {
                         // answer a later healthy run would produce.
                         _ => guard.cache_bypass += 1,
                     }
+                    if let Some(t) = trace.as_mut() {
+                        t.attempts = retries as u32 + 1;
+                        match &result {
+                            Ok(outcome) => stamp_counters(t, outcome),
+                            Err(_) => t.errored = true,
+                        }
+                    }
                     job.cell.resolve(result);
                     if job.lead {
                         inner.retire_flight(&job.key);
@@ -1298,12 +1521,46 @@ fn worker_rounds<Q: CandidateQueue>(inner: &Inner, engine: &QueryEngine<Q>) {
                     guard.completed[class] += 1;
                     guard.latency[class]
                         .record(Instant::now().saturating_duration_since(job.submitted_at));
+                    record_trace(inner, trace, job.submitted_at);
                 }
             }
         }
         drop(guard);
     }
     engine.recycle(scratch);
+}
+
+/// Copies the engine's paper-native cost counters — tune-in pages,
+/// node visits, delayed-pruning hits, the `(H−1)(M−1)`-bounded peak
+/// queue — and the degradation flag off a delivered outcome into its
+/// trace.
+fn stamp_counters(trace: &mut QueryTrace, outcome: &QueryOutcome) {
+    trace.degraded = outcome.degraded;
+    trace.node_visits = outcome.node_visits();
+    trace.prune_hits = outcome.prune_hits();
+    trace.peak_queue = outcome.peak_queue();
+    trace.tune_in = outcome.tune_in();
+}
+
+/// Seals `trace` with its end-to-end latency and offers it to the
+/// flight recorder. Called after the job's ticket resolved, holding no
+/// other lock (the recorder stripe lock is innermost — see
+/// `docs/locks.toml`). A no-op when tracing is off.
+fn record_trace(inner: &Inner, trace: Option<QueryTrace>, submitted_at: Instant) {
+    if let (Some(recorder), Some(mut trace)) = (&inner.recorder, trace) {
+        trace.total = Instant::now().saturating_duration_since(submitted_at);
+        recorder.record(trace);
+    }
+}
+
+/// Off-engine wall time [`run_job`] spent in the retry ladder,
+/// accumulated for span stamping: backoff sleeps between attempts, and
+/// the degraded-fallback run. The engine-run span is the run's elapsed
+/// time minus these.
+#[derive(Default)]
+struct LadderTimings {
+    backoff: Duration,
+    degraded: Duration,
 }
 
 /// Executes one job under the server's fault schedule and retry policy.
@@ -1323,6 +1580,7 @@ fn run_job<Q: CandidateQueue>(
     env: &MultiChannelEnv,
     job: &Job,
     scratch: &mut QueryScratch<Q>,
+    timings: &mut LadderTimings,
 ) -> Executed {
     let Some(faults) = &inner.faults else {
         return Executed::Done {
@@ -1350,10 +1608,12 @@ fn run_job<Q: CandidateQueue>(
                 let can_retry =
                     attempt < policy.max_attempts.max(1) && inner.budget.try_charge(job.class);
                 if !can_retry {
-                    return Executed::Done {
-                        result: degrade(inner, engine, env, job, scratch, err),
-                        retries,
-                    };
+                    let fallback_started = inner.recorder.as_ref().map(|_| Instant::now());
+                    let result = degrade(inner, engine, env, job, scratch, err);
+                    if let Some(started) = fallback_started {
+                        timings.degraded += Instant::now().saturating_duration_since(started);
+                    }
+                    return Executed::Done { result, retries };
                 }
                 retries += 1;
                 let mut pause = policy.backoff(attempt, job.seq);
@@ -1362,6 +1622,7 @@ fn run_job<Q: CandidateQueue>(
                 }
                 if !pause.is_zero() {
                     std::thread::sleep(pause);
+                    timings.backoff += pause;
                 }
             }
         }

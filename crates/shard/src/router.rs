@@ -32,6 +32,7 @@ use crate::partition::ShardPlan;
 use crate::stats::ShardStats;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, RwLock};
+use std::time::Duration;
 use tnn_broadcast::MultiChannelEnv;
 use tnn_core::{
     approximate_radius_for_env, merge_route_layers, Algorithm, ArrivalHeap, CandidateQueue,
@@ -41,6 +42,7 @@ use tnn_geom::{Circle, Point};
 use tnn_qos::Qos;
 use tnn_rtree::ObjectId;
 use tnn_serve::{ServeStats, Server, ShutdownMode, Ticket};
+use tnn_trace::{FlightRecorder, MetricsRegistry, QueryTrace, SpanKind};
 
 /// The engine's own floating-point guard on filter radii — candidates at
 /// exactly the estimate distance must not be lost to rounding.
@@ -198,6 +200,13 @@ pub struct ShardRouter<Q: CandidateQueue + 'static = ArrivalHeap> {
     /// merged into every [`ShardRouter::stats`] snapshot so pre-swap
     /// work is never dropped or double-counted.
     retired: Mutex<ServeStats>,
+    /// The router-level flight recorder, `Some` when the shard servers'
+    /// [`tnn_serve::ServeConfig::trace`] is on. Router traces carry the
+    /// scatter/gather waits (derived from sub-ticket latencies — this
+    /// crate reads no clock itself) and the folded engine counters of
+    /// every scattered sub-outcome; replica-level traces live in each
+    /// replica's own recorder.
+    recorder: Option<FlightRecorder>,
 }
 
 impl ShardRouter<ArrivalHeap> {
@@ -213,12 +222,14 @@ impl<Q: CandidateQueue + 'static> ShardRouter<Q> {
     /// mirroring [`QueryEngine::with_queue_backend`] — benchmarks
     /// instantiate the paper-literal linear reference through this.
     pub fn spawn_with_backend(env: MultiChannelEnv, config: ShardConfig) -> Self {
+        let recorder = config.serve.trace.recorder().map(FlightRecorder::new);
         ShardRouter {
             topology: RwLock::new(build_topology::<Q>(env, &config)),
             config,
             counters: Counters::default(),
             final_serve: Mutex::new(None),
             retired: Mutex::new(ServeStats::default()),
+            recorder,
         }
     }
 
@@ -351,7 +362,8 @@ impl<Q: CandidateQueue + 'static> ShardRouter<Q> {
     /// # Panics
     /// As [`ShardRouter::run`].
     pub fn run_with(&self, query: &Query, qos: Qos) -> Result<ShardOutcome, TnnError> {
-        self.counters.queries.fetch_add(1, Ordering::Relaxed);
+        let seq = self.counters.queries.fetch_add(1, Ordering::Relaxed);
+        let mut trace = self.recorder.as_ref().map(|_| QueryTrace::new(seq));
         // The read guard pins one topology for the whole scatter-gather
         // pass: a concurrent swap_env waits until every in-flight query
         // releases it, so no query ever mixes epochs.
@@ -373,6 +385,7 @@ impl<Q: CandidateQueue + 'static> ShardRouter<Q> {
             let layers = self.gather(topology, p, radius);
             let mut join = JoinScratch::default();
             let merged = merge_route_layers(&mut join, RouteObjective::Chain, p, &layers, None);
+            self.seal_trace(trace);
             return Ok(match merged {
                 Some(m) => self.outcome(kind, m, radius, 0, 0, false),
                 None => ShardOutcome {
@@ -418,13 +431,25 @@ impl<Q: CandidateQueue + 'static> ShardRouter<Q> {
                     self.counters.scattered.fetch_add(1, Ordering::Relaxed);
                     match ticket.wait() {
                         Ok(outcome) => {
+                            if let Some(t) = trace.as_mut() {
+                                fold_sub_outcome(t, &outcome);
+                            }
                             if let Some(total) = outcome.total_dist {
                                 bound = total;
                             }
                         }
                         Err(_) => {
                             self.counters.scatter_errors.fetch_add(1, Ordering::Relaxed);
+                            if let Some(t) = trace.as_mut() {
+                                t.errored = true;
+                            }
                         }
+                    }
+                    // The scatter wait is the primary sub-ticket's own
+                    // submission-to-resolution latency — this crate
+                    // reads no clock (R1), the shard server stamped it.
+                    if let (Some(t), Some(latency)) = (trace.as_mut(), ticket.latency()) {
+                        t.span(SpanKind::ShardScatter, latency);
                     }
                 }
                 Err(_) => {
@@ -459,9 +484,13 @@ impl<Q: CandidateQueue + 'static> ShardRouter<Q> {
                     }
                 }
             }
+            let mut gather_wait = Duration::ZERO;
             for ticket in waits {
                 match ticket.wait() {
                     Ok(outcome) => {
+                        if let Some(t) = trace.as_mut() {
+                            fold_sub_outcome(t, &outcome);
+                        }
                         if let Some(total) = outcome.total_dist {
                             if total < bound {
                                 bound = total;
@@ -470,7 +499,20 @@ impl<Q: CandidateQueue + 'static> ShardRouter<Q> {
                     }
                     Err(_) => {
                         self.counters.scatter_errors.fetch_add(1, Ordering::Relaxed);
+                        if let Some(t) = trace.as_mut() {
+                            t.errored = true;
+                        }
                     }
+                }
+                // Surviving sub-queries run concurrently, so the gather
+                // wait is the *max* sub-ticket latency, not the sum.
+                if let Some(latency) = ticket.latency() {
+                    gather_wait = gather_wait.max(latency);
+                }
+            }
+            if let Some(t) = trace.as_mut() {
+                if !gather_wait.is_zero() {
+                    t.span(SpanKind::ShardGather, gather_wait);
                 }
             }
         }
@@ -498,7 +540,19 @@ impl<Q: CandidateQueue + 'static> ShardRouter<Q> {
         // whatever thread runs the router.
         let merged =
             merge_route_layers(&mut join, objective, p, &layers, None).ok_or(TnnError::Internal)?;
+        self.seal_trace(trace);
         Ok(self.outcome(kind, merged, radius, scattered, pruned, fallback))
+    }
+
+    /// Seals and records a router-level trace. Its total is the span
+    /// sum — every duration here is derived from sub-ticket latencies,
+    /// this crate never reads a clock (R1 determinism) — so totals are
+    /// an under-estimate that excludes the local gather/merge work.
+    fn seal_trace(&self, trace: Option<QueryTrace>) {
+        if let (Some(recorder), Some(mut trace)) = (&self.recorder, trace) {
+            trace.total = trace.span_sum();
+            recorder.record(trace);
+        }
     }
 
     /// A snapshot of the router's counters plus the fold of every
@@ -564,6 +618,38 @@ impl<Q: CandidateQueue + 'static> ShardRouter<Q> {
             }
         }
         self.stats()
+    }
+
+    /// The router-level flight recorder, `None` unless the shard
+    /// servers' [`tnn_serve::ServeConfig::trace`] is on. Router traces
+    /// carry the scatter/gather waits (derived from sub-ticket
+    /// latencies) and the folded engine counters of every scattered
+    /// sub-outcome; the per-sub-query traces live in each replica's own
+    /// recorder.
+    pub fn recorder(&self) -> Option<&FlightRecorder> {
+        self.recorder.as_ref()
+    }
+
+    /// Publishes a snapshot of the router's metrics into `registry`:
+    /// the scatter-gather counters under `tnn_shard_*`, the fleet fold
+    /// of every replica's serving stats under `tnn_serve_*` (see
+    /// [`ShardStats::publish_metrics`]), and the router recorder's
+    /// retention counters when tracing is on. Monotone across repeated
+    /// publications, like [`Server::publish_metrics`].
+    pub fn publish_metrics(&self, registry: &MetricsRegistry) {
+        self.stats().publish_metrics(registry);
+        if let Some(recorder) = &self.recorder {
+            registry.counter(
+                "tnn_shard_trace_recorded_total",
+                "Router-level query traces offered to the flight recorder",
+                recorder.recorded(),
+            );
+            registry.gauge(
+                "tnn_shard_trace_retained",
+                "Router-level query traces currently retained",
+                recorder.len() as f64,
+            );
+        }
     }
 
     /// Routes one sub-query to `shard`: bumps the hotness counters,
@@ -779,6 +865,19 @@ fn fallback_bound(env: &MultiChannelEnv, p: Point, round_trip: bool) -> f64 {
     total
 }
 
+/// Folds one scattered sub-outcome's engine counters into the
+/// router-level trace: visits, tune-in slots, and prune hits add up
+/// across shards; the peak queue is a max (sub-queries run concurrently
+/// on distinct broadcast clients); one degraded sub-answer taints the
+/// whole trace.
+fn fold_sub_outcome(trace: &mut QueryTrace, outcome: &tnn_core::QueryOutcome) {
+    trace.node_visits += outcome.node_visits();
+    trace.tune_in += outcome.tune_in();
+    trace.prune_hits += outcome.prune_hits();
+    trace.peak_queue = trace.peak_queue.max(outcome.peak_queue());
+    trace.degraded |= outcome.degraded;
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -982,6 +1081,50 @@ mod tests {
         assert!(stats.scattered > 0);
         assert!(stats.conserved(), "{stats:?}");
         assert_eq!(stats.serve.completed, stats.scattered);
+    }
+
+    #[test]
+    fn tracing_records_router_level_traces_and_publishes_metrics() {
+        let env = sample_env(2);
+        let router = ShardRouter::spawn(
+            env,
+            ShardConfig::new()
+                .shards(4)
+                .serve(small_serve().trace(tnn_serve::TraceConfig::on())),
+        );
+        assert!(router.recorder().is_some());
+        let p = Point::new(420.0, 510.0);
+        for query in query_mix(p) {
+            let _ = router.run(&query);
+        }
+        let recorder = router.recorder().expect("tracing is on");
+        let recorded = recorder.recorded();
+        assert!(recorded > 0);
+        let slowest = recorder.slowest();
+        // A scattered query folds the sub-outcomes' engine counters and
+        // carries a scatter span derived from the primary sub-ticket.
+        let traced = slowest
+            .iter()
+            .find(|t| !t.duration_of(SpanKind::ShardScatter).is_zero())
+            .expect("a scattered query was retained");
+        assert!(traced.node_visits > 0, "{traced:?}");
+        assert!(traced.tune_in > 0, "{traced:?}");
+        assert_eq!(traced.total, traced.span_sum(), "no clock in this crate");
+
+        let registry = MetricsRegistry::new();
+        router.publish_metrics(&registry);
+        let text = registry.render_prometheus();
+        for series in [
+            "tnn_shard_queries_total",
+            "tnn_serve_completed_total",
+            "tnn_shard_trace_recorded_total",
+        ] {
+            assert!(text.contains(series), "missing {series} in:\n{text}");
+        }
+
+        let stats = router.shutdown(ShutdownMode::Drain);
+        assert!(recorded <= stats.queries, "recorded at most once per query");
+        assert!(stats.conserved(), "{stats:?}");
     }
 
     /// `env` with every channel's data replaced by a fresh uniform

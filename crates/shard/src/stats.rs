@@ -104,4 +104,69 @@ impl ShardStats {
         }
         acc
     }
+
+    /// Publishes this snapshot into `registry`: the scatter-gather
+    /// counters under `tnn_shard_*`, then the folded fleet serving
+    /// stats through [`ServeStats::publish_metrics`] (so the
+    /// `tnn_serve_*` series of a sharded deployment aggregate every
+    /// replica, retirees included). All fields only ever grow on a live
+    /// router, so repeated publications are monotone.
+    pub fn publish_metrics(&self, registry: &tnn_trace::MetricsRegistry) {
+        registry.counter(
+            "tnn_shard_queries_total",
+            "Queries accepted by the shard router",
+            self.queries,
+        );
+        registry.counter(
+            "tnn_shard_scattered_total",
+            "Sub-queries admitted by shard servers during scatter",
+            self.scattered,
+        );
+        registry.counter(
+            "tnn_shard_scatter_rejected_total",
+            "Sub-queries refused at a shard server's door",
+            self.scatter_rejected,
+        );
+        registry.counter(
+            "tnn_shard_scatter_errors_total",
+            "Admitted sub-queries that resolved to an error",
+            self.scatter_errors,
+        );
+        registry.counter(
+            "tnn_shard_scatter_pruned_total",
+            "Shards skipped by the transitive scatter bound",
+            self.scatter_pruned,
+        );
+        registry.counter(
+            "tnn_shard_gather_probed_total",
+            "(shard, channel) sub-trees range-searched in the gather phase",
+            self.gather_probed,
+        );
+        registry.counter(
+            "tnn_shard_gather_pruned_total",
+            "(shard, channel) sub-trees skipped by root-MBR pruning",
+            self.gather_pruned,
+        );
+        registry.counter(
+            "tnn_shard_fallbacks_total",
+            "Queries that fell back to a locally computed gather bound",
+            self.fallbacks,
+        );
+        registry.counter(
+            "tnn_shard_replicas_spawned_total",
+            "Extra replicas spawned by hot-shard scale-up",
+            self.replicas_spawned,
+        );
+        registry.counter(
+            "tnn_shard_env_swaps_total",
+            "Environment swaps published through the router",
+            self.env_swaps,
+        );
+        registry.counter(
+            "tnn_shard_retired_replicas_total",
+            "Replicas drained and retired by environment swaps",
+            self.retired_replicas,
+        );
+        self.serve.publish_metrics(registry);
+    }
 }

@@ -53,8 +53,18 @@
 //!    then-current environment (a stale cache entry surviving a swap
 //!    would fail the count).
 //!
+//! 9. **Trace axis** (k = 2, `--trace` only) — a skewed repeat-query
+//!    workload through a traced, caching server
+//!    ([`tnn_serve::TraceConfig::on`]). The binary *asserts* — the CI
+//!    observability smoke gate — that the flight recorder retained
+//!    traces, that every retained trace carries stamped spans whose sum
+//!    reconciles with the recorded end-to-end latency to within one
+//!    log₂ histogram bucket (totals under 16 µs are skipped: all seam),
+//!    and that the rendered Prometheus snapshot's per-class completion
+//!    counters conserve the server's own completion count.
+//!
 //! ```sh
-//! cargo run --release -p tnn-sim --bin serve_load -- --tag pr7 --faults --shards --churn 2 3 4
+//! cargo run --release -p tnn-sim --bin serve_load -- --tag pr7 --faults --shards --churn --trace 2 3 4
 //! ```
 //!
 //! Environment knobs: `TNN_QUERIES` (closed-loop batch size, default
@@ -63,8 +73,9 @@
 //! `TNN_BENCH_REPS` (min-of-reps, default 3), `TNN_POOL` (Zipf pool
 //! size, default 200), `TNN_ZIPF` (Zipf exponent, default 1.1),
 //! `TNN_SHARD_QUERIES` (shard-axis workload size, default 400),
-//! `TNN_CHAOS_QUERIES` (chaos-axis workload size, default 300), and
-//! `TNN_CHURN_QUERIES` (churn-axis queries per epoch, default 240).
+//! `TNN_CHAOS_QUERIES` (chaos-axis workload size, default 300),
+//! `TNN_CHURN_QUERIES` (churn-axis queries per epoch, default 240), and
+//! `TNN_TRACE_QUERIES` (trace-axis workload size, default 300).
 
 #![forbid(unsafe_code)]
 // R1-approved timing module (see check/r1.allow): wall-clock calls are
@@ -82,8 +93,8 @@ use tnn_datasets::{paper_region, uniform_points};
 use tnn_geom::{Point, Rect};
 use tnn_rtree::{PackingAlgorithm, RTree};
 use tnn_serve::{
-    Backpressure, CacheConfig, ChannelFaults, Degradation, FaultPlan, Priority, Qos, RetryPolicy,
-    ServeConfig, Server, ShedDiscipline, ShutdownMode,
+    Backpressure, CacheConfig, ChannelFaults, Degradation, FaultPlan, MetricsRegistry, Priority,
+    Qos, RetryPolicy, ServeConfig, Server, ShedDiscipline, ShutdownMode, TraceConfig,
 };
 use tnn_shard::{ShardConfig, ShardRouter};
 use tnn_sim::{format_table, run_tnn_batch, BatchConfig, Table, ZipfSampler};
@@ -207,6 +218,7 @@ fn main() {
     let mut faults = false;
     let mut shards_axis = false;
     let mut churn = false;
+    let mut trace_axis = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--tag" {
@@ -217,13 +229,15 @@ fn main() {
             shards_axis = true;
         } else if arg == "--churn" {
             churn = true;
+        } else if arg == "--trace" {
+            trace_axis = true;
         } else if let Ok(k) = arg.parse::<usize>() {
             assert!(k >= 2, "TNN needs at least two channels");
             ks.push(k);
         } else {
             panic!(
                 "unknown argument {arg:?} \
-                 (usage: serve_load [--tag T] [--faults] [--shards] [--churn] [k...])"
+                 (usage: serve_load [--tag T] [--faults] [--shards] [--churn] [--trace] [k...])"
             );
         }
     }
@@ -1011,6 +1025,123 @@ fn main() {
         derived.push(("churn_cache_coalesced".into(), stats.cache_coalesced as f64));
     }
 
+    // --- Trace axis (k = 2, `--trace` only): a skewed repeat-query
+    // workload through a traced, caching server. The asserts below ARE
+    // the CI observability smoke gate: the flight recorder must retain
+    // retrievable traces, stamped spans must reconcile with the
+    // recorded end-to-end latency at histogram (log2-bucket)
+    // resolution, and the rendered Prometheus snapshot must conserve
+    // the completion count.
+    if trace_axis {
+        let tpoints = points.min(2_000);
+        let trees: Vec<Arc<RTree>> = (0..2)
+            .map(|i| {
+                let pts = uniform_points(tpoints, &region, 1_310 + i as u64);
+                Arc::new(RTree::build(&pts, params.rtree_params(), PackingAlgorithm::Str).unwrap())
+            })
+            .collect();
+        let env = tnn_broadcast::MultiChannelEnv::new(trees, params, &[0, 0]);
+        let cycle_lens: Vec<u64> = env
+            .channels()
+            .iter()
+            .map(|c| c.layout().cycle_len())
+            .collect();
+        let n = env_usize("TNN_TRACE_QUERIES", 300).max(64);
+        // A small pool with many repeats, so the dequeue-time cache
+        // probe sees both misses (leaders) and hits (repeats queued
+        // behind them) — CacheProbe spans on both sides.
+        let pool_n = (n / 4).max(1);
+        let tpool: Vec<Query> = (0..pool_n as u64)
+            .map(|i| batch_query(&region, &cycle_lens, 0x7_AACE, i, Algorithm::HybridNn))
+            .collect();
+        let server = Server::spawn(
+            env,
+            ServeConfig::new()
+                .workers(2)
+                .queue_capacity(n)
+                .backpressure(Backpressure::Block)
+                .cache(CacheConfig::new().capacity(2 * pool_n))
+                .batch_window(8)
+                .trace(TraceConfig::on()),
+        );
+        let workload: Vec<Query> = (0..n).map(|i| tpool[i % pool_n].clone()).collect();
+        for ticket in server.submit_batch(workload) {
+            ticket
+                .expect("Block admits everything")
+                .wait()
+                .expect("trace-axis queries are valid");
+        }
+        let recorder = server.recorder().expect("tracing is on");
+        assert!(recorder.recorded() > 0, "no traces recorded");
+        let slowest = recorder.slowest();
+        assert!(!slowest.is_empty(), "flight recorder retained nothing");
+        let bucket = |d: Duration| {
+            let us = d.as_micros().max(1) as u64;
+            63 - us.leading_zeros()
+        };
+        for t in &slowest {
+            assert!(!t.spans.is_empty(), "retained trace has no spans: {t:?}");
+            // Sub-16 µs totals are dominated by the measurement seams
+            // between layers; everything slower must be explained by
+            // its spans to within one log2 bucket.
+            if t.total < Duration::from_micros(16) {
+                continue;
+            }
+            assert!(
+                bucket(t.span_sum()).abs_diff(bucket(t.total)) <= 1,
+                "span sum {:?} does not reconcile with total {:?}: {t:?}",
+                t.span_sum(),
+                t.total,
+            );
+        }
+        // Publish only after shutdown: workers book their counters in
+        // micro-batches *after* resolving tickets, so a snapshot taken
+        // right after the last wait() can lag the final fold by up to
+        // one batch_window.
+        let stats = server.shutdown(ShutdownMode::Drain);
+        assert!(stats.conserved(), "trace axis lost tickets: {stats:?}");
+        let registry = MetricsRegistry::new();
+        server.publish_metrics(&registry);
+        let text = registry.render_prometheus();
+        // Parse the snapshot back: the per-class completion counters
+        // must conserve the server's own completion count.
+        let completed_sum: u64 = text
+            .lines()
+            .filter(|l| l.starts_with("tnn_serve_completed_total{"))
+            .map(|l| {
+                l.rsplit(' ')
+                    .next()
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .expect("counter samples are integers")
+            })
+            .sum();
+        assert_eq!(
+            completed_sum, stats.completed,
+            "rendered snapshot diverges from the stats fold"
+        );
+        assert!(
+            text.contains("tnn_trace_recorded_total"),
+            "recorder series missing from the snapshot:\n{text}"
+        );
+        let head = &slowest[0];
+        eprintln!(
+            "trace axis: recorded={} retained={} | slowest seq={} total={:?} attempts={} \
+             visits={} peak_queue={} spans={:?}",
+            recorder.recorded(),
+            recorder.len(),
+            head.seq,
+            head.total,
+            head.attempts,
+            head.node_visits,
+            head.peak_queue,
+            head.spans,
+        );
+        derived.push(("trace_recorded".into(), recorder.recorded() as f64));
+        derived.push(("trace_retained".into(), recorder.len() as f64));
+        derived.push(("trace_slowest_ms".into(), head.total.as_secs_f64() * 1e3));
+        derived.push(("trace_cache_hits".into(), stats.cache_hits as f64));
+    }
+
     let shard_note = if shards_axis {
         "; k=2 shard axis (ShardRouter scatter-gather over shards {1,2,4,8} x replication \
          {1,2}, corner-skewed Zipf traffic, 4 concurrent clients, 1-worker 2-slot Reject \
@@ -1031,6 +1162,12 @@ fn main() {
     } else {
         ""
     };
+    let trace_note = if trace_axis {
+        "; k=2 trace axis (traced caching server: flight-recorder retention, span-vs-total \
+         reconciliation at log2-bucket resolution, Prometheus snapshot conservation)"
+    } else {
+        ""
+    };
     let path = std::path::PathBuf::from(format!("BENCH_{tag}.json"));
     write_bench_json(
         &path,
@@ -1041,7 +1178,7 @@ fn main() {
              algorithms ({open_workers} workers, Reject); Zipf({zipf_s}) repeat-query cache \
              axis over a {pool_size}-query pool (cold cached vs uncached server); \
              k=2 deadline-miss axis (Shed expired-first vs oldest-first, saturating \
-             mixed-TTL bursts); k=2 batch_window x queue_capacity ablation{shard_note}{chaos_note}{churn_note}; \
+             mixed-TTL bursts); k=2 batch_window x queue_capacity ablation{shard_note}{chaos_note}{churn_note}{trace_note}; \
              {queries} queries/batch, {points} uniform points per channel, page 64, \
              paper region"
         ),

@@ -8,34 +8,40 @@ use std::time::Duration;
 const BUCKETS: usize = 32;
 
 /// A log₂-bucketed latency histogram over microseconds — `Copy`,
-/// allocation-free, and mergeable, so it lives inside
-/// [`crate::ClassStats`] snapshots and crosses threads by value.
+/// allocation-free, and mergeable, so it lives inside per-class stats
+/// snapshots and crosses threads by value.
 ///
 /// Quantiles are read as the *upper bound* of the bucket holding the
 /// requested rank (conservative: reported p99 ≥ true p99, never under),
-/// which is the right direction for deadline budgeting.
+/// which is the right direction for deadline budgeting. The exact
+/// microsecond total is kept alongside the buckets ([`Self::sum`]), so
+/// a Prometheus exporter can emit `_sum`/`_count` honestly rather than
+/// reconstructing a lossy sum from bucket bounds.
 ///
 /// ```
 /// use std::time::Duration;
-/// use tnn_serve::LatencyHistogram;
+/// use tnn_trace::LatencyHistogram;
 ///
 /// let mut h = LatencyHistogram::default();
 /// for ms in [1u64, 1, 1, 1, 50] {
 ///     h.record(Duration::from_millis(ms));
 /// }
 /// assert_eq!(h.count(), 5);
+/// assert_eq!(h.sum(), Duration::from_millis(54));
 /// assert!(h.quantile(0.50) < Duration::from_millis(3));
 /// assert!(h.quantile(0.99) >= Duration::from_millis(50));
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LatencyHistogram {
     buckets: [u64; BUCKETS],
+    sum_micros: u64,
 }
 
 impl Default for LatencyHistogram {
     fn default() -> Self {
         LatencyHistogram {
             buckets: [0; BUCKETS],
+            sum_micros: 0,
         }
     }
 }
@@ -56,6 +62,8 @@ impl LatencyHistogram {
     #[inline]
     pub fn record(&mut self, latency: Duration) {
         self.buckets[Self::index(latency)] += 1;
+        let micros = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.sum_micros = self.sum_micros.saturating_add(micros);
     }
 
     /// Adds every observation of `other` into `self`.
@@ -63,11 +71,18 @@ impl LatencyHistogram {
         for (into, from) in self.buckets.iter_mut().zip(other.buckets.iter()) {
             *into += from;
         }
+        self.sum_micros = self.sum_micros.saturating_add(other.sum_micros);
     }
 
     /// Total observations.
     pub fn count(&self) -> u64 {
         self.buckets.iter().sum()
+    }
+
+    /// Exact total of all recorded latencies (microsecond granularity),
+    /// for honest `_sum` exposition next to [`Self::count`].
+    pub fn sum(&self) -> Duration {
+        Duration::from_micros(self.sum_micros)
     }
 
     /// `true` when nothing has been recorded.
@@ -105,6 +120,12 @@ impl LatencyHistogram {
         self.quantile(0.99)
     }
 
+    /// 99.9th-percentile latency (bucket upper bound) — the tail the
+    /// flight recorder is built to explain.
+    pub fn p999(&self) -> Duration {
+        self.quantile(0.999)
+    }
+
     /// The raw bucket counts (bucket `i` spans `[2^i, 2^(i+1))` µs).
     pub fn buckets(&self) -> &[u64; BUCKETS] {
         &self.buckets
@@ -120,8 +141,10 @@ mod tests {
         let h = LatencyHistogram::default();
         assert_eq!(h.count(), 0);
         assert!(h.is_empty());
+        assert_eq!(h.sum(), Duration::ZERO);
         assert_eq!(h.p50(), Duration::ZERO);
         assert_eq!(h.p99(), Duration::ZERO);
+        assert_eq!(h.p999(), Duration::ZERO);
     }
 
     #[test]
@@ -150,9 +173,43 @@ mod tests {
         // p50 sits in the 64..128 µs bucket; its upper bound is 127 µs.
         assert_eq!(h.p50(), Duration::from_micros(127));
         // p99 lands on the 99th observation — still the fast bucket —
-        // while p100 must cover the slow outlier.
+        // while p99.9 and p100 must cover the slow outlier.
         assert_eq!(h.p99(), Duration::from_micros(127));
+        assert!(h.p999() >= Duration::from_millis(80));
         assert!(h.quantile(1.0) >= Duration::from_millis(80));
+    }
+
+    #[test]
+    fn p999_needs_a_thousand_fast_observations_to_shake_one_outlier() {
+        let mut h = LatencyHistogram::default();
+        h.record(Duration::from_millis(80));
+        for _ in 0..999 {
+            h.record(Duration::from_micros(100));
+        }
+        // 1000 observations: rank ceil(0.999 · 1000) = 999 — fast bucket.
+        assert_eq!(h.p999(), Duration::from_micros(127));
+        h.record(Duration::from_micros(100));
+        h.record(Duration::from_millis(80));
+        // 1002 observations, two outliers: rank 1001 lands on an outlier.
+        assert!(h.p999() >= Duration::from_millis(80));
+    }
+
+    #[test]
+    fn sum_tracks_exact_micros_and_merges() {
+        let mut h = LatencyHistogram::default();
+        h.record(Duration::from_micros(100));
+        h.record(Duration::from_micros(23));
+        assert_eq!(h.sum(), Duration::from_micros(123));
+        let mut other = LatencyHistogram::default();
+        other.record(Duration::from_micros(7));
+        h.merge(&other);
+        assert_eq!(h.sum(), Duration::from_micros(130));
+        assert_eq!(h.count(), 3);
+        // Saturates instead of wrapping on absurd totals.
+        let mut top = LatencyHistogram::default();
+        top.record(Duration::from_micros(u64::MAX));
+        top.record(Duration::from_micros(u64::MAX));
+        assert_eq!(top.sum(), Duration::from_micros(u64::MAX));
     }
 
     #[test]

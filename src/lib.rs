@@ -64,6 +64,7 @@
 //! | [`faults`] (`tnn-faults`) | deterministic fault injection: seedable per-channel drop/jitter/outage schedules, engine panics, worker kills |
 //! | [`serve`] (`tnn-serve`) | the concurrent serving front-end: worker pool, priority lanes with deadlines and backpressure, result cache, tickets, retry/degradation ladder, self-healing workers, graceful shutdown |
 //! | [`shard`] (`tnn-shard`) | spatially-sharded scatter-gather serving: grid / R-tree-split partitioning, transitive-bound shard pruning, hot-shard replication with queue-depth routing, byte-identical merged answers |
+//! | [`trace`] (`tnn-trace`) | std-only observability: per-query span traces, the metrics registry with Prometheus text export, log₂ latency histograms, the slow-query flight recorder |
 //! | [`sim`] (`tnn-sim`) | the experiment harness regenerating every figure/table of the paper |
 
 #![warn(missing_docs)]
@@ -79,6 +80,7 @@ pub use tnn_rtree as rtree;
 pub use tnn_serve as serve;
 pub use tnn_shard as shard;
 pub use tnn_sim as sim;
+pub use tnn_trace as trace;
 
 /// The most common imports, re-exported flat.
 pub mod prelude {
@@ -96,10 +98,14 @@ pub mod prelude {
     };
     pub use tnn_rtree::{PackingAlgorithm, RTree, RTreeParams};
     pub use tnn_serve::{
-        Backpressure, ClassStats, Degradation, LatencyHistogram, ServeConfig, ServeStats, Server,
-        ShutdownMode, Ticket,
+        Backpressure, ClassStats, Degradation, ServeConfig, ServeStats, Server, ShutdownMode,
+        Ticket,
     };
     pub use tnn_shard::{Partition, ShardConfig, ShardOutcome, ShardPlan, ShardRouter, ShardStats};
+    pub use tnn_trace::{
+        FlightRecorder, LatencyHistogram, MetricsRegistry, QueryTrace, RecorderConfig, Span,
+        SpanKind, TraceConfig,
+    };
 }
 
 #[cfg(test)]
